@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Ablation: mutation-engine operation mix (§IV-B3).
+ *
+ * Sweeps the generate/delete/retain probabilities around the paper's
+ * 3/16 / 11/16 / 2/16 defaults and the direct/mutation mode split
+ * (9/16 vs 7/16), reporting coverage at a fixed budget.
+ */
+
+#include "bench_util.hh"
+
+#include "fuzzer/generator.hh"
+
+using namespace turbofuzz;
+using namespace turbofuzz::bench;
+
+int
+main(int argc, char **argv)
+{
+    Config cfg;
+    cfg.parseArgs(argc, argv);
+    const uint64_t seed = static_cast<uint64_t>(cfg.getInt("seed", 1));
+    const double budget = cfg.getDouble("budget", 25.0);
+
+    banner("Ablation", "Mutation-engine probabilities");
+
+    static isa::InstructionLibrary lib = harness::makeDefaultLibrary();
+    TablePrinter table({"Config", "gen/del/ret", "P(mutation)",
+                        "Coverage", "Corpus evictions"});
+
+    struct Setting
+    {
+        const char *name;
+        uint32_t gen, del;
+        Prob mutation;
+    };
+    const Setting settings[] = {
+        {"paper defaults", 3, 11, {7, 16}},
+        {"generation-heavy", 8, 6, {7, 16}},
+        {"retain-heavy", 3, 5, {7, 16}},
+        {"mutation-always", 3, 11, {16, 16}},
+        {"direct-only", 3, 11, {0, 16}},
+    };
+
+    for (const Setting &s : settings) {
+        fuzzer::FuzzerOptions fopts = turboFuzzOptions(seed);
+        fopts.mutGenSixteenths = s.gen;
+        fopts.mutDelSixteenths = s.del;
+        fopts.mutationMode = s.mutation;
+        auto gen = std::make_unique<fuzzer::TurboFuzzGenerator>(fopts,
+                                                                &lib);
+        auto *gp = gen.get();
+        harness::Campaign c(turboFuzzCampaign(seed), std::move(gen));
+        c.run(budget);
+        const std::string mix = std::to_string(s.gen) + "/" +
+                                std::to_string(s.del) + "/" +
+                                std::to_string(16 - s.gen - s.del);
+        table.addRow(
+            {s.name, mix,
+             TablePrinter::num(s.mutation.value(), 2),
+             TablePrinter::integer(c.coverageMap().totalCovered()),
+             TablePrinter::integer(
+                 gp->underlying().corpus().evictions())});
+    }
+    table.print();
+    return 0;
+}

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Shared helpers for the experiment-reproduction benches.
+ *
+ * Every bench binary reproduces one table or figure of the paper:
+ * it runs the relevant campaigns on the simulated platform and prints
+ * the same rows/series the paper reports. Budgets are simulated
+ * seconds and default to values that keep the whole suite fast;
+ * pass --budget=N (and --seed=N) to extend.
+ */
+
+#ifndef TURBOFUZZ_BENCH_BENCH_UTIL_HH
+#define TURBOFUZZ_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "harness/campaign.hh"
+
+namespace turbofuzz::bench
+{
+
+/** Print a figure/table banner. */
+inline void
+banner(const std::string &id, const std::string &what)
+{
+    std::printf("=========================================================\n");
+    std::printf("%s — %s\n", id.c_str(), what.c_str());
+    std::printf("=========================================================\n");
+}
+
+/** Print a coverage-versus-time series as at most @p rows rows. */
+inline void
+printSeries(const TimeSeries &series, unsigned rows = 12)
+{
+    const auto &samples = series.samples();
+    if (samples.empty()) {
+        std::printf("  (no samples)\n");
+        return;
+    }
+    const size_t step =
+        samples.size() <= rows ? 1 : samples.size() / rows;
+    std::printf("  %-12s %s\n", "time (s)", "coverage");
+    for (size_t i = 0; i < samples.size(); i += step) {
+        std::printf("  %-12.2f %.0f\n", samples[i].timeSec,
+                    samples[i].value);
+    }
+    std::printf("  %-12.2f %.0f   (final)\n", samples.back().timeSec,
+                samples.back().value);
+}
+
+/** Default TurboFuzz fuzzer options for benches. */
+inline fuzzer::FuzzerOptions
+turboFuzzOptions(uint64_t seed, uint32_t instrs_per_iteration = 4000)
+{
+    fuzzer::FuzzerOptions o;
+    o.seed = seed;
+    o.instrsPerIteration = instrs_per_iteration;
+    return o;
+}
+
+/** Campaign options preconfigured for the on-fabric TurboFuzz flow. */
+inline harness::CampaignOptions
+turboFuzzCampaign(uint64_t seed)
+{
+    harness::CampaignOptions c;
+    c.timing = soc::turboFuzzProfile();
+    c.checkMode = checker::DiffChecker::Mode::PerInstruction;
+    c.seed = seed;
+    return c;
+}
+
+/** Campaign options for a software-baseline flow. */
+inline harness::CampaignOptions
+softwareCampaign(uint64_t seed, soc::TimingProfile profile)
+{
+    harness::CampaignOptions c;
+    c.timing = std::move(profile);
+    c.checkMode = checker::DiffChecker::Mode::EndOfIteration;
+    c.seed = seed;
+    return c;
+}
+
+} // namespace turbofuzz::bench
+
+#endif // TURBOFUZZ_BENCH_BENCH_UTIL_HH

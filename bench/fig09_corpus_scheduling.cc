@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Fig. 9 reproduction: coverage with the coverage-guided corpus
+ * scheduling enabled versus conventional FIFO replacement.
+ *
+ * Paper findings: ~7.5% more coverage at a fixed one-hour budget and
+ * a large speedup to a fixed coverage target; a distinct late
+ * coverage jump appears only with scheduling enabled.
+ */
+
+#include "bench_util.hh"
+
+#include "fuzzer/generator.hh"
+
+using namespace turbofuzz;
+using namespace turbofuzz::bench;
+
+int
+main(int argc, char **argv)
+{
+    Config cfg;
+    cfg.parseArgs(argc, argv);
+    const uint64_t seed = static_cast<uint64_t>(cfg.getInt("seed", 1));
+    const double budget = cfg.getDouble("budget", 60.0);
+
+    banner("Fig. 9",
+           "Coverage with corpus scheduling enabled vs FIFO");
+
+    static isa::InstructionLibrary lib = harness::makeDefaultLibrary();
+
+    auto run = [&](fuzzer::SchedulingPolicy policy) {
+        fuzzer::FuzzerOptions fopts = turboFuzzOptions(seed);
+        fopts.scheduling = policy;
+        if (policy == fuzzer::SchedulingPolicy::Fifo)
+            fopts.corpusPrioritize = {0, 1}; // uniform selection
+        auto opts = turboFuzzCampaign(seed);
+        harness::Campaign c(opts,
+                            std::make_unique<fuzzer::TurboFuzzGenerator>(
+                                fopts, &lib));
+        TimeSeries s = c.run(budget);
+        return std::make_pair(std::move(s), c.executedInstructions());
+    };
+
+    auto [optimized, instr_opt] =
+        run(fuzzer::SchedulingPolicy::CoverageGuided);
+    auto [fifo, instr_fifo] = run(fuzzer::SchedulingPolicy::Fifo);
+
+    std::printf("\ncoverage-guided scheduling:\n");
+    printSeries(optimized);
+    std::printf("\nFIFO scheduling:\n");
+    printSeries(fifo);
+
+    const double cov_opt = optimized.last();
+    const double cov_fifo = fifo.last();
+    std::printf("\nat %.0f s budget: optimized %.0f vs FIFO %.0f "
+                "(+%.1f%%)\n",
+                budget, cov_opt, cov_fifo,
+                100.0 * (cov_opt / cov_fifo - 1.0));
+
+    // Speedup to a fixed coverage target (the paper uses 27,500
+    // points on its instrumentation; here: 95% of the FIFO final).
+    const double target = 0.95 * cov_fifo;
+    const double t_opt = optimized.timeToReach(target);
+    const double t_fifo = fifo.timeToReach(target);
+    if (t_opt > 0 && t_fifo > 0) {
+        std::printf("time to %.0f points: optimized %.2f s vs FIFO "
+                    "%.2f s (%.1fx speedup)\n",
+                    target, t_opt, t_fifo, t_fifo / t_opt);
+    }
+    std::printf("instructions executed: optimized %llu, FIFO %llu\n",
+                static_cast<unsigned long long>(instr_opt),
+                static_cast<unsigned long long>(instr_fifo));
+    std::printf("\npaper reference: +7.5%% coverage at fixed budget; "
+                "17.7x speedup to the fixed target\n");
+    return 0;
+}

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Microbenchmarks (google-benchmark): throughput of the hot
+ * primitives — LFSR stepping, instruction encode/decode, block
+ * generation, mutation, coverage-index computation, ISS stepping and
+ * full lockstep iterations.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/lfsr.hh"
+#include "coverage/coverage_map.hh"
+#include "fuzzer/generator.hh"
+#include "harness/campaign.hh"
+#include "isa/encoding.hh"
+#include "rtl/cores.hh"
+#include "rtl/driver.hh"
+
+using namespace turbofuzz;
+
+namespace
+{
+
+void
+BM_GaloisLfsrStep(benchmark::State &state)
+{
+    GaloisLfsr lfsr(64, 0xBEEF);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(lfsr.step());
+}
+BENCHMARK(BM_GaloisLfsrStep);
+
+void
+BM_EncodeDecode(benchmark::State &state)
+{
+    isa::Operands o;
+    o.rd = 10;
+    o.rs1 = 11;
+    o.rs2 = 12;
+    uint32_t word = isa::encode(isa::Opcode::Add, o);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(isa::decode(word));
+        word ^= 1u << 20; // vary rs2 field
+        word ^= 1u << 20;
+    }
+}
+BENCHMARK(BM_EncodeDecode);
+
+void
+BM_BlockGeneration(benchmark::State &state)
+{
+    static isa::InstructionLibrary lib = harness::makeDefaultLibrary();
+    fuzzer::MemoryLayout layout;
+    fuzzer::BlockBuilder builder(layout, &lib, fuzzer::GenProbs{});
+    Rng rng(1);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(builder.buildRandomBlock(rng));
+}
+BENCHMARK(BM_BlockGeneration);
+
+void
+BM_OperandMutation(benchmark::State &state)
+{
+    static isa::InstructionLibrary lib = harness::makeDefaultLibrary();
+    fuzzer::MemoryLayout layout;
+    fuzzer::BlockBuilder builder(layout, &lib, fuzzer::GenProbs{});
+    Rng rng(1);
+    fuzzer::SeedBlock block = builder.buildRandomBlock(rng);
+    for (auto _ : state) {
+        builder.mutateOperands(block, rng);
+        benchmark::DoNotOptimize(block);
+    }
+}
+BENCHMARK(BM_OperandMutation);
+
+void
+BM_CoverageIndex(benchmark::State &state)
+{
+    auto design = rtl::buildRocketLike();
+    coverage::DesignInstrumentation instr(
+        design.get(), coverage::Scheme::Optimized, 15, 1);
+    for (auto _ : state) {
+        uint64_t acc = 0;
+        for (const auto &m : instr.modules())
+            acc ^= m.computeIndex();
+        benchmark::DoNotOptimize(acc);
+    }
+}
+BENCHMARK(BM_CoverageIndex);
+
+void
+BM_IssStep(benchmark::State &state)
+{
+    soc::Memory mem;
+    // A small loop: addi x1, x1, 1 ; jal x0, -4.
+    isa::Operands a;
+    a.rd = 1;
+    a.rs1 = 1;
+    a.imm = 1;
+    mem.write32(0x1000, isa::encode(isa::Opcode::Addi, a));
+    isa::Operands j;
+    j.rd = 0;
+    j.imm = -4;
+    mem.write32(0x1004, isa::encode(isa::Opcode::Jal, j));
+    core::Iss::Options o;
+    o.resetPc = 0x1000;
+    core::Iss iss(&mem, o);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(iss.step());
+}
+BENCHMARK(BM_IssStep);
+
+void
+BM_FullIteration(benchmark::State &state)
+{
+    static isa::InstructionLibrary lib = harness::makeDefaultLibrary();
+    auto opts = harness::CampaignOptions{};
+    opts.timing = soc::turboFuzzProfile();
+    fuzzer::FuzzerOptions fopts;
+    fopts.instrsPerIteration = 1000;
+    harness::Campaign campaign(
+        opts,
+        std::make_unique<fuzzer::TurboFuzzGenerator>(fopts, &lib));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(campaign.runIteration());
+}
+BENCHMARK(BM_FullIteration)->Unit(benchmark::kMicrosecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

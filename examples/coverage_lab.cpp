@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Coverage-instrumentation laboratory: build a custom module, run
+ * the mux trace-back, instrument it with both §VI schemes, and
+ * compare reachability — a miniature of the Fig. 6 analysis on a
+ * user-defined design.
+ *
+ * Usage: coverage_lab [--bits=13]
+ */
+
+#include <cstdio>
+
+#include "common/config.hh"
+#include "coverage/coverage_map.hh"
+#include "coverage/reachability.hh"
+#include "rtl/driver.hh"
+#include "rtl/module.hh"
+
+using namespace turbofuzz;
+
+int
+main(int argc, char **argv)
+{
+    Config cfg;
+    cfg.parseArgs(argc, argv);
+    const unsigned bits =
+        static_cast<unsigned>(cfg.getInt("bits", 13));
+
+    // 1. Build a toy decode unit: a few control registers (one an
+    //    FSM with a constrained one-hot domain), wires, muxes, and
+    //    one datapath register no select touches.
+    rtl::Module design("MyDecodeUnit");
+    const uint32_t opcode =
+        design.addRegister("opcode", 6, rtl::RegRole::OpClass);
+    const uint32_t rd =
+        design.addRegister("rd", 5, rtl::RegRole::RdIdx);
+    const uint32_t fsm = design.addRegister(
+        "issue_fsm", 4, rtl::RegRole::PtwFsm, {1, 2, 4, 8});
+    design.addRegister("result", 64, rtl::RegRole::Datapath);
+
+    const uint32_t w_op = design.addWire("op_w", {opcode});
+    const uint32_t w_rd = design.addWire("rd_w", {rd});
+    const uint32_t w_fsm = design.addWire("fsm_w", {fsm});
+    const uint32_t w_comb =
+        design.addWire("comb_w", {}, {w_op, w_fsm});
+
+    design.addMux("rf_read_mux", w_rd);
+    design.addMux("alu_op_mux", w_comb);
+    design.addMux("bypass_mux", w_op);
+
+    // 2. Trace-back: which registers control the muxes?
+    std::printf("control registers found by trace-back:\n");
+    for (uint32_t r : design.controlRegisters()) {
+        const auto &reg = design.registers()[r];
+        std::printf("  %-10s width %u%s\n", reg.name.c_str(),
+                    reg.width,
+                    reg.domain.empty() ? "" : "  (constrained domain)");
+    }
+    std::printf("total control width: %u bits\n\n",
+                design.controlBitWidth());
+
+    // 3. Instrument with both schemes and analyze reachability.
+    for (const auto scheme : {coverage::Scheme::Baseline,
+                              coverage::Scheme::Optimized}) {
+        coverage::DesignInstrumentation di(&design, scheme, bits, 42);
+        const auto mods = coverage::analyzeDesign(di);
+        const char *name = scheme == coverage::Scheme::Baseline
+                               ? "baseline "
+                               : "optimized";
+        for (const auto &m : mods) {
+            std::printf("%s: %6llu instrumented, %6llu achievable "
+                        "(%.1f%%)\n",
+                        name,
+                        static_cast<unsigned long long>(m.instrumented),
+                        static_cast<unsigned long long>(m.achievable),
+                        100.0 * m.achievableFraction());
+        }
+    }
+
+    // 4. Drive it with a few synthetic commits and watch coverage.
+    coverage::DesignInstrumentation di(
+        &design, coverage::Scheme::Optimized, bits, 42);
+    coverage::CoverageMap map(&di);
+    rtl::EventDriver driver(&design);
+
+    core::CommitInfo ci;
+    ci.decodeValid = true;
+    ci.desc = &isa::descOf(isa::Opcode::Add);
+    uint64_t covered_before = 0;
+    for (unsigned i = 0; i < 200; ++i) {
+        ci.pc = 0x10000000 + 4 * i;
+        ci.ops.rd = static_cast<uint8_t>(i % 32);
+        ci.rdValue = 0x9E3779B97F4A7C15ull * (i + 1);
+        driver.onCommit(ci);
+        map.record();
+    }
+    std::printf("\nafter 200 synthetic commits: %llu points covered "
+                "(was %llu)\n",
+                static_cast<unsigned long long>(map.totalCovered()),
+                static_cast<unsigned long long>(covered_before));
+    return 0;
+}

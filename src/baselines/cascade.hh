@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Cascade-like baseline fuzzer.
+ *
+ * Models Cascade's program-generation approach (§II-A): longer test
+ * programs with intricate but *terminating* control flow and
+ * entangled data flow, achieving very high prevalence (~0.93 in the
+ * paper's Fig. 8) without any coverage feedback. Programs are built
+ * as a shuffled chain of basic blocks: every block ends with a
+ * direct jump to the next block in logical order, so all generated
+ * instructions execute exactly once regardless of where blocks sit
+ * in memory. Bug detection relies on end-of-program state
+ * comparison only, which is why transient deviations can escape it.
+ */
+
+#ifndef TURBOFUZZ_BASELINES_CASCADE_HH
+#define TURBOFUZZ_BASELINES_CASCADE_HH
+
+#include "common/rng.hh"
+#include "fuzzer/block_builder.hh"
+#include "fuzzer/generator.hh"
+
+namespace turbofuzz::baselines
+{
+
+/** Cascade-like stimulus generator. */
+class CascadeGenerator : public fuzzer::StimulusGenerator
+{
+  public:
+    /**
+     * @param seed            Campaign seed.
+     * @param library         Instruction library.
+     * @param instrs_per_iter Program size target (paper ~200).
+     */
+    CascadeGenerator(uint64_t seed,
+                     const isa::InstructionLibrary *library,
+                     uint32_t instrs_per_iter = 209);
+
+    fuzzer::IterationInfo generate(soc::Memory &mem) override;
+
+    /** Cascade has no coverage feedback: no-op. */
+    void
+    feedback(const fuzzer::IterationInfo &, uint64_t) override
+    {
+    }
+
+    const fuzzer::MemoryLayout &
+    layout() const override
+    {
+        return memLayout;
+    }
+
+    bool usesExceptionTemplates() const override { return false; }
+    std::string_view name() const override { return "Cascade"; }
+
+  private:
+    fuzzer::MemoryLayout memLayout;
+    isa::InstructionLibrary ownLib; ///< System/Zicsr disabled
+    fuzzer::BlockBuilder builder;
+    Rng rng;
+    uint32_t targetInstrs;
+    uint64_t iterCounter = 0;
+};
+
+} // namespace turbofuzz::baselines
+
+#endif // TURBOFUZZ_BASELINES_CASCADE_HH

@@ -1,0 +1,53 @@
+#include "baselines/difuzzrtl.hh"
+
+namespace turbofuzz::baselines
+{
+
+namespace
+{
+
+fuzzer::FuzzerOptions
+difuzzOptions(uint64_t seed, uint32_t instrs_per_iter)
+{
+    fuzzer::FuzzerOptions o;
+    o.instrsPerIteration = instrs_per_iter;
+    o.controlFlowOpt = false; // unconstrained forward jumps (eq. 1)
+    o.scheduling = fuzzer::SchedulingPolicy::Fifo;
+    o.corpusPrioritize = {0, 1}; // uniform seed selection
+    // The software flow regenerates register/CSR/memory setup
+    // routines per iteration; they execute before the fuzzing region
+    // and dominate the executed-instruction mix (Fig. 4).
+    o.bootstrapInstrs = 700;
+    o.seed = seed;
+    return o;
+}
+
+} // namespace
+
+DifuzzRtlGenerator::DifuzzRtlGenerator(
+    uint64_t seed, const isa::InstructionLibrary *library,
+    uint32_t instrs_per_iter)
+    : engine(difuzzOptions(seed, instrs_per_iter), library)
+{
+}
+
+fuzzer::IterationInfo
+DifuzzRtlGenerator::generate(soc::Memory &mem)
+{
+    return engine.generateIteration(mem);
+}
+
+void
+DifuzzRtlGenerator::feedback(const fuzzer::IterationInfo &info,
+                             uint64_t cov_increment)
+{
+    engine.reportResult(info, cov_increment);
+}
+
+const fuzzer::MemoryLayout &
+DifuzzRtlGenerator::layout() const
+{
+    return engine.options().layout;
+}
+
+} // namespace turbofuzz::baselines

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * DifuzzRTL-like baseline fuzzer.
+ *
+ * Models the comparison system's generation behaviour as the paper
+ * characterizes it (§II-A, §IV-C, Fig. 4):
+ *  - short iterations (hundreds of instructions);
+ *  - unconstrained forward jumps, so the expected jump distance
+ *    E_j = 1 + (L-p)/2 skips most of the iteration (eq. 1);
+ *  - no exception templates: the first trap ends the iteration;
+ *  - FIFO corpus scheduling with uniform seed selection;
+ *  - coarse end-of-iteration result checking.
+ *
+ * Internally reuses the block builder/mutation machinery with the
+ * TurboFuzz-specific optimizations disabled, which is exactly the
+ * ablation the paper's comparisons isolate.
+ */
+
+#ifndef TURBOFUZZ_BASELINES_DIFUZZRTL_HH
+#define TURBOFUZZ_BASELINES_DIFUZZRTL_HH
+
+#include "fuzzer/generator.hh"
+
+namespace turbofuzz::baselines
+{
+
+/** DifuzzRTL-like stimulus generator. */
+class DifuzzRtlGenerator : public fuzzer::StimulusGenerator
+{
+  public:
+    /**
+     * @param seed            Campaign seed.
+     * @param library         Instruction library.
+     * @param instrs_per_iter Generated instructions per iteration
+     *                        (paper-characteristic default 912).
+     */
+    DifuzzRtlGenerator(uint64_t seed,
+                       const isa::InstructionLibrary *library,
+                       uint32_t instrs_per_iter = 912);
+
+    fuzzer::IterationInfo generate(soc::Memory &mem) override;
+    void feedback(const fuzzer::IterationInfo &info,
+                  uint64_t cov_increment) override;
+    const fuzzer::MemoryLayout &layout() const override;
+    bool usesExceptionTemplates() const override { return false; }
+    std::string_view name() const override { return "DifuzzRTL"; }
+
+  private:
+    fuzzer::TurboFuzzer engine;
+};
+
+} // namespace turbofuzz::baselines
+
+#endif // TURBOFUZZ_BASELINES_DIFUZZRTL_HH

@@ -1,0 +1,99 @@
+#include "common/config.hh"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace turbofuzz
+{
+
+void
+Config::set(const std::string &key, const std::string &value)
+{
+    values[key] = value;
+}
+
+void
+Config::setInt(const std::string &key, int64_t value)
+{
+    values[key] = std::to_string(value);
+}
+
+void
+Config::setDouble(const std::string &key, double value)
+{
+    values[key] = std::to_string(value);
+}
+
+void
+Config::setBool(const std::string &key, bool value)
+{
+    values[key] = value ? "true" : "false";
+}
+
+int64_t
+Config::getInt(const std::string &key, int64_t fallback) const
+{
+    auto it = values.find(key);
+    if (it == values.end())
+        return fallback;
+    return std::strtoll(it->second.c_str(), nullptr, 0);
+}
+
+double
+Config::getDouble(const std::string &key, double fallback) const
+{
+    auto it = values.find(key);
+    if (it == values.end())
+        return fallback;
+    return std::strtod(it->second.c_str(), nullptr);
+}
+
+bool
+Config::getBool(const std::string &key, bool fallback) const
+{
+    auto it = values.find(key);
+    if (it == values.end())
+        return fallback;
+    const std::string &v = it->second;
+    if (v == "true" || v == "1" || v == "yes" || v == "on")
+        return true;
+    if (v == "false" || v == "0" || v == "no" || v == "off")
+        return false;
+    fatal("config key '%s' has non-boolean value '%s'", key.c_str(),
+          v.c_str());
+}
+
+std::string
+Config::getString(const std::string &key, const std::string &fallback) const
+{
+    auto it = values.find(key);
+    return it == values.end() ? fallback : it->second;
+}
+
+bool
+Config::has(const std::string &key) const
+{
+    return values.count(key) != 0;
+}
+
+int
+Config::parseArgs(int argc, char **argv)
+{
+    int consumed = 0;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strncmp(arg, "--", 2) != 0)
+            fatal("unrecognized argument '%s' (expected --key=value)", arg);
+        const char *eq = std::strchr(arg, '=');
+        if (!eq)
+            fatal("argument '%s' missing '=value'", arg);
+        std::string key(arg + 2, eq - (arg + 2));
+        values[key] = eq + 1;
+        ++consumed;
+    }
+    return consumed;
+}
+
+} // namespace turbofuzz

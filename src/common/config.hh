@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Key/value configuration store.
+ *
+ * Models the VIO-style runtime configuration interface of the
+ * TurboFuzzer IP: probabilities, instruction-count targets and feature
+ * toggles are exposed as named parameters with paper-default values.
+ * Benches parse `--key=value` command-line overrides into a Config.
+ */
+
+#ifndef TURBOFUZZ_COMMON_CONFIG_HH
+#define TURBOFUZZ_COMMON_CONFIG_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace turbofuzz
+{
+
+/**
+ * A rational probability num/den, matching the hardware's
+ * power-of-two-denominator comparators (e.g. mutation mode 7/16).
+ */
+struct Prob
+{
+    uint64_t num;
+    uint64_t den;
+
+    double value() const { return static_cast<double>(num) / den; }
+};
+
+/** String-keyed configuration with typed accessors and defaults. */
+class Config
+{
+  public:
+    Config() = default;
+
+    /** Set or overwrite a parameter. */
+    void set(const std::string &key, const std::string &value);
+    void setInt(const std::string &key, int64_t value);
+    void setDouble(const std::string &key, double value);
+    void setBool(const std::string &key, bool value);
+
+    /** Typed lookups; return @p fallback when the key is absent. */
+    int64_t getInt(const std::string &key, int64_t fallback) const;
+    double getDouble(const std::string &key, double fallback) const;
+    bool getBool(const std::string &key, bool fallback) const;
+    std::string getString(const std::string &key,
+                          const std::string &fallback) const;
+
+    bool has(const std::string &key) const;
+
+    /**
+     * Parse argv-style `--key=value` arguments; unknown formats are
+     * fatal(). Returns the number of arguments consumed.
+     */
+    int parseArgs(int argc, char **argv);
+
+  private:
+    std::map<std::string, std::string> values;
+};
+
+} // namespace turbofuzz
+
+#endif // TURBOFUZZ_COMMON_CONFIG_HH

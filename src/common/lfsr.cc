@@ -1,0 +1,108 @@
+#include "common/lfsr.hh"
+
+#include "common/bitutils.hh"
+#include "common/logging.hh"
+
+namespace turbofuzz
+{
+
+uint64_t
+GaloisLfsr::tapsFor(unsigned width)
+{
+    // Maximal-period polynomials (taps exclude the implicit x^width).
+    switch (width) {
+      case 8:  return 0xB8;                 // x^8+x^6+x^5+x^4+1
+      case 16: return 0xB400;               // x^16+x^14+x^13+x^11+1
+      case 24: return 0xE10000;             // x^24+x^23+x^22+x^17+1
+      case 32: return 0xA3000000u;          // x^32+x^30+x^26+x^25+1
+      case 48: return 0xC00000401000ull;    // x^48+x^47+x^21+x^13+1
+      case 64: return 0xD800000000000000ull; // x^64+x^63+x^61+x^60+1
+      default:
+        fatal("unsupported LFSR width %u", width);
+    }
+}
+
+GaloisLfsr::GaloisLfsr(unsigned width, uint64_t seed)
+    : regWidth(width), taps(tapsFor(width)), stateMask(mask(width)),
+      reg((seed & stateMask) ? (seed & stateMask) : 1)
+{
+}
+
+uint64_t
+GaloisLfsr::step()
+{
+    const uint64_t lsb = reg & 1;
+    reg >>= 1;
+    if (lsb)
+        reg ^= taps;
+    reg &= stateMask;
+    return reg;
+}
+
+uint64_t
+GaloisLfsr::stepN(unsigned n)
+{
+    for (unsigned i = 0; i < n; ++i)
+        step();
+    return reg;
+}
+
+void
+GaloisLfsr::reseed(uint64_t seed)
+{
+    reg = (seed & stateMask) ? (seed & stateMask) : 1;
+}
+
+namespace
+{
+/** Bit-reverse the low @p width bits of @p v. */
+uint64_t
+bitReverse(uint64_t v, unsigned width)
+{
+    uint64_t out = 0;
+    for (unsigned i = 0; i < width; ++i)
+        if (v & (uint64_t{1} << i))
+            out |= uint64_t{1} << (width - 1 - i);
+    return out;
+}
+} // namespace
+
+FibonacciLfsr::FibonacciLfsr(unsigned width, uint64_t seed)
+    // The Fibonacci (external-XOR) form of a right-shifting LFSR needs
+    // the bit-reversed Galois tap mask: the reciprocal polynomial is
+    // primitive iff the original is, preserving the maximal period.
+    : regWidth(width),
+      taps(bitReverse(GaloisLfsr::tapsFor(width), width)),
+      stateMask(mask(width)),
+      reg((seed & stateMask) ? (seed & stateMask) : 1)
+{
+}
+
+unsigned
+FibonacciLfsr::stepBit()
+{
+    // XOR of the tapped bits feeds the MSB; output is the old LSB.
+    const unsigned out = reg & 1;
+    const unsigned fb = __builtin_parityll(reg & taps);
+    reg = (reg >> 1) | (static_cast<uint64_t>(fb) << (regWidth - 1));
+    reg &= stateMask;
+    return out;
+}
+
+uint64_t
+FibonacciLfsr::stepBits(unsigned nbits)
+{
+    TF_ASSERT(nbits <= 64, "at most 64 bits per call");
+    uint64_t v = 0;
+    for (unsigned i = 0; i < nbits; ++i)
+        v = (v << 1) | stepBit();
+    return v;
+}
+
+void
+FibonacciLfsr::reseed(uint64_t seed)
+{
+    reg = (seed & stateMask) ? (seed & stateMask) : 1;
+}
+
+} // namespace turbofuzz

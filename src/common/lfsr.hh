@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Linear Feedback Shift Registers.
+ *
+ * The synthesizable TurboFuzzer IP uses LFSRs as its on-fabric
+ * pseudo-random sources (instruction selection, operand values, data
+ * segment fill). We model both Fibonacci and Galois forms with
+ * maximal-period taps for common widths, mirroring what the hardware
+ * generator would instantiate.
+ */
+
+#ifndef TURBOFUZZ_COMMON_LFSR_HH
+#define TURBOFUZZ_COMMON_LFSR_HH
+
+#include <cstdint>
+
+namespace turbofuzz
+{
+
+/**
+ * Galois LFSR with maximal-period feedback polynomials.
+ *
+ * Supported widths: 8, 16, 24, 32, 48, 64. The state never reaches
+ * zero when seeded nonzero, giving period 2^width - 1.
+ */
+class GaloisLfsr
+{
+  public:
+    /**
+     * @param width Register width in bits (8/16/24/32/48/64).
+     * @param seed  Initial state; zero is replaced by 1.
+     */
+    GaloisLfsr(unsigned width, uint64_t seed);
+
+    /** Advance one step and return the new state. */
+    uint64_t step();
+
+    /** Advance @p n steps and return the final state. */
+    uint64_t stepN(unsigned n);
+
+    /** Current state without advancing. */
+    uint64_t state() const { return reg; }
+
+    /** Register width in bits. */
+    unsigned width() const { return regWidth; }
+
+    /** Reseed; zero is replaced by 1. */
+    void reseed(uint64_t seed);
+
+    /** Feedback polynomial (tap mask) for @p width. */
+    static uint64_t tapsFor(unsigned width);
+
+  private:
+    unsigned regWidth;
+    uint64_t taps;
+    uint64_t stateMask;
+    uint64_t reg;
+};
+
+/**
+ * Fibonacci LFSR used by the data-segment filler. Each fuzzing
+ * iteration reseeds it with a unique value (see §IV-C of the paper).
+ */
+class FibonacciLfsr
+{
+  public:
+    FibonacciLfsr(unsigned width, uint64_t seed);
+
+    /** Advance one step and return the output bit. */
+    unsigned stepBit();
+
+    /** Produce the next @p nbits as the low bits of the result. */
+    uint64_t stepBits(unsigned nbits);
+
+    uint64_t state() const { return reg; }
+    void reseed(uint64_t seed);
+
+  private:
+    unsigned regWidth;
+    uint64_t taps;
+    uint64_t stateMask;
+    uint64_t reg;
+};
+
+} // namespace turbofuzz
+
+#endif // TURBOFUZZ_COMMON_LFSR_HH

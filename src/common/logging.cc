@@ -1,0 +1,100 @@
+#include "common/logging.hh"
+
+#include <cstdio>
+
+namespace turbofuzz
+{
+
+namespace
+{
+LogLevel globalLevel = LogLevel::Info;
+
+void
+vreport(const char *tag, const char *fmt, va_list args)
+{
+    std::fprintf(stderr, "%s: ", tag);
+    std::vfprintf(stderr, fmt, args);
+    std::fprintf(stderr, "\n");
+}
+} // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    globalLevel = level;
+}
+
+LogLevel
+logLevel()
+{
+    return globalLevel;
+}
+
+void
+panic(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    vreport("panic", fmt, args);
+    va_end(args);
+    std::abort();
+}
+
+void
+panicAssert(const char *cond, const char *file, int line,
+            const char *fmt, ...)
+{
+    std::fprintf(stderr, "panic: assertion '%s' failed at %s:%d: ", cond,
+                 file, line);
+    va_list args;
+    va_start(args, fmt);
+    std::vfprintf(stderr, fmt, args);
+    va_end(args);
+    std::fprintf(stderr, "\n");
+    std::abort();
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    vreport("fatal", fmt, args);
+    va_end(args);
+    std::exit(1);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    if (globalLevel < LogLevel::Warn)
+        return;
+    va_list args;
+    va_start(args, fmt);
+    vreport("warn", fmt, args);
+    va_end(args);
+}
+
+void
+inform(const char *fmt, ...)
+{
+    if (globalLevel < LogLevel::Info)
+        return;
+    va_list args;
+    va_start(args, fmt);
+    vreport("info", fmt, args);
+    va_end(args);
+}
+
+void
+debugLog(const char *fmt, ...)
+{
+    if (globalLevel < LogLevel::Debug)
+        return;
+    va_list args;
+    va_start(args, fmt);
+    vreport("debug", fmt, args);
+    va_end(args);
+}
+
+} // namespace turbofuzz

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * gem5-style status and error reporting helpers.
+ *
+ * panic()  - an internal invariant was violated (a TurboFuzz bug);
+ *            aborts so a debugger/core dump can capture the state.
+ * fatal()  - the simulation cannot continue due to a user error
+ *            (bad configuration, invalid arguments); exits cleanly.
+ * warn()   - something suspicious happened but execution continues.
+ * inform() - plain status output.
+ */
+
+#ifndef TURBOFUZZ_COMMON_LOGGING_HH
+#define TURBOFUZZ_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace turbofuzz
+{
+
+/** Verbosity levels accepted by setLogLevel(). */
+enum class LogLevel { Quiet, Warn, Info, Debug };
+
+/** Set the global verbosity threshold for inform()/debugLog(). */
+void setLogLevel(LogLevel level);
+
+/** Current global verbosity threshold. */
+LogLevel logLevel();
+
+/** Print an error message and abort (internal invariant violated). */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print an error message and exit(1) (user/configuration error). */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print a warning; execution continues. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print an informational status message. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print a debug message (only at LogLevel::Debug). */
+void debugLog(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Backend for TF_ASSERT; prints context then the formatted detail. */
+[[noreturn]] void panicAssert(const char *cond, const char *file,
+                              int line, const char *fmt, ...)
+    __attribute__((format(printf, 4, 5)));
+
+/**
+ * Assert-like helper that survives NDEBUG builds.
+ * Use for invariants whose violation means a TurboFuzz bug.
+ */
+#define TF_ASSERT(cond, ...)                                          \
+    do {                                                              \
+        if (!(cond)) {                                                \
+            ::turbofuzz::panicAssert(#cond, __FILE__, __LINE__,       \
+                                     __VA_ARGS__);                    \
+        }                                                             \
+    } while (0)
+
+} // namespace turbofuzz
+
+#endif // TURBOFUZZ_COMMON_LOGGING_HH

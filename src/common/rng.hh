@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Deterministic random number streams.
+ *
+ * Every stochastic component of TurboFuzz draws from a named Rng stream
+ * derived from the campaign seed, so that whole campaigns replay
+ * bit-exactly. The generator is SplitMix64: tiny state, excellent
+ * statistical quality for this use, and trivially splittable.
+ */
+
+#ifndef TURBOFUZZ_COMMON_RNG_HH
+#define TURBOFUZZ_COMMON_RNG_HH
+
+#include <cstdint>
+#include <string_view>
+
+namespace turbofuzz
+{
+
+/** A deterministic SplitMix64 random stream. */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull) : state(seed) {}
+
+    /** Derive a child stream from this stream and a label. */
+    Rng split(std::string_view label) const;
+
+    /** Next raw 64-bit value. */
+    uint64_t
+    next()
+    {
+        uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform value in [0, bound); bound must be nonzero. */
+    uint64_t range(uint64_t bound);
+
+    /** Uniform value in [lo, hi] inclusive. */
+    uint64_t between(uint64_t lo, uint64_t hi);
+
+    /** Bernoulli trial with probability num/den. */
+    bool chance(uint64_t num, uint64_t den);
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Current internal state (for serialization). */
+    uint64_t rawState() const { return state; }
+
+    /** Restore internal state. */
+    void setRawState(uint64_t s) { state = s; }
+
+  private:
+    uint64_t state;
+};
+
+/** Stable 64-bit FNV-1a hash of a string (for stream labels). */
+uint64_t hashLabel(std::string_view label);
+
+} // namespace turbofuzz
+
+#endif // TURBOFUZZ_COMMON_RNG_HH

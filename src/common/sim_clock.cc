@@ -1,0 +1,4 @@
+#include "common/sim_clock.hh"
+
+// SimClock is header-only today; this translation unit anchors the
+// component in the build so future non-inline additions have a home.

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Simulated time accounting.
+ *
+ * The paper's results are wall-clock measurements on an FPGA SoC. This
+ * reproduction charges every operation's cost to a SimClock in
+ * picoseconds of *simulated* platform time, so multi-hour campaigns
+ * compress into seconds of host time while preserving every relative
+ * speed relationship (see DESIGN.md §4.1).
+ */
+
+#ifndef TURBOFUZZ_COMMON_SIM_CLOCK_HH
+#define TURBOFUZZ_COMMON_SIM_CLOCK_HH
+
+#include <cstdint>
+
+namespace turbofuzz
+{
+
+/** Simulated time in picoseconds. */
+using SimTime = uint64_t;
+
+namespace sim_time
+{
+constexpr SimTime psPerNs = 1000;
+constexpr SimTime psPerUs = 1000 * psPerNs;
+constexpr SimTime psPerMs = 1000 * psPerUs;
+constexpr SimTime psPerSec = 1000 * psPerMs;
+
+/** Convert simulated picoseconds to (fractional) seconds. */
+constexpr double
+toSeconds(SimTime t)
+{
+    return static_cast<double>(t) / static_cast<double>(psPerSec);
+}
+
+/** Convert (fractional) seconds to simulated picoseconds. */
+constexpr SimTime
+fromSeconds(double s)
+{
+    return static_cast<SimTime>(s * static_cast<double>(psPerSec));
+}
+} // namespace sim_time
+
+/**
+ * Monotonic simulated clock. Components advance it explicitly with the
+ * cost of each modelled operation.
+ */
+class SimClock
+{
+  public:
+    SimClock() = default;
+
+    /** Advance by @p delta picoseconds. */
+    void advance(SimTime delta) { nowPs += delta; }
+
+    /** Advance by a number of cycles of a clock at @p hz. */
+    void
+    advanceCycles(uint64_t cycles, uint64_t hz)
+    {
+        nowPs += cycles * (sim_time::psPerSec / hz);
+    }
+
+    /** Current simulated time in picoseconds. */
+    SimTime now() const { return nowPs; }
+
+    /** Current simulated time in seconds. */
+    double seconds() const { return sim_time::toSeconds(nowPs); }
+
+    /** Reset to time zero. */
+    void reset() { nowPs = 0; }
+
+  private:
+    SimTime nowPs = 0;
+};
+
+} // namespace turbofuzz
+
+#endif // TURBOFUZZ_COMMON_SIM_CLOCK_HH

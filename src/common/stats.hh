@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Lightweight statistics: counters, time series and table printing.
+ *
+ * The benches reproduce the paper's tables and figures as text; the
+ * helpers here keep their formatting consistent across binaries.
+ */
+
+#ifndef TURBOFUZZ_COMMON_STATS_HH
+#define TURBOFUZZ_COMMON_STATS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace turbofuzz
+{
+
+/** One (time, value) sample of a coverage-versus-time curve. */
+struct Sample
+{
+    double timeSec;
+    double value;
+};
+
+/**
+ * An append-only series of samples, e.g. coverage over simulated time.
+ */
+class TimeSeries
+{
+  public:
+    explicit TimeSeries(std::string series_name = "")
+        : seriesName(std::move(series_name))
+    {}
+
+    void record(double time_sec, double value);
+
+    const std::string &name() const { return seriesName; }
+    const std::vector<Sample> &samples() const { return data; }
+    bool empty() const { return data.empty(); }
+
+    /** Last recorded value (0 if empty). */
+    double last() const;
+
+    /**
+     * First time at which the series reaches @p target.
+     * @return time in seconds, or a negative value if never reached.
+     */
+    double timeToReach(double target) const;
+
+    /** Value at time @p t (stepwise interpolation; 0 before start). */
+    double valueAt(double t) const;
+
+  private:
+    std::string seriesName;
+    std::vector<Sample> data;
+};
+
+/**
+ * Fixed-width text table mirroring the paper's table layout.
+ */
+class TablePrinter
+{
+  public:
+    explicit TablePrinter(std::vector<std::string> headers);
+
+    void addRow(std::vector<std::string> cells);
+
+    /** Render to a string with aligned columns. */
+    std::string str() const;
+
+    /** Print to stdout. */
+    void print() const;
+
+    /** Format helper: fixed-precision double. */
+    static std::string num(double v, int precision = 2);
+
+    /** Format helper: integer with thousands separators. */
+    static std::string integer(uint64_t v);
+
+  private:
+    std::vector<std::string> columnHeaders;
+    std::vector<std::vector<std::string>> rows;
+};
+
+/** Geometric mean of a vector of positive values (0 if empty). */
+double geomean(const std::vector<double> &values);
+
+} // namespace turbofuzz
+
+#endif // TURBOFUZZ_COMMON_STATS_HH

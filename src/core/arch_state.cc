@@ -1,0 +1,102 @@
+#include "core/arch_state.hh"
+
+#include "soc/snapshot.hh"
+
+namespace turbofuzz::core
+{
+
+namespace
+{
+// RV64 misa: MXL=2 (64-bit) plus IMAFD + U.
+constexpr uint64_t resetMisa = (2ull << 62) | (1 << 0) /*A*/ |
+                               (1 << 3) /*D*/ | (1 << 5) /*F*/ |
+                               (1 << 8) /*I*/ | (1 << 12) /*M*/ |
+                               (1 << 20) /*U*/;
+} // namespace
+
+ArchState::ArchState()
+{
+    reset(0);
+}
+
+void
+ArchState::reset(uint64_t boot_pc)
+{
+    xregs.fill(0);
+    fregs.fill(0);
+    pc = boot_pc;
+    fflags = 0;
+    frm = 0;
+    misa = resetMisa;
+    mstatus = 0;
+    setFsField(isa::csr::mstatusFsInitial);
+    mtvec = 0;
+    mscratch = 0;
+    mepc = 0;
+    mcause = 0;
+    mtval = 0;
+    minstret = 0;
+    mcycle = 0;
+    sscratch = 0;
+    sepc = 0;
+    scause = 0;
+    stval = 0;
+    resValid = false;
+    resAddr = 0;
+}
+
+void
+ArchState::saveState(soc::SnapshotWriter &out) const
+{
+    out.putU64(pc);
+    for (uint64_t v : xregs)
+        out.putU64(v);
+    for (uint64_t v : fregs)
+        out.putU64(v);
+    out.putU64(fflags);
+    out.putU64(frm);
+    out.putU64(mstatus);
+    out.putU64(misa);
+    out.putU64(mtvec);
+    out.putU64(mscratch);
+    out.putU64(mepc);
+    out.putU64(mcause);
+    out.putU64(mtval);
+    out.putU64(minstret);
+    out.putU64(mcycle);
+    out.putU64(sscratch);
+    out.putU64(sepc);
+    out.putU64(scause);
+    out.putU64(stval);
+    out.putU8(resValid ? 1 : 0);
+    out.putU64(resAddr);
+}
+
+void
+ArchState::loadState(soc::SnapshotReader &in)
+{
+    pc = in.getU64();
+    for (uint64_t &v : xregs)
+        v = in.getU64();
+    for (uint64_t &v : fregs)
+        v = in.getU64();
+    fflags = in.getU64();
+    frm = in.getU64();
+    mstatus = in.getU64();
+    misa = in.getU64();
+    mtvec = in.getU64();
+    mscratch = in.getU64();
+    mepc = in.getU64();
+    mcause = in.getU64();
+    mtval = in.getU64();
+    minstret = in.getU64();
+    mcycle = in.getU64();
+    sscratch = in.getU64();
+    sepc = in.getU64();
+    scause = in.getU64();
+    stval = in.getU64();
+    resValid = in.getU8() != 0;
+    resAddr = in.getU64();
+}
+
+} // namespace turbofuzz::core

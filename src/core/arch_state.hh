@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Architectural state of a simulated RV64 hart: program counter,
+ * integer and floating-point register files, the modelled CSR subset
+ * and the LR/SC reservation. Snapshot-serializable so the checker can
+ * capture the complete design state on a mismatch.
+ */
+
+#ifndef TURBOFUZZ_CORE_ARCH_STATE_HH
+#define TURBOFUZZ_CORE_ARCH_STATE_HH
+
+#include <array>
+#include <cstdint>
+
+#include "isa/csr.hh"
+
+namespace turbofuzz::soc
+{
+class SnapshotWriter;
+class SnapshotReader;
+} // namespace turbofuzz::soc
+
+namespace turbofuzz::core
+{
+
+/** Full architectural state of one hart. */
+class ArchState
+{
+  public:
+    ArchState();
+
+    /** Reset to the post-reset state with the given boot PC. */
+    void reset(uint64_t boot_pc);
+
+    // --- integer registers ---------------------------------------
+    uint64_t x(unsigned idx) const { return xregs[idx & 0x1F]; }
+
+    void
+    setX(unsigned idx, uint64_t value)
+    {
+        if ((idx & 0x1F) != 0)
+            xregs[idx & 0x1F] = value;
+    }
+
+    // --- floating point registers (raw 64-bit, NaN-boxed) --------
+    uint64_t f(unsigned idx) const { return fregs[idx & 0x1F]; }
+    void setF(unsigned idx, uint64_t raw) { fregs[idx & 0x1F] = raw; }
+
+    // --- program counter ------------------------------------------
+    uint64_t pc = 0;
+
+    // --- CSR subset ------------------------------------------------
+    uint64_t fflags = 0;
+    uint64_t frm = 0;
+    uint64_t mstatus;
+    uint64_t misa;
+    uint64_t mtvec = 0;
+    uint64_t mscratch = 0;
+    uint64_t mepc = 0;
+    uint64_t mcause = 0;
+    uint64_t mtval = 0;
+    uint64_t minstret = 0;
+    uint64_t mcycle = 0;
+    uint64_t sscratch = 0;
+    uint64_t sepc = 0;
+    uint64_t scause = 0;
+    uint64_t stval = 0;
+
+    // --- LR/SC reservation -----------------------------------------
+    bool resValid = false;
+    uint64_t resAddr = 0;
+
+    /** mstatus.FS field accessors. */
+    uint64_t
+    fsField() const
+    {
+        return (mstatus & isa::csr::mstatusFsMask) >>
+               isa::csr::mstatusFsShift;
+    }
+
+    void
+    setFsField(uint64_t fs)
+    {
+        mstatus = (mstatus & ~isa::csr::mstatusFsMask) |
+                  ((fs & 0x3) << isa::csr::mstatusFsShift);
+    }
+
+    /** True when the FPU is architecturally enabled. */
+    bool fpEnabled() const { return fsField() != isa::csr::mstatusFsOff; }
+
+    void saveState(soc::SnapshotWriter &out) const;
+    void loadState(soc::SnapshotReader &in);
+
+  private:
+    std::array<uint64_t, 32> xregs{};
+    std::array<uint64_t, 32> fregs{};
+};
+
+} // namespace turbofuzz::core
+
+#endif // TURBOFUZZ_CORE_ARCH_STATE_HH

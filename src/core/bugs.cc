@@ -1,0 +1,76 @@
+#include "core/bugs.hh"
+
+#include "common/logging.hh"
+
+namespace turbofuzz::core
+{
+
+namespace
+{
+const std::vector<BugInfo> catalog = {
+    {BugId::C1, CoreKind::Cva6, "C1",
+     "Incorrect setting of DZ flag for 0/0 division"},
+    {BugId::C2, CoreKind::Cva6, "C2",
+     "Incorrect fflags set when fdiv divides by infinity"},
+    {BugId::C3, CoreKind::Cva6, "C3",
+     "Wrong handling of invalid NaN-boxed single-precision fdiv"},
+    {BugId::C4, CoreKind::Cva6, "C4",
+     "Same as C2 (double-precision)"},
+    {BugId::C5, CoreKind::Cva6, "C5",
+     "Double-precision multiplication yields wrong sign when rounding "
+     "down"},
+    {BugId::C6, CoreKind::Cva6, "C6",
+     "Duplicate of C3 (another stimulus)"},
+    {BugId::C7, CoreKind::Cva6, "C7",
+     "Co-simulation mismatch when reading stval CSR"},
+    {BugId::C8, CoreKind::Cva6, "C8",
+     "RV32A enabled without RV64A fails to raise exception"},
+    {BugId::C9, CoreKind::Cva6, "C9",
+     "fdiv returns infinity when dividing by 0"},
+    {BugId::C10, CoreKind::Cva6, "C10",
+     "Division of +0 by a normal value results in -0"},
+    {BugId::B1, CoreKind::Boom, "B1",
+     "Floating-point rounding mode not working correctly"},
+    {BugId::B2, CoreKind::Boom, "B2",
+     "FP instruction with invalid frm does not raise exception"},
+    {BugId::R1, CoreKind::Rocket, "R1",
+     "Executing ebreak does not increment minstret"},
+};
+} // namespace
+
+const BugInfo &
+bugInfo(BugId id)
+{
+    const auto idx = static_cast<size_t>(id);
+    TF_ASSERT(idx < catalog.size(), "bad BugId %zu", idx);
+    return catalog[idx];
+}
+
+const std::vector<BugInfo> &
+allBugs()
+{
+    return catalog;
+}
+
+std::vector<BugId>
+bugsOf(CoreKind kind)
+{
+    std::vector<BugId> out;
+    for (const auto &b : catalog)
+        if (b.design == kind)
+            out.push_back(b.id);
+    return out;
+}
+
+std::string_view
+coreKindName(CoreKind kind)
+{
+    switch (kind) {
+      case CoreKind::Rocket: return "Rocket";
+      case CoreKind::Cva6: return "CVA6";
+      case CoreKind::Boom: return "BOOM";
+      default: panic("bad CoreKind");
+    }
+}
+
+} // namespace turbofuzz::core

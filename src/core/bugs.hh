@@ -1,0 +1,96 @@
+/**
+ * @file
+ * The injectable bug catalog (Table II reproduction).
+ *
+ * Each entry reproduces one of the real-world issues the paper detects
+ * on CVA6 (C1-C10), BOOM (B1-B2) and Rocket (R1), implemented as a
+ * behaviour deviation in the DUT core. The golden reference ISS never
+ * has bugs enabled; the differential checker reports the first
+ * architecturally visible divergence.
+ */
+
+#ifndef TURBOFUZZ_CORE_BUGS_HH
+#define TURBOFUZZ_CORE_BUGS_HH
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace turbofuzz::core
+{
+
+/** Identifiers matching the paper's Table II labels. */
+enum class BugId : uint32_t
+{
+    C1,  ///< Incorrect setting of DZ flag for 0/0 division
+    C2,  ///< Incorrect fflags when fdiv.s divides by infinity
+    C3,  ///< Invalid NaN-boxed single-precision fdiv operand honored
+    C4,  ///< Same as C2 for double precision
+    C5,  ///< fmul.d yields wrong sign when rounding down
+    C6,  ///< Duplicate of C3 (reached by another stimulus)
+    C7,  ///< Co-simulation mismatch when reading stval CSR
+    C8,  ///< RV64A disabled but .d atomics fail to raise exception
+    C9,  ///< fdiv returns infinity when dividing zero by zero
+    C10, ///< Division of +0 by a normal value results in -0
+    B1,  ///< FP rounding mode not honored (always round-to-nearest)
+    B2,  ///< FP instruction with invalid frm does not raise exception
+    R1,  ///< ebreak does not increment minstret
+    NumBugs
+};
+
+/** Which core family a bug ships in. */
+enum class CoreKind : uint8_t { Rocket, Cva6, Boom };
+
+/** Catalog metadata for one bug. */
+struct BugInfo
+{
+    BugId id;
+    CoreKind design;
+    std::string_view label;       ///< "C1", "B2", ...
+    std::string_view description; ///< Table II wording
+};
+
+/** Metadata for @p id. */
+const BugInfo &bugInfo(BugId id);
+
+/** All catalog entries in Table II order. */
+const std::vector<BugInfo> &allBugs();
+
+/** Bugs shipped in @p kind cores. */
+std::vector<BugId> bugsOf(CoreKind kind);
+
+/** Display name of a core family. */
+std::string_view coreKindName(CoreKind kind);
+
+/** A set of enabled bugs (bitmask over BugId). */
+class BugSet
+{
+  public:
+    BugSet() = default;
+
+    static BugSet
+    single(BugId id)
+    {
+        BugSet s;
+        s.enable(id);
+        return s;
+    }
+
+    void enable(BugId id) { bits |= maskOf(id); }
+    void disable(BugId id) { bits &= ~maskOf(id); }
+    bool has(BugId id) const { return bits & maskOf(id); }
+    bool empty() const { return bits == 0; }
+
+  private:
+    static uint32_t
+    maskOf(BugId id)
+    {
+        return 1u << static_cast<uint32_t>(id);
+    }
+
+    uint32_t bits = 0;
+};
+
+} // namespace turbofuzz::core
+
+#endif // TURBOFUZZ_CORE_BUGS_HH

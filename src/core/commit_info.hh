@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Per-instruction commit record.
+ *
+ * One CommitInfo is produced for every instruction the DUT or REF
+ * processes. It is the contract consumed by (a) the differential
+ * checker's instruction-level compare, (b) the RTL structural model's
+ * microarchitectural event driver, and (c) the fuzzer's execution
+ * monitors (prevalence accounting, exception templates).
+ */
+
+#ifndef TURBOFUZZ_CORE_COMMIT_INFO_HH
+#define TURBOFUZZ_CORE_COMMIT_INFO_HH
+
+#include <cstdint>
+
+#include "isa/encoding.hh"
+#include "isa/opcodes.hh"
+
+namespace turbofuzz::core
+{
+
+/** Everything architecturally observable about one instruction. */
+struct CommitInfo
+{
+    uint64_t pc = 0;
+    uint64_t nextPc = 0;
+    uint32_t insn = 0;
+
+    bool decodeValid = false;
+    isa::Opcode op = isa::Opcode::NumOpcodes;
+    const isa::InstrDesc *desc = nullptr;
+    isa::Operands ops;
+
+    // Writeback.
+    bool rdWritten = false;
+    uint8_t rd = 0;
+    uint64_t rdValue = 0;
+    bool frdWritten = false;
+    uint8_t frd = 0;
+    uint64_t frdValue = 0;
+
+    // Control flow.
+    bool branchTaken = false;
+
+    // Memory.
+    bool memAccess = false;
+    bool memWrite = false;
+    uint64_t memAddr = 0;
+    uint8_t memSize = 0;
+
+    // Traps.
+    bool trapped = false;
+    uint64_t trapCause = 0;
+    uint64_t trapValue = 0;
+
+    // CSR side effects.
+    bool csrWritten = false;
+    uint16_t csrAddr = 0;
+    uint64_t csrNewValue = 0;
+
+    // FP flags accrued by this instruction.
+    uint8_t fflagsAccrued = 0;
+
+    // fclass-style class indices (0..9) of FP source operands, or
+    // 0xFF when the instruction does not read that FP register. Used
+    // by the RTL model's FPU state tracking.
+    uint8_t fpClassRs1 = 0xFF;
+    uint8_t fpClassRs2 = 0xFF;
+
+    // Counter state after the instruction.
+    uint64_t minstretAfter = 0;
+};
+
+} // namespace turbofuzz::core
+
+#endif // TURBOFUZZ_CORE_COMMIT_INFO_HH

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * IEEE-754 helpers with RISC-V semantics (flags, NaN boxing,
+ * canonical NaNs, saturating conversions).
+ *
+ * Arithmetic is delegated to host hardware under <cfenv> control,
+ * with manual handling of every case where RISC-V semantics differ
+ * from a plain C expression (min/max NaN rules, compare signaling,
+ * conversion saturation, canonical NaN results). All functions are
+ * pure: they take raw bit patterns and a rounding mode, and return raw
+ * bits plus the accrued fflags.
+ */
+
+#ifndef TURBOFUZZ_CORE_FP_OPS_HH
+#define TURBOFUZZ_CORE_FP_OPS_HH
+
+#include <cstdint>
+
+namespace turbofuzz::core::fp
+{
+
+/** Result bits plus accrued exception flags (isa::csr::flag*). */
+struct FpResult
+{
+    uint64_t bits;
+    uint8_t flags;
+};
+
+constexpr uint32_t canonicalNanS = 0x7fc00000u;
+constexpr uint64_t canonicalNanD = 0x7ff8000000000000ull;
+
+// --- NaN boxing ----------------------------------------------------
+
+/** True when @p raw is a properly NaN-boxed single (upper 32 ones). */
+bool isBoxedS(uint64_t raw);
+
+/**
+ * Extract the single-precision payload; improperly boxed values read
+ * as the canonical NaN (the rule bug C3 violates).
+ */
+uint32_t unboxS(uint64_t raw);
+
+/** Box a single-precision value into a 64-bit register image. */
+uint64_t boxS(uint32_t bits);
+
+// --- classification ------------------------------------------------
+
+bool isNanS(uint32_t bits);
+bool isNanD(uint64_t bits);
+bool isSignalingNanS(uint32_t bits);
+bool isSignalingNanD(uint64_t bits);
+bool isInfS(uint32_t bits);
+bool isInfD(uint64_t bits);
+bool isZeroS(uint32_t bits);
+bool isZeroD(uint64_t bits);
+
+/** fclass.s / fclass.d result mask. */
+uint64_t classifyS(uint32_t bits);
+uint64_t classifyD(uint64_t bits);
+
+// --- arithmetic ------------------------------------------------------
+
+enum class ArithOp { Add, Sub, Mul, Div, Sqrt, Min, Max };
+
+/**
+ * Single-precision arithmetic. For Sqrt, @p b is ignored. @p rm is the
+ * resolved rounding mode (0..4).
+ */
+FpResult arithS(ArithOp op, uint32_t a, uint32_t b, uint8_t rm);
+
+/** Double-precision arithmetic. */
+FpResult arithD(ArithOp op, uint64_t a, uint64_t b, uint8_t rm);
+
+/**
+ * Fused multiply-add family: computes
+ * (neg_prod ? -(a*b) : a*b) + (neg_addend ? -c : c).
+ */
+FpResult fmaS(uint32_t a, uint32_t b, uint32_t c, bool neg_prod,
+              bool neg_addend, uint8_t rm);
+FpResult fmaD(uint64_t a, uint64_t b, uint64_t c, bool neg_prod,
+              bool neg_addend, uint8_t rm);
+
+// --- comparisons ------------------------------------------------------
+
+enum class CmpOp { Eq, Lt, Le };
+
+/** Compare; result bits are 0/1 in the integer domain. */
+FpResult cmpS(CmpOp op, uint32_t a, uint32_t b);
+FpResult cmpD(CmpOp op, uint64_t a, uint64_t b);
+
+// --- conversions ------------------------------------------------------
+
+/** Float-to-integer with RISC-V saturation semantics. */
+FpResult cvtSToI(uint32_t a, bool is_signed, bool is_64bit, uint8_t rm);
+FpResult cvtDToI(uint64_t a, bool is_signed, bool is_64bit, uint8_t rm);
+
+/** Integer-to-float. */
+FpResult cvtIToS(uint64_t v, bool is_signed, bool is_64bit, uint8_t rm);
+FpResult cvtIToD(uint64_t v, bool is_signed, bool is_64bit, uint8_t rm);
+
+/** Precision conversions. */
+FpResult cvtSToD(uint32_t a);
+FpResult cvtDToS(uint64_t a, uint8_t rm);
+
+// --- sign injection ---------------------------------------------------
+
+enum class SgnOp { Copy, Negate, XorSign };
+
+uint32_t sgnjS(SgnOp op, uint32_t a, uint32_t b);
+uint64_t sgnjD(SgnOp op, uint64_t a, uint64_t b);
+
+} // namespace turbofuzz::core::fp
+
+#endif // TURBOFUZZ_CORE_FP_OPS_HH

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * RV64 IMAFD + Zicsr instruction-set simulator.
+ *
+ * One implementation serves both roles of the paper's differential
+ * pair: instantiated with an empty BugSet it is the golden reference
+ * model (the REF running on the ARM PS); instantiated with a bug set
+ * and a core personality it is the architectural shadow of the DUT.
+ * The injected bugs deviate exactly where the corresponding real
+ * RTL issues did (see core/bugs.hh).
+ */
+
+#ifndef TURBOFUZZ_CORE_ISS_HH
+#define TURBOFUZZ_CORE_ISS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/arch_state.hh"
+#include "core/bugs.hh"
+#include "core/commit_info.hh"
+#include "soc/memory.hh"
+
+namespace turbofuzz::soc
+{
+class SnapshotWriter;
+class SnapshotReader;
+} // namespace turbofuzz::soc
+
+namespace turbofuzz::core
+{
+
+/** An executable RV64 hart bound to a memory. */
+class Iss
+{
+  public:
+    struct Options
+    {
+        /** Injected bugs; empty for the golden reference. */
+        BugSet bugs;
+
+        /**
+         * Whether 64-bit atomics are architecturally enabled. The
+         * CVA6 configuration behind bug C8 ships with RV64A disabled;
+         * a correct core must then trap .d atomics.
+         */
+        bool rv64aEnabled = true;
+
+        /** Reset program counter. */
+        uint64_t resetPc = 0x80000000ull;
+    };
+
+    explicit Iss(soc::Memory *mem);
+    Iss(soc::Memory *mem, Options opts);
+
+    /** Reset architectural state to the boot PC. */
+    void reset();
+    void reset(uint64_t pc);
+
+    ArchState &state() { return st; }
+    const ArchState &state() const { return st; }
+
+    soc::Memory &memory() { return *memPtr; }
+    const soc::Memory &memory() const { return *memPtr; }
+
+    /**
+     * Restrict data/fetch accesses to the given ranges. With no
+     * ranges registered every address is accessible.
+     */
+    void clearAccessRanges();
+    void addAccessRange(uint64_t base, uint64_t size);
+
+    /** Execute the instruction at the current PC. */
+    CommitInfo step();
+
+    const Options &options() const { return opts; }
+
+    void saveState(soc::SnapshotWriter &out) const;
+    void loadState(soc::SnapshotReader &in);
+
+  private:
+    struct Range
+    {
+        uint64_t base;
+        uint64_t size;
+    };
+
+    bool accessible(uint64_t addr, uint64_t size) const;
+    bool hasBug(BugId id) const { return opts.bugs.has(id); }
+
+    /** Raise a trap: record CSRs, redirect to mtvec. */
+    void trap(CommitInfo &ci, uint64_t cause, uint64_t tval);
+
+    /**
+     * Resolve the rounding mode of an FP instruction.
+     * @return true when valid; false means illegal instruction
+     *         (unless bug B2 suppresses the trap).
+     */
+    bool resolveRm(uint8_t rm_field, uint8_t &resolved) const;
+
+    /** CSR read; returns false for an inaccessible CSR. */
+    bool csrRead(uint16_t addr, uint64_t &value) const;
+
+    /** CSR write; returns false for an illegal write. */
+    bool csrWrite(uint16_t addr, uint64_t value);
+
+    void execute(CommitInfo &ci);
+    void executeFp(CommitInfo &ci);
+    void executeAmo(CommitInfo &ci);
+    void executeCsr(CommitInfo &ci);
+
+    soc::Memory *memPtr;
+    Options opts;
+    ArchState st;
+    std::vector<Range> ranges;
+};
+
+} // namespace turbofuzz::core
+
+#endif // TURBOFUZZ_CORE_ISS_HH

@@ -1,0 +1,95 @@
+#include "coverage/coverage_map.hh"
+
+#include "common/logging.hh"
+
+namespace turbofuzz::coverage
+{
+
+CoverageMap::CoverageMap(const DesignInstrumentation *di) : instr(di)
+{
+    TF_ASSERT(instr != nullptr, "CoverageMap requires instrumentation");
+    bitmaps.resize(instr->modules().size());
+    coveredPerModule.assign(instr->modules().size(), 0);
+    for (size_t i = 0; i < bitmaps.size(); ++i) {
+        const uint64_t points =
+            instr->modules()[i].instrumentedPoints();
+        bitmaps[i].assign((points + 63) / 64, 0);
+    }
+}
+
+uint64_t
+CoverageMap::record()
+{
+    uint64_t newly = 0;
+    const auto &mods = instr->modules();
+    for (size_t i = 0; i < mods.size(); ++i) {
+        const uint64_t idx = mods[i].computeIndex();
+        uint64_t &word = bitmaps[i][idx / 64];
+        const uint64_t bit = uint64_t{1} << (idx % 64);
+        if (!(word & bit)) {
+            word |= bit;
+            ++coveredPerModule[i];
+            ++coveredTotal;
+            ++newly;
+        }
+    }
+    return newly;
+}
+
+uint64_t
+CoverageMap::moduleCovered(size_t module_idx) const
+{
+    TF_ASSERT(module_idx < coveredPerModule.size(),
+              "bad module index %zu", module_idx);
+    return coveredPerModule[module_idx];
+}
+
+const std::string &
+CoverageMap::moduleName(size_t module_idx) const
+{
+    return instr->modules()[module_idx].module().name();
+}
+
+uint64_t
+CoverageMap::weightedFeedback() const
+{
+    uint64_t total = 0;
+    const auto &mods = instr->modules();
+    for (size_t i = 0; i < mods.size(); ++i) {
+        const int shift = mods[i].weightShift;
+        const uint64_t c = coveredPerModule[i];
+        if (shift >= 0)
+            total += c << shift;
+        else
+            total += c >> (-shift);
+    }
+    return total;
+}
+
+void
+CoverageMap::reset()
+{
+    for (auto &bm : bitmaps)
+        std::fill(bm.begin(), bm.end(), 0);
+    std::fill(coveredPerModule.begin(), coveredPerModule.end(), 0);
+    coveredTotal = 0;
+}
+
+void
+CoverageMap::merge(const CoverageMap &other)
+{
+    TF_ASSERT(other.instr == instr,
+              "merging maps over different instrumentations");
+    for (size_t i = 0; i < bitmaps.size(); ++i) {
+        uint64_t covered = 0;
+        for (size_t w = 0; w < bitmaps[i].size(); ++w) {
+            bitmaps[i][w] |= other.bitmaps[i][w];
+            covered += static_cast<uint64_t>(
+                __builtin_popcountll(bitmaps[i][w]));
+        }
+        coveredTotal += covered - coveredPerModule[i];
+        coveredPerModule[i] = covered;
+    }
+}
+
+} // namespace turbofuzz::coverage

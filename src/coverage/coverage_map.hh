@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Runtime coverage accumulation.
+ *
+ * One bitmap per instrumented module; record() samples every module's
+ * current coverage index (after the event driver has updated register
+ * values) and reports how many previously unseen points were hit.
+ * The weighted feedback value applies each module's Ncov shift, which
+ * is the knob the paper adds to de-bias mux-heavy arithmetic units.
+ */
+
+#ifndef TURBOFUZZ_COVERAGE_COVERAGE_MAP_HH
+#define TURBOFUZZ_COVERAGE_COVERAGE_MAP_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "coverage/instrumentation.hh"
+
+namespace turbofuzz::coverage
+{
+
+/** Per-design coverage bitmap set. */
+class CoverageMap
+{
+  public:
+    /** @param di Instrumentation to track (not owned; must outlive). */
+    explicit CoverageMap(const DesignInstrumentation *di);
+
+    /**
+     * Sample every module's current index; mark the points.
+     * @return number of coverage points newly hit by this sample.
+     */
+    uint64_t record();
+
+    /** Total covered points across all modules. */
+    uint64_t totalCovered() const { return coveredTotal; }
+
+    /** Covered points of one module (by instrumentation order). */
+    uint64_t moduleCovered(size_t module_idx) const;
+
+    /** Name of module @p module_idx. */
+    const std::string &moduleName(size_t module_idx) const;
+
+    /** Number of tracked modules. */
+    size_t moduleCount() const { return bitmaps.size(); }
+
+    /**
+     * Weighted feedback: sum over modules of covered counts shifted
+     * by their weightShift (negative shifts weaken the module).
+     */
+    uint64_t weightedFeedback() const;
+
+    /** Clear all bitmaps. */
+    void reset();
+
+    /** Merge another map's covered points into this one. */
+    void merge(const CoverageMap &other);
+
+  private:
+    const DesignInstrumentation *instr;
+    std::vector<std::vector<uint64_t>> bitmaps; ///< 1 bit per point
+    std::vector<uint64_t> coveredPerModule;
+    uint64_t coveredTotal = 0;
+};
+
+} // namespace turbofuzz::coverage
+
+#endif // TURBOFUZZ_COVERAGE_COVERAGE_MAP_HH

@@ -1,0 +1,122 @@
+#include "coverage/instrumentation.hh"
+
+#include <algorithm>
+
+#include "common/bitutils.hh"
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace turbofuzz::coverage
+{
+
+ModuleInstrumentation::ModuleInstrumentation(const rtl::Module *module,
+                                             Scheme scheme,
+                                             unsigned max_state_size,
+                                             uint64_t seed)
+    : mod(module), schm(scheme)
+{
+    TF_ASSERT(max_state_size >= 1 && max_state_size <= 24,
+              "maxStateSize %u out of supported range", max_state_size);
+    ctrlRegs = mod->controlRegisters();
+    TF_ASSERT(!ctrlRegs.empty(),
+              "module '%s' has no control registers",
+              mod->name().c_str());
+
+    const unsigned total = mod->controlBitWidth();
+
+    if (total <= max_state_size) {
+        // Fits without loss: both schemes concatenate sequentially.
+        idxBits = total;
+        unsigned offset = 0;
+        for (uint32_t r : ctrlRegs) {
+            places.push_back({r, offset, false});
+            offset += mod->registers()[r].width;
+        }
+        return;
+    }
+
+    idxBits = max_state_size;
+    if (schm == Scheme::Baseline) {
+        // Randomized shifts with zero padding; high bits truncate.
+        Rng rng(seed ^ hashLabel(mod->name()));
+        for (uint32_t r : ctrlRegs) {
+            const unsigned shift =
+                static_cast<unsigned>(rng.range(max_state_size));
+            places.push_back({r, shift, false});
+        }
+    } else {
+        // Sequential arrangement with modulo rollback (eq. 2).
+        unsigned offset = 0;
+        for (uint32_t r : ctrlRegs) {
+            places.push_back({r, offset, true});
+            offset = (offset + mod->registers()[r].width) %
+                     max_state_size;
+        }
+    }
+}
+
+uint64_t
+ModuleInstrumentation::computeIndex() const
+{
+    const uint64_t m = mask(idxBits);
+    uint64_t index = 0;
+    const auto &regs = mod->registers();
+    for (const Placement &p : places) {
+        uint64_t v = regs[p.regIndex].value &
+                     mask(regs[p.regIndex].width);
+        if (p.wraps) {
+            // Fold values wider than the index, then rotate into
+            // place so every bit lands inside the index.
+            while (v >> idxBits)
+                v = (v & m) ^ (v >> idxBits);
+            const unsigned rot = p.offset % idxBits;
+            v = ((v << rot) | (v >> (idxBits - rot))) & m;
+            index ^= v;
+        } else {
+            index ^= (v << p.offset) & m;
+        }
+    }
+    return index;
+}
+
+DesignInstrumentation::DesignInstrumentation(
+    rtl::Module *top, Scheme scheme, unsigned max_state_size,
+    uint64_t seed, const std::vector<std::string> &only_modules)
+    : schm(scheme), maxBits(max_state_size)
+{
+    TF_ASSERT(top != nullptr, "null design");
+    top->visit([&](rtl::Module &m) {
+        if (!only_modules.empty() &&
+            std::find(only_modules.begin(), only_modules.end(),
+                      m.name()) == only_modules.end()) {
+            return;
+        }
+        if (m.controlRegisters().empty())
+            return;
+        mods.emplace_back(&m, scheme, max_state_size, seed);
+    });
+}
+
+uint64_t
+DesignInstrumentation::totalInstrumentedPoints() const
+{
+    uint64_t total = 0;
+    for (const auto &m : mods)
+        total += m.instrumentedPoints();
+    return total;
+}
+
+void
+DesignInstrumentation::setWeightShift(const std::string &module_name,
+                                      int shift)
+{
+    for (auto &m : mods) {
+        if (m.module().name() == module_name) {
+            m.weightShift = shift;
+            return;
+        }
+    }
+    fatal("no instrumented module named '%s'", module_name.c_str());
+}
+
+} // namespace turbofuzz::coverage

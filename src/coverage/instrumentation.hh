@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Register-coverage instrumentation (paper §VI).
+ *
+ * Both instrumentation schemes are implemented over the structural
+ * model's control registers (found by the mux trace-back):
+ *
+ *  - Scheme::Baseline — the DifuzzRTL-style approach: each control
+ *    register is shifted by a random amount within the index width,
+ *    zeros fill the empty positions, and the shifted values are XORed
+ *    together. Bits shifted past the index width are lost, and index
+ *    positions no register covers are permanently zero — the source
+ *    of the unreachable coverage points shown in Fig. 6.
+ *
+ *  - Scheme::Optimized — TurboFuzz's replacement: control registers
+ *    are packed sequentially; when the running offset would exceed
+ *    maxStateSize, it rolls back with
+ *        new_offset = (last_offset + W_ctrl) % maxStateSize   (eq. 2)
+ *    so every index bit is covered and no empty states exist.
+ *
+ * When a module's total control width fits inside maxStateSize, both
+ * schemes degenerate to plain concatenation (no information loss), as
+ * in DifuzzRTL.
+ *
+ * The per-module weight shift implements the paper's feedback-bias
+ * fix: the fuzzing system consumes (covered << weightShift) rather
+ * than raw counts, which de-emphasizes mux-heavy arithmetic units.
+ */
+
+#ifndef TURBOFUZZ_COVERAGE_INSTRUMENTATION_HH
+#define TURBOFUZZ_COVERAGE_INSTRUMENTATION_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rtl/module.hh"
+
+namespace turbofuzz::coverage
+{
+
+/** Which §VI instrumentation algorithm to apply. */
+enum class Scheme { Baseline, Optimized };
+
+/** Placement of one control register inside the coverage index. */
+struct Placement
+{
+    uint32_t regIndex; ///< index into the module's register list
+    unsigned offset;   ///< bit offset within the coverage index
+    bool wraps;        ///< true: bits wrap modulo indexBits (eq. 2)
+};
+
+/** Instrumentation of a single module. */
+class ModuleInstrumentation
+{
+  public:
+    /**
+     * @param module          Module to instrument (not owned).
+     * @param scheme          Baseline or Optimized.
+     * @param max_state_size  Maximum index width in bits.
+     * @param seed            Randomization seed (baseline shifts).
+     */
+    ModuleInstrumentation(const rtl::Module *module, Scheme scheme,
+                          unsigned max_state_size, uint64_t seed);
+
+    /** Coverage index from the module's current register values. */
+    uint64_t computeIndex() const;
+
+    /** Width of the index actually used (<= maxStateSize). */
+    unsigned indexBits() const { return idxBits; }
+
+    /** Number of allocated coverage points (2^indexBits). */
+    uint64_t instrumentedPoints() const { return uint64_t{1} << idxBits; }
+
+    const rtl::Module &module() const { return *mod; }
+    const std::vector<Placement> &placements() const { return places; }
+    Scheme scheme() const { return schm; }
+
+    /** Per-module feedback weight shift (positive strengthens). */
+    int weightShift = 0;
+
+  private:
+    const rtl::Module *mod;
+    Scheme schm;
+    unsigned idxBits;
+    std::vector<Placement> places;
+    std::vector<uint32_t> ctrlRegs;
+};
+
+/** Instrumentation of a whole design (one entry per module). */
+class DesignInstrumentation
+{
+  public:
+    /**
+     * Instrument every module in the tree that has at least one
+     * control register.
+     *
+     * @param top             Root of the module tree (not owned).
+     * @param scheme          Baseline or Optimized.
+     * @param max_state_size  Index width cap (13/14/15 in the paper).
+     * @param seed            Randomization seed for baseline shifts.
+     * @param only_modules    If non-empty, restrict instrumentation to
+     *                        these module names (the paper's targeted
+     *                        monitoring option).
+     */
+    DesignInstrumentation(rtl::Module *top, Scheme scheme,
+                          unsigned max_state_size, uint64_t seed,
+                          const std::vector<std::string> &only_modules =
+                              {});
+
+    std::vector<ModuleInstrumentation> &modules() { return mods; }
+    const std::vector<ModuleInstrumentation> &modules() const
+    {
+        return mods;
+    }
+
+    /** Sum of instrumented points over all modules. */
+    uint64_t totalInstrumentedPoints() const;
+
+    /** Set the feedback weight shift for a module by name. */
+    void setWeightShift(const std::string &module_name, int shift);
+
+    unsigned maxStateSize() const { return maxBits; }
+    Scheme scheme() const { return schm; }
+
+  private:
+    Scheme schm;
+    unsigned maxBits;
+    std::vector<ModuleInstrumentation> mods;
+};
+
+} // namespace turbofuzz::coverage
+
+#endif // TURBOFUZZ_COVERAGE_INSTRUMENTATION_HH

@@ -1,0 +1,158 @@
+#include "coverage/reachability.hh"
+
+#include <set>
+
+#include "common/bitutils.hh"
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace turbofuzz::coverage
+{
+
+namespace
+{
+
+/** Map one register value through its placement into the index. */
+uint64_t
+placeValue(uint64_t v, const Placement &p, unsigned idx_bits)
+{
+    const uint64_t m = mask(idx_bits);
+    if (p.wraps) {
+        while (v >> idx_bits)
+            v = (v & m) ^ (v >> idx_bits);
+        const unsigned rot = p.offset % idx_bits;
+        return ((v << rot) | (v >> (idx_bits - rot))) & m;
+    }
+    return (v << p.offset) & m;
+}
+
+} // namespace
+
+ModuleReachability
+analyzeModule(const ModuleInstrumentation &mi,
+              uint64_t enumeration_budget)
+{
+    const rtl::Module &mod = mi.module();
+    const unsigned idx_bits = mi.indexBits();
+
+    // 1. Span of the unconstrained (full-domain) registers: every bit
+    //    of such a register maps to a single index position, so the
+    //    span is exactly the set of covered positions.
+    uint64_t covered_positions = 0;
+    for (const Placement &p : mi.placements()) {
+        const rtl::Register &reg = mod.registers()[p.regIndex];
+        if (!reg.domain.empty())
+            continue;
+        for (unsigned j = 0; j < reg.width; ++j) {
+            const uint64_t unit =
+                placeValue(uint64_t{1} << j, p, idx_bits);
+            covered_positions |= unit;
+        }
+    }
+    const unsigned rank = static_cast<unsigned>(
+        __builtin_popcountll(covered_positions));
+
+    // 2. Enumerate constrained registers' domain product; reduce each
+    //    combination modulo the span (mask off covered positions) and
+    //    count distinct cosets.
+    std::vector<const Placement *> constrained;
+    uint64_t product = 1;
+    for (const Placement &p : mi.placements()) {
+        const rtl::Register &reg = mod.registers()[p.regIndex];
+        if (reg.domain.empty())
+            continue;
+        constrained.push_back(&p);
+        product *= reg.domain.size();
+        if (product > enumeration_budget)
+            break;
+    }
+
+    bool exact = true;
+    std::set<uint64_t> cosets;
+    if (constrained.empty()) {
+        cosets.insert(0);
+    } else if (product <= enumeration_budget) {
+        // Exact enumeration via mixed-radix counting.
+        std::vector<size_t> idx(constrained.size(), 0);
+        for (;;) {
+            uint64_t point = 0;
+            for (size_t i = 0; i < constrained.size(); ++i) {
+                const rtl::Register &reg =
+                    mod.registers()[constrained[i]->regIndex];
+                point ^= placeValue(reg.domain[idx[i]],
+                                    *constrained[i], idx_bits);
+            }
+            cosets.insert(point & ~covered_positions);
+            // Increment mixed-radix counter.
+            size_t d = 0;
+            while (d < idx.size()) {
+                const rtl::Register &reg =
+                    mod.registers()[constrained[d]->regIndex];
+                if (++idx[d] < reg.domain.size())
+                    break;
+                idx[d] = 0;
+                ++d;
+            }
+            if (d == idx.size())
+                break;
+        }
+    } else {
+        // Monte-Carlo lower bound on the coset count.
+        exact = false;
+        Rng rng(0x5eedc0de ^ hashLabel(mod.name()));
+        for (uint64_t s = 0; s < enumeration_budget; ++s) {
+            uint64_t point = 0;
+            for (const Placement *p : constrained) {
+                const rtl::Register &reg =
+                    mod.registers()[p->regIndex];
+                point ^= placeValue(
+                    reg.domain[rng.range(reg.domain.size())], *p,
+                    idx_bits);
+            }
+            cosets.insert(point & ~covered_positions);
+        }
+    }
+
+    ModuleReachability result;
+    result.moduleName = mod.name();
+    result.achievable =
+        static_cast<uint64_t>(cosets.size()) * (uint64_t{1} << rank);
+    // The optimized tool performs this same analysis at
+    // instrumentation time and allocates exactly the reachable set
+    // ("eliminating potential empty states", §VI); the baseline
+    // allocates the full 2^indexBits space.
+    result.instrumented = (mi.scheme() == Scheme::Optimized)
+                              ? result.achievable
+                              : mi.instrumentedPoints();
+    result.exact = exact;
+    TF_ASSERT(result.achievable <= result.instrumented,
+              "module '%s': achievable %llu exceeds instrumented %llu",
+              mod.name().c_str(),
+              static_cast<unsigned long long>(result.achievable),
+              static_cast<unsigned long long>(result.instrumented));
+    return result;
+}
+
+std::vector<ModuleReachability>
+analyzeDesign(const DesignInstrumentation &di,
+              uint64_t enumeration_budget)
+{
+    std::vector<ModuleReachability> out;
+    out.reserve(di.modules().size());
+    for (const auto &mi : di.modules())
+        out.push_back(analyzeModule(mi, enumeration_budget));
+    return out;
+}
+
+DesignReachability
+totals(const std::vector<ModuleReachability> &mods)
+{
+    DesignReachability t;
+    for (const auto &m : mods) {
+        t.instrumented += m.instrumented;
+        t.achievable += m.achievable;
+    }
+    return t;
+}
+
+} // namespace turbofuzz::coverage

@@ -1,0 +1,82 @@
+#include "deepexplore/bbv.hh"
+
+#include "common/logging.hh"
+
+namespace turbofuzz::deepexplore
+{
+
+BenchmarkProfile
+profileBenchmark(const Program &program,
+                 const fuzzer::MemoryLayout &layout,
+                 uint64_t interval_len, uint64_t max_instructions)
+{
+    TF_ASSERT(interval_len >= 16, "interval too short");
+
+    soc::Memory mem;
+    program.load(mem);
+    // Data segment starts zero-filled (deterministic profile).
+
+    core::Iss::Options opts;
+    opts.resetPc = program.entry();
+    core::Iss hart(&mem, opts);
+    hart.addAccessRange(layout.instrBase, layout.instrSize);
+    hart.addAccessRange(layout.dataBase, layout.dataSize);
+
+    BenchmarkProfile profile;
+    IntervalProfile current;
+    current.startState = hart.state();
+    current.startPc = hart.state().pc;
+
+    bool in_block_start = true;
+    uint64_t block_start_pc = hart.state().pc;
+
+    while (profile.totalInstructions < max_instructions) {
+        const core::CommitInfo ci = hart.step();
+        if (ci.trapped) {
+            warn("benchmark '%s' trapped at pc 0x%llx (cause %llu)",
+                 program.name.c_str(),
+                 static_cast<unsigned long long>(ci.pc),
+                 static_cast<unsigned long long>(ci.trapCause));
+            break;
+        }
+
+        if (in_block_start) {
+            block_start_pc = ci.pc;
+            in_block_start = false;
+        }
+        ++profile.totalInstructions;
+        ++current.instrCount;
+
+        const bool block_ends =
+            ci.branchTaken ||
+            (ci.desc != nullptr && ci.desc->isControlFlow());
+        if (block_ends) {
+            ++current.bbv[block_start_pc];
+            in_block_start = true;
+        }
+
+        if (current.instrCount >= interval_len) {
+            if (!in_block_start)
+                ++current.bbv[block_start_pc];
+            profile.intervals.push_back(std::move(current));
+            current = IntervalProfile{};
+            current.startState = hart.state();
+            current.startPc = hart.state().pc;
+            in_block_start = true;
+        }
+
+        if (hart.state().pc >= program.end()) {
+            profile.completed = true;
+            break;
+        }
+    }
+
+    if (current.instrCount > 0) {
+        if (!in_block_start)
+            ++current.bbv[block_start_pc];
+        profile.intervals.push_back(std::move(current));
+    }
+    return profile;
+}
+
+} // namespace turbofuzz::deepexplore

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Basic Block Vector profiling (the SimPoint front end).
+ *
+ * Execution is divided into fixed-length intervals; each interval is
+ * summarized by the execution frequency of every basic block it
+ * touched (keyed by block start PC), giving an architecture-
+ * independent behaviour profile (§V / SimPoint [33]).
+ */
+
+#ifndef TURBOFUZZ_DEEPEXPLORE_BBV_HH
+#define TURBOFUZZ_DEEPEXPLORE_BBV_HH
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "core/arch_state.hh"
+#include "core/iss.hh"
+#include "deepexplore/program_builder.hh"
+#include "fuzzer/context.hh"
+
+namespace turbofuzz::deepexplore
+{
+
+/** Frequency vector of one interval: block start PC -> exec count. */
+using Bbv = std::map<uint64_t, uint32_t>;
+
+/** Profile of one interval. */
+struct IntervalProfile
+{
+    Bbv bbv;
+    core::ArchState startState; ///< context at interval entry
+    uint64_t startPc = 0;
+    uint64_t instrCount = 0;    ///< dynamic instructions (== length,
+                                ///< except the final partial interval)
+};
+
+/** Result of profiling one full benchmark run. */
+struct BenchmarkProfile
+{
+    std::vector<IntervalProfile> intervals;
+    uint64_t totalInstructions = 0;
+    bool completed = false; ///< reached program end before the cap
+};
+
+/**
+ * Execute @p program to completion on a fresh hart, recording one
+ * IntervalProfile per @p interval_len committed instructions.
+ *
+ * @param max_instructions  Safety cap on dynamic length.
+ */
+BenchmarkProfile
+profileBenchmark(const Program &program,
+                 const fuzzer::MemoryLayout &layout,
+                 uint64_t interval_len,
+                 uint64_t max_instructions = 4'000'000);
+
+} // namespace turbofuzz::deepexplore
+
+#endif // TURBOFUZZ_DEEPEXPLORE_BBV_HH

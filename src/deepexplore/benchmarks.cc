@@ -1,0 +1,239 @@
+#include "deepexplore/benchmarks.hh"
+
+#include "isa/csr.hh"
+
+namespace turbofuzz::deepexplore
+{
+
+using isa::Opcode;
+using isa::Operands;
+
+namespace
+{
+
+/** Register conventions inside the kernels. */
+constexpr unsigned rBase = 31;  ///< data segment base
+constexpr unsigned rOuter = 5;  ///< outer loop counter
+constexpr unsigned rInner = 6;  ///< inner loop counter
+constexpr unsigned rAcc = 7;    ///< accumulator
+constexpr unsigned rPtr = 8;    ///< roving pointer
+constexpr unsigned rTmp = 9;
+constexpr unsigned rTmp2 = 10;
+constexpr unsigned rLimit = 11;
+
+Operands
+rOps(unsigned rd, unsigned rs1, unsigned rs2)
+{
+    Operands o;
+    o.rd = static_cast<uint8_t>(rd);
+    o.rs1 = static_cast<uint8_t>(rs1);
+    o.rs2 = static_cast<uint8_t>(rs2);
+    return o;
+}
+
+Operands
+iOps(unsigned rd, unsigned rs1, int64_t imm)
+{
+    Operands o;
+    o.rd = static_cast<uint8_t>(rd);
+    o.rs1 = static_cast<uint8_t>(rs1);
+    o.imm = imm;
+    return o;
+}
+
+Operands
+memOps(unsigned reg, unsigned addr_reg, int64_t offset)
+{
+    Operands o;
+    o.rd = static_cast<uint8_t>(reg);
+    o.rs2 = static_cast<uint8_t>(reg);
+    o.rs1 = static_cast<uint8_t>(addr_reg);
+    o.imm = offset;
+    return o;
+}
+
+/** Shared prologue: data base pointer, counters. */
+void
+prologue(ProgramBuilder &b, const fuzzer::MemoryLayout &layout,
+         uint32_t outer)
+{
+    b.loadImm(rBase, layout.dataBase);
+    b.loadImm(rOuter, outer);
+    b.loadImm(rAcc, 0x12345);
+}
+
+} // namespace
+
+Program
+buildCoremarkLike(const fuzzer::MemoryLayout &layout,
+                  const BenchmarkParams &params)
+{
+    ProgramBuilder b(layout.instrBase);
+    prologue(b, layout, params.outerIterations);
+
+    b.label("outer");
+
+    // Phase 1: linked-list style pointer chase over the data segment
+    // (loads with data-dependent addresses).
+    b.loadImm(rInner, params.innerIterations);
+    b.addi(rPtr, rBase, 0);
+    b.label("list_loop");
+    b.emit(Opcode::Lw, iOps(rTmp, rPtr, 0));
+    b.emit(Opcode::Andi, iOps(rTmp, rTmp, 0x7F8)); // chase within seg
+    b.emit(Opcode::Add, rOps(rPtr, rBase, rTmp));
+    b.emit(Opcode::Add, rOps(rAcc, rAcc, rTmp));
+    b.addi(rInner, rInner, -1);
+    b.branch(Opcode::Bne, rInner, 0, "list_loop");
+
+    // Phase 2: matrix-ish multiply-accumulate (stride-8 loads, mul).
+    b.loadImm(rInner, params.innerIterations);
+    b.addi(rPtr, rBase, 0);
+    b.label("mat_loop");
+    b.emit(Opcode::Ld, iOps(rTmp, rPtr, 0));
+    b.emit(Opcode::Ld, iOps(rTmp2, rPtr, 8));
+    b.emit(Opcode::Mul, rOps(rTmp, rTmp, rTmp2));
+    b.emit(Opcode::Add, rOps(rAcc, rAcc, rTmp));
+    b.addi(rPtr, rPtr, 16);
+    b.addi(rInner, rInner, -1);
+    b.branch(Opcode::Bne, rInner, 0, "mat_loop");
+
+    // Phase 3: CRC/state-machine bit twiddling with branches.
+    b.loadImm(rInner, params.innerIterations * 2);
+    b.label("crc_loop");
+    b.emit(Opcode::Andi, iOps(rTmp, rAcc, 1));
+    b.branch(Opcode::Beq, rTmp, 0, "crc_even");
+    b.emit(Opcode::Srli, iOps(rAcc, rAcc, 1));
+    b.loadImm(rTmp2, 0xEDB88320u);
+    b.emit(Opcode::Xor, rOps(rAcc, rAcc, rTmp2));
+    b.jump(0, "crc_next");
+    b.label("crc_even");
+    b.emit(Opcode::Srli, iOps(rAcc, rAcc, 1));
+    b.label("crc_next");
+    b.addi(rInner, rInner, -1);
+    b.branch(Opcode::Bne, rInner, 0, "crc_loop");
+
+    // Store the phase result; next outer round.
+    b.emit(Opcode::Sd, memOps(rAcc, rBase, 0x100));
+    b.addi(rOuter, rOuter, -1);
+    b.branch(Opcode::Bne, rOuter, 0, "outer");
+    return b.finish("coremark-like");
+}
+
+Program
+buildDhrystoneLike(const fuzzer::MemoryLayout &layout,
+                   const BenchmarkParams &params)
+{
+    ProgramBuilder b(layout.instrBase);
+    prologue(b, layout, params.outerIterations);
+    b.jump(0, "main");
+
+    // Proc1: copy a record (8 double-words) between buffers.
+    b.label("proc1");
+    for (int i = 0; i < 8; ++i) {
+        b.emit(Opcode::Ld, iOps(rTmp, rPtr, 8 * i));
+        b.emit(Opcode::Sd, memOps(rTmp, rPtr, 256 + 8 * i));
+    }
+    Operands ret;
+    ret.rd = 0;
+    ret.rs1 = 1;
+    ret.imm = 0;
+    b.emit(Opcode::Jalr, ret);
+
+    // Proc2: string compare (byte loads until mismatch / limit).
+    b.label("proc2");
+    b.loadImm(rInner, 16);
+    b.addi(rTmp2, rPtr, 64);
+    b.label("strcmp_loop");
+    b.emit(Opcode::Lbu, iOps(rTmp, rPtr, 0));
+    b.emit(Opcode::Lbu, iOps(rLimit, rTmp2, 0));
+    b.branch(Opcode::Bne, rTmp, rLimit, "strcmp_done");
+    b.addi(rPtr, rPtr, 1);
+    b.addi(rTmp2, rTmp2, 1);
+    b.addi(rInner, rInner, -1);
+    b.branch(Opcode::Bne, rInner, 0, "strcmp_loop");
+    b.label("strcmp_done");
+    b.emit(Opcode::Jalr, ret);
+
+    // Main loop: call Proc1/Proc2 alternately with record churn.
+    b.label("main");
+    b.addi(rPtr, rBase, 0);
+    b.jump(1, "proc1"); // jal ra, proc1
+    b.addi(rPtr, rBase, 0);
+    b.jump(1, "proc2");
+    // Record update: conditional field rewrite.
+    b.emit(Opcode::Ld, iOps(rTmp, rBase, 0x80));
+    b.emit(Opcode::Andi, iOps(rTmp2, rTmp, 0xFF));
+    b.branch(Opcode::Beq, rTmp2, 0, "skip_store");
+    b.emit(Opcode::Sd, memOps(rTmp, rBase, 0x88));
+    b.label("skip_store");
+    b.addi(rOuter, rOuter, -1);
+    b.branch(Opcode::Bne, rOuter, 0, "main");
+    return b.finish("dhrystone-like");
+}
+
+Program
+buildMicrobenchLike(const fuzzer::MemoryLayout &layout,
+                    const BenchmarkParams &params)
+{
+    ProgramBuilder b(layout.instrBase);
+    prologue(b, layout, params.outerIterations);
+
+    // FP setup: f1 = 1.5, f2 = 0.75 via integer materialization.
+    b.loadImm(rTmp, 0x3FF8000000000000ull); // 1.5
+    b.emit(Opcode::FmvDX, rOps(1, rTmp, 0));
+    b.loadImm(rTmp, 0x3FE8000000000000ull); // 0.75
+    b.emit(Opcode::FmvDX, rOps(2, rTmp, 0));
+
+    b.label("outer");
+
+    // FP kernel: fused chain fa3 = fa3*f1 + f2, with a periodic
+    // division and compare-driven branch.
+    b.loadImm(rInner, params.innerIterations);
+    b.label("fp_loop");
+    {
+        Operands fma = rOps(3, 3, 1);
+        fma.rs3 = 2;
+        fma.rm = isa::csr::rmRNE;
+        b.emit(Opcode::FmaddD, fma);
+        Operands div = rOps(4, 3, 1);
+        div.rm = isa::csr::rmRNE;
+        b.emit(Opcode::FdivD, div);
+        Operands cmp = rOps(rTmp, 4, 2);
+        b.emit(Opcode::FltD, cmp);
+    }
+    b.branch(Opcode::Beq, rTmp, 0, "fp_skip");
+    b.emit(Opcode::FsgnjxD, rOps(3, 3, 3)); // |fa3|
+    b.label("fp_skip");
+    b.addi(rInner, rInner, -1);
+    b.branch(Opcode::Bne, rInner, 0, "fp_loop");
+
+    // Integer division kernel (divider latency states).
+    b.loadImm(rInner, params.innerIterations);
+    b.loadImm(rTmp2, 0x9E3779B97F4A7C15ull);
+    b.label("div_loop");
+    b.emit(Opcode::Ld, iOps(rTmp, rBase, 0x40));
+    b.emit(Opcode::Or, rOps(rTmp, rTmp, rInner)); // nonzero divisor
+    b.emit(Opcode::Div, rOps(rLimit, rTmp2, rTmp));
+    b.emit(Opcode::Rem, rOps(rTmp2, rTmp2, rTmp));
+    b.emit(Opcode::Add, rOps(rTmp2, rTmp2, rLimit));
+    b.emit(Opcode::Ori, iOps(rTmp2, rTmp2, 1));
+    b.addi(rInner, rInner, -1);
+    b.branch(Opcode::Bne, rInner, 0, "div_loop");
+
+    // Store FP result, loop.
+    b.emit(Opcode::Fsd, memOps(3, rBase, 0x200));
+    b.addi(rOuter, rOuter, -1);
+    b.branch(Opcode::Bne, rOuter, 0, "outer");
+    return b.finish("microbench-like");
+}
+
+std::vector<Program>
+buildAllBenchmarks(const fuzzer::MemoryLayout &layout,
+                   const BenchmarkParams &params)
+{
+    return {buildCoremarkLike(layout, params),
+            buildDhrystoneLike(layout, params),
+            buildMicrobenchLike(layout, params)};
+}
+
+} // namespace turbofuzz::deepexplore

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Synthetic CPU benchmarks (paper-hardware substitution).
+ *
+ * deepExplore's stage 1 samples representative intervals from standard
+ * benchmarks (coremark, dhrystone, microbench). Those binaries are not
+ * available offline, so three synthetic kernels reproduce the property
+ * SimPoint exploits — strongly recurring phase behaviour:
+ *
+ *  - coremark-like: nested integer loops (list/matrix/state-machine
+ *    phases) with data-dependent branches;
+ *  - dhrystone-like: call/return-heavy string and record manipulation
+ *    with stride-1 memory traffic;
+ *  - microbench-like: floating-point and division inner loops.
+ *
+ * Each program is a real RISC-V image that runs on the ISS, contains
+ * tens of thousands of dynamic instructions in a few hundred static
+ * ones, and terminates deterministically.
+ */
+
+#ifndef TURBOFUZZ_DEEPEXPLORE_BENCHMARKS_HH
+#define TURBOFUZZ_DEEPEXPLORE_BENCHMARKS_HH
+
+#include <vector>
+
+#include "deepexplore/program_builder.hh"
+#include "fuzzer/context.hh"
+
+namespace turbofuzz::deepexplore
+{
+
+/** Scale factor: outer-loop trip counts (dynamic length control). */
+struct BenchmarkParams
+{
+    uint32_t outerIterations = 40;
+    uint32_t innerIterations = 24;
+};
+
+/** Build the coremark-like integer kernel. */
+Program buildCoremarkLike(const fuzzer::MemoryLayout &layout,
+                          const BenchmarkParams &params = {});
+
+/** Build the dhrystone-like call/string kernel. */
+Program buildDhrystoneLike(const fuzzer::MemoryLayout &layout,
+                           const BenchmarkParams &params = {});
+
+/** Build the microbench-like FP/division kernel. */
+Program buildMicrobenchLike(const fuzzer::MemoryLayout &layout,
+                            const BenchmarkParams &params = {});
+
+/** All three benchmarks. */
+std::vector<Program>
+buildAllBenchmarks(const fuzzer::MemoryLayout &layout,
+                   const BenchmarkParams &params = {});
+
+} // namespace turbofuzz::deepexplore
+
+#endif // TURBOFUZZ_DEEPEXPLORE_BENCHMARKS_HH

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * The deepExplore hybrid strategy (paper §V).
+ *
+ * Stage 1 (direct): SimPoint-representative intervals extracted from
+ * CPU benchmarks are replayed on the DUT. Each interval runs with
+ * initialization code reconstructing its architectural context (GRF /
+ * FRF / fcsr), so deterministic, structured behaviour reaches design
+ * states random stimulus rarely hits. Intervals whose coverage
+ * increment is significant are *marked*; marked intervals are then
+ * replayed with lightly mutated initialization state (register values
+ * and memory addresses change, the dependency structure does not)
+ * until improvements plateau.
+ *
+ * Stage 2 (fuzzing): marked intervals are decomposed into instruction
+ * blocks and injected as high-quality seeds into the TurboFuzzer
+ * corpus, which then continues with coverage-guided fuzzing.
+ */
+
+#ifndef TURBOFUZZ_DEEPEXPLORE_DEEP_EXPLORE_HH
+#define TURBOFUZZ_DEEPEXPLORE_DEEP_EXPLORE_HH
+
+#include <deque>
+#include <vector>
+
+#include "deepexplore/bbv.hh"
+#include "deepexplore/benchmarks.hh"
+#include "deepexplore/simpoint.hh"
+#include "fuzzer/generator.hh"
+
+namespace turbofuzz::deepexplore
+{
+
+/** deepExplore configuration. */
+struct DeepExploreOptions
+{
+    uint64_t intervalLen = 512;
+    SimPointOptions simpoint;
+
+    /** Coverage increment that marks an interval as significant. */
+    uint64_t markThreshold = 40;
+
+    /** Consecutive non-improving mutation rounds ending stage 1. */
+    uint32_t plateauRounds = 1;
+
+    /** Hard cap on light-mutation rounds (stage-1 time budget). */
+    uint32_t maxMutationRounds = 3;
+
+    /** Static window (instructions) archived per marked interval. */
+    uint32_t seedWindow = 256;
+
+    /** Stage-2 fuzzer configuration. */
+    fuzzer::FuzzerOptions fuzzer;
+};
+
+/**
+ * Plain benchmark execution (no fuzzing): the Fig. 10 baseline and
+ * the substrate deepExplore profiles. Cycles through the given
+ * programs, one full run per iteration.
+ */
+class BenchmarkRunner : public fuzzer::StimulusGenerator
+{
+  public:
+    BenchmarkRunner(std::vector<Program> programs,
+                    fuzzer::MemoryLayout layout);
+
+    fuzzer::IterationInfo generate(soc::Memory &mem) override;
+    void feedback(const fuzzer::IterationInfo &, uint64_t) override {}
+    const fuzzer::MemoryLayout &layout() const override
+    {
+        return memLayout;
+    }
+    bool usesExceptionTemplates() const override { return false; }
+    std::string_view name() const override { return "Benchmark"; }
+
+  private:
+    std::vector<Program> progs;
+    std::vector<uint64_t> dynLength; ///< profiled dynamic lengths
+    fuzzer::MemoryLayout memLayout;
+    size_t cursor = 0;
+    uint64_t iterCounter = 0;
+};
+
+/** The two-stage hybrid generator. */
+class DeepExploreGenerator : public fuzzer::StimulusGenerator
+{
+  public:
+    /**
+     * @param options    Configuration (stage-2 fuzzer opts included).
+     * @param library    Instruction library for stage 2.
+     * @param programs   Benchmarks to sample intervals from.
+     */
+    DeepExploreGenerator(DeepExploreOptions options,
+                         const isa::InstructionLibrary *library,
+                         std::vector<Program> programs);
+
+    fuzzer::IterationInfo generate(soc::Memory &mem) override;
+    void feedback(const fuzzer::IterationInfo &info,
+                  uint64_t cov_increment) override;
+    const fuzzer::MemoryLayout &layout() const override;
+    bool usesExceptionTemplates() const override { return true; }
+    std::string_view name() const override { return "deepExplore"; }
+
+    /** Current stage: 1 = interval replay, 2 = fuzzing. */
+    unsigned stage() const { return inStage2 ? 2 : 1; }
+
+    /** Number of intervals marked as significant so far. */
+    size_t markedCount() const { return marked.size(); }
+
+  private:
+    /** One queued interval replay job. */
+    struct IntervalJob
+    {
+        size_t programIdx;
+        core::ArchState startState;
+        uint64_t startPc;
+        uint64_t length;
+        bool isMutation; ///< light mutation of a marked interval
+        size_t markedIdx; ///< when isMutation: which marked interval
+    };
+
+    /** Emit an interval-replay iteration. */
+    fuzzer::IterationInfo emitInterval(soc::Memory &mem,
+                                       const IntervalJob &job);
+
+    /** Schedule light mutations of all marked intervals. */
+    void scheduleMutationRound();
+
+    /** Decompose marked intervals into corpus seeds; enter stage 2. */
+    void enterStage2();
+
+    DeepExploreOptions opts;
+    fuzzer::TurboFuzzGenerator inner;
+    std::vector<Program> progs;
+    Rng rng;
+
+    std::deque<IntervalJob> queue;
+    std::vector<IntervalJob> marked;
+    std::vector<uint64_t> markedBestIncrement;
+
+    IntervalJob lastJob{};
+    bool lastWasInterval = false;
+    bool inStage2 = false;
+    uint64_t bestRoundIncrement = 0;
+    uint32_t stagnantRounds = 0;
+    uint64_t mutationRound = 0;
+};
+
+} // namespace turbofuzz::deepexplore
+
+#endif // TURBOFUZZ_DEEPEXPLORE_DEEP_EXPLORE_HH

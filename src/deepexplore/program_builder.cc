@@ -1,0 +1,155 @@
+#include "deepexplore/program_builder.hh"
+
+#include "common/bitutils.hh"
+#include "common/logging.hh"
+
+namespace turbofuzz::deepexplore
+{
+
+using isa::Opcode;
+using isa::Operands;
+
+void
+Program::load(soc::Memory &mem) const
+{
+    uint64_t addr = base;
+    for (uint32_t w : code) {
+        mem.write32(addr, w);
+        addr += 4;
+    }
+}
+
+ProgramBuilder::ProgramBuilder(uint64_t base_addr) : base(base_addr)
+{
+    TF_ASSERT(base_addr % 4 == 0, "program base must be aligned");
+}
+
+void
+ProgramBuilder::emit(Opcode op, const Operands &ops)
+{
+    code.push_back(isa::encode(op, ops));
+}
+
+void
+ProgramBuilder::emitWord(uint32_t word)
+{
+    code.push_back(word);
+}
+
+uint64_t
+ProgramBuilder::here() const
+{
+    return base + 4 * code.size();
+}
+
+void
+ProgramBuilder::label(const std::string &name)
+{
+    TF_ASSERT(labels.count(name) == 0, "duplicate label '%s'",
+              name.c_str());
+    labels[name] = here();
+}
+
+void
+ProgramBuilder::branch(Opcode op, unsigned rs1, unsigned rs2,
+                       const std::string &target)
+{
+    Operands o;
+    o.rs1 = static_cast<uint8_t>(rs1);
+    o.rs2 = static_cast<uint8_t>(rs2);
+    fixups.push_back({code.size(), op, o, target});
+    code.push_back(0); // placeholder
+}
+
+void
+ProgramBuilder::jump(unsigned rd, const std::string &target)
+{
+    Operands o;
+    o.rd = static_cast<uint8_t>(rd);
+    fixups.push_back({code.size(), Opcode::Jal, o, target});
+    code.push_back(0);
+}
+
+void
+ProgramBuilder::loadImm(unsigned rd, uint64_t value)
+{
+    // Standard li expansion. Small constants take the short path.
+    const int64_t sval = static_cast<int64_t>(value);
+    if (sval >= -2048 && sval <= 2047) {
+        Operands o;
+        o.rd = static_cast<uint8_t>(rd);
+        o.rs1 = 0;
+        o.imm = sval;
+        emit(Opcode::Addi, o);
+        return;
+    }
+    if (sval == static_cast<int64_t>(static_cast<int32_t>(sval)) &&
+        ((sval + 0x800) >> 12) != 0x80000) {
+        // lui + addi covers sign-extended 32-bit values; the hi part
+        // must itself stay inside lui's signed 20-bit range (values
+        // near +2^31 like 0x7FFFFFFF need the 64-bit path).
+        const int64_t hi = (sval + 0x800) >> 12;
+        const int64_t lo = sval - (hi << 12);
+        Operands u;
+        u.rd = static_cast<uint8_t>(rd);
+        u.imm = hi & 0xFFFFF;
+        emit(Opcode::Lui, u);
+        if (lo != 0) {
+            Operands a;
+            a.rd = static_cast<uint8_t>(rd);
+            a.rs1 = static_cast<uint8_t>(rd);
+            a.imm = lo;
+            emit(Opcode::Addi, a);
+        }
+        return;
+    }
+    // Full 64-bit path (standard li expansion): peel the low 12 bits
+    // as a signed chunk, materialize the remainder recursively, then
+    // shift and add the chunk back. Depth <= 5.
+    const int64_t lo = sext(value & 0xFFF, 12);
+    loadImm(rd, (value - static_cast<uint64_t>(lo)) >> 12);
+    Operands sll;
+    sll.rd = static_cast<uint8_t>(rd);
+    sll.rs1 = static_cast<uint8_t>(rd);
+    sll.imm = 12;
+    emit(Opcode::Slli, sll);
+    if (lo != 0) {
+        Operands a;
+        a.rd = static_cast<uint8_t>(rd);
+        a.rs1 = static_cast<uint8_t>(rd);
+        a.imm = lo;
+        emit(Opcode::Addi, a);
+    }
+}
+
+void
+ProgramBuilder::addi(unsigned rd, unsigned rs1, int64_t imm)
+{
+    Operands o;
+    o.rd = static_cast<uint8_t>(rd);
+    o.rs1 = static_cast<uint8_t>(rs1);
+    o.imm = imm;
+    emit(Opcode::Addi, o);
+}
+
+Program
+ProgramBuilder::finish(const std::string &program_name)
+{
+    for (const Fixup &f : fixups) {
+        auto it = labels.find(f.target);
+        if (it == labels.end())
+            fatal("undefined label '%s'", f.target.c_str());
+        const uint64_t pc = base + 4 * f.index;
+        Operands o = f.ops;
+        o.imm = static_cast<int64_t>(it->second) -
+                static_cast<int64_t>(pc);
+        code[f.index] = isa::encode(f.op, o);
+    }
+    Program p;
+    p.name = program_name;
+    p.base = base;
+    p.code = std::move(code);
+    return p;
+}
+
+} // namespace turbofuzz::deepexplore

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Small assembler for constructing benchmark programs.
+ *
+ * Supports forward label references with back-patching, the standard
+ * li-style 64-bit constant materialization, and loop scaffolding —
+ * enough to express the synthetic coremark/dhrystone/microbench
+ * kernels deepExplore samples from.
+ */
+
+#ifndef TURBOFUZZ_DEEPEXPLORE_PROGRAM_BUILDER_HH
+#define TURBOFUZZ_DEEPEXPLORE_PROGRAM_BUILDER_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "isa/encoding.hh"
+#include "soc/memory.hh"
+
+namespace turbofuzz::deepexplore
+{
+
+/** An assembled program image. */
+struct Program
+{
+    std::string name;
+    uint64_t base = 0;  ///< load address
+    std::vector<uint32_t> code;
+
+    uint64_t entry() const { return base; }
+    uint64_t end() const { return base + 4 * code.size(); }
+
+    /** Copy the image into @p mem. */
+    void load(soc::Memory &mem) const;
+};
+
+/** Incremental program assembler. */
+class ProgramBuilder
+{
+  public:
+    explicit ProgramBuilder(uint64_t base_addr);
+
+    /** Append an encoded instruction. */
+    void emit(isa::Opcode op, const isa::Operands &ops);
+
+    /** Append a raw word. */
+    void emitWord(uint32_t word);
+
+    /** Current emission address. */
+    uint64_t here() const;
+
+    /** Define a label at the current address. */
+    void label(const std::string &name);
+
+    /**
+     * Branch to a label (backward or forward; forward references are
+     * back-patched in finish()).
+     */
+    void branch(isa::Opcode op, unsigned rs1, unsigned rs2,
+                const std::string &target);
+
+    /** jal rd, label. */
+    void jump(unsigned rd, const std::string &target);
+
+    /** Materialize a 64-bit constant into a register (li). */
+    void loadImm(unsigned rd, uint64_t value);
+
+    /** addi shorthand. */
+    void addi(unsigned rd, unsigned rs1, int64_t imm);
+
+    /** Finish assembly: back-patch and return the image. */
+    Program finish(const std::string &program_name);
+
+  private:
+    struct Fixup
+    {
+        size_t index; ///< instruction slot
+        isa::Opcode op;
+        isa::Operands ops;
+        std::string target;
+    };
+
+    uint64_t base;
+    std::vector<uint32_t> code;
+    std::map<std::string, uint64_t> labels;
+    std::vector<Fixup> fixups;
+};
+
+} // namespace turbofuzz::deepexplore
+
+#endif // TURBOFUZZ_DEEPEXPLORE_PROGRAM_BUILDER_HH

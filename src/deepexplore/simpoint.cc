@@ -1,0 +1,167 @@
+#include "deepexplore/simpoint.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace turbofuzz::deepexplore
+{
+
+std::vector<double>
+projectBbv(const Bbv &bbv, unsigned dims)
+{
+    std::vector<double> v(dims, 0.0);
+    double total = 0.0;
+    for (const auto &[pc, count] : bbv)
+        total += count;
+    if (total == 0.0)
+        return v;
+    for (const auto &[pc, count] : bbv) {
+        // Stable hash of the block PC picks the dimension; a second
+        // hash bit gives the sign (sparse random projection).
+        const uint64_t h = pc * 0x9E3779B97F4A7C15ull;
+        const unsigned dim = static_cast<unsigned>(h % dims);
+        const double sign = (h >> 63) ? -1.0 : 1.0;
+        v[dim] += sign * static_cast<double>(count) / total;
+    }
+    return v;
+}
+
+namespace
+{
+
+double
+sqDist(const std::vector<double> &a, const std::vector<double> &b)
+{
+    double s = 0.0;
+    for (size_t i = 0; i < a.size(); ++i) {
+        const double d = a[i] - b[i];
+        s += d * d;
+    }
+    return s;
+}
+
+} // namespace
+
+std::vector<SimPoint>
+selectSimPoints(const std::vector<IntervalProfile> &intervals,
+                const SimPointOptions &options)
+{
+    TF_ASSERT(options.k >= 1, "need k >= 1");
+    const size_t n = intervals.size();
+    std::vector<SimPoint> points;
+    if (n == 0)
+        return points;
+
+    const unsigned k =
+        static_cast<unsigned>(std::min<size_t>(options.k, n));
+
+    std::vector<std::vector<double>> vecs(n);
+    for (size_t i = 0; i < n; ++i)
+        vecs[i] = projectBbv(intervals[i].bbv, options.projectionDims);
+
+    // k-means++-style seeding: spread initial centroids.
+    Rng rng(options.seed);
+    std::vector<std::vector<double>> centroids;
+    centroids.push_back(vecs[rng.range(n)]);
+    while (centroids.size() < k) {
+        std::vector<double> d2(n);
+        double sum = 0.0;
+        for (size_t i = 0; i < n; ++i) {
+            double best = std::numeric_limits<double>::max();
+            for (const auto &c : centroids)
+                best = std::min(best, sqDist(vecs[i], c));
+            d2[i] = best;
+            sum += best;
+        }
+        if (sum <= 0.0) {
+            centroids.push_back(vecs[rng.range(n)]);
+            continue;
+        }
+        double pick = rng.uniform() * sum;
+        size_t chosen = n - 1;
+        for (size_t i = 0; i < n; ++i) {
+            pick -= d2[i];
+            if (pick <= 0.0) {
+                chosen = i;
+                break;
+            }
+        }
+        centroids.push_back(vecs[chosen]);
+    }
+
+    // Lloyd iterations.
+    std::vector<unsigned> assign(n, 0);
+    for (unsigned iter = 0; iter < options.maxKmeansIters; ++iter) {
+        bool changed = false;
+        for (size_t i = 0; i < n; ++i) {
+            unsigned best = 0;
+            double best_d = std::numeric_limits<double>::max();
+            for (unsigned c = 0; c < k; ++c) {
+                const double d = sqDist(vecs[i], centroids[c]);
+                if (d < best_d) {
+                    best_d = d;
+                    best = c;
+                }
+            }
+            if (assign[i] != best) {
+                assign[i] = best;
+                changed = true;
+            }
+        }
+        if (!changed && iter > 0)
+            break;
+        // Recompute centroids.
+        for (unsigned c = 0; c < k; ++c) {
+            std::vector<double> mean(options.projectionDims, 0.0);
+            size_t count = 0;
+            for (size_t i = 0; i < n; ++i) {
+                if (assign[i] != c)
+                    continue;
+                ++count;
+                for (size_t d = 0; d < mean.size(); ++d)
+                    mean[d] += vecs[i][d];
+            }
+            if (count == 0)
+                continue; // keep the old centroid
+            for (double &m : mean)
+                m /= static_cast<double>(count);
+            centroids[c] = std::move(mean);
+        }
+    }
+
+    // Representative per cluster: closest interval to the centroid.
+    for (unsigned c = 0; c < k; ++c) {
+        size_t best_i = SIZE_MAX;
+        double best_d = std::numeric_limits<double>::max();
+        size_t population = 0;
+        for (size_t i = 0; i < n; ++i) {
+            if (assign[i] != c)
+                continue;
+            ++population;
+            const double d = sqDist(vecs[i], centroids[c]);
+            if (d < best_d) {
+                best_d = d;
+                best_i = i;
+            }
+        }
+        if (best_i == SIZE_MAX)
+            continue; // empty cluster
+        SimPoint p;
+        p.intervalIndex = best_i;
+        p.weight = static_cast<double>(population) /
+                   static_cast<double>(n);
+        p.clusterSize = population;
+        points.push_back(p);
+    }
+    std::sort(points.begin(), points.end(),
+              [](const SimPoint &a, const SimPoint &b) {
+                  return a.intervalIndex < b.intervalIndex;
+              });
+    return points;
+}
+
+} // namespace turbofuzz::deepexplore

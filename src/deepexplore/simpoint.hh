@@ -1,0 +1,54 @@
+/**
+ * @file
+ * SimPoint interval selection: random projection + k-means.
+ *
+ * BBVs are projected onto a fixed low-dimensional space (stable
+ * hashing of block PCs), L1-normalized, and clustered with k-means.
+ * Each cluster's representative (the interval closest to the
+ * centroid) becomes a simulation point with weight proportional to
+ * cluster population — exactly the scheme the paper borrows from
+ * SimPoint [33] to extract representative benchmark fragments.
+ */
+
+#ifndef TURBOFUZZ_DEEPEXPLORE_SIMPOINT_HH
+#define TURBOFUZZ_DEEPEXPLORE_SIMPOINT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "deepexplore/bbv.hh"
+
+namespace turbofuzz::deepexplore
+{
+
+/** One chosen simulation point. */
+struct SimPoint
+{
+    size_t intervalIndex; ///< index into the profiled intervals
+    double weight;        ///< cluster population / total intervals
+    size_t clusterSize;
+};
+
+/** Clustering configuration. */
+struct SimPointOptions
+{
+    unsigned k = 6;            ///< clusters (>= 1)
+    unsigned projectionDims = 32;
+    unsigned maxKmeansIters = 50;
+    uint64_t seed = 0x51319;
+};
+
+/** Project a BBV onto the fixed projection space (L1-normalized). */
+std::vector<double> projectBbv(const Bbv &bbv, unsigned dims);
+
+/**
+ * Select representative intervals from a profile.
+ * Fewer intervals than k simply yields one point per interval.
+ */
+std::vector<SimPoint>
+selectSimPoints(const std::vector<IntervalProfile> &intervals,
+                const SimPointOptions &options = {});
+
+} // namespace turbofuzz::deepexplore
+
+#endif // TURBOFUZZ_DEEPEXPLORE_SIMPOINT_HH

@@ -1,0 +1,115 @@
+#include "fuzzer/corpus.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace turbofuzz::fuzzer
+{
+
+Corpus::Corpus(size_t capacity, SchedulingPolicy policy)
+    : cap(capacity), pol(policy)
+{
+    TF_ASSERT(cap >= 1, "corpus capacity must be >= 1");
+    seeds.reserve(cap);
+}
+
+void
+Corpus::addBaseline(Seed seed)
+{
+    seed.insertedAt = nextInsertion++;
+    if (seeds.size() < cap) {
+        seeds.push_back(std::move(seed));
+        return;
+    }
+    // Baselines during (re)initialization replace the oldest entry.
+    auto oldest = std::min_element(
+        seeds.begin(), seeds.end(), [](const Seed &a, const Seed &b) {
+            return a.insertedAt < b.insertedAt;
+        });
+    *oldest = std::move(seed);
+    ++evictCount;
+}
+
+bool
+Corpus::offer(Seed seed, uint64_t cov_increment)
+{
+    seed.coverageIncrement = cov_increment;
+    seed.insertedAt = nextInsertion++;
+
+    if (pol == SchedulingPolicy::CoverageGuided && cov_increment == 0) {
+        // Generation-mode admission: only coverage-improving test
+        // cases enter the corpus.
+        ++rejectCount;
+        return false;
+    }
+
+    if (seeds.size() < cap) {
+        seeds.push_back(std::move(seed));
+        return true;
+    }
+
+    if (pol == SchedulingPolicy::Fifo) {
+        auto oldest = std::min_element(
+            seeds.begin(), seeds.end(),
+            [](const Seed &a, const Seed &b) {
+                return a.insertedAt < b.insertedAt;
+            });
+        *oldest = std::move(seed);
+        ++evictCount;
+        return true;
+    }
+
+    // CoverageGuided: replace the seed with the lowest recorded
+    // coverage improvement, but only when the newcomer beats it.
+    auto weakest = std::min_element(
+        seeds.begin(), seeds.end(), [](const Seed &a, const Seed &b) {
+            return a.coverageIncrement < b.coverageIncrement;
+        });
+    if (weakest->coverageIncrement >= cov_increment) {
+        ++rejectCount;
+        return false;
+    }
+    *weakest = std::move(seed);
+    ++evictCount;
+    return true;
+}
+
+const Seed &
+Corpus::select(Rng &rng, Prob prioritize_prob) const
+{
+    TF_ASSERT(!seeds.empty(), "selecting from an empty corpus");
+    if (pol == SchedulingPolicy::CoverageGuided &&
+        rng.chance(prioritize_prob.num, prioritize_prob.den)) {
+        // Prioritized selection samples the top quartile by recorded
+        // coverage increment, keeping several promising seeds in
+        // rotation instead of starving all but the single best.
+        std::vector<const Seed *> ranked;
+        ranked.reserve(seeds.size());
+        for (const Seed &s : seeds)
+            ranked.push_back(&s);
+        std::sort(ranked.begin(), ranked.end(),
+                  [](const Seed *a, const Seed *b) {
+                      return a->coverageIncrement >
+                             b->coverageIncrement;
+                  });
+        const size_t top =
+            std::max<size_t>(1, ranked.size() / 4);
+        return *ranked[rng.range(top)];
+    }
+    return seeds[rng.range(seeds.size())];
+}
+
+void
+Corpus::updateIncrement(uint64_t seed_id, uint64_t cov_increment)
+{
+    for (Seed &s : seeds) {
+        if (s.id == seed_id) {
+            s.coverageIncrement = cov_increment;
+            return;
+        }
+    }
+    // The seed may have been evicted meanwhile; that is not an error.
+}
+
+} // namespace turbofuzz::fuzzer

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Corpus storage and scheduling (paper §IV-D).
+ *
+ * Two scheduling policies are implemented:
+ *
+ *  - Fifo — the conventional software-fuzzer behaviour: when the
+ *    corpus is full, the oldest seed is evicted regardless of how
+ *    productive it still is.
+ *
+ *  - CoverageGuided — TurboFuzz's optimization: every seed tracks the
+ *    coverage increment it produced when last executed. New seeds are
+ *    admitted only if they improved coverage; at capacity the seed
+ *    with the LOWEST recorded increment is replaced; mutation-mode
+ *    runs refresh the stored increment of the seed they mutated.
+ *
+ * Seed selection for mutation uses the dual-strategy probabilistic
+ * mechanism: with probability 3/4 prioritize the highest-increment
+ * seeds, otherwise select uniformly so archived patterns are not
+ * starved (exploration/exploitation balance).
+ */
+
+#ifndef TURBOFUZZ_FUZZER_CORPUS_HH
+#define TURBOFUZZ_FUZZER_CORPUS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/rng.hh"
+#include "fuzzer/seed.hh"
+
+namespace turbofuzz::fuzzer
+{
+
+/** Corpus scheduling policy. */
+enum class SchedulingPolicy { Fifo, CoverageGuided };
+
+/** The fuzzer's seed archive. */
+class Corpus
+{
+  public:
+    /**
+     * @param capacity  Maximum resident seeds (BRAM budget).
+     * @param policy    Eviction/selection policy.
+     */
+    Corpus(size_t capacity, SchedulingPolicy policy);
+
+    /** Number of resident seeds. */
+    size_t size() const { return seeds.size(); }
+    size_t capacity() const { return cap; }
+    SchedulingPolicy policy() const { return pol; }
+
+    /** Add an initial (baseline) seed, bypassing admission control. */
+    void addBaseline(Seed seed);
+
+    /**
+     * Offer a new seed after an iteration ran.
+     * @param seed           The iteration's blocks.
+     * @param cov_increment  Coverage improvement it achieved.
+     * @return true when the seed was admitted.
+     */
+    bool offer(Seed seed, uint64_t cov_increment);
+
+    /**
+     * Select a seed for the next fuzzing iteration.
+     * @param prioritize_prob  Probability of choosing the
+     *        highest-increment seed instead of a uniform pick
+     *        (paper default 3/4; only meaningful for CoverageGuided).
+     */
+    const Seed &select(Rng &rng, Prob prioritize_prob = {3, 4}) const;
+
+    /**
+     * Mutation-mode feedback: refresh the recorded increment of the
+     * seed that was just mutated and re-run.
+     */
+    void updateIncrement(uint64_t seed_id, uint64_t cov_increment);
+
+    /** Total evictions performed (stats). */
+    uint64_t evictions() const { return evictCount; }
+
+    /** Seeds rejected by admission control (stats). */
+    uint64_t rejections() const { return rejectCount; }
+
+    const std::vector<Seed> &entries() const { return seeds; }
+
+  private:
+    size_t cap;
+    SchedulingPolicy pol;
+    std::vector<Seed> seeds;
+    uint64_t nextInsertion = 0;
+    uint64_t evictCount = 0;
+    uint64_t rejectCount = 0;
+};
+
+} // namespace turbofuzz::fuzzer
+
+#endif // TURBOFUZZ_FUZZER_CORPUS_HH

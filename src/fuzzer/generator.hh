@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Abstract stimulus-generator interface.
+ *
+ * The campaign harness drives any test-generation strategy through
+ * this interface: the TurboFuzzer, the DifuzzRTL-like and
+ * Cascade-like baselines, and the deepExplore benchmark/interval
+ * runners all implement it.
+ */
+
+#ifndef TURBOFUZZ_FUZZER_GENERATOR_HH
+#define TURBOFUZZ_FUZZER_GENERATOR_HH
+
+#include <string_view>
+
+#include "fuzzer/context.hh"
+#include "fuzzer/turbofuzzer.hh"
+#include "soc/memory.hh"
+
+namespace turbofuzz::fuzzer
+{
+
+/** One test-generation strategy. */
+class StimulusGenerator
+{
+  public:
+    virtual ~StimulusGenerator() = default;
+
+    /** Generate the next iteration into @p mem. */
+    virtual IterationInfo generate(soc::Memory &mem) = 0;
+
+    /** Coverage feedback after the iteration ran. */
+    virtual void feedback(const IterationInfo &info,
+                          uint64_t cov_increment) = 0;
+
+    /** Memory layout contract of generated iterations. */
+    virtual const MemoryLayout &layout() const = 0;
+
+    /**
+     * Whether generated code installs resume-style exception
+     * templates. When false, the harness ends the iteration at the
+     * first trap (baseline behaviour).
+     */
+    virtual bool usesExceptionTemplates() const = 0;
+
+    /** Display name. */
+    virtual std::string_view name() const = 0;
+};
+
+/** StimulusGenerator adapter over the TurboFuzzer. */
+class TurboFuzzGenerator : public StimulusGenerator
+{
+  public:
+    TurboFuzzGenerator(FuzzerOptions options,
+                       const isa::InstructionLibrary *library)
+        : fuzzer(options, library)
+    {}
+
+    IterationInfo
+    generate(soc::Memory &mem) override
+    {
+        return fuzzer.generateIteration(mem);
+    }
+
+    void
+    feedback(const IterationInfo &info, uint64_t cov_increment) override
+    {
+        fuzzer.reportResult(info, cov_increment);
+    }
+
+    const MemoryLayout &
+    layout() const override
+    {
+        return fuzzer.options().layout;
+    }
+
+    bool usesExceptionTemplates() const override { return true; }
+    std::string_view name() const override { return "TurboFuzz"; }
+
+    TurboFuzzer &underlying() { return fuzzer; }
+
+  private:
+    TurboFuzzer fuzzer;
+};
+
+} // namespace turbofuzz::fuzzer
+
+#endif // TURBOFUZZ_FUZZER_GENERATOR_HH

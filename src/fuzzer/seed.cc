@@ -1,0 +1,53 @@
+#include "fuzzer/seed.hh"
+
+#include "common/logging.hh"
+#include "soc/snapshot.hh"
+
+namespace turbofuzz::fuzzer
+{
+
+std::vector<uint8_t>
+Seed::serialize() const
+{
+    soc::SnapshotWriter w;
+    w.putU64(id);
+    w.putU64(coverageIncrement);
+    w.putU64(insertedAt);
+    w.putU32(static_cast<uint32_t>(blocks.size()));
+    for (const SeedBlock &b : blocks) {
+        w.putU32(static_cast<uint32_t>(b.insns.size()));
+        for (uint32_t insn : b.insns)
+            w.putU32(insn);
+        w.putU32(b.primeIdx);
+        w.putU8(b.isControlFlow ? 1 : 0);
+        w.putU32(static_cast<uint32_t>(b.targetBlock));
+        w.putU32(b.position);
+    }
+    return w.takeBuffer();
+}
+
+Seed
+Seed::deserialize(const std::vector<uint8_t> &bytes)
+{
+    soc::SnapshotReader r(bytes);
+    Seed s;
+    s.id = r.getU64();
+    s.coverageIncrement = r.getU64();
+    s.insertedAt = r.getU64();
+    const uint32_t nblocks = r.getU32();
+    s.blocks.resize(nblocks);
+    for (SeedBlock &b : s.blocks) {
+        const uint32_t ninsns = r.getU32();
+        b.insns.resize(ninsns);
+        for (uint32_t &insn : b.insns)
+            insn = r.getU32();
+        b.primeIdx = r.getU32();
+        b.isControlFlow = r.getU8() != 0;
+        b.targetBlock = static_cast<int32_t>(r.getU32());
+        b.position = r.getU32();
+    }
+    TF_ASSERT(r.exhausted(), "trailing bytes in serialized seed");
+    return s;
+}
+
+} // namespace turbofuzz::fuzzer

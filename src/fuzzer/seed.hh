@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Seeds and instruction blocks (paper §IV-A).
+ *
+ * An *instruction block* is the generation unit: a mandatory prime
+ * instruction plus optional affiliated instructions that establish
+ * its prerequisites (address materialization, alignment masking, ...).
+ *
+ * A *seed* stores one archived iteration's blocks together with the
+ * metadata the mutation engine needs: each block records its position
+ * in the iteration, its control-flow status and its branch-target
+ * block index, enabling precise pattern reproduction while keeping
+ * architectural context (the paper's "stimulus entry" layout).
+ */
+
+#ifndef TURBOFUZZ_FUZZER_SEED_HH
+#define TURBOFUZZ_FUZZER_SEED_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace turbofuzz::fuzzer
+{
+
+/** One instruction block inside a seed or generated iteration. */
+struct SeedBlock
+{
+    /** Prime + affiliated instruction words, in program order. */
+    std::vector<uint32_t> insns;
+
+    /** Index of the prime instruction within insns. */
+    uint32_t primeIdx = 0;
+
+    /** Whether the prime is a branch/jump. */
+    bool isControlFlow = false;
+
+    /**
+     * For control-flow blocks: index of the target block within the
+     * iteration, or -1 when the target is fall-through/unassigned.
+     */
+    int32_t targetBlock = -1;
+
+    /** Position of this block within its original iteration. */
+    uint32_t position = 0;
+
+    uint32_t instrCount() const
+    {
+        return static_cast<uint32_t>(insns.size());
+    }
+};
+
+/** An archived stimulus with scheduling metadata. */
+struct Seed
+{
+    uint64_t id = 0;
+    std::vector<SeedBlock> blocks;
+
+    /**
+     * Coverage improvement recorded when this seed last ran
+     * (the corpus-scheduling priority signal, §IV-D).
+     */
+    uint64_t coverageIncrement = 0;
+
+    /** Monotone counter of corpus insertion (FIFO age). */
+    uint64_t insertedAt = 0;
+
+    uint32_t
+    totalInstrs() const
+    {
+        uint32_t n = 0;
+        for (const auto &b : blocks)
+            n += b.instrCount();
+        return n;
+    }
+
+    /** Serialize to the byte layout used for BRAM/DDR storage. */
+    std::vector<uint8_t> serialize() const;
+
+    /** Rebuild from serialize() output. */
+    static Seed deserialize(const std::vector<uint8_t> &bytes);
+};
+
+} // namespace turbofuzz::fuzzer
+
+#endif // TURBOFUZZ_FUZZER_SEED_HH

@@ -1,0 +1,349 @@
+#include "fuzzer/turbofuzzer.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "fuzzer/exception_templates.hh"
+#include "isa/csr.hh"
+#include "isa/encoding.hh"
+
+namespace turbofuzz::fuzzer
+{
+
+using isa::Opcode;
+using isa::Operands;
+
+TurboFuzzer::TurboFuzzer(FuzzerOptions options,
+                         const isa::InstructionLibrary *library)
+    : opts(options), lib(library),
+      builder(options.layout, library, options.genProbs),
+      seedCorpus(options.corpusCapacity, options.scheduling),
+      ctx(options.layout), rng(options.seed),
+      dataLfsr(64, options.seed ^ 0xDA7A)
+{
+    TF_ASSERT(opts.instrsPerIteration >= 8,
+              "iteration size too small");
+}
+
+std::vector<SeedBlock>
+TurboFuzzer::chooseBlocks(uint64_t &parent_seed_id)
+{
+    std::vector<SeedBlock> blocks;
+    parent_seed_id = 0;
+
+    const Seed *seed = nullptr;
+    if (seedCorpus.size() > 0) {
+        const Seed &s = seedCorpus.select(rng, opts.corpusPrioritize);
+        if (!s.blocks.empty()) {
+            seed = &s;
+            parent_seed_id = s.id;
+        }
+    }
+
+    uint64_t emitted = 0;
+    size_t cursor = 0;
+    while (emitted < opts.instrsPerIteration) {
+        const bool mutate =
+            seed != nullptr &&
+            rng.chance(opts.mutationMode.num, opts.mutationMode.den);
+        if (mutate) {
+            const uint64_t r = rng.range(16);
+            if (r < opts.mutGenSixteenths) {
+                // Generation: insert a fresh random block here.
+                blocks.push_back(builder.buildRandomBlock(rng));
+            } else if (r < opts.mutGenSixteenths +
+                               opts.mutDelSixteenths) {
+                // Deletion: skip the seed block (elimination flag).
+                cursor = (cursor + 1) % seed->blocks.size();
+                continue;
+            } else {
+                // Retention: keep the block, optionally mutating the
+                // prime's operands; original jump target preserved
+                // for the fix-up pass to validate.
+                SeedBlock kept = seed->blocks[cursor];
+                cursor = (cursor + 1) % seed->blocks.size();
+                if (rng.chance(opts.retainMutate.num,
+                               opts.retainMutate.den)) {
+                    builder.mutateOperands(kept, rng);
+                }
+                blocks.push_back(std::move(kept));
+            }
+        } else {
+            blocks.push_back(builder.buildRandomBlock(rng));
+            if (seed)
+                cursor = (cursor + 1) % seed->blocks.size();
+        }
+        blocks.back().position =
+            static_cast<uint32_t>(blocks.size() - 1);
+        emitted += blocks.back().instrCount();
+    }
+    return blocks;
+}
+
+void
+TurboFuzzer::fixupControlFlow(std::vector<SeedBlock> &blocks,
+                              const std::vector<uint64_t> &block_addrs)
+{
+    const auto nblocks = static_cast<int64_t>(blocks.size());
+    for (int64_t i = 0; i < nblocks; ++i) {
+        SeedBlock &b = blocks[i];
+        if (!b.isControlFlow)
+            continue;
+
+        uint32_t &word = b.insns[b.primeIdx];
+        const isa::Decoded dec = isa::decode(word);
+        TF_ASSERT(dec.valid, "control-flow prime no longer decodes");
+
+        // Jump-target selection against the global address table.
+        int64_t target = -1;
+        if (b.targetBlock >= 0 && b.targetBlock < nblocks &&
+            b.targetBlock != i) {
+            // Retained block whose target still exists: preserve it.
+            target = b.targetBlock;
+        } else if (opts.controlFlowOpt) {
+            // Range-limited targets, biased forward so loops stay
+            // the exception rather than the rule.
+            const bool backward =
+                i > 0 && rng.chance(opts.backwardJump.num,
+                                    opts.backwardJump.den);
+            int64_t lo, hi;
+            if (backward) {
+                lo = std::max<int64_t>(0, i - opts.jumpRangeBlocks);
+                hi = i - 1;
+            } else {
+                lo = std::min<int64_t>(nblocks - 1, i + 1);
+                hi = std::min<int64_t>(nblocks - 1,
+                                       i + opts.jumpRangeBlocks);
+            }
+            target = lo + static_cast<int64_t>(
+                              rng.range(static_cast<uint64_t>(
+                                  hi - lo + 1)));
+            if (target == i)
+                target = (i + 1 < nblocks) ? i + 1 : std::max<int64_t>(
+                                                         0, i - 1);
+        } else {
+            // Unconstrained forward jumps: uniform over [i+1, L-1]
+            // (the eq. 1 regime responsible for instruction skipping).
+            if (i + 1 >= nblocks)
+                target = i; // degenerate tail: self keeps decode legal
+            else
+                target = i + 1 +
+                         static_cast<int64_t>(rng.range(
+                             static_cast<uint64_t>(nblocks - 1 - i)));
+        }
+        b.targetBlock = static_cast<int32_t>(target);
+
+        const uint64_t prime_addr =
+            block_addrs[i] + 4ull * b.primeIdx;
+        int64_t delta = static_cast<int64_t>(block_addrs[target]) -
+                        static_cast<int64_t>(prime_addr);
+
+        Operands o = dec.ops;
+        if (dec.desc->has(isa::FlagBranch)) {
+            // B format reaches +-4 KiB; clamp far targets to the
+            // nearest representable block in the chosen direction.
+            while ((delta < -4096 || delta > 4094) && target != i) {
+                target += (target > i) ? -1 : 1;
+                delta = static_cast<int64_t>(block_addrs[target]) -
+                        static_cast<int64_t>(prime_addr);
+            }
+            b.targetBlock = static_cast<int32_t>(target);
+            o.imm = delta;
+            word = isa::encode(dec.op, o);
+        } else if (dec.desc->has(isa::FlagJal)) {
+            TF_ASSERT(delta >= -(1 << 20) && delta < (1 << 20),
+                      "jal target out of range");
+            o.imm = delta;
+            word = isa::encode(dec.op, o);
+        } else if (b.primeIdx < 2) {
+            // An indirect jump without the staged auipc/addi pair
+            // (e.g. a benchmark-derived return consumed as a seed):
+            // retarget it as a direct jump so control flow stays on
+            // block boundaries.
+            Operands j;
+            j.rd = dec.ops.rd;
+            j.imm = delta;
+            if (delta >= -(1 << 20) && delta < (1 << 20))
+                word = isa::encode(Opcode::Jal, j);
+        } else {
+            // jalr: patch the staged auipc/addi pair.
+            const uint64_t auipc_addr =
+                block_addrs[i] + 4ull * (b.primeIdx - 2);
+            const int64_t pcrel =
+                static_cast<int64_t>(block_addrs[target]) -
+                static_cast<int64_t>(auipc_addr);
+            int64_t hi, lo;
+            pcrelHiLo(pcrel, hi, lo);
+            Operands hi_ops;
+            hi_ops.rd = MemoryLayout::regScratch;
+            hi_ops.imm = hi & 0xFFFFF;
+            b.insns[b.primeIdx - 2] =
+                isa::encode(Opcode::Auipc, hi_ops);
+            Operands lo_ops;
+            lo_ops.rd = MemoryLayout::regScratch;
+            lo_ops.rs1 = MemoryLayout::regScratch;
+            lo_ops.imm = lo;
+            b.insns[b.primeIdx - 1] =
+                isa::encode(Opcode::Addi, lo_ops);
+        }
+    }
+}
+
+IterationInfo
+TurboFuzzer::generateIteration(soc::Memory &mem)
+{
+    const MemoryLayout &lay = opts.layout;
+    ctx.beginIteration();
+
+    IterationInfo info;
+    info.iterationIndex = iterCounter++;
+    info.entryPc = lay.instrBase;
+
+    // 1. Exception templates (execution guarantee).
+    ExceptionTemplates::install(mem, lay);
+
+    // 2. Data segment fill from a uniquely-seeded LFSR (§IV-C),
+    //    salted with special FP values (zeros, infinities, NaNs,
+    //    denormals — boxed single and double variants) so that FP
+    //    corner-operand combinations are reachable. Purely random
+    //    64-bit patterns essentially never decode to +-0.0 or inf.
+    static constexpr uint64_t fpSpecials[] = {
+        0x0000000000000000ull,         // +0.0
+        0x8000000000000000ull,         // -0.0
+        0x7FF0000000000000ull,         // +inf
+        0xFFF0000000000000ull,         // -inf
+        0x7FF8000000000000ull,         // qNaN
+        0x0000000000000001ull,         // smallest denormal
+        0x3FF0000000000000ull,         // 1.0
+        0xFFFFFFFF00000000ull,         // boxed +0.0f
+        0xFFFFFFFF80000000ull,         // boxed -0.0f
+        0xFFFFFFFF7F800000ull,         // boxed +inf f
+        0xFFFFFFFFFF800000ull,         // boxed -inf f
+        0xFFFFFFFF7FC00000ull,         // boxed qNaN f
+        0xFFFFFFFF00000001ull,         // boxed denormal f
+        0xFFFFFFFF3F800000ull,         // boxed 1.0f
+        0x7FEFFFFFFFFFFFFFull,         // DBL_MAX
+        0xFFFFFFFF7F7FFFFFull,         // boxed FLT_MAX
+    };
+    dataLfsr.reseed(opts.seed ^ (info.iterationIndex + 1));
+    for (uint64_t off = 0; off < lay.dataSize; off += 8) {
+        uint64_t word = dataLfsr.stepBits(64);
+        if ((word & 0x7) == 0) { // ~1/8 of words carry a special
+            word = fpSpecials[(word >> 3) %
+                              (sizeof(fpSpecials) / 8)];
+        }
+        mem.write64(lay.dataBase + off, word);
+    }
+
+    // 3. Preamble: x31 = dataBase; mtvec = handler; FP register file
+    //    seeded from the iteration's LFSR data (so FP operand classes
+    //    vary per iteration instead of starting at all-zero).
+    std::vector<uint32_t> preamble;
+    {
+        Operands o;
+        o.rd = MemoryLayout::regDataBase;
+        o.imm = static_cast<int64_t>(lay.dataBase >> 12);
+        preamble.push_back(isa::encode(Opcode::Lui, o));
+        Operands h;
+        h.rd = MemoryLayout::regScratch;
+        h.imm = static_cast<int64_t>(lay.handlerBase >> 12);
+        preamble.push_back(isa::encode(Opcode::Lui, h));
+        Operands w;
+        w.rd = 0;
+        w.rs1 = MemoryLayout::regScratch;
+        w.csr = isa::csr::mtvec;
+        preamble.push_back(isa::encode(Opcode::Csrrw, w));
+        for (unsigned f = 0; f < 32; ++f) {
+            Operands ld;
+            ld.rd = static_cast<uint8_t>(f);
+            ld.rs1 = MemoryLayout::regDataBase;
+            ld.imm = static_cast<int64_t>(8 * f);
+            preamble.push_back(isa::encode(Opcode::Fld, ld));
+        }
+    }
+    // Bootstrap boilerplate (software-flow register/CSR init model):
+    // lui/addi pairs materializing values into every register, padded
+    // with context churn, executed before the fuzzing region. The
+    // routine is NON-randomized (identical every iteration), like the
+    // setup code the paper describes — it contributes coverage once
+    // and then only costs execution time.
+    if (opts.bootstrapInstrs > 0) {
+        Rng boot_rng(hashLabel("bootstrap") ^ opts.seed);
+        for (uint32_t i = 0; i < opts.bootstrapInstrs; ++i) {
+            Operands o;
+            o.rd = static_cast<uint8_t>(1 + (i % 28));
+            if (i % 2 == 0) {
+                o.imm = static_cast<int64_t>(boot_rng.range(1 << 20));
+                preamble.push_back(isa::encode(Opcode::Lui, o));
+            } else {
+                o.rs1 = o.rd;
+                o.imm = static_cast<int64_t>(boot_rng.range(4096)) -
+                        2048;
+                preamble.push_back(isa::encode(Opcode::Addi, o));
+            }
+        }
+    }
+
+    uint64_t addr = lay.instrBase;
+    for (uint32_t insn : preamble) {
+        mem.write32(addr, insn);
+        addr += 4;
+    }
+    info.firstBlockPc = addr;
+
+    // 4. Choose the iteration's blocks (direct + mutation modes).
+    info.blocks = chooseBlocks(info.parentSeedId);
+
+    // 5. Lay out blocks, recording the global address table.
+    std::vector<uint64_t> block_addrs;
+    block_addrs.reserve(info.blocks.size());
+    for (SeedBlock &b : info.blocks) {
+        if (!ctx.hasRoom(b.instrCount() +
+                         static_cast<uint32_t>(preamble.size()))) {
+            warn("instruction segment full; truncating iteration");
+            info.blocks.resize(block_addrs.size());
+            break;
+        }
+        block_addrs.push_back(addr);
+        ctx.recordBlock(addr, b.instrCount());
+        addr += 4ull * b.instrCount();
+        info.generatedInstrs += b.instrCount();
+    }
+
+    // 6. Control-flow fix-up + operand rebinding, then commit.
+    fixupControlFlow(info.blocks, block_addrs);
+    for (size_t i = 0; i < info.blocks.size(); ++i) {
+        uint64_t a = block_addrs[i];
+        for (uint32_t insn : info.blocks[i].insns) {
+            mem.write32(a, insn);
+            a += 4;
+        }
+    }
+    ctx.finalize();
+    info.codeBoundary = ctx.codeBoundary();
+    return info;
+}
+
+void
+TurboFuzzer::reportResult(const IterationInfo &info,
+                          uint64_t cov_increment)
+{
+    // Mutation-mode feedback: refresh the parent's increment.
+    if (info.parentSeedId != 0)
+        seedCorpus.updateIncrement(info.parentSeedId, cov_increment);
+
+    // Generation-mode admission: archive the iteration as a seed.
+    Seed s;
+    s.id = nextSeedId++;
+    s.blocks = info.blocks;
+    seedCorpus.offer(std::move(s), cov_increment);
+}
+
+void
+TurboFuzzer::addSeed(Seed seed)
+{
+    seed.id = nextSeedId++;
+    seedCorpus.addBaseline(std::move(seed));
+}
+
+} // namespace turbofuzz::fuzzer

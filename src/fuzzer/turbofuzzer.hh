@@ -1,0 +1,154 @@
+/**
+ * @file
+ * The TurboFuzzer (paper §IV): the synthesizable hardware fuzzer's
+ * behavioural model. One generateIteration() call corresponds to one
+ * pass of the on-fabric generation pipeline: seed selection, per-
+ * transition direct/mutation mode choice, instruction-block
+ * construction, control-flow fix-up against the global address table,
+ * unified operand assignment, and commitment of the iteration into
+ * the DDR instruction segment.
+ */
+
+#ifndef TURBOFUZZ_FUZZER_TURBOFUZZER_HH
+#define TURBOFUZZ_FUZZER_TURBOFUZZER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/lfsr.hh"
+#include "common/rng.hh"
+#include "fuzzer/block_builder.hh"
+#include "fuzzer/context.hh"
+#include "fuzzer/corpus.hh"
+#include "fuzzer/seed.hh"
+#include "isa/instruction_library.hh"
+#include "soc/memory.hh"
+
+namespace turbofuzz::fuzzer
+{
+
+/** Configuration of the fuzzer (paper defaults). */
+struct FuzzerOptions
+{
+    /** Target instructions per iteration (paper: 4000; §IV-C). */
+    uint32_t instrsPerIteration = 4000;
+
+    /** P(mutation mode) per state transition; direct otherwise. */
+    Prob mutationMode{7, 16};
+
+    /** Mutation-engine operation mix over 16ths: generate/delete/
+     *  retain = 3/16, 11/16, 2/16. */
+    uint32_t mutGenSixteenths = 3;
+    uint32_t mutDelSixteenths = 11;
+
+    /** P(prioritize high-increment seed) in corpus selection. */
+    Prob corpusPrioritize{3, 4};
+
+    /** P(apply operand mutation to a retained block). */
+    Prob retainMutate{1, 2};
+
+    /** Control-flow jump-range limitation (§IV-C). */
+    bool controlFlowOpt = true;
+    uint32_t jumpRangeBlocks = 8;
+
+    /** Corpus capacity and scheduling policy (§IV-D). */
+    size_t corpusCapacity = 64;
+    SchedulingPolicy scheduling = SchedulingPolicy::CoverageGuided;
+
+    /**
+     * Boilerplate instructions executed before the fuzzing region on
+     * every iteration. The on-fabric TurboFuzzer keeps architectural
+     * context alive in hardware, so it needs none; software flows
+     * like DifuzzRTL regenerate register/CSR/memory init routines per
+     * iteration (hundreds of instructions), which is what drags
+     * their prevalence below 0.2 (Fig. 4/8). The on-fabric fuzzer
+     * still needs a short context-sync sequence (~120 instructions),
+     * matching its measured prevalence of ~0.97.
+     */
+    uint32_t bootstrapInstrs = 120;
+
+    /** P(backward target) for generated control flow; forward bias
+     *  keeps accidental tight loops rare. */
+    Prob backwardJump{1, 8};
+
+    /** Campaign RNG seed. */
+    uint64_t seed = 1;
+
+    /** Memory layout contract. */
+    MemoryLayout layout;
+
+    /** Generation probabilities. */
+    GenProbs genProbs;
+};
+
+/** Description of one generated iteration. */
+struct IterationInfo
+{
+    uint64_t iterationIndex = 0;
+    uint64_t parentSeedId = 0;  ///< 0 = pure direct generation
+    std::vector<SeedBlock> blocks;
+    uint32_t generatedInstrs = 0; ///< fuzzing instruction words
+    uint64_t entryPc = 0;         ///< preamble start
+    uint64_t firstBlockPc = 0;    ///< fuzzing region start
+    uint64_t codeBoundary = 0;    ///< end of generated code
+
+    /**
+     * End of the fuzzing region for prevalence accounting; 0 means
+     * the region extends to codeBoundary (generators with teardown
+     * code set this to exclude it).
+     */
+    uint64_t fuzzRegionEnd = 0;
+};
+
+/** The fuzzer core. */
+class TurboFuzzer
+{
+  public:
+    TurboFuzzer(FuzzerOptions options,
+                const isa::InstructionLibrary *library);
+
+    /**
+     * Generate the next iteration and commit it (preamble, handler,
+     * blocks, LFSR data fill) into @p mem.
+     */
+    IterationInfo generateIteration(soc::Memory &mem);
+
+    /**
+     * Feedback after the iteration ran on the DUT: archive it as a
+     * seed when it improved coverage and refresh its parent's
+     * recorded increment (§IV-D).
+     */
+    void reportResult(const IterationInfo &info,
+                      uint64_t cov_increment);
+
+    /** Inject a pre-built seed (deepExplore stage-1 output). */
+    void addSeed(Seed seed);
+
+    Corpus &corpus() { return seedCorpus; }
+    const FuzzerOptions &options() const { return opts; }
+
+    uint64_t iterationsGenerated() const { return iterCounter; }
+
+  private:
+    /** Choose blocks for the iteration (direct + mutation modes). */
+    std::vector<SeedBlock> chooseBlocks(uint64_t &parent_seed_id);
+
+    /** Assign control-flow targets and patch instruction words. */
+    void fixupControlFlow(std::vector<SeedBlock> &blocks,
+                          const std::vector<uint64_t> &block_addrs);
+
+    FuzzerOptions opts;
+    const isa::InstructionLibrary *lib;
+    BlockBuilder builder;
+    Corpus seedCorpus;
+    FuzzContext ctx;
+    Rng rng;
+    FibonacciLfsr dataLfsr;
+    uint64_t iterCounter = 0;
+    uint64_t nextSeedId = 1;
+};
+
+} // namespace turbofuzz::fuzzer
+
+#endif // TURBOFUZZ_FUZZER_TURBOFUZZER_HH

@@ -1,0 +1,170 @@
+#include "harness/campaign.hh"
+
+#include "common/logging.hh"
+
+namespace turbofuzz::harness
+{
+
+isa::InstructionLibrary
+makeDefaultLibrary()
+{
+    isa::InstructionLibrary lib;
+    lib.exclude(isa::Opcode::Mret);
+    lib.setExtWeight(isa::Ext::System, 0.1);
+    return lib;
+}
+
+Campaign::Campaign(CampaignOptions options,
+                   std::unique_ptr<fuzzer::StimulusGenerator> generator)
+    : opts(std::move(options)), gen(std::move(generator)),
+      checker_(opts.checkMode)
+{
+    TF_ASSERT(gen != nullptr, "campaign requires a generator");
+
+    core::Iss::Options dut_opts;
+    dut_opts.bugs = opts.bugs;
+    dut_opts.rv64aEnabled = opts.rv64aEnabled;
+    dut_opts.resetPc = gen->layout().instrBase;
+    dutCore = std::make_unique<core::Iss>(&dutMem, dut_opts);
+
+    core::Iss::Options ref_opts;
+    ref_opts.rv64aEnabled = opts.rv64aEnabled;
+    ref_opts.resetPc = gen->layout().instrBase;
+    refCore = std::make_unique<core::Iss>(&refMem, ref_opts);
+
+    // Accessible ranges: instruction segment, data segment, handler.
+    const fuzzer::MemoryLayout &lay = gen->layout();
+    for (core::Iss *c : {dutCore.get(), refCore.get()}) {
+        c->addAccessRange(lay.instrBase, lay.instrSize);
+        c->addAccessRange(lay.dataBase, lay.dataSize);
+        c->addAccessRange(lay.handlerBase, 4096);
+    }
+
+    design = rtl::buildCore(opts.coreKind);
+    driver = std::make_unique<rtl::EventDriver>(design.get());
+    instr = std::make_unique<coverage::DesignInstrumentation>(
+        design.get(), opts.covScheme, opts.maxStateSize, opts.seed);
+    covMap = std::make_unique<coverage::CoverageMap>(instr.get());
+
+    plat = std::make_unique<soc::Platform>(opts.timing, &clock);
+}
+
+IterationResult
+Campaign::runIteration()
+{
+    const fuzzer::MemoryLayout &lay = gen->layout();
+    IterationResult result;
+
+    if (!startupCharged) {
+        plat->chargeStartup();
+        startupCharged = true;
+    }
+
+    // 1. Test generation (into the DUT memory), mirrored to the REF.
+    const fuzzer::IterationInfo info = gen->generate(dutMem);
+    refMem = dutMem;
+    result.generated = info.generatedInstrs;
+
+    // 2. Reset both harts to the iteration entry.
+    dutCore->reset(info.entryPc);
+    refCore->reset(info.entryPc);
+
+    const uint64_t step_cap =
+        static_cast<uint64_t>(opts.stepCapFactor *
+                              static_cast<double>(
+                                  info.generatedInstrs)) +
+        opts.stepCapSlack;
+
+    // 3. Lockstep execution with coverage collection and checking.
+    const bool resume_traps = gen->usesExceptionTemplates();
+    const uint64_t fuzz_end =
+        info.fuzzRegionEnd ? info.fuzzRegionEnd : info.codeBoundary;
+    while (true) {
+        const core::CommitInfo dc = dutCore->step();
+        const core::CommitInfo rc = refCore->step();
+
+        driver->onCommit(dc);
+        result.newCoverage += covMap->record();
+        ++result.executedTotal;
+        if (dc.pc >= info.firstBlockPc && dc.pc < fuzz_end)
+            ++result.executedFuzz;
+        if (opts.commitObserver)
+            opts.commitObserver(dc);
+        if (dc.trapped)
+            ++result.traps;
+
+        if (opts.checkMode ==
+            checker::DiffChecker::Mode::PerInstruction) {
+            if (auto mm = checker_.compare(dc, rc)) {
+                result.mismatch = true;
+                if (!mismatchInfo) {
+                    mismatchInfo = *mm;
+                    snapshot = checker::captureMismatchSnapshot(
+                        *mm, *dutCore, *refCore, clock.seconds());
+                }
+                break;
+            }
+        }
+
+        const uint64_t pc = dutCore->state().pc;
+        if (pc >= info.codeBoundary && pc < lay.handlerBase)
+            break; // clean end of iteration
+        if (dc.trapped && !resume_traps)
+            break; // baseline: first trap ends the iteration
+        if (result.traps > opts.trapStormLimit)
+            break; // unresolvable exception storm
+        if (result.executedTotal >= step_cap)
+            break; // runaway loop protection
+    }
+
+    // 4. Coarse end-of-iteration checking (baseline mode).
+    if (!result.mismatch &&
+        opts.checkMode == checker::DiffChecker::Mode::EndOfIteration) {
+        if (auto mm = checker_.compareFinalState(dutCore->state(),
+                                                 refCore->state())) {
+            result.mismatch = true;
+            if (!mismatchInfo) {
+                mismatchInfo = *mm;
+                snapshot = checker::captureMismatchSnapshot(
+                    *mm, *dutCore, *refCore, clock.seconds());
+            }
+        }
+    }
+
+    // 5. Coverage feedback to the generator (corpus update).
+    gen->feedback(info, result.newCoverage);
+
+    // 6. Simulated-time accounting.
+    plat->chargeIteration(result.generated, result.executedTotal);
+
+    ++iterCount;
+    executedTotal += result.executedTotal;
+    executedFuzzTotal += result.executedFuzz;
+    generatedTotal += result.generated;
+    return result;
+}
+
+TimeSeries
+Campaign::run(double budget_sec)
+{
+    TimeSeries series(std::string(gen->name()));
+    while (clock.seconds() < budget_sec) {
+        const IterationResult r = runIteration();
+        series.record(clock.seconds(),
+                      static_cast<double>(covMap->totalCovered()));
+        if (r.mismatch && opts.stopOnMismatch)
+            break;
+    }
+    return series;
+}
+
+double
+Campaign::prevalence() const
+{
+    return executedTotal
+               ? static_cast<double>(executedFuzzTotal) /
+                     static_cast<double>(executedTotal)
+               : 0.0;
+}
+
+} // namespace turbofuzz::harness

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Fuzzing campaign harness: the end-to-end verification loop.
+ *
+ * One Campaign wires together everything the paper's Fig. 2 shows on
+ * the FPGA board: a stimulus generator, the DUT core (with injected
+ * bugs) and its golden reference, the structural RTL model driven by
+ * commit events, coverage instrumentation + map, the differential
+ * checker, and the platform timing model that charges simulated time
+ * for every loop stage.
+ */
+
+#ifndef TURBOFUZZ_HARNESS_CAMPAIGN_HH
+#define TURBOFUZZ_HARNESS_CAMPAIGN_HH
+
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "checker/diff_checker.hh"
+#include "common/sim_clock.hh"
+#include "common/stats.hh"
+#include "core/bugs.hh"
+#include "core/iss.hh"
+#include "coverage/coverage_map.hh"
+#include "coverage/instrumentation.hh"
+#include "fuzzer/generator.hh"
+#include "rtl/cores.hh"
+#include "rtl/driver.hh"
+#include "soc/platform.hh"
+
+namespace turbofuzz::harness
+{
+
+/** Campaign configuration. */
+struct CampaignOptions
+{
+    core::CoreKind coreKind = core::CoreKind::Rocket;
+    core::BugSet bugs;
+    bool rv64aEnabled = true;
+
+    coverage::Scheme covScheme = coverage::Scheme::Optimized;
+    unsigned maxStateSize = 15;
+
+    checker::DiffChecker::Mode checkMode =
+        checker::DiffChecker::Mode::PerInstruction;
+
+    soc::TimingProfile timing;
+
+    uint64_t seed = 1;
+    bool stopOnMismatch = false;
+
+    /** Iteration abort: executed > capFactor * generated + capSlack.
+     *  Calibrated so a 4,000-instruction iteration retires ~4,122
+     *  instructions (Table I's executed/iteration). */
+    double stepCapFactor = 1.0;
+    uint64_t stepCapSlack = 128;
+
+    /** Iteration abort: too many traps (unresolvable situation). */
+    uint32_t trapStormLimit = 400;
+
+    /**
+     * Optional per-commit observer (DUT commits), e.g. for the
+     * instruction-mix analyses of Fig. 4. Leave empty for speed.
+     */
+    std::function<void(const core::CommitInfo &)> commitObserver;
+};
+
+/**
+ * The instruction library configuration the benches and examples
+ * share: the full RV64 IMAFD+Zicsr set, with mret reserved for the
+ * exception templates and the System category down-weighted so trap
+ * handling does not dominate iteration time.
+ */
+isa::InstructionLibrary makeDefaultLibrary();
+
+/** Per-iteration outcome. */
+struct IterationResult
+{
+    uint64_t generated = 0;
+    uint64_t executedTotal = 0;
+    uint64_t executedFuzz = 0; ///< commits inside the fuzzing region
+    uint64_t newCoverage = 0;
+    uint64_t traps = 0;
+    bool mismatch = false;
+};
+
+/** A full campaign instance. */
+class Campaign
+{
+  public:
+    Campaign(CampaignOptions options,
+             std::unique_ptr<fuzzer::StimulusGenerator> generator);
+
+    /** Generate + execute + check + feed back one iteration. */
+    IterationResult runIteration();
+
+    /**
+     * Run until the simulated budget expires (or the first mismatch
+     * when stopOnMismatch). Coverage samples are appended to the
+     * returned series (time = simulated seconds).
+     */
+    TimeSeries run(double budget_sec);
+
+    // --- observers ---------------------------------------------------
+    const coverage::CoverageMap &coverageMap() const { return *covMap; }
+    soc::Platform &platform() { return *plat; }
+    double nowSec() const { return clock.seconds(); }
+
+    uint64_t iterations() const { return iterCount; }
+    uint64_t executedInstructions() const { return executedTotal; }
+    uint64_t generatedInstructions() const { return generatedTotal; }
+
+    /** Campaign-wide prevalence (Fig. 8 metric). */
+    double prevalence() const;
+
+    const std::optional<checker::Mismatch> &firstMismatch() const
+    {
+        return mismatchInfo;
+    }
+    const soc::Snapshot &mismatchSnapshot() const { return snapshot; }
+
+    fuzzer::StimulusGenerator &generator() { return *gen; }
+    core::Iss &dut() { return *dutCore; }
+    core::Iss &ref() { return *refCore; }
+    coverage::DesignInstrumentation &instrumentation()
+    {
+        return *instr;
+    }
+    rtl::EventDriver &eventDriver() { return *driver; }
+
+  private:
+    CampaignOptions opts;
+    std::unique_ptr<fuzzer::StimulusGenerator> gen;
+
+    soc::Memory dutMem;
+    soc::Memory refMem;
+    std::unique_ptr<core::Iss> dutCore;
+    std::unique_ptr<core::Iss> refCore;
+
+    std::unique_ptr<rtl::Module> design;
+    std::unique_ptr<rtl::EventDriver> driver;
+    std::unique_ptr<coverage::DesignInstrumentation> instr;
+    std::unique_ptr<coverage::CoverageMap> covMap;
+
+    checker::DiffChecker checker_;
+    SimClock clock;
+    std::unique_ptr<soc::Platform> plat;
+
+    uint64_t iterCount = 0;
+    uint64_t executedTotal = 0;
+    uint64_t executedFuzzTotal = 0;
+    uint64_t generatedTotal = 0;
+    bool startupCharged = false;
+
+    std::optional<checker::Mismatch> mismatchInfo;
+    soc::Snapshot snapshot;
+};
+
+} // namespace turbofuzz::harness
+
+#endif // TURBOFUZZ_HARNESS_CAMPAIGN_HH

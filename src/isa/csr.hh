@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Control and Status Register addresses and field layouts.
+ *
+ * Only the CSRs the TurboFuzz loop interacts with are modelled; any
+ * other address raises an illegal-instruction exception, which the
+ * fuzzer's exception templates then handle.
+ */
+
+#ifndef TURBOFUZZ_ISA_CSR_HH
+#define TURBOFUZZ_ISA_CSR_HH
+
+#include <cstdint>
+
+namespace turbofuzz::isa::csr
+{
+
+// User floating point.
+constexpr uint16_t fflags = 0x001;
+constexpr uint16_t frm = 0x002;
+constexpr uint16_t fcsr = 0x003;
+
+// Supervisor trap handling (exercised by bug C7: stval read mismatch).
+constexpr uint16_t sscratch = 0x140;
+constexpr uint16_t sepc = 0x141;
+constexpr uint16_t scause = 0x142;
+constexpr uint16_t stval = 0x143;
+
+// Machine information / trap handling.
+constexpr uint16_t mstatus = 0x300;
+constexpr uint16_t misa = 0x301;
+constexpr uint16_t mtvec = 0x305;
+constexpr uint16_t mscratch = 0x340;
+constexpr uint16_t mepc = 0x341;
+constexpr uint16_t mcause = 0x342;
+constexpr uint16_t mtval = 0x343;
+constexpr uint16_t mhartid = 0xF14;
+
+// Counters.
+constexpr uint16_t mcycle = 0xB00;
+constexpr uint16_t minstret = 0xB02;
+constexpr uint16_t cycle = 0xC00;
+constexpr uint16_t instret = 0xC02;
+
+// mstatus fields.
+constexpr uint64_t mstatusFsShift = 13;
+constexpr uint64_t mstatusFsMask = 0x3ull << mstatusFsShift;
+constexpr uint64_t mstatusFsOff = 0;
+constexpr uint64_t mstatusFsInitial = 1;
+constexpr uint64_t mstatusFsClean = 2;
+constexpr uint64_t mstatusFsDirty = 3;
+
+// fflags bits.
+constexpr uint64_t flagNX = 1 << 0; ///< inexact
+constexpr uint64_t flagUF = 1 << 1; ///< underflow
+constexpr uint64_t flagOF = 1 << 2; ///< overflow
+constexpr uint64_t flagDZ = 1 << 3; ///< divide by zero
+constexpr uint64_t flagNV = 1 << 4; ///< invalid operation
+
+// Rounding modes (frm values).
+constexpr uint8_t rmRNE = 0;
+constexpr uint8_t rmRTZ = 1;
+constexpr uint8_t rmRDN = 2;
+constexpr uint8_t rmRUP = 3;
+constexpr uint8_t rmRMM = 4;
+constexpr uint8_t rmDYN = 7; ///< instruction rm field: use frm
+
+// Trap causes.
+constexpr uint64_t causeMisalignedFetch = 0;
+constexpr uint64_t causeIllegalInstruction = 2;
+constexpr uint64_t causeBreakpoint = 3;
+constexpr uint64_t causeMisalignedLoad = 4;
+constexpr uint64_t causeLoadAccessFault = 5;
+constexpr uint64_t causeMisalignedStore = 6;
+constexpr uint64_t causeStoreAccessFault = 7;
+constexpr uint64_t causeEcallM = 11;
+
+} // namespace turbofuzz::isa::csr
+
+#endif // TURBOFUZZ_ISA_CSR_HH

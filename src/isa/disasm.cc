@@ -1,0 +1,148 @@
+#include "isa/disasm.hh"
+
+#include <array>
+#include <cstdio>
+
+#include "isa/encoding.hh"
+#include "isa/opcodes.hh"
+
+namespace turbofuzz::isa
+{
+
+namespace
+{
+constexpr std::array<const char *, 32> intNames = {
+    "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2",
+    "s0", "s1", "a0", "a1", "a2", "a3", "a4", "a5",
+    "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7",
+    "s8", "s9", "s10", "s11", "t3", "t4", "t5", "t6",
+};
+
+constexpr std::array<const char *, 32> fpNames = {
+    "ft0", "ft1", "ft2", "ft3", "ft4", "ft5", "ft6", "ft7",
+    "fs0", "fs1", "fa0", "fa1", "fa2", "fa3", "fa4", "fa5",
+    "fa6", "fa7", "fs2", "fs3", "fs4", "fs5", "fs6", "fs7",
+    "fs8", "fs9", "fs10", "fs11", "ft8", "ft9", "ft10", "ft11",
+};
+} // namespace
+
+std::string
+regName(unsigned x)
+{
+    return intNames[x & 0x1F];
+}
+
+std::string
+fpRegName(unsigned f)
+{
+    return fpNames[f & 0x1F];
+}
+
+std::string
+disassemble(uint32_t insn)
+{
+    const Decoded d = decode(insn);
+    if (!d.valid) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), ".word 0x%08x", insn);
+        return buf;
+    }
+
+    const InstrDesc &desc = *d.desc;
+    const Operands &o = d.ops;
+    const std::string mn(desc.mnemonic);
+
+    auto rdn = [&]() {
+        return desc.has(FlagFpRd) ? fpRegName(o.rd) : regName(o.rd);
+    };
+    auto rs1n = [&]() {
+        return desc.has(FlagFpRs1) ? fpRegName(o.rs1) : regName(o.rs1);
+    };
+    auto rs2n = [&]() {
+        return desc.has(FlagFpRs2) ? fpRegName(o.rs2) : regName(o.rs2);
+    };
+
+    char buf[96];
+    switch (desc.fmt) {
+      case Format::R:
+      case Format::FpR:
+      case Format::FpCmp:
+        if (desc.rs2Field >= 0) {
+            std::snprintf(buf, sizeof(buf), "%s %s, %s", mn.c_str(),
+                          rdn().c_str(), rs1n().c_str());
+        } else {
+            std::snprintf(buf, sizeof(buf), "%s %s, %s, %s", mn.c_str(),
+                          rdn().c_str(), rs1n().c_str(), rs2n().c_str());
+        }
+        break;
+      case Format::R4:
+        std::snprintf(buf, sizeof(buf), "%s %s, %s, %s, %s", mn.c_str(),
+                      fpRegName(o.rd).c_str(), rs1n().c_str(),
+                      rs2n().c_str(), fpRegName(o.rs3).c_str());
+        break;
+      case Format::FpR2:
+        std::snprintf(buf, sizeof(buf), "%s %s, %s", mn.c_str(),
+                      rdn().c_str(), rs1n().c_str());
+        break;
+      case Format::I:
+        if (desc.has(FlagLoad)) {
+            std::snprintf(buf, sizeof(buf), "%s %s, %lld(%s)", mn.c_str(),
+                          rdn().c_str(), static_cast<long long>(o.imm),
+                          regName(o.rs1).c_str());
+        } else {
+            std::snprintf(buf, sizeof(buf), "%s %s, %s, %lld", mn.c_str(),
+                          rdn().c_str(), rs1n().c_str(),
+                          static_cast<long long>(o.imm));
+        }
+        break;
+      case Format::IShift:
+      case Format::IShiftW:
+        std::snprintf(buf, sizeof(buf), "%s %s, %s, %lld", mn.c_str(),
+                      regName(o.rd).c_str(), regName(o.rs1).c_str(),
+                      static_cast<long long>(o.imm));
+        break;
+      case Format::S:
+        std::snprintf(buf, sizeof(buf), "%s %s, %lld(%s)", mn.c_str(),
+                      rs2n().c_str(), static_cast<long long>(o.imm),
+                      regName(o.rs1).c_str());
+        break;
+      case Format::B:
+        std::snprintf(buf, sizeof(buf), "%s %s, %s, %lld", mn.c_str(),
+                      regName(o.rs1).c_str(), regName(o.rs2).c_str(),
+                      static_cast<long long>(o.imm));
+        break;
+      case Format::U:
+        std::snprintf(buf, sizeof(buf), "%s %s, 0x%llx", mn.c_str(),
+                      regName(o.rd).c_str(),
+                      static_cast<unsigned long long>(o.imm));
+        break;
+      case Format::J:
+        std::snprintf(buf, sizeof(buf), "%s %s, %lld", mn.c_str(),
+                      regName(o.rd).c_str(), static_cast<long long>(o.imm));
+        break;
+      case Format::Amo:
+        std::snprintf(buf, sizeof(buf), "%s %s, %s, (%s)", mn.c_str(),
+                      regName(o.rd).c_str(), regName(o.rs2).c_str(),
+                      regName(o.rs1).c_str());
+        break;
+      case Format::Csr:
+        std::snprintf(buf, sizeof(buf), "%s %s, 0x%x, %s", mn.c_str(),
+                      regName(o.rd).c_str(), o.csr,
+                      regName(o.rs1).c_str());
+        break;
+      case Format::CsrI:
+        std::snprintf(buf, sizeof(buf), "%s %s, 0x%x, %lld", mn.c_str(),
+                      regName(o.rd).c_str(), o.csr,
+                      static_cast<long long>(o.imm));
+        break;
+      case Format::Sys:
+        std::snprintf(buf, sizeof(buf), "%s", mn.c_str());
+        break;
+      default:
+        std::snprintf(buf, sizeof(buf), "%s", mn.c_str());
+        break;
+    }
+    return buf;
+}
+
+} // namespace turbofuzz::isa

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Minimal RISC-V disassembler for debug output and bug reports.
+ */
+
+#ifndef TURBOFUZZ_ISA_DISASM_HH
+#define TURBOFUZZ_ISA_DISASM_HH
+
+#include <cstdint>
+#include <string>
+
+namespace turbofuzz::isa
+{
+
+/** Disassemble one 32-bit instruction word. */
+std::string disassemble(uint32_t insn);
+
+/** ABI name of integer register @p x ("zero", "ra", "sp", ...). */
+std::string regName(unsigned x);
+
+/** ABI name of FP register @p f ("ft0", "fa0", ...). */
+std::string fpRegName(unsigned f);
+
+} // namespace turbofuzz::isa
+
+#endif // TURBOFUZZ_ISA_DISASM_HH

@@ -1,0 +1,104 @@
+#include "isa/instruction_library.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace turbofuzz::isa
+{
+
+InstructionLibrary::InstructionLibrary()
+    : excluded(numOpcodes(), false)
+{
+    enabled.fill(true);
+    weights.fill(1.0);
+}
+
+void
+InstructionLibrary::setExtEnabled(Ext ext, bool on)
+{
+    enabled[static_cast<size_t>(ext)] = on;
+    dirty = true;
+}
+
+bool
+InstructionLibrary::extEnabled(Ext ext) const
+{
+    return enabled[static_cast<size_t>(ext)];
+}
+
+void
+InstructionLibrary::exclude(Opcode op)
+{
+    excluded[static_cast<size_t>(op)] = true;
+    dirty = true;
+}
+
+void
+InstructionLibrary::include(Opcode op)
+{
+    excluded[static_cast<size_t>(op)] = false;
+    dirty = true;
+}
+
+void
+InstructionLibrary::setExtWeight(Ext ext, double weight)
+{
+    TF_ASSERT(weight >= 0.0, "negative library weight");
+    weights[static_cast<size_t>(ext)] = weight;
+    dirty = true;
+}
+
+void
+InstructionLibrary::rebuild() const
+{
+    activeOps.clear();
+    cumWeights.clear();
+    double acc = 0.0;
+    for (const auto &d : allDescs()) {
+        if (!enabled[static_cast<size_t>(d.ext)])
+            continue;
+        if (excluded[static_cast<size_t>(d.op)])
+            continue;
+        const double w = weights[static_cast<size_t>(d.ext)];
+        if (w <= 0.0)
+            continue;
+        activeOps.push_back(d.op);
+        acc += w;
+        cumWeights.push_back(acc);
+    }
+    dirty = false;
+}
+
+const std::vector<Opcode> &
+InstructionLibrary::active() const
+{
+    if (dirty)
+        rebuild();
+    return activeOps;
+}
+
+Opcode
+InstructionLibrary::pick(Rng &rng) const
+{
+    if (dirty)
+        rebuild();
+    TF_ASSERT(!activeOps.empty(), "instruction library is empty");
+    const double total = cumWeights.back();
+    const double r = rng.uniform() * total;
+    const auto it =
+        std::upper_bound(cumWeights.begin(), cumWeights.end(), r);
+    const size_t idx = static_cast<size_t>(it - cumWeights.begin());
+    return activeOps[std::min(idx, activeOps.size() - 1)];
+}
+
+bool
+InstructionLibrary::contains(Opcode op) const
+{
+    if (dirty)
+        rebuild();
+    return std::find(activeOps.begin(), activeOps.end(), op) !=
+           activeOps.end();
+}
+
+} // namespace turbofuzz::isa

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * The TurboFuzzer's configurable instruction library.
+ *
+ * Mirrors the paper's "dynamically configurable repository that
+ * contains the complete RISC-V instruction set" (§IV-B2): individual
+ * instruction subsets (I, M, F, A, Zicsr, ...) are organized into
+ * categories that can be activated or deactivated through the VIO-style
+ * configuration interface, and the library can be extended or replaced
+ * to track future ISA changes.
+ */
+
+#ifndef TURBOFUZZ_ISA_INSTRUCTION_LIBRARY_HH
+#define TURBOFUZZ_ISA_INSTRUCTION_LIBRARY_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+#include "isa/opcodes.hh"
+
+namespace turbofuzz::isa
+{
+
+/**
+ * A filtered, weighted view over the opcode table from which the
+ * fuzzer's random generation module draws prime instructions.
+ */
+class InstructionLibrary
+{
+  public:
+    /** Construct with every extension category enabled. */
+    InstructionLibrary();
+
+    /** Enable or disable an extension category (VIO toggle). */
+    void setExtEnabled(Ext ext, bool enabled);
+
+    /** Whether a category is currently enabled. */
+    bool extEnabled(Ext ext) const;
+
+    /**
+     * Exclude a single opcode even when its category is enabled
+     * (e.g. disallow ecall in pure random streams).
+     */
+    void exclude(Opcode op);
+
+    /** Remove a previous exclusion. */
+    void include(Opcode op);
+
+    /**
+     * Relative selection weight for a category; default 1.0. The
+     * generator biases prime-instruction selection by these weights,
+     * mirroring how the hardware library packs categories into LFSR
+     * decode ranges.
+     */
+    void setExtWeight(Ext ext, double weight);
+
+    /** Currently selectable opcodes (rebuilt lazily on change). */
+    const std::vector<Opcode> &active() const;
+
+    /** Draw a random opcode honoring enables, exclusions and weights. */
+    Opcode pick(Rng &rng) const;
+
+    /** Number of currently selectable opcodes. */
+    size_t activeCount() const { return active().size(); }
+
+    /** True if @p op is currently selectable. */
+    bool contains(Opcode op) const;
+
+  private:
+    void rebuild() const;
+
+    std::array<bool, static_cast<size_t>(Ext::NumExts)> enabled;
+    std::array<double, static_cast<size_t>(Ext::NumExts)> weights;
+    std::vector<bool> excluded;
+
+    mutable bool dirty = true;
+    mutable std::vector<Opcode> activeOps;
+    mutable std::vector<double> cumWeights;
+};
+
+} // namespace turbofuzz::isa
+
+#endif // TURBOFUZZ_ISA_INSTRUCTION_LIBRARY_HH

@@ -1,0 +1,366 @@
+#include "isa/opcodes.hh"
+
+#include <array>
+
+#include "common/logging.hh"
+
+namespace turbofuzz::isa
+{
+
+namespace
+{
+
+// Shorthand flag bundles for table readability.
+constexpr uint32_t RD = FlagWritesRd;
+constexpr uint32_t R1 = FlagReadsRs1;
+constexpr uint32_t R2 = FlagReadsRs2;
+constexpr uint32_t R3 = FlagReadsRs3;
+constexpr uint32_t FRD = FlagFpRd;
+constexpr uint32_t FR1 = FlagFpRs1;
+constexpr uint32_t FR2 = FlagFpRs2;
+constexpr uint32_t FR3 = FlagFpRs3;
+constexpr uint32_t RM = FlagHasRm;
+constexpr uint32_t FP = FlagFp;
+constexpr uint32_t DBL = FlagDouble;
+constexpr uint32_t W = FlagWordOp;
+
+/** Row builder keeping the table compact. */
+constexpr InstrDesc
+row(Opcode op, std::string_view mn, Ext ext, Format fmt, uint32_t op7,
+    int32_t f3, int32_t f7, int32_t rs2f, uint32_t flags)
+{
+    return InstrDesc{op, mn, ext, fmt, op7, f3, f7, rs2f, flags};
+}
+
+const std::vector<InstrDesc> &
+buildTable()
+{
+    using enum Opcode;
+    using F = Format;
+    static const std::vector<InstrDesc> table = {
+        // --- RV64I -----------------------------------------------------
+        row(Lui,   "lui",   Ext::I, F::U, 0x37, -1, -1, -1, RD),
+        row(Auipc, "auipc", Ext::I, F::U, 0x17, -1, -1, -1, RD),
+        row(Jal,   "jal",   Ext::I, F::J, 0x6F, -1, -1, -1, RD | FlagJal),
+        row(Jalr,  "jalr",  Ext::I, F::I, 0x67, 0, -1, -1,
+            RD | R1 | FlagJalr),
+        row(Beq,  "beq",  Ext::I, F::B, 0x63, 0, -1, -1, R1|R2|FlagBranch),
+        row(Bne,  "bne",  Ext::I, F::B, 0x63, 1, -1, -1, R1|R2|FlagBranch),
+        row(Blt,  "blt",  Ext::I, F::B, 0x63, 4, -1, -1, R1|R2|FlagBranch),
+        row(Bge,  "bge",  Ext::I, F::B, 0x63, 5, -1, -1, R1|R2|FlagBranch),
+        row(Bltu, "bltu", Ext::I, F::B, 0x63, 6, -1, -1, R1|R2|FlagBranch),
+        row(Bgeu, "bgeu", Ext::I, F::B, 0x63, 7, -1, -1, R1|R2|FlagBranch),
+        row(Lb,  "lb",  Ext::I, F::I, 0x03, 0, -1, -1, RD|R1|FlagLoad),
+        row(Lh,  "lh",  Ext::I, F::I, 0x03, 1, -1, -1, RD|R1|FlagLoad),
+        row(Lw,  "lw",  Ext::I, F::I, 0x03, 2, -1, -1, RD|R1|FlagLoad),
+        row(Lbu, "lbu", Ext::I, F::I, 0x03, 4, -1, -1, RD|R1|FlagLoad),
+        row(Lhu, "lhu", Ext::I, F::I, 0x03, 5, -1, -1, RD|R1|FlagLoad),
+        row(Lwu, "lwu", Ext::I, F::I, 0x03, 6, -1, -1, RD|R1|FlagLoad),
+        row(Ld,  "ld",  Ext::I, F::I, 0x03, 3, -1, -1, RD|R1|FlagLoad),
+        row(Sb, "sb", Ext::I, F::S, 0x23, 0, -1, -1, R1|R2|FlagStore),
+        row(Sh, "sh", Ext::I, F::S, 0x23, 1, -1, -1, R1|R2|FlagStore),
+        row(Sw, "sw", Ext::I, F::S, 0x23, 2, -1, -1, R1|R2|FlagStore),
+        row(Sd, "sd", Ext::I, F::S, 0x23, 3, -1, -1, R1|R2|FlagStore),
+        row(Addi,  "addi",  Ext::I, F::I, 0x13, 0, -1, -1, RD|R1),
+        row(Slti,  "slti",  Ext::I, F::I, 0x13, 2, -1, -1, RD|R1),
+        row(Sltiu, "sltiu", Ext::I, F::I, 0x13, 3, -1, -1, RD|R1),
+        row(Xori,  "xori",  Ext::I, F::I, 0x13, 4, -1, -1, RD|R1),
+        row(Ori,   "ori",   Ext::I, F::I, 0x13, 6, -1, -1, RD|R1),
+        row(Andi,  "andi",  Ext::I, F::I, 0x13, 7, -1, -1, RD|R1),
+        row(Slli, "slli", Ext::I, F::IShift, 0x13, 1, 0x00, -1, RD|R1),
+        row(Srli, "srli", Ext::I, F::IShift, 0x13, 5, 0x00, -1, RD|R1),
+        row(Srai, "srai", Ext::I, F::IShift, 0x13, 5, 0x20, -1, RD|R1),
+        row(Add,  "add",  Ext::I, F::R, 0x33, 0, 0x00, -1, RD|R1|R2),
+        row(Sub,  "sub",  Ext::I, F::R, 0x33, 0, 0x20, -1, RD|R1|R2),
+        row(Sll,  "sll",  Ext::I, F::R, 0x33, 1, 0x00, -1, RD|R1|R2),
+        row(Slt,  "slt",  Ext::I, F::R, 0x33, 2, 0x00, -1, RD|R1|R2),
+        row(Sltu, "sltu", Ext::I, F::R, 0x33, 3, 0x00, -1, RD|R1|R2),
+        row(Xor,  "xor",  Ext::I, F::R, 0x33, 4, 0x00, -1, RD|R1|R2),
+        row(Srl,  "srl",  Ext::I, F::R, 0x33, 5, 0x00, -1, RD|R1|R2),
+        row(Sra,  "sra",  Ext::I, F::R, 0x33, 5, 0x20, -1, RD|R1|R2),
+        row(Or,   "or",   Ext::I, F::R, 0x33, 6, 0x00, -1, RD|R1|R2),
+        row(And,  "and",  Ext::I, F::R, 0x33, 7, 0x00, -1, RD|R1|R2),
+        row(Addiw, "addiw", Ext::I, F::I, 0x1B, 0, -1, -1, RD|R1|W),
+        row(Slliw, "slliw", Ext::I, F::IShiftW, 0x1B, 1, 0x00, -1,
+            RD|R1|W),
+        row(Srliw, "srliw", Ext::I, F::IShiftW, 0x1B, 5, 0x00, -1,
+            RD|R1|W),
+        row(Sraiw, "sraiw", Ext::I, F::IShiftW, 0x1B, 5, 0x20, -1,
+            RD|R1|W),
+        row(Addw, "addw", Ext::I, F::R, 0x3B, 0, 0x00, -1, RD|R1|R2|W),
+        row(Subw, "subw", Ext::I, F::R, 0x3B, 0, 0x20, -1, RD|R1|R2|W),
+        row(Sllw, "sllw", Ext::I, F::R, 0x3B, 1, 0x00, -1, RD|R1|R2|W),
+        row(Srlw, "srlw", Ext::I, F::R, 0x3B, 5, 0x00, -1, RD|R1|R2|W),
+        row(Sraw, "sraw", Ext::I, F::R, 0x3B, 5, 0x20, -1, RD|R1|R2|W),
+        row(Fence,  "fence",  Ext::System, F::Sys, 0x0F, 0, -1, -1,
+            FlagSystem),
+        row(Ecall,  "ecall",  Ext::System, F::Sys, 0x73, 0, -1, 0,
+            FlagSystem),
+        row(Ebreak, "ebreak", Ext::System, F::Sys, 0x73, 0, -1, 1,
+            FlagSystem),
+        row(Mret, "mret", Ext::System, F::Sys, 0x73, 0, -1, 0x302,
+            FlagSystem),
+        // --- RV64M -----------------------------------------------------
+        row(Mul,    "mul",    Ext::M, F::R, 0x33, 0, 0x01, -1,
+            RD|R1|R2|FlagMulDiv),
+        row(Mulh,   "mulh",   Ext::M, F::R, 0x33, 1, 0x01, -1,
+            RD|R1|R2|FlagMulDiv),
+        row(Mulhsu, "mulhsu", Ext::M, F::R, 0x33, 2, 0x01, -1,
+            RD|R1|R2|FlagMulDiv),
+        row(Mulhu,  "mulhu",  Ext::M, F::R, 0x33, 3, 0x01, -1,
+            RD|R1|R2|FlagMulDiv),
+        row(Div,    "div",    Ext::M, F::R, 0x33, 4, 0x01, -1,
+            RD|R1|R2|FlagMulDiv),
+        row(Divu,   "divu",   Ext::M, F::R, 0x33, 5, 0x01, -1,
+            RD|R1|R2|FlagMulDiv),
+        row(Rem,    "rem",    Ext::M, F::R, 0x33, 6, 0x01, -1,
+            RD|R1|R2|FlagMulDiv),
+        row(Remu,   "remu",   Ext::M, F::R, 0x33, 7, 0x01, -1,
+            RD|R1|R2|FlagMulDiv),
+        row(Mulw,  "mulw",  Ext::M, F::R, 0x3B, 0, 0x01, -1,
+            RD|R1|R2|W|FlagMulDiv),
+        row(Divw,  "divw",  Ext::M, F::R, 0x3B, 4, 0x01, -1,
+            RD|R1|R2|W|FlagMulDiv),
+        row(Divuw, "divuw", Ext::M, F::R, 0x3B, 5, 0x01, -1,
+            RD|R1|R2|W|FlagMulDiv),
+        row(Remw,  "remw",  Ext::M, F::R, 0x3B, 6, 0x01, -1,
+            RD|R1|R2|W|FlagMulDiv),
+        row(Remuw, "remuw", Ext::M, F::R, 0x3B, 7, 0x01, -1,
+            RD|R1|R2|W|FlagMulDiv),
+        // --- RV64A (funct7 = funct5 << 2, aq/rl masked in decode) ------
+        row(LrW,      "lr.w",      Ext::A, F::Amo, 0x2F, 2, 0x02 << 2, 0,
+            RD|R1|FlagAtomic|FlagLoad|W),
+        row(ScW,      "sc.w",      Ext::A, F::Amo, 0x2F, 2, 0x03 << 2, -1,
+            RD|R1|R2|FlagAtomic|FlagStore|W),
+        row(AmoswapW, "amoswap.w", Ext::A, F::Amo, 0x2F, 2, 0x01 << 2, -1,
+            RD|R1|R2|FlagAtomic|FlagLoad|FlagStore|W),
+        row(AmoaddW,  "amoadd.w",  Ext::A, F::Amo, 0x2F, 2, 0x00 << 2, -1,
+            RD|R1|R2|FlagAtomic|FlagLoad|FlagStore|W),
+        row(AmoxorW,  "amoxor.w",  Ext::A, F::Amo, 0x2F, 2, 0x04 << 2, -1,
+            RD|R1|R2|FlagAtomic|FlagLoad|FlagStore|W),
+        row(AmoandW,  "amoand.w",  Ext::A, F::Amo, 0x2F, 2, 0x0C << 2, -1,
+            RD|R1|R2|FlagAtomic|FlagLoad|FlagStore|W),
+        row(AmoorW,   "amoor.w",   Ext::A, F::Amo, 0x2F, 2, 0x08 << 2, -1,
+            RD|R1|R2|FlagAtomic|FlagLoad|FlagStore|W),
+        row(AmominW,  "amomin.w",  Ext::A, F::Amo, 0x2F, 2, 0x10 << 2, -1,
+            RD|R1|R2|FlagAtomic|FlagLoad|FlagStore|W),
+        row(AmomaxW,  "amomax.w",  Ext::A, F::Amo, 0x2F, 2, 0x14 << 2, -1,
+            RD|R1|R2|FlagAtomic|FlagLoad|FlagStore|W),
+        row(AmominuW, "amominu.w", Ext::A, F::Amo, 0x2F, 2, 0x18 << 2, -1,
+            RD|R1|R2|FlagAtomic|FlagLoad|FlagStore|W),
+        row(AmomaxuW, "amomaxu.w", Ext::A, F::Amo, 0x2F, 2, 0x1C << 2, -1,
+            RD|R1|R2|FlagAtomic|FlagLoad|FlagStore|W),
+        row(LrD,      "lr.d",      Ext::A, F::Amo, 0x2F, 3, 0x02 << 2, 0,
+            RD|R1|FlagAtomic|FlagLoad),
+        row(ScD,      "sc.d",      Ext::A, F::Amo, 0x2F, 3, 0x03 << 2, -1,
+            RD|R1|R2|FlagAtomic|FlagStore),
+        row(AmoswapD, "amoswap.d", Ext::A, F::Amo, 0x2F, 3, 0x01 << 2, -1,
+            RD|R1|R2|FlagAtomic|FlagLoad|FlagStore),
+        row(AmoaddD,  "amoadd.d",  Ext::A, F::Amo, 0x2F, 3, 0x00 << 2, -1,
+            RD|R1|R2|FlagAtomic|FlagLoad|FlagStore),
+        row(AmoxorD,  "amoxor.d",  Ext::A, F::Amo, 0x2F, 3, 0x04 << 2, -1,
+            RD|R1|R2|FlagAtomic|FlagLoad|FlagStore),
+        row(AmoandD,  "amoand.d",  Ext::A, F::Amo, 0x2F, 3, 0x0C << 2, -1,
+            RD|R1|R2|FlagAtomic|FlagLoad|FlagStore),
+        row(AmoorD,   "amoor.d",   Ext::A, F::Amo, 0x2F, 3, 0x08 << 2, -1,
+            RD|R1|R2|FlagAtomic|FlagLoad|FlagStore),
+        row(AmominD,  "amomin.d",  Ext::A, F::Amo, 0x2F, 3, 0x10 << 2, -1,
+            RD|R1|R2|FlagAtomic|FlagLoad|FlagStore),
+        row(AmomaxD,  "amomax.d",  Ext::A, F::Amo, 0x2F, 3, 0x14 << 2, -1,
+            RD|R1|R2|FlagAtomic|FlagLoad|FlagStore),
+        row(AmominuD, "amominu.d", Ext::A, F::Amo, 0x2F, 3, 0x18 << 2, -1,
+            RD|R1|R2|FlagAtomic|FlagLoad|FlagStore),
+        row(AmomaxuD, "amomaxu.d", Ext::A, F::Amo, 0x2F, 3, 0x1C << 2, -1,
+            RD|R1|R2|FlagAtomic|FlagLoad|FlagStore),
+        // --- RV64F -----------------------------------------------------
+        row(Flw, "flw", Ext::F, F::I, 0x07, 2, -1, -1,
+            FRD|R1|FlagLoad|FP),
+        row(Fsw, "fsw", Ext::F, F::S, 0x27, 2, -1, -1,
+            R1|FR2|FlagReadsRs2|FlagStore|FP),
+        row(FmaddS,  "fmadd.s",  Ext::F, F::R4, 0x43, -1, 0x00, -1,
+            FRD|FR1|FR2|FR3|R1|R2|R3|RM|FP),
+        row(FmsubS,  "fmsub.s",  Ext::F, F::R4, 0x47, -1, 0x00, -1,
+            FRD|FR1|FR2|FR3|R1|R2|R3|RM|FP),
+        row(FnmsubS, "fnmsub.s", Ext::F, F::R4, 0x4B, -1, 0x00, -1,
+            FRD|FR1|FR2|FR3|R1|R2|R3|RM|FP),
+        row(FnmaddS, "fnmadd.s", Ext::F, F::R4, 0x4F, -1, 0x00, -1,
+            FRD|FR1|FR2|FR3|R1|R2|R3|RM|FP),
+        row(FaddS, "fadd.s", Ext::F, F::FpR, 0x53, -1, 0x00, -1,
+            FRD|FR1|FR2|R1|R2|RM|FP),
+        row(FsubS, "fsub.s", Ext::F, F::FpR, 0x53, -1, 0x04, -1,
+            FRD|FR1|FR2|R1|R2|RM|FP),
+        row(FmulS, "fmul.s", Ext::F, F::FpR, 0x53, -1, 0x08, -1,
+            FRD|FR1|FR2|R1|R2|RM|FP),
+        row(FdivS, "fdiv.s", Ext::F, F::FpR, 0x53, -1, 0x0C, -1,
+            FRD|FR1|FR2|R1|R2|RM|FP),
+        row(FsqrtS, "fsqrt.s", Ext::F, F::FpR2, 0x53, -1, 0x2C, 0,
+            FRD|FR1|R1|RM|FP),
+        row(FsgnjS,  "fsgnj.s",  Ext::F, F::FpCmp, 0x53, 0, 0x10, -1,
+            FRD|FR1|FR2|R1|R2|FP),
+        row(FsgnjnS, "fsgnjn.s", Ext::F, F::FpCmp, 0x53, 1, 0x10, -1,
+            FRD|FR1|FR2|R1|R2|FP),
+        row(FsgnjxS, "fsgnjx.s", Ext::F, F::FpCmp, 0x53, 2, 0x10, -1,
+            FRD|FR1|FR2|R1|R2|FP),
+        row(FminS, "fmin.s", Ext::F, F::FpCmp, 0x53, 0, 0x14, -1,
+            FRD|FR1|FR2|R1|R2|FP),
+        row(FmaxS, "fmax.s", Ext::F, F::FpCmp, 0x53, 1, 0x14, -1,
+            FRD|FR1|FR2|R1|R2|FP),
+        row(FcvtWS,  "fcvt.w.s",  Ext::F, F::FpR2, 0x53, -1, 0x60, 0,
+            RD|FR1|R1|RM|FP),
+        row(FcvtWuS, "fcvt.wu.s", Ext::F, F::FpR2, 0x53, -1, 0x60, 1,
+            RD|FR1|R1|RM|FP),
+        row(FmvXW, "fmv.x.w", Ext::F, F::FpCmp, 0x53, 0, 0x70, 0,
+            RD|FR1|R1|FP),
+        row(FeqS, "feq.s", Ext::F, F::FpCmp, 0x53, 2, 0x50, -1,
+            RD|FR1|FR2|R1|R2|FP),
+        row(FltS, "flt.s", Ext::F, F::FpCmp, 0x53, 1, 0x50, -1,
+            RD|FR1|FR2|R1|R2|FP),
+        row(FleS, "fle.s", Ext::F, F::FpCmp, 0x53, 0, 0x50, -1,
+            RD|FR1|FR2|R1|R2|FP),
+        row(FclassS, "fclass.s", Ext::F, F::FpCmp, 0x53, 1, 0x70, 0,
+            RD|FR1|R1|FP),
+        row(FcvtSW,  "fcvt.s.w",  Ext::F, F::FpR2, 0x53, -1, 0x68, 0,
+            FRD|R1|RM|FP),
+        row(FcvtSWu, "fcvt.s.wu", Ext::F, F::FpR2, 0x53, -1, 0x68, 1,
+            FRD|R1|RM|FP),
+        row(FmvWX, "fmv.w.x", Ext::F, F::FpCmp, 0x53, 0, 0x78, 0,
+            FRD|R1|FP),
+        row(FcvtLS,  "fcvt.l.s",  Ext::F, F::FpR2, 0x53, -1, 0x60, 2,
+            RD|FR1|R1|RM|FP),
+        row(FcvtLuS, "fcvt.lu.s", Ext::F, F::FpR2, 0x53, -1, 0x60, 3,
+            RD|FR1|R1|RM|FP),
+        row(FcvtSL,  "fcvt.s.l",  Ext::F, F::FpR2, 0x53, -1, 0x68, 2,
+            FRD|R1|RM|FP),
+        row(FcvtSLu, "fcvt.s.lu", Ext::F, F::FpR2, 0x53, -1, 0x68, 3,
+            FRD|R1|RM|FP),
+        // --- RV64D -----------------------------------------------------
+        row(Fld, "fld", Ext::D, F::I, 0x07, 3, -1, -1,
+            FRD|R1|FlagLoad|FP|DBL),
+        row(Fsd, "fsd", Ext::D, F::S, 0x27, 3, -1, -1,
+            R1|FR2|FlagReadsRs2|FlagStore|FP|DBL),
+        row(FmaddD,  "fmadd.d",  Ext::D, F::R4, 0x43, -1, 0x01, -1,
+            FRD|FR1|FR2|FR3|R1|R2|R3|RM|FP|DBL),
+        row(FmsubD,  "fmsub.d",  Ext::D, F::R4, 0x47, -1, 0x01, -1,
+            FRD|FR1|FR2|FR3|R1|R2|R3|RM|FP|DBL),
+        row(FnmsubD, "fnmsub.d", Ext::D, F::R4, 0x4B, -1, 0x01, -1,
+            FRD|FR1|FR2|FR3|R1|R2|R3|RM|FP|DBL),
+        row(FnmaddD, "fnmadd.d", Ext::D, F::R4, 0x4F, -1, 0x01, -1,
+            FRD|FR1|FR2|FR3|R1|R2|R3|RM|FP|DBL),
+        row(FaddD, "fadd.d", Ext::D, F::FpR, 0x53, -1, 0x01, -1,
+            FRD|FR1|FR2|R1|R2|RM|FP|DBL),
+        row(FsubD, "fsub.d", Ext::D, F::FpR, 0x53, -1, 0x05, -1,
+            FRD|FR1|FR2|R1|R2|RM|FP|DBL),
+        row(FmulD, "fmul.d", Ext::D, F::FpR, 0x53, -1, 0x09, -1,
+            FRD|FR1|FR2|R1|R2|RM|FP|DBL),
+        row(FdivD, "fdiv.d", Ext::D, F::FpR, 0x53, -1, 0x0D, -1,
+            FRD|FR1|FR2|R1|R2|RM|FP|DBL),
+        row(FsqrtD, "fsqrt.d", Ext::D, F::FpR2, 0x53, -1, 0x2D, 0,
+            FRD|FR1|R1|RM|FP|DBL),
+        row(FsgnjD,  "fsgnj.d",  Ext::D, F::FpCmp, 0x53, 0, 0x11, -1,
+            FRD|FR1|FR2|R1|R2|FP|DBL),
+        row(FsgnjnD, "fsgnjn.d", Ext::D, F::FpCmp, 0x53, 1, 0x11, -1,
+            FRD|FR1|FR2|R1|R2|FP|DBL),
+        row(FsgnjxD, "fsgnjx.d", Ext::D, F::FpCmp, 0x53, 2, 0x11, -1,
+            FRD|FR1|FR2|R1|R2|FP|DBL),
+        row(FminD, "fmin.d", Ext::D, F::FpCmp, 0x53, 0, 0x15, -1,
+            FRD|FR1|FR2|R1|R2|FP|DBL),
+        row(FmaxD, "fmax.d", Ext::D, F::FpCmp, 0x53, 1, 0x15, -1,
+            FRD|FR1|FR2|R1|R2|FP|DBL),
+        row(FcvtSD, "fcvt.s.d", Ext::D, F::FpR2, 0x53, -1, 0x20, 1,
+            FRD|FR1|R1|RM|FP|DBL),
+        row(FcvtDS, "fcvt.d.s", Ext::D, F::FpR2, 0x53, -1, 0x21, 0,
+            FRD|FR1|R1|RM|FP|DBL),
+        row(FeqD, "feq.d", Ext::D, F::FpCmp, 0x53, 2, 0x51, -1,
+            RD|FR1|FR2|R1|R2|FP|DBL),
+        row(FltD, "flt.d", Ext::D, F::FpCmp, 0x53, 1, 0x51, -1,
+            RD|FR1|FR2|R1|R2|FP|DBL),
+        row(FleD, "fle.d", Ext::D, F::FpCmp, 0x53, 0, 0x51, -1,
+            RD|FR1|FR2|R1|R2|FP|DBL),
+        row(FclassD, "fclass.d", Ext::D, F::FpCmp, 0x53, 1, 0x71, 0,
+            RD|FR1|R1|FP|DBL),
+        row(FcvtWD,  "fcvt.w.d",  Ext::D, F::FpR2, 0x53, -1, 0x61, 0,
+            RD|FR1|R1|RM|FP|DBL),
+        row(FcvtWuD, "fcvt.wu.d", Ext::D, F::FpR2, 0x53, -1, 0x61, 1,
+            RD|FR1|R1|RM|FP|DBL),
+        row(FcvtDW,  "fcvt.d.w",  Ext::D, F::FpR2, 0x53, -1, 0x69, 0,
+            FRD|R1|RM|FP|DBL),
+        row(FcvtDWu, "fcvt.d.wu", Ext::D, F::FpR2, 0x53, -1, 0x69, 1,
+            FRD|R1|RM|FP|DBL),
+        row(FcvtLD,  "fcvt.l.d",  Ext::D, F::FpR2, 0x53, -1, 0x61, 2,
+            RD|FR1|R1|RM|FP|DBL),
+        row(FcvtLuD, "fcvt.lu.d", Ext::D, F::FpR2, 0x53, -1, 0x61, 3,
+            RD|FR1|R1|RM|FP|DBL),
+        row(FmvXD, "fmv.x.d", Ext::D, F::FpCmp, 0x53, 0, 0x71, 0,
+            RD|FR1|R1|FP|DBL),
+        row(FcvtDL,  "fcvt.d.l",  Ext::D, F::FpR2, 0x53, -1, 0x69, 2,
+            FRD|R1|RM|FP|DBL),
+        row(FcvtDLu, "fcvt.d.lu", Ext::D, F::FpR2, 0x53, -1, 0x69, 3,
+            FRD|R1|RM|FP|DBL),
+        row(FmvDX, "fmv.d.x", Ext::D, F::FpCmp, 0x53, 0, 0x79, 0,
+            FRD|R1|FP|DBL),
+        // --- Zicsr -----------------------------------------------------
+        row(Csrrw,  "csrrw",  Ext::Zicsr, F::Csr, 0x73, 1, -1, -1,
+            RD|R1|FlagCsr),
+        row(Csrrs,  "csrrs",  Ext::Zicsr, F::Csr, 0x73, 2, -1, -1,
+            RD|R1|FlagCsr),
+        row(Csrrc,  "csrrc",  Ext::Zicsr, F::Csr, 0x73, 3, -1, -1,
+            RD|R1|FlagCsr),
+        row(Csrrwi, "csrrwi", Ext::Zicsr, F::CsrI, 0x73, 5, -1, -1,
+            RD|FlagCsr),
+        row(Csrrsi, "csrrsi", Ext::Zicsr, F::CsrI, 0x73, 6, -1, -1,
+            RD|FlagCsr),
+        row(Csrrci, "csrrci", Ext::Zicsr, F::CsrI, 0x73, 7, -1, -1,
+            RD|FlagCsr),
+    };
+    return table;
+}
+
+const std::vector<InstrDesc> &tableRef = buildTable();
+
+std::array<const InstrDesc *, numOpcodes()>
+buildIndex()
+{
+    std::array<const InstrDesc *, numOpcodes()> index{};
+    for (const auto &d : tableRef) {
+        const auto i = static_cast<size_t>(d.op);
+        TF_ASSERT(index[i] == nullptr, "duplicate opcode entry %zu", i);
+        index[i] = &d;
+    }
+    for (size_t i = 0; i < index.size(); ++i)
+        TF_ASSERT(index[i] != nullptr, "missing opcode entry %zu", i);
+    return index;
+}
+
+} // namespace
+
+std::string_view
+extName(Ext ext)
+{
+    switch (ext) {
+      case Ext::I: return "I";
+      case Ext::M: return "M";
+      case Ext::A: return "A";
+      case Ext::F: return "F";
+      case Ext::D: return "D";
+      case Ext::Zicsr: return "Zicsr";
+      case Ext::System: return "System";
+      default: panic("bad Ext value %d", static_cast<int>(ext));
+    }
+}
+
+const InstrDesc &
+descOf(Opcode op)
+{
+    static const auto index = buildIndex();
+    const auto i = static_cast<size_t>(op);
+    TF_ASSERT(i < numOpcodes(), "opcode out of range: %zu", i);
+    return *index[i];
+}
+
+const std::vector<InstrDesc> &
+allDescs()
+{
+    return tableRef;
+}
+
+} // namespace turbofuzz::isa

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * RISC-V RV64 IMAFD + Zicsr opcode enumeration and descriptor table.
+ *
+ * This is the instruction metadata backbone shared by the encoder,
+ * decoder, disassembler, instruction library, fuzzer and ISS.
+ */
+
+#ifndef TURBOFUZZ_ISA_OPCODES_HH
+#define TURBOFUZZ_ISA_OPCODES_HH
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace turbofuzz::isa
+{
+
+/** ISA extension category (instruction library granularity). */
+enum class Ext : uint8_t
+{
+    I,      ///< Base integer (RV64I)
+    M,      ///< Multiply/divide
+    A,      ///< Atomics
+    F,      ///< Single-precision floating point
+    D,      ///< Double-precision floating point
+    Zicsr,  ///< CSR access
+    System, ///< ecall/ebreak/fence
+    NumExts
+};
+
+/** Name of an extension category ("I", "M", ...). */
+std::string_view extName(Ext ext);
+
+/** Instruction encoding format. */
+enum class Format : uint8_t
+{
+    R,       ///< register-register
+    R4,      ///< fused multiply-add (rs3 in [31:27])
+    I,       ///< register-immediate / loads / jalr
+    IShift,  ///< shift-immediate (6-bit shamt, RV64)
+    IShiftW, ///< shift-immediate word (5-bit shamt)
+    S,       ///< stores
+    B,       ///< branches
+    U,       ///< lui/auipc
+    J,       ///< jal
+    Amo,     ///< atomics (funct5 + aq/rl)
+    FpR,     ///< FP register ops (rm field live)
+    FpR2,    ///< FP unary ops (rs2 encodes sub-op, rm live)
+    FpCmp,   ///< FP compare / sign-inject / min-max (funct3 fixed)
+    Csr,     ///< csrrw/csrrs/csrrc
+    CsrI,    ///< csrr?i (zimm in rs1)
+    Sys      ///< ecall/ebreak/fence
+};
+
+/** Behavioural flags consumed by the fuzzer, coverage and checker. */
+enum InstrFlags : uint32_t
+{
+    FlagNone      = 0,
+    FlagBranch    = 1u << 0,  ///< conditional branch
+    FlagJal       = 1u << 1,  ///< direct jump
+    FlagJalr      = 1u << 2,  ///< indirect jump
+    FlagLoad      = 1u << 3,
+    FlagStore     = 1u << 4,
+    FlagFp        = 1u << 5,  ///< touches the FP unit
+    FlagCsr       = 1u << 6,
+    FlagAtomic    = 1u << 7,
+    FlagWordOp    = 1u << 8,  ///< 32-bit (W-suffix) operation
+    FlagSystem    = 1u << 9,  ///< ecall/ebreak/fence
+    FlagHasRm     = 1u << 10, ///< rounding-mode field is live
+    FlagReadsRs1  = 1u << 11,
+    FlagReadsRs2  = 1u << 12,
+    FlagReadsRs3  = 1u << 13,
+    FlagWritesRd  = 1u << 14,
+    FlagFpRs1     = 1u << 15, ///< rs1 is an FP register
+    FlagFpRs2     = 1u << 16,
+    FlagFpRs3     = 1u << 17,
+    FlagFpRd      = 1u << 18, ///< rd is an FP register
+    FlagMulDiv    = 1u << 19,
+    FlagDouble    = 1u << 20, ///< double-precision FP
+};
+
+/** Opcode identifiers for every supported instruction. */
+enum class Opcode : uint16_t
+{
+    // RV32I / RV64I
+    Lui, Auipc, Jal, Jalr,
+    Beq, Bne, Blt, Bge, Bltu, Bgeu,
+    Lb, Lh, Lw, Lbu, Lhu, Lwu, Ld,
+    Sb, Sh, Sw, Sd,
+    Addi, Slti, Sltiu, Xori, Ori, Andi,
+    Slli, Srli, Srai,
+    Add, Sub, Sll, Slt, Sltu, Xor, Srl, Sra, Or, And,
+    Addiw, Slliw, Srliw, Sraiw,
+    Addw, Subw, Sllw, Srlw, Sraw,
+    Fence, Ecall, Ebreak, Mret,
+    // RV64M
+    Mul, Mulh, Mulhsu, Mulhu, Div, Divu, Rem, Remu,
+    Mulw, Divw, Divuw, Remw, Remuw,
+    // RV64A
+    LrW, ScW, AmoswapW, AmoaddW, AmoxorW, AmoandW, AmoorW,
+    AmominW, AmomaxW, AmominuW, AmomaxuW,
+    LrD, ScD, AmoswapD, AmoaddD, AmoxorD, AmoandD, AmoorD,
+    AmominD, AmomaxD, AmominuD, AmomaxuD,
+    // RV64F
+    Flw, Fsw,
+    FmaddS, FmsubS, FnmsubS, FnmaddS,
+    FaddS, FsubS, FmulS, FdivS, FsqrtS,
+    FsgnjS, FsgnjnS, FsgnjxS, FminS, FmaxS,
+    FcvtWS, FcvtWuS, FmvXW, FeqS, FltS, FleS, FclassS,
+    FcvtSW, FcvtSWu, FmvWX,
+    FcvtLS, FcvtLuS, FcvtSL, FcvtSLu,
+    // RV64D
+    Fld, Fsd,
+    FmaddD, FmsubD, FnmsubD, FnmaddD,
+    FaddD, FsubD, FmulD, FdivD, FsqrtD,
+    FsgnjD, FsgnjnD, FsgnjxD, FminD, FmaxD,
+    FcvtSD, FcvtDS,
+    FeqD, FltD, FleD, FclassD,
+    FcvtWD, FcvtWuD, FcvtDW, FcvtDWu,
+    FcvtLD, FcvtLuD, FmvXD, FcvtDL, FcvtDLu, FmvDX,
+    // Zicsr
+    Csrrw, Csrrs, Csrrc, Csrrwi, Csrrsi, Csrrci,
+    NumOpcodes
+};
+
+/** Static descriptor for one instruction. */
+struct InstrDesc
+{
+    Opcode op;
+    std::string_view mnemonic;
+    Ext ext;
+    Format fmt;
+    uint32_t opcode7; ///< major opcode bits [6:0]
+    int32_t funct3;   ///< bits [14:12], or -1 when not fixed
+    int32_t funct7;   ///< bits [31:25], or -1 when not fixed
+    int32_t rs2Field; ///< fixed rs2 field for FpR2, else -1
+    uint32_t flags;
+
+    bool isControlFlow() const
+    {
+        return flags & (FlagBranch | FlagJal | FlagJalr);
+    }
+    bool isMemAccess() const { return flags & (FlagLoad | FlagStore); }
+    bool has(InstrFlags f) const { return flags & f; }
+};
+
+/** Descriptor lookup; O(1). */
+const InstrDesc &descOf(Opcode op);
+
+/** All descriptors in opcode order. */
+const std::vector<InstrDesc> &allDescs();
+
+/** Number of supported opcodes. */
+constexpr size_t
+numOpcodes()
+{
+    return static_cast<size_t>(Opcode::NumOpcodes);
+}
+
+} // namespace turbofuzz::isa
+
+#endif // TURBOFUZZ_ISA_OPCODES_HH

@@ -1,0 +1,317 @@
+#include "rtl/cores.hh"
+
+#include "common/logging.hh"
+
+namespace turbofuzz::rtl
+{
+
+namespace
+{
+
+/** One-hot domain with @p n states. */
+std::vector<uint64_t>
+oneHot(unsigned n)
+{
+    std::vector<uint64_t> d(n);
+    for (unsigned i = 0; i < n; ++i)
+        d[i] = uint64_t{1} << i;
+    return d;
+}
+
+/** Dense small-range domain {0, ..., n-1}. */
+std::vector<uint64_t>
+smallRange(unsigned n)
+{
+    std::vector<uint64_t> d(n);
+    for (unsigned i = 0; i < n; ++i)
+        d[i] = i;
+    return d;
+}
+
+/** Specification of one control register within a unit. */
+struct RegSpec
+{
+    const char *name;
+    unsigned width;
+    RegRole role;
+    std::vector<uint64_t> domain = {};
+};
+
+/**
+ * Populate @p m with the given control registers, a set of datapath
+ * registers that are NOT control (no mux select reaches them), and a
+ * mux network whose selects trace back to the control registers
+ * through one or two levels of wires.
+ *
+ * @param mux_count  How many muxes the unit contains; muxes fan out
+ *                   across the control wires round-robin. Mux counts
+ *                   model each unit's contribution to the coverage
+ *                   point total.
+ */
+/**
+ * @param extra_derived  Additional 3-bit derived control registers
+ *        spread over the unit's unconstrained roles. Dense arithmetic
+ *        units carry many such registers (high baseline
+ *        achievability); control-path units carry few, which is what
+ *        makes their baseline instrumentation mostly unreachable.
+ */
+void
+buildUnit(Module *m, const std::vector<RegSpec> &specs,
+          unsigned datapath_regs, unsigned mux_count,
+          unsigned extra_derived = 0)
+{
+    std::vector<uint32_t> ctrl_wires;
+    std::vector<RegRole> unconstrained_roles;
+    for (const RegSpec &s : specs)
+        if (s.domain.empty())
+            unconstrained_roles.push_back(s.role);
+    for (const RegSpec &s : specs) {
+        if (!s.domain.empty()) {
+            // FSM/enum state stays one physical register.
+            const uint32_t r =
+                m->addRegister(s.name, s.width, s.role, s.domain);
+            ctrl_wires.push_back(
+                m->addWire(std::string(s.name) + "_w", {r}));
+            continue;
+        }
+        // Real designs latch architectural quantities across many
+        // small control registers: direct <=3-bit slices plus
+        // derived (salted) registers from distinct logic cones. The
+        // density of small registers is what keeps the baseline
+        // instrumentation's random shifts mostly hole-free (Fig. 6's
+        // 60-80%% band).
+        unsigned slice = 0;
+        for (unsigned off = 0; off < s.width; off += 3, ++slice) {
+            const unsigned w = std::min(3u, s.width - off);
+            const uint32_t r = m->addRegister(
+                std::string(s.name) + "_s" + std::to_string(slice), w,
+                s.role, {}, off);
+            ctrl_wires.push_back(m->addWire(
+                std::string(s.name) + "_s" + std::to_string(slice) +
+                    "_w",
+                {r}));
+            const uint32_t d = m->addRegister(
+                std::string(s.name) + "_d" + std::to_string(slice), 3,
+                s.role, {}, 0,
+                0x9E37 + 131ull * slice +
+                    1009ull * ctrl_wires.size());
+            ctrl_wires.push_back(m->addWire(
+                std::string(s.name) + "_d" + std::to_string(slice) +
+                    "_w",
+                {r, d}));
+        }
+    }
+
+    // Extra derived control registers over the unit's roles.
+    for (unsigned e = 0; e < extra_derived; ++e) {
+        const RegRole role =
+            unconstrained_roles.empty()
+                ? RegRole::Datapath
+                : unconstrained_roles[e % unconstrained_roles.size()];
+        const uint32_t r = m->addRegister(
+            "x" + std::to_string(e), 3, role, {}, 0,
+            0xC0FFEEull + 977ull * e);
+        ctrl_wires.push_back(
+            m->addWire("x" + std::to_string(e) + "_w", {r}));
+    }
+
+    // Composite second-level wires combining neighbouring selects,
+    // exercising the multi-hop trace-back.
+    std::vector<uint32_t> level2;
+    for (size_t i = 0; i + 1 < ctrl_wires.size(); i += 2) {
+        level2.push_back(m->addWire(
+            "sel_comb" + std::to_string(i), {},
+            {ctrl_wires[i], ctrl_wires[i + 1]}));
+    }
+
+    // Pure datapath state: registers no select network touches. The
+    // trace-back must exclude these from the control set.
+    for (unsigned i = 0; i < datapath_regs; ++i) {
+        m->addRegister("data" + std::to_string(i), 64,
+                       RegRole::Datapath);
+    }
+
+    // Every control wire drives at least one mux; the remaining
+    // muxes fan out round-robin with a sprinkle of level-2 selects.
+    const unsigned muxes =
+        std::max<unsigned>(mux_count,
+                           static_cast<unsigned>(ctrl_wires.size()));
+    for (unsigned i = 0; i < muxes; ++i) {
+        uint32_t wire;
+        if (i < ctrl_wires.size())
+            wire = ctrl_wires[i];
+        else if (i % 3 == 2 && !level2.empty())
+            wire = level2[i % level2.size()];
+        else
+            wire = ctrl_wires[i % ctrl_wires.size()];
+        m->addMux("mux" + std::to_string(i), wire);
+    }
+}
+
+/** Shared in-order units: IFU, EXU, CSR, FPU, MulDiv, LSU, PTW. */
+void
+buildInOrderCommon(Module *top, unsigned exu_width_bits)
+{
+    Module *ifu = top->addChild("IFU");
+    buildUnit(ifu,
+              {
+                  {"pc_low", 6, RegRole::PcLow},
+                  {"pc_page", 4, RegRole::PcPage},
+                  {"bht_hist", 8, RegRole::BranchHistory},
+                  {"loop_fsm", 3, RegRole::LoopFsm, smallRange(6)},
+                  {"icache_fsm", 4, RegRole::IcacheFsm, oneHot(4)},
+                  {"cf_depth", 4, RegRole::CfDepth},
+              },
+              /*datapath_regs=*/6, /*mux_count=*/54,
+              /*extra_derived=*/18);
+
+    Module *exu = top->addChild("EXU");
+    buildUnit(exu,
+              {
+                  {"op_class", 6, RegRole::OpClass},
+                  {"rd_idx", 5, RegRole::RdIdx},
+                  {"rs1_idx", 5, RegRole::Rs1Idx},
+                  {"imm_low", exu_width_bits, RegRole::ImmLow},
+                  {"alu_digest", 6, RegRole::Datapath},
+                  {"br_taken", 1, RegRole::BranchTaken},
+              },
+              /*datapath_regs=*/10, /*mux_count=*/66,
+              /*extra_derived=*/24);
+
+    Module *csr = top->addChild("CSRFile");
+    buildUnit(csr,
+              {
+                  {"csr_addr", 5, RegRole::CsrAddr},
+                  {"trap_cause", 4, RegRole::TrapCause,
+                   {0, 2, 3, 4, 5, 6, 7, 11}},
+                  {"trap_flag", 1, RegRole::TrapFlag},
+                  {"wdata_digest", 3, RegRole::Datapath},
+                  {"frm", 3, RegRole::Frm, smallRange(5)},
+                  {"fflags", 5, RegRole::Fflags},
+              },
+              /*datapath_regs=*/4, /*mux_count=*/38,
+              /*extra_derived=*/4);
+
+    Module *fpu = top->addChild("FPU");
+    buildUnit(fpu,
+              {
+                  {"fp_kind", 4, RegRole::FpKind},
+                  {"fp_prec", 1, RegRole::FpPrec},
+                  {"class_a", 10, RegRole::FpClassA, oneHot(10)},
+                  {"class_b", 10, RegRole::FpClassB, oneHot(10)},
+                  {"fp_flags", 5, RegRole::Fflags},
+                  {"fp_rm", 3, RegRole::Frm, smallRange(5)},
+              },
+              /*datapath_regs=*/12, /*mux_count=*/58,
+              /*extra_derived=*/4);
+
+    Module *muldiv = top->addChild("MulDiv");
+    buildUnit(muldiv,
+              {
+                  {"busy", 1, RegRole::MulDivBusy},
+                  {"div_cnt", 6, RegRole::DivCycles},
+                  {"signs", 2, RegRole::MulSigns},
+                  {"md_class", 3, RegRole::OpClass},
+              },
+              /*datapath_regs=*/4, /*mux_count=*/30,
+              /*extra_derived=*/16);
+
+    Module *lsu = top->addChild("LSU");
+    buildUnit(lsu,
+              {
+                  {"addr_low", 6, RegRole::MemAddrLow},
+                  {"size", 2, RegRole::MemSize},
+                  {"rw", 1, RegRole::MemRw},
+                  {"stride_fsm", 3, RegRole::StrideFsm, smallRange(5)},
+                  {"dcache_fsm", 3, RegRole::DcacheFsm, smallRange(6)},
+                  {"res_state", 1, RegRole::ResState},
+                  {"amo_kind", 4, RegRole::AmoKind},
+              },
+              /*datapath_regs=*/8, /*mux_count=*/46,
+              /*extra_derived=*/14);
+
+    Module *ptw = top->addChild("PTW");
+    buildUnit(ptw,
+              {
+                  {"ptw_fsm", 6, RegRole::PtwFsm, oneHot(6)},
+                  {"tlb_fsm", 4, RegRole::TlbFsm, oneHot(4)},
+                  {"req_page", 4, RegRole::PcPage},
+              },
+              /*datapath_regs=*/4, /*mux_count=*/22);
+}
+
+} // namespace
+
+std::unique_ptr<Module>
+buildRocketLike()
+{
+    auto top = std::make_unique<Module>("RocketTile");
+    buildInOrderCommon(top.get(), /*exu_width_bits=*/6);
+    return top;
+}
+
+std::unique_ptr<Module>
+buildCva6Like()
+{
+    auto top = std::make_unique<Module>("Cva6Core");
+    buildInOrderCommon(top.get(), /*exu_width_bits=*/5);
+    // CVA6 carries a scoreboard the Rocket pipeline lacks.
+    Module *sb = top->addChild("Scoreboard");
+    buildUnit(sb,
+              {
+                  {"issue_ptr", 3, RegRole::IqOcc},
+                  {"commit_ptr", 3, RegRole::RobOcc},
+                  {"sb_class", 4, RegRole::OpClass},
+              },
+              /*datapath_regs=*/6, /*mux_count=*/24,
+              /*extra_derived=*/8);
+    return top;
+}
+
+std::unique_ptr<Module>
+buildBoomLike()
+{
+    auto top = std::make_unique<Module>("BoomTile");
+    buildInOrderCommon(top.get(), /*exu_width_bits=*/6);
+    // Out-of-order backend structures.
+    Module *rob = top->addChild("ROB");
+    buildUnit(rob,
+              {
+                  {"rob_occ", 5, RegRole::RobOcc},
+                  {"rob_flush", 1, RegRole::BranchTaken},
+                  {"rob_class", 4, RegRole::OpClass},
+              },
+              /*datapath_regs=*/16, /*mux_count=*/40,
+              /*extra_derived=*/10);
+    Module *iq = top->addChild("IssueQueue");
+    buildUnit(iq,
+              {
+                  {"iq_occ", 4, RegRole::IqOcc},
+                  {"iq_class", 4, RegRole::OpClass},
+                  {"iq_rs1", 5, RegRole::Rs1Idx},
+              },
+              /*datapath_regs=*/8, /*mux_count=*/32,
+              /*extra_derived=*/8);
+    Module *rename = top->addChild("Rename");
+    buildUnit(rename,
+              {
+                  {"map_rd", 5, RegRole::RdIdx},
+                  {"free_cnt", 4, RegRole::RobOcc},
+              },
+              /*datapath_regs=*/6, /*mux_count=*/20,
+              /*extra_derived=*/6);
+    return top;
+}
+
+std::unique_ptr<Module>
+buildCore(core::CoreKind kind)
+{
+    switch (kind) {
+      case core::CoreKind::Rocket: return buildRocketLike();
+      case core::CoreKind::Cva6: return buildCva6Like();
+      case core::CoreKind::Boom: return buildBoomLike();
+      default: panic("bad CoreKind");
+    }
+}
+
+} // namespace turbofuzz::rtl

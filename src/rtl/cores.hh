@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Structural netlists approximating the evaluation cores.
+ *
+ * Module inventories (register widths, value domains, mux counts)
+ * loosely follow the public microarchitectures: Rocket and CVA6 are
+ * single-issue in-order cores with an FPU, CSR file and PTW; BOOM adds
+ * out-of-order structures (ROB, issue queues, rename). The FPU, CSR
+ * file and PTW carry one-hot / small-enum value domains, which is what
+ * makes their baseline coverage instrumentation mostly unreachable in
+ * Fig. 6.
+ */
+
+#ifndef TURBOFUZZ_RTL_CORES_HH
+#define TURBOFUZZ_RTL_CORES_HH
+
+#include <memory>
+
+#include "core/bugs.hh"
+#include "rtl/module.hh"
+
+namespace turbofuzz::rtl
+{
+
+/** Build a Rocket-like in-order RV64 core netlist. */
+std::unique_ptr<Module> buildRocketLike();
+
+/** Build a CVA6-like single-issue RV64 core netlist. */
+std::unique_ptr<Module> buildCva6Like();
+
+/** Build a BOOM-like out-of-order superscalar RV64 core netlist. */
+std::unique_ptr<Module> buildBoomLike();
+
+/** Dispatch by core kind. */
+std::unique_ptr<Module> buildCore(core::CoreKind kind);
+
+} // namespace turbofuzz::rtl
+
+#endif // TURBOFUZZ_RTL_CORES_HH

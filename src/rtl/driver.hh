@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Microarchitectural event driver.
+ *
+ * Bridges the architectural world (per-instruction CommitInfo from the
+ * DUT core) to the structural world (register values in the rtl::
+ * Module tree). Each commit updates every modelled register according
+ * to its RegRole; sequential roles (loop detector, stride detector,
+ * cache/PTW FSMs, occupancy counters) evolve across commits, so only
+ * *sequences* with the right structure reach their deeper states —
+ * the property deepExplore's benchmark-derived seeds exploit.
+ */
+
+#ifndef TURBOFUZZ_RTL_DRIVER_HH
+#define TURBOFUZZ_RTL_DRIVER_HH
+
+#include <array>
+#include <cstdint>
+
+#include "core/commit_info.hh"
+#include "rtl/module.hh"
+
+namespace turbofuzz::rtl
+{
+
+/** Drives a module tree from commit events. */
+class EventDriver
+{
+  public:
+    explicit EventDriver(Module *top_module);
+
+    /** Reset all sequential tracking state and register values. */
+    void reset();
+
+    /** Apply one committed instruction to the module tree. */
+    void onCommit(const core::CommitInfo &ci);
+
+    /** Number of registers being driven (all modules). */
+    size_t drivenRegisters() const { return regCache.size(); }
+
+  private:
+    /** Compute the value for each role from the commit + history. */
+    void updateRoles(const core::CommitInfo &ci);
+
+    static uint64_t mapToDomain(uint64_t value, const Register &reg);
+
+    Module *top;
+    std::vector<Register *> regCache;
+
+    /** Current value per role. */
+    std::array<uint64_t, 64> roles{};
+
+    // --- sequential tracking state ---------------------------------
+    uint64_t branchHist = 0;
+    int cfDepth = 0;
+    uint64_t lastLoopTarget = 0;
+    unsigned loopState = 0;
+    uint64_t lastMemAddr = 0;
+    int64_t lastStride = 0;
+    unsigned strideState = 0;
+    std::array<uint64_t, 4> recentPages{};
+    unsigned pageCursor = 0;
+    unsigned dcacheState = 0;
+    unsigned icacheState = 0;
+    uint64_t lastPcPage = 0;
+    unsigned ptwState = 0;
+    unsigned tlbState = 0;
+    unsigned robOcc = 0;
+    unsigned iqOcc = 0;
+    bool resArmed = false;
+};
+
+/** FP operation kind encoding used by RegRole::FpKind. */
+unsigned fpKindOf(isa::Opcode op);
+
+/** Instruction class encoding used by RegRole::OpClass. */
+unsigned opClassOf(const isa::InstrDesc &desc);
+
+} // namespace turbofuzz::rtl
+
+#endif // TURBOFUZZ_RTL_DRIVER_HH

@@ -1,0 +1,138 @@
+#include "rtl/module.hh"
+
+#include <algorithm>
+#include <set>
+
+#include "common/logging.hh"
+
+namespace turbofuzz::rtl
+{
+
+uint32_t
+Module::addRegister(const std::string &reg_name, unsigned width,
+                    RegRole role, std::vector<uint64_t> domain,
+                    unsigned src_shift, uint64_t salt)
+{
+    TF_ASSERT(width >= 1 && width <= 64, "register width %u invalid",
+              width);
+    Register r;
+    r.name = reg_name;
+    r.width = width;
+    r.role = role;
+    r.domain = std::move(domain);
+    r.srcShift = src_shift;
+    r.salt = salt;
+    if (!r.domain.empty())
+        r.value = r.domain.front();
+    regs.push_back(std::move(r));
+    return static_cast<uint32_t>(regs.size() - 1);
+}
+
+uint32_t
+Module::addWire(const std::string &wire_name,
+                std::vector<uint32_t> reg_drivers,
+                std::vector<uint32_t> wire_drivers)
+{
+    for (uint32_t r : reg_drivers)
+        TF_ASSERT(r < regs.size(), "wire '%s' driven by bad register %u",
+                  wire_name.c_str(), r);
+    for (uint32_t w : wire_drivers)
+        TF_ASSERT(w < wireList.size(),
+                  "wire '%s' driven by bad wire %u", wire_name.c_str(),
+                  w);
+    Wire w;
+    w.name = wire_name;
+    w.regDrivers = std::move(reg_drivers);
+    w.wireDrivers = std::move(wire_drivers);
+    wireList.push_back(std::move(w));
+    return static_cast<uint32_t>(wireList.size() - 1);
+}
+
+uint32_t
+Module::addMux(const std::string &mux_name, uint32_t select_wire)
+{
+    TF_ASSERT(select_wire < wireList.size(),
+              "mux '%s' selected by bad wire %u", mux_name.c_str(),
+              select_wire);
+    muxList.push_back({mux_name, select_wire});
+    return static_cast<uint32_t>(muxList.size() - 1);
+}
+
+Module *
+Module::addChild(std::string child_name)
+{
+    kids.push_back(std::make_unique<Module>(std::move(child_name)));
+    return kids.back().get();
+}
+
+std::vector<uint32_t>
+Module::traceControlRegisters(const Mux &mux) const
+{
+    // DFS through the select network; wires may form cycles in
+    // pathological netlists, so track visitation.
+    std::set<uint32_t> found;
+    std::vector<bool> visited(wireList.size(), false);
+    std::vector<uint32_t> stack = {mux.selectWire};
+    while (!stack.empty()) {
+        const uint32_t w = stack.back();
+        stack.pop_back();
+        if (visited[w])
+            continue;
+        visited[w] = true;
+        const Wire &wire = wireList[w];
+        for (uint32_t r : wire.regDrivers)
+            found.insert(r);
+        for (uint32_t next : wire.wireDrivers)
+            stack.push_back(next);
+    }
+    return {found.begin(), found.end()};
+}
+
+std::vector<uint32_t>
+Module::controlRegisters() const
+{
+    std::set<uint32_t> all;
+    for (const Mux &m : muxList) {
+        const auto traced = traceControlRegisters(m);
+        all.insert(traced.begin(), traced.end());
+    }
+    return {all.begin(), all.end()};
+}
+
+void
+Module::visit(const std::function<void(Module &)> &fn)
+{
+    fn(*this);
+    for (auto &kid : kids)
+        kid->visit(fn);
+}
+
+void
+Module::visit(const std::function<void(const Module &)> &fn) const
+{
+    fn(*this);
+    for (const auto &kid : kids)
+        kid->visit(fn);
+}
+
+Module *
+Module::findModule(const std::string &module_name)
+{
+    if (moduleName == module_name)
+        return this;
+    for (auto &kid : kids)
+        if (Module *m = kid->findModule(module_name))
+            return m;
+    return nullptr;
+}
+
+unsigned
+Module::controlBitWidth() const
+{
+    unsigned total = 0;
+    for (uint32_t r : controlRegisters())
+        total += regs[r].width;
+    return total;
+}
+
+} // namespace turbofuzz::rtl

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Structural RTL model: modules, registers, wires and multiplexers.
+ *
+ * Coverage instrumentation in the paper operates on the *structure* of
+ * the design: it finds every multiplexer, then backward-traces its
+ * select network through wires until it reaches registers — those are
+ * the module's "control registers" whose concatenated value forms the
+ * coverage index (§VI). This model provides exactly that structure:
+ *
+ *  - Register: a named stateful element with a width, an optional
+ *    constrained value domain (e.g. one-hot FSM encodings), and a
+ *    semantic role that the microarchitectural event driver uses to
+ *    update its value on every commit.
+ *  - Wire: a named combinational node driven by registers and/or
+ *    other wires.
+ *  - Mux: a multiplexer whose select is driven by one wire.
+ *
+ * Core-specific netlists (rocket_like etc.) are built in cores.cc with
+ * register/mux inventories approximating the real designs.
+ */
+
+#ifndef TURBOFUZZ_RTL_MODULE_HH
+#define TURBOFUZZ_RTL_MODULE_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace turbofuzz::rtl
+{
+
+/**
+ * Semantic role of a register: how the event driver computes its value
+ * from each committed instruction. Roles marked [seq] carry sequential
+ * state across commits and are what makes structured programs reach
+ * design states that random streams rarely hit.
+ */
+enum class RegRole : uint8_t
+{
+    Datapath,       ///< low-entropy digest of the writeback value
+    PcLow,          ///< low bits of the program counter
+    PcPage,         ///< page-number digest of the PC
+    OpClass,        ///< instruction class (extension + kind)
+    RdIdx,          ///< destination register index
+    Rs1Idx,         ///< source 1 index
+    ImmLow,         ///< low bits of the immediate
+    BranchTaken,    ///< last branch outcome
+    BranchHistory,  ///< [seq] shift register of outcomes
+    CfDepth,        ///< [seq] net jump/return depth estimate
+    LoopFsm,        ///< [seq] backward-branch loop detector state
+    MemAddrLow,     ///< low bits of the effective address
+    MemSize,        ///< access size encoding
+    MemRw,          ///< read/write flag
+    StrideFsm,      ///< [seq] constant-stride detector state
+    DcacheFsm,      ///< [seq] hit/miss-streak estimator state
+    ResState,       ///< LR/SC reservation state
+    Fflags,         ///< flags accrued by the last FP op
+    Frm,            ///< active rounding mode
+    FpClassA,       ///< class of FP operand A (fclass encoding)
+    FpClassB,       ///< class of FP operand B
+    FpKind,         ///< FP operation kind
+    FpPrec,         ///< single/double
+    CsrAddr,        ///< digest of the last CSR address touched
+    TrapCause,      ///< last trap cause (constrained domain)
+    TrapFlag,       ///< trapped on this commit
+    FsState,        ///< mstatus.FS field
+    MulDivBusy,     ///< a mul/div op is in flight
+    DivCycles,      ///< [seq] divider latency counter digest
+    MulSigns,       ///< operand sign combination
+    AmoKind,        ///< atomic operation kind
+    IcacheFsm,      ///< [seq] fetch-stream locality state
+    PtwFsm,         ///< [seq] page-table-walk FSM (one-hot domain)
+    TlbFsm,         ///< [seq] TLB fill FSM
+    RobOcc,         ///< [seq] reorder-buffer occupancy digest (OoO)
+    IqOcc,          ///< [seq] issue-queue occupancy digest (OoO)
+};
+
+/** A stateful element of the design. */
+struct Register
+{
+    std::string name;
+    unsigned width;          ///< bits
+    RegRole role;
+    /**
+     * Optional constrained value domain. Empty means the register can
+     * take any width-bit value; non-empty lists the only values the
+     * implementation can produce (e.g. one-hot FSM states). The
+     * reachability analysis consumes this.
+     */
+    std::vector<uint64_t> domain;
+
+    /**
+     * Bit offset into the role value this register latches (real
+     * designs slice architectural quantities across several small
+     * control registers).
+     */
+    unsigned srcShift = 0;
+
+    /**
+     * Nonzero for *derived* control state: the register latches a
+     * salted mix of the role value rather than a direct slice,
+     * modelling the many distinct control registers different logic
+     * cones derive from the same architectural quantity.
+     */
+    uint64_t salt = 0;
+
+    uint64_t value = 0; ///< current simulated value
+};
+
+/** A combinational node. */
+struct Wire
+{
+    std::string name;
+    std::vector<uint32_t> regDrivers;  ///< register indices
+    std::vector<uint32_t> wireDrivers; ///< wire indices
+};
+
+/** A multiplexer; its select is driven by one wire. */
+struct Mux
+{
+    std::string name;
+    uint32_t selectWire;
+};
+
+/** One level of the design hierarchy. */
+class Module
+{
+  public:
+    explicit Module(std::string module_name)
+        : moduleName(std::move(module_name))
+    {}
+
+    const std::string &name() const { return moduleName; }
+
+    /** Add a register; returns its index. */
+    uint32_t addRegister(const std::string &reg_name, unsigned width,
+                         RegRole role,
+                         std::vector<uint64_t> domain = {},
+                         unsigned src_shift = 0, uint64_t salt = 0);
+
+    /** Add a wire driven by the given registers/wires. */
+    uint32_t addWire(const std::string &wire_name,
+                     std::vector<uint32_t> reg_drivers,
+                     std::vector<uint32_t> wire_drivers = {});
+
+    /** Add a mux whose select is the given wire. */
+    uint32_t addMux(const std::string &mux_name, uint32_t select_wire);
+
+    /** Add a child module; the pointer stays owned by this module. */
+    Module *addChild(std::string child_name);
+
+    std::vector<Register> &registers() { return regs; }
+    const std::vector<Register> &registers() const { return regs; }
+    const std::vector<Wire> &wires() const { return wireList; }
+    const std::vector<Mux> &muxes() const { return muxList; }
+    const std::vector<std::unique_ptr<Module>> &children() const
+    {
+        return kids;
+    }
+
+    /**
+     * The paper's trace-back algorithm: walk the select network of
+     * @p mux through wires until registers are reached.
+     * @return sorted, deduplicated register indices.
+     */
+    std::vector<uint32_t> traceControlRegisters(const Mux &mux) const;
+
+    /**
+     * Control registers of the whole module: union over all muxes of
+     * their traced register sets (sorted, deduplicated).
+     */
+    std::vector<uint32_t> controlRegisters() const;
+
+    /** Depth-first visit of this module and all descendants. */
+    void visit(const std::function<void(Module &)> &fn);
+    void visit(const std::function<void(const Module &)> &fn) const;
+
+    /** Find a direct or transitive child by name (nullptr if absent). */
+    Module *findModule(const std::string &module_name);
+
+    /** Sum of register widths over the control registers. */
+    unsigned controlBitWidth() const;
+
+  private:
+    std::string moduleName;
+    std::vector<Register> regs;
+    std::vector<Wire> wireList;
+    std::vector<Mux> muxList;
+    std::vector<std::unique_ptr<Module>> kids;
+};
+
+} // namespace turbofuzz::rtl
+
+#endif // TURBOFUZZ_RTL_MODULE_HH

@@ -1,0 +1,128 @@
+#include "soc/area_model.hh"
+
+#include <cmath>
+
+#include "common/bitutils.hh"
+#include "common/logging.hh"
+
+namespace turbofuzz::soc
+{
+
+namespace
+{
+/** Bits per 36Kb block RAM. */
+constexpr double bramBits = 36.0 * 1024.0;
+} // namespace
+
+DevicePart
+xczu19eg()
+{
+    // UltraScale+ XCZU19EG: 522,720 LUTs, 984 BRAM36, 1,045,440 FFs.
+    return {522720, 984, 1045440};
+}
+
+double
+utilPercent(uint64_t used, uint64_t available)
+{
+    return 100.0 * static_cast<double>(used) /
+           static_cast<double>(available);
+}
+
+Resources
+rocketDutResources(uint32_t max_state_size_bits)
+{
+    // Rocket implementation baseline, with cover-point compare/XOR
+    // logic scaling in the number of instrumented index bits
+    // (~800 LUTs and ~800 FFs per index bit across the module tree).
+    Resources r;
+    r.luts = 296739 + 800ull * max_state_size_bits;
+    r.brams = 20;
+    r.regs = 158400 + 800ull * max_state_size_bits;
+    return r;
+}
+
+Resources
+fuzzerIpResources(const FuzzerAreaConfig &cfg)
+{
+    Resources r;
+
+    // Control/datapath LUTs: decode + operand assignment dominate,
+    // scaled by library rows and pipeline depth.
+    const double lutBase = 38000.0;
+    const double lutPerLibRow = 120.0;
+    const double lutPerStage = 1700.0;
+    r.luts = static_cast<uint64_t>(
+        lutBase + lutPerLibRow * cfg.instrLibEntries +
+        lutPerStage * cfg.pipelineStages);
+
+    // BRAM: corpus storage + coverage map + context buffers.
+    const double corpusBits =
+        8.0 * cfg.corpusEntries * cfg.seedBytes;
+    const double covMapBits =
+        std::ldexp(1.0, static_cast<int>(cfg.maxStateSizeBits)) * 2.0;
+    const double contextBits = 512.0 * 1024.0; // global context buffer
+    r.brams = static_cast<uint64_t>(
+        std::ceil(corpusBits / bramBits) +
+        std::ceil(covMapBits / bramBits) +
+        std::ceil(contextBits / bramBits) + 4 /* FIFOs */);
+
+    // Registers: pipeline regs + LFSRs + metadata.
+    const double regBase = 52000.0;
+    const double regPerStage = 6200.0;
+    const double regPerLibRow = 12.0;
+    r.regs = static_cast<uint64_t>(regBase +
+                                   regPerStage * cfg.pipelineStages +
+                                   regPerLibRow * cfg.instrLibEntries);
+    return r;
+}
+
+Resources
+checkerResources()
+{
+    // Differential checker, monitors and snapshot controller
+    // (ENCORE-style), independent of fuzzer configuration.
+    return {21871, 51, 48032};
+}
+
+Resources
+turboFuzzResources(const FuzzerAreaConfig &cfg)
+{
+    return fuzzerIpResources(cfg) + checkerResources();
+}
+
+Resources
+ilaResources(uint32_t probe_signals, uint32_t trace_depth)
+{
+    TF_ASSERT(trace_depth >= 2, "ILA depth too small");
+    // Vendor ILAs bank the trace memory per probe group and insert a
+    // pipeline register stage per doubling of the depth; resources
+    // therefore grow with the probe count and log2(depth). Calibrated
+    // to pg172 characterisation data for ~3k probed signals at depths
+    // 1024/65536 (Table III config1/config2).
+    const double log_depth = std::log2(static_cast<double>(trace_depth));
+    const double probe_scale = probe_signals / 3000.0;
+
+    Resources r;
+    r.luts = static_cast<uint64_t>((4915.0 + 322.7 * log_depth) *
+                                   probe_scale);
+    r.brams = static_cast<uint64_t>((276.7 + 18.83 * log_depth) *
+                                    probe_scale);
+    r.regs = static_cast<uint64_t>((9247.0 + 504.7 * log_depth) *
+                                   probe_scale);
+    return r;
+}
+
+double
+fmaxMHz(uint32_t max_state_size_bits)
+{
+    // The sequential-offset coverage network adds roughly 0.45 ns of
+    // routing+logic per index bit beyond the 13-bit baseline.
+    const double baselineNs = 8.6; // cov1 critical path
+    const double extra =
+        max_state_size_bits > 13
+            ? 0.45 * static_cast<double>(max_state_size_bits - 13)
+            : 0.0;
+    return 1000.0 / (baselineNs + extra);
+}
+
+} // namespace turbofuzz::soc

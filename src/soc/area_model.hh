@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Analytical FPGA resource model (Table III substitution).
+ *
+ * Vivado implementation runs are replaced by an analytical estimator
+ * for LUTs, block RAMs and registers of each TurboFuzz component on
+ * the XCZU19EG part. Constants are calibrated so the default
+ * configuration reproduces Table III; the *scaling* (corpus size,
+ * coverage width, trace depth) follows first-principles resource
+ * arithmetic, which is what the overhead analysis in §VII-G exercises.
+ */
+
+#ifndef TURBOFUZZ_SOC_AREA_MODEL_HH
+#define TURBOFUZZ_SOC_AREA_MODEL_HH
+
+#include <cstdint>
+#include <string>
+
+namespace turbofuzz::soc
+{
+
+/** A LUT/BRAM/FF triple. */
+struct Resources
+{
+    uint64_t luts = 0;
+    uint64_t brams = 0;
+    uint64_t regs = 0;
+
+    Resources
+    operator+(const Resources &o) const
+    {
+        return {luts + o.luts, brams + o.brams, regs + o.regs};
+    }
+};
+
+/** Totals available on the XCZU19EG (for utilisation percentages). */
+struct DevicePart
+{
+    uint64_t luts;
+    uint64_t brams;
+    uint64_t regs;
+};
+
+/** The Fidus Sidewinder's XCZU19EG device totals. */
+DevicePart xczu19eg();
+
+/** Percent utilisation of @p used against @p part. */
+double utilPercent(uint64_t used, uint64_t available);
+
+/** Configuration knobs that influence fuzzer-IP area. */
+struct FuzzerAreaConfig
+{
+    uint32_t corpusEntries = 64;      ///< BRAM-resident seeds
+    uint32_t seedBytes = 11264;       ///< bytes per stored seed (11 KiB)
+    uint32_t maxStateSizeBits = 15;   ///< coverage index width (cov3)
+    uint32_t pipelineStages = 6;      ///< generator pipeline depth
+    uint32_t instrLibEntries = 160;   ///< instruction library rows
+};
+
+/** DUT plus instrumented cover points (Rocket, Table III column 1). */
+Resources rocketDutResources(uint32_t max_state_size_bits);
+
+/** The synthesizable TurboFuzzer IP alone. */
+Resources fuzzerIpResources(const FuzzerAreaConfig &cfg);
+
+/** Differential checker + monitors + snapshot controller. */
+Resources checkerResources();
+
+/** The full TurboFuzz framework excluding DUT and cover points. */
+Resources turboFuzzResources(const FuzzerAreaConfig &cfg);
+
+/**
+ * Vendor ILA with @p probe_signals probes and @p trace_depth samples
+ * (config1 = 1024, config2 = 65536 in the paper).
+ */
+Resources ilaResources(uint32_t probe_signals, uint32_t trace_depth);
+
+/**
+ * Maximum achievable fabric clock for an instrumentation width
+ * (cov1=13, cov2=14, cov3=15 in §VII-G). The coverage XOR/offset
+ * network lengthens the feedback path as the index widens.
+ */
+double fmaxMHz(uint32_t max_state_size_bits);
+
+} // namespace turbofuzz::soc
+
+#endif // TURBOFUZZ_SOC_AREA_MODEL_HH

@@ -1,0 +1,42 @@
+#include "soc/ila.hh"
+
+#include "common/logging.hh"
+
+namespace turbofuzz::soc
+{
+
+IlaModel::IlaModel(std::vector<std::string> probe_names,
+                   uint32_t trace_depth)
+    : probeNames(std::move(probe_names)), traceDepth(trace_depth)
+{
+    TF_ASSERT(traceDepth >= 2, "ILA trace depth must be >= 2");
+}
+
+void
+IlaModel::capture(const std::vector<uint64_t> &values)
+{
+    TF_ASSERT(values.size() == probeNames.size(),
+              "probe/value count mismatch (%zu vs %zu)", values.size(),
+              probeNames.size());
+    window.push_back(values);
+    while (window.size() > traceDepth)
+        window.pop_front();
+}
+
+void
+IlaModel::reprobe(std::vector<std::string> probe_names)
+{
+    probeNames = std::move(probe_names);
+    window.clear();
+    ++recompiles;
+}
+
+Resources
+IlaModel::resources() const
+{
+    // Each 64-bit probe contributes its full width to the sample.
+    return ilaResources(static_cast<uint32_t>(probeNames.size()) * 64,
+                        traceDepth);
+}
+
+} // namespace turbofuzz::soc

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Behavioural model of a vendor Integrated Logic Analyzer.
+ *
+ * Used by the Table III overhead comparison and by tests contrasting
+ * ILA-style debugging (bounded trace window, recompile to change the
+ * probe set) with TurboFuzz's full-state snapshots.
+ */
+
+#ifndef TURBOFUZZ_SOC_ILA_HH
+#define TURBOFUZZ_SOC_ILA_HH
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "soc/area_model.hh"
+
+namespace turbofuzz::soc
+{
+
+/**
+ * A ring-buffer trace capture over a fixed probe set. Changing the
+ * probe set models a design recompilation (counted, since the paper
+ * contrasts this cost against snapshot-based debugging).
+ */
+class IlaModel
+{
+  public:
+    /**
+     * @param probe_names  Signals to capture each cycle.
+     * @param trace_depth  Ring buffer depth in samples.
+     */
+    IlaModel(std::vector<std::string> probe_names, uint32_t trace_depth);
+
+    /** Capture one sample (one value per probe). */
+    void capture(const std::vector<uint64_t> &values);
+
+    /** Oldest-to-newest captured samples (window <= depth). */
+    const std::deque<std::vector<uint64_t>> &trace() const
+    {
+        return window;
+    }
+
+    /** Replace the probe set; models a recompile. */
+    void reprobe(std::vector<std::string> probe_names);
+
+    /** Number of recompilations triggered by reprobe(). */
+    uint32_t recompileCount() const { return recompiles; }
+
+    uint32_t depth() const { return traceDepth; }
+    const std::vector<std::string> &probes() const { return probeNames; }
+
+    /** Estimated fabric resources for this configuration. */
+    Resources resources() const;
+
+  private:
+    std::vector<std::string> probeNames;
+    uint32_t traceDepth;
+    uint32_t recompiles = 0;
+    std::deque<std::vector<uint64_t>> window;
+};
+
+} // namespace turbofuzz::soc
+
+#endif // TURBOFUZZ_SOC_ILA_HH

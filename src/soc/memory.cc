@@ -1,0 +1,176 @@
+#include "soc/memory.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+#include "soc/snapshot.hh"
+
+namespace turbofuzz::soc
+{
+
+const Memory::Page *
+Memory::findPage(uint64_t addr) const
+{
+    auto it = pages.find(addr / pageSize);
+    return it == pages.end() ? nullptr : &it->second;
+}
+
+Memory::Page &
+Memory::pageFor(uint64_t addr)
+{
+    auto [it, inserted] = pages.try_emplace(addr / pageSize);
+    if (inserted)
+        it->second.assign(pageSize, 0);
+    return it->second;
+}
+
+template <typename T>
+T
+Memory::readScalar(uint64_t addr) const
+{
+    // Fast path: the access stays within one page.
+    const uint64_t off = addr % pageSize;
+    if (off + sizeof(T) <= pageSize) {
+        const Page *p = findPage(addr);
+        if (!p)
+            return 0;
+        T v;
+        std::memcpy(&v, p->data() + off, sizeof(T));
+        return v;
+    }
+    // Page-straddling access: byte-by-byte.
+    T v = 0;
+    for (size_t i = 0; i < sizeof(T); ++i)
+        v |= static_cast<T>(read8(addr + i)) << (8 * i);
+    return v;
+}
+
+template <typename T>
+void
+Memory::writeScalar(uint64_t addr, T value)
+{
+    const uint64_t off = addr % pageSize;
+    if (off + sizeof(T) <= pageSize) {
+        Page &p = pageFor(addr);
+        std::memcpy(p.data() + off, &value, sizeof(T));
+        return;
+    }
+    for (size_t i = 0; i < sizeof(T); ++i)
+        write8(addr + i, static_cast<uint8_t>(value >> (8 * i)));
+}
+
+uint8_t
+Memory::read8(uint64_t addr) const
+{
+    const Page *p = findPage(addr);
+    return p ? (*p)[addr % pageSize] : 0;
+}
+
+uint16_t
+Memory::read16(uint64_t addr) const
+{
+    return readScalar<uint16_t>(addr);
+}
+
+uint32_t
+Memory::read32(uint64_t addr) const
+{
+    return readScalar<uint32_t>(addr);
+}
+
+uint64_t
+Memory::read64(uint64_t addr) const
+{
+    return readScalar<uint64_t>(addr);
+}
+
+void
+Memory::write8(uint64_t addr, uint8_t value)
+{
+    pageFor(addr)[addr % pageSize] = value;
+}
+
+void
+Memory::write16(uint64_t addr, uint16_t value)
+{
+    writeScalar(addr, value);
+}
+
+void
+Memory::write32(uint64_t addr, uint32_t value)
+{
+    writeScalar(addr, value);
+}
+
+void
+Memory::write64(uint64_t addr, uint64_t value)
+{
+    writeScalar(addr, value);
+}
+
+void
+Memory::loadBlob(uint64_t addr, const uint8_t *data, size_t size)
+{
+    for (size_t i = 0; i < size; ++i)
+        write8(addr + i, data[i]);
+}
+
+void
+Memory::clearRange(uint64_t addr, uint64_t size)
+{
+    for (uint64_t a = addr; a < addr + size; ++a)
+        write8(a, 0);
+}
+
+void
+Memory::reset()
+{
+    pages.clear();
+}
+
+void
+Memory::saveState(SnapshotWriter &out) const
+{
+    out.putU64(pages.size());
+    for (const auto &[pageNum, page] : pages) {
+        out.putU64(pageNum);
+        out.putBytes(page.data(), page.size());
+    }
+}
+
+void
+Memory::loadState(SnapshotReader &in)
+{
+    pages.clear();
+    const uint64_t count = in.getU64();
+    for (uint64_t i = 0; i < count; ++i) {
+        const uint64_t pageNum = in.getU64();
+        Page page(pageSize);
+        in.getBytes(page.data(), pageSize);
+        pages.emplace(pageNum, std::move(page));
+    }
+}
+
+Bram::Bram(size_t capacity_bytes) : capacityBytes(capacity_bytes)
+{
+}
+
+size_t
+Bram::append(const std::vector<uint8_t> &record)
+{
+    if (data.size() + record.size() > capacityBytes)
+        return SIZE_MAX;
+    const size_t offset = data.size();
+    data.insert(data.end(), record.begin(), record.end());
+    return offset;
+}
+
+std::vector<uint8_t>
+Bram::read(size_t offset, size_t size) const
+{
+    TF_ASSERT(offset + size <= data.size(), "BRAM read out of range");
+    return {data.begin() + static_cast<ptrdiff_t>(offset),
+            data.begin() + static_cast<ptrdiff_t>(offset + size)};
+}
+
+} // namespace turbofuzz::soc

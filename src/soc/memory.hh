@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Sparse byte-addressable memory modelling the board's DDR4, plus a
+ * small capacity-limited Bram model for on-chip seed storage.
+ *
+ * The DDR model backs the instruction segment the fuzzer commits
+ * iterations into and the LFSR-filled data segment; it is sparse so
+ * snapshots stay small.
+ */
+
+#ifndef TURBOFUZZ_SOC_MEMORY_HH
+#define TURBOFUZZ_SOC_MEMORY_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+namespace turbofuzz::soc
+{
+
+class SnapshotWriter;
+class SnapshotReader;
+
+/** Sparse 64-bit address space with 4 KiB backing pages. */
+class Memory
+{
+  public:
+    static constexpr uint64_t pageSize = 4096;
+
+    Memory() = default;
+
+    uint8_t read8(uint64_t addr) const;
+    uint16_t read16(uint64_t addr) const;
+    uint32_t read32(uint64_t addr) const;
+    uint64_t read64(uint64_t addr) const;
+
+    void write8(uint64_t addr, uint8_t value);
+    void write16(uint64_t addr, uint16_t value);
+    void write32(uint64_t addr, uint32_t value);
+    void write64(uint64_t addr, uint64_t value);
+
+    /** Copy a blob into memory starting at @p addr. */
+    void loadBlob(uint64_t addr, const uint8_t *data, size_t size);
+
+    /** Zero-fill a range (allocates pages). */
+    void clearRange(uint64_t addr, uint64_t size);
+
+    /** Drop every page (full reset). */
+    void reset();
+
+    /** Number of resident pages (for stats/snapshot sizing). */
+    size_t residentPages() const { return pages.size(); }
+
+    /** Serialize resident pages. */
+    void saveState(SnapshotWriter &out) const;
+
+    /** Restore from a snapshot (replaces all contents). */
+    void loadState(SnapshotReader &in);
+
+  private:
+    using Page = std::vector<uint8_t>;
+
+    const Page *findPage(uint64_t addr) const;
+    Page &pageFor(uint64_t addr);
+
+    /** Generic little-endian scalar access helpers. */
+    template <typename T> T readScalar(uint64_t addr) const;
+    template <typename T> void writeScalar(uint64_t addr, T value);
+
+    std::map<uint64_t, Page> pages;
+};
+
+/**
+ * On-chip BRAM region with a hard capacity, mirroring the paper's
+ * BRAM-resident corpus option (faster but limited, §IV-A3).
+ */
+class Bram
+{
+  public:
+    explicit Bram(size_t capacity_bytes);
+
+    size_t capacity() const { return capacityBytes; }
+    size_t used() const { return data.size(); }
+
+    /**
+     * Append a record; returns the offset, or SIZE_MAX when the record
+     * does not fit.
+     */
+    size_t append(const std::vector<uint8_t> &record);
+
+    /** Read back a record written by append(). */
+    std::vector<uint8_t> read(size_t offset, size_t size) const;
+
+    void clear() { data.clear(); }
+
+  private:
+    size_t capacityBytes;
+    std::vector<uint8_t> data;
+};
+
+} // namespace turbofuzz::soc
+
+#endif // TURBOFUZZ_SOC_MEMORY_HH

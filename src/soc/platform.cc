@@ -1,0 +1,107 @@
+#include "soc/platform.hh"
+
+#include "common/logging.hh"
+
+namespace turbofuzz::soc
+{
+
+TimingProfile
+turboFuzzProfile()
+{
+    TimingProfile p;
+    p.name = "TurboFuzz";
+    p.startupSec = 1.0;            // bitstream + corpus init
+    p.genPerInstrSec = 1.0 / fabricClockHz;  // 1 instr/cycle generator
+    p.execPerInstrSec = 1.0 / fabricClockHz; // in-order DUT, IPC ~1
+    p.checkPerInstrSec = 5.0e-8;   // ARM PS reference, ~20 MIPS
+    p.iterFixedSec = 1.283e-2;     // coverage readback + corpus ops
+    return p;
+}
+
+TimingProfile
+difuzzRtlFpgaProfile()
+{
+    TimingProfile p;
+    p.name = "DifuzzRTL(FPGA)";
+    p.startupSec = 1.0;
+    p.genPerInstrSec = 1.0e-4;     // python-level generation/mutation
+    p.execPerInstrSec = 1.0 / fabricClockHz;
+    p.checkPerInstrSec = 0.0;      // coarse end-of-run comparison
+    p.iterFixedSec = 0.151;        // host<->FPGA DMA + reload
+    return p;
+}
+
+TimingProfile
+difuzzRtlSwProfile()
+{
+    TimingProfile p;
+    p.name = "DifuzzRTL";
+    p.startupSec = 2.0;            // simulator build/elaboration
+    p.genPerInstrSec = 1.0e-4;
+    p.execPerInstrSec = 2.0e-5;    // RTL simulation, ~50 kHz
+    p.checkPerInstrSec = 0.0;
+    p.iterFixedSec = 0.151;        // ELF assembly + simulator reset
+    return p;
+}
+
+TimingProfile
+cascadeProfile()
+{
+    TimingProfile p;
+    p.name = "Cascade";
+    p.startupSec = 2.0;
+    p.genPerInstrSec = 1.8e-4;     // intricate program construction
+    p.execPerInstrSec = 2.0e-5;    // RTL simulation
+    p.checkPerInstrSec = 0.0;      // termination-only checking
+    p.iterFixedSec = 3.93e-2;      // program load + simulator reset
+    return p;
+}
+
+TimingProfile
+benchmarkFpgaProfile()
+{
+    TimingProfile p;
+    p.name = "Benchmark(FPGA)";
+    p.startupSec = 1.0;
+    p.genPerInstrSec = 0.0;
+    p.execPerInstrSec = 1.0 / fabricClockHz;
+    p.checkPerInstrSec = 5.0e-8;
+    p.iterFixedSec = 2.0e-3;       // program (re)load via DMA
+    return p;
+}
+
+Platform::Platform(TimingProfile profile, SimClock *clock)
+    : prof(std::move(profile)), clk(clock)
+{
+    TF_ASSERT(clk != nullptr, "Platform requires a clock");
+}
+
+void
+Platform::chargeStartup()
+{
+    clk->advance(sim_time::fromSeconds(prof.startupSec));
+}
+
+void
+Platform::chargeIteration(uint64_t generated, uint64_t executed)
+{
+    clk->advance(
+        sim_time::fromSeconds(prof.iterationSec(generated, executed)));
+}
+
+void
+Platform::chargeExecution(uint64_t executed)
+{
+    clk->advance(sim_time::fromSeconds(
+        (prof.execPerInstrSec + prof.checkPerInstrSec) *
+        static_cast<double>(executed)));
+}
+
+void
+Platform::chargeSeconds(double sec)
+{
+    TF_ASSERT(sec >= 0.0, "negative time charge");
+    clk->advance(sim_time::fromSeconds(sec));
+}
+
+} // namespace turbofuzz::soc

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Simulated execution-platform timing model.
+ *
+ * The paper runs four very different loop configurations:
+ *   - TurboFuzz: generation, DUT, checking and coverage all on one
+ *     FPGA SoC (fabric at 100 MHz, REF on the hardened ARM cores);
+ *   - DifuzzRTL with FPGA offload: DUT on the fabric but generation
+ *     and coverage on the host, paying host<->FPGA DMA per iteration;
+ *   - DifuzzRTL / Cascade in pure software: everything on the host,
+ *     with the DUT in RTL simulation at tens of kHz;
+ *   - plain benchmark execution on the FPGA (deepExplore stage 1).
+ *
+ * This model charges simulated time for each loop stage. The per-stage
+ * constants are the ONLY paper-calibrated numbers in the repository
+ * (see DESIGN.md §5); every experiment consumes the resulting relative
+ * costs. Absolute Table I rows fall out of the same constants.
+ */
+
+#ifndef TURBOFUZZ_SOC_PLATFORM_HH
+#define TURBOFUZZ_SOC_PLATFORM_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/sim_clock.hh"
+
+namespace turbofuzz::soc
+{
+
+/** Per-stage costs of one fuzzing-loop iteration on some platform. */
+struct TimingProfile
+{
+    std::string name;
+
+    /** One-time setup (bitstream programming, corpus init). */
+    double startupSec = 0.0;
+
+    /** Cost to *generate* one instruction. */
+    double genPerInstrSec = 0.0;
+
+    /** Cost to *execute* one instruction on the DUT. */
+    double execPerInstrSec = 0.0;
+
+    /** Cost to lockstep-check one executed instruction on the REF. */
+    double checkPerInstrSec = 0.0;
+
+    /**
+     * Fixed per-iteration overhead: host<->FPGA DMA and re-assembly
+     * for offload flows, program build + simulator reset for software
+     * flows, coverage-map readback and corpus maintenance for the
+     * on-fabric flow.
+     */
+    double iterFixedSec = 0.0;
+
+    /** Compute the cost of one iteration. */
+    double
+    iterationSec(uint64_t generated, uint64_t executed) const
+    {
+        return iterFixedSec +
+               genPerInstrSec * static_cast<double>(generated) +
+               (execPerInstrSec + checkPerInstrSec) *
+                   static_cast<double>(executed);
+    }
+};
+
+/** Fabric clock of the evaluation board (paper: 100 MHz Rocket). */
+constexpr double fabricClockHz = 100.0e6;
+
+/**
+ * TurboFuzz on-fabric profile: generation at ~1 instr/cycle, DUT at
+ * IPC ~1 on the fabric, REF sync on the ARM PS, and a fixed
+ * coverage-readback + corpus-maintenance cost per iteration.
+ * Calibrated to Table I row 3 (75.12 Hz, 309,676 exec instr/s at
+ * 4,000 instructions per iteration).
+ */
+TimingProfile turboFuzzProfile();
+
+/**
+ * DifuzzRTL with DUT offloaded to the FPGA: per-iteration host DMA
+ * and stimulus re-assembly dominate. Calibrated to Table I row 1
+ * (4.13 Hz, 728 exec instr/s).
+ */
+TimingProfile difuzzRtlFpgaProfile();
+
+/** DifuzzRTL fully in software (RTL simulation at tens of kHz). */
+TimingProfile difuzzRtlSwProfile();
+
+/**
+ * Cascade: program generation on the host plus software RTL
+ * simulation. Calibrated to Table I row 2 (12.80 Hz, 2,489 exec
+ * instr/s).
+ */
+TimingProfile cascadeProfile();
+
+/** Plain benchmark execution on the fabric (no fuzzing loop). */
+TimingProfile benchmarkFpgaProfile();
+
+/**
+ * A platform instance: a timing profile bound to a simulated clock.
+ */
+class Platform
+{
+  public:
+    Platform(TimingProfile profile, SimClock *clock);
+
+    /** Charge the one-time startup cost. */
+    void chargeStartup();
+
+    /** Charge one fuzzing-loop iteration. */
+    void chargeIteration(uint64_t generated, uint64_t executed);
+
+    /** Charge raw DUT execution (benchmark runs, interval replay). */
+    void chargeExecution(uint64_t executed);
+
+    /** Charge an explicit extra cost in seconds. */
+    void chargeSeconds(double sec);
+
+    const TimingProfile &profile() const { return prof; }
+    SimClock &clock() { return *clk; }
+    double nowSec() const { return clk->seconds(); }
+
+  private:
+    TimingProfile prof;
+    SimClock *clk;
+};
+
+} // namespace turbofuzz::soc
+
+#endif // TURBOFUZZ_SOC_PLATFORM_HH

@@ -1,0 +1,192 @@
+#include "soc/snapshot.hh"
+
+#include <cstdio>
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace turbofuzz::soc
+{
+
+void
+SnapshotWriter::putU8(uint8_t v)
+{
+    bytes.push_back(v);
+}
+
+void
+SnapshotWriter::putU16(uint16_t v)
+{
+    putU8(static_cast<uint8_t>(v));
+    putU8(static_cast<uint8_t>(v >> 8));
+}
+
+void
+SnapshotWriter::putU32(uint32_t v)
+{
+    putU16(static_cast<uint16_t>(v));
+    putU16(static_cast<uint16_t>(v >> 16));
+}
+
+void
+SnapshotWriter::putU64(uint64_t v)
+{
+    putU32(static_cast<uint32_t>(v));
+    putU32(static_cast<uint32_t>(v >> 32));
+}
+
+void
+SnapshotWriter::putBytes(const uint8_t *data, size_t size)
+{
+    bytes.insert(bytes.end(), data, data + size);
+}
+
+void
+SnapshotWriter::putString(const std::string &s)
+{
+    putU32(static_cast<uint32_t>(s.size()));
+    putBytes(reinterpret_cast<const uint8_t *>(s.data()), s.size());
+}
+
+SnapshotReader::SnapshotReader(const std::vector<uint8_t> &data)
+    : source(data)
+{
+}
+
+uint8_t
+SnapshotReader::getU8()
+{
+    TF_ASSERT(cursor < source.size(), "snapshot underrun");
+    return source[cursor++];
+}
+
+uint16_t
+SnapshotReader::getU16()
+{
+    const uint16_t lo = getU8();
+    const uint16_t hi = getU8();
+    return static_cast<uint16_t>(lo | (hi << 8));
+}
+
+uint32_t
+SnapshotReader::getU32()
+{
+    const uint32_t lo = getU16();
+    const uint32_t hi = getU16();
+    return lo | (hi << 16);
+}
+
+uint64_t
+SnapshotReader::getU64()
+{
+    const uint64_t lo = getU32();
+    const uint64_t hi = getU32();
+    return lo | (hi << 32);
+}
+
+void
+SnapshotReader::getBytes(uint8_t *out, size_t size)
+{
+    TF_ASSERT(cursor + size <= source.size(), "snapshot underrun");
+    std::memcpy(out, source.data() + cursor, size);
+    cursor += size;
+}
+
+std::string
+SnapshotReader::getString()
+{
+    const uint32_t n = getU32();
+    std::string s(n, '\0');
+    getBytes(reinterpret_cast<uint8_t *>(s.data()), n);
+    return s;
+}
+
+void
+Snapshot::setSection(const std::string &name, std::vector<uint8_t> data)
+{
+    sections[name] = std::move(data);
+}
+
+bool
+Snapshot::hasSection(const std::string &name) const
+{
+    return sections.count(name) != 0;
+}
+
+const std::vector<uint8_t> &
+Snapshot::section(const std::string &name) const
+{
+    auto it = sections.find(name);
+    if (it == sections.end())
+        fatal("snapshot has no section '%s'", name.c_str());
+    return it->second;
+}
+
+std::vector<uint8_t>
+Snapshot::serialize() const
+{
+    SnapshotWriter w;
+    w.putU32(0x54465350); // "TFSP"
+    w.putString(triggerReason);
+    w.putU64(static_cast<uint64_t>(captureTimeSec * 1e9));
+    w.putU32(static_cast<uint32_t>(sections.size()));
+    for (const auto &[name, data] : sections) {
+        w.putString(name);
+        w.putU32(static_cast<uint32_t>(data.size()));
+        w.putBytes(data.data(), data.size());
+    }
+    return w.takeBuffer();
+}
+
+Snapshot
+Snapshot::deserialize(const std::vector<uint8_t> &image)
+{
+    SnapshotReader r(image);
+    Snapshot snap;
+    const uint32_t magic = r.getU32();
+    if (magic != 0x54465350)
+        fatal("bad snapshot magic 0x%08x", magic);
+    snap.triggerReason = r.getString();
+    snap.captureTimeSec = static_cast<double>(r.getU64()) / 1e9;
+    const uint32_t count = r.getU32();
+    for (uint32_t i = 0; i < count; ++i) {
+        std::string name = r.getString();
+        const uint32_t size = r.getU32();
+        std::vector<uint8_t> data(size);
+        r.getBytes(data.data(), size);
+        snap.sections[std::move(name)] = std::move(data);
+    }
+    return snap;
+}
+
+void
+Snapshot::saveFile(const std::string &path) const
+{
+    const auto image = serialize();
+    FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        fatal("cannot open snapshot file '%s' for writing", path.c_str());
+    const size_t written = std::fwrite(image.data(), 1, image.size(), f);
+    std::fclose(f);
+    if (written != image.size())
+        fatal("short write to snapshot file '%s'", path.c_str());
+}
+
+Snapshot
+Snapshot::loadFile(const std::string &path)
+{
+    FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        fatal("cannot open snapshot file '%s'", path.c_str());
+    std::fseek(f, 0, SEEK_END);
+    const long size = std::ftell(f);
+    std::fseek(f, 0, SEEK_SET);
+    std::vector<uint8_t> image(static_cast<size_t>(size));
+    const size_t got = std::fread(image.data(), 1, image.size(), f);
+    std::fclose(f);
+    if (got != image.size())
+        fatal("short read from snapshot file '%s'", path.c_str());
+    return deserialize(image);
+}
+
+} // namespace turbofuzz::soc

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Hardware snapshot capture (the StateMover/ENCORE readback analogue).
+ *
+ * A Snapshot is an ordered set of named binary sections. Components
+ * implement saveState()/loadState() against SnapshotWriter/Reader;
+ * the checker triggers a capture when a DUT/REF mismatch occurs so the
+ * exact failing state can be reloaded and replayed offline
+ * (paper §III "Fine-grained self-checking" and §II-C).
+ */
+
+#ifndef TURBOFUZZ_SOC_SNAPSHOT_HH
+#define TURBOFUZZ_SOC_SNAPSHOT_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace turbofuzz::soc
+{
+
+/** Serializer for one snapshot section stream. */
+class SnapshotWriter
+{
+  public:
+    void putU8(uint8_t v);
+    void putU16(uint16_t v);
+    void putU32(uint32_t v);
+    void putU64(uint64_t v);
+    void putBytes(const uint8_t *data, size_t size);
+    void putString(const std::string &s);
+
+    const std::vector<uint8_t> &buffer() const { return bytes; }
+    std::vector<uint8_t> takeBuffer() { return std::move(bytes); }
+
+  private:
+    std::vector<uint8_t> bytes;
+};
+
+/** Deserializer over a snapshot section stream. */
+class SnapshotReader
+{
+  public:
+    explicit SnapshotReader(const std::vector<uint8_t> &data);
+
+    uint8_t getU8();
+    uint16_t getU16();
+    uint32_t getU32();
+    uint64_t getU64();
+    void getBytes(uint8_t *out, size_t size);
+    std::string getString();
+
+    /** True when every byte has been consumed. */
+    bool exhausted() const { return cursor == source.size(); }
+
+  private:
+    const std::vector<uint8_t> &source;
+    size_t cursor = 0;
+};
+
+/**
+ * A complete design-state capture: named sections plus capture
+ * metadata (simulated time, trigger reason).
+ */
+class Snapshot
+{
+  public:
+    /** Add or replace a section. */
+    void setSection(const std::string &name, std::vector<uint8_t> data);
+
+    /** True if a section exists. */
+    bool hasSection(const std::string &name) const;
+
+    /** Retrieve a section; fatal() if missing. */
+    const std::vector<uint8_t> &section(const std::string &name) const;
+
+    void setTrigger(const std::string &reason) { triggerReason = reason; }
+    const std::string &trigger() const { return triggerReason; }
+
+    void setCaptureTime(double t) { captureTimeSec = t; }
+    double captureTime() const { return captureTimeSec; }
+
+    /** Serialize the whole snapshot to a flat byte image. */
+    std::vector<uint8_t> serialize() const;
+
+    /** Rebuild a snapshot from a flat byte image. */
+    static Snapshot deserialize(const std::vector<uint8_t> &image);
+
+    /** Write/read the flat image to/from a file. */
+    void saveFile(const std::string &path) const;
+    static Snapshot loadFile(const std::string &path);
+
+    size_t sectionCount() const { return sections.size(); }
+
+  private:
+    std::map<std::string, std::vector<uint8_t>> sections;
+    std::string triggerReason;
+    double captureTimeSec = 0.0;
+};
+
+} // namespace turbofuzz::soc
+
+#endif // TURBOFUZZ_SOC_SNAPSHOT_HH

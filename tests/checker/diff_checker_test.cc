@@ -1,0 +1,154 @@
+/** @file Differential-checker tests. */
+
+#include <gtest/gtest.h>
+
+#include "checker/diff_checker.hh"
+#include "isa/encoding.hh"
+
+namespace turbofuzz::checker
+{
+namespace
+{
+
+core::CommitInfo
+baseCommit()
+{
+    core::CommitInfo ci;
+    ci.pc = 0x10000000;
+    ci.nextPc = 0x10000004;
+    ci.insn = 0x00100093; // addi ra, zero, 1
+    ci.decodeValid = true;
+    ci.rdWritten = true;
+    ci.rd = 1;
+    ci.rdValue = 1;
+    ci.minstretAfter = 10;
+    return ci;
+}
+
+TEST(DiffChecker, IdenticalCommitsPass)
+{
+    DiffChecker chk(DiffChecker::Mode::PerInstruction);
+    const auto a = baseCommit();
+    EXPECT_FALSE(chk.compare(a, a).has_value());
+    EXPECT_EQ(chk.commitsChecked(), 1u);
+}
+
+TEST(DiffChecker, DetectsRdValueDivergence)
+{
+    DiffChecker chk(DiffChecker::Mode::PerInstruction);
+    auto dut = baseCommit();
+    auto ref = baseCommit();
+    dut.rdValue = 0xBAD;
+    const auto mm = chk.compare(dut, ref);
+    ASSERT_TRUE(mm.has_value());
+    EXPECT_EQ(mm->kind, MismatchKind::RdValue);
+    EXPECT_EQ(mm->dutValue, 0xBADu);
+    EXPECT_EQ(mm->refValue, 1u);
+}
+
+TEST(DiffChecker, DetectsTrapDivergence)
+{
+    DiffChecker chk(DiffChecker::Mode::PerInstruction);
+    auto dut = baseCommit();
+    auto ref = baseCommit();
+    ref.trapped = true;
+    ref.trapCause = 2;
+    const auto mm = chk.compare(dut, ref);
+    ASSERT_TRUE(mm.has_value());
+    EXPECT_EQ(mm->kind, MismatchKind::TrapBehaviour);
+}
+
+TEST(DiffChecker, DetectsFflagsDivergence)
+{
+    DiffChecker chk(DiffChecker::Mode::PerInstruction);
+    auto dut = baseCommit();
+    auto ref = baseCommit();
+    dut.fflagsAccrued = 0x8; // DZ
+    ref.fflagsAccrued = 0x10; // NV
+    const auto mm = chk.compare(dut, ref);
+    ASSERT_TRUE(mm.has_value());
+    EXPECT_EQ(mm->kind, MismatchKind::Fflags);
+}
+
+TEST(DiffChecker, DetectsNextPcDivergence)
+{
+    DiffChecker chk(DiffChecker::Mode::PerInstruction);
+    auto dut = baseCommit();
+    auto ref = baseCommit();
+    dut.nextPc = 0x20000000;
+    ASSERT_TRUE(chk.compare(dut, ref).has_value());
+}
+
+TEST(DiffChecker, DetectsMinstretDivergence)
+{
+    DiffChecker chk(DiffChecker::Mode::PerInstruction);
+    auto dut = baseCommit();
+    auto ref = baseCommit();
+    dut.minstretAfter = 9;
+    const auto mm = chk.compare(dut, ref);
+    ASSERT_TRUE(mm.has_value());
+    EXPECT_EQ(mm->kind, MismatchKind::Minstret);
+}
+
+TEST(DiffChecker, DescribeIsReadable)
+{
+    DiffChecker chk(DiffChecker::Mode::PerInstruction);
+    auto dut = baseCommit();
+    auto ref = baseCommit();
+    dut.rdValue = 2;
+    const auto mm = chk.compare(dut, ref);
+    const std::string desc = mm->describe();
+    EXPECT_NE(desc.find("rd-value"), std::string::npos);
+    EXPECT_NE(desc.find("addi"), std::string::npos);
+    EXPECT_NE(desc.find("0x10000000"), std::string::npos);
+}
+
+TEST(DiffChecker, FinalStateCompare)
+{
+    DiffChecker chk(DiffChecker::Mode::EndOfIteration);
+    core::ArchState dut, ref;
+    EXPECT_FALSE(chk.compareFinalState(dut, ref).has_value());
+
+    dut.setX(5, 42);
+    auto mm = chk.compareFinalState(dut, ref);
+    ASSERT_TRUE(mm.has_value());
+    EXPECT_EQ(mm->kind, MismatchKind::RdValue);
+
+    dut.setX(5, 0);
+    dut.setF(3, 0x7FF8000000000000ull);
+    mm = chk.compareFinalState(dut, ref);
+    ASSERT_TRUE(mm.has_value());
+    EXPECT_EQ(mm->kind, MismatchKind::FrdValue);
+}
+
+TEST(DiffChecker, SnapshotCaptureContainsBothHarts)
+{
+    soc::Memory dut_mem, ref_mem;
+    core::Iss dut(&dut_mem), ref(&ref_mem);
+    dut_mem.write64(0x1000, 0xAB);
+
+    Mismatch mm;
+    mm.kind = MismatchKind::RdValue;
+    mm.pc = 0x10000000;
+    mm.insn = 0x13;
+    mm.dutValue = 1;
+    mm.refValue = 2;
+    mm.instrIndex = 7;
+
+    const soc::Snapshot snap =
+        captureMismatchSnapshot(mm, dut, ref, 3.5);
+    EXPECT_TRUE(snap.hasSection("dut.arch"));
+    EXPECT_TRUE(snap.hasSection("ref.arch"));
+    EXPECT_TRUE(snap.hasSection("dut.mem"));
+    EXPECT_NEAR(snap.captureTime(), 3.5, 1e-9);
+    EXPECT_NE(snap.trigger().find("rd-value"), std::string::npos);
+
+    // The captured memory section is loadable and bit-exact.
+    soc::Memory restored;
+    soc::SnapshotReader r(snap.section("dut.mem"));
+    restored.loadState(r);
+    EXPECT_EQ(restored.read64(0x1000), 0xABull);
+}
+
+} // namespace
+} // namespace turbofuzz::checker

@@ -1,0 +1,87 @@
+/** @file Unit tests for the VIO-style configuration store. */
+
+#include <gtest/gtest.h>
+
+#include "common/config.hh"
+
+namespace turbofuzz
+{
+namespace
+{
+
+TEST(Config, DefaultsWhenAbsent)
+{
+    Config c;
+    EXPECT_EQ(c.getInt("missing", 42), 42);
+    EXPECT_EQ(c.getDouble("missing", 2.5), 2.5);
+    EXPECT_TRUE(c.getBool("missing", true));
+    EXPECT_EQ(c.getString("missing", "x"), "x");
+    EXPECT_FALSE(c.has("missing"));
+}
+
+TEST(Config, TypedSetGet)
+{
+    Config c;
+    c.setInt("iters", 4000);
+    c.setDouble("prob", 0.4375);
+    c.setBool("deep", true);
+    c.set("name", "turbofuzz");
+    EXPECT_EQ(c.getInt("iters", 0), 4000);
+    EXPECT_DOUBLE_EQ(c.getDouble("prob", 0), 0.4375);
+    EXPECT_TRUE(c.getBool("deep", false));
+    EXPECT_EQ(c.getString("name", ""), "turbofuzz");
+    EXPECT_TRUE(c.has("iters"));
+}
+
+TEST(Config, BoolSpellings)
+{
+    Config c;
+    for (const char *v : {"true", "1", "yes", "on"}) {
+        c.set("k", v);
+        EXPECT_TRUE(c.getBool("k", false)) << v;
+    }
+    for (const char *v : {"false", "0", "no", "off"}) {
+        c.set("k", v);
+        EXPECT_FALSE(c.getBool("k", true)) << v;
+    }
+}
+
+TEST(Config, HexIntegers)
+{
+    Config c;
+    c.set("addr", "0x80000000");
+    EXPECT_EQ(c.getInt("addr", 0), 0x80000000ll);
+}
+
+TEST(Config, ParseArgs)
+{
+    Config c;
+    const char *argv[] = {"prog", "--seed=7", "--mode=deep",
+                          "--ratio=0.75"};
+    const int n =
+        c.parseArgs(4, const_cast<char **>(argv));
+    EXPECT_EQ(n, 3);
+    EXPECT_EQ(c.getInt("seed", 0), 7);
+    EXPECT_EQ(c.getString("mode", ""), "deep");
+    EXPECT_DOUBLE_EQ(c.getDouble("ratio", 0), 0.75);
+}
+
+TEST(Config, ParseArgsRejectsBadForms)
+{
+    Config c;
+    const char *bad1[] = {"prog", "seed=7"};
+    EXPECT_EXIT(c.parseArgs(2, const_cast<char **>(bad1)),
+                testing::ExitedWithCode(1), "unrecognized argument");
+    const char *bad2[] = {"prog", "--seed"};
+    EXPECT_EXIT(c.parseArgs(2, const_cast<char **>(bad2)),
+                testing::ExitedWithCode(1), "missing");
+}
+
+TEST(Config, ProbHelper)
+{
+    Prob p{7, 16};
+    EXPECT_DOUBLE_EQ(p.value(), 0.4375);
+}
+
+} // namespace
+} // namespace turbofuzz

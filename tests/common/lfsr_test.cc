@@ -1,0 +1,118 @@
+/** @file Unit tests for the LFSR pseudo-random sources. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/lfsr.hh"
+
+namespace turbofuzz
+{
+namespace
+{
+
+TEST(GaloisLfsr, NeverReachesZero)
+{
+    GaloisLfsr lfsr(16, 0xACE1);
+    for (int i = 0; i < 100000; ++i)
+        ASSERT_NE(lfsr.step(), 0u);
+}
+
+TEST(GaloisLfsr, ZeroSeedCoerced)
+{
+    GaloisLfsr lfsr(16, 0);
+    EXPECT_EQ(lfsr.state(), 1u);
+}
+
+TEST(GaloisLfsr, FullPeriodWidth8)
+{
+    // Maximal polynomial: period must be exactly 2^8 - 1.
+    GaloisLfsr lfsr(8, 1);
+    const uint64_t start = lfsr.state();
+    std::set<uint64_t> seen;
+    seen.insert(start);
+    uint64_t steps = 0;
+    for (;;) {
+        const uint64_t s = lfsr.step();
+        ++steps;
+        if (s == start)
+            break;
+        seen.insert(s);
+        ASSERT_LE(steps, 256u);
+    }
+    EXPECT_EQ(steps, 255u);
+    EXPECT_EQ(seen.size(), 255u);
+}
+
+TEST(GaloisLfsr, FullPeriodWidth16)
+{
+    GaloisLfsr lfsr(16, 0xBEEF);
+    const uint64_t start = lfsr.state();
+    uint64_t steps = 0;
+    do {
+        lfsr.step();
+        ++steps;
+        ASSERT_LE(steps, 65536u);
+    } while (lfsr.state() != start);
+    EXPECT_EQ(steps, 65535u);
+}
+
+TEST(GaloisLfsr, StateMaskedToWidth)
+{
+    GaloisLfsr lfsr(24, ~0ull);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_LT(lfsr.step(), 1ull << 24);
+}
+
+TEST(GaloisLfsr, StepNMatchesRepeatedStep)
+{
+    GaloisLfsr a(32, 12345), b(32, 12345);
+    a.stepN(57);
+    for (int i = 0; i < 57; ++i)
+        b.step();
+    EXPECT_EQ(a.state(), b.state());
+}
+
+TEST(GaloisLfsr, ReseedRestartsSequence)
+{
+    GaloisLfsr a(32, 7);
+    const uint64_t first = a.step();
+    a.stepN(100);
+    a.reseed(7);
+    EXPECT_EQ(a.step(), first);
+}
+
+TEST(GaloisLfsr, UnsupportedWidthDies)
+{
+    EXPECT_EXIT({ GaloisLfsr l(13, 1); (void)l; },
+                testing::ExitedWithCode(1), "unsupported LFSR width");
+}
+
+TEST(FibonacciLfsr, BitsAreBalanced)
+{
+    FibonacciLfsr lfsr(32, 0xDEADBEEF);
+    int ones = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        ones += lfsr.stepBit();
+    const double ratio = static_cast<double>(ones) / n;
+    EXPECT_NEAR(ratio, 0.5, 0.02);
+}
+
+TEST(FibonacciLfsr, StepBitsWidth)
+{
+    FibonacciLfsr lfsr(64, 42);
+    for (int i = 0; i < 100; ++i)
+        ASSERT_LT(lfsr.stepBits(12), 1ull << 12);
+}
+
+TEST(FibonacciLfsr, UniqueSeedsGiveUniqueStreams)
+{
+    FibonacciLfsr a(64, 1), b(64, 2);
+    // The data-segment filler relies on distinct per-iteration seeds
+    // producing distinct fill patterns.
+    EXPECT_NE(a.stepBits(64), b.stepBits(64));
+}
+
+} // namespace
+} // namespace turbofuzz

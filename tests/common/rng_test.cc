@@ -1,0 +1,127 @@
+/** @file Unit tests for the deterministic RNG streams. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace turbofuzz
+{
+namespace
+{
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += (a.next() == b.next());
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, SplitIsStableAndLabelSensitive)
+{
+    Rng parent(7);
+    Rng c1 = parent.split("corpus");
+    Rng c2 = parent.split("corpus");
+    Rng c3 = parent.split("mutation");
+    EXPECT_EQ(c1.next(), c2.next());
+    Rng c1b = parent.split("corpus");
+    EXPECT_NE(c1b.next(), c3.next());
+}
+
+TEST(Rng, RangeStaysInBounds)
+{
+    Rng r(99);
+    for (int i = 0; i < 10000; ++i) {
+        const uint64_t v = r.range(17);
+        EXPECT_LT(v, 17u);
+    }
+}
+
+TEST(Rng, RangeCoversAllValues)
+{
+    Rng r(5);
+    std::set<uint64_t> seen;
+    for (int i = 0; i < 1000; ++i)
+        seen.insert(r.range(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, BetweenInclusive)
+{
+    Rng r(3);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 5000; ++i) {
+        const uint64_t v = r.between(10, 13);
+        EXPECT_GE(v, 10u);
+        EXPECT_LE(v, 13u);
+        saw_lo |= (v == 10);
+        saw_hi |= (v == 13);
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ChanceZeroAndCertain)
+{
+    Rng r(11);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(r.chance(0, 16));
+        EXPECT_TRUE(r.chance(16, 16));
+    }
+}
+
+TEST(Rng, ChanceApproximatesProbability)
+{
+    Rng r(123);
+    int hits = 0;
+    const int trials = 100000;
+    for (int i = 0; i < trials; ++i)
+        hits += r.chance(7, 16);
+    const double p = static_cast<double>(hits) / trials;
+    EXPECT_NEAR(p, 7.0 / 16.0, 0.01);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(77);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = r.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, StateRoundTrip)
+{
+    Rng r(2024);
+    r.next();
+    const uint64_t s = r.rawState();
+    const uint64_t expected = r.next();
+    Rng replay(0);
+    replay.setRawState(s);
+    EXPECT_EQ(replay.next(), expected);
+}
+
+TEST(Rng, HashLabelStable)
+{
+    EXPECT_EQ(hashLabel("abc"), hashLabel("abc"));
+    EXPECT_NE(hashLabel("abc"), hashLabel("abd"));
+    EXPECT_NE(hashLabel(""), hashLabel("a"));
+}
+
+} // namespace
+} // namespace turbofuzz

@@ -1,0 +1,60 @@
+/** @file Unit tests for simulated time accounting. */
+
+#include <gtest/gtest.h>
+
+#include "common/sim_clock.hh"
+
+namespace turbofuzz
+{
+namespace
+{
+
+TEST(SimClock, StartsAtZero)
+{
+    SimClock c;
+    EXPECT_EQ(c.now(), 0u);
+    EXPECT_EQ(c.seconds(), 0.0);
+}
+
+TEST(SimClock, AdvanceAccumulates)
+{
+    SimClock c;
+    c.advance(sim_time::psPerMs);
+    c.advance(sim_time::psPerMs);
+    EXPECT_DOUBLE_EQ(c.seconds(), 0.002);
+}
+
+TEST(SimClock, AdvanceCyclesAt100MHz)
+{
+    SimClock c;
+    // 100 cycles at 100 MHz = 1 microsecond.
+    c.advanceCycles(100, 100000000);
+    EXPECT_DOUBLE_EQ(c.seconds(), 1e-6);
+}
+
+TEST(SimClock, SecondsRoundTrip)
+{
+    EXPECT_DOUBLE_EQ(sim_time::toSeconds(sim_time::fromSeconds(3.5)),
+                     3.5);
+    EXPECT_EQ(sim_time::fromSeconds(1.0), sim_time::psPerSec);
+}
+
+TEST(SimClock, Reset)
+{
+    SimClock c;
+    c.advance(12345);
+    c.reset();
+    EXPECT_EQ(c.now(), 0u);
+}
+
+TEST(SimClock, LongCampaignNoOverflow)
+{
+    // 4 simulated hours (Fig. 11's longest budget) in picoseconds
+    // stays far inside uint64_t.
+    SimClock c;
+    c.advance(sim_time::fromSeconds(4 * 3600.0));
+    EXPECT_DOUBLE_EQ(c.seconds(), 14400.0);
+}
+
+} // namespace
+} // namespace turbofuzz

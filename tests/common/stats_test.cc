@@ -1,0 +1,106 @@
+/** @file Unit tests for time series and table formatting. */
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hh"
+
+namespace turbofuzz
+{
+namespace
+{
+
+TEST(TimeSeries, RecordAndLast)
+{
+    TimeSeries s("cov");
+    EXPECT_TRUE(s.empty());
+    EXPECT_EQ(s.last(), 0.0);
+    s.record(0.0, 10.0);
+    s.record(1.0, 20.0);
+    EXPECT_EQ(s.last(), 20.0);
+    EXPECT_EQ(s.samples().size(), 2u);
+}
+
+TEST(TimeSeries, TimeToReach)
+{
+    TimeSeries s;
+    s.record(0.0, 0.0);
+    s.record(5.0, 100.0);
+    s.record(9.0, 250.0);
+    EXPECT_EQ(s.timeToReach(100.0), 5.0);
+    EXPECT_EQ(s.timeToReach(101.0), 9.0);
+    EXPECT_LT(s.timeToReach(10000.0), 0.0);
+}
+
+TEST(TimeSeries, ValueAtStepwise)
+{
+    TimeSeries s;
+    s.record(1.0, 5.0);
+    s.record(2.0, 8.0);
+    EXPECT_EQ(s.valueAt(0.5), 0.0);
+    EXPECT_EQ(s.valueAt(1.0), 5.0);
+    EXPECT_EQ(s.valueAt(1.5), 5.0);
+    EXPECT_EQ(s.valueAt(10.0), 8.0);
+}
+
+TEST(TimeSeries, NonMonotonicTimePanics)
+{
+    TimeSeries s;
+    s.record(5.0, 1.0);
+    EXPECT_DEATH(s.record(4.0, 2.0), "non-monotonic");
+}
+
+TEST(TablePrinter, AlignedOutput)
+{
+    TablePrinter t({"Fuzzer", "Speed"});
+    t.addRow({"TurboFuzz", "75.12"});
+    t.addRow({"Cascade", "12.80"});
+    const std::string s = t.str();
+    EXPECT_NE(s.find("TurboFuzz"), std::string::npos);
+    EXPECT_NE(s.find("75.12"), std::string::npos);
+    // Every data row has the same width as the rule lines.
+    const size_t first_nl = s.find('\n');
+    const std::string rule = s.substr(0, first_nl);
+    size_t pos = 0;
+    int lines = 0;
+    while (pos < s.size()) {
+        const size_t nl = s.find('\n', pos);
+        EXPECT_EQ(nl - pos, rule.size());
+        pos = nl + 1;
+        ++lines;
+    }
+    EXPECT_EQ(lines, 6); // 3 rules + header + 2 rows
+}
+
+TEST(TablePrinter, MismatchedRowPanics)
+{
+    TablePrinter t({"a", "b"});
+    EXPECT_DEATH(t.addRow({"only-one"}), "row has 1 cells");
+}
+
+TEST(TablePrinter, NumberFormatting)
+{
+    EXPECT_EQ(TablePrinter::num(3.14159, 2), "3.14");
+    EXPECT_EQ(TablePrinter::num(2.0, 0), "2");
+    EXPECT_EQ(TablePrinter::integer(1234567), "1,234,567");
+    EXPECT_EQ(TablePrinter::integer(12), "12");
+    EXPECT_EQ(TablePrinter::integer(0), "0");
+}
+
+TEST(Geomean, KnownValues)
+{
+    EXPECT_DOUBLE_EQ(geomean({4.0, 9.0}), 6.0);
+    EXPECT_DOUBLE_EQ(geomean({2.0, 2.0, 2.0}), 2.0);
+    EXPECT_EQ(geomean({}), 0.0);
+}
+
+TEST(Geomean, MatchesPaperStyleAggregation)
+{
+    // Aggregating acceleration ratios like Table II does.
+    std::vector<double> ratios = {38.54, 474.08, 571.69};
+    const double g = geomean(ratios);
+    EXPECT_GT(g, 38.54);
+    EXPECT_LT(g, 571.69);
+}
+
+} // namespace
+} // namespace turbofuzz

@@ -1,0 +1,97 @@
+/** @file Architectural-state container tests. */
+
+#include <gtest/gtest.h>
+
+#include "core/arch_state.hh"
+#include "isa/csr.hh"
+#include "soc/snapshot.hh"
+
+namespace turbofuzz::core
+{
+namespace
+{
+
+TEST(ArchState, X0Hardwired)
+{
+    ArchState st;
+    st.setX(0, 123);
+    EXPECT_EQ(st.x(0), 0u);
+    st.setX(1, 45);
+    EXPECT_EQ(st.x(1), 45u);
+}
+
+TEST(ArchState, ResetClearsEverything)
+{
+    ArchState st;
+    st.setX(5, 1);
+    st.setF(5, 2);
+    st.fflags = 0x1F;
+    st.minstret = 99;
+    st.reset(0x1000);
+    EXPECT_EQ(st.x(5), 0u);
+    EXPECT_EQ(st.f(5), 0u);
+    EXPECT_EQ(st.fflags, 0u);
+    EXPECT_EQ(st.minstret, 0u);
+    EXPECT_EQ(st.pc, 0x1000u);
+}
+
+TEST(ArchState, FsFieldManipulation)
+{
+    ArchState st;
+    st.setFsField(isa::csr::mstatusFsOff);
+    EXPECT_FALSE(st.fpEnabled());
+    st.setFsField(isa::csr::mstatusFsDirty);
+    EXPECT_TRUE(st.fpEnabled());
+    EXPECT_EQ(st.fsField(), isa::csr::mstatusFsDirty);
+}
+
+TEST(ArchState, ResetEnablesFpu)
+{
+    ArchState st;
+    st.reset(0);
+    EXPECT_TRUE(st.fpEnabled());
+}
+
+TEST(ArchState, MisaAdvertisesImafd)
+{
+    ArchState st;
+    EXPECT_TRUE(st.misa & (1 << 0));  // A
+    EXPECT_TRUE(st.misa & (1 << 3));  // D
+    EXPECT_TRUE(st.misa & (1 << 5));  // F
+    EXPECT_TRUE(st.misa & (1 << 8));  // I
+    EXPECT_TRUE(st.misa & (1 << 12)); // M
+    EXPECT_EQ(st.misa >> 62, 2u);     // MXL=64
+}
+
+TEST(ArchState, SnapshotRoundTrip)
+{
+    ArchState st;
+    st.pc = 0x80001234;
+    st.setX(7, 0xABCD);
+    st.setF(3, 0x123456789ull);
+    st.fflags = 0x15;
+    st.mcause = 2;
+    st.minstret = 424242;
+    st.resValid = true;
+    st.resAddr = 0x5000;
+
+    soc::SnapshotWriter w;
+    st.saveState(w);
+    const auto buf = w.buffer();
+
+    ArchState st2;
+    soc::SnapshotReader r(buf);
+    st2.loadState(r);
+    EXPECT_EQ(st2.pc, st.pc);
+    EXPECT_EQ(st2.x(7), st.x(7));
+    EXPECT_EQ(st2.f(3), st.f(3));
+    EXPECT_EQ(st2.fflags, st.fflags);
+    EXPECT_EQ(st2.mcause, st.mcause);
+    EXPECT_EQ(st2.minstret, st.minstret);
+    EXPECT_EQ(st2.resValid, st.resValid);
+    EXPECT_EQ(st2.resAddr, st.resAddr);
+    EXPECT_TRUE(r.exhausted());
+}
+
+} // namespace
+} // namespace turbofuzz::core

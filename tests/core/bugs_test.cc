@@ -1,0 +1,381 @@
+/**
+ * @file Bug-injection tests.
+ *
+ * For every catalog entry: (a) the buggy DUT diverges from the golden
+ * REF on the documented trigger, and (b) it does NOT diverge on a
+ * benign stimulus — bugs must be precise, or Table II's time-to-bug
+ * measurements would be meaningless.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "core/fp_ops.hh"
+#include "core/iss.hh"
+#include "isa/csr.hh"
+#include "isa/encoding.hh"
+
+namespace turbofuzz::core
+{
+namespace
+{
+
+using isa::Opcode;
+using isa::Operands;
+namespace csr = isa::csr;
+
+constexpr uint64_t base = 0x80000000ull;
+
+uint64_t
+d2b(double d)
+{
+    uint64_t b;
+    std::memcpy(&b, &d, 8);
+    return b;
+}
+
+/** Run the same single instruction on DUT(bug) and REF; compare. */
+struct DiffRig
+{
+    explicit DiffRig(BugId bug, bool rv64a = true)
+        : dutMem(), refMem(),
+          dut(&dutMem,
+              [&] {
+                  Iss::Options o;
+                  o.bugs = BugSet::single(bug);
+                  o.rv64aEnabled = rv64a;
+                  return o;
+              }()),
+          ref(&refMem,
+              [&] {
+                  Iss::Options o;
+                  o.rv64aEnabled = rv64a;
+                  return o;
+              }())
+    {
+        dut.reset(base);
+        ref.reset(base);
+        dut.state().mtvec = 0x80010000ull;
+        ref.state().mtvec = 0x80010000ull;
+    }
+
+    void
+    setInsn(Opcode op, const Operands &o)
+    {
+        const uint32_t w = isa::encode(op, o);
+        dutMem.write32(base, w);
+        refMem.write32(base, w);
+    }
+
+    void
+    setF(unsigned reg, uint64_t raw)
+    {
+        dut.state().setF(reg, raw);
+        ref.state().setF(reg, raw);
+    }
+
+    void
+    setX(unsigned reg, uint64_t v)
+    {
+        dut.state().setX(reg, v);
+        ref.state().setX(reg, v);
+    }
+
+    /** Step both; return whether any architectural result diverged. */
+    bool
+    diverged()
+    {
+        const CommitInfo cd = dut.step();
+        const CommitInfo cr = ref.step();
+        if (cd.trapped != cr.trapped)
+            return true;
+        if (cd.rdWritten != cr.rdWritten || cd.rdValue != cr.rdValue)
+            return true;
+        if (cd.frdWritten != cr.frdWritten || cd.frdValue != cr.frdValue)
+            return true;
+        if (cd.fflagsAccrued != cr.fflagsAccrued)
+            return true;
+        if (cd.minstretAfter != cr.minstretAfter)
+            return true;
+        return false;
+    }
+
+    soc::Memory dutMem, refMem;
+    Iss dut, ref;
+};
+
+Operands
+fpDiv(unsigned rd, unsigned rs1, unsigned rs2, uint8_t rm = csr::rmRNE)
+{
+    Operands o;
+    o.rd = static_cast<uint8_t>(rd);
+    o.rs1 = static_cast<uint8_t>(rs1);
+    o.rs2 = static_cast<uint8_t>(rs2);
+    o.rm = rm;
+    return o;
+}
+
+TEST(BugCatalog, MetadataComplete)
+{
+    EXPECT_EQ(allBugs().size(),
+              static_cast<size_t>(BugId::NumBugs));
+    EXPECT_EQ(bugsOf(CoreKind::Cva6).size(), 10u);
+    EXPECT_EQ(bugsOf(CoreKind::Boom).size(), 2u);
+    EXPECT_EQ(bugsOf(CoreKind::Rocket).size(), 1u);
+    EXPECT_EQ(bugInfo(BugId::C3).label, "C3");
+    EXPECT_EQ(coreKindName(CoreKind::Boom), "BOOM");
+}
+
+TEST(BugSetOps, EnableDisable)
+{
+    BugSet s;
+    EXPECT_TRUE(s.empty());
+    s.enable(BugId::C5);
+    EXPECT_TRUE(s.has(BugId::C5));
+    EXPECT_FALSE(s.has(BugId::C4));
+    s.disable(BugId::C5);
+    EXPECT_TRUE(s.empty());
+}
+
+TEST(BugC1, ZeroOverZeroFlagsWrong)
+{
+    DiffRig rig(BugId::C1);
+    rig.setF(1, fp::boxS(0x00000000)); // +0.0f
+    rig.setF(2, fp::boxS(0x00000000));
+    rig.setInsn(Opcode::FdivS, fpDiv(3, 1, 2));
+    EXPECT_TRUE(rig.diverged()); // DZ instead of NV
+}
+
+TEST(BugC1, BenignDivisionUnaffected)
+{
+    DiffRig rig(BugId::C1);
+    rig.setF(1, fp::boxS(0x40400000)); // 3.0f
+    rig.setF(2, fp::boxS(0x40000000)); // 2.0f
+    rig.setInsn(Opcode::FdivS, fpDiv(3, 1, 2));
+    EXPECT_FALSE(rig.diverged());
+}
+
+TEST(BugC2, DivByInfinitySpuriousFlags)
+{
+    DiffRig rig(BugId::C2);
+    rig.setF(1, fp::boxS(0x40400000)); // 3.0f
+    rig.setF(2, fp::boxS(0x7F800000)); // +inf
+    rig.setInsn(Opcode::FdivS, fpDiv(3, 1, 2));
+    EXPECT_TRUE(rig.diverged());
+}
+
+TEST(BugC2, DoubleDivUnaffected)
+{
+    DiffRig rig(BugId::C2);
+    rig.setF(1, d2b(3.0));
+    rig.setF(2, d2b(1.0 / 0.0));
+    rig.setInsn(Opcode::FdivD, fpDiv(3, 1, 2));
+    EXPECT_FALSE(rig.diverged()); // C2 is single-precision only
+}
+
+TEST(BugC3, InvalidNanBoxedOperandHonored)
+{
+    DiffRig rig(BugId::C3);
+    // A raw double pattern in rs1: REF reads canonical NaN, the buggy
+    // DUT consumes the low 32 bits as a float.
+    rig.setF(1, d2b(8.0));
+    rig.setF(2, fp::boxS(0x40000000)); // 2.0f
+    rig.setInsn(Opcode::FdivS, fpDiv(3, 1, 2));
+    EXPECT_TRUE(rig.diverged());
+}
+
+TEST(BugC3, ProperlyBoxedUnaffected)
+{
+    DiffRig rig(BugId::C3);
+    rig.setF(1, fp::boxS(0x41000000)); // 8.0f
+    rig.setF(2, fp::boxS(0x40000000));
+    rig.setInsn(Opcode::FdivS, fpDiv(3, 1, 2));
+    EXPECT_FALSE(rig.diverged());
+}
+
+TEST(BugC4, DoubleDivByInfinity)
+{
+    DiffRig rig(BugId::C4);
+    rig.setF(1, d2b(3.0));
+    rig.setF(2, d2b(1.0 / 0.0));
+    rig.setInsn(Opcode::FdivD, fpDiv(3, 1, 2));
+    EXPECT_TRUE(rig.diverged());
+}
+
+TEST(BugC5, MulWrongSignUnderRdn)
+{
+    DiffRig rig(BugId::C5);
+    rig.setF(1, d2b(-2.0));
+    rig.setF(2, d2b(3.0));
+    rig.setInsn(Opcode::FmulD, fpDiv(3, 1, 2, csr::rmRDN));
+    EXPECT_TRUE(rig.diverged());
+}
+
+TEST(BugC5, RneUnaffected)
+{
+    DiffRig rig(BugId::C5);
+    rig.setF(1, d2b(-2.0));
+    rig.setF(2, d2b(3.0));
+    rig.setInsn(Opcode::FmulD, fpDiv(3, 1, 2, csr::rmRNE));
+    EXPECT_FALSE(rig.diverged());
+}
+
+TEST(BugC7, StvalReadMismatch)
+{
+    DiffRig rig(BugId::C7);
+    // Arm the latent state: a trap has recorded stval, and mscratch
+    // (the source of the bogus read) holds something else.
+    rig.dut.state().stval = 0x1234;
+    rig.ref.state().stval = 0x1234;
+    rig.dut.state().mscratch = 0x9999;
+    rig.ref.state().mscratch = 0x9999;
+    Operands o;
+    o.rd = 1;
+    o.rs1 = 0;
+    o.csr = csr::stval;
+    rig.setInsn(Opcode::Csrrs, o);
+    EXPECT_TRUE(rig.diverged());
+}
+
+TEST(BugC8, DoubleAtomicMustTrapButDoesNot)
+{
+    DiffRig rig(BugId::C8, /*rv64a=*/false);
+    rig.setX(1, 0x1000);
+    rig.setX(2, 7);
+    Operands a;
+    a.rd = 3;
+    a.rs1 = 1;
+    a.rs2 = 2;
+    rig.setInsn(Opcode::AmoaddD, a);
+    EXPECT_TRUE(rig.diverged()); // REF traps, DUT executes
+}
+
+TEST(BugC8, WordAtomicUnaffected)
+{
+    DiffRig rig(BugId::C8, /*rv64a=*/false);
+    rig.setX(1, 0x1000);
+    rig.setX(2, 7);
+    Operands a;
+    a.rd = 3;
+    a.rs1 = 1;
+    a.rs2 = 2;
+    rig.setInsn(Opcode::AmoaddW, a);
+    EXPECT_FALSE(rig.diverged());
+}
+
+TEST(BugC9, ZeroOverZeroReturnsInfinity)
+{
+    DiffRig rig(BugId::C9);
+    rig.setF(1, fp::boxS(0));
+    rig.setF(2, fp::boxS(0));
+    rig.setInsn(Opcode::FdivS, fpDiv(3, 1, 2));
+    EXPECT_TRUE(rig.diverged());
+}
+
+TEST(BugC10, PosZeroOverNormalNegated)
+{
+    DiffRig rig(BugId::C10);
+    rig.setF(1, d2b(0.0));
+    rig.setF(2, d2b(4.0));
+    rig.setInsn(Opcode::FdivD, fpDiv(3, 1, 2));
+    EXPECT_TRUE(rig.diverged()); // -0 instead of +0
+}
+
+TEST(BugC10, NegativeDivisorUnaffected)
+{
+    DiffRig rig(BugId::C10);
+    rig.setF(1, d2b(0.0));
+    rig.setF(2, d2b(-4.0));
+    rig.setInsn(Opcode::FdivD, fpDiv(3, 1, 2));
+    EXPECT_FALSE(rig.diverged());
+}
+
+TEST(BugB1, RoundingModeIgnored)
+{
+    DiffRig rig(BugId::B1);
+    rig.setF(1, d2b(1.0));
+    rig.setF(2, d2b(3.0));
+    rig.setInsn(Opcode::FdivD, fpDiv(3, 1, 2, csr::rmRUP));
+    EXPECT_TRUE(rig.diverged()); // DUT rounds to nearest instead
+}
+
+TEST(BugB1, RneResultsMatch)
+{
+    DiffRig rig(BugId::B1);
+    rig.setF(1, d2b(1.0));
+    rig.setF(2, d2b(3.0));
+    rig.setInsn(Opcode::FdivD, fpDiv(3, 1, 2, csr::rmRNE));
+    EXPECT_FALSE(rig.diverged());
+}
+
+TEST(BugB2, InvalidRmDoesNotTrap)
+{
+    DiffRig rig(BugId::B2);
+    rig.setF(1, d2b(1.0));
+    rig.setF(2, d2b(3.0));
+    rig.setInsn(Opcode::FdivD, fpDiv(3, 1, 2, /*rm=*/5));
+    EXPECT_TRUE(rig.diverged()); // REF traps, DUT computes
+}
+
+TEST(BugR1, EbreakSkipsMinstret)
+{
+    DiffRig rig(BugId::R1);
+    rig.setInsn(Opcode::Ebreak, {});
+    EXPECT_TRUE(rig.diverged());
+}
+
+TEST(BugR1, OtherInstructionsCount)
+{
+    DiffRig rig(BugId::R1);
+    Operands o;
+    o.rd = 1;
+    o.rs1 = 0;
+    o.imm = 5;
+    rig.setInsn(Opcode::Addi, o);
+    EXPECT_FALSE(rig.diverged());
+}
+
+/** Property: with no bugs enabled, DUT and REF never diverge. */
+class NoBugNoDivergence : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(NoBugNoDivergence, RandomInstructionStream)
+{
+    soc::Memory mem_d, mem_r;
+    Iss dut(&mem_d), ref(&mem_r);
+    dut.reset(base);
+    ref.reset(base);
+    dut.state().mtvec = 0x80010000ull;
+    ref.state().mtvec = 0x80010000ull;
+
+    // Fill a page with random words; many decode to real instructions.
+    uint64_t s = GetParam();
+    auto rnd = [&]() {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        return s;
+    };
+    for (unsigned i = 0; i < 256; ++i) {
+        const uint32_t w = static_cast<uint32_t>(rnd());
+        mem_d.write32(base + 4 * i, w);
+        mem_r.write32(base + 4 * i, w);
+    }
+    for (unsigned i = 0; i < 200; ++i) {
+        const CommitInfo cd = dut.step();
+        const CommitInfo cr = ref.step();
+        ASSERT_EQ(cd.trapped, cr.trapped) << "step " << i;
+        ASSERT_EQ(cd.rdValue, cr.rdValue) << "step " << i;
+        ASSERT_EQ(cd.frdValue, cr.frdValue) << "step " << i;
+        ASSERT_EQ(cd.fflagsAccrued, cr.fflagsAccrued) << "step " << i;
+        ASSERT_EQ(dut.state().pc, ref.state().pc) << "step " << i;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NoBugNoDivergence,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+} // namespace
+} // namespace turbofuzz::core

@@ -1,0 +1,285 @@
+/** @file ISS floating-point pipeline tests (gating, rm, fflags). */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+
+#include "core/fp_ops.hh"
+#include "core/iss.hh"
+#include "isa/csr.hh"
+#include "isa/encoding.hh"
+
+namespace turbofuzz::core
+{
+namespace
+{
+
+using isa::Opcode;
+using isa::Operands;
+namespace csr = isa::csr;
+
+constexpr uint64_t base = 0x80000000ull;
+
+uint64_t
+d2b(double d)
+{
+    uint64_t b;
+    std::memcpy(&b, &d, 8);
+    return b;
+}
+
+class FpProgram : public ::testing::Test
+{
+  protected:
+    FpProgram() : iss(&mem)
+    {
+        iss.reset(base);
+    }
+
+    void
+    add(Opcode op, const Operands &o)
+    {
+        mem.write32(base + 4 * count, isa::encode(op, o));
+        ++count;
+    }
+
+    CommitInfo step() { return iss.step(); }
+
+    /** Preload an FP register via state (as the fuzzer's init would). */
+    void
+    setF(unsigned reg, double v)
+    {
+        iss.state().setF(reg, d2b(v));
+    }
+
+    soc::Memory mem;
+    Iss iss;
+    unsigned count = 0;
+};
+
+TEST_F(FpProgram, FaddDouble)
+{
+    setF(1, 1.25);
+    setF(2, 2.5);
+    Operands o;
+    o.rd = 3;
+    o.rs1 = 1;
+    o.rs2 = 2;
+    o.rm = csr::rmRNE;
+    add(Opcode::FaddD, o);
+    const auto c = step();
+    EXPECT_FALSE(c.trapped);
+    EXPECT_TRUE(c.frdWritten);
+    EXPECT_EQ(c.frdValue, d2b(3.75));
+}
+
+TEST_F(FpProgram, FpDisabledTraps)
+{
+    iss.state().setFsField(csr::mstatusFsOff);
+    Operands o;
+    o.rd = 1;
+    o.rs1 = 2;
+    o.rs2 = 3;
+    add(Opcode::FaddD, o);
+    const auto c = step();
+    EXPECT_TRUE(c.trapped);
+    EXPECT_EQ(c.trapCause, csr::causeIllegalInstruction);
+}
+
+TEST_F(FpProgram, FpWriteMarksFsDirty)
+{
+    iss.state().setFsField(csr::mstatusFsInitial);
+    setF(1, 1.0);
+    setF(2, 2.0);
+    Operands o;
+    o.rd = 3;
+    o.rs1 = 1;
+    o.rs2 = 2;
+    add(Opcode::FmulD, o);
+    step();
+    EXPECT_EQ(iss.state().fsField(), csr::mstatusFsDirty);
+}
+
+TEST_F(FpProgram, ReservedStaticRmTraps)
+{
+    setF(1, 1.0);
+    setF(2, 2.0);
+    Operands o;
+    o.rd = 3;
+    o.rs1 = 1;
+    o.rs2 = 2;
+    o.rm = 5; // reserved
+    add(Opcode::FaddD, o);
+    const auto c = step();
+    EXPECT_TRUE(c.trapped);
+    EXPECT_EQ(c.trapCause, csr::causeIllegalInstruction);
+}
+
+TEST_F(FpProgram, DynamicRmUsesFrm)
+{
+    iss.state().frm = csr::rmRUP;
+    setF(1, 1.0);
+    setF(2, 3.0);
+    Operands o;
+    o.rd = 3;
+    o.rs1 = 1;
+    o.rs2 = 2;
+    o.rm = csr::rmDYN;
+    add(Opcode::FdivD, o);
+    const auto c = step();
+    EXPECT_FALSE(c.trapped);
+    double up;
+    std::memcpy(&up, &c.frdValue, 8);
+    EXPECT_GT(up, 1.0 / 3.0); // rounded up
+}
+
+TEST_F(FpProgram, DynamicInvalidFrmTraps)
+{
+    iss.state().frm = 6; // invalid dynamic mode
+    setF(1, 1.0);
+    setF(2, 3.0);
+    Operands o;
+    o.rd = 3;
+    o.rs1 = 1;
+    o.rs2 = 2;
+    o.rm = csr::rmDYN;
+    add(Opcode::FdivD, o);
+    const auto c = step();
+    EXPECT_TRUE(c.trapped);
+}
+
+TEST_F(FpProgram, FflagsAccumulateInCsr)
+{
+    setF(1, 1.0);
+    setF(2, 0.0);
+    Operands o;
+    o.rd = 3;
+    o.rs1 = 1;
+    o.rs2 = 2;
+    add(Opcode::FdivD, o); // DZ
+    Operands o2 = o;
+    o2.rd = 4;
+    o2.rs1 = 2;
+    o2.rs2 = 2;
+    add(Opcode::FdivD, o2); // NV (0/0)
+    step();
+    step();
+    EXPECT_EQ(iss.state().fflags, csr::flagDZ | csr::flagNV);
+}
+
+TEST_F(FpProgram, FlwFsdRoundTrip)
+{
+    iss.state().setX(1, 0x1000);
+    setF(2, 6.5);
+    Operands s;
+    s.rs1 = 1;
+    s.rs2 = 2;
+    s.imm = 0;
+    add(Opcode::Fsd, s);
+    Operands l;
+    l.rd = 3;
+    l.rs1 = 1;
+    l.imm = 0;
+    add(Opcode::Fld, l);
+    step();
+    const auto c = step();
+    EXPECT_EQ(c.frdValue, d2b(6.5));
+}
+
+TEST_F(FpProgram, FlwNanBoxes)
+{
+    iss.state().setX(1, 0x1000);
+    mem.write32(0x1000, 0x3FC00000); // 1.5f
+    Operands l;
+    l.rd = 5;
+    l.rs1 = 1;
+    l.imm = 0;
+    add(Opcode::Flw, l);
+    const auto c = step();
+    EXPECT_EQ(c.frdValue >> 32, 0xFFFFFFFFull);
+    EXPECT_EQ(static_cast<uint32_t>(c.frdValue), 0x3FC00000u);
+}
+
+TEST_F(FpProgram, FmvTransfersRawBits)
+{
+    iss.state().setX(1, 0x123456789ABCDEF0ull);
+    Operands o;
+    o.rd = 2;
+    o.rs1 = 1;
+    add(Opcode::FmvDX, o);
+    Operands back;
+    back.rd = 3;
+    back.rs1 = 2;
+    add(Opcode::FmvXD, back);
+    step();
+    const auto c = step();
+    EXPECT_EQ(c.rdValue, 0x123456789ABCDEF0ull);
+}
+
+TEST_F(FpProgram, FmvXWSignExtends)
+{
+    iss.state().setF(1, fp::boxS(0x80000001u));
+    Operands o;
+    o.rd = 2;
+    o.rs1 = 1;
+    add(Opcode::FmvXW, o);
+    const auto c = step();
+    EXPECT_EQ(c.rdValue, 0xFFFFFFFF80000001ull);
+}
+
+TEST_F(FpProgram, CompareWritesIntegerRd)
+{
+    setF(1, 1.0);
+    setF(2, 2.0);
+    Operands o;
+    o.rd = 5;
+    o.rs1 = 1;
+    o.rs2 = 2;
+    add(Opcode::FltD, o);
+    const auto c = step();
+    EXPECT_TRUE(c.rdWritten);
+    EXPECT_FALSE(c.frdWritten);
+    EXPECT_EQ(c.rdValue, 1u);
+}
+
+TEST_F(FpProgram, SinglePrecisionUsesUnboxedOperands)
+{
+    // f1 holds a raw double pattern (improperly boxed): fadd.s must
+    // treat it as canonical NaN, so the result is NaN.
+    iss.state().setF(1, d2b(1.5));
+    iss.state().setF(2, fp::boxS(0x3FC00000)); // 1.5f
+    Operands o;
+    o.rd = 3;
+    o.rs1 = 1;
+    o.rs2 = 2;
+    add(Opcode::FaddS, o);
+    const auto c = step();
+    EXPECT_EQ(static_cast<uint32_t>(c.frdValue), fp::canonicalNanS);
+}
+
+TEST_F(FpProgram, FclassFromIss)
+{
+    setF(1, -0.0);
+    Operands o;
+    o.rd = 2;
+    o.rs1 = 1;
+    add(Opcode::FclassD, o);
+    const auto c = step();
+    EXPECT_EQ(c.rdValue, 1u << 3);
+}
+
+TEST_F(FpProgram, CvtWordNegative)
+{
+    setF(1, -7.0);
+    Operands o;
+    o.rd = 2;
+    o.rs1 = 1;
+    o.rm = csr::rmRTZ;
+    add(Opcode::FcvtWD, o);
+    const auto c = step();
+    EXPECT_EQ(c.rdValue, static_cast<uint64_t>(-7));
+}
+
+} // namespace
+} // namespace turbofuzz::core

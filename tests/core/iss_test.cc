@@ -1,0 +1,391 @@
+/** @file Integer/branch/memory/CSR ISS semantics tests. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/iss.hh"
+#include "isa/csr.hh"
+#include "isa/encoding.hh"
+
+namespace turbofuzz::core
+{
+namespace
+{
+
+using isa::Opcode;
+using isa::Operands;
+
+constexpr uint64_t base = 0x80000000ull;
+
+/** Harness: load a program at the boot PC and step through it. */
+class Program
+{
+  public:
+    Program() : iss(&mem)
+    {
+        iss.reset(base);
+    }
+
+    void
+    add(Opcode op, const Operands &o)
+    {
+        mem.write32(base + 4 * count, isa::encode(op, o));
+        ++count;
+    }
+
+    void
+    addWord(uint32_t w)
+    {
+        mem.write32(base + 4 * count, w);
+        ++count;
+    }
+
+    CommitInfo step() { return iss.step(); }
+
+    /** Step n times; returns the last commit. */
+    CommitInfo
+    run(unsigned n)
+    {
+        CommitInfo last;
+        for (unsigned i = 0; i < n; ++i)
+            last = iss.step();
+        return last;
+    }
+
+    soc::Memory mem;
+    Iss iss;
+    unsigned count = 0;
+};
+
+Operands
+opsRdRs1Imm(unsigned rd, unsigned rs1, int64_t imm)
+{
+    Operands o;
+    o.rd = static_cast<uint8_t>(rd);
+    o.rs1 = static_cast<uint8_t>(rs1);
+    o.imm = imm;
+    return o;
+}
+
+Operands
+opsR(unsigned rd, unsigned rs1, unsigned rs2)
+{
+    Operands o;
+    o.rd = static_cast<uint8_t>(rd);
+    o.rs1 = static_cast<uint8_t>(rs1);
+    o.rs2 = static_cast<uint8_t>(rs2);
+    return o;
+}
+
+TEST(IssInteger, AddiAndX0)
+{
+    Program p;
+    p.add(Opcode::Addi, opsRdRs1Imm(5, 0, 123));
+    p.add(Opcode::Addi, opsRdRs1Imm(0, 5, 1)); // write to x0 ignored
+    p.run(2);
+    EXPECT_EQ(p.iss.state().x(5), 123u);
+    EXPECT_EQ(p.iss.state().x(0), 0u);
+}
+
+TEST(IssInteger, LuiAuipc)
+{
+    Program p;
+    Operands o;
+    o.rd = 3;
+    o.imm = 0x80000; // negative when sign-extended from bit 31
+    p.add(Opcode::Lui, o);
+    o.rd = 4;
+    o.imm = 1;
+    p.add(Opcode::Auipc, o);
+    p.run(2);
+    EXPECT_EQ(p.iss.state().x(3), 0xFFFFFFFF80000000ull);
+    EXPECT_EQ(p.iss.state().x(4), base + 4 + 0x1000);
+}
+
+TEST(IssInteger, ArithmeticOps)
+{
+    Program p;
+    p.add(Opcode::Addi, opsRdRs1Imm(1, 0, 100));
+    p.add(Opcode::Addi, opsRdRs1Imm(2, 0, 7));
+    p.add(Opcode::Add, opsR(3, 1, 2));
+    p.add(Opcode::Sub, opsR(4, 1, 2));
+    p.add(Opcode::Xor, opsR(5, 1, 2));
+    p.add(Opcode::Or, opsR(6, 1, 2));
+    p.add(Opcode::And, opsR(7, 1, 2));
+    p.add(Opcode::Slt, opsR(8, 2, 1));
+    p.add(Opcode::Sltu, opsR(9, 1, 2));
+    p.run(9);
+    const auto &st = p.iss.state();
+    EXPECT_EQ(st.x(3), 107u);
+    EXPECT_EQ(st.x(4), 93u);
+    EXPECT_EQ(st.x(5), 100u ^ 7u);
+    EXPECT_EQ(st.x(6), 100u | 7u);
+    EXPECT_EQ(st.x(7), 100u & 7u);
+    EXPECT_EQ(st.x(8), 1u);
+    EXPECT_EQ(st.x(9), 0u);
+}
+
+TEST(IssInteger, ShiftSemantics)
+{
+    Program p;
+    p.add(Opcode::Addi, opsRdRs1Imm(1, 0, -8)); // 0xFFF...F8
+    p.add(Opcode::Srai, opsRdRs1Imm(2, 1, 2));
+    p.add(Opcode::Srli, opsRdRs1Imm(3, 1, 60));
+    p.add(Opcode::Slli, opsRdRs1Imm(4, 1, 4));
+    p.run(4);
+    const auto &st = p.iss.state();
+    EXPECT_EQ(st.x(2), static_cast<uint64_t>(-2));
+    EXPECT_EQ(st.x(3), 0xFull);
+    EXPECT_EQ(st.x(4), static_cast<uint64_t>(-128));
+}
+
+TEST(IssInteger, WordOpsSignExtend)
+{
+    Program p;
+    Operands o;
+    o.rd = 1;
+    o.imm = 0x7FFFF;
+    p.add(Opcode::Lui, o); // x1 = 0x7FFFF000
+    p.add(Opcode::Addiw, opsRdRs1Imm(2, 1, 0x7FF));
+    p.add(Opcode::Addw, opsR(3, 1, 1)); // 0xFFFFE000 sign-extended
+    p.run(3);
+    const auto &st = p.iss.state();
+    EXPECT_EQ(st.x(2), 0x7FFFF7FFull);
+    EXPECT_EQ(st.x(3), 0xFFFFFFFFFFFFE000ull);
+}
+
+TEST(IssInteger, MulDivEdgeCases)
+{
+    Program p;
+    p.add(Opcode::Addi, opsRdRs1Imm(1, 0, -1));
+    p.add(Opcode::Addi, opsRdRs1Imm(2, 0, 0));
+    // div by zero -> all ones; rem by zero -> rs1.
+    p.add(Opcode::Div, opsR(3, 1, 2));
+    p.add(Opcode::Rem, opsR(4, 1, 2));
+    // INT64_MIN / -1 overflow -> INT64_MIN, rem 0.
+    Operands o;
+    o.rd = 5;
+    o.imm = 1;
+    p.add(Opcode::Slli, opsRdRs1Imm(5, 1, 63)); // x5 = 1<<63 (INT64_MIN)
+    p.add(Opcode::Div, opsR(6, 5, 1));
+    p.add(Opcode::Rem, opsR(7, 5, 1));
+    p.add(Opcode::Mulhu, opsR(8, 1, 1)); // (2^64-1)^2 >> 64
+    p.run(8);
+    const auto &st = p.iss.state();
+    EXPECT_EQ(st.x(3), ~uint64_t{0});
+    EXPECT_EQ(st.x(4), ~uint64_t{0});
+    EXPECT_EQ(st.x(6), uint64_t{1} << 63);
+    EXPECT_EQ(st.x(7), 0u);
+    EXPECT_EQ(st.x(8), 0xFFFFFFFFFFFFFFFEull);
+}
+
+TEST(IssInteger, BranchesAndJumps)
+{
+    Program p;
+    p.add(Opcode::Addi, opsRdRs1Imm(1, 0, 1));
+    // beq x1, x0 -> not taken
+    Operands b;
+    b.rs1 = 1;
+    b.rs2 = 0;
+    b.imm = 8;
+    p.add(Opcode::Beq, b);
+    // bne x1, x0 -> taken, skips one instruction
+    p.add(Opcode::Bne, b);
+    p.add(Opcode::Addi, opsRdRs1Imm(2, 0, 99)); // skipped
+    p.add(Opcode::Addi, opsRdRs1Imm(3, 0, 55));
+
+    auto c1 = p.step(); // addi
+    auto c2 = p.step(); // beq not taken
+    EXPECT_FALSE(c2.branchTaken);
+    auto c3 = p.step(); // bne taken
+    EXPECT_TRUE(c3.branchTaken);
+    auto c4 = p.step(); // lands on x3=55
+    EXPECT_EQ(c4.rdValue, 55u);
+    EXPECT_EQ(p.iss.state().x(2), 0u);
+    (void)c1;
+}
+
+TEST(IssInteger, JalJalrLinkage)
+{
+    Program p;
+    Operands j;
+    j.rd = 1;
+    j.imm = 12;
+    p.add(Opcode::Jal, j); // jumps over 2 instructions, ra = pc+4
+    p.add(Opcode::Addi, opsRdRs1Imm(2, 0, 1)); // skipped
+    p.add(Opcode::Addi, opsRdRs1Imm(3, 0, 2)); // skipped
+    Operands jr;
+    jr.rd = 5;
+    jr.rs1 = 1;
+    jr.imm = 1; // odd target: bit 0 must be cleared
+    p.add(Opcode::Jalr, jr);
+
+    auto c1 = p.step();
+    EXPECT_TRUE(c1.branchTaken);
+    EXPECT_EQ(p.iss.state().x(1), base + 4);
+    auto c2 = p.step(); // jalr back to base+4 (bit0 cleared)
+    EXPECT_EQ(c2.nextPc, base + 4);
+    EXPECT_EQ(p.iss.state().x(5), base + 16);
+}
+
+TEST(IssInteger, LoadStoreRoundTrip)
+{
+    Program p;
+    Operands o;
+    o.rd = 1;
+    o.imm = 0x80001; // data page
+    p.add(Opcode::Lui, o); // x1 = wrong; use addi chain instead
+    p.count = 0;           // rewrite program
+    p.add(Opcode::Addi, opsRdRs1Imm(1, 0, 0x100));
+    p.add(Opcode::Addi, opsRdRs1Imm(2, 0, -2));
+    Operands s;
+    s.rs1 = 1;
+    s.rs2 = 2;
+    s.imm = 8;
+    p.add(Opcode::Sd, s);
+    Operands l;
+    l.rd = 3;
+    l.rs1 = 1;
+    l.imm = 8;
+    p.add(Opcode::Ld, l);
+    p.add(Opcode::Lw, l);
+    Operands lb = l;
+    lb.rd = 5;
+    p.add(Opcode::Lbu, lb);
+    p.run(2);
+    auto cs = p.step();
+    EXPECT_TRUE(cs.memAccess);
+    EXPECT_TRUE(cs.memWrite);
+    EXPECT_EQ(cs.memAddr, 0x108u);
+    EXPECT_EQ(cs.memSize, 8u);
+    auto cl = p.step();
+    EXPECT_EQ(cl.rdValue, static_cast<uint64_t>(-2));
+    auto clw = p.step();
+    EXPECT_EQ(clw.rdValue, static_cast<uint64_t>(-2)); // sign-extended
+    auto clb = p.step();
+    EXPECT_EQ(clb.rdValue, 0xFEu);
+}
+
+TEST(IssInteger, AmoOperations)
+{
+    Program p;
+    p.add(Opcode::Addi, opsRdRs1Imm(1, 0, 0x200));
+    p.add(Opcode::Addi, opsRdRs1Imm(2, 0, 5));
+    Operands a;
+    a.rd = 3;
+    a.rs1 = 1;
+    a.rs2 = 2;
+    p.add(Opcode::AmoaddW, a);
+    p.add(Opcode::AmoaddW, a);
+    Operands sw;
+    sw.rd = 4;
+    sw.rs1 = 1;
+    sw.rs2 = 2;
+    p.add(Opcode::AmoswapW, sw);
+    p.run(5);
+    const auto &st = p.iss.state();
+    EXPECT_EQ(st.x(3), 5u);                 // old value after 1st amoadd
+    EXPECT_EQ(st.x(4), 10u);                // old value before swap
+    EXPECT_EQ(p.mem.read32(0x200), 5u);     // swapped-in value
+}
+
+TEST(IssInteger, LrScPairing)
+{
+    Program p;
+    p.add(Opcode::Addi, opsRdRs1Imm(1, 0, 0x300));
+    p.add(Opcode::Addi, opsRdRs1Imm(2, 0, 42));
+    Operands lr;
+    lr.rd = 3;
+    lr.rs1 = 1;
+    p.add(Opcode::LrW, lr);
+    Operands sc;
+    sc.rd = 4;
+    sc.rs1 = 1;
+    sc.rs2 = 2;
+    p.add(Opcode::ScW, sc); // paired -> success (0)
+    p.add(Opcode::ScW, sc); // no reservation -> failure (1)
+    p.run(5);
+    EXPECT_EQ(p.iss.state().x(4), 1u);
+    EXPECT_EQ(p.mem.read32(0x300), 42u);
+}
+
+TEST(IssInteger, CsrReadWrite)
+{
+    Program p;
+    p.add(Opcode::Addi, opsRdRs1Imm(1, 0, 0x15));
+    Operands c;
+    c.rd = 2;
+    c.rs1 = 1;
+    c.csr = isa::csr::fflags;
+    p.add(Opcode::Csrrw, c); // swap fflags
+    Operands c2;
+    c2.rd = 3;
+    c2.rs1 = 0;
+    c2.csr = isa::csr::fflags;
+    p.add(Opcode::Csrrs, c2); // read-only (rs1=x0)
+    p.run(3);
+    EXPECT_EQ(p.iss.state().x(2), 0u);    // old fflags
+    EXPECT_EQ(p.iss.state().x(3), 0x15u); // new fflags
+    EXPECT_EQ(p.iss.state().fflags, 0x15u);
+}
+
+TEST(IssInteger, CsrImmediateForms)
+{
+    Program p;
+    Operands ci;
+    ci.rd = 1;
+    ci.imm = 0x1F;
+    ci.csr = isa::csr::fflags;
+    p.add(Opcode::Csrrwi, ci);
+    Operands cc;
+    cc.rd = 2;
+    cc.imm = 0x3; // clear NX|UF
+    cc.csr = isa::csr::fflags;
+    p.add(Opcode::Csrrci, cc);
+    p.run(2);
+    EXPECT_EQ(p.iss.state().fflags, 0x1Cu);
+}
+
+TEST(IssInteger, MinstretCounts)
+{
+    Program p;
+    p.add(Opcode::Addi, opsRdRs1Imm(1, 0, 1));
+    p.add(Opcode::Addi, opsRdRs1Imm(1, 1, 1));
+    p.add(Opcode::Addi, opsRdRs1Imm(1, 1, 1));
+    const auto last = p.run(3);
+    EXPECT_EQ(last.minstretAfter, 3u);
+    EXPECT_EQ(p.iss.state().minstret, 3u);
+}
+
+TEST(IssInteger, FenceIsNop)
+{
+    Program p;
+    p.add(Opcode::Fence, {});
+    const auto c = p.step();
+    EXPECT_FALSE(c.trapped);
+    EXPECT_EQ(c.nextPc, base + 4);
+}
+
+TEST(IssInteger, AccessRangeEnforcement)
+{
+    Program p;
+    p.iss.addAccessRange(base, 0x1000);   // code page only
+    p.iss.addAccessRange(0x100, 0x100);   // small data window
+    p.add(Opcode::Addi, opsRdRs1Imm(1, 0, 0x100));
+    Operands l;
+    l.rd = 2;
+    l.rs1 = 1;
+    l.imm = 0;
+    p.add(Opcode::Ld, l);
+    l.imm = 0x100; // out of window
+    p.add(Opcode::Ld, l);
+    p.run(2);
+    const auto c = p.step();
+    EXPECT_TRUE(c.trapped);
+    EXPECT_EQ(c.trapCause, isa::csr::causeLoadAccessFault);
+    EXPECT_EQ(c.trapValue, 0x200u);
+}
+
+} // namespace
+} // namespace turbofuzz::core

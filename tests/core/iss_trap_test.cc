@@ -1,0 +1,191 @@
+/** @file Trap behaviour tests (illegal, misaligned, ecall, mtvec). */
+
+#include <gtest/gtest.h>
+
+#include "core/iss.hh"
+#include "isa/csr.hh"
+#include "isa/encoding.hh"
+
+namespace turbofuzz::core
+{
+namespace
+{
+
+using isa::Opcode;
+using isa::Operands;
+namespace csr = isa::csr;
+
+constexpr uint64_t base = 0x80000000ull;
+constexpr uint64_t handler = 0x80010000ull;
+
+class TrapProgram : public ::testing::Test
+{
+  protected:
+    TrapProgram() : iss(&mem)
+    {
+        iss.reset(base);
+        iss.state().mtvec = handler;
+    }
+
+    void
+    add(Opcode op, const Operands &o)
+    {
+        mem.write32(base + 4 * count, isa::encode(op, o));
+        ++count;
+    }
+
+    soc::Memory mem;
+    Iss iss;
+    unsigned count = 0;
+};
+
+TEST_F(TrapProgram, IllegalInstructionWord)
+{
+    mem.write32(base, 0xFFFFFFFF);
+    const auto c = iss.step();
+    EXPECT_TRUE(c.trapped);
+    EXPECT_EQ(c.trapCause, csr::causeIllegalInstruction);
+    EXPECT_EQ(iss.state().mepc, base);
+    EXPECT_EQ(iss.state().mtval, 0xFFFFFFFFull);
+    EXPECT_EQ(iss.state().pc, handler);
+}
+
+TEST_F(TrapProgram, EcallTrap)
+{
+    add(Opcode::Ecall, {});
+    const auto c = iss.step();
+    EXPECT_TRUE(c.trapped);
+    EXPECT_EQ(c.trapCause, csr::causeEcallM);
+    EXPECT_EQ(iss.state().pc, handler);
+}
+
+TEST_F(TrapProgram, EbreakIncrementsMinstretInGoldenModel)
+{
+    add(Opcode::Ebreak, {});
+    const auto c = iss.step();
+    EXPECT_TRUE(c.trapped);
+    EXPECT_EQ(c.trapCause, csr::causeBreakpoint);
+    EXPECT_EQ(c.minstretAfter, 1u);
+}
+
+TEST_F(TrapProgram, MisalignedFetch)
+{
+    iss.reset(base + 2);
+    const auto c = iss.step();
+    EXPECT_TRUE(c.trapped);
+    EXPECT_EQ(c.trapCause, csr::causeMisalignedFetch);
+}
+
+TEST_F(TrapProgram, MisalignedAmo)
+{
+    iss.state().setX(1, 0x1001);
+    Operands a;
+    a.rd = 2;
+    a.rs1 = 1;
+    a.rs2 = 3;
+    add(Opcode::AmoaddW, a);
+    const auto c = iss.step();
+    EXPECT_TRUE(c.trapped);
+    EXPECT_EQ(c.trapCause, csr::causeMisalignedStore);
+}
+
+TEST_F(TrapProgram, TrapRecordsStvalMirror)
+{
+    mem.write32(base, 0xFFFFFFFF);
+    iss.step();
+    EXPECT_EQ(iss.state().stval, 0xFFFFFFFFull);
+    EXPECT_EQ(iss.state().scause, csr::causeIllegalInstruction);
+}
+
+TEST_F(TrapProgram, UnknownCsrTraps)
+{
+    Operands o;
+    o.rd = 1;
+    o.rs1 = 0;
+    o.csr = 0x7C0; // unimplemented custom CSR
+    add(Opcode::Csrrs, o);
+    const auto c = iss.step();
+    EXPECT_TRUE(c.trapped);
+    EXPECT_EQ(c.trapCause, csr::causeIllegalInstruction);
+}
+
+TEST_F(TrapProgram, WriteToReadOnlyCsrTraps)
+{
+    Operands o;
+    o.rd = 1;
+    o.rs1 = 2;
+    o.csr = csr::mhartid;
+    iss.state().setX(2, 1);
+    add(Opcode::Csrrw, o);
+    const auto c = iss.step();
+    EXPECT_TRUE(c.trapped);
+}
+
+TEST_F(TrapProgram, ReadOnlyCsrReadable)
+{
+    Operands o;
+    o.rd = 1;
+    o.rs1 = 0;
+    o.csr = csr::mhartid;
+    add(Opcode::Csrrs, o); // rs1=x0: pure read
+    const auto c = iss.step();
+    EXPECT_FALSE(c.trapped);
+    EXPECT_EQ(c.rdValue, 0u);
+}
+
+TEST_F(TrapProgram, MtvecAlignmentForced)
+{
+    Operands o;
+    o.rd = 0;
+    o.rs1 = 1;
+    o.csr = csr::mtvec;
+    iss.state().setX(1, 0x80020002ull); // misaligned
+    add(Opcode::Csrrw, o);
+    iss.step();
+    EXPECT_EQ(iss.state().mtvec, 0x80020000ull);
+}
+
+TEST_F(TrapProgram, TrapVectorRedirect)
+{
+    // Illegal instruction, then execution continues at the handler.
+    mem.write32(base, 0xFFFFFFFF);
+    Operands nop;
+    nop.rd = 5;
+    nop.rs1 = 0;
+    nop.imm = 77;
+    mem.write32(handler, isa::encode(Opcode::Addi, nop));
+    iss.step();
+    const auto c = iss.step();
+    EXPECT_FALSE(c.trapped);
+    EXPECT_EQ(c.pc, handler);
+    EXPECT_EQ(iss.state().x(5), 77u);
+}
+
+TEST_F(TrapProgram, Rv64aDisabledTrapsDoubleAtomics)
+{
+    Iss::Options opt;
+    opt.rv64aEnabled = false;
+    Iss cva6(&mem, opt);
+    cva6.reset(base);
+    cva6.state().mtvec = handler;
+    cva6.state().setX(1, 0x1000);
+    Operands a;
+    a.rd = 2;
+    a.rs1 = 1;
+    a.rs2 = 3;
+    mem.write32(base, isa::encode(Opcode::AmoaddD, a));
+    const auto c = cva6.step();
+    EXPECT_TRUE(c.trapped);
+    EXPECT_EQ(c.trapCause, csr::causeIllegalInstruction);
+
+    // Word atomics remain legal.
+    cva6.reset(base);
+    cva6.state().mtvec = handler;
+    cva6.state().setX(1, 0x1000);
+    mem.write32(base, isa::encode(Opcode::AmoaddW, a));
+    const auto c2 = cva6.step();
+    EXPECT_FALSE(c2.trapped);
+}
+
+} // namespace
+} // namespace turbofuzz::core

@@ -1,0 +1,122 @@
+/** @file Coverage-map accumulation tests. */
+
+#include <gtest/gtest.h>
+
+#include "coverage/coverage_map.hh"
+
+namespace turbofuzz::coverage
+{
+namespace
+{
+
+std::unique_ptr<rtl::Module>
+twoRegModule()
+{
+    auto m = std::make_unique<rtl::Module>("m");
+    const uint32_t a =
+        m->addRegister("a", 4, rtl::RegRole::Datapath);
+    const uint32_t b =
+        m->addRegister("b", 4, rtl::RegRole::Datapath);
+    const uint32_t wa = m->addWire("wa", {a});
+    const uint32_t wb = m->addWire("wb", {b});
+    m->addMux("ma", wa);
+    m->addMux("mb", wb);
+    return m;
+}
+
+TEST(CoverageMap, RecordCountsNewPointsOnce)
+{
+    auto m = twoRegModule();
+    DesignInstrumentation di(m.get(), Scheme::Optimized, 13, 1);
+    CoverageMap map(&di);
+
+    m->registers()[0].value = 1;
+    m->registers()[1].value = 2;
+    EXPECT_EQ(map.record(), 1u);
+    EXPECT_EQ(map.record(), 0u); // same state, nothing new
+    EXPECT_EQ(map.totalCovered(), 1u);
+
+    m->registers()[0].value = 3;
+    EXPECT_EQ(map.record(), 1u);
+    EXPECT_EQ(map.totalCovered(), 2u);
+}
+
+TEST(CoverageMap, SaturatesAtModuleStateSpace)
+{
+    auto m = twoRegModule();
+    DesignInstrumentation di(m.get(), Scheme::Optimized, 13, 1);
+    CoverageMap map(&di);
+    for (uint64_t a = 0; a < 16; ++a) {
+        for (uint64_t b = 0; b < 16; ++b) {
+            m->registers()[0].value = a;
+            m->registers()[1].value = b;
+            map.record();
+        }
+    }
+    EXPECT_EQ(map.totalCovered(), 256u);
+    // Re-sweeping adds nothing.
+    for (uint64_t a = 0; a < 16; ++a) {
+        m->registers()[0].value = a;
+        EXPECT_EQ(map.record(), 0u);
+    }
+}
+
+TEST(CoverageMap, ResetClears)
+{
+    auto m = twoRegModule();
+    DesignInstrumentation di(m.get(), Scheme::Optimized, 13, 1);
+    CoverageMap map(&di);
+    map.record();
+    map.reset();
+    EXPECT_EQ(map.totalCovered(), 0u);
+    EXPECT_EQ(map.record(), 1u);
+}
+
+TEST(CoverageMap, WeightedFeedbackShifts)
+{
+    auto m = twoRegModule();
+    DesignInstrumentation di(m.get(), Scheme::Optimized, 13, 1);
+    CoverageMap map(&di);
+    for (uint64_t a = 0; a < 8; ++a) {
+        m->registers()[0].value = a;
+        map.record();
+    }
+    const uint64_t covered = map.totalCovered();
+    EXPECT_EQ(map.weightedFeedback(), covered);
+
+    di.setWeightShift("m", 2);
+    EXPECT_EQ(map.weightedFeedback(), covered << 2);
+    di.setWeightShift("m", -1);
+    EXPECT_EQ(map.weightedFeedback(), covered >> 1);
+}
+
+TEST(CoverageMap, MergeUnions)
+{
+    auto m = twoRegModule();
+    DesignInstrumentation di(m.get(), Scheme::Optimized, 13, 1);
+    CoverageMap a(&di), b(&di);
+
+    m->registers()[0].value = 1;
+    a.record();
+    m->registers()[0].value = 2;
+    b.record();
+    m->registers()[0].value = 1; // overlap with a
+    b.record();
+
+    a.merge(b);
+    EXPECT_EQ(a.totalCovered(), 2u);
+}
+
+TEST(CoverageMap, PerModuleCounts)
+{
+    auto m = twoRegModule();
+    DesignInstrumentation di(m.get(), Scheme::Optimized, 13, 1);
+    CoverageMap map(&di);
+    map.record();
+    ASSERT_EQ(map.moduleCount(), 1u);
+    EXPECT_EQ(map.moduleCovered(0), 1u);
+    EXPECT_EQ(map.moduleName(0), "m");
+}
+
+} // namespace
+} // namespace turbofuzz::coverage

@@ -1,0 +1,159 @@
+/** @file Instrumentation-scheme tests (§VI algorithms). */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "coverage/instrumentation.hh"
+#include "rtl/cores.hh"
+
+namespace turbofuzz::coverage
+{
+namespace
+{
+
+/** Module with @p nregs unconstrained w-bit registers, all control. */
+std::unique_ptr<rtl::Module>
+denseModule(unsigned nregs, unsigned width)
+{
+    auto m = std::make_unique<rtl::Module>("dense");
+    for (unsigned i = 0; i < nregs; ++i) {
+        const uint32_t r =
+            m->addRegister("r" + std::to_string(i), width,
+                           rtl::RegRole::Datapath);
+        const uint32_t w =
+            m->addWire("w" + std::to_string(i), {r});
+        m->addMux("m" + std::to_string(i), w);
+    }
+    return m;
+}
+
+TEST(Instrumentation, SmallModuleConcatenatesLossless)
+{
+    // 3 x 4 bits = 12 <= 13: plain concatenation, index = 12 bits.
+    auto m = denseModule(3, 4);
+    ModuleInstrumentation mi(m.get(), Scheme::Baseline, 13, 1);
+    EXPECT_EQ(mi.indexBits(), 12u);
+    EXPECT_EQ(mi.instrumentedPoints(), 4096u);
+
+    // Offsets are sequential: 0, 4, 8.
+    EXPECT_EQ(mi.placements()[0].offset, 0u);
+    EXPECT_EQ(mi.placements()[1].offset, 4u);
+    EXPECT_EQ(mi.placements()[2].offset, 8u);
+
+    // Distinct register states map to distinct indices (injective).
+    std::set<uint64_t> seen;
+    for (uint64_t a = 0; a < 16; ++a) {
+        for (uint64_t b = 0; b < 16; ++b) {
+            m->registers()[0].value = a;
+            m->registers()[1].value = b;
+            m->registers()[2].value = a ^ b;
+            seen.insert(mi.computeIndex());
+        }
+    }
+    EXPECT_EQ(seen.size(), 256u);
+}
+
+TEST(Instrumentation, LargeModuleCompressesToMaxStateSize)
+{
+    auto m = denseModule(8, 4); // 32 bits > 13
+    ModuleInstrumentation base(m.get(), Scheme::Baseline, 13, 1);
+    ModuleInstrumentation opt(m.get(), Scheme::Optimized, 13, 1);
+    EXPECT_EQ(base.indexBits(), 13u);
+    EXPECT_EQ(opt.indexBits(), 13u);
+    EXPECT_EQ(base.instrumentedPoints(), 8192u);
+}
+
+TEST(Instrumentation, OptimizedOffsetsFollowEquationTwo)
+{
+    auto m = denseModule(8, 4);
+    ModuleInstrumentation opt(m.get(), Scheme::Optimized, 13, 1);
+    // new_offset = (last_offset + W) % maxStateSize (eq. 2).
+    unsigned expect = 0;
+    for (const Placement &p : opt.placements()) {
+        EXPECT_EQ(p.offset, expect);
+        EXPECT_TRUE(p.wraps);
+        expect = (expect + 4) % 13;
+    }
+}
+
+TEST(Instrumentation, BaselineShiftsAreSeedDeterministic)
+{
+    auto m = denseModule(8, 4);
+    ModuleInstrumentation a(m.get(), Scheme::Baseline, 13, 7);
+    ModuleInstrumentation b(m.get(), Scheme::Baseline, 13, 7);
+    ModuleInstrumentation c(m.get(), Scheme::Baseline, 13, 8);
+    bool same_ab = true, same_ac = true;
+    for (size_t i = 0; i < a.placements().size(); ++i) {
+        same_ab &= a.placements()[i].offset == b.placements()[i].offset;
+        same_ac &= a.placements()[i].offset == c.placements()[i].offset;
+    }
+    EXPECT_TRUE(same_ab);
+    EXPECT_FALSE(same_ac);
+}
+
+TEST(Instrumentation, IndexStaysInRange)
+{
+    auto m = denseModule(8, 4);
+    for (const auto scheme : {Scheme::Baseline, Scheme::Optimized}) {
+        ModuleInstrumentation mi(m.get(), scheme, 13, 3);
+        uint64_t s = 12345;
+        for (int iter = 0; iter < 1000; ++iter) {
+            for (auto &r : m->registers()) {
+                s = s * 6364136223846793005ull + 1;
+                r.value = (s >> 33) & 0xF;
+            }
+            EXPECT_LT(mi.computeIndex(), 8192u);
+        }
+    }
+}
+
+TEST(Instrumentation, OptimizedIndexSensitiveToEveryRegister)
+{
+    auto m = denseModule(8, 4);
+    ModuleInstrumentation mi(m.get(), Scheme::Optimized, 13, 1);
+    for (auto &r : m->registers())
+        r.value = 0;
+    const uint64_t base_idx = mi.computeIndex();
+    for (size_t i = 0; i < m->registers().size(); ++i) {
+        m->registers()[i].value = 5;
+        EXPECT_NE(mi.computeIndex(), base_idx) << "register " << i;
+        m->registers()[i].value = 0;
+    }
+}
+
+TEST(DesignInstrumentationTest, InstrumentsWholeTree)
+{
+    auto design = rtl::buildRocketLike();
+    DesignInstrumentation di(design.get(), Scheme::Optimized, 15, 1);
+    EXPECT_EQ(di.modules().size(), 7u);
+    EXPECT_GT(di.totalInstrumentedPoints(), 100000u);
+}
+
+TEST(DesignInstrumentationTest, ModuleSelection)
+{
+    auto design = rtl::buildRocketLike();
+    DesignInstrumentation di(design.get(), Scheme::Optimized, 15, 1,
+                             {"FPU", "CSRFile"});
+    EXPECT_EQ(di.modules().size(), 2u);
+}
+
+TEST(DesignInstrumentationTest, WeightShift)
+{
+    auto design = rtl::buildRocketLike();
+    DesignInstrumentation di(design.get(), Scheme::Optimized, 15, 1);
+    di.setWeightShift("MulDiv", -2);
+    bool found = false;
+    for (const auto &m : di.modules()) {
+        if (m.module().name() == "MulDiv") {
+            EXPECT_EQ(m.weightShift, -2);
+            found = true;
+        }
+    }
+    EXPECT_TRUE(found);
+    EXPECT_EXIT(di.setWeightShift("NoSuchModule", 1),
+                testing::ExitedWithCode(1), "no instrumented module");
+}
+
+} // namespace
+} // namespace turbofuzz::coverage

@@ -1,0 +1,139 @@
+/** @file Reachability-analysis tests (Fig. 6 machinery). */
+
+#include <gtest/gtest.h>
+
+#include "coverage/reachability.hh"
+#include "rtl/cores.hh"
+
+namespace turbofuzz::coverage
+{
+namespace
+{
+
+std::unique_ptr<rtl::Module>
+moduleWith(std::vector<std::pair<unsigned, std::vector<uint64_t>>>
+               reg_specs)
+{
+    auto m = std::make_unique<rtl::Module>("m");
+    unsigned i = 0;
+    for (auto &[width, domain] : reg_specs) {
+        const uint32_t r =
+            m->addRegister("r" + std::to_string(i), width,
+                           rtl::RegRole::Datapath, domain);
+        const uint32_t w = m->addWire("w" + std::to_string(i), {r});
+        m->addMux("mux" + std::to_string(i), w);
+        ++i;
+    }
+    return m;
+}
+
+TEST(Reachability, LosslessModuleFullyAchievable)
+{
+    // 12 bits of unconstrained state in a 13-bit budget.
+    auto m = moduleWith({{4, {}}, {4, {}}, {4, {}}});
+    ModuleInstrumentation mi(m.get(), Scheme::Baseline, 13, 1);
+    const auto r = analyzeModule(mi);
+    EXPECT_EQ(r.instrumented, 4096u);
+    EXPECT_EQ(r.achievable, 4096u);
+    EXPECT_TRUE(r.exact);
+    EXPECT_DOUBLE_EQ(r.achievableFraction(), 1.0);
+}
+
+TEST(Reachability, ConstrainedDomainLimitsAchievable)
+{
+    // A lone one-hot FSM: only 4 of 16 points are reachable.
+    auto m = moduleWith({{4, {1, 2, 4, 8}}});
+    ModuleInstrumentation mi(m.get(), Scheme::Baseline, 13, 1);
+    const auto r = analyzeModule(mi);
+    EXPECT_EQ(r.instrumented, 16u);
+    EXPECT_EQ(r.achievable, 4u);
+}
+
+TEST(Reachability, MixedDomainProduct)
+{
+    // 2-bit free register x 3-value enum: 4 * 3 = 12 achievable.
+    auto m = moduleWith({{2, {}}, {2, {0, 1, 2}}});
+    ModuleInstrumentation mi(m.get(), Scheme::Baseline, 13, 1);
+    const auto r = analyzeModule(mi);
+    EXPECT_EQ(r.instrumented, 16u);
+    EXPECT_EQ(r.achievable, 12u);
+}
+
+TEST(Reachability, OptimizedAllocatesOnlyAchievable)
+{
+    auto m = moduleWith({{4, {1, 2, 4, 8}}});
+    ModuleInstrumentation mi(m.get(), Scheme::Optimized, 13, 1);
+    const auto r = analyzeModule(mi);
+    EXPECT_EQ(r.instrumented, r.achievable);
+}
+
+TEST(Reachability, BaselineCompressionLosesPoints)
+{
+    // 32 bits crammed into 13: baseline's random shifts leave
+    // uncovered positions; the optimized rollback does not.
+    auto m = moduleWith({{4, {}}, {4, {}}, {4, {}}, {4, {}},
+                         {4, {}}, {4, {}}, {4, {}}, {4, {}}});
+    ModuleInstrumentation base(m.get(), Scheme::Baseline, 13, 1);
+    ModuleInstrumentation opt(m.get(), Scheme::Optimized, 13, 1);
+    const auto rb = analyzeModule(base);
+    const auto ro = analyzeModule(opt);
+    EXPECT_LE(rb.achievable, rb.instrumented);
+    EXPECT_EQ(ro.achievable, ro.instrumented);
+    EXPECT_EQ(ro.achievable, 8192u); // full rollback coverage
+    EXPECT_GE(ro.achievable, rb.achievable);
+}
+
+TEST(Reachability, AchievableNeverExceedsInstrumented)
+{
+    auto design = rtl::buildRocketLike();
+    for (const auto scheme : {Scheme::Baseline, Scheme::Optimized}) {
+        for (unsigned bits : {13u, 14u, 15u}) {
+            DesignInstrumentation di(design.get(), scheme, bits, 99);
+            for (const auto &mr : analyzeDesign(di)) {
+                EXPECT_LE(mr.achievable, mr.instrumented)
+                    << mr.moduleName;
+                EXPECT_GT(mr.achievable, 0u) << mr.moduleName;
+            }
+        }
+    }
+}
+
+TEST(Reachability, PaperTrendBaselineDegradesWithWidth)
+{
+    // Averaged over seeds, the baseline achievable fraction must not
+    // improve as the index widens (the Fig. 6 trend).
+    auto design = rtl::buildRocketLike();
+    double frac13 = 0.0, frac15 = 0.0;
+    for (uint64_t seed = 0; seed < 6; ++seed) {
+        DesignInstrumentation d13(design.get(), Scheme::Baseline, 13,
+                                  seed);
+        DesignInstrumentation d15(design.get(), Scheme::Baseline, 15,
+                                  seed);
+        frac13 += totals(analyzeDesign(d13)).achievableFraction();
+        frac15 += totals(analyzeDesign(d15)).achievableFraction();
+    }
+    EXPECT_GT(frac13, frac15);
+}
+
+TEST(Reachability, OptimizedAlwaysFullyAchievable)
+{
+    auto design = rtl::buildRocketLike();
+    DesignInstrumentation di(design.get(), Scheme::Optimized, 15, 1);
+    const auto t = totals(analyzeDesign(di));
+    EXPECT_DOUBLE_EQ(t.achievableFraction(), 1.0);
+}
+
+TEST(Reachability, TotalsAggregate)
+{
+    std::vector<ModuleReachability> mods = {
+        {"a", 100, 50, true},
+        {"b", 200, 200, true},
+    };
+    const auto t = totals(mods);
+    EXPECT_EQ(t.instrumented, 300u);
+    EXPECT_EQ(t.achievable, 250u);
+    EXPECT_NEAR(t.achievableFraction(), 250.0 / 300.0, 1e-12);
+}
+
+} // namespace
+} // namespace turbofuzz::coverage

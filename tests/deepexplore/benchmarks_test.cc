@@ -1,0 +1,136 @@
+/** @file Synthetic-benchmark tests. */
+
+#include <gtest/gtest.h>
+
+#include "deepexplore/benchmarks.hh"
+#include "deepexplore/bbv.hh"
+#include "deepexplore/simpoint.hh"
+
+namespace turbofuzz::deepexplore
+{
+namespace
+{
+
+class BenchmarkCase
+    : public ::testing::TestWithParam<int>
+{
+  protected:
+    Program
+    build() const
+    {
+        const fuzzer::MemoryLayout lay;
+        BenchmarkParams params;
+        params.outerIterations = 10;
+        params.innerIterations = 8;
+        switch (GetParam()) {
+          case 0: return buildCoremarkLike(lay, params);
+          case 1: return buildDhrystoneLike(lay, params);
+          default: return buildMicrobenchLike(lay, params);
+        }
+    }
+};
+
+TEST_P(BenchmarkCase, RunsToCompletionWithoutTraps)
+{
+    const fuzzer::MemoryLayout lay;
+    const Program p = build();
+    const BenchmarkProfile prof = profileBenchmark(p, lay, 512);
+    EXPECT_TRUE(prof.completed) << p.name;
+    EXPECT_GT(prof.totalInstructions, 500u) << p.name;
+    EXPECT_FALSE(prof.intervals.empty());
+}
+
+TEST_P(BenchmarkCase, ExhibitsRecurringPhases)
+{
+    // SimPoint exploits recurring behaviour: with enough intervals,
+    // at least two must share an identical BBV support set.
+    const fuzzer::MemoryLayout lay;
+    const Program p = build();
+    const BenchmarkProfile prof = profileBenchmark(p, lay, 256);
+    if (prof.intervals.size() < 4)
+        GTEST_SKIP() << "program too short for phase analysis";
+    // Interval boundaries drift relative to loop bodies, so compare
+    // projected behaviour vectors rather than exact BBVs: recurring
+    // phases show up as near-duplicate projections.
+    std::vector<std::vector<double>> vecs;
+    for (const auto &iv : prof.intervals)
+        vecs.push_back(projectBbv(iv.bbv, 32));
+    double min_dist = 1e9;
+    for (size_t i = 0; i + 1 < vecs.size(); ++i) {
+        for (size_t j = i + 1; j < vecs.size(); ++j) {
+            double d = 0;
+            for (size_t k = 0; k < vecs[i].size(); ++k) {
+                const double diff = vecs[i][k] - vecs[j][k];
+                d += diff * diff;
+            }
+            min_dist = std::min(min_dist, d);
+        }
+    }
+    EXPECT_LT(min_dist, 0.05) << p.name;
+}
+
+TEST_P(BenchmarkCase, ScalesWithParameters)
+{
+    const fuzzer::MemoryLayout lay;
+    BenchmarkParams small;
+    small.outerIterations = 4;
+    small.innerIterations = 4;
+    BenchmarkParams big;
+    big.outerIterations = 16;
+    big.innerIterations = 8;
+    Program ps, pb;
+    switch (GetParam()) {
+      case 0:
+        ps = buildCoremarkLike(lay, small);
+        pb = buildCoremarkLike(lay, big);
+        break;
+      case 1:
+        ps = buildDhrystoneLike(lay, small);
+        pb = buildDhrystoneLike(lay, big);
+        break;
+      default:
+        ps = buildMicrobenchLike(lay, small);
+        pb = buildMicrobenchLike(lay, big);
+        break;
+    }
+    const auto s = profileBenchmark(ps, lay, 512);
+    const auto b = profileBenchmark(pb, lay, 512);
+    EXPECT_GT(b.totalInstructions, 2 * s.totalInstructions);
+}
+
+std::string
+kernelName(const ::testing::TestParamInfo<int> &info)
+{
+    switch (info.param) {
+      case 0: return "coremark";
+      case 1: return "dhrystone";
+      default: return "microbench";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKernels, BenchmarkCase,
+                         ::testing::Values(0, 1, 2), kernelName);
+
+TEST(Benchmarks, BuildAllReturnsThree)
+{
+    const fuzzer::MemoryLayout lay;
+    const auto all = buildAllBenchmarks(lay);
+    ASSERT_EQ(all.size(), 3u);
+    EXPECT_EQ(all[0].name, "coremark-like");
+    EXPECT_EQ(all[1].name, "dhrystone-like");
+    EXPECT_EQ(all[2].name, "microbench-like");
+}
+
+TEST(Bbv, IntervalStartStatesChain)
+{
+    // Each interval's start state must reproduce the execution: the
+    // recorded startPc matches the state's pc.
+    const fuzzer::MemoryLayout lay;
+    const Program p = buildCoremarkLike(lay);
+    const BenchmarkProfile prof = profileBenchmark(p, lay, 512);
+    for (const auto &iv : prof.intervals)
+        EXPECT_EQ(iv.startState.pc, iv.startPc);
+}
+
+} // namespace
+} // namespace turbofuzz::deepexplore

@@ -1,0 +1,111 @@
+/** @file deepExplore controller integration tests. */
+
+#include <gtest/gtest.h>
+
+#include "deepexplore/deep_explore.hh"
+#include "harness/campaign.hh"
+
+namespace turbofuzz::deepexplore
+{
+namespace
+{
+
+isa::InstructionLibrary &
+lib()
+{
+    static isa::InstructionLibrary l = harness::makeDefaultLibrary();
+    return l;
+}
+
+BenchmarkParams
+smallParams()
+{
+    BenchmarkParams p;
+    p.outerIterations = 8;
+    p.innerIterations = 8;
+    return p;
+}
+
+TEST(BenchmarkRunnerTest, CyclesPrograms)
+{
+    const fuzzer::MemoryLayout lay;
+    BenchmarkRunner runner(buildAllBenchmarks(lay, smallParams()),
+                           lay);
+    soc::Memory mem;
+    const auto i0 = runner.generate(mem);
+    const auto i1 = runner.generate(mem);
+    EXPECT_GT(i0.generatedInstrs, 100u);
+    EXPECT_EQ(i0.entryPc, lay.instrBase);
+    // Different programs have different dynamic lengths.
+    EXPECT_NE(i0.generatedInstrs, i1.generatedInstrs);
+}
+
+TEST(DeepExploreTest, StageOneRunsIntervalsThenHandsOff)
+{
+    DeepExploreOptions dopts;
+    dopts.fuzzer.seed = 5;
+    dopts.fuzzer.instrsPerIteration = 800;
+
+    harness::CampaignOptions copts;
+    copts.timing = soc::turboFuzzProfile();
+    auto gen = std::make_unique<DeepExploreGenerator>(
+        dopts, &lib(),
+        buildAllBenchmarks(fuzzer::MemoryLayout{}, smallParams()));
+    auto *gp = gen.get();
+    harness::Campaign c(copts, std::move(gen));
+
+    EXPECT_EQ(gp->stage(), 1u);
+    // Run until stage 2 (bounded by iteration count for safety).
+    for (int i = 0; i < 400 && gp->stage() == 1; ++i)
+        c.runIteration();
+    EXPECT_EQ(gp->stage(), 2u);
+    EXPECT_GT(gp->markedCount(), 0u);
+
+    // Stage 2 keeps fuzzing productively.
+    const uint64_t before = c.coverageMap().totalCovered();
+    for (int i = 0; i < 10; ++i)
+        c.runIteration();
+    EXPECT_GT(c.coverageMap().totalCovered(), before);
+}
+
+TEST(DeepExploreTest, IntervalReplayIsTrapFree)
+{
+    DeepExploreOptions dopts;
+    dopts.fuzzer.seed = 6;
+    harness::CampaignOptions copts;
+    copts.timing = soc::turboFuzzProfile();
+    auto gen = std::make_unique<DeepExploreGenerator>(
+        dopts, &lib(),
+        buildAllBenchmarks(fuzzer::MemoryLayout{}, smallParams()));
+    auto *gp = gen.get();
+    harness::Campaign c(copts, std::move(gen));
+    // Stage-1 intervals reconstruct their context exactly; the
+    // replayed benchmark code must not trap.
+    for (int i = 0; i < 5 && gp->stage() == 1; ++i) {
+        const auto r = c.runIteration();
+        EXPECT_EQ(r.traps, 0u) << "interval " << i;
+        EXPECT_GT(r.executedTotal, 200u);
+    }
+}
+
+TEST(DeepExploreTest, MarkedIntervalsBecomeSeeds)
+{
+    DeepExploreOptions dopts;
+    dopts.fuzzer.seed = 7;
+    dopts.markThreshold = 1; // mark everything
+    dopts.maxMutationRounds = 1;
+    harness::CampaignOptions copts;
+    copts.timing = soc::turboFuzzProfile();
+    auto gen = std::make_unique<DeepExploreGenerator>(
+        dopts, &lib(),
+        buildAllBenchmarks(fuzzer::MemoryLayout{}, smallParams()));
+    auto *gp = gen.get();
+    harness::Campaign c(copts, std::move(gen));
+    for (int i = 0; i < 400 && gp->stage() == 1; ++i)
+        c.runIteration();
+    ASSERT_EQ(gp->stage(), 2u);
+    EXPECT_GE(gp->markedCount(), 5u); // (nearly) all intervals marked
+}
+
+} // namespace
+} // namespace turbofuzz::deepexplore

@@ -1,0 +1,93 @@
+/** @file Program-builder (mini assembler) tests. */
+
+#include <gtest/gtest.h>
+
+#include "core/iss.hh"
+#include "deepexplore/program_builder.hh"
+#include "isa/encoding.hh"
+
+namespace turbofuzz::deepexplore
+{
+namespace
+{
+
+TEST(ProgramBuilder, EmitAndLabels)
+{
+    ProgramBuilder b(0x10000000);
+    b.addi(1, 0, 5);
+    b.label("loop");
+    b.addi(1, 1, -1);
+    b.branch(isa::Opcode::Bne, 1, 0, "loop");
+    const Program p = b.finish("countdown");
+
+    EXPECT_EQ(p.code.size(), 3u);
+    const isa::Decoded br = isa::decode(p.code[2]);
+    ASSERT_TRUE(br.valid);
+    EXPECT_EQ(br.op, isa::Opcode::Bne);
+    EXPECT_EQ(br.ops.imm, -4); // back to "loop"
+}
+
+TEST(ProgramBuilder, ForwardReferenceBackpatched)
+{
+    ProgramBuilder b(0x10000000);
+    b.jump(0, "end");
+    b.addi(1, 0, 1); // skipped
+    b.label("end");
+    const Program p = b.finish("fwd");
+    const isa::Decoded j = isa::decode(p.code[0]);
+    EXPECT_EQ(j.ops.imm, 8);
+}
+
+TEST(ProgramBuilder, UndefinedLabelFatal)
+{
+    ProgramBuilder b(0x10000000);
+    b.jump(0, "nowhere");
+    EXPECT_EXIT(b.finish("bad"), testing::ExitedWithCode(1),
+                "undefined label");
+}
+
+/** Property: loadImm materializes any value exactly (ISS-verified). */
+class LoadImm : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(LoadImm, MaterializesExactly)
+{
+    const uint64_t value = GetParam();
+    ProgramBuilder b(0x10000000);
+    b.loadImm(5, value);
+    const Program p = b.finish("li");
+
+    soc::Memory mem;
+    p.load(mem);
+    core::Iss::Options o;
+    o.resetPc = p.entry();
+    core::Iss hart(&mem, o);
+    while (hart.state().pc < p.end())
+        ASSERT_FALSE(hart.step().trapped);
+    EXPECT_EQ(hart.state().x(5), value);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Values, LoadImm,
+    ::testing::Values(0ull, 1ull, 2047ull, 2048ull,
+                      0xFFFull, 0x7FFFFFFFull, 0x80000000ull,
+                      0xFFFFFFFFull, 0x100000000ull,
+                      0xDEADBEEFCAFEF00Dull, ~0ull,
+                      0x8000000000000000ull,
+                      0x3FF0000000000000ull,
+                      0x7FF0000000000000ull));
+
+TEST(ProgramBuilder, LoadRuns)
+{
+    ProgramBuilder b(0x10000000);
+    b.addi(1, 0, 42);
+    const Program p = b.finish("p");
+    soc::Memory mem;
+    p.load(mem);
+    EXPECT_EQ(mem.read32(0x10000000), p.code[0]);
+    EXPECT_EQ(p.end(), 0x10000004u);
+}
+
+} // namespace
+} // namespace turbofuzz::deepexplore

@@ -1,0 +1,93 @@
+/** @file SimPoint clustering tests. */
+
+#include <gtest/gtest.h>
+
+#include "deepexplore/simpoint.hh"
+
+namespace turbofuzz::deepexplore
+{
+namespace
+{
+
+IntervalProfile
+intervalWithBlocks(std::initializer_list<uint64_t> pcs)
+{
+    IntervalProfile iv;
+    for (uint64_t pc : pcs)
+        iv.bbv[pc] += 10;
+    iv.instrCount = 512;
+    return iv;
+}
+
+TEST(SimPointTest, ProjectionIsNormalizedAndStable)
+{
+    const auto iv = intervalWithBlocks({0x1000, 0x2000, 0x3000});
+    const auto a = projectBbv(iv.bbv, 32);
+    const auto b = projectBbv(iv.bbv, 32);
+    EXPECT_EQ(a, b);
+    // Signed contributions may share a dimension and cancel, so the
+    // L1 norm is bounded by 1 rather than exactly 1.
+    double l1 = 0;
+    for (double v : a)
+        l1 += std::abs(v);
+    EXPECT_GT(l1, 0.0);
+    EXPECT_LE(l1, 1.0 + 1e-9);
+}
+
+TEST(SimPointTest, EmptyBbvProjectsToZero)
+{
+    Bbv empty;
+    for (double v : projectBbv(empty, 16))
+        EXPECT_EQ(v, 0.0);
+}
+
+TEST(SimPointTest, FewerIntervalsThanK)
+{
+    std::vector<IntervalProfile> ivs = {
+        intervalWithBlocks({0x1000}),
+        intervalWithBlocks({0x2000}),
+    };
+    const auto pts = selectSimPoints(ivs);
+    EXPECT_EQ(pts.size(), 2u);
+}
+
+TEST(SimPointTest, SeparatesDistinctPhases)
+{
+    // Two clearly distinct phases, 6 intervals each; k=2 must place
+    // one representative in each phase.
+    std::vector<IntervalProfile> ivs;
+    for (int i = 0; i < 6; ++i)
+        ivs.push_back(intervalWithBlocks({0x1000, 0x1010, 0x1020}));
+    for (int i = 0; i < 6; ++i)
+        ivs.push_back(intervalWithBlocks({0x9000, 0x9010, 0x9020}));
+
+    SimPointOptions opts;
+    opts.k = 2;
+    const auto pts = selectSimPoints(ivs, opts);
+    ASSERT_EQ(pts.size(), 2u);
+    const bool one_low = pts[0].intervalIndex < 6;
+    const bool other_high = pts[1].intervalIndex >= 6;
+    EXPECT_TRUE(one_low && other_high);
+    EXPECT_NEAR(pts[0].weight, 0.5, 0.01);
+    EXPECT_NEAR(pts[1].weight, 0.5, 0.01);
+}
+
+TEST(SimPointTest, WeightsSumToOne)
+{
+    std::vector<IntervalProfile> ivs;
+    for (uint64_t i = 0; i < 20; ++i)
+        ivs.push_back(intervalWithBlocks({0x1000 + 0x100 * (i % 5)}));
+    const auto pts = selectSimPoints(ivs);
+    double total = 0;
+    for (const auto &p : pts)
+        total += p.weight;
+    EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(SimPointTest, EmptyInputYieldsNoPoints)
+{
+    EXPECT_TRUE(selectSimPoints({}).empty());
+}
+
+} // namespace
+} // namespace turbofuzz::deepexplore

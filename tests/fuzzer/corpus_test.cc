@@ -1,0 +1,151 @@
+/** @file Corpus scheduling tests (§IV-D semantics). */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "fuzzer/corpus.hh"
+
+namespace turbofuzz::fuzzer
+{
+namespace
+{
+
+Seed
+seedWithId(uint64_t id)
+{
+    Seed s;
+    s.id = id;
+    SeedBlock b;
+    b.insns = {0x13};
+    s.blocks.push_back(b);
+    return s;
+}
+
+TEST(Corpus, FifoEvictsOldest)
+{
+    Corpus c(2, SchedulingPolicy::Fifo);
+    EXPECT_TRUE(c.offer(seedWithId(1), 10));
+    EXPECT_TRUE(c.offer(seedWithId(2), 0)); // FIFO admits anything
+    EXPECT_TRUE(c.offer(seedWithId(3), 5)); // evicts seed 1
+    EXPECT_EQ(c.size(), 2u);
+    bool has1 = false, has3 = false;
+    for (const Seed &s : c.entries()) {
+        has1 |= s.id == 1;
+        has3 |= s.id == 3;
+    }
+    EXPECT_FALSE(has1);
+    EXPECT_TRUE(has3);
+    EXPECT_EQ(c.evictions(), 1u);
+}
+
+TEST(Corpus, CoverageGuidedRejectsNonImproving)
+{
+    Corpus c(4, SchedulingPolicy::CoverageGuided);
+    EXPECT_FALSE(c.offer(seedWithId(1), 0)); // no improvement
+    EXPECT_EQ(c.size(), 0u);
+    EXPECT_EQ(c.rejections(), 1u);
+    EXPECT_TRUE(c.offer(seedWithId(2), 3));
+    EXPECT_EQ(c.size(), 1u);
+}
+
+TEST(Corpus, CoverageGuidedReplacesWeakest)
+{
+    Corpus c(2, SchedulingPolicy::CoverageGuided);
+    c.offer(seedWithId(1), 10);
+    c.offer(seedWithId(2), 50);
+    // A newcomer better than the weakest replaces it...
+    EXPECT_TRUE(c.offer(seedWithId(3), 20));
+    bool has1 = false;
+    for (const Seed &s : c.entries())
+        has1 |= s.id == 1;
+    EXPECT_FALSE(has1);
+    // ...but a weaker one is rejected.
+    EXPECT_FALSE(c.offer(seedWithId(4), 5));
+    EXPECT_EQ(c.size(), 2u);
+}
+
+TEST(Corpus, PaperScenarioKeepsProductiveOldSeed)
+{
+    // The Fig. 5 scenario: an old seed that still improves coverage
+    // must survive a stream of mediocre newcomers under coverage
+    // scheduling, but dies under FIFO.
+    Corpus guided(3, SchedulingPolicy::CoverageGuided);
+    Corpus fifo(3, SchedulingPolicy::Fifo);
+    guided.offer(seedWithId(100), 500); // valuable old seed
+    fifo.offer(seedWithId(100), 500);
+    for (uint64_t i = 0; i < 10; ++i) {
+        guided.offer(seedWithId(i), 1 + i % 3);
+        fifo.offer(seedWithId(i), 1 + i % 3);
+    }
+    bool guided_has = false, fifo_has = false;
+    for (const Seed &s : guided.entries())
+        guided_has |= s.id == 100;
+    for (const Seed &s : fifo.entries())
+        fifo_has |= s.id == 100;
+    EXPECT_TRUE(guided_has);
+    EXPECT_FALSE(fifo_has);
+}
+
+TEST(Corpus, UpdateIncrementRefreshesSeed)
+{
+    Corpus c(4, SchedulingPolicy::CoverageGuided);
+    c.offer(seedWithId(1), 10);
+    c.updateIncrement(1, 99);
+    EXPECT_EQ(c.entries()[0].coverageIncrement, 99u);
+    // Unknown id is a no-op (seed may have been evicted).
+    c.updateIncrement(555, 1);
+}
+
+TEST(Corpus, PrioritizedSelectionPrefersHighIncrement)
+{
+    Corpus c(8, SchedulingPolicy::CoverageGuided);
+    for (uint64_t i = 1; i <= 8; ++i)
+        c.offer(seedWithId(i), i * 10);
+
+    Rng rng(7);
+    int high = 0;
+    const int trials = 4000;
+    for (int t = 0; t < trials; ++t) {
+        const Seed &s = c.select(rng, {3, 4});
+        if (s.coverageIncrement >= 70) // top quartile: ids 7, 8
+            ++high;
+    }
+    // 3/4 prioritized (always top quartile) + 1/4 uniform (2/8).
+    const double expected = 0.75 + 0.25 * 2.0 / 8.0;
+    EXPECT_NEAR(static_cast<double>(high) / trials, expected, 0.05);
+}
+
+TEST(Corpus, UniformSelectionWhenNotPrioritizing)
+{
+    Corpus c(4, SchedulingPolicy::CoverageGuided);
+    for (uint64_t i = 1; i <= 4; ++i)
+        c.offer(seedWithId(i), i);
+    Rng rng(3);
+    std::map<uint64_t, int> hits;
+    for (int t = 0; t < 4000; ++t)
+        hits[c.select(rng, {0, 1}).id]++;
+    for (uint64_t i = 1; i <= 4; ++i)
+        EXPECT_NEAR(hits[i] / 4000.0, 0.25, 0.05) << i;
+}
+
+TEST(Corpus, AddBaselineBypassesAdmission)
+{
+    Corpus c(2, SchedulingPolicy::CoverageGuided);
+    c.addBaseline(seedWithId(1)); // zero increment, still admitted
+    EXPECT_EQ(c.size(), 1u);
+    c.addBaseline(seedWithId(2));
+    c.addBaseline(seedWithId(3)); // evicts oldest baseline
+    EXPECT_EQ(c.size(), 2u);
+    EXPECT_EQ(c.evictions(), 1u);
+}
+
+TEST(Corpus, SelectFromEmptyPanics)
+{
+    Corpus c(2, SchedulingPolicy::Fifo);
+    Rng rng(1);
+    EXPECT_DEATH((void)c.select(rng), "empty corpus");
+}
+
+} // namespace
+} // namespace turbofuzz::fuzzer

@@ -1,0 +1,79 @@
+/** @file Seed serialization tests. */
+
+#include <gtest/gtest.h>
+
+#include "fuzzer/seed.hh"
+
+namespace turbofuzz::fuzzer
+{
+namespace
+{
+
+Seed
+sampleSeed()
+{
+    Seed s;
+    s.id = 42;
+    s.coverageIncrement = 117;
+    s.insertedAt = 9;
+    SeedBlock b1;
+    b1.insns = {0x00100093, 0x00208133};
+    b1.primeIdx = 1;
+    b1.isControlFlow = false;
+    b1.targetBlock = -1;
+    b1.position = 0;
+    SeedBlock b2;
+    b2.insns = {0x00b50863};
+    b2.primeIdx = 0;
+    b2.isControlFlow = true;
+    b2.targetBlock = 0;
+    b2.position = 1;
+    s.blocks = {b1, b2};
+    return s;
+}
+
+TEST(Seed, TotalInstrs)
+{
+    EXPECT_EQ(sampleSeed().totalInstrs(), 3u);
+    EXPECT_EQ(Seed{}.totalInstrs(), 0u);
+}
+
+TEST(Seed, SerializeRoundTrip)
+{
+    const Seed s = sampleSeed();
+    const auto bytes = s.serialize();
+    const Seed t = Seed::deserialize(bytes);
+
+    EXPECT_EQ(t.id, s.id);
+    EXPECT_EQ(t.coverageIncrement, s.coverageIncrement);
+    EXPECT_EQ(t.insertedAt, s.insertedAt);
+    ASSERT_EQ(t.blocks.size(), s.blocks.size());
+    for (size_t i = 0; i < s.blocks.size(); ++i) {
+        EXPECT_EQ(t.blocks[i].insns, s.blocks[i].insns);
+        EXPECT_EQ(t.blocks[i].primeIdx, s.blocks[i].primeIdx);
+        EXPECT_EQ(t.blocks[i].isControlFlow,
+                  s.blocks[i].isControlFlow);
+        EXPECT_EQ(t.blocks[i].targetBlock, s.blocks[i].targetBlock);
+        EXPECT_EQ(t.blocks[i].position, s.blocks[i].position);
+    }
+}
+
+TEST(Seed, SerializedSizeFitsBramBudget)
+{
+    // The area model stores seeds in ~11 KiB slots; a 4000-instruction
+    // seed must fit.
+    Seed s;
+    for (int b = 0; b < 1600; ++b) {
+        SeedBlock blk;
+        blk.insns = {0x13, 0x13, 0x13 /* nops */};
+        blk.primeIdx = 2;
+        blk.position = static_cast<uint32_t>(b);
+        s.blocks.push_back(blk);
+    }
+    EXPECT_EQ(s.totalInstrs(), 4800u);
+    // Worst case ~ 4 bytes/instr + 13 bytes/block metadata + header.
+    EXPECT_LT(s.serialize().size(), 48000u);
+}
+
+} // namespace
+} // namespace turbofuzz::fuzzer

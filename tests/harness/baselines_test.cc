@@ -1,0 +1,150 @@
+/** @file Baseline-fuzzer behaviour tests (DifuzzRTL / Cascade). */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "baselines/cascade.hh"
+#include "baselines/difuzzrtl.hh"
+#include "core/iss.hh"
+#include "harness/campaign.hh"
+#include "isa/encoding.hh"
+
+namespace turbofuzz::baselines
+{
+namespace
+{
+
+isa::InstructionLibrary &
+lib()
+{
+    static isa::InstructionLibrary l = harness::makeDefaultLibrary();
+    return l;
+}
+
+TEST(DifuzzRtl, GeneratesShortIterationsWithBootstrap)
+{
+    DifuzzRtlGenerator gen(1, &lib());
+    soc::Memory mem;
+    const fuzzer::IterationInfo info = gen.generate(mem);
+    EXPECT_GE(info.generatedInstrs, 912u);
+    EXPECT_LT(info.generatedInstrs, 1050u);
+    // The bootstrap region (~700 instructions) precedes the blocks.
+    EXPECT_GT(info.firstBlockPc - info.entryPc, 4ull * 700);
+    EXPECT_FALSE(gen.usesExceptionTemplates());
+}
+
+TEST(DifuzzRtl, LowExecutedFraction)
+{
+    // The eq. (1) pathology: unconstrained forward jumps skip most
+    // of each iteration.
+    DifuzzRtlGenerator gen(2, &lib());
+    const fuzzer::MemoryLayout lay = gen.layout();
+    soc::Memory mem;
+    uint64_t executed_unique = 0, generated = 0;
+    for (int it = 0; it < 30; ++it) {
+        const auto info = gen.generate(mem);
+        generated += info.generatedInstrs;
+        core::Iss::Options o;
+        o.resetPc = info.entryPc;
+        core::Iss hart(&mem, o);
+        hart.addAccessRange(lay.instrBase, lay.instrSize);
+        hart.addAccessRange(lay.dataBase, lay.dataSize);
+        std::set<uint64_t> seen;
+        for (uint64_t n = 0; n < info.generatedInstrs + 1024; ++n) {
+            const auto ci = hart.step();
+            if (ci.trapped)
+                break;
+            if (ci.pc >= info.firstBlockPc &&
+                ci.pc < info.codeBoundary)
+                seen.insert(ci.pc);
+            if (hart.state().pc >= info.codeBoundary)
+                break;
+        }
+        executed_unique += seen.size();
+        gen.feedback(info, 1);
+    }
+    const double frac = static_cast<double>(executed_unique) /
+                        static_cast<double>(generated);
+    EXPECT_LT(frac, 0.40); // paper: ~0.193
+    EXPECT_GT(frac, 0.02);
+}
+
+TEST(Cascade, ProgramsExecuteCompletelyAndTerminate)
+{
+    CascadeGenerator gen(3, &lib());
+    const fuzzer::MemoryLayout lay = gen.layout();
+    soc::Memory mem;
+    for (int it = 0; it < 10; ++it) {
+        const auto info = gen.generate(mem);
+        core::Iss::Options o;
+        o.resetPc = info.entryPc;
+        core::Iss hart(&mem, o);
+        hart.addAccessRange(lay.instrBase, lay.instrSize);
+        hart.addAccessRange(lay.dataBase, lay.dataSize);
+        uint64_t steps = 0;
+        bool clean = false;
+        while (steps < 3ull * info.generatedInstrs + 512) {
+            const auto ci = hart.step();
+            ++steps;
+            ASSERT_FALSE(ci.trapped)
+                << "cascade program trapped at step " << steps;
+            if (hart.state().pc >= info.codeBoundary) {
+                clean = true;
+                break;
+            }
+        }
+        EXPECT_TRUE(clean) << "iteration " << it;
+        gen.feedback(info, 0);
+    }
+}
+
+TEST(Cascade, EveryGeneratedInstructionExecutes)
+{
+    // Cascade's defining property: the shuffled chain visits every
+    // block exactly once (prevalence ~0.9 with setup/teardown).
+    CascadeGenerator gen(4, &lib());
+    const fuzzer::MemoryLayout lay = gen.layout();
+    soc::Memory mem;
+    const auto info = gen.generate(mem);
+    core::Iss::Options o;
+    o.resetPc = info.entryPc;
+    core::Iss hart(&mem, o);
+    hart.addAccessRange(lay.instrBase, lay.instrSize);
+    hart.addAccessRange(lay.dataBase, lay.dataSize);
+    std::set<uint64_t> seen;
+    uint64_t steps = 0;
+    while (steps < 3ull * info.generatedInstrs + 512) {
+        const auto ci = hart.step();
+        ++steps;
+        if (ci.pc >= info.firstBlockPc && ci.pc < info.fuzzRegionEnd)
+            seen.insert(ci.pc);
+        if (hart.state().pc >= info.codeBoundary)
+            break;
+    }
+    EXPECT_EQ(seen.size(), info.generatedInstrs);
+}
+
+TEST(Cascade, CampaignPrevalenceNearPaperValue)
+{
+    auto opts = harness::CampaignOptions{};
+    opts.timing = soc::cascadeProfile();
+    opts.checkMode = checker::DiffChecker::Mode::EndOfIteration;
+    harness::Campaign c(
+        opts, std::make_unique<CascadeGenerator>(5, &lib()));
+    c.run(40.0);
+    EXPECT_GT(c.prevalence(), 0.80);
+    EXPECT_LT(c.prevalence(), 0.98);
+}
+
+TEST(Baselines, NamesAndLayouts)
+{
+    DifuzzRtlGenerator d(1, &lib());
+    CascadeGenerator c(1, &lib());
+    EXPECT_EQ(d.name(), "DifuzzRTL");
+    EXPECT_EQ(c.name(), "Cascade");
+    EXPECT_EQ(d.layout().instrBase, c.layout().instrBase);
+}
+
+} // namespace
+} // namespace turbofuzz::baselines

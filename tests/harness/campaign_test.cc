@@ -1,0 +1,144 @@
+/** @file Campaign integration tests: the full loop end-to-end. */
+
+#include <gtest/gtest.h>
+
+#include "fuzzer/generator.hh"
+#include "harness/campaign.hh"
+
+namespace turbofuzz::harness
+{
+namespace
+{
+
+isa::InstructionLibrary &
+lib()
+{
+    static isa::InstructionLibrary l = makeDefaultLibrary();
+    return l;
+}
+
+std::unique_ptr<fuzzer::TurboFuzzGenerator>
+makeGen(uint64_t seed, uint32_t ipi = 1000)
+{
+    fuzzer::FuzzerOptions o;
+    o.seed = seed;
+    o.instrsPerIteration = ipi;
+    return std::make_unique<fuzzer::TurboFuzzGenerator>(o, &lib());
+}
+
+TEST(Campaign, IterationProducesCoverageAndTime)
+{
+    CampaignOptions opts;
+    opts.timing = soc::turboFuzzProfile();
+    Campaign c(opts, makeGen(1));
+    const IterationResult r = c.runIteration();
+    EXPECT_GT(r.generated, 900u);
+    EXPECT_GT(r.executedTotal, 500u);
+    EXPECT_GT(r.newCoverage, 50u);
+    EXPECT_FALSE(r.mismatch);
+    EXPECT_GT(c.nowSec(), 1.0); // startup + iteration
+}
+
+TEST(Campaign, RunHonorsBudget)
+{
+    CampaignOptions opts;
+    opts.timing = soc::turboFuzzProfile();
+    Campaign c(opts, makeGen(2));
+    const TimeSeries s = c.run(3.0);
+    EXPECT_GE(c.nowSec(), 3.0);
+    EXPECT_LT(c.nowSec(), 4.0);
+    EXPECT_GT(c.iterations(), 50u);
+    EXPECT_FALSE(s.empty());
+    // Coverage is monotone non-decreasing.
+    double prev = 0;
+    for (const auto &sample : s.samples()) {
+        EXPECT_GE(sample.value, prev);
+        prev = sample.value;
+    }
+}
+
+TEST(Campaign, NoBugsMeansNoMismatches)
+{
+    CampaignOptions opts;
+    opts.timing = soc::turboFuzzProfile();
+    Campaign c(opts, makeGen(3));
+    c.run(3.0);
+    EXPECT_FALSE(c.firstMismatch().has_value());
+}
+
+TEST(Campaign, InjectedBugIsCaughtAndSnapshotted)
+{
+    CampaignOptions opts;
+    opts.timing = soc::turboFuzzProfile();
+    opts.coreKind = core::CoreKind::Boom;
+    opts.bugs = core::BugSet::single(core::BugId::B1);
+    opts.stopOnMismatch = true;
+    Campaign c(opts, makeGen(4));
+    c.run(30.0);
+    ASSERT_TRUE(c.firstMismatch().has_value());
+    EXPECT_TRUE(c.mismatchSnapshot().hasSection("dut.arch"));
+    EXPECT_FALSE(c.mismatchSnapshot().trigger().empty());
+}
+
+TEST(Campaign, DeterministicReplay)
+{
+    auto run_once = [](uint64_t seed) {
+        CampaignOptions opts;
+        opts.timing = soc::turboFuzzProfile();
+        opts.seed = seed;
+        Campaign c(opts, makeGen(seed));
+        c.run(2.0);
+        return std::make_pair(c.coverageMap().totalCovered(),
+                              c.executedInstructions());
+    };
+    EXPECT_EQ(run_once(7), run_once(7));
+    EXPECT_NE(run_once(7), run_once(8));
+}
+
+TEST(Campaign, PrevalenceInExpectedBand)
+{
+    CampaignOptions opts;
+    opts.timing = soc::turboFuzzProfile();
+    Campaign c(opts, makeGen(5, 4000));
+    c.run(5.0);
+    EXPECT_GT(c.prevalence(), 0.90);
+    EXPECT_LE(c.prevalence(), 1.0);
+}
+
+TEST(Campaign, CommitObserverSeesEveryCommit)
+{
+    CampaignOptions opts;
+    opts.timing = soc::turboFuzzProfile();
+    uint64_t observed = 0;
+    opts.commitObserver = [&](const core::CommitInfo &) {
+        ++observed;
+    };
+    Campaign c(opts, makeGen(6));
+    const IterationResult r = c.runIteration();
+    EXPECT_EQ(observed, r.executedTotal);
+}
+
+TEST(Campaign, BaselineSchemeCoversLessThanOptimized)
+{
+    auto run_with = [](coverage::Scheme scheme) {
+        CampaignOptions opts;
+        opts.timing = soc::turboFuzzProfile();
+        opts.covScheme = scheme;
+        Campaign c(opts, makeGen(9));
+        c.run(4.0);
+        return c.coverageMap().totalCovered();
+    };
+    // The optimized instrumentation reaches more points within the
+    // same budget (Fig. 7's direction).
+    EXPECT_GT(run_with(coverage::Scheme::Optimized),
+              run_with(coverage::Scheme::Baseline));
+}
+
+TEST(MakeDefaultLibraryTest, ExcludesMret)
+{
+    EXPECT_FALSE(lib().contains(isa::Opcode::Mret));
+    EXPECT_TRUE(lib().contains(isa::Opcode::Add));
+}
+
+} // namespace
+} // namespace turbofuzz::harness

@@ -1,0 +1,87 @@
+/** @file Disassembler smoke tests. */
+
+#include <gtest/gtest.h>
+
+#include "isa/disasm.hh"
+#include "isa/encoding.hh"
+
+namespace turbofuzz::isa
+{
+namespace
+{
+
+TEST(Disasm, RegisterNames)
+{
+    EXPECT_EQ(regName(0), "zero");
+    EXPECT_EQ(regName(1), "ra");
+    EXPECT_EQ(regName(2), "sp");
+    EXPECT_EQ(regName(10), "a0");
+    EXPECT_EQ(regName(31), "t6");
+    EXPECT_EQ(fpRegName(0), "ft0");
+    EXPECT_EQ(fpRegName(10), "fa0");
+}
+
+TEST(Disasm, CommonInstructions)
+{
+    Operands o;
+    o.rd = 10;
+    o.rs1 = 11;
+    o.imm = -1;
+    EXPECT_EQ(disassemble(encode(Opcode::Addi, o)), "addi a0, a1, -1");
+
+    o = {};
+    o.rd = 10;
+    o.rs1 = 2;
+    o.imm = 16;
+    EXPECT_EQ(disassemble(encode(Opcode::Ld, o)), "ld a0, 16(sp)");
+
+    o = {};
+    o.rs1 = 2;
+    o.rs2 = 10;
+    o.imm = 8;
+    EXPECT_EQ(disassemble(encode(Opcode::Sd, o)), "sd a0, 8(sp)");
+
+    EXPECT_EQ(disassemble(encode(Opcode::Ecall, {})), "ecall");
+    EXPECT_EQ(disassemble(encode(Opcode::Ebreak, {})), "ebreak");
+}
+
+TEST(Disasm, FpInstructionsUseFpRegNames)
+{
+    Operands o;
+    o.rd = 10;
+    o.rs1 = 11;
+    o.rs2 = 12;
+    const std::string s = disassemble(encode(Opcode::FaddS, o));
+    EXPECT_EQ(s, "fadd.s fa0, fa1, fa2");
+
+    o = {};
+    o.rd = 10;
+    o.rs1 = 11;
+    const std::string mv = disassemble(encode(Opcode::FmvXW, o));
+    EXPECT_EQ(mv, "fmv.x.w a0, fa1");
+}
+
+TEST(Disasm, InvalidWordsRenderAsData)
+{
+    EXPECT_EQ(disassemble(0), ".word 0x00000000");
+    EXPECT_EQ(disassemble(0xFFFFFFFF), ".word 0xffffffff");
+}
+
+TEST(Disasm, EveryOpcodeProducesItsMnemonic)
+{
+    for (const auto &d : allDescs()) {
+        Operands o;
+        o.rd = 1;
+        o.rs1 = 2;
+        o.rs2 = 3;
+        o.rs3 = 4;
+        o.imm = (d.fmt == Format::B || d.fmt == Format::J) ? 4 : 1;
+        o.csr = 0x003;
+        const std::string s = disassemble(encode(d.op, o));
+        EXPECT_EQ(s.rfind(std::string(d.mnemonic), 0), 0u)
+            << "expected '" << s << "' to start with " << d.mnemonic;
+    }
+}
+
+} // namespace
+} // namespace turbofuzz::isa

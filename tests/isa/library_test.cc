@@ -1,0 +1,106 @@
+/** @file Instruction-library configuration tests. */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.hh"
+#include "isa/instruction_library.hh"
+
+namespace turbofuzz::isa
+{
+namespace
+{
+
+TEST(InstructionLibrary, DefaultsToFullSet)
+{
+    InstructionLibrary lib;
+    EXPECT_EQ(lib.activeCount(), numOpcodes());
+}
+
+TEST(InstructionLibrary, DisableCategoryRemovesItsOpcodes)
+{
+    InstructionLibrary lib;
+    lib.setExtEnabled(Ext::F, false);
+    lib.setExtEnabled(Ext::D, false);
+    for (const auto &d : allDescs()) {
+        const bool fp_ext = d.ext == Ext::F || d.ext == Ext::D;
+        EXPECT_EQ(lib.contains(d.op), !fp_ext) << d.mnemonic;
+    }
+    EXPECT_FALSE(lib.extEnabled(Ext::F));
+    lib.setExtEnabled(Ext::F, true);
+    EXPECT_TRUE(lib.contains(Opcode::FaddS));
+}
+
+TEST(InstructionLibrary, ExcludeSingleOpcode)
+{
+    InstructionLibrary lib;
+    lib.exclude(Opcode::Ecall);
+    lib.exclude(Opcode::Ebreak);
+    EXPECT_FALSE(lib.contains(Opcode::Ecall));
+    EXPECT_TRUE(lib.contains(Opcode::Fence));
+    lib.include(Opcode::Ecall);
+    EXPECT_TRUE(lib.contains(Opcode::Ecall));
+}
+
+TEST(InstructionLibrary, PickHonorsFiltering)
+{
+    InstructionLibrary lib;
+    lib.setExtEnabled(Ext::F, false);
+    lib.setExtEnabled(Ext::D, false);
+    lib.setExtEnabled(Ext::A, false);
+    lib.setExtEnabled(Ext::M, false);
+    lib.setExtEnabled(Ext::Zicsr, false);
+    lib.setExtEnabled(Ext::System, false);
+    Rng rng(1);
+    for (int i = 0; i < 2000; ++i) {
+        const Opcode op = lib.pick(rng);
+        EXPECT_EQ(descOf(op).ext, Ext::I);
+    }
+}
+
+TEST(InstructionLibrary, WeightsBiasSelection)
+{
+    InstructionLibrary lib;
+    lib.setExtWeight(Ext::M, 10.0);
+    lib.setExtWeight(Ext::I, 0.1);
+    lib.setExtEnabled(Ext::A, false);
+    lib.setExtEnabled(Ext::F, false);
+    lib.setExtEnabled(Ext::D, false);
+    lib.setExtEnabled(Ext::Zicsr, false);
+    lib.setExtEnabled(Ext::System, false);
+
+    Rng rng(2);
+    std::map<Ext, int> hits;
+    for (int i = 0; i < 20000; ++i)
+        hits[descOf(lib.pick(rng)).ext]++;
+    // M has 13 ops at weight 10 = 130; I has 52 ops at 0.1 = 5.2.
+    EXPECT_GT(hits[Ext::M], hits[Ext::I] * 10);
+}
+
+TEST(InstructionLibrary, ZeroWeightActsAsDisable)
+{
+    InstructionLibrary lib;
+    lib.setExtWeight(Ext::A, 0.0);
+    EXPECT_FALSE(lib.contains(Opcode::AmoaddW));
+}
+
+TEST(InstructionLibrary, PickCoversActiveSet)
+{
+    InstructionLibrary lib;
+    lib.setExtEnabled(Ext::I, false);
+    lib.setExtEnabled(Ext::M, false);
+    lib.setExtEnabled(Ext::A, false);
+    lib.setExtEnabled(Ext::F, false);
+    lib.setExtEnabled(Ext::D, false);
+    lib.setExtEnabled(Ext::System, false);
+    // Only Zicsr's 6 opcodes remain; a modest sample hits them all.
+    Rng rng(3);
+    std::set<Opcode> seen;
+    for (int i = 0; i < 600; ++i)
+        seen.insert(lib.pick(rng));
+    EXPECT_EQ(seen.size(), 6u);
+}
+
+} // namespace
+} // namespace turbofuzz::isa

@@ -1,0 +1,121 @@
+/** @file Descriptor-table consistency tests. */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "isa/encoding.hh"
+#include "isa/opcodes.hh"
+
+namespace turbofuzz::isa
+{
+namespace
+{
+
+TEST(Opcodes, TableCoversEveryEnumValue)
+{
+    EXPECT_EQ(allDescs().size(), numOpcodes());
+    std::set<Opcode> seen;
+    for (const auto &d : allDescs())
+        EXPECT_TRUE(seen.insert(d.op).second)
+            << "duplicate " << d.mnemonic;
+}
+
+TEST(Opcodes, DescOfIsConsistent)
+{
+    for (const auto &d : allDescs())
+        EXPECT_EQ(&descOf(d.op), &d);
+}
+
+TEST(Opcodes, MnemonicsUnique)
+{
+    std::set<std::string_view> names;
+    for (const auto &d : allDescs())
+        EXPECT_TRUE(names.insert(d.mnemonic).second)
+            << "duplicate mnemonic " << d.mnemonic;
+}
+
+TEST(Opcodes, MatchMaskDisjointness)
+{
+    // No two instructions may claim the same canonical word: for each
+    // pair with the same major opcode, the match of one must not
+    // satisfy the (match, mask) of the other.
+    const auto &descs = allDescs();
+    for (const auto &a : descs) {
+        const MatchMask ma = matchMaskOf(a.op);
+        for (const auto &b : descs) {
+            if (a.op == b.op || a.opcode7 != b.opcode7)
+                continue;
+            const MatchMask mb = matchMaskOf(b.op);
+            EXPECT_FALSE((ma.match & mb.mask) == mb.match &&
+                         (mb.match & ma.mask) == ma.match)
+                << a.mnemonic << " and " << b.mnemonic
+                << " have overlapping encodings";
+        }
+    }
+}
+
+TEST(Opcodes, MatchIsInsideMask)
+{
+    for (const auto &d : allDescs()) {
+        const MatchMask mm = matchMaskOf(d.op);
+        EXPECT_EQ(mm.match & ~mm.mask, 0u) << d.mnemonic;
+        EXPECT_EQ(mm.mask & 0x7F, 0x7Fu) << d.mnemonic;
+    }
+}
+
+TEST(Opcodes, FlagSanity)
+{
+    for (const auto &d : allDescs()) {
+        // Control-flow classification is exclusive.
+        const int cf = !!(d.flags & FlagBranch) + !!(d.flags & FlagJal) +
+                       !!(d.flags & FlagJalr);
+        EXPECT_LE(cf, 1) << d.mnemonic;
+        // FP register usage implies the FP unit.
+        if (d.flags & (FlagFpRd | FlagFpRs1 | FlagFpRs2 | FlagFpRs3))
+            EXPECT_TRUE(d.has(FlagFp)) << d.mnemonic;
+        // Branches never write rd.
+        if (d.has(FlagBranch))
+            EXPECT_FALSE(d.has(FlagWritesRd)) << d.mnemonic;
+        // Stores never write rd (except AMO/SC which do).
+        if (d.has(FlagStore) && !d.has(FlagAtomic))
+            EXPECT_FALSE(d.has(FlagWritesRd) && !d.has(FlagFp))
+                << d.mnemonic;
+    }
+}
+
+TEST(Opcodes, ExtensionCounts)
+{
+    std::map<Ext, int> count;
+    for (const auto &d : allDescs())
+        count[d.ext]++;
+    EXPECT_EQ(count[Ext::I], 49);     // RV64I base (less fence/ecall/ebreak)
+    EXPECT_EQ(count[Ext::M], 13);     // RV64M
+    EXPECT_EQ(count[Ext::A], 22);     // RV64A
+    EXPECT_EQ(count[Ext::F], 30);     // RV64F
+    EXPECT_EQ(count[Ext::D], 32);     // RV64D
+    EXPECT_EQ(count[Ext::Zicsr], 6);  // Zicsr
+    EXPECT_EQ(count[Ext::System], 4); // fence/ecall/ebreak/mret
+}
+
+TEST(Opcodes, ExtNames)
+{
+    EXPECT_EQ(extName(Ext::I), "I");
+    EXPECT_EQ(extName(Ext::Zicsr), "Zicsr");
+    EXPECT_EQ(extName(Ext::System), "System");
+}
+
+TEST(Opcodes, ControlFlowHelpers)
+{
+    EXPECT_TRUE(descOf(Opcode::Beq).isControlFlow());
+    EXPECT_TRUE(descOf(Opcode::Jal).isControlFlow());
+    EXPECT_TRUE(descOf(Opcode::Jalr).isControlFlow());
+    EXPECT_FALSE(descOf(Opcode::Add).isControlFlow());
+    EXPECT_TRUE(descOf(Opcode::Ld).isMemAccess());
+    EXPECT_TRUE(descOf(Opcode::Sd).isMemAccess());
+    EXPECT_FALSE(descOf(Opcode::Add).isMemAccess());
+}
+
+} // namespace
+} // namespace turbofuzz::isa

@@ -1,0 +1,121 @@
+/** @file Core-netlist construction tests. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "rtl/cores.hh"
+
+namespace turbofuzz::rtl
+{
+namespace
+{
+
+TEST(Cores, RocketModuleInventory)
+{
+    auto top = buildRocketLike();
+    for (const char *name :
+         {"IFU", "EXU", "CSRFile", "FPU", "MulDiv", "LSU", "PTW"}) {
+        EXPECT_NE(top->findModule(name), nullptr) << name;
+    }
+    EXPECT_EQ(top->name(), "RocketTile");
+}
+
+TEST(Cores, Cva6AddsScoreboard)
+{
+    auto top = buildCva6Like();
+    EXPECT_NE(top->findModule("Scoreboard"), nullptr);
+    EXPECT_EQ(top->findModule("ROB"), nullptr);
+}
+
+TEST(Cores, BoomAddsOutOfOrderStructures)
+{
+    auto top = buildBoomLike();
+    for (const char *name : {"ROB", "IssueQueue", "Rename"})
+        EXPECT_NE(top->findModule(name), nullptr) << name;
+}
+
+TEST(Cores, BuildCoreDispatch)
+{
+    EXPECT_EQ(buildCore(core::CoreKind::Rocket)->name(), "RocketTile");
+    EXPECT_EQ(buildCore(core::CoreKind::Cva6)->name(), "Cva6Core");
+    EXPECT_EQ(buildCore(core::CoreKind::Boom)->name(), "BoomTile");
+}
+
+TEST(Cores, EveryUnitHasControlRegisters)
+{
+    auto top = buildRocketLike();
+    top->visit([](const Module &m) {
+        if (m.children().empty()) { // leaf units
+            EXPECT_FALSE(m.controlRegisters().empty()) << m.name();
+            EXPECT_FALSE(m.muxes().empty()) << m.name();
+        }
+    });
+}
+
+TEST(Cores, ControlSetExcludesDatapathRegisters)
+{
+    auto top = buildRocketLike();
+    Module *exu = top->findModule("EXU");
+    ASSERT_NE(exu, nullptr);
+    const auto ctrl = exu->controlRegisters();
+    const std::set<uint32_t> ctrl_set(ctrl.begin(), ctrl.end());
+    unsigned datapath_regs = 0;
+    for (uint32_t i = 0; i < exu->registers().size(); ++i) {
+        if (exu->registers()[i].name.rfind("data", 0) == 0) {
+            ++datapath_regs;
+            EXPECT_EQ(ctrl_set.count(i), 0u)
+                << exu->registers()[i].name;
+        }
+    }
+    EXPECT_GT(datapath_regs, 0u);
+}
+
+TEST(Cores, ConstrainedUnitsCarryDomains)
+{
+    auto top = buildRocketLike();
+    for (const char *name : {"FPU", "PTW", "CSRFile"}) {
+        Module *m = top->findModule(name);
+        ASSERT_NE(m, nullptr);
+        bool has_domain = false;
+        for (const Register &r : m->registers())
+            has_domain |= !r.domain.empty();
+        EXPECT_TRUE(has_domain) << name;
+    }
+}
+
+TEST(Cores, ControlDensitySupportsInstrumentation)
+{
+    // Each leaf unit's control width must exceed the largest index
+    // (15 bits) so the compression path is actually exercised.
+    auto top = buildRocketLike();
+    top->visit([](const Module &m) {
+        if (m.children().empty())
+            EXPECT_GE(m.controlBitWidth(), 10u) << m.name();
+    });
+}
+
+TEST(Cores, DeterministicConstruction)
+{
+    auto a = buildRocketLike();
+    auto b = buildRocketLike();
+    // Same structure: module count, register counts, mux counts.
+    std::vector<std::string> names_a, names_b;
+    size_t regs_a = 0, regs_b = 0, mux_a = 0, mux_b = 0;
+    a->visit([&](const Module &m) {
+        names_a.push_back(m.name());
+        regs_a += m.registers().size();
+        mux_a += m.muxes().size();
+    });
+    b->visit([&](const Module &m) {
+        names_b.push_back(m.name());
+        regs_b += m.registers().size();
+        mux_b += m.muxes().size();
+    });
+    EXPECT_EQ(names_a, names_b);
+    EXPECT_EQ(regs_a, regs_b);
+    EXPECT_EQ(mux_a, mux_b);
+}
+
+} // namespace
+} // namespace turbofuzz::rtl

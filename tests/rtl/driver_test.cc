@@ -1,0 +1,182 @@
+/** @file Event-driver tests: roles, FSM sequencing, domains. */
+
+#include <gtest/gtest.h>
+
+#include "isa/encoding.hh"
+#include "rtl/driver.hh"
+
+namespace turbofuzz::rtl
+{
+namespace
+{
+
+/** Find the current value of the first register with a role. */
+uint64_t
+roleValue(Module &m, RegRole role)
+{
+    uint64_t v = ~uint64_t{0};
+    m.visit([&](Module &mod) {
+        for (const Register &r : mod.registers())
+            if (r.role == role && r.salt == 0 && r.srcShift == 0 &&
+                v == ~uint64_t{0})
+                v = r.value;
+    });
+    return v;
+}
+
+/** Build a module holding one register per interesting role. */
+std::unique_ptr<Module>
+probeModule()
+{
+    auto m = std::make_unique<Module>("probe");
+    m->addRegister("opclass", 6, RegRole::OpClass);
+    m->addRegister("pc_low", 8, RegRole::PcLow);
+    m->addRegister("taken", 1, RegRole::BranchTaken);
+    m->addRegister("loop", 3, RegRole::LoopFsm);
+    m->addRegister("stride", 3, RegRole::StrideFsm);
+    m->addRegister("trapc", 4, RegRole::TrapCause);
+    m->addRegister("fpk", 4, RegRole::FpKind);
+    m->addRegister("memlow", 6, RegRole::MemAddrLow);
+    return m;
+}
+
+core::CommitInfo
+commitFor(isa::Opcode op, uint64_t pc)
+{
+    core::CommitInfo ci;
+    ci.pc = pc;
+    ci.nextPc = pc + 4;
+    ci.decodeValid = true;
+    ci.op = op;
+    ci.desc = &isa::descOf(op);
+    return ci;
+}
+
+TEST(EventDriver, OpClassAndPcRoles)
+{
+    auto m = probeModule();
+    EventDriver drv(m.get());
+
+    auto ci = commitFor(isa::Opcode::Add, 0x1000);
+    drv.onCommit(ci);
+    EXPECT_EQ(roleValue(*m, RegRole::OpClass),
+              opClassOf(isa::descOf(isa::Opcode::Add)));
+    EXPECT_EQ(roleValue(*m, RegRole::PcLow), (0x1000u >> 2) & 0xFF);
+}
+
+TEST(EventDriver, LoopFsmNeedsRepeatedBackwardBranches)
+{
+    auto m = probeModule();
+    EventDriver drv(m.get());
+
+    // Three consecutive taken backward branches to the same target
+    // walk the loop FSM to state 3.
+    for (int i = 0; i < 3; ++i) {
+        auto ci = commitFor(isa::Opcode::Bne, 0x2000);
+        ci.branchTaken = true;
+        ci.nextPc = 0x1F00; // backward, same target
+        drv.onCommit(ci);
+    }
+    EXPECT_EQ(roleValue(*m, RegRole::LoopFsm), 3u);
+
+    // A taken backward branch to a DIFFERENT target resets to 1.
+    auto ci = commitFor(isa::Opcode::Bne, 0x2000);
+    ci.branchTaken = true;
+    ci.nextPc = 0x1E00;
+    drv.onCommit(ci);
+    EXPECT_EQ(roleValue(*m, RegRole::LoopFsm), 1u);
+}
+
+TEST(EventDriver, StrideFsmNeedsConstantStride)
+{
+    auto m = probeModule();
+    EventDriver drv(m.get());
+
+    // Three loads at stride 8: detector reaches 2 (first repeat
+    // establishes the stride, subsequent ones count).
+    for (int i = 0; i < 4; ++i) {
+        auto ci = commitFor(isa::Opcode::Ld, 0x3000);
+        ci.memAccess = true;
+        ci.memAddr = 0x8000 + 8 * i;
+        ci.memSize = 8;
+        drv.onCommit(ci);
+    }
+    EXPECT_GE(roleValue(*m, RegRole::StrideFsm), 2u);
+
+    // Breaking the stride resets the detector.
+    auto ci = commitFor(isa::Opcode::Ld, 0x3000);
+    ci.memAccess = true;
+    ci.memAddr = 0x9999;
+    ci.memSize = 8;
+    drv.onCommit(ci);
+    EXPECT_EQ(roleValue(*m, RegRole::StrideFsm), 0u);
+}
+
+TEST(EventDriver, TrapCauseSticky)
+{
+    auto m = probeModule();
+    EventDriver drv(m.get());
+
+    auto trap = commitFor(isa::Opcode::Ecall, 0x4000);
+    trap.trapped = true;
+    trap.trapCause = 11;
+    drv.onCommit(trap);
+    EXPECT_EQ(roleValue(*m, RegRole::TrapCause), 11u);
+
+    // A non-trapping commit leaves the recorded cause in place.
+    drv.onCommit(commitFor(isa::Opcode::Add, 0x4004));
+    EXPECT_EQ(roleValue(*m, RegRole::TrapCause), 11u);
+}
+
+TEST(EventDriver, ConstrainedDomainMapping)
+{
+    auto m = std::make_unique<Module>("probe");
+    m->addRegister("fsm", 4, RegRole::IcacheFsm, {1, 2, 4, 8});
+    EventDriver drv(m.get());
+
+    // Whatever the role value, the register holds a domain member.
+    for (uint64_t pc = 0x1000; pc < 0x40000; pc += 0x3004) {
+        auto ci = commitFor(isa::Opcode::Add, pc);
+        drv.onCommit(ci);
+        const uint64_t v = m->registers()[0].value;
+        EXPECT_TRUE(v == 1 || v == 2 || v == 4 || v == 8) << v;
+    }
+}
+
+TEST(EventDriver, ResetClearsSequentialState)
+{
+    auto m = probeModule();
+    EventDriver drv(m.get());
+    for (int i = 0; i < 3; ++i) {
+        auto ci = commitFor(isa::Opcode::Bne, 0x2000);
+        ci.branchTaken = true;
+        ci.nextPc = 0x1F00;
+        drv.onCommit(ci);
+    }
+    drv.reset();
+    EXPECT_EQ(roleValue(*m, RegRole::LoopFsm), 0u);
+    EXPECT_EQ(roleValue(*m, RegRole::OpClass), 0u);
+}
+
+TEST(EventDriver, FpKindEncoding)
+{
+    EXPECT_EQ(fpKindOf(isa::Opcode::FaddS), 0u);
+    EXPECT_EQ(fpKindOf(isa::Opcode::FdivD), 2u);
+    EXPECT_EQ(fpKindOf(isa::Opcode::FmaddD), 4u);
+    EXPECT_EQ(fpKindOf(isa::Opcode::FclassS), 11u);
+    EXPECT_EQ(fpKindOf(isa::Opcode::Add), 15u); // not FP
+}
+
+TEST(EventDriver, OpClassDistinguishesKinds)
+{
+    const unsigned alu = opClassOf(isa::descOf(isa::Opcode::Add));
+    const unsigned br = opClassOf(isa::descOf(isa::Opcode::Beq));
+    const unsigned ld = opClassOf(isa::descOf(isa::Opcode::Ld));
+    const unsigned mul = opClassOf(isa::descOf(isa::Opcode::Mul));
+    EXPECT_NE(alu, br);
+    EXPECT_NE(br, ld);
+    EXPECT_NE(alu, mul);
+}
+
+} // namespace
+} // namespace turbofuzz::rtl

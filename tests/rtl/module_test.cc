@@ -1,0 +1,120 @@
+/** @file Structural-model and trace-back tests. */
+
+#include <gtest/gtest.h>
+
+#include "rtl/module.hh"
+
+namespace turbofuzz::rtl
+{
+namespace
+{
+
+TEST(Module, RegisterAndWireConstruction)
+{
+    Module m("unit");
+    const uint32_t r0 = m.addRegister("a", 4, RegRole::OpClass);
+    const uint32_t r1 = m.addRegister("b", 2, RegRole::RdIdx);
+    EXPECT_EQ(r0, 0u);
+    EXPECT_EQ(r1, 1u);
+    EXPECT_EQ(m.registers().size(), 2u);
+
+    const uint32_t w = m.addWire("w", {r0, r1});
+    EXPECT_EQ(m.wires()[w].regDrivers.size(), 2u);
+}
+
+TEST(Module, TraceBackSingleLevel)
+{
+    Module m("unit");
+    const uint32_t a = m.addRegister("a", 4, RegRole::OpClass);
+    const uint32_t b = m.addRegister("b", 4, RegRole::RdIdx);
+    m.addRegister("datapath", 64, RegRole::Datapath);
+    const uint32_t wa = m.addWire("wa", {a});
+    m.addWire("wb", {b}); // not used by any mux
+    m.addMux("mux0", wa);
+
+    const auto ctrl = m.controlRegisters();
+    ASSERT_EQ(ctrl.size(), 1u);
+    EXPECT_EQ(ctrl[0], a);
+}
+
+TEST(Module, TraceBackMultiHop)
+{
+    Module m("unit");
+    const uint32_t a = m.addRegister("a", 4, RegRole::OpClass);
+    const uint32_t b = m.addRegister("b", 4, RegRole::RdIdx);
+    const uint32_t c = m.addRegister("c", 4, RegRole::Rs1Idx);
+    const uint32_t wa = m.addWire("wa", {a});
+    const uint32_t wb = m.addWire("wb", {b});
+    const uint32_t comb = m.addWire("comb", {c}, {wa, wb});
+    m.addMux("mux0", comb);
+
+    const auto ctrl = m.controlRegisters();
+    EXPECT_EQ(ctrl.size(), 3u);
+}
+
+TEST(Module, TraceBackHandlesWireCycles)
+{
+    Module m("unit");
+    const uint32_t a = m.addRegister("a", 4, RegRole::OpClass);
+    const uint32_t w0 = m.addWire("w0", {a});
+    const uint32_t w1 = m.addWire("w1", {}, {w0});
+    // Create a cycle: w0 also driven by w1 is not possible post-hoc
+    // in this API, so build a self-referential chain instead.
+    const uint32_t w2 = m.addWire("w2", {}, {w1, w1});
+    m.addMux("mux0", w2);
+    const auto ctrl = m.controlRegisters();
+    EXPECT_EQ(ctrl.size(), 1u);
+}
+
+TEST(Module, ControlBitWidth)
+{
+    Module m("unit");
+    const uint32_t a = m.addRegister("a", 6, RegRole::OpClass);
+    const uint32_t b = m.addRegister("b", 3, RegRole::RdIdx);
+    m.addRegister("free", 64, RegRole::Datapath);
+    const uint32_t wa = m.addWire("wa", {a});
+    const uint32_t wb = m.addWire("wb", {b});
+    m.addMux("m0", wa);
+    m.addMux("m1", wb);
+    EXPECT_EQ(m.controlBitWidth(), 9u);
+}
+
+TEST(Module, HierarchyVisitAndFind)
+{
+    Module top("top");
+    Module *c1 = top.addChild("alpha");
+    Module *c2 = top.addChild("beta");
+    c1->addChild("gamma");
+
+    int visited = 0;
+    top.visit([&](const Module &) { ++visited; });
+    EXPECT_EQ(visited, 4);
+
+    EXPECT_EQ(top.findModule("gamma")->name(), "gamma");
+    EXPECT_EQ(top.findModule("beta"), c2);
+    EXPECT_EQ(top.findModule("missing"), nullptr);
+}
+
+TEST(Module, ConstrainedDomainInitialValue)
+{
+    Module m("unit");
+    const uint32_t r =
+        m.addRegister("fsm", 4, RegRole::PtwFsm, {1, 2, 4, 8});
+    EXPECT_EQ(m.registers()[r].value, 1u);
+    EXPECT_EQ(m.registers()[r].domain.size(), 4u);
+}
+
+TEST(Module, BadWireDriverPanics)
+{
+    Module m("unit");
+    EXPECT_DEATH(m.addWire("w", {42}), "bad register");
+}
+
+TEST(Module, BadMuxSelectPanics)
+{
+    Module m("unit");
+    EXPECT_DEATH(m.addMux("mux", 7), "bad wire");
+}
+
+} // namespace
+} // namespace turbofuzz::rtl

@@ -1,0 +1,114 @@
+/** @file Area-model tests, including the Table III calibration. */
+
+#include <gtest/gtest.h>
+
+#include "soc/area_model.hh"
+
+namespace turbofuzz::soc
+{
+namespace
+{
+
+TEST(AreaModel, TableThreeDutRow)
+{
+    const Resources dut = rocketDutResources(15);
+    EXPECT_EQ(dut.luts, 308739u);
+    EXPECT_EQ(dut.brams, 20u);
+    EXPECT_EQ(dut.regs, 170400u);
+}
+
+TEST(AreaModel, TableThreeFuzzerIpRow)
+{
+    const Resources ip = fuzzerIpResources(FuzzerAreaConfig{});
+    // Paper: 67523 LUTs, 176 BRAMs, 91445 FFs. The analytical model
+    // must land within a few percent of the measured implementation.
+    EXPECT_NEAR(static_cast<double>(ip.luts), 67523.0, 67523.0 * 0.05);
+    EXPECT_NEAR(static_cast<double>(ip.brams), 176.0, 176.0 * 0.08);
+    EXPECT_NEAR(static_cast<double>(ip.regs), 91445.0, 91445.0 * 0.05);
+}
+
+TEST(AreaModel, TableThreeFrameworkRow)
+{
+    const Resources fw = turboFuzzResources(FuzzerAreaConfig{});
+    EXPECT_NEAR(static_cast<double>(fw.luts), 89394.0, 89394.0 * 0.05);
+    EXPECT_NEAR(static_cast<double>(fw.brams), 227.0, 227.0 * 0.08);
+    EXPECT_NEAR(static_cast<double>(fw.regs), 139477.0,
+                139477.0 * 0.05);
+}
+
+TEST(AreaModel, TableThreeIlaRows)
+{
+    const Resources c1 = ilaResources(3000, 1024);
+    const Resources c2 = ilaResources(3000, 65536);
+    EXPECT_NEAR(static_cast<double>(c1.luts), 8142.0, 8142.0 * 0.03);
+    EXPECT_NEAR(static_cast<double>(c1.brams), 465.0, 465.0 * 0.03);
+    EXPECT_NEAR(static_cast<double>(c1.regs), 14294.0, 14294.0 * 0.03);
+    EXPECT_NEAR(static_cast<double>(c2.luts), 10078.0, 10078.0 * 0.03);
+    EXPECT_NEAR(static_cast<double>(c2.brams), 578.0, 578.0 * 0.03);
+    EXPECT_NEAR(static_cast<double>(c2.regs), 17322.0, 17322.0 * 0.03);
+}
+
+TEST(AreaModel, IlaUsesMoreBramThanTurboFuzz)
+{
+    // Paper: ILA uses 2.05x and 2.55x more BRAM than TurboFuzz.
+    const Resources fw = turboFuzzResources(FuzzerAreaConfig{});
+    const Resources c1 = ilaResources(3000, 1024);
+    const Resources c2 = ilaResources(3000, 65536);
+    const double r1 =
+        static_cast<double>(c1.brams) / static_cast<double>(fw.brams);
+    const double r2 =
+        static_cast<double>(c2.brams) / static_cast<double>(fw.brams);
+    EXPECT_NEAR(r1, 2.05, 0.15);
+    EXPECT_NEAR(r2, 2.55, 0.15);
+}
+
+TEST(AreaModel, MonotoneInCorpusSize)
+{
+    FuzzerAreaConfig small;
+    small.corpusEntries = 16;
+    FuzzerAreaConfig big;
+    big.corpusEntries = 256;
+    EXPECT_LT(fuzzerIpResources(small).brams,
+              fuzzerIpResources(big).brams);
+}
+
+TEST(AreaModel, MonotoneInCoverageWidth)
+{
+    FuzzerAreaConfig cov1;
+    cov1.maxStateSizeBits = 13;
+    FuzzerAreaConfig cov3;
+    cov3.maxStateSizeBits = 15;
+    EXPECT_LE(fuzzerIpResources(cov1).brams,
+              fuzzerIpResources(cov3).brams);
+}
+
+TEST(AreaModel, MonotoneInTraceDepth)
+{
+    const Resources d1 = ilaResources(3000, 1024);
+    const Resources d2 = ilaResources(3000, 4096);
+    EXPECT_LT(d1.brams, d2.brams);
+    EXPECT_LT(d1.luts, d2.luts);
+}
+
+TEST(AreaModel, FmaxDecreasesWithWidth)
+{
+    const double f13 = fmaxMHz(13);
+    const double f14 = fmaxMHz(14);
+    const double f15 = fmaxMHz(15);
+    EXPECT_GT(f13, f14);
+    EXPECT_GT(f14, f15);
+    // cov3 is the shipped configuration and must sustain 100 MHz.
+    EXPECT_GE(f15, 100.0);
+}
+
+TEST(AreaModel, UtilisationPercentages)
+{
+    const DevicePart part = xczu19eg();
+    // Paper reports the DUT at 59.09% LUTs and 2.03% BRAM.
+    EXPECT_NEAR(utilPercent(308739, part.luts), 59.09, 0.3);
+    EXPECT_NEAR(utilPercent(20, part.brams), 2.03, 0.2);
+    EXPECT_NEAR(utilPercent(170400, part.regs), 16.30, 0.3);
+}
+
+} // namespace
+} // namespace turbofuzz::soc

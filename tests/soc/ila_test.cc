@@ -1,0 +1,48 @@
+/** @file ILA behavioural-model tests. */
+
+#include <gtest/gtest.h>
+
+#include "soc/ila.hh"
+
+namespace turbofuzz::soc
+{
+namespace
+{
+
+TEST(Ila, TraceWindowBounded)
+{
+    IlaModel ila({"pc", "valid"}, 4);
+    for (uint64_t i = 0; i < 10; ++i)
+        ila.capture({i, i % 2});
+    EXPECT_EQ(ila.trace().size(), 4u);
+    // Oldest retained sample is i=6.
+    EXPECT_EQ(ila.trace().front()[0], 6u);
+    EXPECT_EQ(ila.trace().back()[0], 9u);
+}
+
+TEST(Ila, CaptureRequiresMatchingWidth)
+{
+    IlaModel ila({"a", "b"}, 8);
+    EXPECT_DEATH(ila.capture({1}), "probe/value count mismatch");
+}
+
+TEST(Ila, ReprobeCostsRecompileAndClearsTrace)
+{
+    IlaModel ila({"a"}, 8);
+    ila.capture({1});
+    EXPECT_EQ(ila.recompileCount(), 0u);
+    ila.reprobe({"a", "b", "c"});
+    EXPECT_EQ(ila.recompileCount(), 1u);
+    EXPECT_TRUE(ila.trace().empty());
+    EXPECT_EQ(ila.probes().size(), 3u);
+}
+
+TEST(Ila, ResourcesScaleWithDepth)
+{
+    IlaModel shallow({"a", "b"}, 1024);
+    IlaModel deep({"a", "b"}, 65536);
+    EXPECT_LT(shallow.resources().brams, deep.resources().brams);
+}
+
+} // namespace
+} // namespace turbofuzz::soc

@@ -1,0 +1,121 @@
+/** @file Sparse memory and BRAM model tests. */
+
+#include <gtest/gtest.h>
+
+#include "soc/memory.hh"
+#include "soc/snapshot.hh"
+
+namespace turbofuzz::soc
+{
+namespace
+{
+
+TEST(Memory, UntouchedReadsZero)
+{
+    Memory m;
+    EXPECT_EQ(m.read8(0), 0u);
+    EXPECT_EQ(m.read64(0x80000000ull), 0u);
+    EXPECT_EQ(m.residentPages(), 0u);
+}
+
+TEST(Memory, ScalarRoundTrips)
+{
+    Memory m;
+    m.write8(0x1000, 0xAB);
+    m.write16(0x1002, 0xCDEF);
+    m.write32(0x1004, 0x12345678);
+    m.write64(0x1008, 0xDEADBEEFCAFEF00Dull);
+    EXPECT_EQ(m.read8(0x1000), 0xABu);
+    EXPECT_EQ(m.read16(0x1002), 0xCDEFu);
+    EXPECT_EQ(m.read32(0x1004), 0x12345678u);
+    EXPECT_EQ(m.read64(0x1008), 0xDEADBEEFCAFEF00Dull);
+}
+
+TEST(Memory, LittleEndianLayout)
+{
+    Memory m;
+    m.write32(0x2000, 0x11223344);
+    EXPECT_EQ(m.read8(0x2000), 0x44u);
+    EXPECT_EQ(m.read8(0x2003), 0x11u);
+}
+
+TEST(Memory, PageStraddlingAccess)
+{
+    Memory m;
+    const uint64_t addr = Memory::pageSize - 4;
+    m.write64(addr, 0x0102030405060708ull);
+    EXPECT_EQ(m.read64(addr), 0x0102030405060708ull);
+    EXPECT_EQ(m.residentPages(), 2u);
+}
+
+TEST(Memory, LoadBlobAndClearRange)
+{
+    Memory m;
+    const uint8_t blob[] = {1, 2, 3, 4, 5};
+    m.loadBlob(0x3000, blob, sizeof(blob));
+    EXPECT_EQ(m.read8(0x3002), 3u);
+    m.clearRange(0x3000, 5);
+    EXPECT_EQ(m.read8(0x3002), 0u);
+}
+
+TEST(Memory, SparseDistantAddresses)
+{
+    Memory m;
+    m.write8(0x0, 1);
+    m.write8(0xFFFFFFFF0000ull, 2);
+    EXPECT_EQ(m.read8(0x0), 1u);
+    EXPECT_EQ(m.read8(0xFFFFFFFF0000ull), 2u);
+    EXPECT_EQ(m.residentPages(), 2u);
+}
+
+TEST(Memory, SnapshotRoundTrip)
+{
+    Memory m;
+    m.write64(0x1000, 0xAABBCCDDEEFF0011ull);
+    m.write8(0x999999, 0x77);
+
+    SnapshotWriter w;
+    m.saveState(w);
+
+    Memory m2;
+    m2.write8(0x5, 0x5); // will be replaced by load
+    const auto buf = w.buffer();
+    SnapshotReader r(buf);
+    m2.loadState(r);
+    EXPECT_EQ(m2.read64(0x1000), 0xAABBCCDDEEFF0011ull);
+    EXPECT_EQ(m2.read8(0x999999), 0x77u);
+    EXPECT_EQ(m2.read8(0x5), 0u);
+    EXPECT_EQ(m2.residentPages(), m.residentPages());
+}
+
+TEST(Memory, Reset)
+{
+    Memory m;
+    m.write8(0x42, 9);
+    m.reset();
+    EXPECT_EQ(m.read8(0x42), 0u);
+    EXPECT_EQ(m.residentPages(), 0u);
+}
+
+TEST(Bram, CapacityEnforced)
+{
+    Bram b(16);
+    EXPECT_EQ(b.append({1, 2, 3, 4, 5, 6, 7, 8}), 0u);
+    EXPECT_EQ(b.append({9, 10, 11, 12, 13, 14, 15, 16}), 8u);
+    EXPECT_EQ(b.append({17}), SIZE_MAX);
+    EXPECT_EQ(b.used(), 16u);
+    EXPECT_EQ(b.capacity(), 16u);
+}
+
+TEST(Bram, ReadBack)
+{
+    Bram b(64);
+    const std::vector<uint8_t> rec = {5, 6, 7};
+    const size_t off = b.append(rec);
+    EXPECT_EQ(b.read(off, 3), rec);
+    b.clear();
+    EXPECT_EQ(b.used(), 0u);
+}
+
+} // namespace
+} // namespace turbofuzz::soc

@@ -1,0 +1,99 @@
+/** @file Timing-model tests, including the Table I calibration. */
+
+#include <gtest/gtest.h>
+
+#include "common/sim_clock.hh"
+#include "soc/platform.hh"
+
+namespace turbofuzz::soc
+{
+namespace
+{
+
+TEST(Platform, ChargesAdvanceClock)
+{
+    SimClock clk;
+    Platform p(turboFuzzProfile(), &clk);
+    p.chargeStartup();
+    EXPECT_GT(clk.seconds(), 0.0);
+    const double after_startup = clk.seconds();
+    p.chargeIteration(4000, 4122);
+    EXPECT_GT(clk.seconds(), after_startup);
+}
+
+TEST(Platform, ExecutionCostLinearInInstructions)
+{
+    SimClock clk;
+    Platform p(benchmarkFpgaProfile(), &clk);
+    p.chargeExecution(1000);
+    const double t1 = clk.seconds();
+    p.chargeExecution(2000);
+    EXPECT_NEAR(clk.seconds() - t1, 2.0 * t1, 1e-12);
+}
+
+/**
+ * Table I reproduction at model level: iteration rate and executed
+ * instructions per second for each fuzzing configuration.
+ */
+TEST(Platform, TableOneTurboFuzzRates)
+{
+    const TimingProfile p = turboFuzzProfile();
+    // 4000 generated, ~4122 executed (prevalence 0.97 + handlers).
+    const double iter_sec = p.iterationSec(4000, 4122);
+    const double hz = 1.0 / iter_sec;
+    const double instr_per_sec = 4122.0 * hz;
+    EXPECT_NEAR(hz, 75.12, 2.0);
+    EXPECT_NEAR(instr_per_sec, 309676.0, 10000.0);
+}
+
+TEST(Platform, TableOneDifuzzRtlFpgaRates)
+{
+    const TimingProfile p = difuzzRtlFpgaProfile();
+    // DifuzzRTL executes ~19.3% of what it generates: 912 -> 176.
+    const double iter_sec = p.iterationSec(912, 176);
+    const double hz = 1.0 / iter_sec;
+    EXPECT_NEAR(hz, 4.13, 0.25);
+    EXPECT_NEAR(176.0 * hz, 728.0, 50.0);
+}
+
+TEST(Platform, TableOneCascadeRates)
+{
+    const TimingProfile p = cascadeProfile();
+    // Cascade programs execute nearly everything they emit (~194).
+    const double iter_sec = p.iterationSec(209, 194);
+    const double hz = 1.0 / iter_sec;
+    EXPECT_NEAR(hz, 12.80, 0.8);
+    EXPECT_NEAR(194.0 * hz, 2489.0, 160.0);
+}
+
+TEST(Platform, RelativeOrderingIsStable)
+{
+    // Table I's throughput ordering (executed instructions per
+    // second) must hold at each fuzzer's characteristic iteration
+    // shape, and TurboFuzz must dominate both at any common shape.
+    const TimingProfile tf = turboFuzzProfile();
+    const TimingProfile dr = difuzzRtlFpgaProfile();
+    const TimingProfile ca = cascadeProfile();
+
+    const double ips_tf = 4122.0 / tf.iterationSec(4000, 4122);
+    const double ips_ca = 194.0 / ca.iterationSec(209, 194);
+    const double ips_dr = 176.0 / dr.iterationSec(912, 176);
+    EXPECT_GT(ips_tf, ips_ca);
+    EXPECT_GT(ips_ca, ips_dr);
+
+    for (uint64_t n : {100u, 1000u, 4000u}) {
+        EXPECT_LT(tf.iterationSec(n, n), ca.iterationSec(n, n)) << n;
+        EXPECT_LT(tf.iterationSec(n, n), dr.iterationSec(n, n / 5))
+            << n;
+    }
+}
+
+TEST(Platform, SoftwareSimSlowerThanFabric)
+{
+    const TimingProfile sw = difuzzRtlSwProfile();
+    const TimingProfile hw = difuzzRtlFpgaProfile();
+    EXPECT_GT(sw.execPerInstrSec, hw.execPerInstrSec * 100);
+}
+
+} // namespace
+} // namespace turbofuzz::soc

@@ -1,0 +1,90 @@
+/** @file Snapshot serialization tests. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "soc/snapshot.hh"
+
+namespace turbofuzz::soc
+{
+namespace
+{
+
+TEST(SnapshotWriter, ScalarRoundTrip)
+{
+    SnapshotWriter w;
+    w.putU8(0x12);
+    w.putU16(0x3456);
+    w.putU32(0x789ABCDE);
+    w.putU64(0x0123456789ABCDEFull);
+    w.putString("turbofuzz");
+
+    const auto buf = w.buffer();
+    SnapshotReader r(buf);
+    EXPECT_EQ(r.getU8(), 0x12u);
+    EXPECT_EQ(r.getU16(), 0x3456u);
+    EXPECT_EQ(r.getU32(), 0x789ABCDEu);
+    EXPECT_EQ(r.getU64(), 0x0123456789ABCDEFull);
+    EXPECT_EQ(r.getString(), "turbofuzz");
+    EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Snapshot, SectionsAndMetadata)
+{
+    Snapshot s;
+    s.setSection("dut", {1, 2, 3});
+    s.setSection("ref", {4, 5});
+    s.setTrigger("fflags mismatch at pc 0x80000010");
+    s.setCaptureTime(12.5);
+
+    EXPECT_TRUE(s.hasSection("dut"));
+    EXPECT_FALSE(s.hasSection("coverage"));
+    EXPECT_EQ(s.section("ref").size(), 2u);
+    EXPECT_EQ(s.sectionCount(), 2u);
+}
+
+TEST(Snapshot, SerializeDeserialize)
+{
+    Snapshot s;
+    s.setSection("mem", std::vector<uint8_t>(1000, 0xAB));
+    s.setSection("arch", {9, 8, 7});
+    s.setTrigger("rd value mismatch");
+    s.setCaptureTime(3.25);
+
+    const auto image = s.serialize();
+    const Snapshot s2 = Snapshot::deserialize(image);
+    EXPECT_EQ(s2.trigger(), "rd value mismatch");
+    EXPECT_NEAR(s2.captureTime(), 3.25, 1e-9);
+    EXPECT_EQ(s2.section("mem"), s.section("mem"));
+    EXPECT_EQ(s2.section("arch"), s.section("arch"));
+}
+
+TEST(Snapshot, BadMagicRejected)
+{
+    std::vector<uint8_t> garbage = {0, 1, 2, 3, 4, 5, 6, 7};
+    EXPECT_EXIT(Snapshot::deserialize(garbage),
+                testing::ExitedWithCode(1), "bad snapshot magic");
+}
+
+TEST(Snapshot, FileRoundTrip)
+{
+    Snapshot s;
+    s.setSection("x", {42});
+    s.setTrigger("test");
+    const std::string path = testing::TempDir() + "/tf_snapshot_test.bin";
+    s.saveFile(path);
+    const Snapshot s2 = Snapshot::loadFile(path);
+    EXPECT_EQ(s2.section("x"), std::vector<uint8_t>{42});
+    std::remove(path.c_str());
+}
+
+TEST(Snapshot, MissingSectionIsFatal)
+{
+    Snapshot s;
+    EXPECT_EXIT((void)s.section("nope"), testing::ExitedWithCode(1),
+                "no section");
+}
+
+} // namespace
+} // namespace turbofuzz::soc
