@@ -14,9 +14,13 @@
 
 #include <cstdio>
 #include <memory>
+#include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/config.hh"
+#include "common/logging.hh"
 #include "common/stats.hh"
 #include "harness/campaign.hh"
 
@@ -51,6 +55,141 @@ printSeries(const TimeSeries &series, unsigned rows = 12)
     std::printf("  %-12.2f %.0f   (final)\n", samples.back().timeSec,
                 samples.back().value);
 }
+
+/**
+ * Machine-readable bench output: collects scalar metrics and
+ * (time, value) trajectories, then writes them as
+ * `BENCH_<id>.json` next to the binary so plotting/CI tooling can
+ * consume bench results without scraping stdout.
+ *
+ * The emitted document is flat and schema-stable:
+ * {
+ *   "bench": "<id>",
+ *   "meta":    { "<key>": <string|number>, ... },
+ *   "metrics": { "<key>": <number>, ... },
+ *   "series": [ { "name": "...", "samples": [[t, v], ...] }, ... ]
+ * }
+ */
+class JsonResult
+{
+  public:
+    explicit JsonResult(std::string bench_id) : id(std::move(bench_id))
+    {}
+
+    void
+    meta(const std::string &key, const std::string &value)
+    {
+        metaRows.emplace_back(key, quote(value));
+    }
+
+    void
+    meta(const std::string &key, double value)
+    {
+        metaRows.emplace_back(key, number(value));
+    }
+
+    void
+    metric(const std::string &key, double value)
+    {
+        metricRows.emplace_back(key, number(value));
+    }
+
+    void
+    series(const TimeSeries &s)
+    {
+        series(s.name(), s);
+    }
+
+    void
+    series(const std::string &name, const TimeSeries &s)
+    {
+        std::ostringstream os;
+        os << "{\"name\": " << quote(name) << ", \"samples\": [";
+        const auto &samples = s.samples();
+        for (size_t i = 0; i < samples.size(); ++i) {
+            if (i)
+                os << ", ";
+            os << '[' << number(samples[i].timeSec) << ", "
+               << number(samples[i].value) << ']';
+        }
+        os << "]}";
+        seriesRows.push_back(os.str());
+    }
+
+    /** Render the full document. */
+    std::string
+    str() const
+    {
+        std::ostringstream os;
+        os << "{\n  \"bench\": " << quote(id) << ",\n";
+        os << "  \"meta\": {" << joinPairs(metaRows) << "},\n";
+        os << "  \"metrics\": {" << joinPairs(metricRows) << "},\n";
+        os << "  \"series\": [";
+        for (size_t i = 0; i < seriesRows.size(); ++i)
+            os << (i ? ", " : "") << seriesRows[i];
+        os << "]\n}\n";
+        return os.str();
+    }
+
+    /** Write to @p path, or the default `BENCH_<id>.json`. */
+    bool
+    write(const std::string &path = "") const
+    {
+        const std::string file =
+            path.empty() ? "BENCH_" + id + ".json" : path;
+        std::FILE *f = std::fopen(file.c_str(), "w");
+        if (!f) {
+            warn("cannot write bench JSON to %s", file.c_str());
+            return false;
+        }
+        const std::string doc = str();
+        std::fwrite(doc.data(), 1, doc.size(), f);
+        std::fclose(f);
+        std::printf("[bench] results written to %s\n", file.c_str());
+        return true;
+    }
+
+  private:
+    static std::string
+    quote(const std::string &s)
+    {
+        std::string out = "\"";
+        for (char c : s) {
+            if (c == '"' || c == '\\')
+                out += '\\';
+            if (static_cast<unsigned char>(c) >= 0x20)
+                out += c;
+        }
+        out += '"';
+        return out;
+    }
+
+    static std::string
+    number(double v)
+    {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.12g", v);
+        return buf;
+    }
+
+    static std::string
+    joinPairs(const std::vector<std::pair<std::string, std::string>>
+                  &rows)
+    {
+        std::string out;
+        for (size_t i = 0; i < rows.size(); ++i) {
+            if (i)
+                out += ", ";
+            out += quote(rows[i].first) + ": " + rows[i].second;
+        }
+        return out;
+    }
+
+    std::string id;
+    std::vector<std::pair<std::string, std::string>> metaRows;
+    std::vector<std::pair<std::string, std::string>> metricRows;
+    std::vector<std::string> seriesRows;
+};
 
 /** Default TurboFuzz fuzzer options for benches. */
 inline fuzzer::FuzzerOptions

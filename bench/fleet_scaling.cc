@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Fleet scaling bench: iterations/sec and merged coverage for
+ * 1/2/4/8-shard fleets on the same per-shard simulated budget.
+ *
+ * This is the reproduction's stand-in for the paper's multi-board
+ * scale-out claim: each shard models one FPGA running the full
+ * on-fabric loop; the host merges coverage and exchanges top seeds
+ * once per epoch. Expect merged coverage to grow with shard count
+ * (diverse RNG streams explore different corners) while per-shard
+ * iteration rate stays flat (shards never block each other inside an
+ * epoch).
+ *
+ * Emits BENCH_fleet_scaling.json with one coverage trajectory per
+ * fleet size plus the scalar throughput metrics.
+ */
+
+#include "bench_util.hh"
+
+#include "common/fleet_config.hh"
+#include "fleet/orchestrator.hh"
+
+using namespace turbofuzz;
+using namespace turbofuzz::bench;
+
+int
+main(int argc, char **argv)
+{
+    Config cfg;
+    cfg.parseArgs(argc, argv);
+    const double budget = cfg.getDouble("budget", 20.0);
+    const double epoch = cfg.getDouble("epoch", 2.0);
+    const uint64_t seed =
+        static_cast<uint64_t>(cfg.getInt("seed", 1));
+
+    banner("Fleet scaling",
+           "merged coverage and throughput vs shard count");
+
+    const isa::InstructionLibrary lib = harness::makeDefaultLibrary();
+    JsonResult json("fleet_scaling");
+    json.meta("budget_sec", budget);
+    json.meta("epoch_sec", epoch);
+    json.meta("seed", static_cast<double>(seed));
+
+    TablePrinter table({"shards", "iters", "iters/sim-s",
+                        "exec instr/sim-s", "merged cov",
+                        "best shard cov", "host s"});
+
+    for (unsigned shards : {1u, 2u, 4u, 8u}) {
+        FleetConfig fc;
+        fc.fleetSeed = seed;
+        fc.shardCount = shards;
+        fc.epochSec = epoch;
+        fc.budgetSec = budget;
+        fc.exchangeTopK =
+            static_cast<size_t>(cfg.getInt("top-k", 4));
+
+        harness::CampaignOptions copts;
+        copts.timing = soc::turboFuzzProfile();
+        fuzzer::FuzzerOptions fopts;
+        fopts.instrsPerIteration = static_cast<uint32_t>(
+            cfg.getInt("instrs-per-iteration", 4000));
+
+        fleet::FleetOrchestrator orch(fc, copts, fopts, &lib);
+        const fleet::FleetResult r = orch.run();
+
+        double best_shard = 0.0;
+        for (const TimeSeries &s : r.shardCoverage)
+            best_shard = std::max(best_shard, s.last());
+
+        const double iter_rate =
+            static_cast<double>(r.totals.iterations) / budget;
+        const double exec_rate =
+            static_cast<double>(r.totals.executedInstrs) / budget;
+
+        table.addRow({TablePrinter::integer(shards),
+                      TablePrinter::integer(r.totals.iterations),
+                      TablePrinter::num(iter_rate),
+                      TablePrinter::num(exec_rate),
+                      TablePrinter::integer(r.mergedFinalCoverage),
+                      TablePrinter::num(best_shard, 0),
+                      TablePrinter::num(r.hostSeconds, 3)});
+
+        const std::string tag =
+            "shards-" + std::to_string(shards);
+        json.series(tag + "-coverage", r.mergedCoverage);
+        json.series(tag + "-throughput", r.throughput);
+        json.metric(tag + "-iters-per-sim-sec", iter_rate);
+        json.metric(tag + "-exec-instr-per-sim-sec", exec_rate);
+        json.metric(tag + "-merged-coverage",
+                    static_cast<double>(r.mergedFinalCoverage));
+        json.metric(tag + "-host-sec", r.hostSeconds);
+    }
+
+    table.print();
+    json.write();
+    return 0;
+}

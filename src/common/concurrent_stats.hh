@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Thread-safe aggregation of campaign counters.
+ *
+ * Fleet shards run on worker threads and bump these counters as they
+ * iterate; the orchestrator (or a live monitor) reads consistent-ish
+ * snapshots without stopping the workers. Relaxed atomics are enough:
+ * each counter is independently monotone and the orchestrator only
+ * reads authoritative values at epoch barriers, when all workers are
+ * parked.
+ */
+
+#ifndef TURBOFUZZ_COMMON_CONCURRENT_STATS_HH
+#define TURBOFUZZ_COMMON_CONCURRENT_STATS_HH
+
+#include <atomic>
+#include <cstdint>
+
+namespace turbofuzz
+{
+
+/** A snapshot of fleet-wide campaign counters. */
+struct StatsSnapshot
+{
+    uint64_t iterations = 0;
+    uint64_t executedInstrs = 0;
+    uint64_t generatedInstrs = 0;
+    uint64_t mismatches = 0;
+
+    StatsSnapshot
+    operator-(const StatsSnapshot &rhs) const
+    {
+        return {iterations - rhs.iterations,
+                executedInstrs - rhs.executedInstrs,
+                generatedInstrs - rhs.generatedInstrs,
+                mismatches - rhs.mismatches};
+    }
+};
+
+/** Atomically aggregated campaign counters (shared across shards). */
+class ConcurrentStats
+{
+  public:
+    void
+    addIteration(uint64_t executed, uint64_t generated, bool mismatch)
+    {
+        iters.fetch_add(1, std::memory_order_relaxed);
+        execd.fetch_add(executed, std::memory_order_relaxed);
+        gend.fetch_add(generated, std::memory_order_relaxed);
+        if (mismatch)
+            mism.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    /** Fold a whole snapshot delta in (one atomic add per field). */
+    void
+    add(const StatsSnapshot &delta)
+    {
+        iters.fetch_add(delta.iterations, std::memory_order_relaxed);
+        execd.fetch_add(delta.executedInstrs,
+                        std::memory_order_relaxed);
+        gend.fetch_add(delta.generatedInstrs,
+                       std::memory_order_relaxed);
+        mism.fetch_add(delta.mismatches, std::memory_order_relaxed);
+    }
+
+    StatsSnapshot
+    snapshot() const
+    {
+        return {iters.load(std::memory_order_relaxed),
+                execd.load(std::memory_order_relaxed),
+                gend.load(std::memory_order_relaxed),
+                mism.load(std::memory_order_relaxed)};
+    }
+
+    void
+    reset()
+    {
+        iters.store(0, std::memory_order_relaxed);
+        execd.store(0, std::memory_order_relaxed);
+        gend.store(0, std::memory_order_relaxed);
+        mism.store(0, std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<uint64_t> iters{0};
+    std::atomic<uint64_t> execd{0};
+    std::atomic<uint64_t> gend{0};
+    std::atomic<uint64_t> mism{0};
+};
+
+} // namespace turbofuzz
+
+#endif // TURBOFUZZ_COMMON_CONCURRENT_STATS_HH

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Fleet-wide campaign configuration.
+ *
+ * A fleet runs N independent Campaign shards in parallel — the model
+ * of the paper's multi-board deployment, where every FPGA carries its
+ * own TurboFuzzer + DUT and the host periodically collects coverage
+ * and redistributes productive seeds. One *epoch* is the simulated
+ * interval between two host round-trips: within an epoch the shards
+ * run fully independently; at the epoch barrier the orchestrator
+ * merges coverage, exchanges seeds and harvests mismatches.
+ *
+ * Shard RNG seeds are derived deterministically from the fleet seed,
+ * with shard 0 inheriting the fleet seed unchanged so a 1-shard fleet
+ * reproduces a plain Campaign::run() bit-exactly.
+ */
+
+#ifndef TURBOFUZZ_COMMON_FLEET_CONFIG_HH
+#define TURBOFUZZ_COMMON_FLEET_CONFIG_HH
+
+#include <cstdint>
+
+#include "common/config.hh"
+
+namespace turbofuzz
+{
+
+/** Cross-shard seed-exchange topology. */
+enum class ExchangeTopology
+{
+    None,      ///< no seed exchange (coverage merge only)
+    /** One peer per barrier, hop distance rotating with the epoch
+     *  (1, 2, ... mod N-1) so every shard eventually hears from
+     *  every other — see SyncPolicy::importSources(). */
+    Ring,
+    Broadcast, ///< every shard imports from every other shard
+};
+
+/** Configuration of a multi-shard fleet campaign. */
+struct FleetConfig
+{
+    /** Master seed; all shard seeds derive from it. */
+    uint64_t fleetSeed = 1;
+
+    /** Number of parallel campaign shards (boards). */
+    unsigned shardCount = 4;
+
+    /** Simulated seconds between host synchronization barriers. */
+    double epochSec = 5.0;
+
+    /** Total simulated budget per shard. */
+    double budgetSec = 60.0;
+
+    /** Seeds each shard exports at every barrier. */
+    size_t exchangeTopK = 4;
+
+    /** Seed-exchange topology at epoch barriers. */
+    ExchangeTopology topology = ExchangeTopology::Ring;
+
+    /**
+     * Simulated host<->board round-trip cost charged to every shard
+     * at each barrier (coverage readback + corpus DMA). Never charged
+     * to a 1-shard fleet, which needs no cross-board traffic — that
+     * keeps single-shard fleets identical to a plain campaign.
+     */
+    double syncCostSec = 0.0;
+
+    /** Worker threads; 0 = one per shard. */
+    unsigned workerThreads = 0;
+
+    /** Per-shard RNG seed; shardSeed(0) == fleetSeed. */
+    uint64_t shardSeed(unsigned shard_idx) const;
+
+    /** Number of epoch barriers needed to consume budgetSec. */
+    unsigned epochCount() const;
+
+    /** End-of-epoch deadline (absolute simulated seconds). */
+    double epochDeadline(unsigned epoch_idx) const;
+
+    /**
+     * Build from a parsed command line: fleet-seed, shards, epoch,
+     * budget, top-k, topology (none|ring|broadcast), sync-cost,
+     * threads.
+     */
+    static FleetConfig fromConfig(const Config &cfg);
+};
+
+} // namespace turbofuzz
+
+#endif // TURBOFUZZ_COMMON_FLEET_CONFIG_HH

@@ -75,11 +75,45 @@ CoverageMap::reset()
     coveredTotal = 0;
 }
 
+bool
+CoverageMap::compatibleWith(const CoverageMap &other) const
+{
+    if (other.instr == instr)
+        return true;
+    // Different instrumentation objects: equal bit positions must
+    // denote the same DUT state, so the full index mapping has to
+    // line up — identical modules and identical register placements.
+    // (Shape alone is not enough: Baseline instrumentation shifts
+    // registers by seed-dependent amounts, so two same-sized maps
+    // from different seeds would OR misaligned states.)
+    const auto &a = instr->modules();
+    const auto &b = other.instr->modules();
+    if (a.size() != b.size())
+        return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+        if (a[i].module().name() != b[i].module().name() ||
+            a[i].indexBits() != b[i].indexBits() ||
+            a[i].scheme() != b[i].scheme())
+            return false;
+        const auto &pa = a[i].placements();
+        const auto &pb = b[i].placements();
+        if (pa.size() != pb.size())
+            return false;
+        for (size_t p = 0; p < pa.size(); ++p) {
+            if (pa[p].regIndex != pb[p].regIndex ||
+                pa[p].offset != pb[p].offset ||
+                pa[p].wraps != pb[p].wraps)
+                return false;
+        }
+    }
+    return true;
+}
+
 void
 CoverageMap::merge(const CoverageMap &other)
 {
-    TF_ASSERT(other.instr == instr,
-              "merging maps over different instrumentations");
+    TF_ASSERT(compatibleWith(other),
+              "merging maps over incompatible instrumentations");
     for (size_t i = 0; i < bitmaps.size(); ++i) {
         uint64_t covered = 0;
         for (size_t w = 0; w < bitmaps[i].size(); ++w) {

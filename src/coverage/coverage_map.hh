@@ -55,7 +55,23 @@ class CoverageMap
     /** Clear all bitmaps. */
     void reset();
 
-    /** Merge another map's covered points into this one. */
+    /**
+     * Whether @p other tracks a structurally identical
+     * instrumentation: same module count and same points per module.
+     * Maps over the SAME instrumentation object are always
+     * compatible; maps over different objects are compatible when
+     * those instrumentations were built with identical (design,
+     * scheme, maxStateSize, seed) parameters — the fleet's
+     * per-shard case — so that equal bit positions denote the same
+     * covered state.
+     */
+    bool compatibleWith(const CoverageMap &other) const;
+
+    /**
+     * Merge another map's covered points into this one (bitmap OR).
+     * The maps must be compatibleWith() each other. Idempotent:
+     * re-merging the same map changes nothing.
+     */
     void merge(const CoverageMap &other);
 
   private:

@@ -1,0 +1,46 @@
+#include "fleet/fleet_stats.hh"
+
+#include <cstdio>
+
+namespace turbofuzz::fleet
+{
+
+void
+printFleetSummary(const FleetResult &result)
+{
+    TablePrinter table({"metric", "value"});
+    table.addRow({"shards",
+                  TablePrinter::integer(result.shardCount)});
+    table.addRow({"epochs", TablePrinter::integer(result.epochs)});
+    table.addRow({"sim budget/shard (s)",
+                  TablePrinter::num(result.simBudgetSec)});
+    table.addRow({"iterations",
+                  TablePrinter::integer(result.totals.iterations)});
+    table.addRow(
+        {"executed instrs",
+         TablePrinter::integer(result.totals.executedInstrs)});
+    table.addRow(
+        {"generated instrs",
+         TablePrinter::integer(result.totals.generatedInstrs)});
+    table.addRow({"merged coverage",
+                  TablePrinter::integer(result.mergedFinalCoverage)});
+    table.addRow({"mismatched iterations",
+                  TablePrinter::integer(result.totals.mismatches)});
+    table.addRow({"distinct shard mismatches",
+                  TablePrinter::integer(result.mismatches.size())});
+    table.addRow({"seeds exchanged",
+                  TablePrinter::integer(result.seedsExchanged)});
+    table.addRow({"seeds admitted",
+                  TablePrinter::integer(result.seedsAdmitted)});
+    table.addRow({"host time (s)",
+                  TablePrinter::num(result.hostSeconds, 3)});
+    table.print();
+
+    for (const ShardMismatch &sm : result.mismatches) {
+        std::printf("  shard %u @ %.2fs: %s\n", sm.shard,
+                    sm.simTimeSec,
+                    sm.mismatch.describe().c_str());
+    }
+}
+
+} // namespace turbofuzz::fleet

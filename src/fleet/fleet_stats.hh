@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Aggregated results of a fleet campaign.
+ *
+ * The orchestrator appends one sample per epoch barrier to the
+ * fleet-wide series: merged coverage, iteration throughput over the
+ * epoch, and prevalence. Per-shard coverage trajectories and the
+ * harvested mismatch set ride along for the benches and tests.
+ */
+
+#ifndef TURBOFUZZ_FLEET_FLEET_STATS_HH
+#define TURBOFUZZ_FLEET_FLEET_STATS_HH
+
+#include <vector>
+
+#include "checker/diff_checker.hh"
+#include "common/concurrent_stats.hh"
+#include "common/stats.hh"
+
+namespace turbofuzz::fleet
+{
+
+/** A mismatch harvested from one shard at an epoch barrier. */
+struct ShardMismatch
+{
+    unsigned shard;
+    checker::Mismatch mismatch;
+    double simTimeSec; ///< shard-local time of the snapshot capture
+};
+
+/** Everything a fleet run produces. */
+struct FleetResult
+{
+    /** Merged coverage vs simulated time (one sample per epoch). */
+    TimeSeries mergedCoverage{"fleet-coverage"};
+
+    /** Fleet iterations per simulated second, per epoch. */
+    TimeSeries throughput{"fleet-iters-per-sec"};
+
+    /** Fleet-wide prevalence (executed-in-fuzz-region fraction). */
+    TimeSeries prevalence{"fleet-prevalence"};
+
+    /** Per-shard coverage trajectories (index = shard). */
+    std::vector<TimeSeries> shardCoverage;
+
+    /** First mismatch of every shard that hit one, in shard order. */
+    std::vector<ShardMismatch> mismatches;
+
+    /** Campaign counters summed over all shards. */
+    StatsSnapshot totals;
+
+    /** Final merged (union) coverage of the whole fleet. */
+    uint64_t mergedFinalCoverage = 0;
+
+    /** Seeds offered / admitted across all exchanges. */
+    uint64_t seedsExchanged = 0;
+    uint64_t seedsAdmitted = 0;
+
+    unsigned shardCount = 0;
+    unsigned epochs = 0;
+    double simBudgetSec = 0.0; ///< per-shard simulated budget
+    double hostSeconds = 0.0;  ///< wall-clock cost of run()
+};
+
+/** Print a human-readable summary table of a fleet run. */
+void printFleetSummary(const FleetResult &result);
+
+} // namespace turbofuzz::fleet
+
+#endif // TURBOFUZZ_FLEET_FLEET_STATS_HH

@@ -1,0 +1,164 @@
+#include "fleet/orchestrator.hh"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/logging.hh"
+#include "fleet/worker_pool.hh"
+
+namespace turbofuzz::fleet
+{
+
+FleetOrchestrator::FleetOrchestrator(
+    const FleetConfig &config,
+    const harness::CampaignOptions &campaign_template,
+    const fuzzer::FuzzerOptions &fuzzer_template,
+    const isa::InstructionLibrary *library, SyncPolicy policy)
+    : cfg(config), sync(policy)
+{
+    TF_ASSERT(cfg.shardCount >= 1, "fleet needs at least one shard");
+    TF_ASSERT(library != nullptr, "fleet requires a library");
+
+    shards.reserve(cfg.shardCount);
+    for (unsigned i = 0; i < cfg.shardCount; ++i) {
+        harness::CampaignOptions copts = campaign_template;
+        // One instrumentation seed fleet-wide: coverage bit positions
+        // must denote the same DUT state on every shard or the merge
+        // would OR apples into oranges.
+        copts.seed = cfg.fleetSeed;
+        fuzzer::FuzzerOptions fopts = fuzzer_template;
+        fopts.seed = cfg.shardSeed(i);
+        shards.push_back(std::make_unique<FleetShard>(
+            i, std::move(copts), fopts, library));
+    }
+    globalMap = std::make_unique<coverage::CoverageMap>(
+        &shards[0]->campaign().instrumentation());
+    mismatchHarvested.assign(cfg.shardCount, false);
+}
+
+void
+FleetOrchestrator::epochBarrier(unsigned epoch_idx,
+                                FleetResult &result,
+                                StatsSnapshot &prev_totals)
+{
+    const unsigned n = shardCount();
+    const double deadline = cfg.epochDeadline(epoch_idx);
+
+    // 1. Global coverage merge (fixed shard order).
+    for (auto &s : shards)
+        globalMap->merge(s->campaign().coverageMap());
+
+    // 2. Cross-shard seed exchange. A 1-shard fleet has no peers and
+    //    therefore no round trip at all — this keeps it bit-identical
+    //    to a standalone campaign.
+    if (n >= 2) {
+        if (sync.topology() != ExchangeTopology::None &&
+            sync.topK() > 0) {
+            std::vector<std::vector<fuzzer::Seed>> exported(n);
+            for (unsigned i = 0; i < n; ++i)
+                exported[i] = shards[i]->exportSeeds(sync.topK());
+            for (unsigned i = 0; i < n; ++i) {
+                for (unsigned src :
+                     sync.importSources(i, n, epoch_idx)) {
+                    result.seedsExchanged += exported[src].size();
+                    result.seedsAdmitted +=
+                        shards[i]->importSeeds(exported[src]);
+                }
+            }
+        }
+        // The coverage-readback round trip happens every barrier,
+        // whether or not seeds travelled with it.
+        for (auto &s : shards)
+            s->chargeSync(sync.syncCostSec());
+    }
+
+    // 3. Mismatch harvest: each shard's first mismatch, once.
+    for (unsigned i = 0; i < n; ++i) {
+        if (mismatchHarvested[i])
+            continue;
+        const auto &mm = shards[i]->campaign().firstMismatch();
+        if (mm) {
+            result.mismatches.push_back(
+                {i, *mm,
+                 shards[i]
+                     ->campaign()
+                     .mismatchSnapshot()
+                     .captureTime()});
+            mismatchHarvested[i] = true;
+        }
+    }
+
+    // 4. Fleet-wide samples for this epoch.
+    StatsSnapshot totals{};
+    for (const auto &s : shards) {
+        const StatsSnapshot c = s->counters();
+        totals.iterations += c.iterations;
+        totals.executedInstrs += c.executedInstrs;
+        totals.generatedInstrs += c.generatedInstrs;
+        totals.mismatches += c.mismatches;
+    }
+    const StatsSnapshot delta = totals - prev_totals;
+    const double epoch_len =
+        deadline - (epoch_idx == 0
+                        ? 0.0
+                        : cfg.epochDeadline(epoch_idx - 1));
+    result.mergedCoverage.record(
+        deadline, static_cast<double>(globalMap->totalCovered()));
+    if (epoch_len > 0.0) {
+        result.throughput.record(
+            deadline,
+            static_cast<double>(delta.iterations) / epoch_len);
+    }
+    double fuzz_executed = 0.0, executed = 0.0;
+    for (const auto &s : shards) {
+        const double exec = static_cast<double>(
+            s->campaign().executedInstructions());
+        executed += exec;
+        fuzz_executed += exec * s->campaign().prevalence();
+    }
+    result.prevalence.record(
+        deadline, executed > 0.0 ? fuzz_executed / executed : 0.0);
+    prev_totals = totals;
+}
+
+FleetResult
+FleetOrchestrator::run()
+{
+    const auto host_start = std::chrono::steady_clock::now();
+    const unsigned n = shardCount();
+    const unsigned epochs = cfg.epochCount();
+
+    FleetResult result;
+    result.shardCount = n;
+    result.epochs = epochs;
+    result.simBudgetSec = cfg.budgetSec;
+
+    const unsigned threads =
+        cfg.workerThreads ? cfg.workerThreads : n;
+    WorkerPool pool(threads);
+
+    StatsSnapshot prev_totals{};
+    for (unsigned e = 0; e < epochs; ++e) {
+        const double deadline = cfg.epochDeadline(e);
+        for (auto &s : shards) {
+            FleetShard *shard_ptr = s.get();
+            pool.submit([shard_ptr, deadline, this] {
+                shard_ptr->runEpoch(deadline, &liveStats);
+            });
+        }
+        pool.wait();
+        epochBarrier(e, result, prev_totals);
+    }
+
+    for (const auto &s : shards)
+        result.shardCoverage.push_back(s->coverageSeries());
+    result.totals = prev_totals;
+    result.mergedFinalCoverage = globalMap->totalCovered();
+    result.hostSeconds =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - host_start)
+            .count();
+    return result;
+}
+
+} // namespace turbofuzz::fleet

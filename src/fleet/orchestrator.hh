@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Fleet orchestrator: N parallel campaign shards with epoch-barrier
+ * synchronization.
+ *
+ * This is the reproduction's model of the paper's scaled-out
+ * deployment: one TurboFuzzer + DUT per FPGA board, all driven by a
+ * host that periodically (once per *epoch*) collects each board's
+ * coverage map, merges it into the global picture, redistributes the
+ * most productive seeds between boards and harvests mismatch
+ * snapshots.
+ *
+ * Determinism contract: for a fixed (fleet seed, shard count, epoch
+ * length, sync policy) the merged coverage trajectory, totals and
+ * mismatch set are identical across runs regardless of host thread
+ * scheduling, because
+ *   - every shard is fully self-contained while an epoch runs
+ *     (per-shard RNG streams derived from the fleet seed),
+ *   - all cross-shard operations execute on the orchestrator thread
+ *     at the barrier, in fixed shard order.
+ * A 1-shard fleet reproduces a plain Campaign::run() bit-exactly
+ * (shardSeed(0) == fleetSeed, and epoch slicing composes to the same
+ * iteration sequence).
+ */
+
+#ifndef TURBOFUZZ_FLEET_ORCHESTRATOR_HH
+#define TURBOFUZZ_FLEET_ORCHESTRATOR_HH
+
+#include <memory>
+#include <vector>
+
+#include "common/fleet_config.hh"
+#include "coverage/coverage_map.hh"
+#include "fleet/fleet_stats.hh"
+#include "fleet/shard.hh"
+#include "fleet/sync_policy.hh"
+#include "harness/campaign.hh"
+
+namespace turbofuzz::fleet
+{
+
+/** Owns and synchronizes a fleet of campaign shards. */
+class FleetOrchestrator
+{
+  public:
+    /**
+     * @param config            Fleet shape (shards, epochs, budget).
+     * @param campaign_template Per-shard campaign options; the
+     *                          orchestrator overrides the seed with
+     *                          the fleet seed (instrumentation must
+     *                          align across shards for the coverage
+     *                          merge to be meaningful).
+     * @param fuzzer_template   Per-shard fuzzer options; the seed is
+     *                          overridden with shardSeed(i).
+     * @param library           Shared read-only instruction library;
+     *                          must outlive the orchestrator.
+     * @param policy            Barrier seed-exchange policy.
+     */
+    FleetOrchestrator(const FleetConfig &config,
+                      const harness::CampaignOptions &campaign_template,
+                      const fuzzer::FuzzerOptions &fuzzer_template,
+                      const isa::InstructionLibrary *library,
+                      SyncPolicy policy);
+
+    /** Convenience: policy derived from the config. */
+    FleetOrchestrator(const FleetConfig &config,
+                      const harness::CampaignOptions &campaign_template,
+                      const fuzzer::FuzzerOptions &fuzzer_template,
+                      const isa::InstructionLibrary *library)
+        : FleetOrchestrator(config, campaign_template, fuzzer_template,
+                            library, SyncPolicy::fromConfig(config))
+    {}
+
+    /** Run the whole fleet to its budget. Call at most once. */
+    FleetResult run();
+
+    /** Global (union) coverage across all shards. */
+    const coverage::CoverageMap &globalCoverage() const
+    {
+        return *globalMap;
+    }
+
+    FleetShard &shard(unsigned i) { return *shards[i]; }
+    unsigned shardCount() const
+    {
+        return static_cast<unsigned>(shards.size());
+    }
+
+    /** Live counters (safe to read from another thread mid-run). */
+    StatsSnapshot liveCounters() const { return liveStats.snapshot(); }
+
+  private:
+    /** Barrier-time work after epoch @p epoch_idx; updates result. */
+    void epochBarrier(unsigned epoch_idx, FleetResult &result,
+                      StatsSnapshot &prev_totals);
+
+    FleetConfig cfg;
+    SyncPolicy sync;
+    std::vector<std::unique_ptr<FleetShard>> shards;
+    std::unique_ptr<coverage::CoverageMap> globalMap;
+    ConcurrentStats liveStats;
+    std::vector<bool> mismatchHarvested;
+};
+
+} // namespace turbofuzz::fleet
+
+#endif // TURBOFUZZ_FLEET_ORCHESTRATOR_HH

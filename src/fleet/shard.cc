@@ -1,0 +1,58 @@
+#include "fleet/shard.hh"
+
+#include "fuzzer/generator.hh"
+
+namespace turbofuzz::fleet
+{
+
+FleetShard::FleetShard(unsigned index,
+                       harness::CampaignOptions options,
+                       fuzzer::FuzzerOptions fopts,
+                       const isa::InstructionLibrary *library)
+    : idx(index), covSeries("shard-" + std::to_string(index))
+{
+    camp = std::make_unique<harness::Campaign>(
+        std::move(options),
+        std::make_unique<fuzzer::TurboFuzzGenerator>(fopts, library));
+}
+
+StatsSnapshot
+FleetShard::counters() const
+{
+    return {camp->iterations(), camp->executedInstructions(),
+            camp->generatedInstructions(),
+            camp->mismatchedIterations()};
+}
+
+void
+FleetShard::runEpoch(double deadline_sec, ConcurrentStats *aggregate)
+{
+    if (stoppedEarly)
+        return;
+    const StatsSnapshot before = counters();
+    if (!camp->runSlice(deadline_sec, covSeries))
+        stoppedEarly = true;
+    if (aggregate)
+        aggregate->add(counters() - before);
+}
+
+std::vector<fuzzer::Seed>
+FleetShard::exportSeeds(size_t k)
+{
+    return camp->generator().exportTopSeeds(k);
+}
+
+size_t
+FleetShard::importSeeds(std::vector<fuzzer::Seed> seeds)
+{
+    return camp->injectSeeds(std::move(seeds));
+}
+
+void
+FleetShard::chargeSync(double cost_sec)
+{
+    if (cost_sec > 0.0)
+        camp->platform().chargeSeconds(cost_sec);
+}
+
+} // namespace turbofuzz::fleet

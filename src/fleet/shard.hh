@@ -1,0 +1,80 @@
+/**
+ * @file
+ * One fleet shard: a self-contained Campaign plus its epoch state.
+ *
+ * A shard models one FPGA board of the paper's scaled-out deployment:
+ * it owns its own generator, DUT/REF pair, RTL model, instrumentation
+ * and coverage map, and shares NOTHING mutable with other shards
+ * while an epoch runs. All cross-shard interaction (coverage merge,
+ * seed exchange, mismatch harvest) happens on the orchestrator thread
+ * at epoch barriers — which is what makes fleet runs deterministic
+ * regardless of host thread scheduling.
+ */
+
+#ifndef TURBOFUZZ_FLEET_SHARD_HH
+#define TURBOFUZZ_FLEET_SHARD_HH
+
+#include <memory>
+#include <vector>
+
+#include "common/concurrent_stats.hh"
+#include "common/stats.hh"
+#include "harness/campaign.hh"
+
+namespace turbofuzz::fleet
+{
+
+/** A single parallel campaign instance. */
+class FleetShard
+{
+  public:
+    /**
+     * @param index    Shard number within the fleet.
+     * @param options  Campaign options (seed fields already set by
+     *                 the orchestrator: instrumentation seed shared
+     *                 fleet-wide, fuzzer seed per shard).
+     * @param fopts    Fuzzer options for this shard's generator.
+     * @param library  Shared read-only instruction library.
+     */
+    FleetShard(unsigned index, harness::CampaignOptions options,
+               fuzzer::FuzzerOptions fopts,
+               const isa::InstructionLibrary *library);
+
+    /**
+     * Run until the shard's simulated clock reaches @p deadline_sec.
+     * Called on a worker thread; touches only shard-local state plus
+     * the (atomic) fleet aggregator.
+     */
+    void runEpoch(double deadline_sec, ConcurrentStats *aggregate);
+
+    /** Barrier-time: export the corpus's top @p k seeds. */
+    std::vector<fuzzer::Seed> exportSeeds(size_t k);
+
+    /** Barrier-time: import peer seeds; returns admitted count. */
+    size_t importSeeds(std::vector<fuzzer::Seed> seeds);
+
+    /** Barrier-time: charge the host round-trip cost. */
+    void chargeSync(double cost_sec);
+
+    harness::Campaign &campaign() { return *camp; }
+    const harness::Campaign &campaign() const { return *camp; }
+
+    unsigned index() const { return idx; }
+    const TimeSeries &coverageSeries() const { return covSeries; }
+
+    /** Whether stopOnMismatch ended this shard early. */
+    bool stopped() const { return stoppedEarly; }
+
+    /** Campaign counters as a snapshot (barrier-time read). */
+    StatsSnapshot counters() const;
+
+  private:
+    unsigned idx;
+    std::unique_ptr<harness::Campaign> camp;
+    TimeSeries covSeries;
+    bool stoppedEarly = false;
+};
+
+} // namespace turbofuzz::fleet
+
+#endif // TURBOFUZZ_FLEET_SHARD_HH

@@ -1,0 +1,38 @@
+#include "fleet/sync_policy.hh"
+
+namespace turbofuzz::fleet
+{
+
+std::vector<unsigned>
+SyncPolicy::importSources(unsigned shard, unsigned shard_count,
+                          uint64_t epoch) const
+{
+    std::vector<unsigned> sources;
+    if (shard_count < 2 || k == 0)
+        return sources;
+
+    switch (topo) {
+      case ExchangeTopology::None:
+        break;
+      case ExchangeTopology::Ring: {
+        // Hop distance grows with the epoch (1, 2, 3, ... mod N,
+        // skipping self) so every shard eventually hears from every
+        // other one even in large rings.
+        const unsigned hop = static_cast<unsigned>(
+                                 epoch % (shard_count - 1)) +
+                             1;
+        sources.push_back((shard + shard_count - hop) % shard_count);
+        break;
+      }
+      case ExchangeTopology::Broadcast:
+        sources.reserve(shard_count - 1);
+        for (unsigned j = 0; j < shard_count; ++j) {
+            if (j != shard)
+                sources.push_back(j);
+        }
+        break;
+    }
+    return sources;
+}
+
+} // namespace turbofuzz::fleet

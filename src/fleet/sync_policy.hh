@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Epoch-barrier synchronization policy.
+ *
+ * Decides, for every epoch barrier, which peer shards each shard
+ * imports seeds from, how many seeds travel, and what simulated
+ * host<->board round-trip cost the barrier charges. All decisions are
+ * pure functions of (shard, shardCount, epoch) so barriers replay
+ * identically regardless of host thread scheduling.
+ */
+
+#ifndef TURBOFUZZ_FLEET_SYNC_POLICY_HH
+#define TURBOFUZZ_FLEET_SYNC_POLICY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/fleet_config.hh"
+
+namespace turbofuzz::fleet
+{
+
+/** Deterministic seed-exchange schedule over epoch barriers. */
+class SyncPolicy
+{
+  public:
+    SyncPolicy(ExchangeTopology topology, size_t top_k,
+               double sync_cost_sec)
+        : topo(topology), k(top_k), costSec(sync_cost_sec)
+    {}
+
+    /** Build the policy a FleetConfig describes. */
+    static SyncPolicy
+    fromConfig(const FleetConfig &fc)
+    {
+        return SyncPolicy(fc.topology, fc.exchangeTopK,
+                          fc.syncCostSec);
+    }
+
+    /**
+     * Peer shards that @p shard imports seeds from at the end of
+     * @p epoch, in deterministic order. Ring topology rotates the
+     * source by one extra hop per epoch so long campaigns mix seeds
+     * beyond nearest neighbours.
+     */
+    std::vector<unsigned> importSources(unsigned shard,
+                                        unsigned shard_count,
+                                        uint64_t epoch) const;
+
+    /** Seeds each shard exports per barrier. */
+    size_t topK() const { return k; }
+
+    /** Simulated per-shard barrier cost (host round trip). */
+    double syncCostSec() const { return costSec; }
+
+    ExchangeTopology topology() const { return topo; }
+
+  private:
+    ExchangeTopology topo;
+    size_t k;
+    double costSec;
+};
+
+} // namespace turbofuzz::fleet
+
+#endif // TURBOFUZZ_FLEET_SYNC_POLICY_HH

@@ -1,0 +1,70 @@
+#include "fleet/worker_pool.hh"
+
+#include <algorithm>
+
+namespace turbofuzz::fleet
+{
+
+WorkerPool::WorkerPool(unsigned threads)
+{
+    const unsigned n = std::max(1u, threads);
+    workers.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+        workers.emplace_back([this] { workerLoop(); });
+}
+
+WorkerPool::~WorkerPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        stopping = true;
+    }
+    cvWork.notify_all();
+    for (std::thread &t : workers)
+        t.join();
+}
+
+void
+WorkerPool::submit(std::function<void()> job)
+{
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        queue.push_back(std::move(job));
+        ++inFlight;
+    }
+    cvWork.notify_one();
+}
+
+void
+WorkerPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mtx);
+    cvIdle.wait(lock, [this] { return inFlight == 0; });
+}
+
+void
+WorkerPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> job;
+        {
+            std::unique_lock<std::mutex> lock(mtx);
+            cvWork.wait(lock, [this] {
+                return stopping || !queue.empty();
+            });
+            if (queue.empty())
+                return; // stopping and drained
+            job = std::move(queue.front());
+            queue.pop_front();
+        }
+        job();
+        {
+            std::lock_guard<std::mutex> lock(mtx);
+            --inFlight;
+            if (inFlight == 0)
+                cvIdle.notify_all();
+        }
+    }
+}
+
+} // namespace turbofuzz::fleet

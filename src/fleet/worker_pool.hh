@@ -1,0 +1,60 @@
+/**
+ * @file
+ * A minimal fixed-size thread pool for fleet epoch execution.
+ *
+ * The orchestrator submits one job per shard per epoch and then
+ * blocks on wait() — the epoch barrier. Jobs must not throw; TurboFuzz
+ * reports internal errors through panic()/TF_ASSERT (abort), never
+ * exceptions.
+ */
+
+#ifndef TURBOFUZZ_FLEET_WORKER_POOL_HH
+#define TURBOFUZZ_FLEET_WORKER_POOL_HH
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace turbofuzz::fleet
+{
+
+/** Fixed set of worker threads with a submit/wait barrier API. */
+class WorkerPool
+{
+  public:
+    /** @param threads Worker count; clamped to >= 1. */
+    explicit WorkerPool(unsigned threads);
+    ~WorkerPool();
+
+    WorkerPool(const WorkerPool &) = delete;
+    WorkerPool &operator=(const WorkerPool &) = delete;
+
+    /** Enqueue a job. */
+    void submit(std::function<void()> job);
+
+    /** Block until every submitted job has finished. */
+    void wait();
+
+    unsigned threadCount() const
+    {
+        return static_cast<unsigned>(workers.size());
+    }
+
+  private:
+    void workerLoop();
+
+    std::mutex mtx;
+    std::condition_variable cvWork;  ///< signals workers: job or stop
+    std::condition_variable cvIdle;  ///< signals wait(): all done
+    std::deque<std::function<void()>> queue;
+    size_t inFlight = 0; ///< queued + currently executing jobs
+    bool stopping = false;
+    std::vector<std::thread> workers;
+};
+
+} // namespace turbofuzz::fleet
+
+#endif // TURBOFUZZ_FLEET_WORKER_POOL_HH

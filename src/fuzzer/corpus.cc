@@ -1,6 +1,7 @@
 #include "fuzzer/corpus.hh"
 
 #include <algorithm>
+#include <cstddef>
 
 #include "common/logging.hh"
 
@@ -15,10 +16,20 @@ Corpus::Corpus(size_t capacity, SchedulingPolicy policy)
 }
 
 void
+Corpus::replaceAt(size_t idx, Seed seed)
+{
+    idIndex.erase(seeds[idx].id);
+    idIndex[seed.id] = idx;
+    seeds[idx] = std::move(seed);
+    ++evictCount;
+}
+
+void
 Corpus::addBaseline(Seed seed)
 {
     seed.insertedAt = nextInsertion++;
     if (seeds.size() < cap) {
+        idIndex[seed.id] = seeds.size();
         seeds.push_back(std::move(seed));
         return;
     }
@@ -27,8 +38,8 @@ Corpus::addBaseline(Seed seed)
         seeds.begin(), seeds.end(), [](const Seed &a, const Seed &b) {
             return a.insertedAt < b.insertedAt;
         });
-    *oldest = std::move(seed);
-    ++evictCount;
+    replaceAt(static_cast<size_t>(oldest - seeds.begin()),
+              std::move(seed));
 }
 
 bool
@@ -45,6 +56,7 @@ Corpus::offer(Seed seed, uint64_t cov_increment)
     }
 
     if (seeds.size() < cap) {
+        idIndex[seed.id] = seeds.size();
         seeds.push_back(std::move(seed));
         return true;
     }
@@ -55,8 +67,8 @@ Corpus::offer(Seed seed, uint64_t cov_increment)
             [](const Seed &a, const Seed &b) {
                 return a.insertedAt < b.insertedAt;
             });
-        *oldest = std::move(seed);
-        ++evictCount;
+        replaceAt(static_cast<size_t>(oldest - seeds.begin()),
+                  std::move(seed));
         return true;
     }
 
@@ -70,8 +82,8 @@ Corpus::offer(Seed seed, uint64_t cov_increment)
         ++rejectCount;
         return false;
     }
-    *weakest = std::move(seed);
-    ++evictCount;
+    replaceAt(static_cast<size_t>(weakest - seeds.begin()),
+              std::move(seed));
     return true;
 }
 
@@ -84,17 +96,22 @@ Corpus::select(Rng &rng, Prob prioritize_prob) const
         // Prioritized selection samples the top quartile by recorded
         // coverage increment, keeping several promising seeds in
         // rotation instead of starving all but the single best.
+        // nth_element keeps this O(n) instead of a full sort; only
+        // the quartile membership matters because the pick inside it
+        // is uniform.
         std::vector<const Seed *> ranked;
         ranked.reserve(seeds.size());
         for (const Seed &s : seeds)
             ranked.push_back(&s);
-        std::sort(ranked.begin(), ranked.end(),
-                  [](const Seed *a, const Seed *b) {
-                      return a->coverageIncrement >
-                             b->coverageIncrement;
-                  });
-        const size_t top =
-            std::max<size_t>(1, ranked.size() / 4);
+        const size_t top = std::max<size_t>(1, ranked.size() / 4);
+        if (top < ranked.size()) {
+            std::nth_element(
+                ranked.begin(),
+                ranked.begin() + static_cast<std::ptrdiff_t>(top) - 1,
+                ranked.end(), [](const Seed *a, const Seed *b) {
+                    return a->coverageIncrement > b->coverageIncrement;
+                });
+        }
         return *ranked[rng.range(top)];
     }
     return seeds[rng.range(seeds.size())];
@@ -103,13 +120,49 @@ Corpus::select(Rng &rng, Prob prioritize_prob) const
 void
 Corpus::updateIncrement(uint64_t seed_id, uint64_t cov_increment)
 {
-    for (Seed &s : seeds) {
-        if (s.id == seed_id) {
-            s.coverageIncrement = cov_increment;
-            return;
-        }
-    }
+    const auto it = idIndex.find(seed_id);
     // The seed may have been evicted meanwhile; that is not an error.
+    if (it == idIndex.end())
+        return;
+    seeds[it->second].coverageIncrement = cov_increment;
+}
+
+std::vector<Seed>
+Corpus::exportTop(size_t k) const
+{
+    std::vector<const Seed *> ranked;
+    ranked.reserve(seeds.size());
+    for (const Seed &s : seeds)
+        ranked.push_back(&s);
+    const size_t n = std::min(k, ranked.size());
+    // Deterministic total order so every shard exports the same set
+    // for the same corpus state regardless of container layout.
+    const auto better = [](const Seed *a, const Seed *b) {
+        if (a->coverageIncrement != b->coverageIncrement)
+            return a->coverageIncrement > b->coverageIncrement;
+        return a->insertedAt < b->insertedAt;
+    };
+    std::partial_sort(ranked.begin(),
+                      ranked.begin() + static_cast<std::ptrdiff_t>(n),
+                      ranked.end(), better);
+    std::vector<Seed> out;
+    out.reserve(n);
+    for (size_t i = 0; i < n; ++i)
+        out.push_back(*ranked[i]);
+    return out;
+}
+
+size_t
+Corpus::importSeeds(std::vector<Seed> imported, uint64_t &next_seed_id)
+{
+    size_t admitted = 0;
+    for (Seed &s : imported) {
+        s.id = next_seed_id++;
+        const uint64_t increment = s.coverageIncrement;
+        if (offer(std::move(s), increment))
+            ++admitted;
+    }
+    return admitted;
 }
 
 } // namespace turbofuzz::fuzzer

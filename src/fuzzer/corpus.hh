@@ -18,12 +18,18 @@
  * mechanism: with probability 3/4 prioritize the highest-increment
  * seeds, otherwise select uniformly so archived patterns are not
  * starved (exploration/exploitation balance).
+ *
+ * For multi-shard fleets the corpus additionally supports exporting
+ * its top seeds and importing seeds from a peer shard; imported seeds
+ * are re-identified into the local id space so cross-shard ids never
+ * collide (see src/fleet/).
  */
 
 #ifndef TURBOFUZZ_FUZZER_CORPUS_HH
 #define TURBOFUZZ_FUZZER_CORPUS_HH
 
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "common/config.hh"
@@ -76,6 +82,26 @@ class Corpus
      */
     void updateIncrement(uint64_t seed_id, uint64_t cov_increment);
 
+    /**
+     * Export copies of the top @p k seeds by recorded coverage
+     * increment (ties broken by age, oldest first), e.g. for
+     * cross-shard seed exchange. Returns fewer when the corpus holds
+     * fewer than @p k seeds.
+     */
+    std::vector<Seed> exportTop(size_t k) const;
+
+    /**
+     * Import seeds from another corpus (a peer shard). Each seed is
+     * re-identified from @p next_seed_id — the caller's id allocator —
+     * so imported ids never collide with locally archived ones, then
+     * offered through the normal admission path with its recorded
+     * coverage increment as the priority signal.
+     *
+     * @return number of seeds admitted.
+     */
+    size_t importSeeds(std::vector<Seed> imported,
+                       uint64_t &next_seed_id);
+
     /** Total evictions performed (stats). */
     uint64_t evictions() const { return evictCount; }
 
@@ -85,9 +111,21 @@ class Corpus
     const std::vector<Seed> &entries() const { return seeds; }
 
   private:
+    /** Replace the resident seed at @p idx, keeping idIndex in sync. */
+    void replaceAt(size_t idx, Seed seed);
+
     size_t cap;
     SchedulingPolicy pol;
     std::vector<Seed> seeds;
+
+    /**
+     * Seed-id -> index into `seeds`. Ids are unique within a corpus
+     * (the fuzzer allocates them monotonically; imports are
+     * re-identified), so updateIncrement() is O(1) instead of a
+     * linear scan per feedback event.
+     */
+    std::unordered_map<uint64_t, size_t> idIndex;
+
     uint64_t nextInsertion = 0;
     uint64_t evictCount = 0;
     uint64_t rejectCount = 0;

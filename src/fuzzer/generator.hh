@@ -45,6 +45,25 @@ class StimulusGenerator
 
     /** Display name. */
     virtual std::string_view name() const = 0;
+
+    /**
+     * Fleet seed exchange: accept seeds exported by a peer shard.
+     * Generators without a corpus ignore the offer.
+     * @return number of seeds admitted.
+     */
+    virtual size_t importSeeds(std::vector<Seed> /*seeds*/)
+    {
+        return 0;
+    }
+
+    /**
+     * Fleet seed exchange: export up to @p k of the most productive
+     * archived seeds. Generators without a corpus export nothing.
+     */
+    virtual std::vector<Seed> exportTopSeeds(size_t /*k*/) const
+    {
+        return {};
+    }
 };
 
 /** StimulusGenerator adapter over the TurboFuzzer. */
@@ -76,6 +95,18 @@ class TurboFuzzGenerator : public StimulusGenerator
 
     bool usesExceptionTemplates() const override { return true; }
     std::string_view name() const override { return "TurboFuzz"; }
+
+    size_t
+    importSeeds(std::vector<Seed> seeds) override
+    {
+        return fuzzer.importSeeds(std::move(seeds));
+    }
+
+    std::vector<Seed>
+    exportTopSeeds(size_t k) const override
+    {
+        return fuzzer.exportTopSeeds(k);
+    }
 
     TurboFuzzer &underlying() { return fuzzer; }
 

@@ -346,4 +346,16 @@ TurboFuzzer::addSeed(Seed seed)
     seedCorpus.addBaseline(std::move(seed));
 }
 
+size_t
+TurboFuzzer::importSeeds(std::vector<Seed> seeds)
+{
+    return seedCorpus.importSeeds(std::move(seeds), nextSeedId);
+}
+
+std::vector<Seed>
+TurboFuzzer::exportTopSeeds(size_t k) const
+{
+    return seedCorpus.exportTop(k);
+}
+
 } // namespace turbofuzz::fuzzer

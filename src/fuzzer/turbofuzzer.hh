@@ -125,6 +125,17 @@ class TurboFuzzer
     /** Inject a pre-built seed (deepExplore stage-1 output). */
     void addSeed(Seed seed);
 
+    /**
+     * Import peer-shard seeds (fleet seed exchange). Each seed is
+     * re-identified into this fuzzer's id space before the corpus's
+     * normal admission control runs.
+     * @return number of seeds admitted.
+     */
+    size_t importSeeds(std::vector<Seed> seeds);
+
+    /** Export the corpus's top @p k seeds for cross-shard exchange. */
+    std::vector<Seed> exportTopSeeds(size_t k) const;
+
     Corpus &corpus() { return seedCorpus; }
     const FuzzerOptions &options() const { return opts; }
 

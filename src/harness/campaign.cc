@@ -141,6 +141,8 @@ Campaign::runIteration()
     executedTotal += result.executedTotal;
     executedFuzzTotal += result.executedFuzz;
     generatedTotal += result.generated;
+    if (result.mismatch)
+        ++mismatchCount;
     return result;
 }
 
@@ -148,14 +150,27 @@ TimeSeries
 Campaign::run(double budget_sec)
 {
     TimeSeries series(std::string(gen->name()));
-    while (clock.seconds() < budget_sec) {
+    runSlice(budget_sec, series);
+    return series;
+}
+
+bool
+Campaign::runSlice(double deadline_sec, TimeSeries &series)
+{
+    while (clock.seconds() < deadline_sec) {
         const IterationResult r = runIteration();
         series.record(clock.seconds(),
                       static_cast<double>(covMap->totalCovered()));
         if (r.mismatch && opts.stopOnMismatch)
-            break;
+            return false;
     }
-    return series;
+    return true;
+}
+
+size_t
+Campaign::injectSeeds(std::vector<fuzzer::Seed> seeds)
+{
+    return gen->importSeeds(std::move(seeds));
 }
 
 double

@@ -102,6 +102,24 @@ class Campaign
      */
     TimeSeries run(double budget_sec);
 
+    /**
+     * Epoch-sliced run: iterate until the simulated clock reaches
+     * @p deadline_sec (an absolute time), appending one coverage
+     * sample per iteration to @p series. Slicing a budget into
+     * consecutive deadlines reproduces run() bit-exactly — the fleet
+     * orchestrator relies on this to keep single-shard fleets
+     * identical to a plain campaign.
+     * @return true unless stopped early by stopOnMismatch.
+     */
+    bool runSlice(double deadline_sec, TimeSeries &series);
+
+    /**
+     * Inject external seeds into the generator's corpus (fleet seed
+     * exchange). Safe to call between iterations only.
+     * @return number of seeds admitted.
+     */
+    size_t injectSeeds(std::vector<fuzzer::Seed> seeds);
+
     // --- observers ---------------------------------------------------
     const coverage::CoverageMap &coverageMap() const { return *covMap; }
     soc::Platform &platform() { return *plat; }
@@ -110,6 +128,9 @@ class Campaign
     uint64_t iterations() const { return iterCount; }
     uint64_t executedInstructions() const { return executedTotal; }
     uint64_t generatedInstructions() const { return generatedTotal; }
+
+    /** Iterations that ended in a DUT/REF mismatch. */
+    uint64_t mismatchedIterations() const { return mismatchCount; }
 
     /** Campaign-wide prevalence (Fig. 8 metric). */
     double prevalence() const;
@@ -151,6 +172,7 @@ class Campaign
     uint64_t executedTotal = 0;
     uint64_t executedFuzzTotal = 0;
     uint64_t generatedTotal = 0;
+    uint64_t mismatchCount = 0;
     bool startupCharged = false;
 
     std::optional<checker::Mismatch> mismatchInfo;

@@ -107,6 +107,129 @@ TEST(CoverageMap, MergeUnions)
     EXPECT_EQ(a.totalCovered(), 2u);
 }
 
+TEST(CoverageMap, MergedTotalEqualsUnionOfPoints)
+{
+    auto m = twoRegModule();
+    DesignInstrumentation di(m.get(), Scheme::Optimized, 13, 1);
+    CoverageMap a(&di), b(&di), reference(&di);
+
+    // a covers states {1..4}, b covers {3..8}; union = {1..8}.
+    for (uint64_t v = 1; v <= 8; ++v) {
+        m->registers()[0].value = v;
+        if (v <= 4)
+            a.record();
+        if (v >= 3)
+            b.record();
+        reference.record();
+    }
+    a.merge(b);
+    EXPECT_EQ(a.totalCovered(), reference.totalCovered());
+    EXPECT_EQ(a.moduleCovered(0), reference.moduleCovered(0));
+    // The merge source is untouched.
+    EXPECT_EQ(b.totalCovered(), 6u);
+}
+
+TEST(CoverageMap, MergeIsIdempotent)
+{
+    auto m = twoRegModule();
+    DesignInstrumentation di(m.get(), Scheme::Optimized, 13, 1);
+    CoverageMap a(&di), b(&di);
+    for (uint64_t v = 0; v < 5; ++v) {
+        m->registers()[0].value = v;
+        a.record();
+        m->registers()[1].value = v;
+        b.record();
+    }
+    a.merge(b);
+    const uint64_t once = a.totalCovered();
+    a.merge(b); // re-merging the same map changes nothing
+    EXPECT_EQ(a.totalCovered(), once);
+    a.merge(a); // self-merge is also a no-op
+    EXPECT_EQ(a.totalCovered(), once);
+}
+
+TEST(CoverageMap, WeightedFeedbackConsistentAfterMerge)
+{
+    auto m = twoRegModule();
+    DesignInstrumentation di(m.get(), Scheme::Optimized, 13, 1);
+    di.setWeightShift("m", 3);
+    CoverageMap a(&di), b(&di);
+    for (uint64_t v = 1; v <= 6; ++v) {
+        m->registers()[0].value = v;
+        (v % 2 ? a : b).record();
+    }
+    a.merge(b);
+    // Weighted feedback is derived from the merged per-module
+    // counts, not stale pre-merge state.
+    EXPECT_EQ(a.weightedFeedback(), a.totalCovered() << 3);
+}
+
+TEST(CoverageMap, MergeAcrossIdenticalInstrumentations)
+{
+    // The fleet case: two shards build their own (identical) design
+    // trees and instrumentations from the same seed; their maps must
+    // merge as if they shared one instrumentation.
+    auto m1 = twoRegModule();
+    auto m2 = twoRegModule();
+    DesignInstrumentation di1(m1.get(), Scheme::Optimized, 13, 1);
+    DesignInstrumentation di2(m2.get(), Scheme::Optimized, 13, 1);
+    CoverageMap a(&di1), b(&di2);
+    EXPECT_TRUE(a.compatibleWith(b));
+
+    m1->registers()[0].value = 1;
+    a.record();
+    m2->registers()[0].value = 2;
+    b.record();
+    m2->registers()[0].value = 1; // same state as a covered
+    b.record();
+    a.merge(b);
+    EXPECT_EQ(a.totalCovered(), 2u);
+}
+
+TEST(CoverageMap, DifferentSeedBaselineInstrumentationsIncompatible)
+{
+    // Baseline instrumentation shifts registers by seed-dependent
+    // amounts (once the control width exceeds the index width):
+    // equal-sized maps from different seeds assign bit positions
+    // differently and must refuse to merge.
+    auto wide = []() {
+        auto m = std::make_unique<rtl::Module>("w");
+        for (int i = 0; i < 4; ++i) {
+            const uint32_t r = m->addRegister(
+                "r" + std::to_string(i), 10, rtl::RegRole::Datapath);
+            const uint32_t w =
+                m->addWire("w" + std::to_string(i), {r});
+            m->addMux("m" + std::to_string(i), w);
+        }
+        return m;
+    };
+    auto m1 = wide();
+    auto m2 = wide();
+    DesignInstrumentation di1(m1.get(), Scheme::Baseline, 13, 1);
+    DesignInstrumentation di2(m2.get(), Scheme::Baseline, 13, 99);
+    CoverageMap a(&di1), b(&di2);
+    EXPECT_FALSE(a.compatibleWith(b));
+    // Same seed -> same placements -> compatible.
+    DesignInstrumentation di3(m2.get(), Scheme::Baseline, 13, 1);
+    CoverageMap c(&di3);
+    EXPECT_TRUE(a.compatibleWith(c));
+}
+
+TEST(CoverageMap, IncompatibleShapesRefuseToMerge)
+{
+    auto m1 = twoRegModule();
+    auto m2 = std::make_unique<rtl::Module>("other");
+    const uint32_t r =
+        m2->addRegister("r", 10, rtl::RegRole::Datapath);
+    const uint32_t w = m2->addWire("w", {r});
+    m2->addMux("mx", w);
+    DesignInstrumentation di1(m1.get(), Scheme::Optimized, 13, 1);
+    DesignInstrumentation di2(m2.get(), Scheme::Optimized, 13, 1);
+    CoverageMap a(&di1), b(&di2);
+    EXPECT_FALSE(a.compatibleWith(b));
+    EXPECT_DEATH(a.merge(b), "incompatible");
+}
+
 TEST(CoverageMap, PerModuleCounts)
 {
     auto m = twoRegModule();

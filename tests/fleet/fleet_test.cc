@@ -1,0 +1,297 @@
+/** @file Fleet orchestrator tests: determinism, merge, exchange. */
+
+#include <gtest/gtest.h>
+
+#include "common/fleet_config.hh"
+#include "fleet/orchestrator.hh"
+#include "fleet/worker_pool.hh"
+#include "fuzzer/generator.hh"
+#include "harness/campaign.hh"
+
+namespace turbofuzz::fleet
+{
+namespace
+{
+
+isa::InstructionLibrary &
+lib()
+{
+    static isa::InstructionLibrary l = harness::makeDefaultLibrary();
+    return l;
+}
+
+harness::CampaignOptions
+campaignOpts()
+{
+    harness::CampaignOptions o;
+    o.timing = soc::turboFuzzProfile();
+    return o;
+}
+
+fuzzer::FuzzerOptions
+fuzzerOpts(uint32_t ipi = 1000)
+{
+    fuzzer::FuzzerOptions o;
+    o.instrsPerIteration = ipi;
+    return o;
+}
+
+FleetConfig
+fleetConfig(unsigned shards, double budget = 3.0,
+            double epoch = 0.75, uint64_t seed = 7)
+{
+    FleetConfig fc;
+    fc.fleetSeed = seed;
+    fc.shardCount = shards;
+    fc.budgetSec = budget;
+    fc.epochSec = epoch;
+    return fc;
+}
+
+TEST(FleetConfigTest, ShardSeedDerivation)
+{
+    FleetConfig fc;
+    fc.fleetSeed = 42;
+    // Shard 0 inherits the fleet seed (single-shard identity).
+    EXPECT_EQ(fc.shardSeed(0), 42u);
+    // Other shards get decorrelated, deterministic streams.
+    EXPECT_NE(fc.shardSeed(1), 42u);
+    EXPECT_NE(fc.shardSeed(1), fc.shardSeed(2));
+    EXPECT_EQ(fc.shardSeed(3), fc.shardSeed(3));
+}
+
+TEST(FleetConfigTest, EpochGrid)
+{
+    FleetConfig fc;
+    fc.budgetSec = 10.0;
+    fc.epochSec = 3.0;
+    EXPECT_EQ(fc.epochCount(), 4u);
+    EXPECT_DOUBLE_EQ(fc.epochDeadline(0), 3.0);
+    EXPECT_DOUBLE_EQ(fc.epochDeadline(3), 10.0); // clamped to budget
+    fc.epochSec = 5.0;
+    EXPECT_EQ(fc.epochCount(), 2u);
+}
+
+TEST(FleetConfigTest, FromConfigParsesTopology)
+{
+    Config cfg;
+    cfg.set("shards", "8");
+    cfg.set("topology", "broadcast");
+    cfg.set("epoch", "1.5");
+    const FleetConfig fc = FleetConfig::fromConfig(cfg);
+    EXPECT_EQ(fc.shardCount, 8u);
+    EXPECT_EQ(fc.topology, ExchangeTopology::Broadcast);
+    EXPECT_DOUBLE_EQ(fc.epochSec, 1.5);
+}
+
+TEST(WorkerPoolTest, RunsAllJobsAndBarriers)
+{
+    WorkerPool pool(4);
+    std::atomic<int> counter{0};
+    for (int round = 0; round < 3; ++round) {
+        for (int i = 0; i < 16; ++i)
+            pool.submit([&counter] {
+                counter.fetch_add(1, std::memory_order_relaxed);
+            });
+        pool.wait();
+        EXPECT_EQ(counter.load(), 16 * (round + 1));
+    }
+}
+
+TEST(SyncPolicyTest, RingRotatesAndBroadcastCoversAll)
+{
+    SyncPolicy ring(ExchangeTopology::Ring, 4, 0.0);
+    // Epoch 0: hop 1 -> shard 2 imports from shard 1.
+    EXPECT_EQ(ring.importSources(2, 4, 0),
+              std::vector<unsigned>{1});
+    // Epoch 1: hop 2 -> shard 2 imports from shard 0.
+    EXPECT_EQ(ring.importSources(2, 4, 1),
+              std::vector<unsigned>{0});
+    // Hop never selects self: over N-1 epochs, sources cycle peers.
+    for (uint64_t e = 0; e < 6; ++e) {
+        const auto src = ring.importSources(0, 4, e);
+        ASSERT_EQ(src.size(), 1u);
+        EXPECT_NE(src[0], 0u);
+    }
+
+    SyncPolicy bcast(ExchangeTopology::Broadcast, 4, 0.0);
+    const auto all = bcast.importSources(1, 4, 0);
+    EXPECT_EQ(all, (std::vector<unsigned>{0, 2, 3}));
+
+    SyncPolicy none(ExchangeTopology::None, 4, 0.0);
+    EXPECT_TRUE(none.importSources(1, 4, 0).empty());
+    // Single shard: no peers under any topology.
+    EXPECT_TRUE(ring.importSources(0, 1, 0).empty());
+}
+
+/**
+ * Acceptance: a 1-shard fleet reproduces the exact coverage
+ * trajectory of a plain Campaign::run() with the same seed.
+ */
+TEST(FleetOrchestratorTest, SingleShardMatchesPlainCampaign)
+{
+    const uint64_t seed = 7;
+    const double budget = 3.0;
+
+    harness::CampaignOptions copts = campaignOpts();
+    copts.seed = seed;
+    fuzzer::FuzzerOptions fopts = fuzzerOpts();
+    fopts.seed = seed;
+    harness::Campaign plain(
+        copts,
+        std::make_unique<fuzzer::TurboFuzzGenerator>(fopts, &lib()));
+    const TimeSeries reference = plain.run(budget);
+
+    // Sliced into 4 epochs through the orchestrator.
+    FleetOrchestrator orch(fleetConfig(1, budget, budget / 4, seed),
+                           campaignOpts(), fuzzerOpts(), &lib());
+    const FleetResult r = orch.run();
+
+    ASSERT_EQ(r.shardCoverage.size(), 1u);
+    const auto &ref = reference.samples();
+    const auto &got = r.shardCoverage[0].samples();
+    ASSERT_EQ(ref.size(), got.size());
+    for (size_t i = 0; i < ref.size(); ++i) {
+        EXPECT_DOUBLE_EQ(ref[i].timeSec, got[i].timeSec) << i;
+        EXPECT_DOUBLE_EQ(ref[i].value, got[i].value) << i;
+    }
+    EXPECT_EQ(r.mergedFinalCoverage,
+              plain.coverageMap().totalCovered());
+    EXPECT_EQ(r.totals.iterations, plain.iterations());
+    EXPECT_EQ(r.totals.executedInstrs,
+              plain.executedInstructions());
+}
+
+/**
+ * Acceptance: on the same per-shard budget, a 4-shard fleet's merged
+ * coverage strictly exceeds the best single shard's.
+ */
+TEST(FleetOrchestratorTest, FourShardsBeatBestSingleShard)
+{
+    FleetOrchestrator orch(fleetConfig(4), campaignOpts(),
+                           fuzzerOpts(), &lib());
+    const FleetResult r = orch.run();
+
+    double best_shard = 0.0;
+    for (const TimeSeries &s : r.shardCoverage)
+        best_shard = std::max(best_shard, s.last());
+    EXPECT_GT(static_cast<double>(r.mergedFinalCoverage),
+              best_shard);
+    // The merged map is a union: at least as large as every shard.
+    for (const TimeSeries &s : r.shardCoverage)
+        EXPECT_GE(static_cast<double>(r.mergedFinalCoverage),
+                  s.last());
+}
+
+/**
+ * Acceptance: fleet runs are deterministic for a fixed (fleet seed,
+ * shard count, epoch length) regardless of thread scheduling.
+ */
+TEST(FleetOrchestratorTest, RepeatedRunsAreIdentical)
+{
+    auto run_fleet = [](unsigned threads) {
+        FleetConfig fc = fleetConfig(3, 2.25, 0.75, 11);
+        fc.workerThreads = threads; // vary scheduling pressure
+        FleetOrchestrator orch(fc, campaignOpts(), fuzzerOpts(),
+                               &lib());
+        return orch.run();
+    };
+    const FleetResult a = run_fleet(3);
+    const FleetResult b = run_fleet(1); // fully serialized schedule
+
+    ASSERT_EQ(a.mergedCoverage.samples().size(),
+              b.mergedCoverage.samples().size());
+    for (size_t i = 0; i < a.mergedCoverage.samples().size(); ++i) {
+        EXPECT_DOUBLE_EQ(a.mergedCoverage.samples()[i].value,
+                         b.mergedCoverage.samples()[i].value);
+    }
+    EXPECT_EQ(a.mergedFinalCoverage, b.mergedFinalCoverage);
+    EXPECT_EQ(a.totals.iterations, b.totals.iterations);
+    EXPECT_EQ(a.totals.executedInstrs, b.totals.executedInstrs);
+    EXPECT_EQ(a.totals.mismatches, b.totals.mismatches);
+    EXPECT_EQ(a.seedsExchanged, b.seedsExchanged);
+    EXPECT_EQ(a.seedsAdmitted, b.seedsAdmitted);
+    ASSERT_EQ(a.mismatches.size(), b.mismatches.size());
+    for (size_t i = 0; i < a.mismatches.size(); ++i) {
+        EXPECT_EQ(a.mismatches[i].shard, b.mismatches[i].shard);
+        EXPECT_EQ(a.mismatches[i].mismatch.pc,
+                  b.mismatches[i].mismatch.pc);
+    }
+}
+
+TEST(FleetOrchestratorTest, SyncCostChargedEvenWithoutExchange)
+{
+    // The coverage-readback round trip costs simulated time at every
+    // barrier, even when no seeds travel (topology None).
+    FleetConfig fc = fleetConfig(2, 2.0, 0.5);
+    fc.topology = ExchangeTopology::None;
+    fc.syncCostSec = 0.25;
+    FleetOrchestrator orch(fc, campaignOpts(), fuzzerOpts(), &lib());
+    const FleetResult r = orch.run();
+    EXPECT_EQ(r.seedsExchanged, 0u);
+    // Mid-run sync charges displace fuzzing time (deadlines are
+    // absolute); the final barrier's charge lands past the budget,
+    // so the clock ends at >= budget + one sync cost.
+    for (unsigned i = 0; i < 2; ++i)
+        EXPECT_GE(orch.shard(i).campaign().nowSec(), 2.25);
+    // A 1-shard fleet never pays the round trip.
+    FleetConfig solo = fleetConfig(1, 2.0, 0.5);
+    solo.syncCostSec = 0.25;
+    FleetOrchestrator solo_orch(solo, campaignOpts(), fuzzerOpts(),
+                                &lib());
+    solo_orch.run();
+    EXPECT_LT(solo_orch.shard(0).campaign().nowSec(), 2.25);
+}
+
+TEST(FleetOrchestratorTest, SeedExchangeMovesSeeds)
+{
+    FleetConfig fc = fleetConfig(2, 3.0, 0.5);
+    fc.topology = ExchangeTopology::Broadcast;
+    FleetOrchestrator orch(fc, campaignOpts(), fuzzerOpts(), &lib());
+    const FleetResult r = orch.run();
+    EXPECT_GT(r.seedsExchanged, 0u);
+    // Admission is corpus-controlled, so admitted <= exchanged.
+    EXPECT_LE(r.seedsAdmitted, r.seedsExchanged);
+}
+
+TEST(FleetOrchestratorTest, HarvestsInjectedBugMismatches)
+{
+    harness::CampaignOptions copts = campaignOpts();
+    copts.coreKind = core::CoreKind::Boom;
+    copts.bugs = core::BugSet::single(core::BugId::B1);
+    FleetOrchestrator orch(fleetConfig(2, 30.0, 5.0), copts,
+                           fuzzerOpts(), &lib());
+    const FleetResult r = orch.run();
+    // With the bug in every shard's DUT, at least one shard trips.
+    EXPECT_GE(r.mismatches.size(), 1u);
+    EXPECT_GT(r.totals.mismatches, 0u);
+    for (const ShardMismatch &sm : r.mismatches)
+        EXPECT_LT(sm.shard, 2u);
+}
+
+TEST(FleetOrchestratorTest, FleetSamplesAndThroughputRecorded)
+{
+    FleetOrchestrator orch(fleetConfig(2, 3.0, 1.0), campaignOpts(),
+                           fuzzerOpts(), &lib());
+    const FleetResult r = orch.run();
+    EXPECT_EQ(r.epochs, 3u);
+    EXPECT_EQ(r.mergedCoverage.samples().size(), 3u);
+    EXPECT_EQ(r.throughput.samples().size(), 3u);
+    EXPECT_EQ(r.prevalence.samples().size(), 3u);
+    // Merged coverage is monotone across epochs.
+    double prev = 0.0;
+    for (const auto &s : r.mergedCoverage.samples()) {
+        EXPECT_GE(s.value, prev);
+        prev = s.value;
+    }
+    // Prevalence of the on-fabric profile stays high. The Fig. 8
+    // band is ~0.97 at 4,000 instrs/iteration; these shards run
+    // 1,000-instr iterations, so the fixed bootstrap weighs ~4x
+    // more.
+    EXPECT_GT(r.prevalence.last(), 0.8);
+    EXPECT_GT(r.totals.iterations, 0u);
+    EXPECT_GT(r.hostSeconds, 0.0);
+}
+
+} // namespace
+} // namespace turbofuzz::fleet

@@ -140,6 +140,155 @@ TEST(Corpus, AddBaselineBypassesAdmission)
     EXPECT_EQ(c.evictions(), 1u);
 }
 
+TEST(Corpus, PrioritizedSelectionDistributionUnchanged)
+{
+    // Regression for the nth_element fast path: selection must stay
+    // uniform over the top-quartile *set*, i.e. each of the top-2
+    // seeds (of 8) is picked with p = 0.75/2 + 0.25/8, and every
+    // lower seed with p = 0.25/8.
+    Corpus c(8, SchedulingPolicy::CoverageGuided);
+    for (uint64_t i = 1; i <= 8; ++i)
+        c.offer(seedWithId(i), i * 10);
+
+    Rng rng(11);
+    std::map<uint64_t, int> hits;
+    const int trials = 20000;
+    for (int t = 0; t < trials; ++t)
+        hits[c.select(rng, {3, 4}).id]++;
+
+    const double top_p = 0.75 / 2.0 + 0.25 / 8.0;
+    const double low_p = 0.25 / 8.0;
+    for (uint64_t i = 1; i <= 8; ++i) {
+        const double p = static_cast<double>(hits[i]) / trials;
+        EXPECT_NEAR(p, i >= 7 ? top_p : low_p, 0.02) << "seed " << i;
+    }
+}
+
+TEST(Corpus, UpdateIncrementSurvivesEvictionChurn)
+{
+    Corpus c(3, SchedulingPolicy::CoverageGuided);
+    c.offer(seedWithId(1), 10);
+    c.offer(seedWithId(2), 20);
+    c.offer(seedWithId(3), 30);
+    // Churn: 1 evicted by 4, then 2 evicted by 5.
+    EXPECT_TRUE(c.offer(seedWithId(4), 40));
+    EXPECT_TRUE(c.offer(seedWithId(5), 50));
+    EXPECT_EQ(c.evictions(), 2u);
+
+    // Updating evicted ids is a no-op...
+    c.updateIncrement(1, 999);
+    c.updateIncrement(2, 999);
+    for (const Seed &s : c.entries())
+        EXPECT_NE(s.coverageIncrement, 999u);
+
+    // ...while survivors are found through the id index, including
+    // seeds that landed in recycled slots.
+    c.updateIncrement(3, 31);
+    c.updateIncrement(4, 41);
+    c.updateIncrement(5, 51);
+    for (const Seed &s : c.entries())
+        EXPECT_EQ(s.coverageIncrement, s.id * 10 + 1);
+
+    // More churn after updates: the index stays consistent.
+    EXPECT_TRUE(c.offer(seedWithId(6), 60));
+    c.updateIncrement(6, 61);
+    bool found6 = false;
+    for (const Seed &s : c.entries()) {
+        if (s.id == 6) {
+            found6 = true;
+            EXPECT_EQ(s.coverageIncrement, 61u);
+        }
+    }
+    EXPECT_TRUE(found6);
+}
+
+TEST(Corpus, ExportTopReturnsBestByIncrement)
+{
+    Corpus c(8, SchedulingPolicy::CoverageGuided);
+    for (uint64_t i = 1; i <= 6; ++i)
+        c.offer(seedWithId(i), i * 10);
+    const std::vector<Seed> top = c.exportTop(3);
+    ASSERT_EQ(top.size(), 3u);
+    EXPECT_EQ(top[0].id, 6u);
+    EXPECT_EQ(top[1].id, 5u);
+    EXPECT_EQ(top[2].id, 4u);
+    // Asking for more than resident returns everything.
+    EXPECT_EQ(c.exportTop(100).size(), 6u);
+    // Export copies; the corpus is untouched.
+    EXPECT_EQ(c.size(), 6u);
+}
+
+TEST(Corpus, ExportTopBreaksTiesByAge)
+{
+    Corpus c(4, SchedulingPolicy::CoverageGuided);
+    c.offer(seedWithId(10), 50);
+    c.offer(seedWithId(11), 50);
+    c.offer(seedWithId(12), 50);
+    const std::vector<Seed> top = c.exportTop(2);
+    ASSERT_EQ(top.size(), 2u);
+    EXPECT_EQ(top[0].id, 10u); // oldest first among equals
+    EXPECT_EQ(top[1].id, 11u);
+}
+
+TEST(Corpus, ImportSeedsRemapsIdsAndHonorsAdmission)
+{
+    Corpus donor(4, SchedulingPolicy::CoverageGuided);
+    donor.offer(seedWithId(1), 100);
+    donor.offer(seedWithId(2), 200);
+
+    Corpus receiver(4, SchedulingPolicy::CoverageGuided);
+    receiver.offer(seedWithId(1), 5); // local id 1 already taken
+
+    uint64_t next_id = 1000;
+    const size_t admitted =
+        receiver.importSeeds(donor.exportTop(2), next_id);
+    EXPECT_EQ(admitted, 2u);
+    EXPECT_EQ(next_id, 1002u);
+    EXPECT_EQ(receiver.size(), 3u);
+
+    // Imported seeds carry their increments but fresh local ids; the
+    // pre-existing local seed id 1 is untouched.
+    int local1 = 0;
+    for (const Seed &s : receiver.entries()) {
+        EXPECT_TRUE(s.id == 1 || s.id >= 1000);
+        if (s.id == 1) {
+            ++local1;
+            EXPECT_EQ(s.coverageIncrement, 5u);
+        }
+    }
+    EXPECT_EQ(local1, 1);
+
+    // The id index works for imported seeds too.
+    receiver.updateIncrement(1001, 777);
+    bool found = false;
+    for (const Seed &s : receiver.entries())
+        found |= s.coverageIncrement == 777;
+    EXPECT_TRUE(found);
+}
+
+TEST(Corpus, ImportIntoFullCorpusEvictsWeakest)
+{
+    Corpus receiver(2, SchedulingPolicy::CoverageGuided);
+    receiver.offer(seedWithId(1), 1);
+    receiver.offer(seedWithId(2), 1000);
+
+    Corpus donor(2, SchedulingPolicy::CoverageGuided);
+    donor.offer(seedWithId(7), 500);
+
+    uint64_t next_id = 50;
+    EXPECT_EQ(receiver.importSeeds(donor.exportTop(1), next_id), 1u);
+    // The weak local seed (increment 1) was evicted, the strong one
+    // survives alongside the import.
+    EXPECT_EQ(receiver.size(), 2u);
+    bool has_strong = false, has_import = false;
+    for (const Seed &s : receiver.entries()) {
+        has_strong |= s.id == 2;
+        has_import |= s.id == 50;
+    }
+    EXPECT_TRUE(has_strong);
+    EXPECT_TRUE(has_import);
+}
+
 TEST(Corpus, SelectFromEmptyPanics)
 {
     Corpus c(2, SchedulingPolicy::Fifo);

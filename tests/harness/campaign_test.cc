@@ -134,6 +134,65 @@ TEST(Campaign, BaselineSchemeCoversLessThanOptimized)
               run_with(coverage::Scheme::Baseline));
 }
 
+TEST(Campaign, SlicedRunMatchesPlainRun)
+{
+    CampaignOptions opts;
+    opts.timing = soc::turboFuzzProfile();
+    opts.seed = 13;
+    Campaign plain(opts, makeGen(13));
+    const TimeSeries whole = plain.run(2.0);
+
+    Campaign sliced(opts, makeGen(13));
+    TimeSeries series("sliced");
+    EXPECT_TRUE(sliced.runSlice(0.7, series));
+    EXPECT_TRUE(sliced.runSlice(1.4, series));
+    EXPECT_TRUE(sliced.runSlice(2.0, series));
+
+    ASSERT_EQ(whole.samples().size(), series.samples().size());
+    for (size_t i = 0; i < whole.samples().size(); ++i) {
+        EXPECT_DOUBLE_EQ(whole.samples()[i].timeSec,
+                         series.samples()[i].timeSec);
+        EXPECT_DOUBLE_EQ(whole.samples()[i].value,
+                         series.samples()[i].value);
+    }
+    EXPECT_EQ(plain.iterations(), sliced.iterations());
+    EXPECT_EQ(plain.executedInstructions(),
+              sliced.executedInstructions());
+}
+
+TEST(Campaign, InjectSeedsReachesGeneratorCorpus)
+{
+    CampaignOptions opts;
+    opts.timing = soc::turboFuzzProfile();
+    Campaign c(opts, makeGen(14));
+    c.runIteration(); // warm up: corpus may or may not admit
+
+    auto gen =
+        dynamic_cast<fuzzer::TurboFuzzGenerator *>(&c.generator());
+    ASSERT_NE(gen, nullptr);
+    const size_t before = gen->underlying().corpus().size();
+
+    fuzzer::Seed s;
+    fuzzer::SeedBlock b;
+    b.insns = {0x13}; // nop
+    s.blocks.push_back(b);
+    s.coverageIncrement = 1 << 20; // outranks anything resident
+    EXPECT_EQ(c.injectSeeds({s}), 1u);
+    EXPECT_EQ(gen->underlying().corpus().size(), before + 1);
+}
+
+TEST(Campaign, CountsMismatchedIterations)
+{
+    CampaignOptions opts;
+    opts.timing = soc::turboFuzzProfile();
+    opts.coreKind = core::CoreKind::Boom;
+    opts.bugs = core::BugSet::single(core::BugId::B1);
+    Campaign c(opts, makeGen(4));
+    c.run(30.0);
+    EXPECT_GT(c.mismatchedIterations(), 0u);
+    ASSERT_TRUE(c.firstMismatch().has_value());
+}
+
 TEST(MakeDefaultLibraryTest, ExcludesMret)
 {
     EXPECT_FALSE(lib().contains(isa::Opcode::Mret));
