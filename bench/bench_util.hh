@@ -149,19 +149,44 @@ class JsonResult
         return true;
     }
 
+    /**
+     * JSON string-escape @p s: quotes, backslashes, the named control
+     * escapes and \u00XX for the rest of C0. Disassembly and bug-name
+     * strings pass through verbatim otherwise (UTF-8 is fine as-is).
+     */
+    static std::string
+    escape(const std::string &s)
+    {
+        std::string out;
+        out.reserve(s.size());
+        for (char c : s) {
+            const auto u = static_cast<unsigned char>(c);
+            switch (c) {
+              case '"': out += "\\\""; break;
+              case '\\': out += "\\\\"; break;
+              case '\b': out += "\\b"; break;
+              case '\f': out += "\\f"; break;
+              case '\n': out += "\\n"; break;
+              case '\r': out += "\\r"; break;
+              case '\t': out += "\\t"; break;
+              default:
+                if (u < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof(buf), "\\u%04x", u);
+                    out += buf;
+                } else {
+                    out += c;
+                }
+            }
+        }
+        return out;
+    }
+
   private:
     static std::string
     quote(const std::string &s)
     {
-        std::string out = "\"";
-        for (char c : s) {
-            if (c == '"' || c == '\\')
-                out += '\\';
-            if (static_cast<unsigned char>(c) >= 0x20)
-                out += c;
-        }
-        out += '"';
-        return out;
+        return "\"" + escape(s) + "\"";
     }
 
     static std::string

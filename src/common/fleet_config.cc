@@ -86,6 +86,20 @@ FleetConfig::fromConfig(const Config &cfg)
               static_cast<long long>(threads));
     fc.workerThreads = static_cast<unsigned>(threads);
 
+    fc.triageEnabled = cfg.getBool("triage", true);
+    const int64_t triage_replays =
+        cfg.getInt("triage-replays", 128);
+    if (triage_replays < 0 || triage_replays > UINT32_MAX)
+        fatal("triage-replays out of range (got %lld)",
+              static_cast<long long>(triage_replays));
+    fc.triageReplayBudget = static_cast<uint32_t>(triage_replays);
+
+    const int64_t max_repros = cfg.getInt("max-reproducers", 8);
+    if (max_repros < 0 || max_repros > UINT32_MAX)
+        fatal("max-reproducers out of range (got %lld)",
+              static_cast<long long>(max_repros));
+    fc.maxReproducersPerShard = static_cast<uint32_t>(max_repros);
+
     const std::string topo = cfg.getString("topology", "ring");
     if (topo == "none")
         fc.topology = ExchangeTopology::None;

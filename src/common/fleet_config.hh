@@ -68,6 +68,21 @@ struct FleetConfig
     /** Worker threads; 0 = one per shard. */
     unsigned workerThreads = 0;
 
+    /**
+     * Bug triage: harvest every shard reproducer at epoch barriers,
+     * deduplicate by signature and (when the replay budget is
+     * nonzero) delta-debug each distinct bug's exemplar into a
+     * minimal reproducer after the run.
+     */
+    bool triageEnabled = true;
+
+    /** Replay budget per bucket for triage minimization; 0 buckets
+     *  without minimizing. */
+    uint32_t triageReplayBudget = 128;
+
+    /** Reproducers each shard may retain (campaign-level cap). */
+    uint32_t maxReproducersPerShard = 8;
+
     /** Per-shard RNG seed; shardSeed(0) == fleetSeed. */
     uint64_t shardSeed(unsigned shard_idx) const;
 

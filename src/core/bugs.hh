@@ -81,6 +81,31 @@ class BugSet
     bool has(BugId id) const { return bits & maskOf(id); }
     bool empty() const { return bits == 0; }
 
+    /** Raw bitmask (triage reproducer serialization). */
+    uint32_t raw() const { return bits; }
+
+    /** Rebuild from a raw() bitmask. */
+    static BugSet
+    fromRaw(uint32_t raw_bits)
+    {
+        BugSet s;
+        s.bits = raw_bits;
+        return s;
+    }
+
+    /** Enabled bugs in catalog order. */
+    std::vector<BugId>
+    enabled() const
+    {
+        std::vector<BugId> ids;
+        for (uint32_t i = 0;
+             i < static_cast<uint32_t>(BugId::NumBugs); ++i) {
+            if (has(static_cast<BugId>(i)))
+                ids.push_back(static_cast<BugId>(i));
+        }
+        return ids;
+    }
+
   private:
     static uint32_t
     maskOf(BugId id)

@@ -41,6 +41,16 @@ printFleetSummary(const FleetResult &result)
                     sm.simTimeSec,
                     sm.mismatch.describe().c_str());
     }
+
+    if (result.reproducersHarvested > 0) {
+        std::printf("\ntriage: %llu reproducers -> %llu distinct "
+                    "bugs\n",
+                    static_cast<unsigned long long>(
+                        result.reproducersHarvested),
+                    static_cast<unsigned long long>(
+                        result.bugTable.size()));
+        triage::printTriageTable(result.bugTable);
+    }
 }
 
 } // namespace turbofuzz::fleet

@@ -16,6 +16,7 @@
 #include "checker/diff_checker.hh"
 #include "common/concurrent_stats.hh"
 #include "common/stats.hh"
+#include "triage/triage_queue.hh"
 
 namespace turbofuzz::fleet
 {
@@ -45,6 +46,18 @@ struct FleetResult
 
     /** First mismatch of every shard that hit one, in shard order. */
     std::vector<ShardMismatch> mismatches;
+
+    /**
+     * Per-bug table: harvested reproducers deduplicated by signature
+     * and minimized (when FleetConfig::triageEnabled), in
+     * first-detection order. This is the run's actual deliverable —
+     * distinct bugs with minimal reproducers — rather than the raw
+     * mismatch stream.
+     */
+    std::vector<triage::TriageRow> bugTable;
+
+    /** Reproducers harvested across all shards and epochs. */
+    uint64_t reproducersHarvested = 0;
 
     /** Campaign counters summed over all shards. */
     StatsSnapshot totals;

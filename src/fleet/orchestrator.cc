@@ -14,7 +14,8 @@ FleetOrchestrator::FleetOrchestrator(
     const harness::CampaignOptions &campaign_template,
     const fuzzer::FuzzerOptions &fuzzer_template,
     const isa::InstructionLibrary *library, SyncPolicy policy)
-    : cfg(config), sync(policy)
+    : cfg(config), sync(policy),
+      triage_(triage::MinimizeOptions{cfg.triageReplayBudget, true})
 {
     TF_ASSERT(cfg.shardCount >= 1, "fleet needs at least one shard");
     TF_ASSERT(library != nullptr, "fleet requires a library");
@@ -26,6 +27,8 @@ FleetOrchestrator::FleetOrchestrator(
         // must denote the same DUT state on every shard or the merge
         // would OR apples into oranges.
         copts.seed = cfg.fleetSeed;
+        copts.maxReproducers =
+            cfg.triageEnabled ? cfg.maxReproducersPerShard : 0;
         fuzzer::FuzzerOptions fopts = fuzzer_template;
         fopts.seed = cfg.shardSeed(i);
         shards.push_back(std::make_unique<FleetShard>(
@@ -85,6 +88,18 @@ FleetOrchestrator::epochBarrier(unsigned epoch_idx,
                      .mismatchSnapshot()
                      .captureTime()});
             mismatchHarvested[i] = true;
+        }
+    }
+
+    // 3b. Triage harvest: every new reproducer flows into the queue,
+    //     in fixed shard order (bucket numbering stays deterministic
+    //     regardless of worker scheduling).
+    if (cfg.triageEnabled) {
+        for (auto &s : shards) {
+            for (triage::Reproducer &r : s->drainNewReproducers()) {
+                ++result.reproducersHarvested;
+                triage_.push(std::move(r));
+            }
         }
     }
 
@@ -154,6 +169,14 @@ FleetOrchestrator::run()
         result.shardCoverage.push_back(s->coverageSeries());
     result.totals = prev_totals;
     result.mergedFinalCoverage = globalMap->totalCovered();
+
+    // Post-run triage: minimize each distinct bug's exemplar and
+    // emit the per-bug table.
+    if (cfg.triageEnabled) {
+        if (cfg.triageReplayBudget > 0)
+            triage_.minimizeAll();
+        result.bugTable = triage_.table();
+    }
     result.hostSeconds =
         std::chrono::duration<double>(
             std::chrono::steady_clock::now() - host_start)

@@ -35,6 +35,7 @@
 #include "fleet/shard.hh"
 #include "fleet/sync_policy.hh"
 #include "harness/campaign.hh"
+#include "triage/triage_queue.hh"
 
 namespace turbofuzz::fleet
 {
@@ -89,6 +90,9 @@ class FleetOrchestrator
     /** Live counters (safe to read from another thread mid-run). */
     StatsSnapshot liveCounters() const { return liveStats.snapshot(); }
 
+    /** The triage queue accumulating harvested reproducers. */
+    const triage::TriageQueue &triageQueue() const { return triage_; }
+
   private:
     /** Barrier-time work after epoch @p epoch_idx; updates result. */
     void epochBarrier(unsigned epoch_idx, FleetResult &result,
@@ -100,6 +104,7 @@ class FleetOrchestrator
     std::unique_ptr<coverage::CoverageMap> globalMap;
     ConcurrentStats liveStats;
     std::vector<bool> mismatchHarvested;
+    triage::TriageQueue triage_;
 };
 
 } // namespace turbofuzz::fleet

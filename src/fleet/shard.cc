@@ -55,4 +55,17 @@ FleetShard::chargeSync(double cost_sec)
         camp->platform().chargeSeconds(cost_sec);
 }
 
+std::vector<triage::Reproducer>
+FleetShard::drainNewReproducers()
+{
+    const auto &all = camp->reproducers();
+    std::vector<triage::Reproducer> fresh;
+    for (; reprosHarvested < all.size(); ++reprosHarvested) {
+        triage::Reproducer r = all[reprosHarvested];
+        r.shard = idx;
+        fresh.push_back(std::move(r));
+    }
+    return fresh;
+}
+
 } // namespace turbofuzz::fleet

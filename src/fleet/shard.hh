@@ -68,11 +68,19 @@ class FleetShard
     /** Campaign counters as a snapshot (barrier-time read). */
     StatsSnapshot counters() const;
 
+    /**
+     * Barrier-time: reproducers captured since the previous harvest,
+     * stamped with this shard's index. Each reproducer is returned
+     * exactly once across the shard's lifetime.
+     */
+    std::vector<triage::Reproducer> drainNewReproducers();
+
   private:
     unsigned idx;
     std::unique_ptr<harness::Campaign> camp;
     TimeSeries covSeries;
     bool stoppedEarly = false;
+    size_t reprosHarvested = 0;
 };
 
 } // namespace turbofuzz::fleet

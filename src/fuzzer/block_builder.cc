@@ -267,4 +267,69 @@ BlockBuilder::mutateOperands(SeedBlock &block, Rng &rng) const
         word = mutated;
 }
 
+int64_t
+patchBlockTarget(SeedBlock &b, int64_t block_idx, int64_t target,
+                 const std::vector<uint64_t> &block_addrs)
+{
+    const int64_t i = block_idx;
+    uint32_t &word = b.insns[b.primeIdx];
+    const isa::Decoded dec = isa::decode(word);
+    TF_ASSERT(dec.valid, "control-flow prime no longer decodes");
+
+    b.targetBlock = static_cast<int32_t>(target);
+    const uint64_t prime_addr = block_addrs[i] + 4ull * b.primeIdx;
+    int64_t delta = static_cast<int64_t>(block_addrs[target]) -
+                    static_cast<int64_t>(prime_addr);
+
+    isa::Operands o = dec.ops;
+    if (dec.desc->has(isa::FlagBranch)) {
+        // B format reaches +-4 KiB; clamp far targets to the
+        // nearest representable block in the chosen direction.
+        while ((delta < -4096 || delta > 4094) && target != i) {
+            target += (target > i) ? -1 : 1;
+            delta = static_cast<int64_t>(block_addrs[target]) -
+                    static_cast<int64_t>(prime_addr);
+        }
+        b.targetBlock = static_cast<int32_t>(target);
+        o.imm = delta;
+        word = isa::encode(dec.op, o);
+    } else if (dec.desc->has(isa::FlagJal)) {
+        TF_ASSERT(delta >= -(1 << 20) && delta < (1 << 20),
+                  "jal target out of range");
+        o.imm = delta;
+        word = isa::encode(dec.op, o);
+    } else if (b.primeIdx < 2) {
+        // An indirect jump without the staged auipc/addi pair (e.g.
+        // a benchmark-derived return consumed as a seed, or a pair
+        // the minimizer pruned): retarget it as a direct jump so
+        // control flow stays on block boundaries.
+        isa::Operands j;
+        j.rd = dec.ops.rd;
+        j.imm = delta;
+        if (delta >= -(1 << 20) && delta < (1 << 20))
+            word = isa::encode(isa::Opcode::Jal, j);
+    } else {
+        // jalr: patch the staged auipc/addi pair.
+        const uint64_t auipc_addr =
+            block_addrs[i] + 4ull * (b.primeIdx - 2);
+        const int64_t pcrel =
+            static_cast<int64_t>(block_addrs[target]) -
+            static_cast<int64_t>(auipc_addr);
+        int64_t hi, lo;
+        pcrelHiLo(pcrel, hi, lo);
+        isa::Operands hi_ops;
+        hi_ops.rd = MemoryLayout::regScratch;
+        hi_ops.imm = hi & 0xFFFFF;
+        b.insns[b.primeIdx - 2] =
+            isa::encode(isa::Opcode::Auipc, hi_ops);
+        isa::Operands lo_ops;
+        lo_ops.rd = MemoryLayout::regScratch;
+        lo_ops.rs1 = MemoryLayout::regScratch;
+        lo_ops.imm = lo;
+        b.insns[b.primeIdx - 1] =
+            isa::encode(isa::Opcode::Addi, lo_ops);
+    }
+    return target;
+}
+
 } // namespace turbofuzz::fuzzer

@@ -104,6 +104,20 @@ bool isControlFlowInsn(uint32_t insn);
  */
 void pcrelHiLo(int64_t delta, int64_t &hi20, int64_t &lo12);
 
+/**
+ * Patch the control-flow prime of @p block (at index @p block_idx in
+ * the layout @p block_addrs) to jump to block @p target: encode the
+ * B/J immediate, or re-stage the jalr auipc/addi address pair.
+ * Branch targets beyond the ±4 KiB B-format range are clamped toward
+ * the source block. Deterministic — the shared core of the fuzzer's
+ * fix-up pass and the triage minimizer's re-layout; only target
+ * *selection* differs between the two.
+ * @return the (possibly clamped) final target index.
+ */
+int64_t patchBlockTarget(SeedBlock &block, int64_t block_idx,
+                         int64_t target,
+                         const std::vector<uint64_t> &block_addrs);
+
 } // namespace turbofuzz::fuzzer
 
 #endif // TURBOFUZZ_FUZZER_BLOCK_BUILDER_HH

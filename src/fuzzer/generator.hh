@@ -11,6 +11,7 @@
 #ifndef TURBOFUZZ_FUZZER_GENERATOR_HH
 #define TURBOFUZZ_FUZZER_GENERATOR_HH
 
+#include <optional>
 #include <string_view>
 
 #include "fuzzer/context.hh"
@@ -64,6 +65,18 @@ class StimulusGenerator
     {
         return {};
     }
+
+    /**
+     * Triage support: the environment descriptor that allows an
+     * archived IterationInfo to be re-materialized and replayed
+     * standalone. Generators whose iterations cannot be rebuilt
+     * deterministically return std::nullopt, which disables
+     * reproducer capture for their campaigns.
+     */
+    virtual std::optional<ReplayEnv> replayEnv() const
+    {
+        return std::nullopt;
+    }
 };
 
 /** StimulusGenerator adapter over the TurboFuzzer. */
@@ -106,6 +119,12 @@ class TurboFuzzGenerator : public StimulusGenerator
     exportTopSeeds(size_t k) const override
     {
         return fuzzer.exportTopSeeds(k);
+    }
+
+    std::optional<ReplayEnv>
+    replayEnv() const override
+    {
+        return fuzzer.replayEnv();
     }
 
     TurboFuzzer &underlying() { return fuzzer; }

@@ -1,18 +1,36 @@
 #include "fuzzer/seed.hh"
 
+#include <cstdio>
+
 #include "common/logging.hh"
 #include "soc/snapshot.hh"
 
 namespace turbofuzz::fuzzer
 {
 
-std::vector<uint8_t>
-Seed::serialize() const
+namespace
 {
-    soc::SnapshotWriter w;
-    w.putU64(id);
-    w.putU64(coverageIncrement);
-    w.putU64(insertedAt);
+
+/** Smallest possible serialized block: ninsns + primeIdx + flag +
+ *  targetBlock + position with an empty instruction array. */
+constexpr size_t minBlockBytes = 4 + 4 + 1 + 4 + 4;
+
+std::string
+formatError(const char *what, unsigned long long have,
+            unsigned long long need)
+{
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), "%s (need %llu bytes, have %llu)",
+                  what, need, have);
+    return buf;
+}
+
+} // namespace
+
+void
+writeSeedBlocks(soc::SnapshotWriter &w,
+                const std::vector<SeedBlock> &blocks)
+{
     w.putU32(static_cast<uint32_t>(blocks.size()));
     for (const SeedBlock &b : blocks) {
         w.putU32(static_cast<uint32_t>(b.insns.size()));
@@ -23,21 +41,42 @@ Seed::serialize() const
         w.putU32(static_cast<uint32_t>(b.targetBlock));
         w.putU32(b.position);
     }
-    return w.takeBuffer();
 }
 
-Seed
-Seed::deserialize(const std::vector<uint8_t> &bytes)
+bool
+readSeedBlocks(soc::SnapshotReader &r, std::vector<SeedBlock> &blocks,
+               std::string *error)
 {
-    soc::SnapshotReader r(bytes);
-    Seed s;
-    s.id = r.getU64();
-    s.coverageIncrement = r.getU64();
-    s.insertedAt = r.getU64();
+    auto fail = [&](std::string msg) {
+        if (error)
+            *error = std::move(msg);
+        return false;
+    };
+
+    if (r.remaining() < 4)
+        return fail(formatError("truncated block count",
+                                r.remaining(), 4));
     const uint32_t nblocks = r.getU32();
-    s.blocks.resize(nblocks);
-    for (SeedBlock &b : s.blocks) {
+    // Every block costs at least minBlockBytes, so a length field
+    // larger than that bound cannot describe this buffer — reject
+    // before the resize() rather than attempting the allocation.
+    if (nblocks > r.remaining() / minBlockBytes)
+        return fail(formatError("block count exceeds buffer",
+                                r.remaining(),
+                                static_cast<unsigned long long>(
+                                    nblocks) * minBlockBytes));
+    blocks.clear();
+    blocks.resize(nblocks);
+    for (SeedBlock &b : blocks) {
+        if (r.remaining() < minBlockBytes)
+            return fail(formatError("truncated block header",
+                                    r.remaining(), minBlockBytes));
         const uint32_t ninsns = r.getU32();
+        if (ninsns > (r.remaining() - (minBlockBytes - 4)) / 4)
+            return fail(formatError(
+                "instruction count exceeds buffer", r.remaining(),
+                static_cast<unsigned long long>(ninsns) * 4 +
+                    (minBlockBytes - 4)));
         b.insns.resize(ninsns);
         for (uint32_t &insn : b.insns)
             insn = r.getU32();
@@ -45,9 +84,61 @@ Seed::deserialize(const std::vector<uint8_t> &bytes)
         b.isControlFlow = r.getU8() != 0;
         b.targetBlock = static_cast<int32_t>(r.getU32());
         b.position = r.getU32();
+        if (!b.insns.empty() && b.primeIdx >= b.insns.size())
+            return fail("prime index out of range");
+        // A control-flow block must have a prime word to patch —
+        // consumers index insns[primeIdx] unconditionally.
+        if (b.isControlFlow && b.insns.empty())
+            return fail("control-flow block without instructions");
     }
-    TF_ASSERT(r.exhausted(), "trailing bytes in serialized seed");
+    return true;
+}
+
+std::vector<uint8_t>
+Seed::serialize() const
+{
+    soc::SnapshotWriter w;
+    w.putU64(id);
+    w.putU64(coverageIncrement);
+    w.putU64(insertedAt);
+    writeSeedBlocks(w, blocks);
+    return w.takeBuffer();
+}
+
+std::optional<Seed>
+Seed::tryDeserialize(const std::vector<uint8_t> &bytes,
+                     std::string *error)
+{
+    soc::SnapshotReader r(bytes);
+    Seed s;
+    if (r.remaining() < 24) {
+        if (error)
+            *error = formatError("truncated seed header",
+                                 r.remaining(), 24);
+        return std::nullopt;
+    }
+    s.id = r.getU64();
+    s.coverageIncrement = r.getU64();
+    s.insertedAt = r.getU64();
+    if (!readSeedBlocks(r, s.blocks, error))
+        return std::nullopt;
+    if (!r.exhausted()) {
+        if (error)
+            *error = formatError("trailing bytes in serialized seed",
+                                 r.remaining(), 0);
+        return std::nullopt;
+    }
     return s;
+}
+
+Seed
+Seed::deserialize(const std::vector<uint8_t> &bytes)
+{
+    std::string error;
+    auto s = tryDeserialize(bytes, &error);
+    if (!s)
+        throw SeedFormatError("seed deserialize: " + error);
+    return std::move(*s);
 }
 
 } // namespace turbofuzz::fuzzer

@@ -17,10 +17,32 @@
 #define TURBOFUZZ_FUZZER_SEED_HH
 
 #include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
 #include <vector>
+
+namespace turbofuzz::soc
+{
+class SnapshotWriter;
+class SnapshotReader;
+} // namespace turbofuzz::soc
 
 namespace turbofuzz::fuzzer
 {
+
+/**
+ * Thrown by Seed::deserialize (and other stimulus parsers) on
+ * corrupt or truncated input. Untrusted bytes — a damaged corpus
+ * file, a truncated fleet transfer — must surface as a typed,
+ * catchable error, never as a panic or a multi-gigabyte allocation
+ * from a corrupted length field.
+ */
+class SeedFormatError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
 
 /** One instruction block inside a seed or generated iteration. */
 struct SeedBlock
@@ -76,9 +98,36 @@ struct Seed
     /** Serialize to the byte layout used for BRAM/DDR storage. */
     std::vector<uint8_t> serialize() const;
 
-    /** Rebuild from serialize() output. */
+    /**
+     * Rebuild from serialize() output.
+     * @throws SeedFormatError on corrupt or truncated input.
+     */
     static Seed deserialize(const std::vector<uint8_t> &bytes);
+
+    /**
+     * Non-throwing variant: returns std::nullopt on malformed input
+     * and, when @p error is non-null, stores a diagnostic there.
+     * Every length field is validated against the remaining buffer
+     * before any allocation, so hostile inputs cannot trigger
+     * multi-gigabyte resize() calls.
+     */
+    static std::optional<Seed>
+    tryDeserialize(const std::vector<uint8_t> &bytes,
+                   std::string *error = nullptr);
 };
+
+/** Append the block array in the Seed wire format. */
+void writeSeedBlocks(soc::SnapshotWriter &w,
+                     const std::vector<SeedBlock> &blocks);
+
+/**
+ * Parse a block array written by writeSeedBlocks(), with full bounds
+ * validation. @return false (with @p error set when non-null) on
+ * malformed input.
+ */
+bool readSeedBlocks(soc::SnapshotReader &r,
+                    std::vector<SeedBlock> &blocks,
+                    std::string *error = nullptr);
 
 } // namespace turbofuzz::fuzzer
 

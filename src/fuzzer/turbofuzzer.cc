@@ -18,8 +18,7 @@ TurboFuzzer::TurboFuzzer(FuzzerOptions options,
     : opts(options), lib(library),
       builder(options.layout, library, options.genProbs),
       seedCorpus(options.corpusCapacity, options.scheduling),
-      ctx(options.layout), rng(options.seed),
-      dataLfsr(64, options.seed ^ 0xDA7A)
+      ctx(options.layout), rng(options.seed)
 {
     TF_ASSERT(opts.instrsPerIteration >= 8,
               "iteration size too small");
@@ -90,10 +89,6 @@ TurboFuzzer::fixupControlFlow(std::vector<SeedBlock> &blocks,
         if (!b.isControlFlow)
             continue;
 
-        uint32_t &word = b.insns[b.primeIdx];
-        const isa::Decoded dec = isa::decode(word);
-        TF_ASSERT(dec.valid, "control-flow prime no longer decodes");
-
         // Jump-target selection against the global address table.
         int64_t target = -1;
         if (b.targetBlock >= 0 && b.targetBlock < nblocks &&
@@ -131,113 +126,18 @@ TurboFuzzer::fixupControlFlow(std::vector<SeedBlock> &blocks,
                          static_cast<int64_t>(rng.range(
                              static_cast<uint64_t>(nblocks - 1 - i)));
         }
-        b.targetBlock = static_cast<int32_t>(target);
-
-        const uint64_t prime_addr =
-            block_addrs[i] + 4ull * b.primeIdx;
-        int64_t delta = static_cast<int64_t>(block_addrs[target]) -
-                        static_cast<int64_t>(prime_addr);
-
-        Operands o = dec.ops;
-        if (dec.desc->has(isa::FlagBranch)) {
-            // B format reaches +-4 KiB; clamp far targets to the
-            // nearest representable block in the chosen direction.
-            while ((delta < -4096 || delta > 4094) && target != i) {
-                target += (target > i) ? -1 : 1;
-                delta = static_cast<int64_t>(block_addrs[target]) -
-                        static_cast<int64_t>(prime_addr);
-            }
-            b.targetBlock = static_cast<int32_t>(target);
-            o.imm = delta;
-            word = isa::encode(dec.op, o);
-        } else if (dec.desc->has(isa::FlagJal)) {
-            TF_ASSERT(delta >= -(1 << 20) && delta < (1 << 20),
-                      "jal target out of range");
-            o.imm = delta;
-            word = isa::encode(dec.op, o);
-        } else if (b.primeIdx < 2) {
-            // An indirect jump without the staged auipc/addi pair
-            // (e.g. a benchmark-derived return consumed as a seed):
-            // retarget it as a direct jump so control flow stays on
-            // block boundaries.
-            Operands j;
-            j.rd = dec.ops.rd;
-            j.imm = delta;
-            if (delta >= -(1 << 20) && delta < (1 << 20))
-                word = isa::encode(Opcode::Jal, j);
-        } else {
-            // jalr: patch the staged auipc/addi pair.
-            const uint64_t auipc_addr =
-                block_addrs[i] + 4ull * (b.primeIdx - 2);
-            const int64_t pcrel =
-                static_cast<int64_t>(block_addrs[target]) -
-                static_cast<int64_t>(auipc_addr);
-            int64_t hi, lo;
-            pcrelHiLo(pcrel, hi, lo);
-            Operands hi_ops;
-            hi_ops.rd = MemoryLayout::regScratch;
-            hi_ops.imm = hi & 0xFFFFF;
-            b.insns[b.primeIdx - 2] =
-                isa::encode(Opcode::Auipc, hi_ops);
-            Operands lo_ops;
-            lo_ops.rd = MemoryLayout::regScratch;
-            lo_ops.rs1 = MemoryLayout::regScratch;
-            lo_ops.imm = lo;
-            b.insns[b.primeIdx - 1] =
-                isa::encode(Opcode::Addi, lo_ops);
-        }
+        patchBlockTarget(b, i, target, block_addrs);
     }
 }
 
-IterationInfo
-TurboFuzzer::generateIteration(soc::Memory &mem)
+std::vector<uint32_t>
+TurboFuzzer::preambleCode(const ReplayEnv &env)
 {
-    const MemoryLayout &lay = opts.layout;
-    ctx.beginIteration();
+    const MemoryLayout &lay = env.layout;
 
-    IterationInfo info;
-    info.iterationIndex = iterCounter++;
-    info.entryPc = lay.instrBase;
-
-    // 1. Exception templates (execution guarantee).
-    ExceptionTemplates::install(mem, lay);
-
-    // 2. Data segment fill from a uniquely-seeded LFSR (§IV-C),
-    //    salted with special FP values (zeros, infinities, NaNs,
-    //    denormals — boxed single and double variants) so that FP
-    //    corner-operand combinations are reachable. Purely random
-    //    64-bit patterns essentially never decode to +-0.0 or inf.
-    static constexpr uint64_t fpSpecials[] = {
-        0x0000000000000000ull,         // +0.0
-        0x8000000000000000ull,         // -0.0
-        0x7FF0000000000000ull,         // +inf
-        0xFFF0000000000000ull,         // -inf
-        0x7FF8000000000000ull,         // qNaN
-        0x0000000000000001ull,         // smallest denormal
-        0x3FF0000000000000ull,         // 1.0
-        0xFFFFFFFF00000000ull,         // boxed +0.0f
-        0xFFFFFFFF80000000ull,         // boxed -0.0f
-        0xFFFFFFFF7F800000ull,         // boxed +inf f
-        0xFFFFFFFFFF800000ull,         // boxed -inf f
-        0xFFFFFFFF7FC00000ull,         // boxed qNaN f
-        0xFFFFFFFF00000001ull,         // boxed denormal f
-        0xFFFFFFFF3F800000ull,         // boxed 1.0f
-        0x7FEFFFFFFFFFFFFFull,         // DBL_MAX
-        0xFFFFFFFF7F7FFFFFull,         // boxed FLT_MAX
-    };
-    dataLfsr.reseed(opts.seed ^ (info.iterationIndex + 1));
-    for (uint64_t off = 0; off < lay.dataSize; off += 8) {
-        uint64_t word = dataLfsr.stepBits(64);
-        if ((word & 0x7) == 0) { // ~1/8 of words carry a special
-            word = fpSpecials[(word >> 3) %
-                              (sizeof(fpSpecials) / 8)];
-        }
-        mem.write64(lay.dataBase + off, word);
-    }
-
-    // 3. Preamble: x31 = dataBase; mtvec = handler; FP register file
-    //    seeded from the iteration's LFSR data (so FP operand classes
-    //    vary per iteration instead of starting at all-zero).
+    // Preamble: x31 = dataBase; mtvec = handler; FP register file
+    // seeded from the iteration's LFSR data (so FP operand classes
+    // vary per iteration instead of starting at all-zero).
     std::vector<uint32_t> preamble;
     {
         Operands o;
@@ -267,9 +167,9 @@ TurboFuzzer::generateIteration(soc::Memory &mem)
     // routine is NON-randomized (identical every iteration), like the
     // setup code the paper describes — it contributes coverage once
     // and then only costs execution time.
-    if (opts.bootstrapInstrs > 0) {
-        Rng boot_rng(hashLabel("bootstrap") ^ opts.seed);
-        for (uint32_t i = 0; i < opts.bootstrapInstrs; ++i) {
+    if (env.bootstrapInstrs > 0) {
+        Rng boot_rng(hashLabel("bootstrap") ^ env.fuzzerSeed);
+        for (uint32_t i = 0; i < env.bootstrapInstrs; ++i) {
             Operands o;
             o.rd = static_cast<uint8_t>(1 + (i % 28));
             if (i % 2 == 0) {
@@ -283,23 +183,110 @@ TurboFuzzer::generateIteration(soc::Memory &mem)
             }
         }
     }
+    return preamble;
+}
 
-    uint64_t addr = lay.instrBase;
+void
+TurboFuzzer::fillDataSegment(const ReplayEnv &env,
+                             uint64_t iteration_index,
+                             soc::Memory &mem)
+{
+    const MemoryLayout &lay = env.layout;
+
+    // Data segment fill from a uniquely-seeded LFSR (§IV-C), salted
+    // with special FP values (zeros, infinities, NaNs, denormals —
+    // boxed single and double variants) so that FP corner-operand
+    // combinations are reachable. Purely random 64-bit patterns
+    // essentially never decode to +-0.0 or inf.
+    static constexpr uint64_t fpSpecials[] = {
+        0x0000000000000000ull,         // +0.0
+        0x8000000000000000ull,         // -0.0
+        0x7FF0000000000000ull,         // +inf
+        0xFFF0000000000000ull,         // -inf
+        0x7FF8000000000000ull,         // qNaN
+        0x0000000000000001ull,         // smallest denormal
+        0x3FF0000000000000ull,         // 1.0
+        0xFFFFFFFF00000000ull,         // boxed +0.0f
+        0xFFFFFFFF80000000ull,         // boxed -0.0f
+        0xFFFFFFFF7F800000ull,         // boxed +inf f
+        0xFFFFFFFFFF800000ull,         // boxed -inf f
+        0xFFFFFFFF7FC00000ull,         // boxed qNaN f
+        0xFFFFFFFF00000001ull,         // boxed denormal f
+        0xFFFFFFFF3F800000ull,         // boxed 1.0f
+        0x7FEFFFFFFFFFFFFFull,         // DBL_MAX
+        0xFFFFFFFF7F7FFFFFull,         // boxed FLT_MAX
+    };
+    FibonacciLfsr lfsr(64, env.fuzzerSeed ^ (iteration_index + 1));
+    for (uint64_t off = 0; off < lay.dataSize; off += 8) {
+        uint64_t word = lfsr.stepBits(64);
+        if ((word & 0x7) == 0) { // ~1/8 of words carry a special
+            word = fpSpecials[(word >> 3) %
+                              (sizeof(fpSpecials) / 8)];
+        }
+        mem.write64(lay.dataBase + off, word);
+    }
+}
+
+uint64_t
+TurboFuzzer::materializeIteration(const ReplayEnv &env,
+                                  const IterationInfo &info,
+                                  soc::Memory &mem)
+{
+    return materializeIteration(env, info, mem, preambleCode(env));
+}
+
+uint64_t
+TurboFuzzer::materializeIteration(const ReplayEnv &env,
+                                  const IterationInfo &info,
+                                  soc::Memory &mem,
+                                  const std::vector<uint32_t> &preamble)
+{
+    ExceptionTemplates::install(mem, env.layout);
+    fillDataSegment(env, info.iterationIndex, mem);
+
+    uint64_t addr = env.layout.instrBase;
     for (uint32_t insn : preamble) {
         mem.write32(addr, insn);
         addr += 4;
     }
+    TF_ASSERT(addr == info.firstBlockPc,
+              "preamble does not match the iteration's layout");
+    for (const SeedBlock &b : info.blocks) {
+        for (uint32_t insn : b.insns) {
+            mem.write32(addr, insn);
+            addr += 4;
+        }
+    }
+    return addr;
+}
+
+IterationInfo
+TurboFuzzer::generateIteration(soc::Memory &mem)
+{
+    const MemoryLayout &lay = opts.layout;
+    const ReplayEnv env = replayEnv();
+    ctx.beginIteration();
+
+    IterationInfo info;
+    info.iterationIndex = iterCounter++;
+    info.entryPc = lay.instrBase;
+
+    // 1. The iteration preamble (deterministic in the environment)
+    //    fixes where the fuzzing region starts.
+    const std::vector<uint32_t> preamble = preambleCode(env);
+    const size_t preamble_len = preamble.size();
+    uint64_t addr = lay.instrBase + 4ull * preamble_len;
     info.firstBlockPc = addr;
 
-    // 4. Choose the iteration's blocks (direct + mutation modes).
+    // 2. Choose the iteration's blocks (direct + mutation modes).
     info.blocks = chooseBlocks(info.parentSeedId);
 
-    // 5. Lay out blocks, recording the global address table.
+    // 3. Lay out blocks, recording the global address table.
     std::vector<uint64_t> block_addrs;
     block_addrs.reserve(info.blocks.size());
     for (SeedBlock &b : info.blocks) {
         if (!ctx.hasRoom(b.instrCount() +
-                         static_cast<uint32_t>(preamble.size()))) {
+                         static_cast<uint32_t>(preamble_len))) {
             warn("instruction segment full; truncating iteration");
             info.blocks.resize(block_addrs.size());
             break;
@@ -310,17 +297,17 @@ TurboFuzzer::generateIteration(soc::Memory &mem)
         info.generatedInstrs += b.instrCount();
     }
 
-    // 6. Control-flow fix-up + operand rebinding, then commit.
+    // 4. Control-flow fix-up + operand rebinding.
     fixupControlFlow(info.blocks, block_addrs);
-    for (size_t i = 0; i < info.blocks.size(); ++i) {
-        uint64_t a = block_addrs[i];
-        for (uint32_t insn : info.blocks[i].insns) {
-            mem.write32(a, insn);
-            a += 4;
-        }
-    }
+
+    // 5. Commit the complete memory image (templates, data fill,
+    //    preamble, blocks) through the same path replay uses.
+    const uint64_t boundary =
+        materializeIteration(env, info, mem, preamble);
     ctx.finalize();
     info.codeBoundary = ctx.codeBoundary();
+    TF_ASSERT(info.blocks.empty() || boundary == info.codeBoundary,
+              "materialized image disagrees with layout context");
     return info;
 }
 

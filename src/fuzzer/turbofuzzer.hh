@@ -82,6 +82,21 @@ struct FuzzerOptions
     GenProbs genProbs;
 };
 
+/**
+ * The deterministic generation environment a campaign iteration ran
+ * in. Together with an IterationInfo this is sufficient to rebuild
+ * the iteration's complete memory image outside the fuzzer — the
+ * contract the triage subsystem's replay harness relies on
+ * (exception templates, LFSR data fill and preamble are pure
+ * functions of these fields plus the iteration index).
+ */
+struct ReplayEnv
+{
+    uint64_t fuzzerSeed = 1;
+    uint32_t bootstrapInstrs = 120;
+    MemoryLayout layout;
+};
+
 /** Description of one generated iteration. */
 struct IterationInfo
 {
@@ -141,6 +156,47 @@ class TurboFuzzer
 
     uint64_t iterationsGenerated() const { return iterCounter; }
 
+    /** The environment descriptor for triage reproducers. */
+    ReplayEnv
+    replayEnv() const
+    {
+        return {opts.seed, opts.bootstrapInstrs, opts.layout};
+    }
+
+    /**
+     * The iteration preamble (FP/context setup + bootstrap
+     * boilerplate). Deterministic in @p env — identical every
+     * iteration, which is what lets a reproducer omit it.
+     */
+    static std::vector<uint32_t> preambleCode(const ReplayEnv &env);
+
+    /**
+     * Fill the data segment exactly as iteration @p iteration_index
+     * filled it (uniquely reseeded LFSR + FP special salting).
+     */
+    static void fillDataSegment(const ReplayEnv &env,
+                                uint64_t iteration_index,
+                                soc::Memory &mem);
+
+    /**
+     * Rebuild the complete memory image of @p info: exception
+     * templates, data segment, preamble and the (already fixed-up)
+     * instruction blocks. This is the exact write sequence
+     * generateIteration() commits, exposed standalone for
+     * deterministic replay.
+     * @return the end address of the generated code (code boundary).
+     */
+    static uint64_t materializeIteration(const ReplayEnv &env,
+                                         const IterationInfo &info,
+                                         soc::Memory &mem);
+
+    /** As above with a prebuilt preambleCode(env) result, sparing
+     *  the hot generation path a second preamble construction. */
+    static uint64_t
+    materializeIteration(const ReplayEnv &env,
+                         const IterationInfo &info, soc::Memory &mem,
+                         const std::vector<uint32_t> &preamble);
+
   private:
     /** Choose blocks for the iteration (direct + mutation modes). */
     std::vector<SeedBlock> chooseBlocks(uint64_t &parent_seed_id);
@@ -155,7 +211,6 @@ class TurboFuzzer
     Corpus seedCorpus;
     FuzzContext ctx;
     Rng rng;
-    FibonacciLfsr dataLfsr;
     uint64_t iterCounter = 0;
     uint64_t nextSeedId = 1;
 };

@@ -1,9 +1,25 @@
 #include "harness/campaign.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
+#include "fuzzer/exception_templates.hh"
 
 namespace turbofuzz::harness
 {
+
+namespace
+{
+
+/** Zero [from, to) word-wise (both campaign scrub ranges are small). */
+void
+scrubRange(soc::Memory &mem, uint64_t from, uint64_t to)
+{
+    for (uint64_t addr = from & ~uint64_t{3}; addr < to; addr += 4)
+        mem.write32(addr, 0);
+}
+
+} // namespace
 
 isa::InstructionLibrary
 makeDefaultLibrary()
@@ -62,6 +78,24 @@ Campaign::runIteration()
 
     // 1. Test generation (into the DUT memory), mirrored to the REF.
     const fuzzer::IterationInfo info = gen->generate(dutMem);
+
+    // Scrub residue the generation did not overwrite: tail bytes of
+    // longer earlier iterations past this codeBoundary, stray stores
+    // beyond it, and stores past the freshly reinstalled trap
+    // handler. A fresh (all-zero) memory then reproduces this
+    // iteration's image exactly, which is what lets a reproducer
+    // replay standalone (see docs/triage.md).
+    if (instrDirtyHigh > info.codeBoundary)
+        scrubRange(dutMem, info.codeBoundary, instrDirtyHigh);
+    instrDirtyHigh = info.codeBoundary;
+    static const uint64_t handler_words =
+        fuzzer::ExceptionTemplates::handlerCode().size();
+    const uint64_t handler_code_end =
+        lay.handlerBase + 4ull * handler_words;
+    if (handlerDirtyHigh > handler_code_end)
+        scrubRange(dutMem, handler_code_end, handlerDirtyHigh);
+    handlerDirtyHigh = handler_code_end;
+
     refMem = dutMem;
     result.generated = info.generatedInstrs;
 
@@ -76,6 +110,7 @@ Campaign::runIteration()
         opts.stepCapSlack;
 
     // 3. Lockstep execution with coverage collection and checking.
+    const uint64_t start_commits = checker_.commitsChecked();
     const bool resume_traps = gen->usesExceptionTemplates();
     const uint64_t fuzz_end =
         info.fuzzRegionEnd ? info.fuzzRegionEnd : info.codeBoundary;
@@ -93,6 +128,19 @@ Campaign::runIteration()
         if (dc.trapped)
             ++result.traps;
 
+        // Track stores that dirty memory outside the regions
+        // generation rewrites, for the next iteration's scrub.
+        if (dc.memWrite) {
+            const uint64_t end = dc.memAddr + dc.memSize;
+            if (dc.memAddr >= lay.instrBase &&
+                dc.memAddr < lay.instrBase + lay.instrSize) {
+                instrDirtyHigh = std::max(instrDirtyHigh, end);
+            } else if (dc.memAddr >= lay.handlerBase &&
+                       dc.memAddr < lay.handlerBase + 4096) {
+                handlerDirtyHigh = std::max(handlerDirtyHigh, end);
+            }
+        }
+
         if (opts.checkMode ==
             checker::DiffChecker::Mode::PerInstruction) {
             if (auto mm = checker_.compare(dc, rc)) {
@@ -102,6 +150,8 @@ Campaign::runIteration()
                     snapshot = checker::captureMismatchSnapshot(
                         *mm, *dutCore, *refCore, clock.seconds());
                 }
+                captureReproducer(*mm, info,
+                                  mm->instrIndex - start_commits);
                 break;
             }
         }
@@ -128,6 +178,10 @@ Campaign::runIteration()
                 snapshot = checker::captureMismatchSnapshot(
                     *mm, *dutCore, *refCore, clock.seconds());
             }
+            // End-of-iteration checking has no commit position; the
+            // executed count is the within-iteration index replay
+            // will reproduce.
+            captureReproducer(*mm, info, result.executedTotal);
         }
     }
 
@@ -171,6 +225,34 @@ size_t
 Campaign::injectSeeds(std::vector<fuzzer::Seed> seeds)
 {
     return gen->importSeeds(std::move(seeds));
+}
+
+void
+Campaign::captureReproducer(const checker::Mismatch &mm,
+                            const fuzzer::IterationInfo &info,
+                            uint64_t iteration_commit_index)
+{
+    if (repros.size() >= opts.maxReproducers)
+        return;
+    const auto env = gen->replayEnv();
+    if (!env)
+        return; // generator cannot re-materialize past iterations
+
+    triage::Reproducer r;
+    r.coreKind = opts.coreKind;
+    r.bugsRaw = opts.bugs.raw();
+    r.rv64aEnabled = opts.rv64aEnabled;
+    r.checkMode = opts.checkMode;
+    r.resumeTraps = gen->usesExceptionTemplates();
+    r.stepCapFactor = opts.stepCapFactor;
+    r.stepCapSlack = opts.stepCapSlack;
+    r.trapStormLimit = opts.trapStormLimit;
+    r.env = *env;
+    r.iteration = info;
+    r.mismatch = mm;
+    r.commitIndex = iteration_commit_index;
+    r.detectSimTimeSec = clock.seconds();
+    repros.push_back(std::move(r));
 }
 
 double

@@ -28,6 +28,7 @@
 #include "rtl/cores.hh"
 #include "rtl/driver.hh"
 #include "soc/platform.hh"
+#include "triage/reproducer.hh"
 
 namespace turbofuzz::harness
 {
@@ -58,6 +59,15 @@ struct CampaignOptions
 
     /** Iteration abort: too many traps (unresolvable situation). */
     uint32_t trapStormLimit = 400;
+
+    /**
+     * Triage: retain up to this many mismatching iterations as
+     * self-contained reproducers (stimulus + configuration +
+     * divergence), ready for standalone replay, minimization and
+     * deduplication. 0 disables capture; capture also requires the
+     * generator to support replayEnv().
+     */
+    uint32_t maxReproducers = 8;
 
     /**
      * Optional per-commit observer (DUT commits), e.g. for the
@@ -141,6 +151,17 @@ class Campaign
     }
     const soc::Snapshot &mismatchSnapshot() const { return snapshot; }
 
+    /**
+     * Reproducers captured so far (one per mismatching iteration, up
+     * to CampaignOptions::maxReproducers), in detection order. Each
+     * retains the mismatching iteration's full stimulus for
+     * deterministic standalone replay (src/triage/).
+     */
+    const std::vector<triage::Reproducer> &reproducers() const
+    {
+        return repros;
+    }
+
     fuzzer::StimulusGenerator &generator() { return *gen; }
     core::Iss &dut() { return *dutCore; }
     core::Iss &ref() { return *refCore; }
@@ -175,8 +196,25 @@ class Campaign
     uint64_t mismatchCount = 0;
     bool startupCharged = false;
 
+    /**
+     * High-water marks of bytes dirtied in the instruction segment
+     * (by longer earlier iterations or stray stores) and past the
+     * trap-handler code. Scrubbed to zero after each generation so
+     * the memory an iteration runs on is a pure function of that
+     * iteration's reproducer — the standalone-replay determinism
+     * contract (triage) depends on this.
+     */
+    uint64_t instrDirtyHigh = 0;
+    uint64_t handlerDirtyHigh = 0;
+
     std::optional<checker::Mismatch> mismatchInfo;
     soc::Snapshot snapshot;
+    std::vector<triage::Reproducer> repros;
+
+    /** Retain the mismatching iteration as a replayable reproducer. */
+    void captureReproducer(const checker::Mismatch &mm,
+                           const fuzzer::IterationInfo &info,
+                           uint64_t iteration_commit_index);
 };
 
 } // namespace turbofuzz::harness

@@ -54,6 +54,9 @@ class SnapshotReader
     /** True when every byte has been consumed. */
     bool exhausted() const { return cursor == source.size(); }
 
+    /** Bytes left to consume (for length-field validation). */
+    size_t remaining() const { return source.size() - cursor; }
+
   private:
     const std::vector<uint8_t> &source;
     size_t cursor = 0;

@@ -1,0 +1,213 @@
+#include "triage/minimizer.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "fuzzer/block_builder.hh"
+#include "isa/encoding.hh"
+
+namespace turbofuzz::triage
+{
+
+namespace
+{
+
+using fuzzer::SeedBlock;
+
+/**
+ * Deterministically re-patch the control-flow immediates of a freshly
+ * laid-out block list. Target *selection* is the only difference from
+ * the fuzzer's fix-up pass (whose encoding arms are shared via
+ * fuzzer::patchBlockTarget): removed targets fall through to the next
+ * block; surviving targets — including degenerate self-loops the
+ * generator produced — are preserved.
+ */
+void
+patchControlFlow(std::vector<SeedBlock> &blocks,
+                 const std::vector<uint64_t> &block_addrs)
+{
+    const auto nblocks = static_cast<int64_t>(blocks.size());
+    for (int64_t i = 0; i < nblocks; ++i) {
+        SeedBlock &b = blocks[i];
+        b.position = static_cast<uint32_t>(i);
+        if (!b.isControlFlow)
+            continue;
+        if (!isa::decode(b.insns[b.primeIdx]).valid)
+            continue; // a pruned operand broke decode; replay decides
+
+        int64_t target = b.targetBlock;
+        if (target < 0 || target >= nblocks)
+            target = (i + 1 < nblocks) ? i + 1 : i;
+        fuzzer::patchBlockTarget(b, i, target, block_addrs);
+    }
+}
+
+/** Subset @p base's blocks to @p keep (sorted original indices),
+ *  remapping branch targets onto surviving blocks. */
+std::vector<SeedBlock>
+subsetBlocks(const std::vector<SeedBlock> &original,
+             const std::vector<uint32_t> &keep)
+{
+    std::vector<int32_t> remap(original.size(), -1);
+    for (size_t n = 0; n < keep.size(); ++n)
+        remap[keep[n]] = static_cast<int32_t>(n);
+
+    std::vector<SeedBlock> blocks;
+    blocks.reserve(keep.size());
+    for (uint32_t idx : keep) {
+        SeedBlock b = original[idx];
+        if (b.isControlFlow && b.targetBlock >= 0 &&
+            b.targetBlock <
+                static_cast<int32_t>(original.size())) {
+            // Prefer the surviving image of the target; if it was
+            // removed, the nearest surviving block at or after it.
+            int32_t t = remap[b.targetBlock];
+            for (size_t j = b.targetBlock;
+                 t < 0 && j < original.size(); ++j)
+                t = remap[j];
+            b.targetBlock = t; // -1 falls through in the re-patch
+        }
+        blocks.push_back(std::move(b));
+    }
+    return blocks;
+}
+
+} // namespace
+
+Reproducer
+Minimizer::rebuild(const Reproducer &base,
+                   std::vector<SeedBlock> blocks)
+{
+    TF_ASSERT(!blocks.empty(), "cannot rebuild an empty reproducer");
+    Reproducer r = base;
+
+    std::vector<uint64_t> block_addrs;
+    block_addrs.reserve(blocks.size());
+    uint64_t addr = r.iteration.firstBlockPc;
+    uint32_t instrs = 0;
+    for (const SeedBlock &b : blocks) {
+        block_addrs.push_back(addr);
+        addr += 4ull * b.instrCount();
+        instrs += b.instrCount();
+    }
+    patchControlFlow(blocks, block_addrs);
+
+    r.iteration.blocks = std::move(blocks);
+    r.iteration.generatedInstrs = instrs;
+    r.iteration.codeBoundary = addr;
+    if (r.iteration.fuzzRegionEnd)
+        r.iteration.fuzzRegionEnd = addr;
+    return r;
+}
+
+MinimizeResult
+Minimizer::minimize(const Reproducer &r) const
+{
+    MinimizeResult result;
+    result.minimized = r;
+    result.originalInstrs = r.iteration.generatedInstrs;
+    result.originalBlocks =
+        static_cast<uint32_t>(r.iteration.blocks.size());
+    result.minimizedInstrs = result.originalInstrs;
+    result.minimizedBlocks = result.originalBlocks;
+
+    // 0. The original must reproduce before reduction means anything.
+    ++result.replays;
+    if (!ReplayHarness::confirms(r, ReplayHarness::replay(r)))
+        return result;
+    result.confirmed = true;
+
+    const BugSignature target = canonicalize(r);
+    auto budgetLeft = [&] { return result.replays < opts.maxReplays; };
+
+    // A candidate survives when its replay still shows the same bug.
+    auto stillFails = [&](const Reproducer &cand) {
+        ++result.replays;
+        const ReplayResult out = ReplayHarness::replay(cand);
+        return out.mismatched &&
+               canonicalize(out.mismatch, &cand) == target;
+    };
+
+    // 1. Block-level ddmin.
+    std::vector<uint32_t> keep(r.iteration.blocks.size());
+    for (uint32_t i = 0; i < keep.size(); ++i)
+        keep[i] = i;
+
+    size_t granularity = 2;
+    while (keep.size() >= 2 && budgetLeft()) {
+        const size_t chunk =
+            std::max<size_t>(1, keep.size() / granularity);
+        bool reduced = false;
+        for (size_t start = 0;
+             start < keep.size() && budgetLeft(); start += chunk) {
+            const size_t end = std::min(start + chunk, keep.size());
+            if (end - start == keep.size())
+                continue; // never test the empty stimulus
+            std::vector<uint32_t> cand;
+            cand.reserve(keep.size() - (end - start));
+            cand.insert(cand.end(), keep.begin(),
+                        keep.begin() + start);
+            cand.insert(cand.end(), keep.begin() + end, keep.end());
+            Reproducer cr = rebuild(
+                r, subsetBlocks(r.iteration.blocks, cand));
+            if (stillFails(cr)) {
+                keep = std::move(cand);
+                reduced = true;
+                break; // chunk sizes changed; restart the sweep
+            }
+        }
+        if (!reduced) {
+            if (granularity >= keep.size())
+                break; // minimal at block granularity
+            granularity = std::min(keep.size(), granularity * 2);
+        }
+    }
+    Reproducer best = rebuild(r, subsetBlocks(r.iteration.blocks,
+                                              keep));
+
+    // 2. Affiliated-instruction pruning inside surviving blocks.
+    if (opts.pruneAffiliated) {
+        for (size_t bi = 0;
+             bi < best.iteration.blocks.size() && budgetLeft();
+             ++bi) {
+            for (size_t j = best.iteration.blocks[bi].insns.size();
+                 j-- > 0 && budgetLeft();) {
+                const SeedBlock &blk = best.iteration.blocks[bi];
+                if (j == blk.primeIdx || blk.insns.size() <= 1)
+                    continue;
+                std::vector<SeedBlock> cand = best.iteration.blocks;
+                cand[bi].insns.erase(cand[bi].insns.begin() +
+                                     static_cast<long>(j));
+                if (j < cand[bi].primeIdx)
+                    --cand[bi].primeIdx;
+                Reproducer cr = rebuild(best, std::move(cand));
+                if (stillFails(cr))
+                    best = std::move(cr);
+            }
+        }
+    }
+
+    // 3. Finalize: stamp the reduced stimulus with its own replay
+    //    outcome so the minimized record self-confirms.
+    const ReplayResult out = ReplayHarness::replay(best);
+    ++result.replays;
+    if (!out.mismatched ||
+        canonicalize(out.mismatch, &best) != target) {
+        // Re-layout was not behavior-preserving for this stimulus
+        // (possible only when ddmin accepted nothing, so `best` was
+        // never gated by stillFails): ship the unreduced original
+        // rather than a reproducer that no longer fires.
+        return result;
+    }
+    best.mismatch = out.mismatch;
+    best.commitIndex = out.commitIndex;
+
+    result.minimized = std::move(best);
+    result.minimizedInstrs =
+        result.minimized.iteration.generatedInstrs;
+    result.minimizedBlocks = static_cast<uint32_t>(
+        result.minimized.iteration.blocks.size());
+    return result;
+}
+
+} // namespace turbofuzz::triage

@@ -1,0 +1,117 @@
+#include "triage/replay.hh"
+
+#include "common/logging.hh"
+#include "core/iss.hh"
+#include "soc/memory.hh"
+
+namespace turbofuzz::triage
+{
+
+ReplayResult
+ReplayHarness::replay(const Reproducer &r)
+{
+    const fuzzer::MemoryLayout &lay = r.env.layout;
+
+    // 1. Rebuild the iteration's memory image bit-exactly.
+    soc::Memory dut_mem;
+    fuzzer::TurboFuzzer::materializeIteration(r.env, r.iteration,
+                                              dut_mem);
+    soc::Memory ref_mem = dut_mem;
+
+    // 2. Fresh DUT (with the campaign's bug set) and golden REF.
+    core::Iss::Options dut_opts;
+    dut_opts.bugs = r.bugs();
+    dut_opts.rv64aEnabled = r.rv64aEnabled;
+    dut_opts.resetPc = lay.instrBase;
+    core::Iss dut(&dut_mem, dut_opts);
+
+    core::Iss::Options ref_opts;
+    ref_opts.rv64aEnabled = r.rv64aEnabled;
+    ref_opts.resetPc = lay.instrBase;
+    core::Iss ref(&ref_mem, ref_opts);
+
+    for (core::Iss *c : {&dut, &ref}) {
+        c->addAccessRange(lay.instrBase, lay.instrSize);
+        c->addAccessRange(lay.dataBase, lay.dataSize);
+        c->addAccessRange(lay.handlerBase, 4096);
+    }
+    dut.reset(r.iteration.entryPc);
+    ref.reset(r.iteration.entryPc);
+
+    // 3. The harness's lockstep loop with the campaign's abort
+    //    conditions, against a zero-based checker.
+    checker::DiffChecker checker(r.checkMode);
+    const uint64_t step_cap =
+        static_cast<uint64_t>(
+            r.stepCapFactor *
+            static_cast<double>(r.iteration.generatedInstrs)) +
+        r.stepCapSlack;
+
+    ReplayResult result;
+    while (true) {
+        const core::CommitInfo dc = dut.step();
+        const core::CommitInfo rc = ref.step();
+        ++result.executed;
+        if (dc.trapped)
+            ++result.traps;
+
+        if (r.checkMode ==
+            checker::DiffChecker::Mode::PerInstruction) {
+            if (auto mm = checker.compare(dc, rc)) {
+                result.mismatched = true;
+                result.mismatch = *mm;
+                result.commitIndex = mm->instrIndex;
+                return result;
+            }
+        }
+
+        const uint64_t pc = dut.state().pc;
+        if (pc >= r.iteration.codeBoundary && pc < lay.handlerBase)
+            break; // clean end of iteration
+        if (dc.trapped && !r.resumeTraps)
+            break; // baseline: first trap ends the iteration
+        if (result.traps > r.trapStormLimit)
+            break; // unresolvable exception storm
+        if (result.executed >= step_cap)
+            break; // runaway loop protection
+    }
+
+    if (r.checkMode == checker::DiffChecker::Mode::EndOfIteration) {
+        if (auto mm = checker.compareFinalState(dut.state(),
+                                                ref.state())) {
+            result.mismatched = true;
+            result.mismatch = *mm;
+            result.commitIndex = result.executed;
+        }
+    }
+    return result;
+}
+
+bool
+ReplayHarness::confirms(const Reproducer &r, const ReplayResult &out)
+{
+    return out.mismatched && out.mismatch.kind == r.mismatch.kind &&
+           out.mismatch.pc == r.mismatch.pc &&
+           out.mismatch.insn == r.mismatch.insn &&
+           out.mismatch.dutValue == r.mismatch.dutValue &&
+           out.mismatch.refValue == r.mismatch.refValue &&
+           out.commitIndex == r.commitIndex;
+}
+
+bool
+ReplayHarness::verifyDeterministic(const Reproducer &r)
+{
+    const ReplayResult a = replay(r);
+    const ReplayResult b = replay(r);
+    const bool identical =
+        a.mismatched == b.mismatched && a.executed == b.executed &&
+        a.traps == b.traps && a.commitIndex == b.commitIndex &&
+        a.mismatch.kind == b.mismatch.kind &&
+        a.mismatch.pc == b.mismatch.pc &&
+        a.mismatch.insn == b.mismatch.insn &&
+        a.mismatch.dutValue == b.mismatch.dutValue &&
+        a.mismatch.refValue == b.mismatch.refValue;
+    return identical && confirms(r, a);
+}
+
+} // namespace turbofuzz::triage

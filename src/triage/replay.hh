@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Deterministic standalone replay of captured reproducers.
+ *
+ * Replay rebuilds the mismatching iteration's memory image through
+ * the exact write path generation used (TurboFuzzer::
+ * materializeIteration), instantiates a fresh DUT/REF pair with the
+ * campaign's configuration, and re-runs the harness's lockstep
+ * execution loop against a fresh differential checker. Because every
+ * input is a pure function of the reproducer's fields, two replays of
+ * the same reproducer are bit-identical — the property the minimizer
+ * and the acceptance tests rely on.
+ *
+ * The replay loop deliberately omits the campaign's coverage
+ * instrumentation, RTL event driver and platform timing model: none
+ * of them feed back into architectural execution, so dropping them
+ * changes nothing observable while making replay (and therefore
+ * delta debugging) an order of magnitude cheaper than a campaign
+ * iteration.
+ */
+
+#ifndef TURBOFUZZ_TRIAGE_REPLAY_HH
+#define TURBOFUZZ_TRIAGE_REPLAY_HH
+
+#include "triage/reproducer.hh"
+
+namespace turbofuzz::triage
+{
+
+/** Outcome of one standalone replay. */
+struct ReplayResult
+{
+    bool mismatched = false;
+    checker::Mismatch mismatch{}; ///< valid when mismatched
+    uint64_t commitIndex = 0;     ///< commits into the iteration
+    uint64_t executed = 0;
+    uint64_t traps = 0;
+};
+
+class ReplayHarness
+{
+  public:
+    /** Re-execute @p r standalone. Pure: same input, same output. */
+    static ReplayResult replay(const Reproducer &r);
+
+    /**
+     * Whether @p out reproduces exactly the divergence @p r recorded:
+     * same kind, same PC, same instruction word, same values, at the
+     * same within-iteration commit index.
+     */
+    static bool confirms(const Reproducer &r, const ReplayResult &out);
+
+    /**
+     * Replay twice and require both runs to be bit-identical AND to
+     * confirm the recorded mismatch (the determinism guarantee).
+     */
+    static bool verifyDeterministic(const Reproducer &r);
+};
+
+} // namespace turbofuzz::triage
+
+#endif // TURBOFUZZ_TRIAGE_REPLAY_HH

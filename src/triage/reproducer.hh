@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Self-contained bug reproducer (triage pipeline input).
+ *
+ * A Reproducer is captured by the campaign harness at the moment the
+ * differential checker reports a mismatch. It packages everything a
+ * standalone replay needs — the DUT configuration, the generation
+ * environment, the mismatching iteration's (fixed-up) instruction
+ * blocks and the observed divergence — into one serializable record.
+ * No generator, corpus or campaign state is referenced: replaying a
+ * reproducer on another host, days later, re-executes the identical
+ * stimulus and must re-derive the identical mismatch (see
+ * docs/triage.md for the determinism argument).
+ */
+
+#ifndef TURBOFUZZ_TRIAGE_REPRODUCER_HH
+#define TURBOFUZZ_TRIAGE_REPRODUCER_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "checker/diff_checker.hh"
+#include "core/bugs.hh"
+#include "fuzzer/turbofuzzer.hh"
+
+namespace turbofuzz::triage
+{
+
+/** One captured mismatch with its complete replay context. */
+struct Reproducer
+{
+    // --- DUT / harness configuration --------------------------------
+    core::CoreKind coreKind = core::CoreKind::Rocket;
+    uint32_t bugsRaw = 0; ///< core::BugSet::raw() of the DUT
+    bool rv64aEnabled = true;
+    checker::DiffChecker::Mode checkMode =
+        checker::DiffChecker::Mode::PerInstruction;
+    bool resumeTraps = true; ///< generator installed resume templates
+    double stepCapFactor = 1.0;
+    uint64_t stepCapSlack = 128;
+    uint32_t trapStormLimit = 400;
+
+    // --- generation environment + stimulus --------------------------
+    fuzzer::ReplayEnv env;
+    fuzzer::IterationInfo iteration;
+
+    // --- observed divergence ----------------------------------------
+    checker::Mismatch mismatch{};
+
+    /** Commit index of the mismatch *within* the iteration (the
+     *  campaign checker counts across iterations; replay counts from
+     *  zero, so this is the invariant both agree on). */
+    uint64_t commitIndex = 0;
+
+    /** Shard-local simulated time of the first detection. */
+    double detectSimTimeSec = 0.0;
+
+    /** Originating fleet shard (0 for plain campaigns). */
+    unsigned shard = 0;
+
+    core::BugSet bugs() const { return core::BugSet::fromRaw(bugsRaw); }
+
+    uint32_t totalInstrs() const { return iteration.generatedInstrs; }
+
+    /** Serialize to a flat byte image ("TFRP" format). */
+    std::vector<uint8_t> serialize() const;
+
+    /**
+     * Rebuild from serialize() output.
+     * @throws fuzzer::SeedFormatError on corrupt/truncated input.
+     */
+    static Reproducer deserialize(const std::vector<uint8_t> &bytes);
+
+    /** Non-throwing variant; nullopt + @p error on malformed input. */
+    static std::optional<Reproducer>
+    tryDeserialize(const std::vector<uint8_t> &bytes,
+                   std::string *error = nullptr);
+};
+
+} // namespace turbofuzz::triage
+
+#endif // TURBOFUZZ_TRIAGE_REPRODUCER_HH

@@ -1,0 +1,247 @@
+#include "triage/signature.hh"
+
+#include <cstdio>
+
+#include "common/logging.hh"
+#include "isa/disasm.hh"
+#include "isa/encoding.hh"
+
+namespace turbofuzz::triage
+{
+
+namespace
+{
+
+using checker::MismatchKind;
+
+/** Strip a trailing FP precision suffix (".s" / ".d"). */
+std::string
+stripPrecision(std::string_view mnemonic)
+{
+    std::string m(mnemonic);
+    if (m.size() > 2) {
+        const std::string_view tail(m.data() + m.size() - 2, 2);
+        if (tail == ".s" || tail == ".d")
+            m.resize(m.size() - 2);
+    }
+    return m;
+}
+
+/** Coarse extension class; F and D fold into one FP class. */
+std::string
+extClass(const isa::InstrDesc &desc)
+{
+    if (desc.ext == isa::Ext::F || desc.ext == isa::Ext::D)
+        return "fp";
+    return std::string(isa::extName(desc.ext));
+}
+
+/** fclass-style category of an FP value's bit pattern. */
+std::string_view
+fpValueClass(uint64_t bits, bool is_double)
+{
+    uint64_t exp, frac;
+    if (is_double) {
+        exp = (bits >> 52) & 0x7FF;
+        frac = bits & ((uint64_t{1} << 52) - 1);
+        if (exp == 0x7FF)
+            return frac ? "nan" : "inf";
+        if (exp == 0)
+            return frac ? "sub" : "zero";
+        return "norm";
+    }
+    const uint32_t b = static_cast<uint32_t>(bits);
+    exp = (b >> 23) & 0xFF;
+    frac = b & ((1u << 23) - 1);
+    if (exp == 0xFF)
+        return frac ? "nan" : "inf";
+    if (exp == 0)
+        return frac ? "sub" : "zero";
+    return "norm";
+}
+
+std::string
+hexDetail(const char *prefix, uint64_t value)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%s:0x%llx", prefix,
+                  static_cast<unsigned long long>(value));
+    return buf;
+}
+
+/** Masked value-delta class of an FRD divergence. */
+std::string
+frdDeltaClass(uint64_t dut, uint64_t ref, bool is_double)
+{
+    const uint64_t sign_bit = is_double ? (uint64_t{1} << 63)
+                                        : (uint64_t{1} << 31);
+    const uint64_t mask =
+        is_double ? ~uint64_t{0} : 0xFFFFFFFFull;
+    if (((dut ^ ref) & mask) == sign_bit)
+        return "sign";
+    const std::string_view dc = fpValueClass(dut, is_double);
+    const std::string_view rc = fpValueClass(ref, is_double);
+    if (dc != rc)
+        return "cls:" + std::string(dc) + "-" + std::string(rc);
+    return "val";
+}
+
+std::string
+trapCausePair(uint64_t dut, uint64_t ref)
+{
+    auto one = [](uint64_t cause) -> std::string {
+        if (cause == ~uint64_t{0})
+            return "-";
+        char buf[24];
+        std::snprintf(buf, sizeof(buf), "%llu",
+                      static_cast<unsigned long long>(cause));
+        return buf;
+    };
+    return "cause:" + one(dut) + "," + one(ref);
+}
+
+} // namespace
+
+std::string_view
+pcRegionName(PcRegion region)
+{
+    switch (region) {
+      case PcRegion::Preamble: return "preamble";
+      case PcRegion::FuzzRegion: return "fuzz";
+      case PcRegion::Handler: return "handler";
+      case PcRegion::Outside: return "outside";
+      default: panic("bad PcRegion");
+    }
+}
+
+std::string
+opcodeClass(uint32_t insn)
+{
+    const isa::Decoded dec = isa::decode(insn);
+    if (!dec.valid)
+        return "invalid";
+    const isa::InstrDesc &d = *dec.desc;
+
+    if (d.has(isa::FlagBranch))
+        return "branch";
+    if (d.has(isa::FlagJal) || d.has(isa::FlagJalr))
+        return "jump";
+    if (d.has(isa::FlagAtomic))
+        return d.has(isa::FlagWordOp) ? "amo.w" : "amo.d";
+    if (d.has(isa::FlagLoad))
+        return "load";
+    if (d.has(isa::FlagStore))
+        return "store";
+    if (d.has(isa::FlagFp))
+        return stripPrecision(d.mnemonic);
+    if (d.has(isa::FlagCsr))
+        return "csr";
+    if (d.has(isa::FlagMulDiv))
+        return "muldiv";
+    if (d.has(isa::FlagSystem))
+        return std::string(d.mnemonic);
+    return "alu";
+}
+
+BugSignature
+canonicalize(const checker::Mismatch &mm, const Reproducer *repro)
+{
+    BugSignature sig;
+    sig.kind = mm.kind;
+    sig.opClass = opcodeClass(mm.insn);
+
+    const isa::Decoded dec = isa::decode(mm.insn);
+    switch (mm.kind) {
+      case MismatchKind::TrapBehaviour:
+        // Decode-/gating-stage bugs fire across every mnemonic of
+        // their class: mask the opcode down to its extension
+        // category and key on the (dut, ref) cause pair instead.
+        if (dec.valid)
+            sig.opClass = dec.desc->has(isa::FlagAtomic)
+                              ? sig.opClass
+                              : extClass(*dec.desc);
+        sig.detail = trapCausePair(mm.dutValue, mm.refValue);
+        break;
+      case MismatchKind::Fflags:
+        sig.detail = hexDetail("flags", mm.dutValue ^ mm.refValue);
+        break;
+      case MismatchKind::FrdValue:
+        if (dec.valid) {
+            sig.detail = frdDeltaClass(
+                mm.dutValue, mm.refValue,
+                dec.desc->has(isa::FlagDouble));
+        } else {
+            sig.detail = "val";
+        }
+        // A same-class value error (wrong rounding, dropped guard
+        // bits) comes from shared FPU datapath state and fires
+        // across every rm-sensitive mnemonic — an op-specific class
+        // would shatter one bug (e.g. B1) into a bucket per op.
+        if (sig.detail == "val")
+            sig.opClass = "fp";
+        break;
+      case MismatchKind::RdValue:
+      case MismatchKind::CsrEffect:
+        // CSR bugs are identified by the register they touch, not by
+        // which of the six Zicsr mnemonics reached it.
+        if (dec.valid && dec.desc->has(isa::FlagCsr))
+            sig.detail = hexDetail("csr", dec.ops.csr);
+        // Integer-destination FP ops (fcvt.w/l, fmv.x, fcmp): value
+        // errors are datapath-wide for the same reason as above.
+        else if (dec.valid && dec.desc->has(isa::FlagFp) &&
+                 mm.kind == MismatchKind::RdValue)
+            sig.opClass = "fp";
+        break;
+      default:
+        break; // NextPc / Minstret / MemEffect: kind + class suffice
+    }
+
+    if (repro) {
+        const fuzzer::MemoryLayout &lay = repro->env.layout;
+        const uint64_t pc = mm.pc;
+        if (pc >= lay.handlerBase && pc < lay.handlerBase + 4096)
+            sig.region = PcRegion::Handler;
+        else if (pc >= repro->iteration.firstBlockPc &&
+                 pc < repro->iteration.codeBoundary)
+            sig.region = PcRegion::FuzzRegion;
+        else if (pc >= repro->iteration.entryPc &&
+                 pc < repro->iteration.firstBlockPc)
+            sig.region = PcRegion::Preamble;
+        else
+            sig.region = PcRegion::Outside;
+    }
+    return sig;
+}
+
+std::string
+BugSignature::key() const
+{
+    std::string k(checker::mismatchKindName(kind));
+    k += "/";
+    k += opClass;
+    if (!detail.empty()) {
+        k += "/";
+        k += detail;
+    }
+    k += "@";
+    k += pcRegionName(region);
+    return k;
+}
+
+std::string
+BugSignature::describe() const
+{
+    std::string s(checker::mismatchKindName(kind));
+    s += " divergence on ";
+    s += opClass;
+    if (!detail.empty()) {
+        s += " (";
+        s += detail;
+        s += ")";
+    }
+    s += " in ";
+    s += pcRegionName(region);
+    return s;
+}
+
+} // namespace turbofuzz::triage

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Bug signatures: canonicalizing a mismatch for deduplication.
+ *
+ * A raw mismatch is noisy — the faulting PC, the exact operand values
+ * and even the mnemonic vary between two stimuli that trip the same
+ * RTL bug. The signature masks that noise while keeping the fields
+ * that separate *different* bugs:
+ *
+ *  - the MismatchKind (what architectural channel diverged),
+ *  - a canonical opcode class of the faulting instruction (derived
+ *    from the decoder; precision suffixes are folded for FP ops so
+ *    fdiv.s and fdiv.d triggers of the same divider bug coalesce; for
+ *    trap-behaviour divergences the extension category is used
+ *    because a decode-stage bug fires across every mnemonic of its
+ *    class),
+ *  - kind-specific masked context: the fflags delta, the FP
+ *    value-class transition (sign flip / class change / same-class
+ *    value error), the CSR address for Zicsr ops, or the (dut, ref)
+ *    trap-cause pair,
+ *  - the masked PC region (preamble / fuzzing region / trap handler)
+ *    instead of the raw PC.
+ *
+ * Known limitation (shared with the paper's own catalog, which lists
+ * C6 as a re-detection of C3): twin bugs that differ only in FP
+ * precision (C2 vs C4) fold into one bucket.
+ */
+
+#ifndef TURBOFUZZ_TRIAGE_SIGNATURE_HH
+#define TURBOFUZZ_TRIAGE_SIGNATURE_HH
+
+#include <string>
+
+#include "checker/diff_checker.hh"
+#include "triage/reproducer.hh"
+
+namespace turbofuzz::triage
+{
+
+/** Where in the iteration layout the mismatch PC fell. */
+enum class PcRegion : uint8_t
+{
+    Preamble,
+    FuzzRegion,
+    Handler,
+    Outside,
+};
+
+std::string_view pcRegionName(PcRegion region);
+
+/** Canonicalized identity of a divergence. */
+struct BugSignature
+{
+    checker::MismatchKind kind =
+        checker::MismatchKind::NextPc;
+    std::string opClass; ///< canonical opcode class
+    std::string detail;  ///< kind-specific masked context
+    PcRegion region = PcRegion::Outside;
+
+    bool operator==(const BugSignature &o) const = default;
+
+    /** Stable bucket key, e.g. "fflags/fdiv/flags:0x8@fuzz". */
+    std::string key() const;
+
+    /** Human-readable one-liner for reports. */
+    std::string describe() const;
+};
+
+/**
+ * Canonical opcode class of an instruction word: "branch", "jump",
+ * "load", "store", "amo.w", "amo.d", "muldiv", "csr", "alu",
+ * "ecall"/"ebreak"/"fence", FP base mnemonics with the precision
+ * suffix stripped ("fdiv", "fmul", "fmadd", ...), or "invalid".
+ */
+std::string opcodeClass(uint32_t insn);
+
+/** Canonicalize @p mm; @p repro (optional) supplies the layout used
+ *  for PC-region masking. */
+BugSignature canonicalize(const checker::Mismatch &mm,
+                          const Reproducer *repro = nullptr);
+
+/** Convenience: canonicalize a reproducer's recorded mismatch. */
+inline BugSignature
+canonicalize(const Reproducer &r)
+{
+    return canonicalize(r.mismatch, &r);
+}
+
+} // namespace turbofuzz::triage
+
+#endif // TURBOFUZZ_TRIAGE_SIGNATURE_HH

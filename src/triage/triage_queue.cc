@@ -1,0 +1,106 @@
+#include "triage/triage_queue.hh"
+
+#include <cstdio>
+
+#include "common/stats.hh"
+
+namespace turbofuzz::triage
+{
+
+size_t
+TriageQueue::push(Reproducer r)
+{
+    ++pushed;
+    const BugSignature sig = canonicalize(r);
+    const std::string key = sig.key();
+
+    auto it = byKey.find(key);
+    if (it == byKey.end()) {
+        BugBucket bucket;
+        bucket.signature = sig;
+        bucket.hits = 1;
+        bucket.firstDetectSimTime = r.detectSimTimeSec;
+        bucket.firstShard = r.shard;
+        bucket.exemplar = std::move(r);
+        list.push_back(std::move(bucket));
+        byKey.emplace(key, list.size() - 1);
+        return list.size() - 1;
+    }
+
+    BugBucket &bucket = list[it->second];
+    ++bucket.hits;
+    if (r.detectSimTimeSec < bucket.firstDetectSimTime) {
+        bucket.firstDetectSimTime = r.detectSimTimeSec;
+        bucket.firstShard = r.shard;
+        bucket.exemplar = std::move(r);
+        bucket.minimized = false; // exemplar changed; redo on demand
+    }
+    return it->second;
+}
+
+void
+TriageQueue::minimizeAll()
+{
+    const Minimizer minimizer(minOpts);
+    for (BugBucket &bucket : list) {
+        if (bucket.minimized)
+            continue;
+        bucket.reduction = minimizer.minimize(bucket.exemplar);
+        bucket.minimized = true;
+    }
+}
+
+std::vector<TriageRow>
+TriageQueue::table() const
+{
+    std::vector<TriageRow> rows;
+    rows.reserve(list.size());
+    for (const BugBucket &bucket : list) {
+        TriageRow row;
+        row.signature = bucket.signature.key();
+        row.hits = bucket.hits;
+        row.firstDetectSimTime = bucket.firstDetectSimTime;
+        row.firstShard = bucket.firstShard;
+        if (bucket.minimized) {
+            row.originalInstrs = bucket.reduction.originalInstrs;
+            row.minimizedInstrs = bucket.reduction.minimizedInstrs;
+            row.replays = bucket.reduction.replays;
+            row.confirmed = bucket.reduction.confirmed;
+        } else {
+            row.originalInstrs =
+                bucket.exemplar.iteration.generatedInstrs;
+            row.minimizedInstrs = row.originalInstrs;
+        }
+        rows.push_back(std::move(row));
+    }
+    return rows;
+}
+
+void
+printTriageTable(const std::vector<TriageRow> &rows)
+{
+    if (rows.empty()) {
+        std::printf("  (no bugs triaged)\n");
+        return;
+    }
+    TablePrinter table({"#", "signature", "hits", "first det (s)",
+                        "shard", "instrs", "minimized", "replays"});
+    for (size_t i = 0; i < rows.size(); ++i) {
+        const TriageRow &r = rows[i];
+        table.addRow(
+            {TablePrinter::integer(i), r.signature,
+             TablePrinter::integer(r.hits),
+             TablePrinter::num(r.firstDetectSimTime, 2),
+             TablePrinter::integer(r.firstShard),
+             TablePrinter::integer(r.originalInstrs),
+             // Flag only attempted-but-failed confirmations;
+             // replays == 0 means minimization was disabled.
+             TablePrinter::integer(r.minimizedInstrs) +
+                 (r.replays > 0 && !r.confirmed ? " (unconfirmed)"
+                                                : ""),
+             TablePrinter::integer(r.replays)});
+    }
+    table.print();
+}
+
+} // namespace turbofuzz::triage

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * The triage queue: signature-based deduplication of reproducers.
+ *
+ * Campaigns and fleet shards push every captured reproducer here; the
+ * queue canonicalizes each mismatch into a BugSignature and groups
+ * identical signatures into buckets. A bucket keeps the
+ * earliest-detected reproducer as its exemplar plus per-bucket
+ * statistics (hit count, first-detection latency, first shard) — the
+ * per-bug deliverable TheHuzz/ProcessorFuzz-style evaluations report.
+ * minimizeAll() then delta-debugs each exemplar into a minimal
+ * reproducer.
+ *
+ * Push order must be deterministic for bucket numbering to be
+ * deterministic; the fleet orchestrator guarantees that by harvesting
+ * in fixed shard order at its epoch barriers.
+ */
+
+#ifndef TURBOFUZZ_TRIAGE_TRIAGE_QUEUE_HH
+#define TURBOFUZZ_TRIAGE_TRIAGE_QUEUE_HH
+
+#include <unordered_map>
+
+#include "triage/minimizer.hh"
+#include "triage/signature.hh"
+
+namespace turbofuzz::triage
+{
+
+/** One deduplicated bug: a signature and its supporting evidence. */
+struct BugBucket
+{
+    BugSignature signature;
+    uint64_t hits = 0;
+
+    /** Earliest shard-local detection time across all hits. */
+    double firstDetectSimTime = 0.0;
+    unsigned firstShard = 0;
+
+    /** The earliest-detected reproducer for this signature. */
+    Reproducer exemplar;
+
+    /** Set by minimizeAll(). */
+    bool minimized = false;
+    MinimizeResult reduction;
+};
+
+/** One row of the per-bug report table. */
+struct TriageRow
+{
+    std::string signature;
+    uint64_t hits = 0;
+    double firstDetectSimTime = 0.0;
+    unsigned firstShard = 0;
+    uint32_t originalInstrs = 0;
+    uint32_t minimizedInstrs = 0;
+    uint32_t replays = 0;
+    bool confirmed = false; ///< exemplar replay confirmed
+};
+
+class TriageQueue
+{
+  public:
+    explicit TriageQueue(MinimizeOptions minimize_options = {})
+        : minOpts(minimize_options)
+    {}
+
+    /**
+     * Bucket @p r by its canonical signature.
+     * @return index of the (existing or new) bucket.
+     */
+    size_t push(Reproducer r);
+
+    /** Delta-debug every bucket's exemplar (bounded per bucket by
+     *  the queue's MinimizeOptions). Idempotent. */
+    void minimizeAll();
+
+    const std::vector<BugBucket> &buckets() const { return list; }
+    size_t bucketCount() const { return list.size(); }
+    uint64_t reproducersSeen() const { return pushed; }
+
+    /** Per-bug rows, in first-detection (push) order. */
+    std::vector<TriageRow> table() const;
+
+  private:
+    MinimizeOptions minOpts;
+    std::vector<BugBucket> list;
+    std::unordered_map<std::string, size_t> byKey;
+    uint64_t pushed = 0;
+};
+
+/** Print a per-bug table (fleet summary + bench output). */
+void printTriageTable(const std::vector<TriageRow> &rows);
+
+} // namespace turbofuzz::triage
+
+#endif // TURBOFUZZ_TRIAGE_TRIAGE_QUEUE_HH

@@ -1,0 +1,55 @@
+/** @file Bench JSON emission tests (string escaping correctness). */
+
+#include <gtest/gtest.h>
+
+#include "bench_util.hh"
+
+namespace turbofuzz::bench
+{
+namespace
+{
+
+TEST(JsonResult, EscapesQuotesAndBackslashes)
+{
+    EXPECT_EQ(JsonResult::escape("plain"), "plain");
+    EXPECT_EQ(JsonResult::escape("say \"hi\""), "say \\\"hi\\\"");
+    EXPECT_EQ(JsonResult::escape("a\\b"), "a\\\\b");
+    // The regression that motivated this: a lone backslash must not
+    // produce a dangling escape.
+    EXPECT_EQ(JsonResult::escape("\\"), "\\\\");
+}
+
+TEST(JsonResult, EscapesControlCharacters)
+{
+    EXPECT_EQ(JsonResult::escape("a\nb"), "a\\nb");
+    EXPECT_EQ(JsonResult::escape("a\tb"), "a\\tb");
+    EXPECT_EQ(JsonResult::escape("a\rb"), "a\\rb");
+    EXPECT_EQ(JsonResult::escape("a\bb"), "a\\bb");
+    EXPECT_EQ(JsonResult::escape("a\fb"), "a\\fb");
+    // Other C0 controls become \u00XX instead of being dropped.
+    EXPECT_EQ(JsonResult::escape(std::string(1, '\x01')), "\\u0001");
+    EXPECT_EQ(JsonResult::escape(std::string(1, '\x1f')), "\\u001f");
+}
+
+TEST(JsonResult, PassesHighBytesThrough)
+{
+    // UTF-8 sequences (e.g. in disassembly or bug names) are legal
+    // JSON as-is.
+    const std::string utf8 = "caf\xc3\xa9";
+    EXPECT_EQ(JsonResult::escape(utf8), utf8);
+}
+
+TEST(JsonResult, DocumentContainsEscapedStrings)
+{
+    JsonResult json("escape_test");
+    json.meta("name", std::string("line1\nline2 \"quoted\" a\\b"));
+    json.metric("value", 1.5);
+    const std::string doc = json.str();
+    EXPECT_NE(doc.find("line1\\nline2 \\\"quoted\\\" a\\\\b"),
+              std::string::npos);
+    // No raw newline inside the emitted string literal.
+    EXPECT_EQ(doc.find("line1\nline2"), std::string::npos);
+}
+
+} // namespace
+} // namespace turbofuzz::bench

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "checker/diff_checker.hh"
 #include "isa/encoding.hh"
 
@@ -88,6 +90,54 @@ TEST(DiffChecker, DetectsMinstretDivergence)
     const auto mm = chk.compare(dut, ref);
     ASSERT_TRUE(mm.has_value());
     EXPECT_EQ(mm->kind, MismatchKind::Minstret);
+}
+
+TEST(DiffChecker, KindNamesCoverAllEightKinds)
+{
+    const std::pair<MismatchKind, std::string_view> expected[] = {
+        {MismatchKind::NextPc, "next-pc"},
+        {MismatchKind::TrapBehaviour, "trap-behaviour"},
+        {MismatchKind::RdValue, "rd-value"},
+        {MismatchKind::FrdValue, "frd-value"},
+        {MismatchKind::Fflags, "fflags"},
+        {MismatchKind::CsrEffect, "csr-effect"},
+        {MismatchKind::Minstret, "minstret"},
+        {MismatchKind::MemEffect, "mem-effect"},
+    };
+    // The table is exhaustive: every kind has a distinct name.
+    std::set<std::string_view> seen;
+    for (const auto &[kind, name] : expected) {
+        EXPECT_EQ(mismatchKindName(kind), name);
+        seen.insert(mismatchKindName(kind));
+    }
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(DiffChecker, DescribeCoversAllEightKinds)
+{
+    for (const MismatchKind kind : {
+             MismatchKind::NextPc, MismatchKind::TrapBehaviour,
+             MismatchKind::RdValue, MismatchKind::FrdValue,
+             MismatchKind::Fflags, MismatchKind::CsrEffect,
+             MismatchKind::Minstret, MismatchKind::MemEffect}) {
+        Mismatch mm;
+        mm.kind = kind;
+        mm.pc = 0x10000ABC;
+        mm.insn = 0x00100093; // addi ra, zero, 1
+        mm.dutValue = 0xDEAD;
+        mm.refValue = 0xBEEF;
+        mm.instrIndex = 99;
+        const std::string desc = mm.describe();
+        // Every description names its kind, the disassembled insn,
+        // the PC and both values.
+        EXPECT_NE(desc.find(mismatchKindName(kind)),
+                  std::string::npos);
+        EXPECT_NE(desc.find("addi"), std::string::npos);
+        EXPECT_NE(desc.find("0x10000abc"), std::string::npos);
+        EXPECT_NE(desc.find("0xdead"), std::string::npos);
+        EXPECT_NE(desc.find("0xbeef"), std::string::npos);
+        EXPECT_NE(desc.find("#99"), std::string::npos);
+    }
 }
 
 TEST(DiffChecker, DescribeIsReadable)

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/rng.hh"
 #include "fuzzer/seed.hh"
 
 namespace turbofuzz::fuzzer
@@ -56,6 +57,119 @@ TEST(Seed, SerializeRoundTrip)
         EXPECT_EQ(t.blocks[i].targetBlock, s.blocks[i].targetBlock);
         EXPECT_EQ(t.blocks[i].position, s.blocks[i].position);
     }
+}
+
+TEST(Seed, RandomRoundTripProperty)
+{
+    // Property test: arbitrary well-formed seeds survive the
+    // serialize -> deserialize round trip bit-exactly.
+    Rng rng(0xC0FFEE);
+    for (int trial = 0; trial < 50; ++trial) {
+        Seed s;
+        s.id = rng.range(1 << 30);
+        s.coverageIncrement = rng.range(1 << 20);
+        s.insertedAt = rng.range(1 << 20);
+        const size_t nblocks = rng.range(20);
+        for (size_t b = 0; b < nblocks; ++b) {
+            SeedBlock blk;
+            const size_t ninsns = 1 + rng.range(6);
+            for (size_t i = 0; i < ninsns; ++i)
+                blk.insns.push_back(
+                    static_cast<uint32_t>(rng.range(~0u)));
+            blk.primeIdx =
+                static_cast<uint32_t>(rng.range(ninsns));
+            blk.isControlFlow = rng.range(2) == 1;
+            blk.targetBlock =
+                static_cast<int32_t>(rng.range(nblocks + 1)) - 1;
+            blk.position = static_cast<uint32_t>(b);
+            s.blocks.push_back(std::move(blk));
+        }
+        const auto bytes = s.serialize();
+        const Seed t = Seed::deserialize(bytes);
+        EXPECT_EQ(t.id, s.id);
+        ASSERT_EQ(t.blocks.size(), s.blocks.size());
+        for (size_t i = 0; i < s.blocks.size(); ++i) {
+            EXPECT_EQ(t.blocks[i].insns, s.blocks[i].insns);
+            EXPECT_EQ(t.blocks[i].primeIdx, s.blocks[i].primeIdx);
+            EXPECT_EQ(t.blocks[i].targetBlock,
+                      s.blocks[i].targetBlock);
+        }
+        EXPECT_EQ(t.serialize(), bytes);
+    }
+}
+
+TEST(Seed, TruncatedInputRejectedAtEveryLength)
+{
+    const auto bytes = sampleSeed().serialize();
+    // Every proper prefix must be rejected without throwing anything
+    // but the typed error — and without asserting.
+    for (size_t cut = 0; cut < bytes.size(); ++cut) {
+        const std::vector<uint8_t> t(bytes.begin(),
+                                     bytes.begin() +
+                                         static_cast<long>(cut));
+        std::string error;
+        EXPECT_FALSE(Seed::tryDeserialize(t, &error).has_value())
+            << "prefix length " << cut;
+        EXPECT_FALSE(error.empty());
+        EXPECT_THROW(Seed::deserialize(t), SeedFormatError);
+    }
+}
+
+TEST(Seed, CorruptLengthFieldsCannotTriggerHugeAllocations)
+{
+    const auto bytes = sampleSeed().serialize();
+
+    // Corrupt the block count (offset 24) to ~4 billion: must be
+    // rejected by bounds validation, not attempted as a resize.
+    std::vector<uint8_t> huge_blocks = bytes;
+    huge_blocks[24] = huge_blocks[25] = huge_blocks[26] =
+        huge_blocks[27] = 0xFF;
+    std::string error;
+    EXPECT_FALSE(
+        Seed::tryDeserialize(huge_blocks, &error).has_value());
+    EXPECT_NE(error.find("block count"), std::string::npos);
+
+    // Corrupt the first block's instruction count (offset 28).
+    std::vector<uint8_t> huge_insns = bytes;
+    huge_insns[28] = huge_insns[29] = huge_insns[30] =
+        huge_insns[31] = 0xFF;
+    EXPECT_FALSE(
+        Seed::tryDeserialize(huge_insns, &error).has_value());
+    EXPECT_NE(error.find("instruction count"), std::string::npos);
+}
+
+TEST(Seed, TrailingBytesRejected)
+{
+    auto bytes = sampleSeed().serialize();
+    bytes.push_back(0xAB);
+    std::string error;
+    EXPECT_FALSE(Seed::tryDeserialize(bytes, &error).has_value());
+    EXPECT_NE(error.find("trailing"), std::string::npos);
+    EXPECT_THROW(Seed::deserialize(bytes), SeedFormatError);
+}
+
+TEST(Seed, OutOfRangePrimeIndexRejected)
+{
+    Seed s = sampleSeed();
+    auto bytes = s.serialize();
+    // First block: ninsns at 24+4, insns follow; primeIdx sits at
+    // offset 28 + 4 + 8 = 40. Point it past the block.
+    bytes[40] = 9;
+    EXPECT_FALSE(Seed::tryDeserialize(bytes).has_value());
+}
+
+TEST(Seed, EmptyControlFlowBlockRejected)
+{
+    // Consumers patch insns[primeIdx] of control-flow blocks
+    // unconditionally, so a crafted empty one must not parse.
+    Seed s;
+    SeedBlock empty_cf;
+    empty_cf.isControlFlow = true;
+    s.blocks.push_back(empty_cf);
+    std::string error;
+    EXPECT_FALSE(
+        Seed::tryDeserialize(s.serialize(), &error).has_value());
+    EXPECT_NE(error.find("control-flow"), std::string::npos);
 }
 
 TEST(Seed, SerializedSizeFitsBramBudget)
