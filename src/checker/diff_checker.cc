@@ -92,6 +92,17 @@ DiffChecker::compare(const core::CommitInfo &dut,
 }
 
 std::optional<Mismatch>
+DiffChecker::compareTrace(const core::CommitInfo *dut,
+                          const core::CommitInfo *ref, size_t count)
+{
+    for (size_t i = 0; i < count; ++i) {
+        if (auto mm = compare(dut[i], ref[i]))
+            return mm;
+    }
+    return std::nullopt;
+}
+
+std::optional<Mismatch>
 DiffChecker::compareFinalState(const core::ArchState &dut,
                                const core::ArchState &ref)
 {

@@ -85,6 +85,26 @@ class DiffChecker
                                     const core::CommitInfo &ref);
 
     /**
+     * Batch mode: diff two parallel commit traces of @p count
+     * entries and report the first divergent commit. Bit-identical
+     * to calling compare() pair-by-pair and stopping at the first
+     * mismatch — the commit counter advances only over the pairs
+     * actually examined, so the reported Mismatch::instrIndex and
+     * commitsChecked() match the lockstep loop exactly.
+     *
+     * Traps need no special resynchronization here: when DUT and REF
+     * trap identically on the same commit, both streams redirect to
+     * the handler together and the pairwise alignment is preserved
+     * across the trap window; when they disagree, that commit *is*
+     * the divergence (TrapBehaviour) and diffing stops. The local
+     * index of the divergence is `mismatch->instrIndex - c0` where
+     * c0 is commitsChecked() before the call.
+     */
+    std::optional<Mismatch>
+    compareTrace(const core::CommitInfo *dut,
+                 const core::CommitInfo *ref, size_t count);
+
+    /**
      * Final-state compare (EndOfIteration mode): integer/FP register
      * files, fflags and minstret of the two harts.
      */

@@ -17,7 +17,20 @@ TimeSeries::record(double time_sec, double value)
         panic("TimeSeries '%s': non-monotonic time %.6f < %.6f",
               seriesName.c_str(), time_sec, data.back().timeSec);
     }
+    const bool keep = (callCount % stride) == 0;
+    ++callCount;
+    if (tailProvisional)
+        data.pop_back(); // replace the previous "latest" sample
     data.push_back({time_sec, value});
+    tailProvisional = !keep;
+}
+
+void
+TimeSeries::setDecimation(uint64_t keep_every_n)
+{
+    TF_ASSERT(keep_every_n >= 1,
+              "TimeSeries decimation must be >= 1");
+    stride = keep_every_n;
 }
 
 double
@@ -126,6 +139,20 @@ TablePrinter::integer(uint64_t v)
     }
     std::reverse(out.begin(), out.end());
     return out;
+}
+
+double
+ThroughputMeter::commitsPerSec() const
+{
+    const double sec = elapsedSec();
+    return sec > 0.0 ? static_cast<double>(commitCount) / sec : 0.0;
+}
+
+double
+ThroughputMeter::itersPerSec() const
+{
+    const double sec = elapsedSec();
+    return sec > 0.0 ? static_cast<double>(iterCount) / sec : 0.0;
 }
 
 double

@@ -9,6 +9,7 @@
 #ifndef TURBOFUZZ_COMMON_STATS_HH
 #define TURBOFUZZ_COMMON_STATS_HH
 
+#include <chrono>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -35,6 +36,17 @@ class TimeSeries
 
     void record(double time_sec, double value);
 
+    /**
+     * Sample decimation for unbounded recorders (long campaigns
+     * record one sample per iteration): keep every Nth record() call
+     * plus, always, the most recent one — the series tail stays
+     * exact (last() never lags) while memory growth is bounded to
+     * ~calls/N. N == 1 (the default) keeps every sample and is
+     * bit-identical to a series without decimation. Changing N
+     * mid-series affects only future record() calls.
+     */
+    void setDecimation(uint64_t keep_every_n);
+
     const std::string &name() const { return seriesName; }
     const std::vector<Sample> &samples() const { return data; }
     bool empty() const { return data.empty(); }
@@ -54,6 +66,12 @@ class TimeSeries
   private:
     std::string seriesName;
     std::vector<Sample> data;
+
+    uint64_t stride = 1;    ///< keep every Nth record() call
+    uint64_t callCount = 0; ///< record() calls seen so far
+    /** True when data.back() is the always-kept "latest" sample that
+     *  the next record() replaces rather than appends after. */
+    bool tailProvisional = false;
 };
 
 /**
@@ -85,6 +103,70 @@ class TablePrinter
 
 /** Geometric mean of a vector of positive values (0 if empty). */
 double geomean(const std::vector<double> &values);
+
+/**
+ * Wall-clock (host-time) throughput accumulator. The campaign and
+ * fleet report *simulated* time everywhere else; this meter is the
+ * one place real elapsed time enters, so actual speedups of the
+ * execution engine are visible in fleet summaries and benches.
+ */
+class ThroughputMeter
+{
+  public:
+    ThroughputMeter() { restart(); }
+
+    /** Zero the counters and restart the clock. */
+    void
+    restart()
+    {
+        start = std::chrono::steady_clock::now();
+        stopped = false;
+        commitCount = 0;
+        iterCount = 0;
+    }
+
+    /**
+     * Freeze the clock: every subsequent elapsedSec()/rate call uses
+     * this single instant, so a time row and the rate rows derived
+     * from it are mutually consistent.
+     */
+    void
+    stop()
+    {
+        end = std::chrono::steady_clock::now();
+        stopped = true;
+    }
+
+    void addCommits(uint64_t n) { commitCount += n; }
+    void addIterations(uint64_t n) { iterCount += n; }
+
+    uint64_t commits() const { return commitCount; }
+    uint64_t iterations() const { return iterCount; }
+
+    /** Host seconds from construction/restart() to now — or to
+     *  stop(), once called. */
+    double
+    elapsedSec() const
+    {
+        const auto at =
+            stopped ? end : std::chrono::steady_clock::now();
+        return std::chrono::duration<double>(at - start).count();
+    }
+
+    /** Committed instructions per host second (0 before any time
+     *  elapses). */
+    double commitsPerSec() const;
+
+    /** Iterations per host second. */
+    double itersPerSec() const;
+
+  private:
+    std::chrono::steady_clock::time_point start;
+    std::chrono::steady_clock::time_point end;
+    bool stopped = false;
+    uint64_t commitCount = 0;
+    uint64_t iterCount = 0;
+};
 
 } // namespace turbofuzz
 

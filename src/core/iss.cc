@@ -177,6 +177,15 @@ CommitInfo
 Iss::step()
 {
     CommitInfo ci;
+    stepInto(ci);
+    return ci;
+}
+
+void
+Iss::stepInto(CommitInfo &out)
+{
+    out = CommitInfo{};
+    CommitInfo &ci = out;
     ci.pc = st.pc;
     st.mcycle += 1;
 
@@ -185,13 +194,13 @@ Iss::step()
         trap(ci, csr::causeMisalignedFetch, ci.pc);
         st.minstret += 1;
         ci.minstretAfter = st.minstret;
-        return ci;
+        return;
     }
     if (!accessible(ci.pc, 4)) {
         trap(ci, csr::causeLoadAccessFault, ci.pc);
         st.minstret += 1;
         ci.minstretAfter = st.minstret;
-        return ci;
+        return;
     }
     ci.insn = memPtr->read32(ci.pc);
     ci.nextPc = ci.pc + 4;
@@ -202,7 +211,7 @@ Iss::step()
         trap(ci, csr::causeIllegalInstruction, ci.insn);
         st.minstret += 1;
         ci.minstretAfter = st.minstret;
-        return ci;
+        return;
     }
     ci.decodeValid = true;
     ci.op = dec.op;
@@ -223,7 +232,6 @@ Iss::step()
     ci.minstretAfter = st.minstret;
 
     st.fflags |= ci.fflagsAccrued;
-    return ci;
 }
 
 void

@@ -19,6 +19,7 @@
 #include "core/arch_state.hh"
 #include "core/bugs.hh"
 #include "core/commit_info.hh"
+#include "core/commit_trace.hh"
 #include "soc/memory.hh"
 
 namespace turbofuzz::soc
@@ -72,6 +73,43 @@ class Iss
 
     /** Execute the instruction at the current PC. */
     CommitInfo step();
+
+    /**
+     * Execute the instruction at the current PC, writing the commit
+     * record into @p ci (which is fully overwritten). The batched
+     * engine steps into trace slots directly to avoid the per-step
+     * 130-byte return copy.
+     */
+    void stepInto(CommitInfo &ci);
+
+    /**
+     * Batched execution: run up to @p max_steps instructions,
+     * appending one commit per step to @p trace. After every step the
+     * stop functor is evaluated on the freshly appended commit (with
+     * this hart's post-step state visible through state()); returning
+     * true ends the batch after that commit — exactly where a
+     * per-commit loop evaluating the same predicate would break.
+     *
+     * The functor is a template parameter so harness stop policies
+     * inline into the step loop instead of paying an indirect call
+     * per instruction.
+     *
+     * @return number of commits appended (>= 1 when max_steps >= 1).
+     */
+    template <typename StopFn>
+    uint64_t
+    stepMany(CommitTrace &trace, uint64_t max_steps, StopFn &&stop)
+    {
+        uint64_t n = 0;
+        while (n < max_steps) {
+            CommitInfo &slot = trace.append();
+            stepInto(slot);
+            ++n;
+            if (stop(static_cast<const CommitInfo &>(slot)))
+                break;
+        }
+        return n;
+    }
 
     const Options &options() const { return opts; }
 

@@ -1,6 +1,7 @@
 #include "coverage/coverage_map.hh"
 
 #include "common/logging.hh"
+#include "rtl/driver.hh"
 
 namespace turbofuzz::coverage
 {
@@ -15,22 +16,62 @@ CoverageMap::CoverageMap(const DesignInstrumentation *di) : instr(di)
             instr->modules()[i].instrumentedPoints();
         bitmaps[i].assign((points + 63) / 64, 0);
     }
+
+    // Role-dependency mask per module: which RegRoles feed its index.
+    moduleRoleMasks.reserve(instr->modules().size());
+    for (const ModuleInstrumentation &m : instr->modules()) {
+        uint64_t mask = 0;
+        const auto &regs = m.module().registers();
+        for (const Placement &p : m.placements())
+            mask |= uint64_t{1} << static_cast<size_t>(
+                        regs[p.regIndex].role);
+        moduleRoleMasks.push_back(mask);
+    }
+}
+
+uint64_t
+CoverageMap::markModule(size_t i)
+{
+    const uint64_t idx = instr->modules()[i].computeIndex();
+    uint64_t &word = bitmaps[i][idx / 64];
+    const uint64_t bit = uint64_t{1} << (idx % 64);
+    if (word & bit)
+        return 0;
+    word |= bit;
+    ++coveredPerModule[i];
+    ++coveredTotal;
+    return 1;
 }
 
 uint64_t
 CoverageMap::record()
 {
     uint64_t newly = 0;
-    const auto &mods = instr->modules();
-    for (size_t i = 0; i < mods.size(); ++i) {
-        const uint64_t idx = mods[i].computeIndex();
-        uint64_t &word = bitmaps[i][idx / 64];
-        const uint64_t bit = uint64_t{1} << (idx % 64);
-        if (!(word & bit)) {
-            word |= bit;
-            ++coveredPerModule[i];
-            ++coveredTotal;
-            ++newly;
+    for (size_t i = 0; i < bitmaps.size(); ++i)
+        newly += markModule(i);
+    return newly;
+}
+
+uint64_t
+CoverageMap::recordTrace(rtl::EventDriver &drv,
+                         const core::CommitInfo *commits, size_t n)
+{
+    uint64_t newly = 0;
+    const size_t mod_count = bitmaps.size();
+    for (size_t c = 0; c < n; ++c) {
+        if (c == 0) {
+            // Full drive + full sample: establishes the register
+            // invariant the incremental path maintains.
+            drv.onCommit(commits[0]);
+            newly += record();
+            continue;
+        }
+        const uint64_t dirty = drv.onCommitDirty(commits[c]);
+        if (!dirty)
+            continue; // no role moved: no index can have moved
+        for (size_t i = 0; i < mod_count; ++i) {
+            if (moduleRoleMasks[i] & dirty)
+                newly += markModule(i);
         }
     }
     return newly;

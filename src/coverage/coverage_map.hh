@@ -18,6 +18,16 @@
 
 #include "coverage/instrumentation.hh"
 
+namespace turbofuzz::rtl
+{
+class EventDriver;
+} // namespace turbofuzz::rtl
+
+namespace turbofuzz::core
+{
+struct CommitInfo;
+} // namespace turbofuzz::core
+
 namespace turbofuzz::coverage
 {
 
@@ -33,6 +43,21 @@ class CoverageMap
      * @return number of coverage points newly hit by this sample.
      */
     uint64_t record();
+
+    /**
+     * Batched sweep of the engine's trace stage: drive @p drv with
+     * each of the @p n commits and sample coverage after every one —
+     * bit-identical totals to interleaving drv.onCommit()/record()
+     * per commit, but with two batch-only fast paths: registers whose
+     * role value did not change are not rewritten, and modules none
+     * of whose control-register roles changed are not resampled
+     * (their index — already marked at the previous commit of this
+     * sweep — cannot have moved).
+     *
+     * @return number of coverage points newly hit by the sweep.
+     */
+    uint64_t recordTrace(rtl::EventDriver &drv,
+                         const core::CommitInfo *commits, size_t n);
 
     /** Total covered points across all modules. */
     uint64_t totalCovered() const { return coveredTotal; }
@@ -75,10 +100,20 @@ class CoverageMap
     void merge(const CoverageMap &other);
 
   private:
+    /** Mark module @p i's current index; returns 1 if newly hit. */
+    uint64_t markModule(size_t i);
+
     const DesignInstrumentation *instr;
     std::vector<std::vector<uint64_t>> bitmaps; ///< 1 bit per point
     std::vector<uint64_t> coveredPerModule;
     uint64_t coveredTotal = 0;
+
+    /**
+     * Per module: bitmask over rtl::RegRole of the roles its control
+     * registers latch. recordTrace() skips a module whenever the
+     * commit dirtied none of them.
+     */
+    std::vector<uint64_t> moduleRoleMasks;
 };
 
 } // namespace turbofuzz::coverage

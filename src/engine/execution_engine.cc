@@ -1,0 +1,180 @@
+#include "engine/execution_engine.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace turbofuzz::engine
+{
+
+ExecutionEngine::ExecutionEngine(core::Iss *dut, core::Iss *ref,
+                                 checker::DiffChecker *checker,
+                                 uint64_t batch_size)
+    : dut_(dut), ref_(ref), checker_(checker), batch(batch_size)
+{
+    TF_ASSERT(dut_ != nullptr && ref_ != nullptr,
+              "engine requires both harts");
+    TF_ASSERT(checker_ != nullptr, "engine requires a checker");
+    TF_ASSERT(batch >= 1, "batch size must be >= 1");
+    const size_t reserve =
+        static_cast<size_t>(std::min<uint64_t>(batch, 8192));
+    dutTrace.reserve(reserve);
+    refTrace.reserve(reserve);
+}
+
+void
+ExecutionEngine::rewind(core::Iss *core, const core::ArchState &saved,
+                        const soc::MemWriteJournal &journal,
+                        uint64_t commits)
+{
+    core->memory().undo(journal);
+    core->state() = saved;
+    // Deterministic re-execution: identical inputs, identical
+    // commits; lands exactly on the post-divergence state the
+    // lockstep loop would have stopped in.
+    for (uint64_t i = 0; i < commits; ++i) {
+        core::CommitInfo scratch;
+        core->stepInto(scratch);
+    }
+}
+
+IterationOutcome
+ExecutionEngine::runIteration(const IterationPolicy &p,
+                              const Hooks &h)
+{
+    IterationOutcome out;
+    TF_ASSERT(!h.coverage || h.driver,
+              "coverage recording requires an event driver");
+    const bool per_instr =
+        checker_->mode() == checker::DiffChecker::Mode::PerInstruction;
+    const uint64_t checker_start = checker_->commitsChecked();
+
+    // DUT-side running totals the stop policy consumes. These count
+    // *stepped* commits (including ones a mid-batch divergence later
+    // discards); the reported counters are accumulated in the sweep
+    // stage over surviving commits only — exactly the commits the
+    // lockstep loop would have processed.
+    uint64_t stepped = 0;
+    uint64_t stepped_traps = 0;
+
+    // Rewind is reachable only when a divergence can be detected
+    // mid-batch: per-commit checking with batches longer than one
+    // commit. End-of-iteration mode never diverges inside the loop,
+    // and at batch=1 the divergent commit is always the batch's last
+    // — skip the checkpoint/journal cost entirely in those modes.
+    const bool rewindable = per_instr && batch > 1;
+
+    bool stop = false;
+    while (!stop) {
+        // --- stage 1: DUT batch -----------------------------------
+        dutTrace.clear();
+        core::ArchState dut_saved;
+        if (rewindable) {
+            dut_saved = dut_->state();
+            dutJournal.clear();
+            dut_->memory().setJournal(&dutJournal);
+        }
+        bool stop_hit = false;
+        const uint64_t fill = dut_->stepMany(
+            dutTrace, batch, [&](const core::CommitInfo &ci) {
+                ++stepped;
+                if (ci.trapped)
+                    ++stepped_traps;
+                const uint64_t pc = dut_->state().pc;
+                if (pc >= p.codeBoundary && pc < p.handlerBase)
+                    return stop_hit = true; // clean end
+                if (ci.trapped && !p.resumeTraps)
+                    return stop_hit = true; // first trap ends it
+                if (stepped_traps > p.trapStormLimit)
+                    return stop_hit = true; // exception storm
+                if (stepped >= p.stepCap)
+                    return stop_hit = true; // runaway protection
+                return false;
+            });
+        if (rewindable)
+            dut_->memory().setJournal(nullptr);
+        stop = stop_hit;
+
+        // --- stage 2: REF batch (blind mirror of the commit count) -
+        refTrace.clear();
+        core::ArchState ref_saved;
+        if (rewindable) {
+            ref_saved = ref_->state();
+            refJournal.clear();
+            ref_->memory().setJournal(&refJournal);
+        }
+        ref_->stepMany(refTrace, fill,
+                       [](const core::CommitInfo &) { return false; });
+        if (rewindable)
+            ref_->memory().setJournal(nullptr);
+
+        // --- stage 3: batch diff ----------------------------------
+        uint64_t limit = fill;
+        std::optional<checker::Mismatch> mm;
+        if (per_instr) {
+            const uint64_t batch_checker_start =
+                checker_->commitsChecked();
+            mm = checker_->compareTrace(dutTrace.data(),
+                                        refTrace.data(), fill);
+            if (mm)
+                limit = mm->instrIndex - batch_checker_start + 1;
+        }
+
+        // --- stage 4: sweep (driver + coverage + counters) --------
+        if (h.driver && h.coverage) {
+            out.newCoverage += h.coverage->recordTrace(
+                *h.driver, dutTrace.data(), limit);
+        } else if (h.driver) {
+            h.driver->onTrace(dutTrace.data(), limit);
+        }
+        for (uint64_t c = 0; c < limit; ++c) {
+            const core::CommitInfo &ci = dutTrace[c];
+            ++out.executedTotal;
+            if (ci.pc >= p.fuzzRegionStart && ci.pc < p.fuzzRegionEnd)
+                ++out.executedFuzz;
+            if (h.observer)
+                (*h.observer)(ci);
+            if (ci.trapped)
+                ++out.traps;
+            if (ci.memWrite) {
+                const uint64_t end = ci.memAddr + ci.memSize;
+                if (ci.memAddr >= p.instrBase &&
+                    ci.memAddr < p.instrBase + p.instrSize) {
+                    out.instrDirtyHigh =
+                        std::max(out.instrDirtyHigh, end);
+                } else if (ci.memAddr >= p.handlerBase &&
+                           ci.memAddr <
+                               p.handlerBase + p.handlerSize) {
+                    out.handlerDirtyHigh =
+                        std::max(out.handlerDirtyHigh, end);
+                }
+            }
+        }
+
+        if (mm) {
+            // Rewind the phantom commits past the divergence so hart
+            // and memory state match the lockstep loop bit-exactly.
+            if (limit < fill) {
+                rewind(dut_, dut_saved, dutJournal, limit);
+                rewind(ref_, ref_saved, refJournal, limit);
+            }
+            out.mismatch = *mm;
+            out.mismatchCommitIndex = mm->instrIndex - checker_start;
+            return out;
+        }
+    }
+
+    if (!per_instr) {
+        if (auto mm = checker_->compareFinalState(dut_->state(),
+                                                  ref_->state())) {
+            out.mismatch = *mm;
+            // End-of-iteration checking has no commit position; the
+            // executed count is the within-iteration index replay
+            // reproduces.
+            out.mismatchCommitIndex = out.executedTotal;
+        }
+    }
+    return out;
+}
+
+} // namespace turbofuzz::engine

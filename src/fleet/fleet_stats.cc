@@ -34,6 +34,12 @@ printFleetSummary(const FleetResult &result)
                   TablePrinter::integer(result.seedsAdmitted)});
     table.addRow({"host time (s)",
                   TablePrinter::num(result.hostSeconds, 3)});
+    table.addRow({"host commits/sec",
+                  TablePrinter::integer(static_cast<uint64_t>(
+                      result.hostCommitsPerSec))});
+    table.addRow({"host iters/sec",
+                  TablePrinter::integer(static_cast<uint64_t>(
+                      result.hostItersPerSec))});
     table.print();
 
     for (const ShardMismatch &sm : result.mismatches) {

@@ -73,6 +73,15 @@ struct FleetResult
     unsigned epochs = 0;
     double simBudgetSec = 0.0; ///< per-shard simulated budget
     double hostSeconds = 0.0;  ///< wall-clock cost of run()
+
+    /**
+     * Wall-clock throughput of the whole fleet (committed
+     * instructions and iterations per host second). Everything else
+     * in this struct reports simulated time; these two are what make
+     * real engine speedups visible run-over-run.
+     */
+    double hostCommitsPerSec = 0.0;
+    double hostItersPerSec = 0.0;
 };
 
 /** Print a human-readable summary table of a fleet run. */

@@ -1,7 +1,6 @@
 #include "fleet/orchestrator.hh"
 
 #include <algorithm>
-#include <chrono>
 
 #include "common/logging.hh"
 #include "fleet/worker_pool.hh"
@@ -139,7 +138,7 @@ FleetOrchestrator::epochBarrier(unsigned epoch_idx,
 FleetResult
 FleetOrchestrator::run()
 {
-    const auto host_start = std::chrono::steady_clock::now();
+    ThroughputMeter meter;
     const unsigned n = shardCount();
     const unsigned epochs = cfg.epochCount();
 
@@ -177,10 +176,14 @@ FleetOrchestrator::run()
             triage_.minimizeAll();
         result.bugTable = triage_.table();
     }
-    result.hostSeconds =
-        std::chrono::duration<double>(
-            std::chrono::steady_clock::now() - host_start)
-            .count();
+    // stop() freezes one clock reading for the time row and both
+    // rate rows, so the printed summary is self-consistent.
+    meter.addCommits(result.totals.executedInstrs);
+    meter.addIterations(result.totals.iterations);
+    meter.stop();
+    result.hostSeconds = meter.elapsedSec();
+    result.hostCommitsPerSec = meter.commitsPerSec();
+    result.hostItersPerSec = meter.itersPerSec();
     return result;
 }
 

@@ -63,6 +63,9 @@ Campaign::Campaign(CampaignOptions options,
     covMap = std::make_unique<coverage::CoverageMap>(instr.get());
 
     plat = std::make_unique<soc::Platform>(opts.timing, &clock);
+
+    engine_ = std::make_unique<engine::ExecutionEngine>(
+        dutCore.get(), refCore.get(), &checker_, opts.batchSize);
 }
 
 IterationResult
@@ -109,80 +112,52 @@ Campaign::runIteration()
                                   info.generatedInstrs)) +
         opts.stepCapSlack;
 
-    // 3. Lockstep execution with coverage collection and checking.
-    const uint64_t start_commits = checker_.commitsChecked();
-    const bool resume_traps = gen->usesExceptionTemplates();
-    const uint64_t fuzz_end =
+    // 3. Batched pipeline execution: DUT batch -> REF batch -> batch
+    //    diff -> coverage sweep (engine::ExecutionEngine). On a
+    //    mismatch the engine leaves harts and memory in the exact
+    //    state the per-commit lockstep loop would have stopped in.
+    engine::IterationPolicy policy;
+    policy.codeBoundary = info.codeBoundary;
+    policy.handlerBase = lay.handlerBase;
+    policy.fuzzRegionStart = info.firstBlockPc;
+    policy.fuzzRegionEnd =
         info.fuzzRegionEnd ? info.fuzzRegionEnd : info.codeBoundary;
-    while (true) {
-        const core::CommitInfo dc = dutCore->step();
-        const core::CommitInfo rc = refCore->step();
+    policy.resumeTraps = gen->usesExceptionTemplates();
+    policy.stepCap = step_cap;
+    policy.trapStormLimit = opts.trapStormLimit;
+    policy.instrBase = lay.instrBase;
+    policy.instrSize = lay.instrSize;
+    policy.handlerSize = 4096;
 
-        driver->onCommit(dc);
-        result.newCoverage += covMap->record();
-        ++result.executedTotal;
-        if (dc.pc >= info.firstBlockPc && dc.pc < fuzz_end)
-            ++result.executedFuzz;
-        if (opts.commitObserver)
-            opts.commitObserver(dc);
-        if (dc.trapped)
-            ++result.traps;
+    engine::ExecutionEngine::Hooks hooks;
+    hooks.driver = driver.get();
+    hooks.coverage = covMap.get();
+    if (opts.commitObserver)
+        hooks.observer = &opts.commitObserver;
 
-        // Track stores that dirty memory outside the regions
-        // generation rewrites, for the next iteration's scrub.
-        if (dc.memWrite) {
-            const uint64_t end = dc.memAddr + dc.memSize;
-            if (dc.memAddr >= lay.instrBase &&
-                dc.memAddr < lay.instrBase + lay.instrSize) {
-                instrDirtyHigh = std::max(instrDirtyHigh, end);
-            } else if (dc.memAddr >= lay.handlerBase &&
-                       dc.memAddr < lay.handlerBase + 4096) {
-                handlerDirtyHigh = std::max(handlerDirtyHigh, end);
-            }
+    const engine::IterationOutcome out =
+        engine_->runIteration(policy, hooks);
+
+    result.executedTotal = out.executedTotal;
+    result.executedFuzz = out.executedFuzz;
+    result.newCoverage = out.newCoverage;
+    result.traps = out.traps;
+
+    // Stores that dirtied memory outside the regions generation
+    // rewrites feed the next iteration's scrub.
+    instrDirtyHigh = std::max(instrDirtyHigh, out.instrDirtyHigh);
+    handlerDirtyHigh =
+        std::max(handlerDirtyHigh, out.handlerDirtyHigh);
+
+    if (out.mismatch) {
+        result.mismatch = true;
+        if (!mismatchInfo) {
+            mismatchInfo = *out.mismatch;
+            snapshot = checker::captureMismatchSnapshot(
+                *out.mismatch, *dutCore, *refCore, clock.seconds());
         }
-
-        if (opts.checkMode ==
-            checker::DiffChecker::Mode::PerInstruction) {
-            if (auto mm = checker_.compare(dc, rc)) {
-                result.mismatch = true;
-                if (!mismatchInfo) {
-                    mismatchInfo = *mm;
-                    snapshot = checker::captureMismatchSnapshot(
-                        *mm, *dutCore, *refCore, clock.seconds());
-                }
-                captureReproducer(*mm, info,
-                                  mm->instrIndex - start_commits);
-                break;
-            }
-        }
-
-        const uint64_t pc = dutCore->state().pc;
-        if (pc >= info.codeBoundary && pc < lay.handlerBase)
-            break; // clean end of iteration
-        if (dc.trapped && !resume_traps)
-            break; // baseline: first trap ends the iteration
-        if (result.traps > opts.trapStormLimit)
-            break; // unresolvable exception storm
-        if (result.executedTotal >= step_cap)
-            break; // runaway loop protection
-    }
-
-    // 4. Coarse end-of-iteration checking (baseline mode).
-    if (!result.mismatch &&
-        opts.checkMode == checker::DiffChecker::Mode::EndOfIteration) {
-        if (auto mm = checker_.compareFinalState(dutCore->state(),
-                                                 refCore->state())) {
-            result.mismatch = true;
-            if (!mismatchInfo) {
-                mismatchInfo = *mm;
-                snapshot = checker::captureMismatchSnapshot(
-                    *mm, *dutCore, *refCore, clock.seconds());
-            }
-            // End-of-iteration checking has no commit position; the
-            // executed count is the within-iteration index replay
-            // will reproduce.
-            captureReproducer(*mm, info, result.executedTotal);
-        }
+        captureReproducer(*out.mismatch, info,
+                          out.mismatchCommitIndex);
     }
 
     // 5. Coverage feedback to the generator (corpus update).
@@ -211,6 +186,7 @@ Campaign::run(double budget_sec)
 bool
 Campaign::runSlice(double deadline_sec, TimeSeries &series)
 {
+    series.setDecimation(opts.sampleDecimation);
     while (clock.seconds() < deadline_sec) {
         const IterationResult r = runIteration();
         series.record(clock.seconds(),

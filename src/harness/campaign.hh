@@ -7,7 +7,10 @@
  * bugs) and its golden reference, the structural RTL model driven by
  * commit events, coverage instrumentation + map, the differential
  * checker, and the platform timing model that charges simulated time
- * for every loop stage.
+ * for every loop stage. Execution itself runs on the batched
+ * engine::ExecutionEngine (docs/engine.md): DUT batch -> REF batch ->
+ * batch diff -> coverage sweep, bit-identical to the historical
+ * per-commit lockstep loop at every batch size.
  */
 
 #ifndef TURBOFUZZ_HARNESS_CAMPAIGN_HH
@@ -24,6 +27,7 @@
 #include "core/iss.hh"
 #include "coverage/coverage_map.hh"
 #include "coverage/instrumentation.hh"
+#include "engine/execution_engine.hh"
 #include "fuzzer/generator.hh"
 #include "rtl/cores.hh"
 #include "rtl/driver.hh"
@@ -59,6 +63,24 @@ struct CampaignOptions
 
     /** Iteration abort: too many traps (unresolvable situation). */
     uint32_t trapStormLimit = 400;
+
+    /**
+     * Commits per execution-engine pipeline batch. 1 reproduces the
+     * classic lockstep loop; larger batches amortize the per-batch
+     * stage costs and enable the engine's incremental coverage sweep.
+     * Any value yields bit-identical campaign results (the engine's
+     * equivalence contract, enforced by tests/engine/).
+     */
+    uint64_t batchSize = 64;
+
+    /**
+     * Coverage time-series decimation: run()/runSlice() keep every
+     * Nth per-iteration sample (plus, always, the most recent one).
+     * 1 keeps everything — bit-identical series to earlier releases;
+     * larger values bound the series' memory growth on long
+     * campaigns. See TimeSeries::setDecimation().
+     */
+    uint64_t sampleDecimation = 1;
 
     /**
      * Triage: retain up to this many mismatching iterations as
@@ -186,6 +208,7 @@ class Campaign
     std::unique_ptr<coverage::CoverageMap> covMap;
 
     checker::DiffChecker checker_;
+    std::unique_ptr<engine::ExecutionEngine> engine_;
     SimClock clock;
     std::unique_ptr<soc::Platform> plat;
 

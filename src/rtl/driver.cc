@@ -90,8 +90,10 @@ EventDriver::EventDriver(Module *top_module) : top(top_module)
 {
     TF_ASSERT(top != nullptr, "driver requires a module tree");
     top->visit([this](Module &m) {
-        for (Register &r : m.registers())
+        for (Register &r : m.registers()) {
             regCache.push_back(&r);
+            regsByRole[static_cast<size_t>(r.role)].push_back(&r);
+        }
     });
     reset();
 }
@@ -137,11 +139,16 @@ EventDriver::mapToDomain(uint64_t value, const Register &reg)
     return (value >> reg.srcShift) & mask(reg.width);
 }
 
-void
+uint64_t
 EventDriver::updateRoles(const core::CommitInfo &ci)
 {
-    auto set = [this](RegRole role, uint64_t v) {
-        roles[static_cast<size_t>(role)] = v;
+    uint64_t dirty = 0;
+    auto set = [this, &dirty](RegRole role, uint64_t v) {
+        const size_t idx = static_cast<size_t>(role);
+        if (roles[idx] != v) {
+            roles[idx] = v;
+            dirty |= uint64_t{1} << idx;
+        }
     };
 
     // --- always-updated roles ----------------------------------------
@@ -171,7 +178,7 @@ EventDriver::updateRoles(const core::CommitInfo &ci)
     set(RegRole::IcacheFsm, icacheState);
 
     if (!ci.decodeValid)
-        return;
+        return dirty;
 
     const isa::InstrDesc &d = *ci.desc;
     set(RegRole::OpClass, opClassOf(d));
@@ -316,6 +323,7 @@ EventDriver::updateRoles(const core::CommitInfo &ci)
         iqOcc = iqOcc >= 2 ? iqOcc - 2 : 0;
     set(RegRole::RobOcc, robOcc);
     set(RegRole::IqOcc, iqOcc);
+    return dirty;
 }
 
 void
@@ -324,6 +332,34 @@ EventDriver::onCommit(const core::CommitInfo &ci)
     updateRoles(ci);
     for (Register *r : regCache)
         r->value = mapToDomain(roles[static_cast<size_t>(r->role)], *r);
+}
+
+uint64_t
+EventDriver::onCommitDirty(const core::CommitInfo &ci)
+{
+    uint64_t dirty = updateRoles(ci);
+    uint64_t remaining = dirty;
+    while (remaining) {
+        const unsigned role = static_cast<unsigned>(
+            __builtin_ctzll(remaining));
+        remaining &= remaining - 1;
+        for (Register *r : regsByRole[role])
+            r->value = mapToDomain(roles[role], *r);
+    }
+    return dirty;
+}
+
+void
+EventDriver::onTrace(const core::CommitInfo *commits, size_t n)
+{
+    if (n == 0)
+        return;
+    // First commit rewrites every register (establishing the
+    // invariant onCommitDirty relies on), the rest drive
+    // incrementally.
+    onCommit(commits[0]);
+    for (size_t i = 1; i < n; ++i)
+        onCommitDirty(commits[i]);
 }
 
 } // namespace turbofuzz::rtl

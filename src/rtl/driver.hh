@@ -35,17 +35,44 @@ class EventDriver
     /** Apply one committed instruction to the module tree. */
     void onCommit(const core::CommitInfo &ci);
 
+    /**
+     * Batched variant of onCommit: incremental drive of one commit,
+     * refreshing only the registers whose role value changed.
+     * Register values are a pure function of the current role values,
+     * so skipping unchanged roles is exact — PROVIDED every register
+     * already reflects the current roles. That invariant holds right
+     * after an onCommit() (which rewrites every register) and is then
+     * maintained by consecutive onCommitDirty() calls; batch sweeps
+     * therefore drive their first commit with onCommit() and the rest
+     * with this.
+     *
+     * @return bitmask over RegRole of the roles this commit changed.
+     */
+    uint64_t onCommitDirty(const core::CommitInfo &ci);
+
+    /**
+     * Apply a whole commit trace (equivalent to n onCommit() calls,
+     * with the incremental fast path for commits after the first).
+     */
+    void onTrace(const core::CommitInfo *commits, size_t n);
+
     /** Number of registers being driven (all modules). */
     size_t drivenRegisters() const { return regCache.size(); }
 
   private:
-    /** Compute the value for each role from the commit + history. */
-    void updateRoles(const core::CommitInfo &ci);
+    /**
+     * Compute the value for each role from the commit + history.
+     * @return bitmask over RegRole of roles whose value changed.
+     */
+    uint64_t updateRoles(const core::CommitInfo &ci);
 
     static uint64_t mapToDomain(uint64_t value, const Register &reg);
 
     Module *top;
     std::vector<Register *> regCache;
+
+    /** Registers grouped by role (incremental-drive fast path). */
+    std::array<std::vector<Register *>, 64> regsByRole;
 
     /** Current value per role. */
     std::array<uint64_t, 64> roles{};

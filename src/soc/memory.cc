@@ -19,9 +19,23 @@ Memory::Page &
 Memory::pageFor(uint64_t addr)
 {
     auto [it, inserted] = pages.try_emplace(addr / pageSize);
-    if (inserted)
+    if (inserted) {
         it->second.assign(pageSize, 0);
+        if (journal)
+            journal->createdPages.push_back(addr / pageSize);
+    }
     return it->second;
+}
+
+Memory &
+Memory::operator=(const Memory &other)
+{
+    // A wholesale content replacement cannot be journaled; make the
+    // precondition explicit instead of silently breaking undo().
+    TF_ASSERT(journal == nullptr,
+              "detach the journal before copy-assigning a Memory");
+    pages = other.pages;
+    return *this;
 }
 
 template <typename T>
@@ -52,9 +66,17 @@ Memory::writeScalar(uint64_t addr, T value)
     const uint64_t off = addr % pageSize;
     if (off + sizeof(T) <= pageSize) {
         Page &p = pageFor(addr);
+        if (journal) {
+            T old;
+            std::memcpy(&old, p.data() + off, sizeof(T));
+            journal->log.push_back(
+                {addr, static_cast<uint64_t>(old),
+                 static_cast<uint8_t>(sizeof(T))});
+        }
         std::memcpy(p.data() + off, &value, sizeof(T));
         return;
     }
+    // Page-straddling: byte writes journal themselves.
     for (size_t i = 0; i < sizeof(T); ++i)
         write8(addr + i, static_cast<uint8_t>(value >> (8 * i)));
 }
@@ -87,7 +109,10 @@ Memory::read64(uint64_t addr) const
 void
 Memory::write8(uint64_t addr, uint8_t value)
 {
-    pageFor(addr)[addr % pageSize] = value;
+    uint8_t &slot = pageFor(addr)[addr % pageSize];
+    if (journal)
+        journal->log.push_back({addr, slot, 1});
+    slot = value;
 }
 
 void
@@ -126,6 +151,37 @@ void
 Memory::reset()
 {
     pages.clear();
+}
+
+void
+Memory::undo(const MemWriteJournal &j)
+{
+    TF_ASSERT(journal == nullptr,
+              "detach the journal before undoing it");
+    for (auto it = j.log.rbegin(); it != j.log.rend(); ++it) {
+        switch (it->size) {
+          case 1:
+            write8(it->addr, static_cast<uint8_t>(it->oldValue));
+            break;
+          case 2:
+            write16(it->addr, static_cast<uint16_t>(it->oldValue));
+            break;
+          case 4:
+            write32(it->addr, static_cast<uint32_t>(it->oldValue));
+            break;
+          case 8:
+            write64(it->addr, it->oldValue);
+            break;
+          default:
+            panic("journal entry with bad size %u",
+                  unsigned{it->size});
+        }
+    }
+    // Pages the journaled writes allocated are all-zero again after
+    // the byte undo above; drop them so page *residency* — which
+    // saveState() serializes and snapshots embed — rewinds too.
+    for (const uint64_t page_num : j.createdPages)
+        pages.erase(page_num);
 }
 
 void

@@ -22,6 +22,42 @@ namespace turbofuzz::soc
 class SnapshotWriter;
 class SnapshotReader;
 
+/**
+ * Undo log of memory writes. While attached to a Memory, every write
+ * appends the overwritten bytes; Memory::undo() replays the log
+ * backwards to restore the pre-attachment contents bit-exactly. The
+ * batched execution engine uses one journal per hart batch so that a
+ * mid-batch divergence can rewind the commits that ran past it.
+ */
+class MemWriteJournal
+{
+  public:
+    struct Entry
+    {
+        uint64_t addr;
+        uint64_t oldValue; ///< little-endian, low `size` bytes valid
+        uint8_t size;      ///< 1, 2, 4 or 8
+    };
+
+    /** Forget all entries; capacity is retained for reuse. */
+    void
+    clear()
+    {
+        log.clear();
+        createdPages.clear();
+    }
+    bool empty() const { return log.empty() && createdPages.empty(); }
+    size_t size() const { return log.size(); }
+    const std::vector<Entry> &entries() const { return log; }
+
+  private:
+    friend class Memory;
+    std::vector<Entry> log;
+    /** Pages first allocated while attached; undo() drops them so
+     *  page residency (which snapshots serialize) rewinds too. */
+    std::vector<uint64_t> createdPages;
+};
+
 /** Sparse 64-bit address space with 4 KiB backing pages. */
 class Memory
 {
@@ -29,6 +65,11 @@ class Memory
     static constexpr uint64_t pageSize = 4096;
 
     Memory() = default;
+
+    // Copies duplicate contents only: a journal observes one Memory's
+    // write stream and never transfers to another instance.
+    Memory(const Memory &other) : pages(other.pages) {}
+    Memory &operator=(const Memory &other);
 
     uint8_t read8(uint64_t addr) const;
     uint16_t read16(uint64_t addr) const;
@@ -48,6 +89,21 @@ class Memory
 
     /** Drop every page (full reset). */
     void reset();
+
+    /**
+     * Attach (or with nullptr detach) a write journal. While attached
+     * every write records the bytes it overwrites. The journal is
+     * borrowed, never owned, and must outlive the attachment.
+     */
+    void setJournal(MemWriteJournal *j) { journal = j; }
+
+    /**
+     * Restore the contents from before @p j was attached by undoing
+     * its entries newest-first. Requires no journal to be attached
+     * (detach before rewinding). @p j is left unchanged; clear() it
+     * before reuse.
+     */
+    void undo(const MemWriteJournal &j);
 
     /** Number of resident pages (for stats/snapshot sizing). */
     size_t residentPages() const { return pages.size(); }
@@ -69,6 +125,7 @@ class Memory
     template <typename T> void writeScalar(uint64_t addr, T value);
 
     std::map<uint64_t, Page> pages;
+    MemWriteJournal *journal = nullptr;
 };
 
 /**

@@ -2,6 +2,7 @@
 
 #include "common/logging.hh"
 #include "core/iss.hh"
+#include "engine/execution_engine.hh"
 #include "soc/memory.hh"
 
 namespace turbofuzz::triage
@@ -38,51 +39,37 @@ ReplayHarness::replay(const Reproducer &r)
     dut.reset(r.iteration.entryPc);
     ref.reset(r.iteration.entryPc);
 
-    // 3. The harness's lockstep loop with the campaign's abort
-    //    conditions, against a zero-based checker.
+    // 3. The campaign's abort conditions on the SAME batched engine
+    //    campaign execution uses (no coverage/RTL hooks: they never
+    //    feed back into architectural execution), against a
+    //    zero-based checker. Replay results are batch-size-invariant
+    //    by the engine's equivalence contract; one fixed size keeps
+    //    replays bit-identical across runs.
     checker::DiffChecker checker(r.checkMode);
-    const uint64_t step_cap =
+    engine::ExecutionEngine eng(&dut, &ref, &checker,
+                                replayBatchSize);
+
+    engine::IterationPolicy policy;
+    policy.codeBoundary = r.iteration.codeBoundary;
+    policy.handlerBase = lay.handlerBase;
+    policy.resumeTraps = r.resumeTraps;
+    policy.stepCap =
         static_cast<uint64_t>(
             r.stepCapFactor *
             static_cast<double>(r.iteration.generatedInstrs)) +
         r.stepCapSlack;
+    policy.trapStormLimit = r.trapStormLimit;
+
+    const engine::IterationOutcome out =
+        eng.runIteration(policy, {});
 
     ReplayResult result;
-    while (true) {
-        const core::CommitInfo dc = dut.step();
-        const core::CommitInfo rc = ref.step();
-        ++result.executed;
-        if (dc.trapped)
-            ++result.traps;
-
-        if (r.checkMode ==
-            checker::DiffChecker::Mode::PerInstruction) {
-            if (auto mm = checker.compare(dc, rc)) {
-                result.mismatched = true;
-                result.mismatch = *mm;
-                result.commitIndex = mm->instrIndex;
-                return result;
-            }
-        }
-
-        const uint64_t pc = dut.state().pc;
-        if (pc >= r.iteration.codeBoundary && pc < lay.handlerBase)
-            break; // clean end of iteration
-        if (dc.trapped && !r.resumeTraps)
-            break; // baseline: first trap ends the iteration
-        if (result.traps > r.trapStormLimit)
-            break; // unresolvable exception storm
-        if (result.executed >= step_cap)
-            break; // runaway loop protection
-    }
-
-    if (r.checkMode == checker::DiffChecker::Mode::EndOfIteration) {
-        if (auto mm = checker.compareFinalState(dut.state(),
-                                                ref.state())) {
-            result.mismatched = true;
-            result.mismatch = *mm;
-            result.commitIndex = result.executed;
-        }
+    result.executed = out.executedTotal;
+    result.traps = out.traps;
+    if (out.mismatch) {
+        result.mismatched = true;
+        result.mismatch = *out.mismatch;
+        result.commitIndex = out.mismatchCommitIndex;
     }
     return result;
 }

@@ -5,18 +5,19 @@
  * Replay rebuilds the mismatching iteration's memory image through
  * the exact write path generation used (TurboFuzzer::
  * materializeIteration), instantiates a fresh DUT/REF pair with the
- * campaign's configuration, and re-runs the harness's lockstep
- * execution loop against a fresh differential checker. Because every
- * input is a pure function of the reproducer's fields, two replays of
- * the same reproducer are bit-identical — the property the minimizer
- * and the acceptance tests rely on.
+ * campaign's configuration, and re-runs the campaign's abort policy
+ * on the SAME batched execution engine campaign iterations run on
+ * (engine::ExecutionEngine) against a fresh differential checker —
+ * replay and generation share one execution path and cannot drift.
+ * Because every input is a pure function of the reproducer's fields,
+ * two replays of the same reproducer are bit-identical — the
+ * property the minimizer and the acceptance tests rely on.
  *
- * The replay loop deliberately omits the campaign's coverage
- * instrumentation, RTL event driver and platform timing model: none
- * of them feed back into architectural execution, so dropping them
- * changes nothing observable while making replay (and therefore
- * delta debugging) an order of magnitude cheaper than a campaign
- * iteration.
+ * Replay deliberately omits the campaign's coverage instrumentation,
+ * RTL event driver and platform timing model: none of them feed back
+ * into architectural execution, so dropping them changes nothing
+ * observable while making replay (and therefore delta debugging) an
+ * order of magnitude cheaper than a campaign iteration.
  */
 
 #ifndef TURBOFUZZ_TRIAGE_REPLAY_HH
@@ -40,6 +41,13 @@ struct ReplayResult
 class ReplayHarness
 {
   public:
+    /**
+     * Engine batch size replays run at. The replay outcome is
+     * batch-size-invariant (engine equivalence contract); a fixed
+     * value simply keeps the execution path identical across runs.
+     */
+    static constexpr uint64_t replayBatchSize = 64;
+
     /** Re-execute @p r standalone. Pure: same input, same output. */
     static ReplayResult replay(const Reproducer &r);
 

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <set>
+#include <utility>
+#include <vector>
 
 #include "checker/diff_checker.hh"
 #include "isa/encoding.hh"
@@ -151,6 +154,134 @@ TEST(DiffChecker, DescribeIsReadable)
     EXPECT_NE(desc.find("rd-value"), std::string::npos);
     EXPECT_NE(desc.find("addi"), std::string::npos);
     EXPECT_NE(desc.find("0x10000000"), std::string::npos);
+}
+
+/**
+ * Batch mode: compareTrace must be bit-identical to the sequential
+ * compare loop — same divergent commit, same commit counter — for a
+ * divergence of every one of the 8 kinds, at every position in the
+ * trace.
+ */
+TEST(DiffChecker, CompareTraceMatchesSequentialForAllKinds)
+{
+    // One mutation per mismatch kind, applied to the DUT commit.
+    const std::pair<MismatchKind,
+                    std::function<void(core::CommitInfo &)>>
+        mutations[] = {
+            {MismatchKind::NextPc,
+             [](core::CommitInfo &c) { c.nextPc = 0x777; }},
+            {MismatchKind::TrapBehaviour,
+             [](core::CommitInfo &c) {
+                 c.trapped = true;
+                 c.trapCause = 2;
+             }},
+            {MismatchKind::RdValue,
+             [](core::CommitInfo &c) { c.rdValue ^= 0xF00; }},
+            {MismatchKind::FrdValue,
+             [](core::CommitInfo &c) {
+                 c.frdWritten = true;
+                 c.frdValue = 0x3FF0000000000000ull;
+             }},
+            {MismatchKind::Fflags,
+             [](core::CommitInfo &c) { c.fflagsAccrued = 0x10; }},
+            {MismatchKind::CsrEffect,
+             [](core::CommitInfo &c) {
+                 c.csrWritten = true;
+                 c.csrNewValue = 0xABC;
+             }},
+            {MismatchKind::Minstret,
+             [](core::CommitInfo &c) { c.minstretAfter += 1; }},
+            {MismatchKind::MemEffect,
+             [](core::CommitInfo &c) {
+                 c.memAccess = true;
+                 c.memAddr = 0x5000;
+             }},
+        };
+
+    for (const auto &[kind, mutate] : mutations) {
+        for (const size_t pos : {size_t{0}, size_t{3}, size_t{7}}) {
+            std::vector<core::CommitInfo> dut(8), ref(8);
+            for (size_t i = 0; i < 8; ++i) {
+                auto c = baseCommit();
+                c.pc += 4 * i;
+                c.minstretAfter = 10 + i;
+                if (kind == MismatchKind::MemEffect) {
+                    // MemEffect only fires when BOTH sides access.
+                    c.memAccess = true;
+                    c.memAddr = 0x4000 + 8 * i;
+                }
+                dut[i] = ref[i] = c;
+            }
+            mutate(dut[pos]);
+
+            DiffChecker batch(DiffChecker::Mode::PerInstruction);
+            DiffChecker seq(DiffChecker::Mode::PerInstruction);
+            const auto bm =
+                batch.compareTrace(dut.data(), ref.data(), 8);
+            std::optional<Mismatch> sm;
+            for (size_t i = 0; i < 8 && !sm; ++i)
+                sm = seq.compare(dut[i], ref[i]);
+
+            ASSERT_TRUE(bm.has_value())
+                << mismatchKindName(kind) << " @" << pos;
+            ASSERT_TRUE(sm.has_value());
+            EXPECT_EQ(bm->kind, kind);
+            EXPECT_EQ(bm->kind, sm->kind);
+            EXPECT_EQ(bm->instrIndex, pos);
+            EXPECT_EQ(bm->instrIndex, sm->instrIndex);
+            EXPECT_EQ(bm->pc, sm->pc);
+            EXPECT_EQ(bm->dutValue, sm->dutValue);
+            EXPECT_EQ(bm->refValue, sm->refValue);
+            // Counter stops at the divergent pair, like the loop.
+            EXPECT_EQ(batch.commitsChecked(), seq.commitsChecked());
+            EXPECT_EQ(batch.commitsChecked(), pos + 1);
+        }
+    }
+}
+
+TEST(DiffChecker, CompareTraceCleanTraceCountsAllCommits)
+{
+    std::vector<core::CommitInfo> trace(16, baseCommit());
+    DiffChecker chk(DiffChecker::Mode::PerInstruction);
+    EXPECT_FALSE(
+        chk.compareTrace(trace.data(), trace.data(), 16).has_value());
+    EXPECT_EQ(chk.commitsChecked(), 16u);
+}
+
+/**
+ * Trap-window resynchronization: when DUT and REF trap identically on
+ * the same commit, both streams redirect to the handler together —
+ * the pairwise alignment survives the trap window and the batch diff
+ * keeps going without reporting a divergence.
+ */
+TEST(DiffChecker, CompareTraceResynchronizesAcrossSharedTrap)
+{
+    std::vector<core::CommitInfo> dut(6), ref(6);
+    for (size_t i = 0; i < 6; ++i) {
+        auto c = baseCommit();
+        c.pc += 4 * i;
+        dut[i] = ref[i] = c;
+    }
+    // Both harts trap at commit 2 with the same cause and resume at
+    // the same handler PC.
+    for (auto *t : {&dut, &ref}) {
+        (*t)[2].trapped = true;
+        (*t)[2].trapCause = 2;
+        (*t)[2].nextPc = 0x80010000;
+        (*t)[3].pc = 0x80010000;
+    }
+    DiffChecker chk(DiffChecker::Mode::PerInstruction);
+    EXPECT_FALSE(
+        chk.compareTrace(dut.data(), ref.data(), 6).has_value());
+    EXPECT_EQ(chk.commitsChecked(), 6u);
+
+    // A cause disagreement inside the window IS the divergence.
+    ref[2].trapCause = 5;
+    DiffChecker chk2(DiffChecker::Mode::PerInstruction);
+    const auto mm = chk2.compareTrace(dut.data(), ref.data(), 6);
+    ASSERT_TRUE(mm.has_value());
+    EXPECT_EQ(mm->kind, MismatchKind::TrapBehaviour);
+    EXPECT_EQ(mm->instrIndex, 2u);
 }
 
 TEST(DiffChecker, FinalStateCompare)

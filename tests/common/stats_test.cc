@@ -49,6 +49,84 @@ TEST(TimeSeries, NonMonotonicTimePanics)
     EXPECT_DEATH(s.record(4.0, 2.0), "non-monotonic");
 }
 
+TEST(TimeSeries, DecimationKeepsEveryNthPlusLatest)
+{
+    TimeSeries s("dec");
+    s.setDecimation(3);
+    for (int i = 0; i < 10; ++i)
+        s.record(i, 100.0 + i);
+
+    // Kept: calls 0, 3, 6, 9 — call 9 doubles as the exact tail.
+    ASSERT_EQ(s.samples().size(), 4u);
+    EXPECT_DOUBLE_EQ(s.samples()[0].timeSec, 0.0);
+    EXPECT_DOUBLE_EQ(s.samples()[1].timeSec, 3.0);
+    EXPECT_DOUBLE_EQ(s.samples()[2].timeSec, 6.0);
+    EXPECT_DOUBLE_EQ(s.samples()[3].timeSec, 9.0);
+    EXPECT_DOUBLE_EQ(s.last(), 109.0);
+
+    // One more (call 10, not a multiple of 3): the provisional tail
+    // is replaced, keeping last() exact without unbounded growth.
+    s.record(10, 110.0);
+    ASSERT_EQ(s.samples().size(), 5u);
+    EXPECT_DOUBLE_EQ(s.samples()[4].timeSec, 10.0);
+    EXPECT_DOUBLE_EQ(s.last(), 110.0);
+    s.record(11, 111.0);
+    ASSERT_EQ(s.samples().size(), 5u);
+    EXPECT_DOUBLE_EQ(s.last(), 111.0);
+}
+
+TEST(TimeSeries, DecimationOfOneIsBitIdentical)
+{
+    TimeSeries plain("plain"), dec("dec");
+    dec.setDecimation(1);
+    for (int i = 0; i < 50; ++i) {
+        plain.record(i * 0.5, i);
+        dec.record(i * 0.5, i);
+    }
+    ASSERT_EQ(plain.samples().size(), dec.samples().size());
+    for (size_t i = 0; i < plain.samples().size(); ++i) {
+        EXPECT_DOUBLE_EQ(plain.samples()[i].timeSec,
+                         dec.samples()[i].timeSec);
+        EXPECT_DOUBLE_EQ(plain.samples()[i].value,
+                         dec.samples()[i].value);
+    }
+}
+
+TEST(TimeSeries, DecimationBoundsGrowth)
+{
+    TimeSeries s("big");
+    s.setDecimation(100);
+    for (int i = 0; i < 100000; ++i)
+        s.record(i, i);
+    EXPECT_LE(s.samples().size(), 100000 / 100 + 1);
+    EXPECT_DOUBLE_EQ(s.last(), 99999.0);
+}
+
+TEST(ThroughputMeter, AccumulatesAndRates)
+{
+    ThroughputMeter m;
+    m.addCommits(4000);
+    m.addCommits(1000);
+    m.addIterations(5);
+    EXPECT_EQ(m.commits(), 5000u);
+    EXPECT_EQ(m.iterations(), 5u);
+    EXPECT_GE(m.elapsedSec(), 0.0);
+    // stop() freezes the clock: both rates derive from ONE elapsed
+    // reading, so they are in exact counter proportion.
+    m.stop();
+    EXPECT_DOUBLE_EQ(m.elapsedSec(), m.elapsedSec());
+    const double cps = m.commitsPerSec();
+    const double ips = m.itersPerSec();
+    EXPECT_GE(cps, 0.0);
+    EXPECT_GE(ips, 0.0);
+    if (ips > 0.0)
+        EXPECT_NEAR(cps / ips, 1000.0, 1e-9);
+
+    m.restart();
+    EXPECT_EQ(m.commits(), 0u);
+    EXPECT_EQ(m.iterations(), 0u);
+}
+
 TEST(TablePrinter, AlignedOutput)
 {
     TablePrinter t({"Fuzzer", "Speed"});

@@ -78,6 +78,85 @@ opsR(unsigned rd, unsigned rs1, unsigned rs2)
     return o;
 }
 
+/** A commit compares equal field-by-field (batched-engine contract). */
+void
+expectSameCommit(const CommitInfo &a, const CommitInfo &b)
+{
+    EXPECT_EQ(a.pc, b.pc);
+    EXPECT_EQ(a.nextPc, b.nextPc);
+    EXPECT_EQ(a.insn, b.insn);
+    EXPECT_EQ(a.decodeValid, b.decodeValid);
+    EXPECT_EQ(a.rdWritten, b.rdWritten);
+    EXPECT_EQ(a.rdValue, b.rdValue);
+    EXPECT_EQ(a.frdWritten, b.frdWritten);
+    EXPECT_EQ(a.frdValue, b.frdValue);
+    EXPECT_EQ(a.trapped, b.trapped);
+    EXPECT_EQ(a.trapCause, b.trapCause);
+    EXPECT_EQ(a.memAccess, b.memAccess);
+    EXPECT_EQ(a.memAddr, b.memAddr);
+    EXPECT_EQ(a.minstretAfter, b.minstretAfter);
+    EXPECT_EQ(a.fflagsAccrued, b.fflagsAccrued);
+}
+
+TEST(IssStepMany, MatchesPerStepExecution)
+{
+    auto build = [](Program &p) {
+        p.add(Opcode::Addi, opsRdRs1Imm(5, 0, 7));
+        p.add(Opcode::Addi, opsRdRs1Imm(6, 5, 3));
+        p.add(Opcode::Add, opsR(7, 5, 6));
+        p.add(Opcode::Sd, [] {
+            Operands o;
+            o.rs1 = 0;
+            o.rs2 = 7;
+            o.imm = 0x100;
+            return o;
+        }());
+        p.add(Opcode::Ld, opsRdRs1Imm(8, 0, 0x100));
+        p.add(Opcode::Addi, opsRdRs1Imm(9, 8, 1));
+    };
+
+    Program seq;
+    build(seq);
+    std::vector<CommitInfo> expected;
+    for (int i = 0; i < 6; ++i)
+        expected.push_back(seq.step());
+
+    Program batched;
+    build(batched);
+    CommitTrace trace;
+    const uint64_t n = batched.iss.stepMany(
+        trace, 6, [](const CommitInfo &) { return false; });
+    ASSERT_EQ(n, 6u);
+    ASSERT_EQ(trace.size(), 6u);
+    for (size_t i = 0; i < 6; ++i)
+        expectSameCommit(trace[i], expected[i]);
+    EXPECT_EQ(batched.iss.state().pc, seq.iss.state().pc);
+    EXPECT_EQ(batched.iss.state().x(9), seq.iss.state().x(9));
+}
+
+TEST(IssStepMany, StopFunctorEndsBatchAfterMatchingCommit)
+{
+    Program p;
+    for (int i = 0; i < 8; ++i)
+        p.add(Opcode::Addi, opsRdRs1Imm(5, 5, 1));
+
+    CommitTrace trace;
+    const uint64_t n = p.iss.stepMany(
+        trace, 8, [&](const CommitInfo &ci) {
+            return ci.rdValue == 3; // stop at the third increment
+        });
+    EXPECT_EQ(n, 3u);
+    EXPECT_EQ(trace.size(), 3u);
+    EXPECT_EQ(p.iss.state().x(5), 3u);
+    // The trace buffer is reusable: clear() keeps capacity, append()
+    // continues from the front.
+    trace.clear();
+    EXPECT_TRUE(trace.empty());
+    p.iss.stepMany(trace, 2, [](const CommitInfo &) { return false; });
+    EXPECT_EQ(trace.size(), 2u);
+    EXPECT_EQ(trace[1].rdValue, 5u);
+}
+
 TEST(IssInteger, AddiAndX0)
 {
     Program p;

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "isa/encoding.hh"
 #include "rtl/driver.hh"
 
@@ -156,6 +158,170 @@ TEST(EventDriver, ResetClearsSequentialState)
     drv.reset();
     EXPECT_EQ(roleValue(*m, RegRole::LoopFsm), 0u);
     EXPECT_EQ(roleValue(*m, RegRole::OpClass), 0u);
+}
+
+/**
+ * A commit sequence exercising every sequential tracker the driver
+ * owns: loops (backward branches), call/return depth, constant-stride
+ * and page-miss memory traffic (stride/dcache/PTW/TLB FSMs), icache
+ * locality, LR/SC reservation, FP, CSR, mul/div and the occupancy
+ * estimators.
+ */
+std::vector<core::CommitInfo>
+sequentialStimulus()
+{
+    std::vector<core::CommitInfo> seq;
+    // Loop detector: taken backward branches to one target.
+    for (int i = 0; i < 3; ++i) {
+        auto ci = commitFor(isa::Opcode::Bne, 0x2000);
+        ci.branchTaken = true;
+        ci.nextPc = 0x1F00;
+        seq.push_back(ci);
+    }
+    // Call (rd == ra) then return (jalr rs1 == ra, rd == x0).
+    {
+        auto call = commitFor(isa::Opcode::Jal, 0x2100);
+        call.ops.rd = 1;
+        seq.push_back(call);
+        auto ret = commitFor(isa::Opcode::Jalr, 0x3000);
+        ret.ops.rd = 0;
+        ret.ops.rs1 = 1;
+        seq.push_back(ret);
+    }
+    // Strided loads (stride FSM + recent-page window + PTW/TLB).
+    for (int i = 0; i < 5; ++i) {
+        auto ci = commitFor(isa::Opcode::Ld, 0x3000 + 4 * i);
+        ci.memAccess = true;
+        ci.memAddr = 0x8000 + 8 * i;
+        ci.memSize = 8;
+        ci.rdWritten = true;
+        ci.rdValue = 0x1234 + i;
+        seq.push_back(ci);
+    }
+    // Page-missing stores walk the PTW/TLB FSMs.
+    for (int i = 0; i < 4; ++i) {
+        auto ci = commitFor(isa::Opcode::Sd, 0x3100 + 4 * i);
+        ci.memAccess = true;
+        ci.memWrite = true;
+        ci.memAddr = 0x100000ull * (i + 2);
+        ci.memSize = 8;
+        seq.push_back(ci);
+    }
+    // LR arms the reservation, SC clears it.
+    {
+        auto lr = commitFor(isa::Opcode::LrD, 0x3200);
+        lr.memAccess = true;
+        lr.memAddr = 0x9000;
+        lr.memSize = 8;
+        seq.push_back(lr);
+        auto sc = commitFor(isa::Opcode::ScD, 0x3204);
+        sc.memAccess = true;
+        sc.memWrite = true;
+        sc.memAddr = 0x9000;
+        sc.memSize = 8;
+        seq.push_back(sc);
+    }
+    // FP, CSR, mul/div and a trap round out the role set.
+    {
+        auto fp = commitFor(isa::Opcode::FmulD, 0x3300);
+        fp.frdWritten = true;
+        fp.frdValue = 0x4000000000000000ull;
+        fp.fpClassRs1 = 4;
+        fp.fpClassRs2 = 6;
+        fp.fflagsAccrued = 1;
+        seq.push_back(fp);
+        auto csr = commitFor(isa::Opcode::Csrrw, 0x3304);
+        csr.ops.csr = 0x305;
+        seq.push_back(csr);
+        auto mul = commitFor(isa::Opcode::Mul, 0x3308);
+        mul.rdWritten = true;
+        mul.rdValue = 0x40;
+        seq.push_back(mul);
+        auto trap = commitFor(isa::Opcode::Ecall, 0x330C);
+        trap.trapped = true;
+        trap.trapCause = 11;
+        trap.nextPc = 0x80010000;
+        seq.push_back(trap);
+    }
+    return seq;
+}
+
+/** All register values of the tree, in visit order. */
+std::vector<uint64_t>
+registerValues(Module &m)
+{
+    std::vector<uint64_t> vals;
+    m.visit([&](Module &mod) {
+        for (const Register &r : mod.registers())
+            vals.push_back(r.value);
+    });
+    return vals;
+}
+
+/**
+ * Regression for EventDriver::reset(): EVERY piece of sequential
+ * tracking state (loop/stride/cache/PTW/TLB/occupancy/branch
+ * history/reservation/...) must clear, so two identical iterations
+ * separated by a reset drive identical register values at every
+ * commit.
+ */
+TEST(EventDriver, ResetMakesIterationsIdentical)
+{
+    auto m = probeModule();
+    // Extend the probe with the remaining sequential roles.
+    m->addRegister("bhist", 6, RegRole::BranchHistory);
+    m->addRegister("cfdepth", 4, RegRole::CfDepth);
+    m->addRegister("dcache", 3, RegRole::DcacheFsm);
+    m->addRegister("icache", 2, RegRole::IcacheFsm);
+    m->addRegister("ptw", 3, RegRole::PtwFsm);
+    m->addRegister("tlb", 2, RegRole::TlbFsm);
+    m->addRegister("rob", 5, RegRole::RobOcc);
+    m->addRegister("iq", 4, RegRole::IqOcc);
+    m->addRegister("res", 1, RegRole::ResState);
+    EventDriver drv(m.get());
+
+    const std::vector<core::CommitInfo> seq = sequentialStimulus();
+
+    std::vector<std::vector<uint64_t>> first;
+    for (const auto &ci : seq) {
+        drv.onCommit(ci);
+        first.push_back(registerValues(*m));
+    }
+
+    drv.reset();
+
+    for (size_t i = 0; i < seq.size(); ++i) {
+        drv.onCommit(seq[i]);
+        EXPECT_EQ(registerValues(*m), first[i]) << "commit " << i;
+    }
+}
+
+/**
+ * The incremental batch path (onTrace / onCommitDirty) must leave
+ * exactly the register values the per-commit full path computes.
+ */
+TEST(EventDriver, OnTraceMatchesPerCommitDrive)
+{
+    const std::vector<core::CommitInfo> seq = sequentialStimulus();
+
+    auto m_full = probeModule();
+    EventDriver full(m_full.get());
+    for (const auto &ci : seq)
+        full.onCommit(ci);
+
+    auto m_batch = probeModule();
+    EventDriver batch(m_batch.get());
+    batch.onTrace(seq.data(), seq.size());
+
+    EXPECT_EQ(registerValues(*m_batch), registerValues(*m_full));
+
+    // Split sweeps (batch boundaries) must not change the outcome.
+    auto m_split = probeModule();
+    EventDriver split(m_split.get());
+    const size_t half = seq.size() / 2;
+    split.onTrace(seq.data(), half);
+    split.onTrace(seq.data() + half, seq.size() - half);
+    EXPECT_EQ(registerValues(*m_split), registerValues(*m_full));
 }
 
 TEST(EventDriver, FpKindEncoding)

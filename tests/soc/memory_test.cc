@@ -97,6 +97,85 @@ TEST(Memory, Reset)
     EXPECT_EQ(m.residentPages(), 0u);
 }
 
+TEST(MemoryJournal, UndoRestoresPriorContents)
+{
+    Memory m;
+    m.write64(0x1000, 0x1111111111111111ull);
+    m.write32(0x2000, 0x22222222u);
+    m.write8(0x3000, 0x33);
+
+    MemWriteJournal j;
+    m.setJournal(&j);
+    // Overlapping rewrites of existing bytes, fresh bytes, a
+    // page-straddling store and repeated writes to one address.
+    m.write64(0x1000, 0xAAAAAAAAAAAAAAAAull);
+    m.write32(0x1004, 0xBBBBBBBBu);
+    m.write16(0x2000, 0xCCCC);
+    m.write8(0x3000, 0xDD);
+    m.write8(0x3000, 0xEE);
+    // Page-straddling store into otherwise untouched pages.
+    m.write64(5 * Memory::pageSize - 3, 0x0123456789ABCDEFull);
+    m.write64(0x9000, 0x4444444444444444ull);
+    m.setJournal(nullptr);
+    EXPECT_FALSE(j.empty());
+
+    m.undo(j);
+    EXPECT_EQ(m.read64(0x1000), 0x1111111111111111ull);
+    EXPECT_EQ(m.read32(0x2000), 0x22222222u);
+    EXPECT_EQ(m.read8(0x3000), 0x33u);
+    EXPECT_EQ(m.read64(5 * Memory::pageSize - 3), 0u);
+    EXPECT_EQ(m.read64(0x9000), 0u);
+}
+
+TEST(MemoryJournal, DetachedWritesAreNotJournaled)
+{
+    Memory m;
+    m.write8(0x0, 0); // page resident before the journal attaches
+    MemWriteJournal j;
+    m.setJournal(&j);
+    m.write8(0x10, 1);
+    m.setJournal(nullptr);
+    m.write8(0x20, 2); // not journaled
+    EXPECT_EQ(j.size(), 1u);
+
+    m.undo(j);
+    EXPECT_EQ(m.read8(0x10), 0u); // undone
+    EXPECT_EQ(m.read8(0x20), 2u); // untouched
+}
+
+TEST(MemoryJournal, UndoDropsPagesTheWritesCreated)
+{
+    Memory m;
+    m.write8(0x1000, 0x11); // resident before the journal attaches
+    const size_t resident_before = m.residentPages();
+
+    MemWriteJournal j;
+    m.setJournal(&j);
+    m.write8(0x1001, 0x22);  // existing page: stays after undo
+    m.write64(0x8000, 0x99); // fresh page: must vanish on undo
+    m.setJournal(nullptr);
+    EXPECT_EQ(m.residentPages(), resident_before + 1);
+
+    // Snapshots serialize page residency, so undo must restore it
+    // too — not just byte contents (mismatch-snapshot equivalence).
+    m.undo(j);
+    EXPECT_EQ(m.residentPages(), resident_before);
+    EXPECT_EQ(m.read8(0x1000), 0x11u);
+    EXPECT_EQ(m.read8(0x1001), 0u);
+    EXPECT_EQ(m.read64(0x8000), 0u);
+}
+
+TEST(MemoryJournal, CopyDoesNotTransferJournal)
+{
+    Memory a;
+    MemWriteJournal j;
+    a.setJournal(&j);
+    Memory b = a;
+    b.write8(0x10, 7); // b has no journal attached
+    EXPECT_TRUE(j.empty());
+    a.setJournal(nullptr);
+}
+
 TEST(Bram, CapacityEnforced)
 {
     Bram b(16);
