@@ -15,6 +15,7 @@
 #include "isa/encoding.hh"
 #include "rtl/cores.hh"
 #include "rtl/driver.hh"
+#include "triage/replay.hh"
 
 using namespace turbofuzz;
 
@@ -159,6 +160,90 @@ BENCHMARK(BM_EngineIterationBatch)
     ->Arg(64)
     ->Arg(256)
     ->Arg(4096)
+    ->Unit(benchmark::kMicrosecond);
+
+/**
+ * The acceptance benchmark of snapshot warm-start: full campaign
+ * iterations with (arg=1) and without (arg=0) the post-preamble
+ * snapshot restore. items_per_second reports committed instructions
+ * per host second; warm start must beat cold start while producing
+ * bit-identical campaign results (tests/engine/ warm equivalence
+ * suite). The margin scales with the preamble share of the
+ * iteration — the constant prefix is executed and lockstep-checked
+ * on every cold iteration, and only swept on warm ones.
+ */
+void
+BM_WarmStartIteration(benchmark::State &state)
+{
+    static isa::InstructionLibrary lib = harness::makeDefaultLibrary();
+    auto opts = harness::CampaignOptions{};
+    opts.timing = soc::turboFuzzProfile();
+    opts.warmStart = state.range(0) != 0;
+    fuzzer::FuzzerOptions fopts;
+    fopts.instrsPerIteration = 1000;
+    harness::Campaign campaign(
+        opts,
+        std::make_unique<fuzzer::TurboFuzzGenerator>(fopts, &lib));
+    uint64_t commits = 0;
+    for (auto _ : state) {
+        const harness::IterationResult r = campaign.runIteration();
+        commits += r.executedTotal;
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(commits));
+    state.SetLabel(opts.warmStart ? "warm" : "cold");
+}
+BENCHMARK(BM_WarmStartIteration)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMicrosecond);
+
+/**
+ * Warm-start on the triage replay path: cold ReplayHarness::replay
+ * (full re-materialization + preamble re-execution per replay)
+ * versus the warm ReplayHarness::Context the minimizer uses (base
+ * image copy + post-prefix snapshot restore). Replay carries no
+ * coverage/RTL hooks, so the preamble share — and the warm margin —
+ * is larger than in full campaign iterations; this is the cost that
+ * multiplies by ~130 ddmin replays per minimized bug.
+ */
+void
+BM_WarmStartReplay(benchmark::State &state)
+{
+    static isa::InstructionLibrary lib = harness::makeDefaultLibrary();
+    static const triage::Reproducer repro = [] {
+        harness::CampaignOptions opts;
+        opts.timing = soc::turboFuzzProfile();
+        opts.coreKind = core::CoreKind::Cva6;
+        opts.bugs = core::BugSet::single(core::BugId::C5);
+        fuzzer::FuzzerOptions fopts;
+        fopts.instrsPerIteration = 1000;
+        harness::Campaign campaign(
+            opts, std::make_unique<fuzzer::TurboFuzzGenerator>(
+                      fopts, &lib));
+        for (int i = 0; i < 5000 && campaign.reproducers().empty();
+             ++i)
+            campaign.runIteration();
+        if (campaign.reproducers().empty())
+            std::abort(); // C5 fires within the budget by construction
+        return campaign.reproducers().front();
+    }();
+
+    const bool warm = state.range(0) != 0;
+    const triage::ReplayHarness::Context ctx(repro);
+    uint64_t commits = 0;
+    for (auto _ : state) {
+        const triage::ReplayResult r =
+            warm ? ctx.replay(repro)
+                 : triage::ReplayHarness::replay(repro);
+        benchmark::DoNotOptimize(r.mismatched);
+        commits += r.executed;
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(commits));
+    state.SetLabel(warm ? "warm" : "cold");
+}
+BENCHMARK(BM_WarmStartReplay)
+    ->Arg(0)
+    ->Arg(1)
     ->Unit(benchmark::kMicrosecond);
 
 } // namespace

@@ -5,18 +5,27 @@
  *
  *   ./fleet_demo [--shards=N] [--budget=SEC] [--epoch=SEC]
  *                [--fleet-seed=N] [--topology=none|ring|broadcast]
+ *                [--checkpoint-every=N --checkpoint-path=FILE]
+ *                [--halt-after=N] [--resume-from=FILE]
  *
  * Each shard models one FPGA board running the complete on-fabric
  * TurboFuzz loop; the host synchronizes them once per epoch. See
- * docs/fleet.md for the epoch/sync model.
+ * docs/fleet.md for the epoch/sync model. With checkpointing enabled
+ * the orchestrator writes a resumable snapshot-section file at epoch
+ * barriers; `--halt-after=N` simulates a killed fleet, and
+ * `--resume-from=FILE` continues it — producing results identical to
+ * an uninterrupted run (docs/snapshot.md).
  */
 
 #include <cstdio>
+#include <string>
 
 #include "common/fleet_config.hh"
+#include "common/logging.hh"
 #include "fleet/fleet_stats.hh"
 #include "fleet/orchestrator.hh"
 #include "harness/campaign.hh"
+#include "soc/snapshot.hh"
 
 using namespace turbofuzz;
 
@@ -48,6 +57,18 @@ main(int argc, char **argv)
     fuzzer::FuzzerOptions fopts;
 
     fleet::FleetOrchestrator orch(fc, copts, fopts, &lib);
+    const std::string resume_path = cfg.getString("resume-from", "");
+    if (!resume_path.empty()) {
+        std::string error;
+        const auto snap = soc::Snapshot::tryLoadFile(resume_path,
+                                                     &error);
+        if (!snap)
+            fatal("%s", error.c_str());
+        if (!orch.restoreCheckpoint(*snap, &error))
+            fatal("%s", error.c_str());
+        std::printf("resumed from %s (%s)\n\n", resume_path.c_str(),
+                    snap->trigger().c_str());
+    }
     const fleet::FleetResult result = orch.run();
 
     std::printf("merged coverage over time:\n");

@@ -155,4 +155,33 @@ captureMismatchSnapshot(const Mismatch &mm, const core::Iss &dut,
     return snap;
 }
 
+void
+writeMismatch(soc::SnapshotWriter &out, const Mismatch &mm)
+{
+    out.putU8(static_cast<uint8_t>(mm.kind));
+    out.putU64(mm.pc);
+    out.putU32(mm.insn);
+    out.putU64(mm.dutValue);
+    out.putU64(mm.refValue);
+    out.putU64(mm.instrIndex);
+}
+
+bool
+readMismatch(soc::SnapshotReader &in, Mismatch &mm, std::string *error)
+{
+    const uint8_t kind = in.getU8();
+    if (kind > static_cast<uint8_t>(MismatchKind::MemEffect)) {
+        if (error)
+            *error = "bad mismatch kind";
+        return false;
+    }
+    mm.kind = static_cast<MismatchKind>(kind);
+    mm.pc = in.getU64();
+    mm.insn = in.getU32();
+    mm.dutValue = in.getU64();
+    mm.refValue = in.getU64();
+    mm.instrIndex = in.getU64();
+    return true;
+}
+
 } // namespace turbofuzz::checker

@@ -115,6 +115,16 @@ class DiffChecker
     /** Commits examined so far. */
     uint64_t commitsChecked() const { return commits; }
 
+    /**
+     * Advance the commit counter over commits verified elsewhere —
+     * the warm-start prologue, whose constant prefix was proven
+     * divergence-free once at capture time (engine::captureWarmStart)
+     * and therefore needs no per-iteration re-compare. Keeping the
+     * counter in step preserves Mismatch::instrIndex arithmetic
+     * exactly as if the commits had been compared pairwise.
+     */
+    void skipCommits(uint64_t n) { commits += n; }
+
   private:
     Mode checkMode;
     uint64_t commits = 0;
@@ -128,6 +138,15 @@ soc::Snapshot captureMismatchSnapshot(const Mismatch &mm,
                                       const core::Iss &dut,
                                       const core::Iss &ref,
                                       double sim_time_sec);
+
+/** Append @p mm in the checkpoint wire layout (one shared layout for
+ *  campaign- and fleet-level checkpoints). */
+void writeMismatch(soc::SnapshotWriter &out, const Mismatch &mm);
+
+/** Parse a writeMismatch() record with kind-range validation.
+ *  @return false with @p error set (when non-null) on bad input. */
+bool readMismatch(soc::SnapshotReader &in, Mismatch &mm,
+                  std::string *error = nullptr);
 
 } // namespace turbofuzz::checker
 

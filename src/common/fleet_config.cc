@@ -110,6 +110,21 @@ FleetConfig::fromConfig(const Config &cfg)
     else
         fatal("unknown fleet topology '%s'", topo.c_str());
 
+    const int64_t ckpt_every = cfg.getInt("checkpoint-every", 0);
+    if (ckpt_every < 0 || ckpt_every > UINT32_MAX)
+        fatal("checkpoint-every out of range (got %lld)",
+              static_cast<long long>(ckpt_every));
+    fc.checkpointEveryEpochs = static_cast<uint32_t>(ckpt_every);
+    fc.checkpointPath = cfg.getString("checkpoint-path", "");
+    if (fc.checkpointEveryEpochs > 0 && fc.checkpointPath.empty())
+        fatal("checkpoint-every requires checkpoint-path");
+
+    const int64_t halt_after = cfg.getInt("halt-after", 0);
+    if (halt_after < 0 || halt_after > UINT32_MAX)
+        fatal("halt-after out of range (got %lld)",
+              static_cast<long long>(halt_after));
+    fc.haltAfterEpochs = static_cast<uint32_t>(halt_after);
+
     return fc;
 }
 

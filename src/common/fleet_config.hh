@@ -19,6 +19,7 @@
 #define TURBOFUZZ_COMMON_FLEET_CONFIG_HH
 
 #include <cstdint>
+#include <string>
 
 #include "common/config.hh"
 
@@ -82,6 +83,28 @@ struct FleetConfig
 
     /** Reproducers each shard may retain (campaign-level cap). */
     uint32_t maxReproducersPerShard = 8;
+
+    /**
+     * Checkpoint/resume: write a full fleet checkpoint (every
+     * shard's campaign state, the merged coverage, the triage queue
+     * and the partial results) to checkpointPath after every N epoch
+     * barriers. 0 disables checkpointing. A killed fleet is resumed
+     * by constructing a fresh orchestrator with the SAME
+     * configuration and calling restoreCheckpoint() before run();
+     * the resumed run is bit-identical to an uninterrupted one
+     * (docs/snapshot.md).
+     */
+    uint32_t checkpointEveryEpochs = 0;
+    std::string checkpointPath;
+
+    /**
+     * Stop the fleet after this many epoch barriers even when budget
+     * remains (0 = run to budget). Models a killed fleet for the
+     * resume determinism tests and gives operators a bounded-run
+     * knob; the returned FleetResult covers only the completed
+     * epochs.
+     */
+    uint32_t haltAfterEpochs = 0;
 
     /** Per-shard RNG seed; shardSeed(0) == fleetSeed. */
     uint64_t shardSeed(unsigned shard_idx) const;

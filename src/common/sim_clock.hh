@@ -70,6 +70,9 @@ class SimClock
     /** Reset to time zero. */
     void reset() { nowPs = 0; }
 
+    /** Restore an absolute time (campaign checkpoint resume). */
+    void restore(SimTime t) { nowPs = t; }
+
   private:
     SimTime nowPs = 0;
 };

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "common/logging.hh"
+#include "soc/snapshot.hh"
 
 namespace turbofuzz
 {
@@ -59,6 +60,49 @@ TimeSeries::valueAt(double t) const
         v = s.value;
     }
     return v;
+}
+
+void
+TimeSeries::saveState(soc::SnapshotWriter &out) const
+{
+    out.putU64(stride);
+    out.putU64(callCount);
+    out.putU8(tailProvisional ? 1 : 0);
+    out.putU32(static_cast<uint32_t>(data.size()));
+    for (const Sample &s : data) {
+        out.putF64(s.timeSec);
+        out.putF64(s.value);
+    }
+}
+
+bool
+TimeSeries::loadState(soc::SnapshotReader &in, std::string *error)
+{
+    auto fail = [&](const char *msg) {
+        if (error)
+            *error = msg;
+        return false;
+    };
+
+    if (in.remaining() < 8 + 8 + 1 + 4)
+        return fail("truncated time-series header");
+    stride = in.getU64();
+    if (stride < 1)
+        return fail("bad time-series decimation");
+    callCount = in.getU64();
+    tailProvisional = in.getU8() != 0;
+    const uint32_t count = in.getU32();
+    if (count > in.remaining() / 16)
+        return fail("time-series sample count exceeds buffer");
+    data.clear();
+    data.reserve(count);
+    for (uint32_t i = 0; i < count; ++i) {
+        Sample s;
+        s.timeSec = in.getF64();
+        s.value = in.getF64();
+        data.push_back(s);
+    }
+    return true;
 }
 
 TablePrinter::TablePrinter(std::vector<std::string> headers)

@@ -14,6 +14,12 @@
 #include <string>
 #include <vector>
 
+namespace turbofuzz::soc
+{
+class SnapshotWriter;
+class SnapshotReader;
+} // namespace turbofuzz::soc
+
 namespace turbofuzz
 {
 
@@ -62,6 +68,18 @@ class TimeSeries
 
     /** Value at time @p t (stepwise interpolation; 0 before start). */
     double valueAt(double t) const;
+
+    /**
+     * Checkpoint support: serialize samples plus the decimation
+     * cursor state, so a resumed recorder continues the keep-every-N
+     * pattern exactly where the checkpointed one left off.
+     */
+    void saveState(soc::SnapshotWriter &out) const;
+
+    /** Restore a saveState() image (replaces all samples).
+     *  @return false with @p error set on malformed input. */
+    bool loadState(soc::SnapshotReader &in,
+                   std::string *error = nullptr);
 
   private:
     std::string seriesName;

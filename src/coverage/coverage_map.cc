@@ -2,6 +2,7 @@
 
 #include "common/logging.hh"
 #include "rtl/driver.hh"
+#include "soc/snapshot.hh"
 
 namespace turbofuzz::coverage
 {
@@ -164,6 +165,47 @@ CoverageMap::merge(const CoverageMap &other)
         }
         coveredTotal += covered - coveredPerModule[i];
         coveredPerModule[i] = covered;
+    }
+}
+
+void
+CoverageMap::saveState(soc::SnapshotWriter &out) const
+{
+    out.putU32(static_cast<uint32_t>(bitmaps.size()));
+    for (size_t i = 0; i < bitmaps.size(); ++i) {
+        out.putU32(static_cast<uint32_t>(bitmaps[i].size()));
+        for (uint64_t word : bitmaps[i])
+            out.putU64(word);
+    }
+}
+
+bool
+CoverageMap::loadState(soc::SnapshotReader &in, std::string *error)
+{
+    auto fail = [&](const char *msg) {
+        if (error)
+            *error = msg;
+        return false;
+    };
+    try {
+        if (in.getU32() != bitmaps.size())
+            return fail("coverage module count mismatch");
+        coveredTotal = 0;
+        for (size_t i = 0; i < bitmaps.size(); ++i) {
+            if (in.getU32() != bitmaps[i].size())
+                return fail("coverage bitmap size mismatch");
+            uint64_t covered = 0;
+            for (uint64_t &word : bitmaps[i]) {
+                word = in.getU64();
+                covered += static_cast<uint64_t>(
+                    __builtin_popcountll(word));
+            }
+            coveredPerModule[i] = covered;
+            coveredTotal += covered;
+        }
+        return true;
+    } catch (const soc::SnapshotFormatError &e) {
+        return fail(e.what());
     }
 }
 

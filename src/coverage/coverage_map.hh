@@ -23,6 +23,12 @@ namespace turbofuzz::rtl
 class EventDriver;
 } // namespace turbofuzz::rtl
 
+namespace turbofuzz::soc
+{
+class SnapshotWriter;
+class SnapshotReader;
+} // namespace turbofuzz::soc
+
 namespace turbofuzz::core
 {
 struct CommitInfo;
@@ -98,6 +104,18 @@ class CoverageMap
      * re-merging the same map changes nothing.
      */
     void merge(const CoverageMap &other);
+
+    /** Checkpoint support: serialize all bitmaps + covered counts. */
+    void saveState(soc::SnapshotWriter &out) const;
+
+    /**
+     * Restore a saveState() image into a map over structurally
+     * identical instrumentation (same modules, same point counts).
+     * @return false with @p error set on malformed or mismatched
+     *         input.
+     */
+    bool loadState(soc::SnapshotReader &in,
+                   std::string *error = nullptr);
 
   private:
     /** Mark module @p i's current index; returns 1 if newly hit. */

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "engine/warm_start.hh"
 
 namespace turbofuzz::engine
 {
@@ -38,9 +39,43 @@ ExecutionEngine::rewind(core::Iss *core, const core::ArchState &saved,
     }
 }
 
+void
+ExecutionEngine::sweepStage(const core::CommitInfo *commits,
+                            uint64_t limit, const IterationPolicy &p,
+                            const Hooks &h, IterationOutcome &out)
+{
+    if (h.driver && h.coverage) {
+        out.newCoverage +=
+            h.coverage->recordTrace(*h.driver, commits, limit);
+    } else if (h.driver) {
+        h.driver->onTrace(commits, limit);
+    }
+    for (uint64_t c = 0; c < limit; ++c) {
+        const core::CommitInfo &ci = commits[c];
+        ++out.executedTotal;
+        if (ci.pc >= p.fuzzRegionStart && ci.pc < p.fuzzRegionEnd)
+            ++out.executedFuzz;
+        if (h.observer)
+            (*h.observer)(ci);
+        if (ci.trapped)
+            ++out.traps;
+        if (ci.memWrite) {
+            const uint64_t end = ci.memAddr + ci.memSize;
+            if (ci.memAddr >= p.instrBase &&
+                ci.memAddr < p.instrBase + p.instrSize) {
+                out.instrDirtyHigh = std::max(out.instrDirtyHigh, end);
+            } else if (ci.memAddr >= p.handlerBase &&
+                       ci.memAddr < p.handlerBase + p.handlerSize) {
+                out.handlerDirtyHigh =
+                    std::max(out.handlerDirtyHigh, end);
+            }
+        }
+    }
+}
+
 IterationOutcome
 ExecutionEngine::runIteration(const IterationPolicy &p,
-                              const Hooks &h)
+                              const Hooks &h, const WarmStart *warm)
 {
     IterationOutcome out;
     TF_ASSERT(!h.coverage || h.driver,
@@ -56,6 +91,28 @@ ExecutionEngine::runIteration(const IterationPolicy &p,
     // lockstep loop would have processed.
     uint64_t stepped = 0;
     uint64_t stepped_traps = 0;
+
+    if (warm) {
+        // Warm prologue: restore the post-prefix lockstep state and
+        // replay the captured prefix commits through the sweep stage
+        // — driver sequential state, coverage, counters and observer
+        // see the exact commit stream a cold execution produces —
+        // then advance the checker past the capture-verified prefix.
+        TF_ASSERT(warm->eligible(p),
+                  "warm start ineligible for this policy");
+        dut_->state() = warm->dutArch;
+        ref_->state() = warm->refArch;
+        // Only per-instruction checking examines (and counts) the
+        // prefix commits in a cold run; end-of-iteration mode never
+        // advances the commit counter, so neither may the skip.
+        if (per_instr)
+            checker_->skipCommits(warm->prefixCommits());
+        sweepStage(warm->prefixTrace.data(), warm->prefixCommits(),
+                   p, h, out);
+        stepped = warm->prefixCommits();
+        // The captured prefix is untrapped (capture invariant), so
+        // stepped_traps stays 0 — as it would after a cold prefix.
+    }
 
     // Rewind is reachable only when a divergence can be detected
     // mid-batch: per-commit checking with batches longer than one
@@ -121,35 +178,7 @@ ExecutionEngine::runIteration(const IterationPolicy &p,
         }
 
         // --- stage 4: sweep (driver + coverage + counters) --------
-        if (h.driver && h.coverage) {
-            out.newCoverage += h.coverage->recordTrace(
-                *h.driver, dutTrace.data(), limit);
-        } else if (h.driver) {
-            h.driver->onTrace(dutTrace.data(), limit);
-        }
-        for (uint64_t c = 0; c < limit; ++c) {
-            const core::CommitInfo &ci = dutTrace[c];
-            ++out.executedTotal;
-            if (ci.pc >= p.fuzzRegionStart && ci.pc < p.fuzzRegionEnd)
-                ++out.executedFuzz;
-            if (h.observer)
-                (*h.observer)(ci);
-            if (ci.trapped)
-                ++out.traps;
-            if (ci.memWrite) {
-                const uint64_t end = ci.memAddr + ci.memSize;
-                if (ci.memAddr >= p.instrBase &&
-                    ci.memAddr < p.instrBase + p.instrSize) {
-                    out.instrDirtyHigh =
-                        std::max(out.instrDirtyHigh, end);
-                } else if (ci.memAddr >= p.handlerBase &&
-                           ci.memAddr <
-                               p.handlerBase + p.handlerSize) {
-                    out.handlerDirtyHigh =
-                        std::max(out.handlerDirtyHigh, end);
-                }
-            }
-        }
+        sweepStage(dutTrace.data(), limit, p, h, out);
 
         if (mm) {
             // Rewind the phantom commits past the divergence so hart

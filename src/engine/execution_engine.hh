@@ -52,6 +52,8 @@
 namespace turbofuzz::engine
 {
 
+struct WarmStart;
+
 /**
  * Stop/abort policy of one iteration — the harness semantics the
  * classic loop evaluated inline, expressed as data so campaign
@@ -134,13 +136,27 @@ class ExecutionEngine
                     uint64_t batch_size);
 
     /**
-     * Run one full iteration (both harts already reset to the entry
-     * PC) to its stop condition or first divergence. On return with a
-     * mismatch, harts and DUT/REF memory are in the exact state the
-     * lockstep loop would have left them in at the divergent commit.
+     * Run one full iteration to its stop condition or first
+     * divergence. On return with a mismatch, harts and DUT/REF
+     * memory are in the exact state the lockstep loop would have
+     * left them in at the divergent commit.
+     *
+     * Cold start (@p warm == nullptr): both harts must already be
+     * reset to the iteration entry PC; execution begins there.
+     *
+     * Warm start (@p warm != nullptr, must be eligible() for this
+     * policy): instead of requiring reset harts, the engine restores
+     * the captured post-prefix state into both harts, advances the
+     * checker past the verified prefix commits, replays the captured
+     * prefix trace through the sweep stage, and begins live
+     * execution at the first data-dependent instruction. Outcome and
+     * machine state are bit-identical to the cold run — the warm
+     * path only skips re-executing and re-checking the constant
+     * prefix (see warm_start.hh).
      */
     IterationOutcome runIteration(const IterationPolicy &policy,
-                                  const Hooks &hooks);
+                                  const Hooks &hooks,
+                                  const WarmStart *warm = nullptr);
 
     uint64_t batchSize() const { return batch; }
 
@@ -152,6 +168,12 @@ class ExecutionEngine
                        const core::ArchState &saved,
                        const soc::MemWriteJournal &journal,
                        uint64_t commits);
+
+    /** Stage 4: drive RTL events + record coverage + accumulate the
+     *  per-commit counters over @p limit commits of @p commits. */
+    static void sweepStage(const core::CommitInfo *commits,
+                           uint64_t limit, const IterationPolicy &p,
+                           const Hooks &h, IterationOutcome &out);
 
     core::Iss *dut_;
     core::Iss *ref_;

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Warm-start state: the post-preamble snapshot that removes redundant
+ * per-iteration preamble re-execution from the hot path.
+ *
+ * Every TurboFuzzer iteration begins with the same constant
+ * instruction prefix (context setup + bootstrap boilerplate — see
+ * TurboFuzzer::warmPrefixCode). Executing it costs two hart
+ * executions plus a lockstep check per prefix instruction, per
+ * iteration, and — as TheHuzz/ProcessorFuzz observe for replay-heavy
+ * pipelines — the same cost is paid again by every one of the ~130
+ * ddmin replays a minimized bug needs. The prefix performs no memory
+ * accesses, so its execution is a pure function of (reset state,
+ * prefix code, bug set): captureWarmStart() runs it ONCE on a
+ * sandboxed DUT/REF pair, verifies it is straight-line, untrapped and
+ * divergence-free, and snapshots the post-prefix architectural state
+ * of both harts together with the DUT's commit trace.
+ *
+ * A warm iteration then
+ *   - restores both harts' post-prefix ArchState instead of resetting
+ *     and re-executing the prefix,
+ *   - advances the differential checker past the verified-identical
+ *     prefix commits (DiffChecker::skipCommits),
+ *   - replays the CAPTURED prefix commit trace through the sweep
+ *     stage (event driver, coverage, counters, observer) — the
+ *     commits are bit-identical to what a cold execution would have
+ *     produced, so the driver's sequential state, the coverage
+ *     bitmap and every counter evolve exactly as in a cold run,
+ * and continues live execution at the first data-dependent preamble
+ * instruction. The observable outcome is bit-identical to cold start
+ * (enforced by tests/engine/engine_equivalence_test.cc); only the
+ * redundant hart execution and checking of the constant prefix are
+ * skipped.
+ *
+ * When capture cannot prove the prefix is constant and
+ * divergence-free — e.g. an injected bug fires inside it — capture
+ * fails and callers simply keep cold-starting, which is always
+ * correct.
+ */
+
+#ifndef TURBOFUZZ_ENGINE_WARM_START_HH
+#define TURBOFUZZ_ENGINE_WARM_START_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/arch_state.hh"
+#include "core/commit_trace.hh"
+#include "core/iss.hh"
+
+namespace turbofuzz::engine
+{
+
+struct IterationPolicy;
+
+/** Captured post-prefix lockstep state (see file comment). */
+struct WarmStart
+{
+    /** Iteration entry PC the prefix was executed from. */
+    uint64_t entryPc = 0;
+
+    /** Post-prefix architectural state of each hart. */
+    core::ArchState dutArch;
+    core::ArchState refArch;
+
+    /**
+     * The DUT's prefix commit trace — constant across iterations and
+     * verified equal to the REF's at capture. Warm iterations replay
+     * it through the sweep stage (driver/coverage/counters).
+     */
+    core::CommitTrace prefixTrace;
+
+    uint64_t prefixCommits() const { return prefixTrace.size(); }
+
+    /**
+     * Whether this warm state may be used for an iteration governed
+     * by @p policy. The captured prefix is straight-line, untrapped
+     * and ends before the fuzzing region, so the only stop condition
+     * that could fire inside it is the step cap.
+     */
+    bool eligible(const IterationPolicy &policy) const;
+};
+
+/** What captureWarmStart() executes. */
+struct WarmStartSpec
+{
+    /** DUT configuration (bugs included — a bug that perturbs the
+     *  prefix makes capture fail, falling back to cold start). */
+    core::Iss::Options dutOpts;
+
+    /** Golden reference configuration. */
+    core::Iss::Options refOpts;
+
+    /** The constant prefix instruction words. */
+    std::vector<uint32_t> prefixCode;
+
+    /** Address the prefix is placed and executed at. */
+    uint64_t entryPc = 0;
+
+    /** Accessible ranges to mirror from the campaign cores. */
+    std::vector<std::pair<uint64_t, uint64_t>> accessRanges;
+};
+
+/**
+ * Execute @p spec's prefix once on a sandboxed DUT/REF pair and
+ * capture the post-prefix state. Returns std::nullopt when the
+ * prefix is not provably constant: a commit trapped, control flow
+ * left the straight line, or the DUT diverged from the REF.
+ */
+std::optional<WarmStart> captureWarmStart(const WarmStartSpec &spec);
+
+} // namespace turbofuzz::engine
+
+#endif // TURBOFUZZ_ENGINE_WARM_START_HH

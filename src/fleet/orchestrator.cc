@@ -1,9 +1,11 @@
 #include "fleet/orchestrator.hh"
 
 #include <algorithm>
+#include <string>
 
 #include "common/logging.hh"
 #include "fleet/worker_pool.hh"
+#include "soc/snapshot.hh"
 
 namespace turbofuzz::fleet
 {
@@ -142,7 +144,7 @@ FleetOrchestrator::run()
     const unsigned n = shardCount();
     const unsigned epochs = cfg.epochCount();
 
-    FleetResult result;
+    FleetResult &result = pending;
     result.shardCount = n;
     result.epochs = epochs;
     result.simBudgetSec = cfg.budgetSec;
@@ -151,8 +153,10 @@ FleetOrchestrator::run()
         cfg.workerThreads ? cfg.workerThreads : n;
     WorkerPool pool(threads);
 
-    StatsSnapshot prev_totals{};
-    for (unsigned e = 0; e < epochs; ++e) {
+    // epochsDone is 0 for a fresh fleet and the checkpointed barrier
+    // count after restoreCheckpoint() — the loop continues exactly
+    // where the killed run stopped.
+    for (unsigned e = epochsDone; e < epochs; ++e) {
         const double deadline = cfg.epochDeadline(e);
         for (auto &s : shards) {
             FleetShard *shard_ptr = s.get();
@@ -161,12 +165,29 @@ FleetOrchestrator::run()
             });
         }
         pool.wait();
-        epochBarrier(e, result, prev_totals);
+        epochBarrier(e, result, prevTotals);
+        epochsDone = e + 1;
+
+        if (cfg.checkpointEveryEpochs > 0 &&
+            epochsDone % cfg.checkpointEveryEpochs == 0 &&
+            epochsDone < epochs) {
+            // Checkpoint failures (unsupported generator, disk full,
+            // unwritable path) must never kill the campaign whose
+            // progress the checkpoint exists to protect.
+            std::string error;
+            const auto snap = makeCheckpoint(&error);
+            if (!snap ||
+                !snap->trySaveFile(cfg.checkpointPath, &error))
+                warn("fleet checkpoint skipped: %s", error.c_str());
+        }
+        if (cfg.haltAfterEpochs > 0 &&
+            epochsDone >= cfg.haltAfterEpochs)
+            break; // simulated kill: results cover completed epochs
     }
 
     for (const auto &s : shards)
         result.shardCoverage.push_back(s->coverageSeries());
-    result.totals = prev_totals;
+    result.totals = prevTotals;
     result.mergedFinalCoverage = globalMap->totalCovered();
 
     // Post-run triage: minimize each distinct bug's exemplar and
@@ -185,6 +206,193 @@ FleetOrchestrator::run()
     result.hostCommitsPerSec = meter.commitsPerSec();
     result.hostItersPerSec = meter.itersPerSec();
     return result;
+}
+
+namespace
+{
+
+constexpr uint32_t fleetCheckpointVersion = 1;
+
+void
+putStats(soc::SnapshotWriter &w, const StatsSnapshot &s)
+{
+    w.putU64(s.iterations);
+    w.putU64(s.executedInstrs);
+    w.putU64(s.generatedInstrs);
+    w.putU64(s.mismatches);
+}
+
+StatsSnapshot
+getStats(soc::SnapshotReader &r)
+{
+    StatsSnapshot s;
+    s.iterations = r.getU64();
+    s.executedInstrs = r.getU64();
+    s.generatedInstrs = r.getU64();
+    s.mismatches = r.getU64();
+    return s;
+}
+
+} // namespace
+
+std::optional<soc::Snapshot>
+FleetOrchestrator::makeCheckpoint(std::string *error) const
+{
+    const unsigned n = shardCount();
+    soc::Snapshot snap;
+    snap.setTrigger("fleet checkpoint after epoch " +
+                    std::to_string(epochsDone));
+
+    soc::SnapshotWriter meta;
+    meta.putU32(fleetCheckpointVersion);
+    meta.putU32(epochsDone);
+    meta.putU32(n);
+    meta.putU64(cfg.fleetSeed);
+    putStats(meta, prevTotals);
+    meta.putU64(pending.seedsExchanged);
+    meta.putU64(pending.seedsAdmitted);
+    meta.putU64(pending.reproducersHarvested);
+    for (unsigned i = 0; i < n; ++i)
+        meta.putU8(mismatchHarvested[i] ? 1 : 0);
+    snap.setSection("fleet.meta", meta.takeBuffer());
+
+    soc::SnapshotWriter series;
+    pending.mergedCoverage.saveState(series);
+    pending.throughput.saveState(series);
+    pending.prevalence.saveState(series);
+    snap.setSection("fleet.series", series.takeBuffer());
+
+    soc::SnapshotWriter mms;
+    mms.putU32(static_cast<uint32_t>(pending.mismatches.size()));
+    for (const ShardMismatch &sm : pending.mismatches) {
+        mms.putU32(sm.shard);
+        checker::writeMismatch(mms, sm.mismatch);
+        mms.putF64(sm.simTimeSec);
+    }
+    snap.setSection("fleet.mismatches", mms.takeBuffer());
+
+    soc::SnapshotWriter cov;
+    globalMap->saveState(cov);
+    snap.setSection("fleet.coverage", cov.takeBuffer());
+
+    soc::SnapshotWriter tri;
+    triage_.saveState(tri);
+    snap.setSection("fleet.triage", tri.takeBuffer());
+
+    for (unsigned i = 0; i < n; ++i) {
+        soc::SnapshotWriter shard_state;
+        if (!shards[i]->saveState(shard_state)) {
+            if (error)
+                *error = "shard " + std::to_string(i) +
+                         " generator does not support checkpointing";
+            return std::nullopt;
+        }
+        snap.setSection("fleet.shard." + std::to_string(i),
+                        shard_state.takeBuffer());
+    }
+    return snap;
+}
+
+bool
+FleetOrchestrator::restoreCheckpoint(const soc::Snapshot &snap,
+                                     std::string *error)
+{
+    auto fail = [&](const std::string &msg) {
+        if (error)
+            *error = "fleet checkpoint: " + msg;
+        return false;
+    };
+    const unsigned n = shardCount();
+    TF_ASSERT(epochsDone == 0,
+              "checkpoint can only be restored into a fresh fleet");
+
+    const char *required[] = {"fleet.meta", "fleet.series",
+                              "fleet.mismatches", "fleet.coverage",
+                              "fleet.triage"};
+    for (const char *name : required) {
+        if (!snap.hasSection(name))
+            return fail("missing section '" + std::string(name) +
+                        "'");
+    }
+
+    try {
+        soc::SnapshotReader meta(snap.section("fleet.meta"));
+        if (meta.getU32() != fleetCheckpointVersion)
+            return fail("unsupported checkpoint version");
+        const uint32_t epochs_done = meta.getU32();
+        if (epochs_done == 0 || epochs_done > cfg.epochCount())
+            return fail("epoch count out of range");
+        if (meta.getU32() != n)
+            return fail("shard count mismatch");
+        if (meta.getU64() != cfg.fleetSeed)
+            return fail("fleet seed mismatch");
+        prevTotals = getStats(meta);
+        pending.seedsExchanged = meta.getU64();
+        pending.seedsAdmitted = meta.getU64();
+        pending.reproducersHarvested = meta.getU64();
+        for (unsigned i = 0; i < n; ++i)
+            mismatchHarvested[i] = meta.getU8() != 0;
+        if (!meta.exhausted())
+            return fail("trailing bytes in fleet.meta");
+
+        soc::SnapshotReader series(snap.section("fleet.series"));
+        if (!pending.mergedCoverage.loadState(series, error) ||
+            !pending.throughput.loadState(series, error) ||
+            !pending.prevalence.loadState(series, error))
+            return false;
+        if (!series.exhausted())
+            return fail("trailing bytes in fleet.series");
+
+        soc::SnapshotReader mms(snap.section("fleet.mismatches"));
+        pending.mismatches.clear();
+        const uint32_t mm_count = mms.getU32();
+        if (mm_count > n)
+            return fail("mismatch count exceeds shard count");
+        for (uint32_t i = 0; i < mm_count; ++i) {
+            ShardMismatch sm;
+            sm.shard = mms.getU32();
+            if (sm.shard >= n)
+                return fail("mismatch shard index out of range");
+            if (!checker::readMismatch(mms, sm.mismatch, error))
+                return false;
+            sm.simTimeSec = mms.getF64();
+            pending.mismatches.push_back(sm);
+        }
+        if (!mms.exhausted())
+            return fail("trailing bytes in fleet.mismatches");
+
+        soc::SnapshotReader cov(snap.section("fleet.coverage"));
+        if (!globalMap->loadState(cov, error))
+            return false;
+        if (!cov.exhausted())
+            return fail("trailing bytes in fleet.coverage");
+
+        soc::SnapshotReader tri(snap.section("fleet.triage"));
+        if (!triage_.loadState(tri, error))
+            return false;
+        if (!tri.exhausted())
+            return fail("trailing bytes in fleet.triage");
+
+        for (unsigned i = 0; i < n; ++i) {
+            const std::string name =
+                "fleet.shard." + std::to_string(i);
+            if (!snap.hasSection(name))
+                return fail("missing section '" + name + "'");
+            soc::SnapshotReader shard_state(snap.section(name));
+            if (!shards[i]->loadState(shard_state, error))
+                return false;
+            if (!shard_state.exhausted())
+                return fail("trailing bytes in '" + name + "'");
+        }
+
+        epochsDone = epochs_done;
+        // Prime the live counters so mid-run reads stay monotone
+        // across the resume.
+        liveStats.add(prevTotals);
+        return true;
+    } catch (const soc::SnapshotFormatError &e) {
+        return fail(e.what());
+    }
 }
 
 } // namespace turbofuzz::fleet

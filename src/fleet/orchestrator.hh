@@ -27,6 +27,7 @@
 #define TURBOFUZZ_FLEET_ORCHESTRATOR_HH
 
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "common/fleet_config.hh"
@@ -72,8 +73,38 @@ class FleetOrchestrator
                             library, SyncPolicy::fromConfig(config))
     {}
 
-    /** Run the whole fleet to its budget. Call at most once. */
+    /**
+     * Run the fleet to its budget (or FleetConfig::haltAfterEpochs).
+     * Call at most once. When FleetConfig::checkpointEveryEpochs is
+     * set, a full fleet checkpoint is written to
+     * FleetConfig::checkpointPath after every Nth epoch barrier.
+     */
     FleetResult run();
+
+    /**
+     * Serialize the complete mid-campaign fleet state — every
+     * shard's campaign, the merged coverage, the triage queue,
+     * harvest bookkeeping and the partial result series — into a
+     * versioned snapshot-section image. Valid at epoch barriers
+     * (run() calls it between epochs; callers use it only before
+     * run()). Returns std::nullopt when a shard generator cannot
+     * checkpoint.
+     */
+    std::optional<soc::Snapshot>
+    makeCheckpoint(std::string *error = nullptr) const;
+
+    /**
+     * Resume a killed fleet: restore a makeCheckpoint() image into
+     * this freshly constructed orchestrator (which must have been
+     * built with the same config, templates and library), then call
+     * run() to continue from the checkpointed epoch. The combined
+     * run is bit-identical to an uninterrupted one (enforced by
+     * tests/fleet/).
+     * @return false with @p error set on malformed or mismatched
+     *         input; the orchestrator must not be run afterwards.
+     */
+    bool restoreCheckpoint(const soc::Snapshot &snap,
+                           std::string *error = nullptr);
 
     /** Global (union) coverage across all shards. */
     const coverage::CoverageMap &globalCoverage() const
@@ -105,6 +136,15 @@ class FleetOrchestrator
     ConcurrentStats liveStats;
     std::vector<bool> mismatchHarvested;
     triage::TriageQueue triage_;
+
+    /**
+     * Cross-epoch accumulators, held as members (rather than run()
+     * locals) so a checkpoint can capture them mid-campaign and a
+     * restore can prime a fresh orchestrator with them.
+     */
+    FleetResult pending;
+    StatsSnapshot prevTotals{};
+    unsigned epochsDone = 0;
 };
 
 } // namespace turbofuzz::fleet

@@ -1,6 +1,7 @@
 #include "fleet/shard.hh"
 
 #include "fuzzer/generator.hh"
+#include "soc/snapshot.hh"
 
 namespace turbofuzz::fleet
 {
@@ -53,6 +54,31 @@ FleetShard::chargeSync(double cost_sec)
 {
     if (cost_sec > 0.0)
         camp->platform().chargeSeconds(cost_sec);
+}
+
+bool
+FleetShard::saveState(soc::SnapshotWriter &out) const
+{
+    out.putU8(stoppedEarly ? 1 : 0);
+    out.putU64(reprosHarvested);
+    covSeries.saveState(out);
+    return camp->saveState(out);
+}
+
+bool
+FleetShard::loadState(soc::SnapshotReader &in, std::string *error)
+{
+    try {
+        stoppedEarly = in.getU8() != 0;
+        reprosHarvested = in.getU64();
+        if (!covSeries.loadState(in, error))
+            return false;
+        return camp->loadState(in, error);
+    } catch (const soc::SnapshotFormatError &e) {
+        if (error)
+            *error = e.what();
+        return false;
+    }
 }
 
 std::vector<triage::Reproducer>

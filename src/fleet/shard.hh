@@ -75,6 +75,19 @@ class FleetShard
      */
     std::vector<triage::Reproducer> drainNewReproducers();
 
+    /**
+     * Checkpoint support: serialize the shard's campaign plus its
+     * epoch-tracking state (coverage series, early-stop flag,
+     * harvest cursor).
+     * @return false when the campaign's generator cannot checkpoint.
+     */
+    bool saveState(soc::SnapshotWriter &out) const;
+
+    /** Restore into a freshly constructed shard (same config).
+     *  @return false with @p error set on malformed input. */
+    bool loadState(soc::SnapshotReader &in,
+                   std::string *error = nullptr);
+
   private:
     unsigned idx;
     std::unique_ptr<harness::Campaign> camp;

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <unordered_set>
 
 #include "common/logging.hh"
+#include "soc/snapshot.hh"
 
 namespace turbofuzz::fuzzer
 {
@@ -155,14 +157,84 @@ Corpus::exportTop(size_t k) const
 size_t
 Corpus::importSeeds(std::vector<Seed> imported, uint64_t &next_seed_id)
 {
+    // Content hashes of the resident seeds: a broadcast fleet offers
+    // the same top-K exemplars at every barrier, and re-identified
+    // copies must not be re-admitted as fresh stimuli. The set is
+    // rebuilt per import because residents change between barriers;
+    // corpora are small (BRAM-capacity bound), so this is cheap.
+    std::unordered_set<uint64_t> resident;
+    resident.reserve(seeds.size() + imported.size());
+    for (const Seed &s : seeds)
+        resident.insert(s.contentHash());
+
     size_t admitted = 0;
     for (Seed &s : imported) {
+        const uint64_t hash = s.contentHash();
+        if (!resident.insert(hash).second) {
+            ++dupImportCount;
+            continue;
+        }
         s.id = next_seed_id++;
         const uint64_t increment = s.coverageIncrement;
         if (offer(std::move(s), increment))
             ++admitted;
     }
     return admitted;
+}
+
+void
+Corpus::saveState(soc::SnapshotWriter &out) const
+{
+    out.putU64(nextInsertion);
+    out.putU64(evictCount);
+    out.putU64(rejectCount);
+    out.putU64(dupImportCount);
+    out.putU32(static_cast<uint32_t>(seeds.size()));
+    for (const Seed &s : seeds) {
+        out.putU64(s.id);
+        out.putU64(s.coverageIncrement);
+        out.putU64(s.insertedAt);
+        writeSeedBlocks(out, s.blocks);
+    }
+}
+
+bool
+Corpus::loadState(soc::SnapshotReader &in, std::string *error)
+{
+    auto fail = [&](const char *msg) {
+        if (error)
+            *error = msg;
+        return false;
+    };
+
+    if (in.remaining() < 4 * 8 + 4)
+        return fail("truncated corpus header");
+    nextInsertion = in.getU64();
+    evictCount = in.getU64();
+    rejectCount = in.getU64();
+    dupImportCount = in.getU64();
+    const uint32_t count = in.getU32();
+    if (count > cap)
+        return fail("corpus seed count exceeds capacity");
+
+    seeds.clear();
+    idIndex.clear();
+    seeds.reserve(count);
+    for (uint32_t i = 0; i < count; ++i) {
+        if (in.remaining() < 3 * 8)
+            return fail("truncated corpus seed");
+        Seed s;
+        s.id = in.getU64();
+        s.coverageIncrement = in.getU64();
+        s.insertedAt = in.getU64();
+        if (!readSeedBlocks(in, s.blocks, error))
+            return false;
+        if (idIndex.count(s.id))
+            return fail("duplicate seed id in corpus image");
+        idIndex[s.id] = seeds.size();
+        seeds.push_back(std::move(s));
+    }
+    return true;
 }
 
 } // namespace turbofuzz::fuzzer

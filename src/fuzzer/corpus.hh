@@ -91,7 +91,12 @@ class Corpus
     std::vector<Seed> exportTop(size_t k) const;
 
     /**
-     * Import seeds from another corpus (a peer shard). Each seed is
+     * Import seeds from another corpus (a peer shard). Imports are
+     * deduplicated by content hash — against the resident seeds and
+     * within the imported batch itself — because re-identification
+     * would otherwise let the same top-K stimulus re-enter as "new"
+     * at every broadcast barrier, flooding the corpus with duplicates
+     * and skewing select() toward one pattern. Each surviving seed is
      * re-identified from @p next_seed_id — the caller's id allocator —
      * so imported ids never collide with locally archived ones, then
      * offered through the normal admission path with its recorded
@@ -101,6 +106,27 @@ class Corpus
      */
     size_t importSeeds(std::vector<Seed> imported,
                        uint64_t &next_seed_id);
+
+    /** Imports rejected as duplicates of resident content (stats). */
+    uint64_t duplicateImports() const { return dupImportCount; }
+
+    /**
+     * Checkpoint support: serialize the complete corpus state
+     * (resident seeds with their scheduling metadata plus the
+     * insertion/eviction counters) so a resumed campaign schedules
+     * exactly like an uninterrupted one.
+     */
+    void saveState(soc::SnapshotWriter &out) const;
+
+    /**
+     * Restore a saveState() image into this corpus (replaces all
+     * resident seeds). Capacity and policy come from construction and
+     * must match the checkpointed campaign's configuration.
+     * @return false (with @p error set when non-null) on malformed
+     *         input; the corpus is left unspecified but safe.
+     */
+    bool loadState(soc::SnapshotReader &in,
+                   std::string *error = nullptr);
 
     /** Total evictions performed (stats). */
     uint64_t evictions() const { return evictCount; }
@@ -129,6 +155,7 @@ class Corpus
     uint64_t nextInsertion = 0;
     uint64_t evictCount = 0;
     uint64_t rejectCount = 0;
+    uint64_t dupImportCount = 0;
 };
 
 } // namespace turbofuzz::fuzzer

@@ -72,10 +72,36 @@ class StimulusGenerator
      * standalone. Generators whose iterations cannot be rebuilt
      * deterministically return std::nullopt, which disables
      * reproducer capture for their campaigns.
+     *
+     * Warm-start contract: a generator that returns an environment
+     * also guarantees every generated iteration starts with
+     * TurboFuzzer::preambleCode(env) at layout().instrBase — the
+     * same contract standalone replay already relies on. The
+     * campaign uses it to capture a post-prefix snapshot once and
+     * restore it each iteration (docs/snapshot.md).
      */
     virtual std::optional<ReplayEnv> replayEnv() const
     {
         return std::nullopt;
+    }
+
+    /**
+     * Campaign checkpoint support: serialize the generator's mutable
+     * state. Generators that cannot checkpoint return false (the
+     * default), which disables campaign checkpointing for their
+     * campaigns.
+     */
+    virtual bool checkpointSave(soc::SnapshotWriter & /*out*/) const
+    {
+        return false;
+    }
+
+    /** Restore checkpointSave() output into a freshly constructed
+     *  generator with identical configuration. */
+    virtual bool checkpointLoad(soc::SnapshotReader & /*in*/,
+                                std::string * /*error*/)
+    {
+        return false;
     }
 };
 
@@ -125,6 +151,19 @@ class TurboFuzzGenerator : public StimulusGenerator
     replayEnv() const override
     {
         return fuzzer.replayEnv();
+    }
+
+    bool
+    checkpointSave(soc::SnapshotWriter &out) const override
+    {
+        fuzzer.saveState(out);
+        return true;
+    }
+
+    bool
+    checkpointLoad(soc::SnapshotReader &in, std::string *error) override
+    {
+        return fuzzer.loadState(in, error);
     }
 
     TurboFuzzer &underlying() { return fuzzer; }

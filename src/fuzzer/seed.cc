@@ -94,6 +94,32 @@ readSeedBlocks(soc::SnapshotReader &r, std::vector<SeedBlock> &blocks,
     return true;
 }
 
+uint64_t
+Seed::contentHash() const
+{
+    // FNV-1a over the block contents; scheduling metadata (id,
+    // increment, age) is deliberately excluded so re-identified
+    // imports of the same stimulus hash identically.
+    uint64_t h = 0xcbf29ce484222325ull;
+    auto mix = [&h](uint64_t v) {
+        for (unsigned i = 0; i < 8; ++i) {
+            h ^= (v >> (8 * i)) & 0xFF;
+            h *= 0x100000001b3ull;
+        }
+    };
+    mix(blocks.size());
+    for (const SeedBlock &b : blocks) {
+        mix(b.insns.size());
+        for (uint32_t insn : b.insns)
+            mix(insn);
+        mix(b.primeIdx);
+        mix(b.isControlFlow ? 1 : 0);
+        mix(static_cast<uint64_t>(static_cast<uint32_t>(b.targetBlock)));
+        mix(b.position);
+    }
+    return h;
+}
+
 std::vector<uint8_t>
 Seed::serialize() const
 {

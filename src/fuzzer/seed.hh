@@ -95,6 +95,15 @@ struct Seed
         return n;
     }
 
+    /**
+     * Stable 64-bit hash of the stimulus content (the blocks and
+     * their metadata) — independent of id, recorded increment and
+     * insertion age. Two seeds with equal hashes carry the same
+     * stimulus for all practical purposes; the corpus uses this to
+     * deduplicate cross-shard imports (see Corpus::importSeeds).
+     */
+    uint64_t contentHash() const;
+
     /** Serialize to the byte layout used for BRAM/DDR storage. */
     std::vector<uint8_t> serialize() const;
 

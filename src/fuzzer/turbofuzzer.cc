@@ -6,6 +6,7 @@
 #include "fuzzer/exception_templates.hh"
 #include "isa/csr.hh"
 #include "isa/encoding.hh"
+#include "soc/snapshot.hh"
 
 namespace turbofuzz::fuzzer
 {
@@ -131,35 +132,31 @@ TurboFuzzer::fixupControlFlow(std::vector<SeedBlock> &blocks,
 }
 
 std::vector<uint32_t>
-TurboFuzzer::preambleCode(const ReplayEnv &env)
+TurboFuzzer::warmPrefixCode(const ReplayEnv &env)
 {
     const MemoryLayout &lay = env.layout;
 
-    // Preamble: x31 = dataBase; mtvec = handler; FP register file
-    // seeded from the iteration's LFSR data (so FP operand classes
-    // vary per iteration instead of starting at all-zero).
-    std::vector<uint32_t> preamble;
+    // Constant prefix: x31 = dataBase; mtvec = handler; bootstrap
+    // boilerplate. None of these instructions loads or stores memory,
+    // so their execution — and therefore the post-prefix
+    // architectural state — is a pure function of the environment.
+    // This is the property the warm-start capture relies on; the
+    // data-dependent FP loads live in preambleCode()'s tail instead.
+    std::vector<uint32_t> prefix;
     {
         Operands o;
         o.rd = MemoryLayout::regDataBase;
         o.imm = static_cast<int64_t>(lay.dataBase >> 12);
-        preamble.push_back(isa::encode(Opcode::Lui, o));
+        prefix.push_back(isa::encode(Opcode::Lui, o));
         Operands h;
         h.rd = MemoryLayout::regScratch;
         h.imm = static_cast<int64_t>(lay.handlerBase >> 12);
-        preamble.push_back(isa::encode(Opcode::Lui, h));
+        prefix.push_back(isa::encode(Opcode::Lui, h));
         Operands w;
         w.rd = 0;
         w.rs1 = MemoryLayout::regScratch;
         w.csr = isa::csr::mtvec;
-        preamble.push_back(isa::encode(Opcode::Csrrw, w));
-        for (unsigned f = 0; f < 32; ++f) {
-            Operands ld;
-            ld.rd = static_cast<uint8_t>(f);
-            ld.rs1 = MemoryLayout::regDataBase;
-            ld.imm = static_cast<int64_t>(8 * f);
-            preamble.push_back(isa::encode(Opcode::Fld, ld));
-        }
+        prefix.push_back(isa::encode(Opcode::Csrrw, w));
     }
     // Bootstrap boilerplate (software-flow register/CSR init model):
     // lui/addi pairs materializing values into every register, padded
@@ -174,14 +171,34 @@ TurboFuzzer::preambleCode(const ReplayEnv &env)
             o.rd = static_cast<uint8_t>(1 + (i % 28));
             if (i % 2 == 0) {
                 o.imm = static_cast<int64_t>(boot_rng.range(1 << 20));
-                preamble.push_back(isa::encode(Opcode::Lui, o));
+                prefix.push_back(isa::encode(Opcode::Lui, o));
             } else {
                 o.rs1 = o.rd;
                 o.imm = static_cast<int64_t>(boot_rng.range(4096)) -
                         2048;
-                preamble.push_back(isa::encode(Opcode::Addi, o));
+                prefix.push_back(isa::encode(Opcode::Addi, o));
             }
         }
+    }
+    return prefix;
+}
+
+std::vector<uint32_t>
+TurboFuzzer::preambleCode(const ReplayEnv &env)
+{
+    // Constant prefix first, then the FP register file seeded from
+    // the iteration's LFSR data (so FP operand classes vary per
+    // iteration instead of starting at all-zero). The FP loads come
+    // LAST: their loaded values depend on the per-iteration data
+    // fill, so they are the part of the preamble warm-started
+    // iterations still execute live.
+    std::vector<uint32_t> preamble = warmPrefixCode(env);
+    for (unsigned f = 0; f < 32; ++f) {
+        Operands ld;
+        ld.rd = static_cast<uint8_t>(f);
+        ld.rs1 = MemoryLayout::regDataBase;
+        ld.imm = static_cast<int64_t>(8 * f);
+        preamble.push_back(isa::encode(Opcode::Fld, ld));
     }
     return preamble;
 }
@@ -343,6 +360,29 @@ std::vector<Seed>
 TurboFuzzer::exportTopSeeds(size_t k) const
 {
     return seedCorpus.exportTop(k);
+}
+
+void
+TurboFuzzer::saveState(soc::SnapshotWriter &out) const
+{
+    out.putU64(rng.rawState());
+    out.putU64(iterCounter);
+    out.putU64(nextSeedId);
+    seedCorpus.saveState(out);
+}
+
+bool
+TurboFuzzer::loadState(soc::SnapshotReader &in, std::string *error)
+{
+    if (in.remaining() < 3 * 8) {
+        if (error)
+            *error = "truncated fuzzer state";
+        return false;
+    }
+    rng.setRawState(in.getU64());
+    iterCounter = in.getU64();
+    nextSeedId = in.getU64();
+    return seedCorpus.loadState(in, error);
 }
 
 } // namespace turbofuzz::fuzzer

@@ -156,6 +156,20 @@ class TurboFuzzer
 
     uint64_t iterationsGenerated() const { return iterCounter; }
 
+    /**
+     * Checkpoint support: serialize every mutable field the next
+     * generateIteration() reads (RNG stream, iteration counter, seed
+     * id allocator, corpus) so a resumed fuzzer generates the exact
+     * stimulus sequence an uninterrupted one would.
+     */
+    void saveState(soc::SnapshotWriter &out) const;
+
+    /** Restore a saveState() image. Configuration (options, library)
+     *  comes from construction and must match the checkpointed run.
+     *  @return false with @p error set on malformed input. */
+    bool loadState(soc::SnapshotReader &in,
+                   std::string *error = nullptr);
+
     /** The environment descriptor for triage reproducers. */
     ReplayEnv
     replayEnv() const
@@ -164,11 +178,27 @@ class TurboFuzzer
     }
 
     /**
-     * The iteration preamble (FP/context setup + bootstrap
-     * boilerplate). Deterministic in @p env — identical every
+     * The iteration preamble (context setup + bootstrap boilerplate
+     * + FP register loads). Deterministic in @p env — identical every
      * iteration, which is what lets a reproducer omit it.
+     *
+     * Layout contract: the preamble is warmPrefixCode(env) followed
+     * by the data-dependent FP load tail. The prefix's *execution* is
+     * a pure function of the environment (no loads, no stores, no
+     * traps when bug-free), so warm-started iterations restore a
+     * captured post-prefix snapshot instead of re-executing it; the
+     * FP loads read the per-iteration LFSR data fill and always
+     * execute live. See engine::WarmStart and docs/snapshot.md.
      */
     static std::vector<uint32_t> preambleCode(const ReplayEnv &env);
+
+    /**
+     * The constant prefix of preambleCode(env): context registers,
+     * mtvec install and the bootstrap boilerplate — everything before
+     * the first instruction whose behaviour depends on the
+     * iteration's data fill.
+     */
+    static std::vector<uint32_t> warmPrefixCode(const ReplayEnv &env);
 
     /**
      * Fill the data segment exactly as iteration @p iteration_index

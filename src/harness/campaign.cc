@@ -66,6 +66,30 @@ Campaign::Campaign(CampaignOptions options,
 
     engine_ = std::make_unique<engine::ExecutionEngine>(
         dutCore.get(), refCore.get(), &checker_, opts.batchSize);
+
+    // Warm start: capture the post-prefix lockstep snapshot once.
+    // replayEnv() doubles as the layout contract — a generator that
+    // provides it guarantees every iteration begins with
+    // preambleCode(env) at instrBase, exactly what standalone replay
+    // already relies on. Capture failure (a bug perturbing the
+    // prefix) silently falls back to cold start, which is always
+    // correct.
+    if (opts.warmStart) {
+        if (const auto env = gen->replayEnv()) {
+            engine::WarmStartSpec spec;
+            spec.dutOpts = dut_opts;
+            spec.refOpts = ref_opts;
+            spec.prefixCode = fuzzer::TurboFuzzer::warmPrefixCode(*env);
+            spec.entryPc = lay.instrBase;
+            spec.accessRanges = {{lay.instrBase, lay.instrSize},
+                                 {lay.dataBase, lay.dataSize},
+                                 {lay.handlerBase, 4096}};
+            warm = engine::captureWarmStart(spec);
+            warmFirstBlockPc =
+                lay.instrBase +
+                4ull * fuzzer::TurboFuzzer::preambleCode(*env).size();
+        }
+    }
 }
 
 IterationResult
@@ -102,15 +126,27 @@ Campaign::runIteration()
     refMem = dutMem;
     result.generated = info.generatedInstrs;
 
-    // 2. Reset both harts to the iteration entry.
-    dutCore->reset(info.entryPc);
-    refCore->reset(info.entryPc);
-
     const uint64_t step_cap =
         static_cast<uint64_t>(opts.stepCapFactor *
                               static_cast<double>(
                                   info.generatedInstrs)) +
         opts.stepCapSlack;
+
+    // 2. Iteration entry: warm-start by restoring the post-prefix
+    //    snapshot (the engine installs the hart states), or cold
+    //    reset both harts to the iteration entry. The layout guard
+    //    re-checks per iteration that the generated code still
+    //    matches the captured prefix contract.
+    const bool use_warm =
+        warm && info.entryPc == warm->entryPc &&
+        info.firstBlockPc == warmFirstBlockPc &&
+        step_cap > warm->prefixCommits();
+    if (use_warm)
+        ++warmIterCount;
+    else {
+        dutCore->reset(info.entryPc);
+        refCore->reset(info.entryPc);
+    }
 
     // 3. Batched pipeline execution: DUT batch -> REF batch -> batch
     //    diff -> coverage sweep (engine::ExecutionEngine). On a
@@ -135,8 +171,8 @@ Campaign::runIteration()
     if (opts.commitObserver)
         hooks.observer = &opts.commitObserver;
 
-    const engine::IterationOutcome out =
-        engine_->runIteration(policy, hooks);
+    const engine::IterationOutcome out = engine_->runIteration(
+        policy, hooks, use_warm ? &*warm : nullptr);
 
     result.executedTotal = out.executedTotal;
     result.executedFuzz = out.executedFuzz;
@@ -238,6 +274,160 @@ Campaign::prevalence() const
                ? static_cast<double>(executedFuzzTotal) /
                      static_cast<double>(executedTotal)
                : 0.0;
+}
+
+namespace
+{
+
+constexpr uint32_t campaignStateVersion = 1;
+
+} // namespace
+
+bool
+Campaign::saveState(soc::SnapshotWriter &out) const
+{
+    // Generator state first, into a scratch writer: a generator that
+    // cannot checkpoint aborts the save before any bytes are
+    // emitted, and the length prefix lets loadState() bound-check
+    // the blob.
+    soc::SnapshotWriter gen_state;
+    if (!gen->checkpointSave(gen_state))
+        return false;
+
+    out.putU32(campaignStateVersion);
+    out.putU64(clock.now());
+    out.putU64(iterCount);
+    out.putU64(executedTotal);
+    out.putU64(executedFuzzTotal);
+    out.putU64(generatedTotal);
+    out.putU64(mismatchCount);
+    out.putU8(startupCharged ? 1 : 0);
+    out.putU64(instrDirtyHigh);
+    out.putU64(handlerDirtyHigh);
+    out.putU64(checker_.commitsChecked());
+
+    dutCore->saveState(out);
+    refCore->saveState(out);
+    // Only the DUT memory is serialized: the REF memory is replaced
+    // wholesale (refMem = dutMem) before the next iteration executes,
+    // so its between-iteration contents are dead state. The DUT
+    // memory must round-trip exactly — including page *residency* —
+    // because future mismatch snapshots embed its resident pages.
+    dutMem.saveState(out);
+    driver->saveState(out);
+    covMap->saveState(out);
+
+    out.putU8(mismatchInfo ? 1 : 0);
+    if (mismatchInfo)
+        checker::writeMismatch(out, *mismatchInfo);
+    const std::vector<uint8_t> snap_image = snapshot.serialize();
+    out.putU32(static_cast<uint32_t>(snap_image.size()));
+    out.putBytes(snap_image.data(), snap_image.size());
+
+    out.putU32(static_cast<uint32_t>(repros.size()));
+    for (const triage::Reproducer &r : repros) {
+        const std::vector<uint8_t> blob = r.serialize();
+        out.putU32(static_cast<uint32_t>(blob.size()));
+        out.putBytes(blob.data(), blob.size());
+    }
+
+    const std::vector<uint8_t> &gen_blob = gen_state.buffer();
+    out.putU32(static_cast<uint32_t>(gen_blob.size()));
+    out.putBytes(gen_blob.data(), gen_blob.size());
+    return true;
+}
+
+bool
+Campaign::loadState(soc::SnapshotReader &in, std::string *error)
+{
+    auto fail = [&](const std::string &msg) {
+        if (error)
+            *error = msg;
+        return false;
+    };
+    TF_ASSERT(iterCount == 0,
+              "campaign state can only be restored into a fresh "
+              "campaign");
+
+    try {
+        if (in.remaining() < 4 + 9 * 8 + 2)
+            return fail("truncated campaign state header");
+        if (in.getU32() != campaignStateVersion)
+            return fail("unsupported campaign state version");
+        clock.restore(in.getU64());
+        iterCount = in.getU64();
+        executedTotal = in.getU64();
+        executedFuzzTotal = in.getU64();
+        generatedTotal = in.getU64();
+        mismatchCount = in.getU64();
+        startupCharged = in.getU8() != 0;
+        instrDirtyHigh = in.getU64();
+        handlerDirtyHigh = in.getU64();
+        // The checker of a fresh campaign starts at zero; advancing
+        // it reproduces the checkpointed commit counter so future
+        // Mismatch::instrIndex values line up.
+        checker_.skipCommits(in.getU64());
+
+        dutCore->loadState(in);
+        refCore->loadState(in);
+        dutMem.loadState(in);
+        refMem = dutMem;
+        if (!driver->loadState(in, error))
+            return false;
+        if (!covMap->loadState(in, error))
+            return false;
+
+        mismatchInfo.reset();
+        if (in.getU8() != 0) {
+            checker::Mismatch mm{};
+            if (!checker::readMismatch(in, mm, error))
+                return false;
+            mismatchInfo = mm;
+        }
+        const uint32_t snap_size = in.getU32();
+        if (snap_size > in.remaining())
+            return fail("mismatch snapshot size exceeds buffer");
+        std::vector<uint8_t> snap_image(snap_size);
+        in.getBytes(snap_image.data(), snap_size);
+        std::string snap_error;
+        auto snap = soc::Snapshot::tryDeserialize(snap_image,
+                                                  &snap_error);
+        if (!snap)
+            return fail("embedded mismatch snapshot: " + snap_error);
+        snapshot = std::move(*snap);
+
+        repros.clear();
+        const uint32_t repro_count = in.getU32();
+        if (repro_count > opts.maxReproducers)
+            return fail("reproducer count exceeds campaign limit");
+        for (uint32_t i = 0; i < repro_count; ++i) {
+            const uint32_t size = in.getU32();
+            if (size > in.remaining())
+                return fail("reproducer size exceeds buffer");
+            std::vector<uint8_t> blob(size);
+            in.getBytes(blob.data(), size);
+            std::string repro_error;
+            auto r = triage::Reproducer::tryDeserialize(blob,
+                                                        &repro_error);
+            if (!r)
+                return fail("embedded reproducer: " + repro_error);
+            repros.push_back(std::move(*r));
+        }
+
+        const uint32_t gen_size = in.getU32();
+        if (gen_size > in.remaining())
+            return fail("generator state size exceeds buffer");
+        std::vector<uint8_t> gen_blob(gen_size);
+        in.getBytes(gen_blob.data(), gen_size);
+        soc::SnapshotReader gen_reader(gen_blob);
+        if (!gen->checkpointLoad(gen_reader, error))
+            return false;
+        if (!gen_reader.exhausted())
+            return fail("trailing bytes in generator state");
+        return true;
+    } catch (const soc::SnapshotFormatError &e) {
+        return fail(e.what());
+    }
 }
 
 } // namespace turbofuzz::harness

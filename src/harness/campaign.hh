@@ -28,6 +28,7 @@
 #include "coverage/coverage_map.hh"
 #include "coverage/instrumentation.hh"
 #include "engine/execution_engine.hh"
+#include "engine/warm_start.hh"
 #include "fuzzer/generator.hh"
 #include "rtl/cores.hh"
 #include "rtl/driver.hh"
@@ -90,6 +91,18 @@ struct CampaignOptions
      * generator to support replayEnv().
      */
     uint32_t maxReproducers = 8;
+
+    /**
+     * Warm-start iterations: capture a post-preamble-prefix snapshot
+     * of the full lockstep state once (engine::captureWarmStart) and
+     * begin each iteration by restoring it instead of cold reset +
+     * prefix re-execution. Bit-identical campaign results to cold
+     * start at every batch size (the engine's warm equivalence
+     * contract, enforced by tests/engine/); requires a generator
+     * with replayEnv(). Campaigns whose prefix cannot be captured
+     * (e.g. a bug fires inside it) silently fall back to cold start.
+     */
+    bool warmStart = true;
 
     /**
      * Optional per-commit observer (DUT commits), e.g. for the
@@ -193,6 +206,32 @@ class Campaign
     }
     rtl::EventDriver &eventDriver() { return *driver; }
 
+    /** Whether a warm-start snapshot was captured and is in use. */
+    bool warmStartActive() const { return warm.has_value(); }
+
+    /** Iterations that began from the warm snapshot (diagnostics —
+     *  cold fallbacks indicate a layout or step-cap conflict). */
+    uint64_t warmIterations() const { return warmIterCount; }
+
+    /**
+     * Checkpoint support: serialize every mutable field of the
+     * campaign (clock, counters, memories, driver and coverage
+     * state, checker progress, mismatch evidence, reproducers,
+     * generator state) so a freshly constructed campaign with the
+     * same options can resume bit-exactly. Requires a generator that
+     * supports checkpointing.
+     * @return false when the generator cannot checkpoint.
+     */
+    bool saveState(soc::SnapshotWriter &out) const;
+
+    /**
+     * Restore a saveState() image into this freshly constructed
+     * campaign (same options and generator configuration).
+     * @return false with @p error set on malformed input.
+     */
+    bool loadState(soc::SnapshotReader &in,
+                   std::string *error = nullptr);
+
   private:
     CampaignOptions opts;
     std::unique_ptr<fuzzer::StimulusGenerator> gen;
@@ -211,6 +250,16 @@ class Campaign
     std::unique_ptr<engine::ExecutionEngine> engine_;
     SimClock clock;
     std::unique_ptr<soc::Platform> plat;
+
+    /**
+     * Warm-start state captured once at construction (when enabled
+     * and capturable): post-prefix hart snapshots plus the constant
+     * prefix commit trace, and the firstBlockPc layout every
+     * eligible iteration must present.
+     */
+    std::optional<engine::WarmStart> warm;
+    uint64_t warmFirstBlockPc = 0;
+    uint64_t warmIterCount = 0;
 
     uint64_t iterCount = 0;
     uint64_t executedTotal = 0;

@@ -4,6 +4,7 @@
 
 #include "common/bitutils.hh"
 #include "common/logging.hh"
+#include "soc/snapshot.hh"
 
 namespace turbofuzz::rtl
 {
@@ -360,6 +361,78 @@ EventDriver::onTrace(const core::CommitInfo *commits, size_t n)
     onCommit(commits[0]);
     for (size_t i = 1; i < n; ++i)
         onCommitDirty(commits[i]);
+}
+
+void
+EventDriver::saveState(soc::SnapshotWriter &out) const
+{
+    out.putU32(static_cast<uint32_t>(regCache.size()));
+    // regCache order is the deterministic module-tree walk order, so
+    // positional serialization round-trips on any driver built over
+    // the same design.
+    for (const Register *r : regCache)
+        out.putU64(r->value);
+    for (uint64_t v : roles)
+        out.putU64(v);
+    out.putU64(branchHist);
+    out.putU64(static_cast<uint64_t>(static_cast<int64_t>(cfDepth)));
+    out.putU64(lastLoopTarget);
+    out.putU32(loopState);
+    out.putU64(lastMemAddr);
+    out.putU64(static_cast<uint64_t>(lastStride));
+    out.putU32(strideState);
+    for (uint64_t v : recentPages)
+        out.putU64(v);
+    out.putU32(pageCursor);
+    out.putU32(dcacheState);
+    out.putU32(icacheState);
+    out.putU64(lastPcPage);
+    out.putU32(ptwState);
+    out.putU32(tlbState);
+    out.putU32(robOcc);
+    out.putU32(iqOcc);
+    out.putU8(resArmed ? 1 : 0);
+}
+
+bool
+EventDriver::loadState(soc::SnapshotReader &in, std::string *error)
+{
+    auto fail = [&](const char *msg) {
+        if (error)
+            *error = msg;
+        return false;
+    };
+    try {
+        const uint32_t count = in.getU32();
+        if (count != regCache.size())
+            return fail("driver register count mismatch");
+        for (Register *r : regCache)
+            r->value = in.getU64();
+        for (uint64_t &v : roles)
+            v = in.getU64();
+        branchHist = in.getU64();
+        cfDepth = static_cast<int>(
+            static_cast<int64_t>(in.getU64()));
+        lastLoopTarget = in.getU64();
+        loopState = in.getU32();
+        lastMemAddr = in.getU64();
+        lastStride = static_cast<int64_t>(in.getU64());
+        strideState = in.getU32();
+        for (uint64_t &v : recentPages)
+            v = in.getU64();
+        pageCursor = in.getU32();
+        dcacheState = in.getU32();
+        icacheState = in.getU32();
+        lastPcPage = in.getU64();
+        ptwState = in.getU32();
+        tlbState = in.getU32();
+        robOcc = in.getU32();
+        iqOcc = in.getU32();
+        resArmed = in.getU8() != 0;
+        return true;
+    } catch (const soc::SnapshotFormatError &e) {
+        return fail(e.what());
+    }
 }
 
 } // namespace turbofuzz::rtl

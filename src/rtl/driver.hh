@@ -16,9 +16,16 @@
 
 #include <array>
 #include <cstdint>
+#include <string>
 
 #include "core/commit_info.hh"
 #include "rtl/module.hh"
+
+namespace turbofuzz::soc
+{
+class SnapshotWriter;
+class SnapshotReader;
+} // namespace turbofuzz::soc
 
 namespace turbofuzz::rtl
 {
@@ -58,6 +65,24 @@ class EventDriver
 
     /** Number of registers being driven (all modules). */
     size_t drivenRegisters() const { return regCache.size(); }
+
+    /**
+     * Checkpoint support: serialize the complete sequential state —
+     * every driven register value, the per-role current values and
+     * the cross-commit tracking state (branch history, loop/stride
+     * detectors, cache/PTW FSMs, occupancy counters) — so a resumed
+     * campaign's microarchitectural trajectory continues exactly
+     * where the checkpointed one stopped.
+     */
+    void saveState(soc::SnapshotWriter &out) const;
+
+    /**
+     * Restore a saveState() image into a driver over a structurally
+     * identical module tree (same design, same register count).
+     * @return false with @p error set on malformed input.
+     */
+    bool loadState(soc::SnapshotReader &in,
+                   std::string *error = nullptr);
 
   private:
     /**

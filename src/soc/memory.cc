@@ -199,6 +199,11 @@ Memory::loadState(SnapshotReader &in)
 {
     pages.clear();
     const uint64_t count = in.getU64();
+    // Each serialized page is a number plus pageSize bytes; reject a
+    // count that cannot fit the buffer before allocating any pages.
+    if (count > in.remaining() / (8 + pageSize))
+        throw SnapshotFormatError(
+            "memory page count exceeds snapshot buffer");
     for (uint64_t i = 0; i < count; ++i) {
         const uint64_t pageNum = in.getU64();
         Page page(pageSize);

@@ -8,6 +8,23 @@
 namespace turbofuzz::soc
 {
 
+namespace
+{
+
+constexpr uint32_t snapshotMagic = 0x54465350; // "TFSP"
+
+std::string
+formatError(const char *what, unsigned long long have,
+            unsigned long long need)
+{
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), "%s (need %llu bytes, have %llu)",
+                  what, need, have);
+    return buf;
+}
+
+} // namespace
+
 void
 SnapshotWriter::putU8(uint8_t v)
 {
@@ -36,6 +53,14 @@ SnapshotWriter::putU64(uint64_t v)
 }
 
 void
+SnapshotWriter::putF64(double v)
+{
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    putU64(bits);
+}
+
+void
 SnapshotWriter::putBytes(const uint8_t *data, size_t size)
 {
     bytes.insert(bytes.end(), data, data + size);
@@ -56,7 +81,8 @@ SnapshotReader::SnapshotReader(const std::vector<uint8_t> &data)
 uint8_t
 SnapshotReader::getU8()
 {
-    TF_ASSERT(cursor < source.size(), "snapshot underrun");
+    if (remaining() < 1)
+        throw SnapshotFormatError("snapshot underrun");
     return source[cursor++];
 }
 
@@ -84,10 +110,24 @@ SnapshotReader::getU64()
     return lo | (hi << 32);
 }
 
+double
+SnapshotReader::getF64()
+{
+    const uint64_t bits = getU64();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+}
+
 void
 SnapshotReader::getBytes(uint8_t *out, size_t size)
 {
-    TF_ASSERT(cursor + size <= source.size(), "snapshot underrun");
+    // `size <= remaining()` cannot wrap, unlike the historical
+    // `cursor + size <= source.size()` form, which overflowed for
+    // sizes near SIZE_MAX and let a hostile length walk off the end.
+    if (size > remaining())
+        throw SnapshotFormatError(
+            formatError("snapshot underrun", remaining(), size));
     std::memcpy(out, source.data() + cursor, size);
     cursor += size;
 }
@@ -96,6 +136,13 @@ std::string
 SnapshotReader::getString()
 {
     const uint32_t n = getU32();
+    // Validate against the remaining bytes BEFORE allocating: a
+    // corrupted length of 0xFFFFFFFF must fail here, not attempt a
+    // 4 GiB allocation and assert inside getBytes afterwards.
+    if (n > remaining())
+        throw SnapshotFormatError(
+            formatError("string length exceeds buffer", remaining(),
+                        n));
     std::string s(n, '\0');
     getBytes(reinterpret_cast<uint8_t *>(s.data()), n);
     return s;
@@ -126,7 +173,8 @@ std::vector<uint8_t>
 Snapshot::serialize() const
 {
     SnapshotWriter w;
-    w.putU32(0x54465350); // "TFSP"
+    w.putU32(snapshotMagic);
+    w.putU16(formatVersion);
     w.putString(triggerReason);
     w.putU64(static_cast<uint64_t>(captureTimeSec * 1e9));
     w.putU32(static_cast<uint32_t>(sections.size()));
@@ -138,55 +186,148 @@ Snapshot::serialize() const
     return w.takeBuffer();
 }
 
+std::optional<Snapshot>
+Snapshot::tryDeserialize(const std::vector<uint8_t> &image,
+                         std::string *error)
+{
+    auto fail = [&](std::string msg) -> std::optional<Snapshot> {
+        if (error)
+            *error = std::move(msg);
+        return std::nullopt;
+    };
+
+    SnapshotReader r(image);
+    try {
+        Snapshot snap;
+        if (r.remaining() < 6)
+            return fail(formatError("truncated snapshot header",
+                                    r.remaining(), 6));
+        const uint32_t magic = r.getU32();
+        if (magic != snapshotMagic) {
+            char buf[48];
+            std::snprintf(buf, sizeof(buf),
+                          "bad snapshot magic 0x%08x", magic);
+            return fail(buf);
+        }
+        const uint16_t version = r.getU16();
+        if (version != formatVersion) {
+            char buf[64];
+            std::snprintf(buf, sizeof(buf),
+                          "unsupported snapshot version %u", version);
+            return fail(buf);
+        }
+        snap.triggerReason = r.getString();
+        snap.captureTimeSec =
+            static_cast<double>(r.getU64()) / 1e9;
+        const uint32_t count = r.getU32();
+        // Every section costs at least a name length + data length
+        // (8 bytes); a count larger than that bound cannot describe
+        // this buffer.
+        if (count > r.remaining() / 8)
+            return fail(formatError("section count exceeds buffer",
+                                    r.remaining(),
+                                    static_cast<unsigned long long>(
+                                        count) * 8));
+        for (uint32_t i = 0; i < count; ++i) {
+            std::string name = r.getString();
+            const uint32_t size = r.getU32();
+            if (size > r.remaining())
+                return fail(formatError(
+                    "section size exceeds buffer", r.remaining(),
+                    size));
+            std::vector<uint8_t> data(size);
+            r.getBytes(data.data(), size);
+            if (snap.sections.count(name))
+                return fail("duplicate section '" + name + "'");
+            snap.sections[std::move(name)] = std::move(data);
+        }
+        if (!r.exhausted())
+            return fail(formatError(
+                "trailing bytes after snapshot sections",
+                r.remaining(), 0));
+        return snap;
+    } catch (const SnapshotFormatError &e) {
+        return fail(e.what());
+    }
+}
+
 Snapshot
 Snapshot::deserialize(const std::vector<uint8_t> &image)
 {
-    SnapshotReader r(image);
-    Snapshot snap;
-    const uint32_t magic = r.getU32();
-    if (magic != 0x54465350)
-        fatal("bad snapshot magic 0x%08x", magic);
-    snap.triggerReason = r.getString();
-    snap.captureTimeSec = static_cast<double>(r.getU64()) / 1e9;
-    const uint32_t count = r.getU32();
-    for (uint32_t i = 0; i < count; ++i) {
-        std::string name = r.getString();
-        const uint32_t size = r.getU32();
-        std::vector<uint8_t> data(size);
-        r.getBytes(data.data(), size);
-        snap.sections[std::move(name)] = std::move(data);
-    }
-    return snap;
+    std::string error;
+    auto snap = tryDeserialize(image, &error);
+    if (!snap)
+        fatal("snapshot deserialize: %s", error.c_str());
+    return std::move(*snap);
 }
 
 void
 Snapshot::saveFile(const std::string &path) const
 {
+    std::string error;
+    if (!trySaveFile(path, &error))
+        fatal("%s", error.c_str());
+}
+
+bool
+Snapshot::trySaveFile(const std::string &path, std::string *error) const
+{
+    auto fail = [&](std::string msg) {
+        if (error)
+            *error = std::move(msg);
+        return false;
+    };
     const auto image = serialize();
     FILE *f = std::fopen(path.c_str(), "wb");
     if (!f)
-        fatal("cannot open snapshot file '%s' for writing", path.c_str());
+        return fail("cannot open snapshot file '" + path +
+                    "' for writing");
     const size_t written = std::fwrite(image.data(), 1, image.size(), f);
-    std::fclose(f);
-    if (written != image.size())
-        fatal("short write to snapshot file '%s'", path.c_str());
+    const bool closed_ok = std::fclose(f) == 0;
+    if (written != image.size() || !closed_ok)
+        return fail("short write to snapshot file '" + path + "'");
+    return true;
 }
 
 Snapshot
 Snapshot::loadFile(const std::string &path)
 {
+    std::string error;
+    auto snap = tryLoadFile(path, &error);
+    if (!snap)
+        fatal("%s", error.c_str());
+    return std::move(*snap);
+}
+
+std::optional<Snapshot>
+Snapshot::tryLoadFile(const std::string &path, std::string *error)
+{
+    auto fail = [&](std::string msg) -> std::optional<Snapshot> {
+        if (error)
+            *error = std::move(msg);
+        return std::nullopt;
+    };
+
     FILE *f = std::fopen(path.c_str(), "rb");
     if (!f)
-        fatal("cannot open snapshot file '%s'", path.c_str());
+        return fail("cannot open snapshot file '" + path + "'");
     std::fseek(f, 0, SEEK_END);
     const long size = std::ftell(f);
     std::fseek(f, 0, SEEK_SET);
+    if (size < 0) {
+        std::fclose(f);
+        return fail("cannot size snapshot file '" + path + "'");
+    }
     std::vector<uint8_t> image(static_cast<size_t>(size));
     const size_t got = std::fread(image.data(), 1, image.size(), f);
     std::fclose(f);
     if (got != image.size())
-        fatal("short read from snapshot file '%s'", path.c_str());
-    return deserialize(image);
+        return fail("short read from snapshot file '" + path + "'");
+    std::string parse_error;
+    auto snap = tryDeserialize(image, &parse_error);
+    if (!snap)
+        return fail("snapshot file '" + path + "': " + parse_error);
+    return snap;
 }
 
 } // namespace turbofuzz::soc

@@ -111,9 +111,16 @@ Minimizer::minimize(const Reproducer &r) const
     result.minimizedInstrs = result.originalInstrs;
     result.minimizedBlocks = result.originalBlocks;
 
+    // Warm replay context: ddmin replays the same stimulus family
+    // ~130 times; the context captures the invariant state (base
+    // memory image, post-prefix snapshot) once and restores it per
+    // replay instead of rebuilding and re-executing it. Bit-identical
+    // outcomes to ReplayHarness::replay (tests/triage/).
+    const ReplayHarness::Context ctx(r);
+
     // 0. The original must reproduce before reduction means anything.
     ++result.replays;
-    if (!ReplayHarness::confirms(r, ReplayHarness::replay(r)))
+    if (!ReplayHarness::confirms(r, ctx.replay(r)))
         return result;
     result.confirmed = true;
 
@@ -123,7 +130,7 @@ Minimizer::minimize(const Reproducer &r) const
     // A candidate survives when its replay still shows the same bug.
     auto stillFails = [&](const Reproducer &cand) {
         ++result.replays;
-        const ReplayResult out = ReplayHarness::replay(cand);
+        const ReplayResult out = ctx.replay(cand);
         return out.mismatched &&
                canonicalize(out.mismatch, &cand) == target;
     };
@@ -189,7 +196,7 @@ Minimizer::minimize(const Reproducer &r) const
 
     // 3. Finalize: stamp the reduced stimulus with its own replay
     //    outcome so the minimized record self-confirms.
-    const ReplayResult out = ReplayHarness::replay(best);
+    const ReplayResult out = ctx.replay(best);
     ++result.replays;
     if (!out.mismatched ||
         canonicalize(out.mismatch, &best) != target) {

@@ -3,51 +3,60 @@
 #include "common/logging.hh"
 #include "core/iss.hh"
 #include "engine/execution_engine.hh"
+#include "fuzzer/exception_templates.hh"
 #include "soc/memory.hh"
 
 namespace turbofuzz::triage
 {
 
+namespace
+{
+
+core::Iss::Options
+dutOptionsFor(const Reproducer &r)
+{
+    core::Iss::Options o;
+    o.bugs = r.bugs();
+    o.rv64aEnabled = r.rv64aEnabled;
+    o.resetPc = r.env.layout.instrBase;
+    return o;
+}
+
+core::Iss::Options
+refOptionsFor(const Reproducer &r)
+{
+    core::Iss::Options o;
+    o.rv64aEnabled = r.rv64aEnabled;
+    o.resetPc = r.env.layout.instrBase;
+    return o;
+}
+
+/**
+ * Steps 2..4 of a replay, shared by the cold path and the warm
+ * context: fresh DUT/REF pair over the prepared memories, the
+ * campaign's abort policy on the SAME batched engine campaign
+ * execution uses (no coverage/RTL hooks: they never feed back into
+ * architectural execution), against a zero-based checker. Replay
+ * results are batch-size-invariant by the engine's equivalence
+ * contract; one fixed size keeps replays bit-identical across runs.
+ */
 ReplayResult
-ReplayHarness::replay(const Reproducer &r)
+runReplay(const Reproducer &r, soc::Memory &dut_mem,
+          soc::Memory &ref_mem, const engine::WarmStart *warm)
 {
     const fuzzer::MemoryLayout &lay = r.env.layout;
 
-    // 1. Rebuild the iteration's memory image bit-exactly.
-    soc::Memory dut_mem;
-    fuzzer::TurboFuzzer::materializeIteration(r.env, r.iteration,
-                                              dut_mem);
-    soc::Memory ref_mem = dut_mem;
-
-    // 2. Fresh DUT (with the campaign's bug set) and golden REF.
-    core::Iss::Options dut_opts;
-    dut_opts.bugs = r.bugs();
-    dut_opts.rv64aEnabled = r.rv64aEnabled;
-    dut_opts.resetPc = lay.instrBase;
-    core::Iss dut(&dut_mem, dut_opts);
-
-    core::Iss::Options ref_opts;
-    ref_opts.rv64aEnabled = r.rv64aEnabled;
-    ref_opts.resetPc = lay.instrBase;
-    core::Iss ref(&ref_mem, ref_opts);
-
+    core::Iss dut(&dut_mem, dutOptionsFor(r));
+    core::Iss ref(&ref_mem, refOptionsFor(r));
     for (core::Iss *c : {&dut, &ref}) {
         c->addAccessRange(lay.instrBase, lay.instrSize);
         c->addAccessRange(lay.dataBase, lay.dataSize);
         c->addAccessRange(lay.handlerBase, 4096);
     }
-    dut.reset(r.iteration.entryPc);
-    ref.reset(r.iteration.entryPc);
 
-    // 3. The campaign's abort conditions on the SAME batched engine
-    //    campaign execution uses (no coverage/RTL hooks: they never
-    //    feed back into architectural execution), against a
-    //    zero-based checker. Replay results are batch-size-invariant
-    //    by the engine's equivalence contract; one fixed size keeps
-    //    replays bit-identical across runs.
     checker::DiffChecker checker(r.checkMode);
     engine::ExecutionEngine eng(&dut, &ref, &checker,
-                                replayBatchSize);
+                                ReplayHarness::replayBatchSize);
 
     engine::IterationPolicy policy;
     policy.codeBoundary = r.iteration.codeBoundary;
@@ -60,8 +69,15 @@ ReplayHarness::replay(const Reproducer &r)
         r.stepCapSlack;
     policy.trapStormLimit = r.trapStormLimit;
 
+    const bool use_warm = warm && warm->eligible(policy) &&
+                          r.iteration.entryPc == warm->entryPc;
+    if (!use_warm) {
+        dut.reset(r.iteration.entryPc);
+        ref.reset(r.iteration.entryPc);
+    }
+
     const engine::IterationOutcome out =
-        eng.runIteration(policy, {});
+        eng.runIteration(policy, {}, use_warm ? warm : nullptr);
 
     ReplayResult result;
     result.executed = out.executedTotal;
@@ -72,6 +88,92 @@ ReplayHarness::replay(const Reproducer &r)
         result.commitIndex = out.mismatchCommitIndex;
     }
     return result;
+}
+
+} // namespace
+
+ReplayResult
+ReplayHarness::replay(const Reproducer &r)
+{
+    // Cold path: rebuild the iteration's memory image bit-exactly
+    // through the exact write path generation used, then execute
+    // from reset.
+    soc::Memory dut_mem;
+    fuzzer::TurboFuzzer::materializeIteration(r.env, r.iteration,
+                                              dut_mem);
+    soc::Memory ref_mem = dut_mem;
+    return runReplay(r, dut_mem, ref_mem, nullptr);
+}
+
+ReplayHarness::Context::Context(const Reproducer &r)
+    : env(r.env), iterationIndex(r.iteration.iterationIndex),
+      entryPc(r.iteration.entryPc),
+      firstBlockPc(r.iteration.firstBlockPc), dutOpts(dutOptionsFor(r)),
+      refOpts(refOptionsFor(r))
+{
+    const fuzzer::MemoryLayout &lay = env.layout;
+
+    // Base image: the prefix of materializeIteration()'s write
+    // sequence that does not depend on the block list — exception
+    // templates, this iteration index's data fill, and the preamble.
+    // Per-replay, the candidate's blocks are written onto a copy,
+    // reproducing the full materialization bit-exactly.
+    fuzzer::ExceptionTemplates::install(baseMem, lay);
+    fuzzer::TurboFuzzer::fillDataSegment(env, iterationIndex, baseMem);
+    uint64_t addr = lay.instrBase;
+    for (uint32_t insn : fuzzer::TurboFuzzer::preambleCode(env)) {
+        baseMem.write32(addr, insn);
+        addr += 4;
+    }
+    TF_ASSERT(addr == firstBlockPc,
+              "replay context preamble disagrees with reproducer "
+              "layout");
+
+    engine::WarmStartSpec spec;
+    spec.dutOpts = dutOpts;
+    spec.refOpts = refOpts;
+    spec.prefixCode = fuzzer::TurboFuzzer::warmPrefixCode(env);
+    spec.entryPc = lay.instrBase;
+    spec.accessRanges = {{lay.instrBase, lay.instrSize},
+                         {lay.dataBase, lay.dataSize},
+                         {lay.handlerBase, 4096}};
+    warm = engine::captureWarmStart(spec);
+}
+
+bool
+ReplayHarness::Context::compatible(const Reproducer &r) const
+{
+    const fuzzer::MemoryLayout &a = env.layout;
+    const fuzzer::MemoryLayout &b = r.env.layout;
+    return r.env.fuzzerSeed == env.fuzzerSeed &&
+           r.env.bootstrapInstrs == env.bootstrapInstrs &&
+           a.instrBase == b.instrBase && a.instrSize == b.instrSize &&
+           a.dataBase == b.dataBase && a.dataSize == b.dataSize &&
+           a.handlerBase == b.handlerBase &&
+           r.iteration.iterationIndex == iterationIndex &&
+           r.iteration.entryPc == entryPc &&
+           r.iteration.firstBlockPc == firstBlockPc &&
+           r.bugs().raw() == dutOpts.bugs.raw() &&
+           r.rv64aEnabled == dutOpts.rv64aEnabled;
+}
+
+ReplayResult
+ReplayHarness::Context::replay(const Reproducer &r) const
+{
+    TF_ASSERT(compatible(r),
+              "reproducer does not share this replay context");
+
+    soc::Memory dut_mem = baseMem;
+    uint64_t addr = firstBlockPc;
+    for (const fuzzer::SeedBlock &b : r.iteration.blocks) {
+        for (uint32_t insn : b.insns) {
+            dut_mem.write32(addr, insn);
+            addr += 4;
+        }
+    }
+    soc::Memory ref_mem = dut_mem;
+    return runReplay(r, dut_mem, ref_mem,
+                     warm ? &*warm : nullptr);
 }
 
 bool

@@ -23,6 +23,8 @@
 #ifndef TURBOFUZZ_TRIAGE_REPLAY_HH
 #define TURBOFUZZ_TRIAGE_REPLAY_HH
 
+#include "engine/warm_start.hh"
+#include "soc/memory.hh"
 #include "triage/reproducer.hh"
 
 namespace turbofuzz::triage
@@ -50,6 +52,49 @@ class ReplayHarness
 
     /** Re-execute @p r standalone. Pure: same input, same output. */
     static ReplayResult replay(const Reproducer &r);
+
+    /**
+     * Warm replay context: per-reproducer state that is identical
+     * across every replay of the same stimulus family — the base
+     * memory image (exception templates + the iteration's data fill
+     * + preamble) and the post-prefix warm-start snapshot — captured
+     * once and restored per replay. Delta debugging replays the same
+     * iteration ~130 times with only the block list varying, so
+     * rebuilding the full image and re-executing the preamble every
+     * time is the dominant redundant cost this removes.
+     *
+     * Context::replay(r) is bit-identical to ReplayHarness::replay(r)
+     * for any reproducer sharing the context's environment,
+     * configuration and iteration index (the minimizer's rebuild()
+     * preserves all three) — enforced by tests/triage/.
+     */
+    class Context
+    {
+      public:
+        /** Capture base state for @p r's stimulus family. */
+        explicit Context(const Reproducer &r);
+
+        /** Re-execute @p r against the cached base state. */
+        ReplayResult replay(const Reproducer &r) const;
+
+        /** Whether @p r shares this context's base state. */
+        bool compatible(const Reproducer &r) const;
+
+      private:
+        fuzzer::ReplayEnv env;
+        uint64_t iterationIndex;
+        uint64_t entryPc;
+        uint64_t firstBlockPc;
+        core::Iss::Options dutOpts;
+        core::Iss::Options refOpts;
+
+        /** Templates + data fill + preamble; blocks are written on a
+         *  copy of this image per replay. */
+        soc::Memory baseMem;
+
+        /** Post-prefix snapshot; nullopt falls back to cold. */
+        std::optional<engine::WarmStart> warm;
+    };
 
     /**
      * Whether @p out reproduces exactly the divergence @p r recorded:

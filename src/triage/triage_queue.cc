@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "common/stats.hh"
+#include "soc/snapshot.hh"
 
 namespace turbofuzz::triage
 {
@@ -74,6 +75,66 @@ TriageQueue::table() const
         rows.push_back(std::move(row));
     }
     return rows;
+}
+
+void
+TriageQueue::saveState(soc::SnapshotWriter &out) const
+{
+    out.putU64(pushed);
+    out.putU32(static_cast<uint32_t>(list.size()));
+    for (const BugBucket &bucket : list) {
+        out.putU64(bucket.hits);
+        out.putF64(bucket.firstDetectSimTime);
+        out.putU32(bucket.firstShard);
+        const std::vector<uint8_t> blob = bucket.exemplar.serialize();
+        out.putU32(static_cast<uint32_t>(blob.size()));
+        out.putBytes(blob.data(), blob.size());
+    }
+}
+
+bool
+TriageQueue::loadState(soc::SnapshotReader &in, std::string *error)
+{
+    auto fail = [&](const std::string &msg) {
+        if (error)
+            *error = msg;
+        return false;
+    };
+    try {
+        list.clear();
+        byKey.clear();
+        pushed = in.getU64();
+        const uint32_t count = in.getU32();
+        for (uint32_t i = 0; i < count; ++i) {
+            BugBucket bucket;
+            bucket.hits = in.getU64();
+            bucket.firstDetectSimTime = in.getF64();
+            bucket.firstShard = in.getU32();
+            const uint32_t size = in.getU32();
+            if (size > in.remaining())
+                return fail("bucket exemplar size exceeds buffer");
+            std::vector<uint8_t> blob(size);
+            in.getBytes(blob.data(), size);
+            std::string repro_error;
+            auto r = Reproducer::tryDeserialize(blob, &repro_error);
+            if (!r)
+                return fail("bucket exemplar: " + repro_error);
+            bucket.exemplar = std::move(*r);
+            // The signature is derived state: recompute from the
+            // exemplar (canonicalize is deterministic) rather than
+            // trusting serialized bytes.
+            bucket.signature = canonicalize(bucket.exemplar);
+            const std::string key = bucket.signature.key();
+            if (byKey.count(key))
+                return fail("duplicate bucket signature '" + key +
+                            "'");
+            byKey.emplace(key, list.size());
+            list.push_back(std::move(bucket));
+        }
+        return true;
+    } catch (const soc::SnapshotFormatError &e) {
+        return fail(e.what());
+    }
 }
 
 void

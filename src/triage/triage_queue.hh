@@ -82,6 +82,21 @@ class TriageQueue
     /** Per-bug rows, in first-detection (push) order. */
     std::vector<TriageRow> table() const;
 
+    /**
+     * Checkpoint support: serialize the deduplicated buckets (bucket
+     * order, hit counts, detection metadata, exemplar bytes). Only
+     * pre-minimization state is saved — checkpoints are written at
+     * epoch barriers and minimizeAll() runs after the final epoch,
+     * so a resumed queue minimizes exactly what an uninterrupted one
+     * would.
+     */
+    void saveState(soc::SnapshotWriter &out) const;
+
+    /** Restore a saveState() image (replaces all buckets).
+     *  @return false with @p error set on malformed input. */
+    bool loadState(soc::SnapshotReader &in,
+                   std::string *error = nullptr);
+
   private:
     MinimizeOptions minOpts;
     std::vector<BugBucket> list;

@@ -43,6 +43,7 @@ struct RunConfig
         checker::DiffChecker::Mode::PerInstruction;
     uint64_t seed = 1;
     double budgetSec = 6.0;
+    bool warmStart = true;
 };
 
 /** Everything observable about a finished campaign. */
@@ -78,6 +79,7 @@ runCampaign(const RunConfig &cfg, uint64_t batch)
     opts.rv64aEnabled = cfg.rv64aEnabled;
     opts.checkMode = cfg.mode;
     opts.batchSize = batch;
+    opts.warmStart = cfg.warmStart;
     fuzzer::FuzzerOptions fopts;
     fopts.seed = cfg.seed;
     fopts.instrsPerIteration = 1000;
@@ -258,6 +260,163 @@ TEST(EngineEquivalence, EndOfIterationModeBoom)
     cfg.seed = 10;
     cfg.budgetSec = 8.0;
     expectBatchInvariant(cfg, /*expect_mismatch=*/true);
+}
+
+/**
+ * The warm-start equivalence property suite: a warm-started campaign
+ * (post-prefix snapshot restore instead of cold reset + preamble
+ * re-execution) must be bit-identical to the cold campaign in
+ * everything a campaign can report — coverage, counters, time
+ * series, the first mismatch, the full mismatch snapshot (both harts
+ * + DUT memory) and every reproducer's serialized bytes. Runs across
+ * the bug catalog's core families, both checking modes and multiple
+ * batch sizes.
+ */
+void
+expectWarmColdIdentical(RunConfig cfg, bool expect_mismatch)
+{
+    for (const uint64_t batch : {uint64_t{1}, uint64_t{64}}) {
+        cfg.warmStart = false;
+        const RunSummary cold = runCampaign(cfg, batch);
+        EXPECT_EQ(cold.hasMismatch, expect_mismatch);
+        cfg.warmStart = true;
+        const RunSummary warmed = runCampaign(cfg, batch);
+        expectIdentical(cold, warmed,
+                        ("warm batch=" + std::to_string(batch))
+                            .c_str());
+    }
+}
+
+TEST(WarmStartEquivalence, CleanCampaignRocket)
+{
+    RunConfig cfg;
+    cfg.coreKind = core::CoreKind::Rocket;
+    cfg.seed = 31;
+    cfg.budgetSec = 4.0;
+    expectWarmColdIdentical(cfg, /*expect_mismatch=*/false);
+}
+
+TEST(WarmStartEquivalence, MinstretMismatchRocket)
+{
+    RunConfig cfg;
+    cfg.coreKind = core::CoreKind::Rocket;
+    cfg.bugs = core::BugSet::single(core::BugId::R1);
+    cfg.seed = 3;
+    cfg.budgetSec = 8.0;
+    expectWarmColdIdentical(cfg, /*expect_mismatch=*/true);
+}
+
+TEST(WarmStartEquivalence, FrdMismatchBoom)
+{
+    RunConfig cfg;
+    cfg.coreKind = core::CoreKind::Boom;
+    cfg.bugs = core::BugSet::single(core::BugId::B1);
+    cfg.seed = 4;
+    cfg.budgetSec = 8.0;
+    expectWarmColdIdentical(cfg, /*expect_mismatch=*/true);
+}
+
+TEST(WarmStartEquivalence, TrapMismatchBoom)
+{
+    RunConfig cfg;
+    cfg.coreKind = core::CoreKind::Boom;
+    cfg.bugs = core::BugSet::single(core::BugId::B2);
+    cfg.seed = 5;
+    cfg.budgetSec = 8.0;
+    expectWarmColdIdentical(cfg, /*expect_mismatch=*/true);
+}
+
+TEST(WarmStartEquivalence, AtomicTrapMismatchCva6)
+{
+    RunConfig cfg;
+    cfg.coreKind = core::CoreKind::Cva6;
+    cfg.bugs = core::BugSet::single(core::BugId::C8);
+    cfg.rv64aEnabled = false;
+    cfg.seed = 8;
+    cfg.budgetSec = 8.0;
+    expectWarmColdIdentical(cfg, /*expect_mismatch=*/true);
+}
+
+TEST(WarmStartEquivalence, EndOfIterationModeBoom)
+{
+    RunConfig cfg;
+    cfg.coreKind = core::CoreKind::Boom;
+    cfg.bugs = core::BugSet::single(core::BugId::B1);
+    cfg.mode = checker::DiffChecker::Mode::EndOfIteration;
+    cfg.seed = 10;
+    cfg.budgetSec = 8.0;
+    expectWarmColdIdentical(cfg, /*expect_mismatch=*/true);
+}
+
+/**
+ * Fallback guard: when the step cap is small enough that a cold
+ * iteration would abort INSIDE the constant prefix, the warm path
+ * must not be taken (it cannot stop mid-prefix) — the campaign falls
+ * back to cold for those iterations and stays bit-identical.
+ */
+TEST(WarmStartEquivalence, StepCapInsidePrefixFallsBackToCold)
+{
+    auto run_with = [](bool warm_start) {
+        CampaignOptions opts;
+        opts.timing = soc::turboFuzzProfile();
+        opts.warmStart = warm_start;
+        // Cap below the 123-commit prefix: every iteration aborts
+        // mid-prefix; warm restore would overshoot the cap.
+        opts.stepCapFactor = 0.0;
+        opts.stepCapSlack = 50;
+        fuzzer::FuzzerOptions fopts;
+        fopts.seed = 17;
+        fopts.instrsPerIteration = 1000;
+        Campaign c(opts, std::make_unique<fuzzer::TurboFuzzGenerator>(
+                             fopts, &lib()));
+        for (int i = 0; i < 30; ++i) {
+            const IterationResult r = c.runIteration();
+            EXPECT_EQ(r.executedTotal, 50u);
+        }
+        return std::make_tuple(c.coverageMap().totalCovered(),
+                               c.executedInstructions(),
+                               c.nowSec());
+    };
+    EXPECT_EQ(run_with(false), run_with(true));
+}
+
+/** The warm snapshot must actually be captured and used for a plain
+ *  TurboFuzzer campaign (the silent-fallback path must be the
+ *  exception, not the rule). */
+TEST(WarmStartEquivalence, WarmSnapshotActiveByDefault)
+{
+    CampaignOptions opts;
+    opts.timing = soc::turboFuzzProfile();
+    fuzzer::FuzzerOptions fopts;
+    fopts.instrsPerIteration = 1000;
+    Campaign on(opts, std::make_unique<fuzzer::TurboFuzzGenerator>(
+                          fopts, &lib()));
+    EXPECT_TRUE(on.warmStartActive());
+    for (int i = 0; i < 5; ++i)
+        on.runIteration();
+    EXPECT_EQ(on.warmIterations(), 5u); // every iteration warm-starts
+
+    opts.warmStart = false;
+    Campaign off(opts, std::make_unique<fuzzer::TurboFuzzGenerator>(
+                           fopts, &lib()));
+    EXPECT_FALSE(off.warmStartActive());
+}
+
+/** The preamble layout contract the warm capture relies on: the full
+ *  preamble begins with the constant warm prefix, and the prefix is
+ *  straight-line (no loads/stores/control flow). */
+TEST(WarmStartEquivalence, PreamblePrefixContract)
+{
+    fuzzer::ReplayEnv env;
+    const auto prefix = fuzzer::TurboFuzzer::warmPrefixCode(env);
+    const auto full = fuzzer::TurboFuzzer::preambleCode(env);
+    ASSERT_LE(prefix.size(), full.size());
+    for (size_t i = 0; i < prefix.size(); ++i)
+        EXPECT_EQ(prefix[i], full[i]) << "prefix word " << i;
+    // 3 context instructions + the bootstrap boilerplate.
+    EXPECT_EQ(prefix.size(), 3u + env.bootstrapInstrs);
+    // The tail is the 32 data-dependent FP loads.
+    EXPECT_EQ(full.size(), prefix.size() + 32);
 }
 
 /**

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <set>
+
 #include "common/fleet_config.hh"
 #include "fleet/orchestrator.hh"
 #include "fleet/worker_pool.hh"
@@ -291,6 +294,203 @@ TEST(FleetOrchestratorTest, FleetSamplesAndThroughputRecorded)
     EXPECT_GT(r.prevalence.last(), 0.8);
     EXPECT_GT(r.totals.iterations, 0u);
     EXPECT_GT(r.hostSeconds, 0.0);
+}
+
+/** Everything two fleet results must agree on to count as
+ *  bit-identical. */
+void
+expectFleetResultsIdentical(const FleetResult &a, const FleetResult &b)
+{
+    EXPECT_EQ(a.totals.iterations, b.totals.iterations);
+    EXPECT_EQ(a.totals.executedInstrs, b.totals.executedInstrs);
+    EXPECT_EQ(a.totals.generatedInstrs, b.totals.generatedInstrs);
+    EXPECT_EQ(a.totals.mismatches, b.totals.mismatches);
+    EXPECT_EQ(a.mergedFinalCoverage, b.mergedFinalCoverage);
+    EXPECT_EQ(a.seedsExchanged, b.seedsExchanged);
+    EXPECT_EQ(a.seedsAdmitted, b.seedsAdmitted);
+    EXPECT_EQ(a.reproducersHarvested, b.reproducersHarvested);
+
+    auto expect_series_equal = [](const TimeSeries &x,
+                                  const TimeSeries &y,
+                                  const char *what) {
+        SCOPED_TRACE(what);
+        ASSERT_EQ(x.samples().size(), y.samples().size());
+        for (size_t i = 0; i < x.samples().size(); ++i) {
+            EXPECT_DOUBLE_EQ(x.samples()[i].timeSec,
+                             y.samples()[i].timeSec)
+                << i;
+            EXPECT_DOUBLE_EQ(x.samples()[i].value,
+                             y.samples()[i].value)
+                << i;
+        }
+    };
+    expect_series_equal(a.mergedCoverage, b.mergedCoverage,
+                        "merged coverage");
+    expect_series_equal(a.throughput, b.throughput, "throughput");
+    expect_series_equal(a.prevalence, b.prevalence, "prevalence");
+    ASSERT_EQ(a.shardCoverage.size(), b.shardCoverage.size());
+    for (size_t i = 0; i < a.shardCoverage.size(); ++i)
+        expect_series_equal(a.shardCoverage[i], b.shardCoverage[i],
+                            "shard coverage");
+
+    ASSERT_EQ(a.mismatches.size(), b.mismatches.size());
+    for (size_t i = 0; i < a.mismatches.size(); ++i) {
+        EXPECT_EQ(a.mismatches[i].shard, b.mismatches[i].shard);
+        EXPECT_EQ(a.mismatches[i].mismatch.pc,
+                  b.mismatches[i].mismatch.pc);
+        EXPECT_EQ(a.mismatches[i].mismatch.instrIndex,
+                  b.mismatches[i].mismatch.instrIndex);
+        EXPECT_DOUBLE_EQ(a.mismatches[i].simTimeSec,
+                         b.mismatches[i].simTimeSec);
+    }
+    ASSERT_EQ(a.bugTable.size(), b.bugTable.size());
+    for (size_t i = 0; i < a.bugTable.size(); ++i) {
+        EXPECT_EQ(a.bugTable[i].signature, b.bugTable[i].signature);
+        EXPECT_EQ(a.bugTable[i].hits, b.bugTable[i].hits);
+        EXPECT_DOUBLE_EQ(a.bugTable[i].firstDetectSimTime,
+                         b.bugTable[i].firstDetectSimTime);
+        EXPECT_EQ(a.bugTable[i].minimizedInstrs,
+                  b.bugTable[i].minimizedInstrs);
+        EXPECT_EQ(a.bugTable[i].replays, b.bugTable[i].replays);
+    }
+}
+
+/**
+ * Acceptance: a fleet killed mid-campaign and resumed from its epoch
+ * checkpoint produces results identical to an uninterrupted run —
+ * counters, every time series, the mismatch harvest and the
+ * minimized per-bug table. Exercises seed exchange (broadcast),
+ * triage harvest and a buggy DUT so every checkpointed subsystem
+ * carries real state across the kill.
+ */
+TEST(FleetCheckpoint, ResumedRunMatchesUninterrupted)
+{
+    const std::string path =
+        testing::TempDir() + "/tf_fleet_resume.ckpt";
+
+    auto config = [&](bool checkpointing) {
+        FleetConfig fc = fleetConfig(2, 6.0, 1.5, 11);
+        fc.topology = ExchangeTopology::Broadcast;
+        fc.exchangeTopK = 4;
+        fc.maxReproducersPerShard = 8;
+        fc.triageReplayBudget = 32;
+        if (checkpointing) {
+            fc.checkpointEveryEpochs = 1;
+            fc.checkpointPath = path;
+        }
+        return fc;
+    };
+    harness::CampaignOptions copts = campaignOpts();
+    copts.coreKind = core::CoreKind::Cva6;
+    copts.bugs.enable(core::BugId::C1);
+    copts.bugs.enable(core::BugId::C5);
+
+    // Reference: uninterrupted run.
+    FleetOrchestrator uninterrupted(config(false), copts,
+                                    fuzzerOpts(), &lib());
+    const FleetResult reference = uninterrupted.run();
+    ASSERT_GT(reference.totals.mismatches, 0u);
+
+    // Killed run: same fleet, halted after epoch 2 with a checkpoint
+    // written at every barrier.
+    {
+        FleetConfig fc = config(true);
+        fc.haltAfterEpochs = 2;
+        FleetOrchestrator killed(fc, copts, fuzzerOpts(), &lib());
+        killed.run();
+    }
+
+    // Resume: a FRESH orchestrator restores the on-disk checkpoint
+    // (no state survives from the killed instance) and runs to the
+    // budget.
+    std::string error;
+    const auto snap = soc::Snapshot::tryLoadFile(path, &error);
+    ASSERT_TRUE(snap.has_value()) << error;
+    FleetOrchestrator resumed(config(false), copts, fuzzerOpts(),
+                              &lib());
+    ASSERT_TRUE(resumed.restoreCheckpoint(*snap, &error)) << error;
+    const FleetResult final_result = resumed.run();
+
+    expectFleetResultsIdentical(reference, final_result);
+    std::remove(path.c_str());
+}
+
+/** Malformed or mismatched checkpoints must be rejected gracefully —
+ *  no crash, no allocation blow-up, a diagnostic instead. */
+TEST(FleetCheckpoint, MalformedCheckpointRejected)
+{
+    harness::CampaignOptions copts = campaignOpts();
+    std::string error;
+
+    // Not a snapshot at all.
+    {
+        FleetOrchestrator orch(fleetConfig(2), copts, fuzzerOpts(),
+                               &lib());
+        soc::Snapshot empty;
+        EXPECT_FALSE(orch.restoreCheckpoint(empty, &error));
+        EXPECT_NE(error.find("missing section"), std::string::npos);
+    }
+
+    // A checkpoint taken with a different shard count.
+    {
+        FleetConfig small = fleetConfig(2, 3.0, 0.75, 7);
+        small.haltAfterEpochs = 1;
+        FleetOrchestrator donor(small, copts, fuzzerOpts(), &lib());
+        donor.run();
+        const auto snap = donor.makeCheckpoint(&error);
+        ASSERT_TRUE(snap.has_value()) << error;
+
+        FleetOrchestrator three(fleetConfig(3), copts, fuzzerOpts(),
+                                &lib());
+        EXPECT_FALSE(three.restoreCheckpoint(*snap, &error));
+        EXPECT_NE(error.find("shard count"), std::string::npos);
+
+        // Corrupted shard section: truncate one shard's state.
+        soc::Snapshot corrupt = *snap;
+        corrupt.setSection("fleet.shard.1", {1, 2, 3});
+        FleetOrchestrator fresh(fleetConfig(2, 3.0, 0.75, 7), copts,
+                                fuzzerOpts(), &lib());
+        EXPECT_FALSE(fresh.restoreCheckpoint(corrupt, &error));
+        EXPECT_FALSE(error.empty());
+
+        // Wrong fleet seed.
+        FleetOrchestrator reseeded(fleetConfig(2, 3.0, 0.75, 8),
+                                   copts, fuzzerOpts(), &lib());
+        EXPECT_FALSE(reseeded.restoreCheckpoint(*snap, &error));
+        EXPECT_NE(error.find("seed"), std::string::npos);
+    }
+}
+
+/**
+ * Bugfix regression: under broadcast exchange the same top-K seeds
+ * are re-offered at every barrier; content-hash dedup on import must
+ * keep shard corpora free of duplicate stimuli across epochs.
+ */
+TEST(FleetSeedExchange, BroadcastDoesNotFloodCorporaWithDuplicates)
+{
+    FleetConfig fc = fleetConfig(3, 6.0, 0.75, 13);
+    fc.topology = ExchangeTopology::Broadcast;
+    fc.exchangeTopK = 6;
+    FleetOrchestrator orch(fc, campaignOpts(), fuzzerOpts(), &lib());
+    const FleetResult r = orch.run();
+    ASSERT_GT(r.seedsExchanged, 0u);
+
+    for (unsigned i = 0; i < orch.shardCount(); ++i) {
+        auto *gen = dynamic_cast<fuzzer::TurboFuzzGenerator *>(
+            &orch.shard(i).campaign().generator());
+        ASSERT_NE(gen, nullptr);
+        const fuzzer::Corpus &corpus = gen->underlying().corpus();
+        // Corpus stays within capacity and holds no two seeds with
+        // identical content.
+        EXPECT_LE(corpus.size(), corpus.capacity());
+        std::set<uint64_t> hashes;
+        for (const fuzzer::Seed &s : corpus.entries())
+            EXPECT_TRUE(hashes.insert(s.contentHash()).second)
+                << "duplicate stimulus in shard " << i;
+        // The dedup actually fired: broadcast re-offers previously
+        // imported seeds every barrier.
+        EXPECT_GT(corpus.duplicateImports(), 0u) << "shard " << i;
+    }
 }
 
 } // namespace

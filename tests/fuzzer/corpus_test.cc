@@ -5,6 +5,7 @@
 #include <map>
 
 #include "fuzzer/corpus.hh"
+#include "soc/snapshot.hh"
 
 namespace turbofuzz::fuzzer
 {
@@ -17,7 +18,10 @@ seedWithId(uint64_t id)
     Seed s;
     s.id = id;
     SeedBlock b;
-    b.insns = {0x13};
+    // Distinct stimulus per id: imports deduplicate by content hash,
+    // so seeds that should be independently admissible must differ
+    // in content, not just in id.
+    b.insns = {0x13, static_cast<uint32_t>(0x100013 + (id << 20))};
     s.blocks.push_back(b);
     return s;
 }
@@ -237,7 +241,11 @@ TEST(Corpus, ImportSeedsRemapsIdsAndHonorsAdmission)
     donor.offer(seedWithId(2), 200);
 
     Corpus receiver(4, SchedulingPolicy::CoverageGuided);
-    receiver.offer(seedWithId(1), 5); // local id 1 already taken
+    // Local id 1 already taken — by a *different* stimulus, so the
+    // import exercises the id remap rather than content dedup.
+    Seed local = seedWithId(100);
+    local.id = 1;
+    receiver.offer(std::move(local), 5);
 
     uint64_t next_id = 1000;
     const size_t admitted =
@@ -294,6 +302,103 @@ TEST(Corpus, SelectFromEmptyPanics)
     Corpus c(2, SchedulingPolicy::Fifo);
     Rng rng(1);
     EXPECT_DEATH((void)c.select(rng), "empty corpus");
+}
+
+TEST(Seed, ContentHashIgnoresSchedulingMetadata)
+{
+    Seed a = seedWithId(5);
+    Seed b = a;
+    b.id = 99;
+    b.coverageIncrement = 1234;
+    b.insertedAt = 42;
+    EXPECT_EQ(a.contentHash(), b.contentHash());
+
+    // Any content field change moves the hash.
+    Seed c = a;
+    c.blocks[0].insns[0] ^= 1;
+    EXPECT_NE(a.contentHash(), c.contentHash());
+    Seed d = a;
+    d.blocks[0].targetBlock = 3;
+    EXPECT_NE(a.contentHash(), d.contentHash());
+}
+
+TEST(Corpus, ImportDeduplicatesByContent)
+{
+    // Bugfix regression: re-identified imports of the same stimulus
+    // must not be re-admitted as "new" every epoch (the broadcast
+    // flooding bug). The second import of an identical batch admits
+    // nothing and allocates no ids.
+    Corpus donor(4, SchedulingPolicy::CoverageGuided);
+    donor.offer(seedWithId(1), 100);
+    donor.offer(seedWithId(2), 200);
+
+    Corpus receiver(8, SchedulingPolicy::CoverageGuided);
+    uint64_t next_id = 1000;
+    EXPECT_EQ(receiver.importSeeds(donor.exportTop(2), next_id), 2u);
+    EXPECT_EQ(next_id, 1002u);
+    EXPECT_EQ(receiver.importSeeds(donor.exportTop(2), next_id), 0u);
+    EXPECT_EQ(next_id, 1002u); // no ids burned on duplicates
+    EXPECT_EQ(receiver.size(), 2u);
+    EXPECT_EQ(receiver.duplicateImports(), 2u);
+
+    // Duplicates inside one imported batch collapse too.
+    std::vector<Seed> batch = {seedWithId(3), seedWithId(3)};
+    for (Seed &s : batch)
+        s.coverageIncrement = 30; // pass coverage-guided admission
+    EXPECT_EQ(receiver.importSeeds(std::move(batch), next_id), 1u);
+    EXPECT_EQ(receiver.size(), 3u);
+    EXPECT_EQ(receiver.duplicateImports(), 3u);
+}
+
+TEST(Corpus, SaveLoadStateRoundTrip)
+{
+    Corpus c(8, SchedulingPolicy::CoverageGuided);
+    for (uint64_t i = 1; i <= 5; ++i)
+        c.offer(seedWithId(i), i * 7);
+    uint64_t next_id = 50;
+    c.importSeeds({seedWithId(40)}, next_id);
+
+    soc::SnapshotWriter w;
+    c.saveState(w);
+    const auto image = w.takeBuffer();
+
+    Corpus back(8, SchedulingPolicy::CoverageGuided);
+    soc::SnapshotReader r(image);
+    std::string error;
+    ASSERT_TRUE(back.loadState(r, &error)) << error;
+    ASSERT_TRUE(r.exhausted());
+
+    ASSERT_EQ(back.size(), c.size());
+    for (size_t i = 0; i < c.size(); ++i) {
+        EXPECT_EQ(back.entries()[i].id, c.entries()[i].id);
+        EXPECT_EQ(back.entries()[i].coverageIncrement,
+                  c.entries()[i].coverageIncrement);
+        EXPECT_EQ(back.entries()[i].insertedAt,
+                  c.entries()[i].insertedAt);
+        EXPECT_EQ(back.entries()[i].contentHash(),
+                  c.entries()[i].contentHash());
+    }
+    EXPECT_EQ(back.evictions(), c.evictions());
+    EXPECT_EQ(back.rejections(), c.rejections());
+    EXPECT_EQ(back.duplicateImports(), c.duplicateImports());
+
+    // The restored id index works (updateIncrement is O(1) via it).
+    back.updateIncrement(back.entries()[0].id, 777);
+    EXPECT_EQ(back.entries()[0].coverageIncrement, 777u);
+
+    // Malformed: a seed count beyond capacity is rejected before any
+    // allocation.
+    soc::SnapshotWriter bad;
+    bad.putU64(0);
+    bad.putU64(0);
+    bad.putU64(0);
+    bad.putU64(0);
+    bad.putU32(0xFFFFFFFFu);
+    const auto bad_image = bad.takeBuffer();
+    soc::SnapshotReader bad_reader(bad_image);
+    Corpus victim(8, SchedulingPolicy::CoverageGuided);
+    EXPECT_FALSE(victim.loadState(bad_reader, &error));
+    EXPECT_NE(error.find("capacity"), std::string::npos);
 }
 
 } // namespace

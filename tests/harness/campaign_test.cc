@@ -199,5 +199,105 @@ TEST(MakeDefaultLibraryTest, ExcludesMret)
     EXPECT_TRUE(lib().contains(isa::Opcode::Add));
 }
 
+/**
+ * Checkpoint round trip: a campaign checkpointed mid-run and
+ * restored into a fresh instance must continue bit-identically to
+ * the uninterrupted campaign — coverage, counters, simulated time,
+ * mismatch evidence and reproducer bytes. Uses a buggy DUT so the
+ * mismatch/reproducer state actually crosses the checkpoint.
+ */
+TEST(Campaign, CheckpointRestoreContinuesBitIdentically)
+{
+    CampaignOptions opts;
+    opts.timing = soc::turboFuzzProfile();
+    opts.coreKind = core::CoreKind::Cva6;
+    opts.bugs = core::BugSet::single(core::BugId::C1);
+    const uint64_t seed = 5;
+
+    // Reference: one uninterrupted run of 2N iterations.
+    Campaign whole(opts, makeGen(seed));
+    for (int i = 0; i < 120; ++i)
+        whole.runIteration();
+
+    // Checkpoint after N iterations...
+    Campaign first(opts, makeGen(seed));
+    for (int i = 0; i < 60; ++i)
+        first.runIteration();
+    soc::SnapshotWriter w;
+    ASSERT_TRUE(first.saveState(w));
+    const auto image = w.takeBuffer();
+
+    // ...restore into a FRESH campaign and run the second half.
+    Campaign second(opts, makeGen(seed));
+    soc::SnapshotReader r(image);
+    std::string error;
+    ASSERT_TRUE(second.loadState(r, &error)) << error;
+    ASSERT_TRUE(r.exhausted());
+    EXPECT_EQ(second.iterations(), 60u);
+    for (int i = 0; i < 60; ++i)
+        second.runIteration();
+
+    EXPECT_EQ(second.iterations(), whole.iterations());
+    EXPECT_EQ(second.executedInstructions(),
+              whole.executedInstructions());
+    EXPECT_EQ(second.generatedInstructions(),
+              whole.generatedInstructions());
+    EXPECT_EQ(second.mismatchedIterations(),
+              whole.mismatchedIterations());
+    EXPECT_DOUBLE_EQ(second.nowSec(), whole.nowSec());
+    EXPECT_EQ(second.coverageMap().totalCovered(),
+              whole.coverageMap().totalCovered());
+
+    ASSERT_EQ(second.firstMismatch().has_value(),
+              whole.firstMismatch().has_value());
+    if (whole.firstMismatch()) {
+        EXPECT_EQ(second.firstMismatch()->pc,
+                  whole.firstMismatch()->pc);
+        EXPECT_EQ(second.firstMismatch()->instrIndex,
+                  whole.firstMismatch()->instrIndex);
+        EXPECT_EQ(second.mismatchSnapshot().serialize(),
+                  whole.mismatchSnapshot().serialize());
+    }
+    ASSERT_EQ(second.reproducers().size(), whole.reproducers().size());
+    for (size_t i = 0; i < whole.reproducers().size(); ++i)
+        EXPECT_EQ(second.reproducers()[i].serialize(),
+                  whole.reproducers()[i].serialize());
+}
+
+/** Malformed campaign state must be rejected with a diagnostic, not
+ *  a crash. */
+TEST(Campaign, MalformedCheckpointRejected)
+{
+    CampaignOptions opts;
+    opts.timing = soc::turboFuzzProfile();
+
+    Campaign donor(opts, makeGen(3));
+    for (int i = 0; i < 10; ++i)
+        donor.runIteration();
+    soc::SnapshotWriter w;
+    ASSERT_TRUE(donor.saveState(w));
+    auto image = w.takeBuffer();
+
+    std::string error;
+    {
+        // Truncated image.
+        auto cut = image;
+        cut.resize(cut.size() / 2);
+        Campaign victim(opts, makeGen(3));
+        soc::SnapshotReader r(cut);
+        EXPECT_FALSE(victim.loadState(r, &error));
+        EXPECT_FALSE(error.empty());
+    }
+    {
+        // Bad version word.
+        auto bad = image;
+        bad[0] = 0x7F;
+        Campaign victim(opts, makeGen(3));
+        soc::SnapshotReader r(bad);
+        EXPECT_FALSE(victim.loadState(r, &error));
+        EXPECT_NE(error.find("version"), std::string::npos);
+    }
+}
+
 } // namespace
 } // namespace turbofuzz::harness

@@ -86,5 +86,173 @@ TEST(Snapshot, MissingSectionIsFatal)
                 "no section");
 }
 
+// ---------------------------------------------------------------------
+// Malformed-input suite: snapshot images come from disk (checkpoint
+// files, archived captures), so every length field must be validated
+// against the remaining buffer BEFORE any allocation, and parse
+// failures must surface as recoverable errors — never as a crash or a
+// multi-gigabyte allocation.
+// ---------------------------------------------------------------------
+
+/** A healthy serialized snapshot to corrupt. */
+std::vector<uint8_t>
+sampleImage()
+{
+    Snapshot s;
+    s.setSection("arch", {9, 8, 7, 6, 5});
+    s.setSection("mem", std::vector<uint8_t>(64, 0xCD));
+    s.setTrigger("sample");
+    s.setCaptureTime(1.5);
+    return s.serialize();
+}
+
+TEST(SnapshotHardening, ReaderGetBytesRejectsOverflowingSize)
+{
+    // The historical bounds check `cursor + size <= source.size()`
+    // wrapped for sizes near SIZE_MAX and accepted the read; the
+    // rewritten `size <= remaining()` must reject it.
+    std::vector<uint8_t> buf = {1, 2, 3, 4};
+    SnapshotReader r(buf);
+    r.getU8(); // cursor != 0 so the historical form could wrap
+    uint8_t out[4];
+    EXPECT_THROW(r.getBytes(out, SIZE_MAX - 2), SnapshotFormatError);
+}
+
+TEST(SnapshotHardening, GetStringRejectsOversizedLengthBeforeAlloc)
+{
+    // Length field 0xFFFFFFFF with only a handful of payload bytes:
+    // must throw instead of attempting a 4 GiB allocation.
+    SnapshotWriter w;
+    w.putU32(0xFFFFFFFFu);
+    w.putU8(0xAA);
+    const auto buf = w.buffer();
+    SnapshotReader r(buf);
+    EXPECT_THROW(r.getString(), SnapshotFormatError);
+}
+
+TEST(SnapshotHardening, TryDeserializeTruncatedHeader)
+{
+    std::string error;
+    EXPECT_FALSE(Snapshot::tryDeserialize({0x50, 0x53}, &error));
+    EXPECT_NE(error.find("truncated"), std::string::npos);
+}
+
+TEST(SnapshotHardening, TryDeserializeBadMagic)
+{
+    std::string error;
+    EXPECT_FALSE(
+        Snapshot::tryDeserialize({0, 1, 2, 3, 4, 5, 6, 7}, &error));
+    EXPECT_NE(error.find("bad snapshot magic"), std::string::npos);
+}
+
+TEST(SnapshotHardening, TryDeserializeBadVersion)
+{
+    auto image = sampleImage();
+    image[4] = 0x7F; // version field follows the 4-byte magic
+    std::string error;
+    EXPECT_FALSE(Snapshot::tryDeserialize(image, &error));
+    EXPECT_NE(error.find("version"), std::string::npos);
+}
+
+TEST(SnapshotHardening, TryDeserializeTruncatedSection)
+{
+    auto image = sampleImage();
+    image.resize(image.size() - 10); // cut into the last section
+    std::string error;
+    EXPECT_FALSE(Snapshot::tryDeserialize(image, &error));
+    EXPECT_FALSE(error.empty());
+}
+
+TEST(SnapshotHardening, TryDeserializeTrailingBytes)
+{
+    auto image = sampleImage();
+    image.push_back(0x00);
+    std::string error;
+    EXPECT_FALSE(Snapshot::tryDeserialize(image, &error));
+    EXPECT_NE(error.find("trailing"), std::string::npos);
+}
+
+TEST(SnapshotHardening, TryDeserializeOversizedSectionCount)
+{
+    SnapshotWriter w;
+    w.putU32(0x54465350);
+    w.putU16(Snapshot::formatVersion);
+    w.putString("t");
+    w.putU64(0);
+    w.putU32(0xFFFFFFFFu); // section count that cannot fit
+    const auto image = w.takeBuffer();
+    std::string error;
+    EXPECT_FALSE(Snapshot::tryDeserialize(image, &error));
+    EXPECT_NE(error.find("section count"), std::string::npos);
+}
+
+TEST(SnapshotHardening, TryDeserializeOversizedSectionSize)
+{
+    SnapshotWriter w;
+    w.putU32(0x54465350);
+    w.putU16(Snapshot::formatVersion);
+    w.putString("t");
+    w.putU64(0);
+    w.putU32(1);
+    w.putString("mem");
+    w.putU32(0xFFFFFFF0u); // section size far past the buffer end
+    w.putU8(0xEE);
+    const auto image = w.takeBuffer();
+    std::string error;
+    EXPECT_FALSE(Snapshot::tryDeserialize(image, &error));
+    EXPECT_NE(error.find("section size"), std::string::npos);
+}
+
+TEST(SnapshotHardening, RoundTripProperty)
+{
+    // Pseudo-random snapshots must round-trip bit-exactly through
+    // serialize -> tryDeserialize.
+    uint64_t state = 0x1234;
+    auto next = [&state] {
+        state = state * 6364136223846793005ull + 1442695040888963407ull;
+        return state >> 33;
+    };
+    for (int round = 0; round < 20; ++round) {
+        Snapshot s;
+        const unsigned nsections = 1 + next() % 5;
+        for (unsigned i = 0; i < nsections; ++i) {
+            std::vector<uint8_t> data(next() % 300);
+            for (auto &b : data)
+                b = static_cast<uint8_t>(next());
+            s.setSection("sec" + std::to_string(next() % 8),
+                         std::move(data));
+        }
+        s.setTrigger("round " + std::to_string(round));
+        s.setCaptureTime(static_cast<double>(next() % 1000) / 8.0);
+
+        const auto image = s.serialize();
+        std::string error;
+        const auto back = Snapshot::tryDeserialize(image, &error);
+        ASSERT_TRUE(back.has_value()) << error;
+        EXPECT_EQ(back->trigger(), s.trigger());
+        EXPECT_EQ(back->sectionCount(), s.sectionCount());
+        EXPECT_EQ(back->serialize(), image);
+    }
+}
+
+TEST(SnapshotHardening, TryLoadFileMissingAndCorrupt)
+{
+    std::string error;
+    EXPECT_FALSE(
+        Snapshot::tryLoadFile("/nonexistent/tf.ckpt", &error));
+    EXPECT_NE(error.find("cannot open"), std::string::npos);
+
+    const std::string path =
+        testing::TempDir() + "/tf_corrupt_snapshot.bin";
+    FILE *f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    const uint8_t junk[] = {0xDE, 0xAD, 0xBE, 0xEF, 1, 2, 3};
+    std::fwrite(junk, 1, sizeof(junk), f);
+    std::fclose(f);
+    EXPECT_FALSE(Snapshot::tryLoadFile(path, &error));
+    EXPECT_NE(error.find("bad snapshot magic"), std::string::npos);
+    std::remove(path.c_str());
+}
+
 } // namespace
 } // namespace turbofuzz::soc

@@ -287,6 +287,78 @@ TEST(Signature, OpcodeClassesAndKeys)
     EXPECT_NE(sig.describe().find("fdiv"), std::string::npos);
 }
 
+/**
+ * Warm replay context equivalence: Context::replay must be
+ * bit-identical to the cold ReplayHarness::replay for the original
+ * reproducer AND for rebuilt (minimizer-shaped) candidates — the
+ * property that lets delta debugging run on the warm path.
+ */
+TEST(ReplayContext, MatchesColdReplayBitExactly)
+{
+    for (const core::BugId id :
+         {core::BugId::R1, core::BugId::C5, core::BugId::C8}) {
+        const auto r = firstReproducer(core::BugSet::single(id));
+        ASSERT_TRUE(r.has_value())
+            << "bug " << static_cast<int>(id) << " not detected";
+
+        const ReplayHarness::Context ctx(*r);
+        ASSERT_TRUE(ctx.compatible(*r));
+
+        auto expect_same = [&](const Reproducer &cand,
+                               const char *what) {
+            SCOPED_TRACE(what);
+            const ReplayResult cold = ReplayHarness::replay(cand);
+            const ReplayResult warmed = ctx.replay(cand);
+            EXPECT_EQ(cold.mismatched, warmed.mismatched);
+            EXPECT_EQ(cold.executed, warmed.executed);
+            EXPECT_EQ(cold.traps, warmed.traps);
+            EXPECT_EQ(cold.commitIndex, warmed.commitIndex);
+            EXPECT_EQ(cold.mismatch.kind, warmed.mismatch.kind);
+            EXPECT_EQ(cold.mismatch.pc, warmed.mismatch.pc);
+            EXPECT_EQ(cold.mismatch.insn, warmed.mismatch.insn);
+            EXPECT_EQ(cold.mismatch.dutValue,
+                      warmed.mismatch.dutValue);
+            EXPECT_EQ(cold.mismatch.refValue,
+                      warmed.mismatch.refValue);
+        };
+        expect_same(*r, "original");
+
+        // Minimizer-shaped candidates: a front half and a back half
+        // of the block list, re-laid-out through rebuild().
+        const auto &blocks = r->iteration.blocks;
+        if (blocks.size() >= 4) {
+            const auto mid = blocks.begin() +
+                             static_cast<long>(blocks.size() / 2);
+            expect_same(
+                Minimizer::rebuild(
+                    *r, std::vector<fuzzer::SeedBlock>(
+                            blocks.begin(), mid)),
+                "front-half candidate");
+            expect_same(
+                Minimizer::rebuild(
+                    *r, std::vector<fuzzer::SeedBlock>(
+                            mid, blocks.end())),
+                "back-half candidate");
+        }
+    }
+}
+
+/** The minimizer (now running on the warm context) must still
+ *  produce byte-identical reduced reproducers run-over-run. */
+TEST(ReplayContext, MinimizerDeterministicOnWarmPath)
+{
+    const auto r = firstReproducer(
+        core::BugSet::single(core::BugId::C5));
+    ASSERT_TRUE(r.has_value());
+    const Minimizer minimizer({128, true});
+    const MinimizeResult a = minimizer.minimize(*r);
+    const MinimizeResult b = minimizer.minimize(*r);
+    ASSERT_TRUE(a.confirmed);
+    EXPECT_EQ(a.replays, b.replays);
+    EXPECT_EQ(a.minimized.serialize(), b.minimized.serialize());
+    EXPECT_TRUE(ReplayHarness::verifyDeterministic(a.minimized));
+}
+
 TEST(TriageQueue, BucketsEachInjectedBugOnce)
 {
     // Ground truth: one single-bug campaign per catalog bug; every
