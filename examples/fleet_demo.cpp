@@ -5,6 +5,8 @@
  *
  *   ./fleet_demo [--shards=N] [--budget=SEC] [--epoch=SEC]
  *                [--fleet-seed=N] [--topology=none|ring|broadcast]
+ *                [--coverage-model=mux|csr|edges|composite]
+ *                [--scheduler=static|bandit]
  *                [--checkpoint-every=N --checkpoint-path=FILE]
  *                [--halt-after=N] [--resume-from=FILE]
  *

@@ -133,6 +133,22 @@ DiffChecker::compareFinalState(const core::ArchState &dut,
     return std::nullopt;
 }
 
+std::optional<CsrEvent>
+csrTraceEvent(const core::CommitInfo &ci)
+{
+    // Trap entry first: a trapping commit's csrWritten side effects
+    // (mcause/mepc updates) are part of the same privileged
+    // transition, so one canonical event per commit suffices.
+    if (ci.trapped) {
+        return CsrEvent{
+            static_cast<uint16_t>(0xF000u | (ci.trapCause & 0xFFFu)),
+            ci.trapValue};
+    }
+    if (ci.csrWritten)
+        return CsrEvent{ci.csrAddr, ci.csrNewValue};
+    return std::nullopt;
+}
+
 soc::Snapshot
 captureMismatchSnapshot(const Mismatch &mm, const core::Iss &dut,
                         const core::Iss &ref, double sim_time_sec)

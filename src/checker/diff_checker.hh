@@ -131,6 +131,26 @@ class DiffChecker
 };
 
 /**
+ * One CSR-visible event of the commit stream — the checker's CSR
+ * trace tap. The per-commit records the checker already consumes
+ * carry every architecturally visible CSR side effect; this helper
+ * canonicalizes them into the (address, value) event stream the
+ * ProcessorFuzz-style CSR-transition feedback model
+ * (coverage::CsrTransitionModel) accumulates. Trap entries are
+ * reported as synthetic addresses above the 12-bit CSR space
+ * (0xF000 | cause) so exception edges count as privileged-state
+ * transitions too.
+ */
+struct CsrEvent
+{
+    uint16_t addr;  ///< CSR address, or 0xF000 | cause for traps
+    uint64_t value; ///< new CSR value, or the trap value for traps
+};
+
+/** Extract the CSR event of one commit, if it has one. */
+std::optional<CsrEvent> csrTraceEvent(const core::CommitInfo &ci);
+
+/**
  * Capture the complete platform state (both harts + DUT memory) into
  * a snapshot, tagging it with the mismatch description.
  */

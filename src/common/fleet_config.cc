@@ -119,6 +119,17 @@ FleetConfig::fromConfig(const Config &cfg)
     if (fc.checkpointEveryEpochs > 0 && fc.checkpointPath.empty())
         fatal("checkpoint-every requires checkpoint-path");
 
+    const std::string model = cfg.getString("coverage-model", "mux");
+    if (!coverage::coverageModelFromString(model, &fc.coverageModel))
+        fatal("unknown coverage model '%s' (expected mux | csr | "
+              "edges | composite)",
+              model.c_str());
+
+    const std::string sched = cfg.getString("scheduler", "static");
+    if (!fuzzer::schedulerKindFromString(sched, &fc.scheduler))
+        fatal("unknown scheduler '%s' (expected static | bandit)",
+              sched.c_str());
+
     const int64_t halt_after = cfg.getInt("halt-after", 0);
     if (halt_after < 0 || halt_after > UINT32_MAX)
         fatal("halt-after out of range (got %lld)",

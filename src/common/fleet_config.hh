@@ -22,6 +22,8 @@
 #include <string>
 
 #include "common/config.hh"
+#include "coverage/feedback_model.hh"
+#include "fuzzer/mutation_scheduler.hh"
 
 namespace turbofuzz
 {
@@ -68,6 +70,20 @@ struct FleetConfig
 
     /** Worker threads; 0 = one per shard. */
     unsigned workerThreads = 0;
+
+    /**
+     * Feedback signal every shard schedules on (--coverage-model:
+     * mux | csr | edges | composite). Applied fleet-wide — the global
+     * merge needs every shard to accumulate the same point spaces.
+     * The orchestrator overrides the campaign template's field with
+     * this value, like it overrides the seeds.
+     */
+    coverage::CoverageModelKind coverageModel =
+        coverage::CoverageModelKind::Mux;
+
+    /** Mutation scheduling policy per shard (--scheduler:
+     *  static | bandit); overrides the fuzzer template's field. */
+    fuzzer::SchedulerKind scheduler = fuzzer::SchedulerKind::Static;
 
     /**
      * Bug triage: harvest every shard reproducer at epoch barriers,
@@ -118,7 +134,8 @@ struct FleetConfig
     /**
      * Build from a parsed command line: fleet-seed, shards, epoch,
      * budget, top-k, topology (none|ring|broadcast), sync-cost,
-     * threads.
+     * threads, coverage-model (mux|csr|edges|composite), scheduler
+     * (static|bandit).
      */
     static FleetConfig fromConfig(const Config &cfg);
 };

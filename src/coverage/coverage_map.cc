@@ -151,11 +151,34 @@ CoverageMap::compatibleWith(const CoverageMap &other) const
     return true;
 }
 
-void
-CoverageMap::merge(const CoverageMap &other)
+bool
+CoverageMap::compatibleWith(const FeedbackModel &other) const
 {
-    TF_ASSERT(compatibleWith(other),
-              "merging maps over incompatible instrumentations");
+    const auto *map = dynamic_cast<const CoverageMap *>(&other);
+    return map != nullptr && compatibleWith(*map);
+}
+
+bool
+CoverageMap::merge(const FeedbackModel &other, std::string *error)
+{
+    const auto *map = dynamic_cast<const CoverageMap *>(&other);
+    if (!map) {
+        if (error)
+            *error = "mux feedback merge: model kind mismatch";
+        return false;
+    }
+    return merge(*map, error);
+}
+
+bool
+CoverageMap::merge(const CoverageMap &other, std::string *error)
+{
+    if (!compatibleWith(other)) {
+        if (error)
+            *error = "coverage merge rejected: maps track "
+                     "incompatible instrumentations";
+        return false;
+    }
     for (size_t i = 0; i < bitmaps.size(); ++i) {
         uint64_t covered = 0;
         for (size_t w = 0; w < bitmaps[i].size(); ++w) {
@@ -166,6 +189,7 @@ CoverageMap::merge(const CoverageMap &other)
         coveredTotal += covered - coveredPerModule[i];
         coveredPerModule[i] = covered;
     }
+    return true;
 }
 
 void

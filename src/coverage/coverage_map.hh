@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "coverage/feedback_model.hh"
 #include "coverage/instrumentation.hh"
 
 namespace turbofuzz::rtl
@@ -37,12 +38,19 @@ struct CommitInfo;
 namespace turbofuzz::coverage
 {
 
-/** Per-design coverage bitmap set. */
-class CoverageMap
+/**
+ * Per-design coverage bitmap set — the paper's mux-coverage signal,
+ * doubling as the default FeedbackModel implementation (sweep() is
+ * recordTrace(); the adaptation is bit-identical to the historical
+ * hardwired path).
+ */
+class CoverageMap : public FeedbackModel
 {
   public:
     /** @param di Instrumentation to track (not owned; must outlive). */
     explicit CoverageMap(const DesignInstrumentation *di);
+
+    using FeedbackModel::record;
 
     /**
      * Sample every module's current index; mark the points.
@@ -65,6 +73,29 @@ class CoverageMap
     uint64_t recordTrace(rtl::EventDriver &drv,
                          const core::CommitInfo *commits, size_t n);
 
+    // --- FeedbackModel ------------------------------------------------
+    std::string_view modelName() const override { return "mux"; }
+
+    /** The engine's sweep stage entry: recordTrace(). */
+    uint64_t
+    sweep(rtl::EventDriver &drv, const core::CommitInfo *commits,
+          size_t n) override
+    {
+        return recordTrace(drv, commits, n);
+    }
+
+    uint64_t newlyHit() const override { return coveredTotal; }
+
+    bool compatibleWith(const FeedbackModel &other) const override;
+
+    /**
+     * Merge another model's covered points (bitmap OR). Rejected with
+     * a typed error — and no mutation — unless @p other is a
+     * CoverageMap over compatible instrumentation.
+     */
+    bool merge(const FeedbackModel &other,
+               std::string *error = nullptr) override;
+
     /** Total covered points across all modules. */
     uint64_t totalCovered() const { return coveredTotal; }
 
@@ -84,7 +115,7 @@ class CoverageMap
     uint64_t weightedFeedback() const;
 
     /** Clear all bitmaps. */
-    void reset();
+    void reset() override;
 
     /**
      * Whether @p other tracks a structurally identical
@@ -100,13 +131,16 @@ class CoverageMap
 
     /**
      * Merge another map's covered points into this one (bitmap OR).
-     * The maps must be compatibleWith() each other. Idempotent:
+     * Maps that are not compatibleWith() each other are rejected with
+     * a typed error and this map is left untouched — a shape mismatch
+     * must never silently corrupt a fleet merge. Idempotent:
      * re-merging the same map changes nothing.
+     * @return false with @p error set (when non-null) on rejection.
      */
-    void merge(const CoverageMap &other);
+    bool merge(const CoverageMap &other, std::string *error = nullptr);
 
     /** Checkpoint support: serialize all bitmaps + covered counts. */
-    void saveState(soc::SnapshotWriter &out) const;
+    void saveState(soc::SnapshotWriter &out) const override;
 
     /**
      * Restore a saveState() image into a map over structurally
@@ -115,7 +149,7 @@ class CoverageMap
      *         input.
      */
     bool loadState(soc::SnapshotReader &in,
-                   std::string *error = nullptr);
+                   std::string *error = nullptr) override;
 
   private:
     /** Mark module @p i's current index; returns 1 if newly hit. */

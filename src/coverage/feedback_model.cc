@@ -1,0 +1,406 @@
+#include "coverage/feedback_model.hh"
+
+#include <algorithm>
+
+#include "checker/diff_checker.hh"
+#include "common/logging.hh"
+#include "core/commit_info.hh"
+#include "soc/snapshot.hh"
+
+namespace turbofuzz::coverage
+{
+
+namespace
+{
+
+/** Fold a 64-bit value to 16 bits, keeping every input bit relevant. */
+uint16_t
+fold16(uint64_t v)
+{
+    v ^= v >> 32;
+    v ^= v >> 16;
+    return static_cast<uint16_t>(v);
+}
+
+/** SplitMix64 finalizer (the repo's standard decorrelation mix). */
+uint64_t
+mix64(uint64_t z)
+{
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+/** Mark bit @p idx of @p bitmap; returns 1 when newly set. */
+uint64_t
+markBit(std::vector<uint64_t> &bitmap, uint64_t idx)
+{
+    uint64_t &word = bitmap[idx / 64];
+    const uint64_t bit = uint64_t{1} << (idx % 64);
+    if (word & bit)
+        return 0;
+    word |= bit;
+    return 1;
+}
+
+bool
+setError(std::string *error, const char *msg)
+{
+    if (error)
+        *error = msg;
+    return false;
+}
+
+} // namespace
+
+std::string_view
+coverageModelName(CoverageModelKind kind)
+{
+    switch (kind) {
+      case CoverageModelKind::Mux: return "mux";
+      case CoverageModelKind::Csr: return "csr";
+      case CoverageModelKind::HitCount: return "edges";
+      case CoverageModelKind::Composite: return "composite";
+    }
+    return "?";
+}
+
+bool
+coverageModelFromString(const std::string &text,
+                        CoverageModelKind *kind)
+{
+    if (text == "mux")
+        *kind = CoverageModelKind::Mux;
+    else if (text == "csr")
+        *kind = CoverageModelKind::Csr;
+    else if (text == "edges" || text == "hitcount")
+        *kind = CoverageModelKind::HitCount;
+    else if (text == "composite")
+        *kind = CoverageModelKind::Composite;
+    else
+        return false;
+    return true;
+}
+
+// --- CsrTransitionModel ----------------------------------------------
+
+CsrTransitionModel::CsrTransitionModel()
+    : bitmap((uint64_t{1} << indexBits) / 64, 0)
+{
+}
+
+uint64_t
+CsrTransitionModel::sweep(rtl::EventDriver & /*drv*/,
+                          const core::CommitInfo *commits, size_t n)
+{
+    uint64_t newly = 0;
+    const uint64_t mask = (uint64_t{1} << indexBits) - 1;
+    for (size_t c = 0; c < n; ++c) {
+        const auto ev = checker::csrTraceEvent(commits[c]);
+        if (!ev)
+            continue;
+        uint64_t &prev = lastValue[ev->addr]; // first sight: 0
+        const uint64_t key =
+            mix64((uint64_t{ev->addr} << 32) ^
+                  (uint64_t{fold16(prev)} << 16) ^ fold16(ev->value));
+        prev = ev->value;
+        const uint64_t gained = markBit(bitmap, key & mask);
+        newly += gained;
+        hit += gained;
+    }
+    return newly;
+}
+
+void
+CsrTransitionModel::reset()
+{
+    std::fill(bitmap.begin(), bitmap.end(), 0);
+    lastValue.clear();
+    hit = 0;
+}
+
+bool
+CsrTransitionModel::compatibleWith(const FeedbackModel &other) const
+{
+    return dynamic_cast<const CsrTransitionModel *>(&other) != nullptr;
+}
+
+bool
+CsrTransitionModel::merge(const FeedbackModel &other,
+                          std::string *error)
+{
+    const auto *o = dynamic_cast<const CsrTransitionModel *>(&other);
+    if (!o) {
+        return setError(error,
+                        "csr feedback merge: model kind mismatch");
+    }
+    uint64_t covered = 0;
+    for (size_t w = 0; w < bitmap.size(); ++w) {
+        bitmap[w] |= o->bitmap[w];
+        covered += static_cast<uint64_t>(
+            __builtin_popcountll(bitmap[w]));
+    }
+    hit = covered;
+    // lastValue stays local: per-CSR history belongs to this shard's
+    // own commit stream, not to the merged global view.
+    return true;
+}
+
+void
+CsrTransitionModel::saveState(soc::SnapshotWriter &out) const
+{
+    out.putU64(hit);
+    for (uint64_t word : bitmap)
+        out.putU64(word);
+    out.putU32(static_cast<uint32_t>(lastValue.size()));
+    for (const auto &[addr, value] : lastValue) {
+        out.putU16(addr);
+        out.putU64(value);
+    }
+}
+
+bool
+CsrTransitionModel::loadState(soc::SnapshotReader &in,
+                              std::string *error)
+{
+    try {
+        if (in.remaining() < 8 + bitmap.size() * 8 + 4)
+            return setError(error, "truncated csr feedback state");
+        hit = in.getU64();
+        uint64_t covered = 0;
+        for (uint64_t &word : bitmap) {
+            word = in.getU64();
+            covered += static_cast<uint64_t>(
+                __builtin_popcountll(word));
+        }
+        if (covered != hit)
+            return setError(error,
+                            "csr feedback hit count disagrees with "
+                            "bitmap");
+        const uint32_t entries = in.getU32();
+        if (in.remaining() < uint64_t{entries} * (2 + 8))
+            return setError(error,
+                            "csr feedback last-value table exceeds "
+                            "buffer");
+        lastValue.clear();
+        for (uint32_t i = 0; i < entries; ++i) {
+            const uint16_t addr = in.getU16();
+            lastValue[addr] = in.getU64();
+        }
+        return true;
+    } catch (const soc::SnapshotFormatError &e) {
+        return setError(error, e.what());
+    }
+}
+
+// --- HitCountModel ---------------------------------------------------
+
+HitCountModel::HitCountModel()
+    : buckets(uint64_t{1} << indexBits, 0),
+      counts(uint64_t{1} << indexBits, 0)
+{
+}
+
+uint8_t
+HitCountModel::bucketBit(uint32_t count)
+{
+    if (count == 0)
+        return 0; // never hit: no bucket
+    if (count <= 3)
+        return static_cast<uint8_t>(1u << (count - 1)); // 1, 2, 3
+    if (count < 8)
+        return 1u << 3; // 4-7
+    if (count < 16)
+        return 1u << 4; // 8-15
+    if (count < 32)
+        return 1u << 5; // 16-31
+    if (count < 128)
+        return 1u << 6; // 32-127
+    return 1u << 7;     // 128+
+}
+
+uint64_t
+HitCountModel::sweep(rtl::EventDriver & /*drv*/,
+                     const core::CommitInfo *commits, size_t n)
+{
+    uint64_t newly = 0;
+    const uint64_t mask = (uint64_t{1} << indexBits) - 1;
+    for (size_t c = 0; c < n; ++c) {
+        const core::CommitInfo &ci = commits[c];
+        // Instructions are 4-byte aligned; drop the dead low bits so
+        // the hash keys carry entropy.
+        const uint64_t edge =
+            mix64((ci.pc >> 2) ^ mix64(ci.nextPc >> 2)) & mask;
+        uint32_t &count = counts[edge];
+        if (count != UINT32_MAX)
+            ++count;
+        const uint8_t bit = bucketBit(count);
+        if (!(buckets[edge] & bit)) {
+            buckets[edge] |= bit;
+            ++newly;
+            ++hit;
+        }
+    }
+    return newly;
+}
+
+void
+HitCountModel::reset()
+{
+    std::fill(buckets.begin(), buckets.end(), 0);
+    std::fill(counts.begin(), counts.end(), 0);
+    hit = 0;
+}
+
+bool
+HitCountModel::compatibleWith(const FeedbackModel &other) const
+{
+    return dynamic_cast<const HitCountModel *>(&other) != nullptr;
+}
+
+bool
+HitCountModel::merge(const FeedbackModel &other, std::string *error)
+{
+    const auto *o = dynamic_cast<const HitCountModel *>(&other);
+    if (!o) {
+        return setError(error,
+                        "edge feedback merge: model kind mismatch");
+    }
+    uint64_t covered = 0;
+    for (size_t e = 0; e < buckets.size(); ++e) {
+        buckets[e] |= o->buckets[e];
+        counts[e] = std::max(counts[e], o->counts[e]);
+        covered += static_cast<uint64_t>(
+            __builtin_popcount(buckets[e]));
+    }
+    hit = covered;
+    return true;
+}
+
+void
+HitCountModel::saveState(soc::SnapshotWriter &out) const
+{
+    out.putU64(hit);
+    out.putBytes(buckets.data(), buckets.size());
+    for (uint32_t count : counts)
+        out.putU32(count);
+}
+
+bool
+HitCountModel::loadState(soc::SnapshotReader &in, std::string *error)
+{
+    try {
+        if (in.remaining() < 8 + buckets.size() + counts.size() * 4)
+            return setError(error, "truncated edge feedback state");
+        hit = in.getU64();
+        in.getBytes(buckets.data(), buckets.size());
+        uint64_t covered = 0;
+        for (uint8_t b : buckets)
+            covered += static_cast<uint64_t>(__builtin_popcount(b));
+        if (covered != hit)
+            return setError(error,
+                            "edge feedback hit count disagrees with "
+                            "buckets");
+        for (uint32_t &count : counts)
+            count = in.getU32();
+        return true;
+    } catch (const soc::SnapshotFormatError &e) {
+        return setError(error, e.what());
+    }
+}
+
+// --- CompositeFeedback -----------------------------------------------
+
+CompositeFeedback::CompositeFeedback(std::vector<Part> parts)
+    : members(std::move(parts))
+{
+    TF_ASSERT(!members.empty(), "composite feedback needs parts");
+    for (const Part &p : members)
+        TF_ASSERT(p.model != nullptr, "composite part must be set");
+}
+
+uint64_t
+CompositeFeedback::sweep(rtl::EventDriver &drv,
+                         const core::CommitInfo *commits, size_t n)
+{
+    uint64_t increment = 0;
+    for (Part &p : members)
+        increment += p.model->sweep(drv, commits, n) * p.weight;
+    return increment;
+}
+
+uint64_t
+CompositeFeedback::newlyHit() const
+{
+    uint64_t total = 0;
+    for (const Part &p : members)
+        total += p.model->newlyHit() * p.weight;
+    return total;
+}
+
+void
+CompositeFeedback::reset()
+{
+    for (Part &p : members)
+        p.model->reset();
+}
+
+bool
+CompositeFeedback::compatibleWith(const FeedbackModel &other) const
+{
+    const auto *o = dynamic_cast<const CompositeFeedback *>(&other);
+    if (!o || o->members.size() != members.size())
+        return false;
+    for (size_t i = 0; i < members.size(); ++i) {
+        if (members[i].weight != o->members[i].weight ||
+            !members[i].model->compatibleWith(*o->members[i].model))
+            return false;
+    }
+    return true;
+}
+
+bool
+CompositeFeedback::merge(const FeedbackModel &other, std::string *error)
+{
+    // compatibleWith() checks part count, weights and pairwise model
+    // compatibility before any part is mutated, so a rejected merge
+    // leaves the whole composite untouched.
+    const auto *o = dynamic_cast<const CompositeFeedback *>(&other);
+    if (!o || !compatibleWith(*o)) {
+        return setError(error,
+                        "composite feedback merge: part mismatch");
+    }
+    for (size_t i = 0; i < members.size(); ++i) {
+        if (!members[i].model->merge(*o->members[i].model, error))
+            return false;
+    }
+    return true;
+}
+
+void
+CompositeFeedback::saveState(soc::SnapshotWriter &out) const
+{
+    out.putU32(static_cast<uint32_t>(members.size()));
+    for (const Part &p : members)
+        p.model->saveState(out);
+}
+
+bool
+CompositeFeedback::loadState(soc::SnapshotReader &in,
+                             std::string *error)
+{
+    try {
+        if (in.getU32() != members.size())
+            return setError(error,
+                            "composite feedback part count mismatch");
+        for (Part &p : members) {
+            if (!p.model->loadState(in, error))
+                return false;
+        }
+        return true;
+    } catch (const soc::SnapshotFormatError &e) {
+        return setError(error, e.what());
+    }
+}
+
+} // namespace turbofuzz::coverage

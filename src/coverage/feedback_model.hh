@@ -1,0 +1,280 @@
+/**
+ * @file
+ * Pluggable coverage feedback layer (paper §IV-D, generalized).
+ *
+ * The feedback loop — what the engine's sweep stage records, and what
+ * increment the corpus scheduler consumes — used to be hardwired to
+ * the mux-coverage CoverageMap. FeedbackModel abstracts that signal:
+ * a model consumes the DUT commit stream (batched, in the engine's
+ * stage-4 sweep) and accumulates "points hit"; the newly-hit count of
+ * an iteration is its feedback increment.
+ *
+ * Three concrete models are provided:
+ *
+ *  - CoverageMap (coverage_map.hh) — the paper's mux-coverage signal,
+ *    adapted onto this interface bit-identically; the default.
+ *  - CsrTransitionModel — ProcessorFuzz-style CSR-transition
+ *    coverage: every architecturally visible CSR write (and trap
+ *    entry) forms a transition (csr, old value, new value) hashed
+ *    into a fixed bitmap, rewarding stimuli that move privileged
+ *    state through new edges even when mux coverage is saturated.
+ *  - HitCountModel — an AFL-style bucketed hit-count edge model over
+ *    (pc -> nextPc) control-flow edges: revisiting an edge 1, 2, 3,
+ *    4-7, 8-15, ... times lights distinct bucket bits, so loop-depth
+ *    changes count as new behaviour.
+ *
+ * CompositeFeedback combines several models with integer weights into
+ * the single increment the corpus sees; weight-0 entries are still
+ * swept (their state advances and is reportable) but contribute
+ * nothing to the increment — which is how a campaign keeps the mux
+ * map as its reported coverage metric while scheduling on another
+ * signal.
+ *
+ * Model state is streaming-only: a sweep over n commits is equivalent
+ * to any partition of those commits into consecutive sweeps, which is
+ * what makes models batch-size invariant and warm-start safe (the
+ * warm prologue replays the captured prefix trace through the same
+ * sweep path).
+ */
+
+#ifndef TURBOFUZZ_COVERAGE_FEEDBACK_MODEL_HH
+#define TURBOFUZZ_COVERAGE_FEEDBACK_MODEL_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace turbofuzz::rtl
+{
+class EventDriver;
+} // namespace turbofuzz::rtl
+
+namespace turbofuzz::soc
+{
+class SnapshotWriter;
+class SnapshotReader;
+} // namespace turbofuzz::soc
+
+namespace turbofuzz::core
+{
+struct CommitInfo;
+} // namespace turbofuzz::core
+
+namespace turbofuzz::coverage
+{
+
+/** Which feedback signal drives the corpus scheduler. */
+enum class CoverageModelKind : uint8_t
+{
+    Mux,       ///< paper default: mux-coverage CoverageMap only
+    Csr,       ///< CSR-transition model (mux still measured)
+    HitCount,  ///< bucketed (pc -> nextPc) edge model
+    Composite, ///< weighted sum of all three signals
+};
+
+/** Display/config name of a model kind ("mux", "csr", ...). */
+std::string_view coverageModelName(CoverageModelKind kind);
+
+/**
+ * Parse a --coverage-model value ("mux" | "csr" | "edges" |
+ * "composite"). @return false when @p text names no model; *kind is
+ * untouched then.
+ */
+bool coverageModelFromString(const std::string &text,
+                             CoverageModelKind *kind);
+
+/**
+ * Census bitmask over a configuration's auxiliary feedback models
+ * (bit 0 = CSR-transition, bit 1 = hit-count edges). Written into
+ * campaign and fleet checkpoints so a restore under a different
+ * --coverage-model is rejected by kind, not just by count — the one
+ * definition both subsystems share.
+ */
+inline uint8_t
+auxModelCensus(bool has_csr, bool has_hit)
+{
+    return static_cast<uint8_t>((has_csr ? 1 : 0) |
+                                (has_hit ? 2 : 0));
+}
+
+/** One pluggable coverage-feedback signal. */
+class FeedbackModel
+{
+  public:
+    virtual ~FeedbackModel() = default;
+
+    /** Short stable name ("mux", "csr", "edges", "composite"). */
+    virtual std::string_view modelName() const = 0;
+
+    /**
+     * Batched sweep over @p n DUT commits (the engine's stage 4).
+     * @p drv is the shared RTL event driver; models that sample
+     * microarchitectural state drive it, stream-only models ignore
+     * it. @return number of coverage points newly hit.
+     */
+    virtual uint64_t sweep(rtl::EventDriver &drv,
+                           const core::CommitInfo *commits,
+                           size_t n) = 0;
+
+    /** Single-commit convenience form of sweep(). */
+    uint64_t
+    record(rtl::EventDriver &drv, const core::CommitInfo &ci)
+    {
+        return sweep(drv, &ci, 1);
+    }
+
+    /** Total points hit since construction/reset. */
+    virtual uint64_t newlyHit() const = 0;
+
+    /** Clear all accumulated state. */
+    virtual void reset() = 0;
+
+    /**
+     * Whether @p other accumulates a structurally identical point
+     * space (same kind, same shape), i.e. whether merge() is
+     * meaningful.
+     */
+    virtual bool compatibleWith(const FeedbackModel &other) const = 0;
+
+    /**
+     * Merge another model's hit points into this one (fleet epoch
+     * barrier). Mismatched kinds or shapes are rejected with a typed
+     * error — this model is left untouched then.
+     * @return false with @p error set (when non-null) on rejection.
+     */
+    virtual bool merge(const FeedbackModel &other,
+                       std::string *error = nullptr) = 0;
+
+    /** Checkpoint support: serialize the complete model state. */
+    virtual void saveState(soc::SnapshotWriter &out) const = 0;
+
+    /**
+     * Restore a saveState() image into a model of identical
+     * configuration.
+     * @return false with @p error set on malformed input.
+     */
+    virtual bool loadState(soc::SnapshotReader &in,
+                           std::string *error = nullptr) = 0;
+};
+
+/**
+ * ProcessorFuzz-style CSR-transition coverage. Each CSR-visible event
+ * of the commit stream (checker::csrTraceEvent: CSR writes and trap
+ * entries) forms a transition (csr, previous value, new value) hashed
+ * into a 2^16-point bitmap. The per-CSR previous value is tracked
+ * model-locally, so the signal is a pure function of the commit
+ * stream.
+ */
+class CsrTransitionModel : public FeedbackModel
+{
+  public:
+    /** Coverage index width: 2^16 transition points (8 KiB bitmap). */
+    static constexpr unsigned indexBits = 16;
+
+    CsrTransitionModel();
+
+    std::string_view modelName() const override { return "csr"; }
+    uint64_t sweep(rtl::EventDriver &drv,
+                   const core::CommitInfo *commits,
+                   size_t n) override;
+    uint64_t newlyHit() const override { return hit; }
+    void reset() override;
+    bool compatibleWith(const FeedbackModel &other) const override;
+    bool merge(const FeedbackModel &other,
+               std::string *error = nullptr) override;
+    void saveState(soc::SnapshotWriter &out) const override;
+    bool loadState(soc::SnapshotReader &in,
+                   std::string *error = nullptr) override;
+
+    /** Distinct CSRs seen so far (diagnostics). */
+    size_t trackedCsrs() const { return lastValue.size(); }
+
+  private:
+    std::vector<uint64_t> bitmap;
+    uint64_t hit = 0;
+
+    /** Ordered so saveState() is deterministic across runs. */
+    std::map<uint16_t, uint64_t> lastValue;
+};
+
+/**
+ * Bucketed hit-count edge coverage (AFL-style). Every commit
+ * contributes the control-flow edge (pc -> nextPc); the edge's
+ * saturating hit count is bucketed (1, 2, 3, 4-7, 8-15, 16-31,
+ * 32-127, 128+) and each newly lit bucket bit counts as a newly hit
+ * point. Purely per-commit — no cross-call state — so sweeps compose
+ * trivially.
+ */
+class HitCountModel : public FeedbackModel
+{
+  public:
+    /** Edge-map width: 2^16 edges. */
+    static constexpr unsigned indexBits = 16;
+
+    HitCountModel();
+
+    std::string_view modelName() const override { return "edges"; }
+    uint64_t sweep(rtl::EventDriver &drv,
+                   const core::CommitInfo *commits,
+                   size_t n) override;
+    uint64_t newlyHit() const override { return hit; }
+    void reset() override;
+    bool compatibleWith(const FeedbackModel &other) const override;
+    bool merge(const FeedbackModel &other,
+               std::string *error = nullptr) override;
+    void saveState(soc::SnapshotWriter &out) const override;
+    bool loadState(soc::SnapshotReader &in,
+                   std::string *error = nullptr) override;
+
+    /** Bucket bitmask (8 bucket bits) for a saturating count; 0 for
+     *  a never-hit edge. */
+    static uint8_t bucketBit(uint32_t count);
+
+  private:
+    std::vector<uint8_t> buckets; ///< lit bucket bits per edge
+    std::vector<uint32_t> counts; ///< saturating hit count per edge
+    uint64_t hit = 0;
+};
+
+/**
+ * Weighted combination of several models. sweep() sweeps every part
+ * (so every model's state advances over the exact same commit
+ * stream) and returns sum over parts of newly * weight — the
+ * increment the corpus sees. Parts are not owned and must outlive
+ * the composite.
+ */
+class CompositeFeedback : public FeedbackModel
+{
+  public:
+    struct Part
+    {
+        FeedbackModel *model;
+        uint32_t weight;
+    };
+
+    explicit CompositeFeedback(std::vector<Part> parts);
+
+    std::string_view modelName() const override { return "composite"; }
+    uint64_t sweep(rtl::EventDriver &drv,
+                   const core::CommitInfo *commits,
+                   size_t n) override;
+    uint64_t newlyHit() const override;
+    void reset() override;
+    bool compatibleWith(const FeedbackModel &other) const override;
+    bool merge(const FeedbackModel &other,
+               std::string *error = nullptr) override;
+    void saveState(soc::SnapshotWriter &out) const override;
+    bool loadState(soc::SnapshotReader &in,
+                   std::string *error = nullptr) override;
+
+    const std::vector<Part> &parts() const { return members; }
+
+  private:
+    std::vector<Part> members;
+};
+
+} // namespace turbofuzz::coverage
+
+#endif // TURBOFUZZ_COVERAGE_FEEDBACK_MODEL_HH

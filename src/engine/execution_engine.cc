@@ -46,7 +46,7 @@ ExecutionEngine::sweepStage(const core::CommitInfo *commits,
 {
     if (h.driver && h.coverage) {
         out.newCoverage +=
-            h.coverage->recordTrace(*h.driver, commits, limit);
+            h.coverage->sweep(*h.driver, commits, limit);
     } else if (h.driver) {
         h.driver->onTrace(commits, limit);
     }

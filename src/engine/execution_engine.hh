@@ -46,7 +46,7 @@
 #include "checker/diff_checker.hh"
 #include "core/commit_trace.hh"
 #include "core/iss.hh"
-#include "coverage/coverage_map.hh"
+#include "coverage/feedback_model.hh"
 #include "rtl/driver.hh"
 
 namespace turbofuzz::engine
@@ -117,7 +117,13 @@ class ExecutionEngine
     struct Hooks
     {
         rtl::EventDriver *driver = nullptr;
-        coverage::CoverageMap *coverage = nullptr;
+
+        /**
+         * Coverage feedback sink of the sweep stage: any
+         * FeedbackModel (the mux CoverageMap, a CSR/edge model, or a
+         * CompositeFeedback combining several). Requires `driver`.
+         */
+        coverage::FeedbackModel *coverage = nullptr;
         const std::function<void(const core::CommitInfo &)>
             *observer = nullptr;
     };

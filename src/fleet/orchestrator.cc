@@ -26,17 +26,24 @@ FleetOrchestrator::FleetOrchestrator(
         harness::CampaignOptions copts = campaign_template;
         // One instrumentation seed fleet-wide: coverage bit positions
         // must denote the same DUT state on every shard or the merge
-        // would OR apples into oranges.
+        // would OR apples into oranges. The feedback configuration is
+        // likewise fleet-wide so per-model merges stay meaningful.
         copts.seed = cfg.fleetSeed;
+        copts.coverageModel = cfg.coverageModel;
         copts.maxReproducers =
             cfg.triageEnabled ? cfg.maxReproducersPerShard : 0;
         fuzzer::FuzzerOptions fopts = fuzzer_template;
         fopts.seed = cfg.shardSeed(i);
+        fopts.scheduler = cfg.scheduler;
         shards.push_back(std::make_unique<FleetShard>(
             i, std::move(copts), fopts, library));
     }
     globalMap = std::make_unique<coverage::CoverageMap>(
         &shards[0]->campaign().instrumentation());
+    if (shards[0]->campaign().csrModel())
+        globalCsr = std::make_unique<coverage::CsrTransitionModel>();
+    if (shards[0]->campaign().hitCountModel())
+        globalHit = std::make_unique<coverage::HitCountModel>();
     mismatchHarvested.assign(cfg.shardCount, false);
 }
 
@@ -48,9 +55,32 @@ FleetOrchestrator::epochBarrier(unsigned epoch_idx,
     const unsigned n = shardCount();
     const double deadline = cfg.epochDeadline(epoch_idx);
 
-    // 1. Global coverage merge (fixed shard order).
-    for (auto &s : shards)
-        globalMap->merge(s->campaign().coverageMap());
+    // 1. Global coverage merge (fixed shard order), one merge per
+    //    feedback model. A rejected merge (incompatible shapes —
+    //    impossible for a fleet built by this orchestrator, but the
+    //    maps now refuse rather than silently corrupt) drops that
+    //    shard's contribution with a warning instead of poisoning
+    //    the global view.
+    for (auto &s : shards) {
+        std::string merge_error;
+        if (!globalMap->merge(s->campaign().coverageMap(),
+                              &merge_error)) {
+            warn("fleet coverage merge (shard %u): %s", s->index(),
+                 merge_error.c_str());
+        }
+        if (globalCsr &&
+            !globalCsr->merge(*s->campaign().csrModel(),
+                              &merge_error)) {
+            warn("fleet csr merge (shard %u): %s", s->index(),
+                 merge_error.c_str());
+        }
+        if (globalHit &&
+            !globalHit->merge(*s->campaign().hitCountModel(),
+                              &merge_error)) {
+            warn("fleet edge merge (shard %u): %s", s->index(),
+                 merge_error.c_str());
+        }
+    }
 
     // 2. Cross-shard seed exchange. A 1-shard fleet has no peers and
     //    therefore no round trip at all — this keeps it bit-identical
@@ -211,7 +241,10 @@ FleetOrchestrator::run()
 namespace
 {
 
-constexpr uint32_t fleetCheckpointVersion = 1;
+// v2: adds the fleet.feedback section (global auxiliary feedback
+// model states) and rides on campaign state v2 inside the shard
+// sections.
+constexpr uint32_t fleetCheckpointVersion = 2;
 
 void
 putStats(soc::SnapshotWriter &w, const StatsSnapshot &s)
@@ -275,6 +308,15 @@ FleetOrchestrator::makeCheckpoint(std::string *error) const
     globalMap->saveState(cov);
     snap.setSection("fleet.coverage", cov.takeBuffer());
 
+    soc::SnapshotWriter fb;
+    fb.putU8(coverage::auxModelCensus(globalCsr != nullptr,
+                                      globalHit != nullptr));
+    if (globalCsr)
+        globalCsr->saveState(fb);
+    if (globalHit)
+        globalHit->saveState(fb);
+    snap.setSection("fleet.feedback", fb.takeBuffer());
+
     soc::SnapshotWriter tri;
     triage_.saveState(tri);
     snap.setSection("fleet.triage", tri.takeBuffer());
@@ -308,7 +350,7 @@ FleetOrchestrator::restoreCheckpoint(const soc::Snapshot &snap,
 
     const char *required[] = {"fleet.meta", "fleet.series",
                               "fleet.mismatches", "fleet.coverage",
-                              "fleet.triage"};
+                              "fleet.feedback", "fleet.triage"};
     for (const char *name : required) {
         if (!snap.hasSection(name))
             return fail("missing section '" + std::string(name) +
@@ -366,6 +408,21 @@ FleetOrchestrator::restoreCheckpoint(const soc::Snapshot &snap,
             return false;
         if (!cov.exhausted())
             return fail("trailing bytes in fleet.coverage");
+
+        soc::SnapshotReader fb(snap.section("fleet.feedback"));
+        const uint8_t fb_census = fb.getU8();
+        const uint8_t fb_expected = coverage::auxModelCensus(
+            globalCsr != nullptr, globalHit != nullptr);
+        if (fb_census != fb_expected) {
+            return fail("feedback model census mismatch (checkpoint "
+                        "from a different --coverage-model?)");
+        }
+        if (globalCsr && !globalCsr->loadState(fb, error))
+            return false;
+        if (globalHit && !globalHit->loadState(fb, error))
+            return false;
+        if (!fb.exhausted())
+            return fail("trailing bytes in fleet.feedback");
 
         soc::SnapshotReader tri(snap.section("fleet.triage"));
         if (!triage_.loadState(tri, error))

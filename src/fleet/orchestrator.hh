@@ -112,6 +112,20 @@ class FleetOrchestrator
         return *globalMap;
     }
 
+    /** Global CSR-transition coverage; nullptr unless the fleet runs
+     *  with --coverage-model csr/composite. */
+    const coverage::CsrTransitionModel *globalCsrCoverage() const
+    {
+        return globalCsr.get();
+    }
+
+    /** Global hit-count edge coverage; nullptr unless the fleet runs
+     *  with --coverage-model edges/composite. */
+    const coverage::HitCountModel *globalHitCoverage() const
+    {
+        return globalHit.get();
+    }
+
     FleetShard &shard(unsigned i) { return *shards[i]; }
     unsigned shardCount() const
     {
@@ -133,6 +147,11 @@ class FleetOrchestrator
     SyncPolicy sync;
     std::vector<std::unique_ptr<FleetShard>> shards;
     std::unique_ptr<coverage::CoverageMap> globalMap;
+
+    /** Global views of the auxiliary feedback models, mirroring the
+     *  shard configuration; merged at every epoch barrier. */
+    std::unique_ptr<coverage::CsrTransitionModel> globalCsr;
+    std::unique_ptr<coverage::HitCountModel> globalHit;
     ConcurrentStats liveStats;
     std::vector<bool> mismatchHarvested;
     triage::TriageQueue triage_;

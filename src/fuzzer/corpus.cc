@@ -89,10 +89,11 @@ Corpus::offer(Seed seed, uint64_t cov_increment)
     return true;
 }
 
-const Seed &
-Corpus::select(Rng &rng, Prob prioritize_prob) const
+const Seed *
+Corpus::trySelect(Rng &rng, Prob prioritize_prob) const
 {
-    TF_ASSERT(!seeds.empty(), "selecting from an empty corpus");
+    if (seeds.empty())
+        return nullptr;
     if (pol == SchedulingPolicy::CoverageGuided &&
         rng.chance(prioritize_prob.num, prioritize_prob.den)) {
         // Prioritized selection samples the top quartile by recorded
@@ -114,9 +115,16 @@ Corpus::select(Rng &rng, Prob prioritize_prob) const
                     return a->coverageIncrement > b->coverageIncrement;
                 });
         }
-        return *ranked[rng.range(top)];
+        return ranked[rng.range(top)];
     }
-    return seeds[rng.range(seeds.size())];
+    return &seeds[rng.range(seeds.size())];
+}
+
+const Seed *
+Corpus::findSeed(uint64_t seed_id) const
+{
+    const auto it = idIndex.find(seed_id);
+    return it == idIndex.end() ? nullptr : &seeds[it->second];
 }
 
 void

@@ -71,10 +71,18 @@ class Corpus
     /**
      * Select a seed for the next fuzzing iteration.
      * @param prioritize_prob  Probability of choosing the
-     *        highest-increment seed instead of a uniform pick
+     *        highest-increment seeds instead of a uniform pick
      *        (paper default 3/4; only meaningful for CoverageGuided).
+     * @return the selected seed, or nullptr when the corpus is empty
+     *         — a recoverable condition the caller turns into a
+     *         diagnostic (a misconfigured campaign must not abort the
+     *         whole process from inside the scheduler).
      */
-    const Seed &select(Rng &rng, Prob prioritize_prob = {3, 4}) const;
+    const Seed *trySelect(Rng &rng,
+                          Prob prioritize_prob = {3, 4}) const;
+
+    /** Resident seed by id, or nullptr (evicted/never archived). */
+    const Seed *findSeed(uint64_t seed_id) const;
 
     /**
      * Mutation-mode feedback: refresh the recorded increment of the

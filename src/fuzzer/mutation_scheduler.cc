@@ -1,0 +1,238 @@
+#include "fuzzer/mutation_scheduler.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "soc/snapshot.hh"
+
+namespace turbofuzz::fuzzer
+{
+
+namespace
+{
+
+/** Map one rng.range(16) draw through a gen/del sixteenths table —
+ *  the exact decision structure of the historical inline code. */
+MutOp
+drawFromTable(Rng &rng, uint32_t gen16, uint32_t del16)
+{
+    const uint64_t r = rng.range(16);
+    if (r < gen16)
+        return MutOp::Generate;
+    if (r < gen16 + del16)
+        return MutOp::Delete;
+    return MutOp::Retain;
+}
+
+void
+validateMix(uint32_t gen16, uint32_t del16)
+{
+    if (gen16 + del16 > 16) {
+        fatal("mutation mix misconfigured: generate (%u/16) + delete "
+              "(%u/16) exceeds 16/16",
+              gen16, del16);
+    }
+}
+
+} // namespace
+
+std::string_view
+schedulerKindName(SchedulerKind kind)
+{
+    switch (kind) {
+      case SchedulerKind::Static: return "static";
+      case SchedulerKind::Bandit: return "bandit";
+    }
+    return "?";
+}
+
+bool
+schedulerKindFromString(const std::string &text, SchedulerKind *kind)
+{
+    if (text == "static")
+        *kind = SchedulerKind::Static;
+    else if (text == "bandit")
+        *kind = SchedulerKind::Bandit;
+    else
+        return false;
+    return true;
+}
+
+std::unique_ptr<MutationScheduler>
+MutationScheduler::make(SchedulerKind kind, uint32_t gen16,
+                        uint32_t del16, Prob prioritize)
+{
+    switch (kind) {
+      case SchedulerKind::Static:
+        return std::make_unique<StaticScheduler>(gen16, del16,
+                                                 prioritize);
+      case SchedulerKind::Bandit:
+        return std::make_unique<BanditScheduler>(gen16, del16,
+                                                 prioritize);
+    }
+    fatal("unknown mutation scheduler kind %u",
+          static_cast<unsigned>(kind));
+}
+
+// --- StaticScheduler -------------------------------------------------
+
+StaticScheduler::StaticScheduler(uint32_t gen16, uint32_t del16,
+                                 Prob prioritize)
+    : gen16_(gen16), del16_(del16), prioritize_(prioritize)
+{
+    validateMix(gen16, del16);
+}
+
+MutOp
+StaticScheduler::pickOp(Rng &rng)
+{
+    return drawFromTable(rng, gen16_, del16_);
+}
+
+void
+StaticScheduler::saveState(soc::SnapshotWriter & /*out*/) const
+{
+    // Stateless: the mix is configuration, not mutable state.
+}
+
+bool
+StaticScheduler::loadState(soc::SnapshotReader & /*in*/,
+                           std::string * /*error*/)
+{
+    return true;
+}
+
+// --- BanditScheduler -------------------------------------------------
+
+BanditScheduler::BanditScheduler(uint32_t gen16, uint32_t del16,
+                                 Prob prioritize)
+    : prioritizeNum(std::clamp<uint64_t>(
+          prioritize.den ? prioritize.num * 16 / prioritize.den : 12,
+          8, 15))
+{
+    validateMix(gen16, del16);
+    // Until profits accrue every arm carries the optimistic initial
+    // score, so the opening table is near-uniform: the bandit tries
+    // all three operators before the mix specializes. The floor of
+    // one sixteenth per arm keeps every operator reachable forever,
+    // so a temporarily unprofitable arm can recover.
+    rebuildTable();
+}
+
+void
+BanditScheduler::rebuildTable()
+{
+    // Scores: empirical profit per play, fixed-point. Unplayed arms
+    // get the optimistic initial score so they are tried early.
+    constexpr uint64_t scale = 1024;
+    constexpr uint64_t optimistic = 4 * scale;
+    std::array<uint64_t, numArms> score{};
+    uint64_t total = 0;
+    for (size_t a = 0; a < numArms; ++a) {
+        score[a] = plays[a] == 0
+                       ? optimistic
+                       : 1 + profit[a] * scale / plays[a];
+        total += score[a];
+    }
+    // 16 slots, at least one per arm; the 13 free slots go
+    // proportionally to score, remainders to the highest scores
+    // (ties broken by arm index — deterministic).
+    std::array<uint32_t, numArms> slots{1, 1, 1};
+    uint32_t assigned = numArms;
+    std::array<uint64_t, numArms> remainder{};
+    for (size_t a = 0; a < numArms; ++a) {
+        const uint64_t exact = score[a] * (16 - numArms);
+        slots[a] += static_cast<uint32_t>(exact / total);
+        assigned += static_cast<uint32_t>(exact / total);
+        remainder[a] = exact % total;
+    }
+    while (assigned < 16) {
+        size_t best = 0;
+        for (size_t a = 1; a < numArms; ++a) {
+            if (remainder[a] > remainder[best])
+                best = a;
+        }
+        remainder[best] = 0;
+        ++slots[best];
+        ++assigned;
+    }
+    table = slots;
+}
+
+MutOp
+BanditScheduler::pickOp(Rng &rng)
+{
+    const MutOp op = drawFromTable(rng, table[0], table[1]);
+    ++usesThisIter[static_cast<size_t>(op)];
+    return op;
+}
+
+uint32_t
+BanditScheduler::seedEnergy(uint64_t parent_increment) const
+{
+    // More energy for seeds with a track record: 1 iteration for
+    // unproductive parents, up to 4 for strong ones.
+    if (parent_increment == 0)
+        return 1;
+    if (parent_increment < 8)
+        return 2;
+    if (parent_increment < 64)
+        return 3;
+    return 4;
+}
+
+void
+BanditScheduler::reportIteration(uint64_t cov_increment)
+{
+    for (size_t a = 0; a < numArms; ++a) {
+        if (usesThisIter[a] == 0)
+            continue;
+        plays[a] += usesThisIter[a];
+        profit[a] += cov_increment * usesThisIter[a];
+        usesThisIter[a] = 0;
+    }
+    // Per-seed exploitation pressure: progress raises the prioritize
+    // probability, droughts decay it.
+    if (cov_increment > 0)
+        prioritizeNum = std::min<uint64_t>(15, prioritizeNum + 1);
+    else if (prioritizeNum > 8)
+        --prioritizeNum;
+    rebuildTable();
+}
+
+void
+BanditScheduler::saveState(soc::SnapshotWriter &out) const
+{
+    for (size_t a = 0; a < numArms; ++a) {
+        out.putU64(plays[a]);
+        out.putU64(profit[a]);
+        out.putU32(usesThisIter[a]);
+    }
+    out.putU64(prioritizeNum);
+}
+
+bool
+BanditScheduler::loadState(soc::SnapshotReader &in, std::string *error)
+{
+    auto fail = [&](const char *msg) {
+        if (error)
+            *error = msg;
+        return false;
+    };
+    try {
+        for (size_t a = 0; a < numArms; ++a) {
+            plays[a] = in.getU64();
+            profit[a] = in.getU64();
+            usesThisIter[a] = in.getU32();
+        }
+        prioritizeNum = in.getU64();
+        if (prioritizeNum < 8 || prioritizeNum > 15)
+            return fail("bandit prioritize probability out of range");
+        rebuildTable();
+        return true;
+    } catch (const soc::SnapshotFormatError &e) {
+        return fail(e.what());
+    }
+}
+
+} // namespace turbofuzz::fuzzer

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Mutation-operator scheduling (paper §IV-C, generalized).
+ *
+ * The mutation engine decides, per seed-block transition, whether to
+ * GENERATE a fresh random block, DELETE the seed block, or RETAIN it
+ * (optionally mutating operands). The paper fixes the mix at
+ * generate/delete/retain = 3/16, 11/16, 2/16; TheHuzz showed that
+ * weighting operators by their observed coverage profit beats any
+ * static mix. MutationScheduler abstracts the decision:
+ *
+ *  - StaticScheduler — the paper's fixed table, drawing exactly the
+ *    same single rng.range(16) per pick the historical inline code
+ *    drew, so default campaigns reproduce bit-identically.
+ *  - BanditScheduler — a per-operator multi-armed bandit: each arm's
+ *    empirical coverage profit per play reshapes the sixteenths
+ *    table after every iteration, a small floor per arm keeps
+ *    exploration alive, and per-seed energy keeps the fuzzer on a
+ *    productive parent seed for several consecutive iterations.
+ *
+ * Schedulers are deterministic (integer arithmetic only, all
+ * randomness from the caller's Rng) and checkpointable, so a resumed
+ * campaign schedules exactly like an uninterrupted one.
+ */
+
+#ifndef TURBOFUZZ_FUZZER_MUTATION_SCHEDULER_HH
+#define TURBOFUZZ_FUZZER_MUTATION_SCHEDULER_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/config.hh"
+#include "common/rng.hh"
+
+namespace turbofuzz::soc
+{
+class SnapshotWriter;
+class SnapshotReader;
+} // namespace turbofuzz::soc
+
+namespace turbofuzz::fuzzer
+{
+
+/** One mutation-engine operation (paper §IV-C). */
+enum class MutOp : uint8_t { Generate, Delete, Retain };
+
+/** Which scheduling policy drives the mutation mix. */
+enum class SchedulerKind : uint8_t
+{
+    Static, ///< the paper's fixed probability table (default)
+    Bandit, ///< profit-weighted multi-armed bandit (TheHuzz-style)
+};
+
+/** Display/config name of a scheduler kind ("static", "bandit"). */
+std::string_view schedulerKindName(SchedulerKind kind);
+
+/** Parse a --scheduler value. @return false on unknown names. */
+bool schedulerKindFromString(const std::string &text,
+                             SchedulerKind *kind);
+
+/** The mutation-operator scheduling policy. */
+class MutationScheduler
+{
+  public:
+    virtual ~MutationScheduler() = default;
+
+    virtual std::string_view schedulerName() const = 0;
+
+    /** Pick the operation for one seed-block transition. */
+    virtual MutOp pickOp(Rng &rng) = 0;
+
+    /** Corpus prioritize probability for seed selection. */
+    virtual Prob prioritizeProb() const = 0;
+
+    /**
+     * Per-seed energy: how many consecutive iterations to keep
+     * fuzzing a freshly selected seed whose recorded coverage
+     * increment is @p parent_increment. 1 = reselect every iteration
+     * (the paper's behaviour).
+     */
+    virtual uint32_t seedEnergy(uint64_t parent_increment) const
+    {
+        (void)parent_increment;
+        return 1;
+    }
+
+    /**
+     * Iteration-level feedback: the coverage increment the iteration
+     * scheduled under this policy achieved.
+     */
+    virtual void reportIteration(uint64_t cov_increment) = 0;
+
+    /** Checkpoint support: serialize all mutable policy state. */
+    virtual void saveState(soc::SnapshotWriter &out) const = 0;
+
+    /** Restore a saveState() image.
+     *  @return false with @p error set on malformed input. */
+    virtual bool loadState(soc::SnapshotReader &in,
+                           std::string *error = nullptr) = 0;
+
+    /**
+     * Factory. @p gen16/@p del16 are the static mix (generate/delete
+     * sixteenths; retain is the remainder), @p prioritize the corpus
+     * prioritize probability. Misconfigured mixes (gen16 + del16 >
+     * 16) are a user error and fail with a diagnostic.
+     */
+    static std::unique_ptr<MutationScheduler>
+    make(SchedulerKind kind, uint32_t gen16, uint32_t del16,
+         Prob prioritize);
+};
+
+/** The paper's fixed mix, bit-identical to the historical inline
+ *  draw: one rng.range(16) per pick. */
+class StaticScheduler : public MutationScheduler
+{
+  public:
+    StaticScheduler(uint32_t gen16, uint32_t del16, Prob prioritize);
+
+    std::string_view schedulerName() const override { return "static"; }
+    MutOp pickOp(Rng &rng) override;
+    Prob prioritizeProb() const override { return prioritize_; }
+    void reportIteration(uint64_t /*cov_increment*/) override {}
+    void saveState(soc::SnapshotWriter &out) const override;
+    bool loadState(soc::SnapshotReader &in,
+                   std::string *error = nullptr) override;
+
+  private:
+    uint32_t gen16_;
+    uint32_t del16_;
+    Prob prioritize_;
+};
+
+/**
+ * Profit-weighted bandit over the three operators. Each pick costs
+ * one rng.range(16) draw against a table recomputed from per-arm
+ * average profit after every iteration; every arm keeps at least one
+ * sixteenth so no operator is ever starved. Seed selection adapts
+ * too: sustained coverage progress raises the prioritize probability
+ * toward 15/16 (exploitation), droughts decay it toward 1/2
+ * (exploration), and per-seed energy scales with the parent's
+ * recorded increment.
+ */
+class BanditScheduler : public MutationScheduler
+{
+  public:
+    static constexpr size_t numArms = 3;
+
+    BanditScheduler(uint32_t gen16, uint32_t del16, Prob prioritize);
+
+    std::string_view schedulerName() const override { return "bandit"; }
+    MutOp pickOp(Rng &rng) override;
+    Prob prioritizeProb() const override
+    {
+        return {prioritizeNum, 16};
+    }
+    uint32_t seedEnergy(uint64_t parent_increment) const override;
+    void reportIteration(uint64_t cov_increment) override;
+    void saveState(soc::SnapshotWriter &out) const override;
+    bool loadState(soc::SnapshotReader &in,
+                   std::string *error = nullptr) override;
+
+    /** Current sixteenths of one arm (diagnostics/tests). */
+    uint32_t armSixteenths(MutOp op) const
+    {
+        return table[static_cast<size_t>(op)];
+    }
+
+  private:
+    /** Rebuild the sixteenths table from the arm statistics. */
+    void rebuildTable();
+
+    std::array<uint64_t, numArms> plays{};
+    std::array<uint64_t, numArms> profit{};
+    std::array<uint32_t, numArms> usesThisIter{};
+    std::array<uint32_t, numArms> table{};
+    uint64_t prioritizeNum;
+};
+
+} // namespace turbofuzz::fuzzer
+
+#endif // TURBOFUZZ_FUZZER_MUTATION_SCHEDULER_HH

@@ -19,6 +19,9 @@ TurboFuzzer::TurboFuzzer(FuzzerOptions options,
     : opts(options), lib(library),
       builder(options.layout, library, options.genProbs),
       seedCorpus(options.corpusCapacity, options.scheduling),
+      sched(MutationScheduler::make(
+          options.scheduler, options.mutGenSixteenths,
+          options.mutDelSixteenths, options.corpusPrioritize)),
       ctx(options.layout), rng(options.seed)
 {
     TF_ASSERT(opts.instrsPerIteration >= 8,
@@ -31,13 +34,30 @@ TurboFuzzer::chooseBlocks(uint64_t &parent_seed_id)
     std::vector<SeedBlock> blocks;
     parent_seed_id = 0;
 
-    const Seed *seed = nullptr;
+    // Seed selection with per-seed energy: a seed with residual
+    // energy is reused without consuming selection randomness; the
+    // static policy always assigns energy 1, reproducing the
+    // historical select-every-iteration RNG stream bit-exactly.
+    const Seed *selected = nullptr;
     if (seedCorpus.size() > 0) {
-        const Seed &s = seedCorpus.select(rng, opts.corpusPrioritize);
-        if (!s.blocks.empty()) {
-            seed = &s;
-            parent_seed_id = s.id;
+        if (stickyEnergy > 0)
+            selected = seedCorpus.findSeed(stickySeedId);
+        if (!selected) {
+            selected =
+                seedCorpus.trySelect(rng, sched->prioritizeProb());
+            if (selected) {
+                stickySeedId = selected->id;
+                stickyEnergy =
+                    sched->seedEnergy(selected->coverageIncrement);
+            }
         }
+        if (stickyEnergy > 0)
+            --stickyEnergy;
+    }
+    const Seed *seed = nullptr;
+    if (selected && !selected->blocks.empty()) {
+        seed = selected;
+        parent_seed_id = selected->id;
     }
 
     uint64_t emitted = 0;
@@ -47,16 +67,16 @@ TurboFuzzer::chooseBlocks(uint64_t &parent_seed_id)
             seed != nullptr &&
             rng.chance(opts.mutationMode.num, opts.mutationMode.den);
         if (mutate) {
-            const uint64_t r = rng.range(16);
-            if (r < opts.mutGenSixteenths) {
+            switch (sched->pickOp(rng)) {
+              case MutOp::Generate:
                 // Generation: insert a fresh random block here.
                 blocks.push_back(builder.buildRandomBlock(rng));
-            } else if (r < opts.mutGenSixteenths +
-                               opts.mutDelSixteenths) {
+                break;
+              case MutOp::Delete:
                 // Deletion: skip the seed block (elimination flag).
                 cursor = (cursor + 1) % seed->blocks.size();
                 continue;
-            } else {
+              case MutOp::Retain: {
                 // Retention: keep the block, optionally mutating the
                 // prime's operands; original jump target preserved
                 // for the fix-up pass to validate.
@@ -67,6 +87,8 @@ TurboFuzzer::chooseBlocks(uint64_t &parent_seed_id)
                     builder.mutateOperands(kept, rng);
                 }
                 blocks.push_back(std::move(kept));
+                break;
+              }
             }
         } else {
             blocks.push_back(builder.buildRandomBlock(rng));
@@ -332,6 +354,10 @@ void
 TurboFuzzer::reportResult(const IterationInfo &info,
                           uint64_t cov_increment)
 {
+    // Scheduling feedback: the coverage profit of the operators this
+    // iteration used (bandit arm statistics; no-op for Static).
+    sched->reportIteration(cov_increment);
+
     // Mutation-mode feedback: refresh the parent's increment.
     if (info.parentSeedId != 0)
         seedCorpus.updateIncrement(info.parentSeedId, cov_increment);
@@ -368,13 +394,19 @@ TurboFuzzer::saveState(soc::SnapshotWriter &out) const
     out.putU64(rng.rawState());
     out.putU64(iterCounter);
     out.putU64(nextSeedId);
+    out.putU64(stickySeedId);
+    out.putU32(stickyEnergy);
     seedCorpus.saveState(out);
+    // Kind tag first: a checkpoint from a different --scheduler is
+    // rejected with a diagnostic instead of misparsing policy state.
+    out.putU8(static_cast<uint8_t>(opts.scheduler));
+    sched->saveState(out);
 }
 
 bool
 TurboFuzzer::loadState(soc::SnapshotReader &in, std::string *error)
 {
-    if (in.remaining() < 3 * 8) {
+    if (in.remaining() < 4 * 8 + 4) {
         if (error)
             *error = "truncated fuzzer state";
         return false;
@@ -382,7 +414,18 @@ TurboFuzzer::loadState(soc::SnapshotReader &in, std::string *error)
     rng.setRawState(in.getU64());
     iterCounter = in.getU64();
     nextSeedId = in.getU64();
-    return seedCorpus.loadState(in, error);
+    stickySeedId = in.getU64();
+    stickyEnergy = in.getU32();
+    if (!seedCorpus.loadState(in, error))
+        return false;
+    if (in.remaining() < 1 ||
+        in.getU8() != static_cast<uint8_t>(opts.scheduler)) {
+        if (error)
+            *error = "scheduler kind mismatch (checkpoint from a "
+                     "different --scheduler?)";
+        return false;
+    }
+    return sched->loadState(in, error);
 }
 
 } // namespace turbofuzz::fuzzer

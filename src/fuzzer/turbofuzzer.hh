@@ -21,6 +21,7 @@
 #include "fuzzer/block_builder.hh"
 #include "fuzzer/context.hh"
 #include "fuzzer/corpus.hh"
+#include "fuzzer/mutation_scheduler.hh"
 #include "fuzzer/seed.hh"
 #include "isa/instruction_library.hh"
 #include "soc/memory.hh"
@@ -38,9 +39,14 @@ struct FuzzerOptions
     Prob mutationMode{7, 16};
 
     /** Mutation-engine operation mix over 16ths: generate/delete/
-     *  retain = 3/16, 11/16, 2/16. */
+     *  retain = 3/16, 11/16, 2/16. Consumed by the Static scheduling
+     *  policy; the Bandit policy adapts its own mix from observed
+     *  coverage profit (see mutation_scheduler.hh). */
     uint32_t mutGenSixteenths = 3;
     uint32_t mutDelSixteenths = 11;
+
+    /** Mutation-operator scheduling policy (paper default: Static). */
+    SchedulerKind scheduler = SchedulerKind::Static;
 
     /** P(prioritize high-increment seed) in corpus selection. */
     Prob corpusPrioritize{3, 4};
@@ -153,14 +159,16 @@ class TurboFuzzer
 
     Corpus &corpus() { return seedCorpus; }
     const FuzzerOptions &options() const { return opts; }
+    const MutationScheduler &scheduler() const { return *sched; }
 
     uint64_t iterationsGenerated() const { return iterCounter; }
 
     /**
      * Checkpoint support: serialize every mutable field the next
      * generateIteration() reads (RNG stream, iteration counter, seed
-     * id allocator, corpus) so a resumed fuzzer generates the exact
-     * stimulus sequence an uninterrupted one would.
+     * id allocator, seed-energy bookkeeping, corpus, mutation
+     * scheduler) so a resumed fuzzer generates the exact stimulus
+     * sequence an uninterrupted one would.
      */
     void saveState(soc::SnapshotWriter &out) const;
 
@@ -239,10 +247,20 @@ class TurboFuzzer
     const isa::InstructionLibrary *lib;
     BlockBuilder builder;
     Corpus seedCorpus;
+    std::unique_ptr<MutationScheduler> sched;
     FuzzContext ctx;
     Rng rng;
     uint64_t iterCounter = 0;
     uint64_t nextSeedId = 1;
+
+    /**
+     * Per-seed energy (bandit scheduling): the parent seed the fuzzer
+     * is committed to and how many further iterations it owes it.
+     * Static scheduling always assigns energy 1, which reduces to the
+     * historical select-every-iteration behaviour bit-exactly.
+     */
+    uint64_t stickySeedId = 0;
+    uint32_t stickyEnergy = 0;
 };
 
 } // namespace turbofuzz::fuzzer

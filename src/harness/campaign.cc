@@ -62,6 +62,42 @@ Campaign::Campaign(CampaignOptions options,
         design.get(), opts.covScheme, opts.maxStateSize, opts.seed);
     covMap = std::make_unique<coverage::CoverageMap>(instr.get());
 
+    // Pluggable feedback. The mux map is part of every configuration
+    // (it is the reported metric and drives the RTL event model); a
+    // weight-0 composite entry sweeps it without letting it into the
+    // increment. Mux takes the raw map — the exact historical path.
+    using coverage::CompositeFeedback;
+    using coverage::CoverageModelKind;
+    switch (opts.coverageModel) {
+      case CoverageModelKind::Mux:
+        feedback_ = covMap.get();
+        break;
+      case CoverageModelKind::Csr:
+        csrModel_ = std::make_unique<coverage::CsrTransitionModel>();
+        composite_ = std::make_unique<CompositeFeedback>(
+            std::vector<CompositeFeedback::Part>{
+                {covMap.get(), 0}, {csrModel_.get(), 1}});
+        feedback_ = composite_.get();
+        break;
+      case CoverageModelKind::HitCount:
+        hitModel_ = std::make_unique<coverage::HitCountModel>();
+        composite_ = std::make_unique<CompositeFeedback>(
+            std::vector<CompositeFeedback::Part>{
+                {covMap.get(), 0}, {hitModel_.get(), 1}});
+        feedback_ = composite_.get();
+        break;
+      case CoverageModelKind::Composite:
+        csrModel_ = std::make_unique<coverage::CsrTransitionModel>();
+        hitModel_ = std::make_unique<coverage::HitCountModel>();
+        composite_ = std::make_unique<CompositeFeedback>(
+            std::vector<CompositeFeedback::Part>{
+                {covMap.get(), opts.feedbackWeightMux},
+                {csrModel_.get(), opts.feedbackWeightCsr},
+                {hitModel_.get(), opts.feedbackWeightHit}});
+        feedback_ = composite_.get();
+        break;
+    }
+
     plat = std::make_unique<soc::Platform>(opts.timing, &clock);
 
     engine_ = std::make_unique<engine::ExecutionEngine>(
@@ -167,7 +203,7 @@ Campaign::runIteration()
 
     engine::ExecutionEngine::Hooks hooks;
     hooks.driver = driver.get();
-    hooks.coverage = covMap.get();
+    hooks.coverage = feedback_;
     if (opts.commitObserver)
         hooks.observer = &opts.commitObserver;
 
@@ -279,7 +315,8 @@ Campaign::prevalence() const
 namespace
 {
 
-constexpr uint32_t campaignStateVersion = 1;
+// v2: auxiliary feedback-model states follow the mux coverage map.
+constexpr uint32_t campaignStateVersion = 2;
 
 } // namespace
 
@@ -316,6 +353,16 @@ Campaign::saveState(soc::SnapshotWriter &out) const
     dutMem.saveState(out);
     driver->saveState(out);
     covMap->saveState(out);
+
+    // Auxiliary feedback models, in fixed (csr, edges) order. The
+    // census bitmask distinguishes the model *kinds*, so a csr-only
+    // checkpoint cannot be misparsed by an edges-only campaign.
+    out.putU8(coverage::auxModelCensus(csrModel_ != nullptr,
+                                       hitModel_ != nullptr));
+    if (csrModel_)
+        csrModel_->saveState(out);
+    if (hitModel_)
+        hitModel_->saveState(out);
 
     out.putU8(mismatchInfo ? 1 : 0);
     if (mismatchInfo)
@@ -375,6 +422,18 @@ Campaign::loadState(soc::SnapshotReader &in, std::string *error)
         if (!driver->loadState(in, error))
             return false;
         if (!covMap->loadState(in, error))
+            return false;
+
+        const uint8_t aux_census = in.getU8();
+        const uint8_t aux_expected = coverage::auxModelCensus(
+            csrModel_ != nullptr, hitModel_ != nullptr);
+        if (aux_census != aux_expected) {
+            return fail("feedback model census mismatch (checkpoint "
+                        "from a different --coverage-model?)");
+        }
+        if (csrModel_ && !csrModel_->loadState(in, error))
+            return false;
+        if (hitModel_ && !hitModel_->loadState(in, error))
             return false;
 
         mismatchInfo.reset();

@@ -48,6 +48,24 @@ struct CampaignOptions
     coverage::Scheme covScheme = coverage::Scheme::Optimized;
     unsigned maxStateSize = 15;
 
+    /**
+     * Which feedback signal the corpus scheduler consumes
+     * (docs/coverage.md). The mux CoverageMap is always maintained —
+     * it is the reported coverage metric and drives the RTL event
+     * model — so non-default kinds change only the increment fed
+     * back to the generator: Csr schedules on CSR-transition
+     * coverage, HitCount on bucketed control-flow-edge counts, and
+     * Composite on the weighted sum of all three signals. The
+     * default (Mux) takes the exact historical code path.
+     */
+    coverage::CoverageModelKind coverageModel =
+        coverage::CoverageModelKind::Mux;
+
+    /** Composite-mode signal weights: increment = sum(newly * w). */
+    uint32_t feedbackWeightMux = 1;
+    uint32_t feedbackWeightCsr = 1;
+    uint32_t feedbackWeightHit = 1;
+
     checker::DiffChecker::Mode checkMode =
         checker::DiffChecker::Mode::PerInstruction;
 
@@ -125,6 +143,13 @@ struct IterationResult
     uint64_t generated = 0;
     uint64_t executedTotal = 0;
     uint64_t executedFuzz = 0; ///< commits inside the fuzzing region
+
+    /**
+     * Feedback increment of the iteration — the value the corpus
+     * scheduler consumes. Under the default Mux model this is the
+     * number of newly hit mux-coverage points; other models report
+     * their (weighted) newly-hit counts instead.
+     */
     uint64_t newCoverage = 0;
     uint64_t traps = 0;
     bool mismatch = false;
@@ -167,6 +192,25 @@ class Campaign
 
     // --- observers ---------------------------------------------------
     const coverage::CoverageMap &coverageMap() const { return *covMap; }
+
+    /** The active feedback signal (the mux map by default). */
+    const coverage::FeedbackModel &feedbackModel() const
+    {
+        return *feedback_;
+    }
+
+    /** CSR-transition model, or nullptr unless Csr/Composite. */
+    const coverage::CsrTransitionModel *csrModel() const
+    {
+        return csrModel_.get();
+    }
+
+    /** Hit-count edge model, or nullptr unless HitCount/Composite. */
+    const coverage::HitCountModel *hitCountModel() const
+    {
+        return hitModel_.get();
+    }
+
     soc::Platform &platform() { return *plat; }
     double nowSec() const { return clock.seconds(); }
 
@@ -245,6 +289,17 @@ class Campaign
     std::unique_ptr<rtl::EventDriver> driver;
     std::unique_ptr<coverage::DesignInstrumentation> instr;
     std::unique_ptr<coverage::CoverageMap> covMap;
+
+    /**
+     * Pluggable feedback: the auxiliary models (when configured), the
+     * composite combining them with the mux map, and the single model
+     * pointer the engine's sweep stage consumes. Under the default
+     * Mux kind, feedback_ is covMap itself — the historical path.
+     */
+    std::unique_ptr<coverage::CsrTransitionModel> csrModel_;
+    std::unique_ptr<coverage::HitCountModel> hitModel_;
+    std::unique_ptr<coverage::CompositeFeedback> composite_;
+    coverage::FeedbackModel *feedback_ = nullptr;
 
     checker::DiffChecker checker_;
     std::unique_ptr<engine::ExecutionEngine> engine_;

@@ -227,7 +227,21 @@ TEST(CoverageMap, IncompatibleShapesRefuseToMerge)
     DesignInstrumentation di2(m2.get(), Scheme::Optimized, 13, 1);
     CoverageMap a(&di1), b(&di2);
     EXPECT_FALSE(a.compatibleWith(b));
-    EXPECT_DEATH(a.merge(b), "incompatible");
+
+    // Rejected with a typed error — and no mutation: the receiving
+    // map's state must be exactly what it was before the attempt.
+    b.record();
+    const uint64_t before = a.totalCovered();
+    std::string error;
+    EXPECT_FALSE(a.merge(b, &error));
+    EXPECT_NE(error.find("incompatible"), std::string::npos);
+    EXPECT_EQ(a.totalCovered(), before);
+
+    // The same rejection through the FeedbackModel interface.
+    coverage::FeedbackModel &fa = a;
+    error.clear();
+    EXPECT_FALSE(fa.merge(b, &error));
+    EXPECT_FALSE(error.empty());
 }
 
 TEST(CoverageMap, PerModuleCounts)

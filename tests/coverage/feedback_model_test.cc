@@ -1,0 +1,417 @@
+/** @file Pluggable feedback-model tests (CSR, hit-count, composite). */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "coverage/coverage_map.hh"
+#include "coverage/feedback_model.hh"
+#include "rtl/driver.hh"
+#include "soc/snapshot.hh"
+
+namespace turbofuzz::coverage
+{
+namespace
+{
+
+/** A throwaway driver: the stream-only models never touch it. */
+struct DriverFixture
+{
+    DriverFixture() : mod("m"), drv(&mod) {}
+    rtl::Module mod;
+    rtl::EventDriver drv;
+};
+
+core::CommitInfo
+csrWrite(uint16_t addr, uint64_t value)
+{
+    core::CommitInfo ci;
+    ci.csrWritten = true;
+    ci.csrAddr = addr;
+    ci.csrNewValue = value;
+    return ci;
+}
+
+core::CommitInfo
+trapCommit(uint64_t cause, uint64_t tval)
+{
+    core::CommitInfo ci;
+    ci.trapped = true;
+    ci.trapCause = cause;
+    ci.trapValue = tval;
+    return ci;
+}
+
+core::CommitInfo
+edgeCommit(uint64_t pc, uint64_t next_pc)
+{
+    core::CommitInfo ci;
+    ci.pc = pc;
+    ci.nextPc = next_pc;
+    return ci;
+}
+
+TEST(CoverageModelKindTest, NamesRoundTrip)
+{
+    for (CoverageModelKind kind :
+         {CoverageModelKind::Mux, CoverageModelKind::Csr,
+          CoverageModelKind::HitCount, CoverageModelKind::Composite}) {
+        CoverageModelKind parsed{};
+        ASSERT_TRUE(coverageModelFromString(
+            std::string(coverageModelName(kind)), &parsed));
+        EXPECT_EQ(parsed, kind);
+    }
+    CoverageModelKind parsed{};
+    EXPECT_FALSE(coverageModelFromString("bogus", &parsed));
+    // "hitcount" is accepted as an alias of "edges".
+    ASSERT_TRUE(coverageModelFromString("hitcount", &parsed));
+    EXPECT_EQ(parsed, CoverageModelKind::HitCount);
+}
+
+TEST(CsrTransitionModel, CountsTransitionsNotWrites)
+{
+    DriverFixture fx;
+    CsrTransitionModel model;
+
+    // First write: transition (0 -> 5) is new.
+    core::CommitInfo w1 = csrWrite(0x300, 5);
+    EXPECT_EQ(model.sweep(fx.drv, &w1, 1), 1u);
+    // Identical transition value (5 -> 5) is a different edge than
+    // (0 -> 5), so it counts once...
+    EXPECT_EQ(model.sweep(fx.drv, &w1, 1), 1u);
+    // ...and repeating it adds nothing.
+    EXPECT_EQ(model.sweep(fx.drv, &w1, 1), 0u);
+
+    // A different CSR with the same value is its own transition.
+    core::CommitInfo w2 = csrWrite(0x341, 5);
+    EXPECT_EQ(model.sweep(fx.drv, &w2, 1), 1u);
+    EXPECT_EQ(model.newlyHit(), 3u);
+    EXPECT_EQ(model.trackedCsrs(), 2u);
+
+    // Commits with no CSR side effect contribute nothing.
+    core::CommitInfo plain = edgeCommit(0x1000, 0x1004);
+    EXPECT_EQ(model.sweep(fx.drv, &plain, 1), 0u);
+}
+
+TEST(CsrTransitionModel, TrapEntriesAreTransitions)
+{
+    DriverFixture fx;
+    CsrTransitionModel model;
+    core::CommitInfo t1 = trapCommit(2, 0xdead);
+    core::CommitInfo t2 = trapCommit(3, 0xdead);
+    EXPECT_EQ(model.sweep(fx.drv, &t1, 1), 1u); // cause 2: 0 -> dead
+    EXPECT_EQ(model.sweep(fx.drv, &t2, 1), 1u); // cause 3: 0 -> dead
+    EXPECT_EQ(model.sweep(fx.drv, &t2, 1), 1u); // dead -> dead edge
+    EXPECT_EQ(model.sweep(fx.drv, &t2, 1), 0u); // now saturated
+}
+
+TEST(CsrTransitionModel, SweepIsBatchSplitInvariant)
+{
+    DriverFixture fx;
+    std::vector<core::CommitInfo> trace;
+    for (uint64_t i = 0; i < 64; ++i)
+        trace.push_back(csrWrite(
+            static_cast<uint16_t>(0x300 + i % 5), i * 977));
+
+    CsrTransitionModel whole;
+    const uint64_t got =
+        whole.sweep(fx.drv, trace.data(), trace.size());
+
+    CsrTransitionModel split;
+    uint64_t acc = 0;
+    for (size_t at = 0; at < trace.size();) {
+        const size_t n = std::min<size_t>(7, trace.size() - at);
+        acc += split.sweep(fx.drv, trace.data() + at, n);
+        at += n;
+    }
+    EXPECT_EQ(acc, got);
+    EXPECT_EQ(split.newlyHit(), whole.newlyHit());
+}
+
+TEST(CsrTransitionModel, MergeOrsAndRejectsKindMismatch)
+{
+    DriverFixture fx;
+    CsrTransitionModel a, b;
+    core::CommitInfo w1 = csrWrite(0x300, 1);
+    core::CommitInfo w2 = csrWrite(0x341, 2);
+    a.sweep(fx.drv, &w1, 1);
+    b.sweep(fx.drv, &w2, 1);
+
+    std::string error;
+    ASSERT_TRUE(a.merge(b, &error)) << error;
+    EXPECT_EQ(a.newlyHit(), 2u);
+    // Idempotent.
+    ASSERT_TRUE(a.merge(b, &error));
+    EXPECT_EQ(a.newlyHit(), 2u);
+
+    HitCountModel other;
+    EXPECT_FALSE(a.compatibleWith(other));
+    EXPECT_FALSE(a.merge(other, &error));
+    EXPECT_NE(error.find("kind mismatch"), std::string::npos);
+    EXPECT_EQ(a.newlyHit(), 2u); // untouched by the rejection
+}
+
+TEST(CsrTransitionModel, SaveLoadRoundTripAndRejectsCorruption)
+{
+    DriverFixture fx;
+    CsrTransitionModel model;
+    for (uint64_t i = 0; i < 32; ++i) {
+        core::CommitInfo w =
+            csrWrite(static_cast<uint16_t>(0x300 + i % 3), i * 13);
+        model.sweep(fx.drv, &w, 1);
+    }
+
+    soc::SnapshotWriter w;
+    model.saveState(w);
+    const auto image = w.buffer();
+
+    CsrTransitionModel back;
+    soc::SnapshotReader r(image);
+    std::string error;
+    ASSERT_TRUE(back.loadState(r, &error)) << error;
+    ASSERT_TRUE(r.exhausted());
+    EXPECT_EQ(back.newlyHit(), model.newlyHit());
+    EXPECT_EQ(back.trackedCsrs(), model.trackedCsrs());
+
+    // The restored per-CSR history continues identically: the next
+    // event lands on the same transition edge in both models.
+    core::CommitInfo next = csrWrite(0x300, 0x123456789abcdefull);
+    EXPECT_EQ(back.sweep(fx.drv, &next, 1),
+              model.sweep(fx.drv, &next, 1));
+    EXPECT_EQ(back.newlyHit(), model.newlyHit());
+
+    // Corrupt hit counter: rejected with a typed error.
+    auto bad = image;
+    bad[0] ^= 0x5A;
+    soc::SnapshotReader bad_reader(bad);
+    CsrTransitionModel victim;
+    EXPECT_FALSE(victim.loadState(bad_reader, &error));
+    EXPECT_NE(error.find("disagrees"), std::string::npos);
+
+    // Truncated input: rejected, not overread.
+    std::vector<uint8_t> tiny(image.begin(), image.begin() + 9);
+    soc::SnapshotReader tiny_reader(tiny);
+    EXPECT_FALSE(victim.loadState(tiny_reader, &error));
+}
+
+TEST(HitCountModel, BucketsLightProgressively)
+{
+    EXPECT_EQ(HitCountModel::bucketBit(0), 0u); // never hit
+    EXPECT_EQ(HitCountModel::bucketBit(1), 1u << 0);
+    EXPECT_EQ(HitCountModel::bucketBit(2), 1u << 1);
+    EXPECT_EQ(HitCountModel::bucketBit(3), 1u << 2);
+    EXPECT_EQ(HitCountModel::bucketBit(4), 1u << 3);
+    EXPECT_EQ(HitCountModel::bucketBit(7), 1u << 3);
+    EXPECT_EQ(HitCountModel::bucketBit(8), 1u << 4);
+    EXPECT_EQ(HitCountModel::bucketBit(16), 1u << 5);
+    EXPECT_EQ(HitCountModel::bucketBit(32), 1u << 6);
+    EXPECT_EQ(HitCountModel::bucketBit(127), 1u << 6);
+    EXPECT_EQ(HitCountModel::bucketBit(128), 1u << 7);
+    EXPECT_EQ(HitCountModel::bucketBit(100000), 1u << 7);
+
+    DriverFixture fx;
+    HitCountModel model;
+    core::CommitInfo loop = edgeCommit(0x1000, 0x1004);
+
+    // Revisiting the same edge counts as new behaviour exactly at
+    // the bucket boundaries: counts 1, 2, 3, 4, 8, 16, 32, 128.
+    uint64_t newly = 0;
+    for (int i = 0; i < 200; ++i)
+        newly += model.sweep(fx.drv, &loop, 1);
+    EXPECT_EQ(newly, 8u);
+    EXPECT_EQ(model.newlyHit(), 8u);
+
+    // A different edge is new again.
+    core::CommitInfo other = edgeCommit(0x1004, 0x2000);
+    EXPECT_EQ(model.sweep(fx.drv, &other, 1), 1u);
+}
+
+TEST(HitCountModel, MergeTakesUnionAndMaxCounts)
+{
+    DriverFixture fx;
+    HitCountModel a, b;
+    core::CommitInfo e1 = edgeCommit(0x1000, 0x1004);
+    core::CommitInfo e2 = edgeCommit(0x2000, 0x2004);
+    a.sweep(fx.drv, &e1, 1);
+    for (int i = 0; i < 5; ++i)
+        b.sweep(fx.drv, &e2, 1); // buckets 1, 2, 3, 4-7
+
+    std::string error;
+    ASSERT_TRUE(a.merge(b, &error)) << error;
+    EXPECT_EQ(a.newlyHit(), 1u + 4u);
+    ASSERT_TRUE(a.merge(b, &error)); // idempotent
+    EXPECT_EQ(a.newlyHit(), 5u);
+
+    // After the merge, edge e2 continues from the donor's count: two
+    // more hits cross into the 8-15 bucket.
+    a.sweep(fx.drv, &e2, 1);
+    a.sweep(fx.drv, &e2, 1);
+    a.sweep(fx.drv, &e2, 1);
+    EXPECT_EQ(a.newlyHit(), 6u);
+
+    CsrTransitionModel other;
+    EXPECT_FALSE(a.merge(other, &error));
+    EXPECT_NE(error.find("kind mismatch"), std::string::npos);
+}
+
+TEST(HitCountModel, SaveLoadRoundTripAndRejectsCorruption)
+{
+    DriverFixture fx;
+    HitCountModel model;
+    for (uint64_t i = 0; i < 100; ++i) {
+        core::CommitInfo e =
+            edgeCommit(0x1000 + 4 * (i % 7), 0x1000 + 4 * (i % 3));
+        model.sweep(fx.drv, &e, 1);
+    }
+
+    soc::SnapshotWriter w;
+    model.saveState(w);
+    const auto image = w.buffer();
+
+    HitCountModel back;
+    soc::SnapshotReader r(image);
+    std::string error;
+    ASSERT_TRUE(back.loadState(r, &error)) << error;
+    ASSERT_TRUE(r.exhausted());
+    EXPECT_EQ(back.newlyHit(), model.newlyHit());
+
+    auto bad = image;
+    bad[0] ^= 0xFF;
+    soc::SnapshotReader bad_reader(bad);
+    HitCountModel victim;
+    EXPECT_FALSE(victim.loadState(bad_reader, &error));
+    EXPECT_NE(error.find("disagrees"), std::string::npos);
+
+    std::vector<uint8_t> tiny(image.begin(), image.begin() + 100);
+    soc::SnapshotReader tiny_reader(tiny);
+    EXPECT_FALSE(victim.loadState(tiny_reader, &error));
+    EXPECT_NE(error.find("truncated"), std::string::npos);
+}
+
+TEST(CompositeFeedback, WeightsShapeTheIncrement)
+{
+    DriverFixture fx;
+    CsrTransitionModel csr;
+    HitCountModel edges;
+    CompositeFeedback comp({{&csr, 4}, {&edges, 1}});
+
+    // One commit carrying both a fresh CSR transition and a fresh
+    // edge: increment = 1*4 + 1*1.
+    core::CommitInfo ci = csrWrite(0x300, 7);
+    ci.pc = 0x1000;
+    ci.nextPc = 0x1004;
+    EXPECT_EQ(comp.sweep(fx.drv, &ci, 1), 5u);
+    EXPECT_EQ(comp.newlyHit(), 5u);
+
+    // Weight-0 parts are swept (state advances) but contribute 0.
+    CsrTransitionModel csr2;
+    HitCountModel edges2;
+    CompositeFeedback muted({{&csr2, 0}, {&edges2, 1}});
+    core::CommitInfo ci2 = csrWrite(0x300, 7);
+    ci2.pc = 0x1000;
+    ci2.nextPc = 0x1004;
+    EXPECT_EQ(muted.sweep(fx.drv, &ci2, 1), 1u);
+    EXPECT_EQ(csr2.newlyHit(), 1u); // swept despite weight 0
+}
+
+TEST(CompositeFeedback, MergeDelegatesAndRejectsShapeMismatch)
+{
+    DriverFixture fx;
+    CsrTransitionModel csr_a, csr_b;
+    HitCountModel edge_a, edge_b;
+    CompositeFeedback a({{&csr_a, 1}, {&edge_a, 1}});
+    CompositeFeedback b({{&csr_b, 1}, {&edge_b, 1}});
+
+    core::CommitInfo ci = csrWrite(0x305, 9);
+    ci.pc = 0x4000;
+    ci.nextPc = 0x4010;
+    b.sweep(fx.drv, &ci, 1);
+
+    std::string error;
+    ASSERT_TRUE(a.compatibleWith(b));
+    ASSERT_TRUE(a.merge(b, &error)) << error;
+    EXPECT_EQ(csr_a.newlyHit(), 1u);
+    EXPECT_EQ(edge_a.newlyHit(), 1u);
+
+    // Different part count: rejected before any mutation.
+    CsrTransitionModel lone;
+    CompositeFeedback short_comp({{&lone, 1}});
+    EXPECT_FALSE(a.compatibleWith(short_comp));
+    EXPECT_FALSE(a.merge(short_comp, &error));
+    EXPECT_NE(error.find("part mismatch"), std::string::npos);
+
+    // Same count, crossed kinds: rejected with no part mutated.
+    CompositeFeedback crossed({{&edge_b, 1}, {&csr_b, 1}});
+    const uint64_t before_csr = csr_a.newlyHit();
+    const uint64_t before_edge = edge_a.newlyHit();
+    EXPECT_FALSE(a.merge(crossed, &error));
+    EXPECT_EQ(csr_a.newlyHit(), before_csr);
+    EXPECT_EQ(edge_a.newlyHit(), before_edge);
+
+    // Same kinds but different weights: compatibleWith() declares
+    // the composites incompatible, and merge honors that.
+    CompositeFeedback reweighted({{&csr_b, 2}, {&edge_b, 1}});
+    EXPECT_FALSE(a.compatibleWith(reweighted));
+    EXPECT_FALSE(a.merge(reweighted, &error));
+    EXPECT_EQ(csr_a.newlyHit(), before_csr);
+}
+
+TEST(CompositeFeedback, SaveLoadDelegatesToParts)
+{
+    DriverFixture fx;
+    CsrTransitionModel csr;
+    HitCountModel edges;
+    CompositeFeedback comp({{&csr, 2}, {&edges, 3}});
+    for (uint64_t i = 0; i < 20; ++i) {
+        core::CommitInfo ci =
+            csrWrite(static_cast<uint16_t>(0x300 + i % 2), i);
+        ci.pc = 0x1000 + 4 * i;
+        ci.nextPc = 0x1004 + 4 * i;
+        comp.sweep(fx.drv, &ci, 1);
+    }
+
+    soc::SnapshotWriter w;
+    comp.saveState(w);
+    const auto image = w.buffer();
+
+    CsrTransitionModel csr_back;
+    HitCountModel edges_back;
+    CompositeFeedback back({{&csr_back, 2}, {&edges_back, 3}});
+    soc::SnapshotReader r(image);
+    std::string error;
+    ASSERT_TRUE(back.loadState(r, &error)) << error;
+    ASSERT_TRUE(r.exhausted());
+    EXPECT_EQ(back.newlyHit(), comp.newlyHit());
+    EXPECT_EQ(csr_back.newlyHit(), csr.newlyHit());
+    EXPECT_EQ(edges_back.newlyHit(), edges.newlyHit());
+
+    // Part-count mismatch is a typed error.
+    CsrTransitionModel lone;
+    CompositeFeedback wrong({{&lone, 2}});
+    soc::SnapshotReader r2(image);
+    EXPECT_FALSE(wrong.loadState(r2, &error));
+    EXPECT_NE(error.find("part count"), std::string::npos);
+}
+
+TEST(FeedbackModel, CoverageMapKindMismatchRejected)
+{
+    // The mux map refuses to merge a different model kind through
+    // the FeedbackModel interface.
+    auto mod = std::make_unique<rtl::Module>("m");
+    const uint32_t a =
+        mod->addRegister("a", 4, rtl::RegRole::Datapath);
+    const uint32_t wa = mod->addWire("wa", {a});
+    mod->addMux("ma", wa);
+    DesignInstrumentation di(mod.get(), Scheme::Optimized, 13, 1);
+    CoverageMap map(&di);
+
+    CsrTransitionModel csr;
+    std::string error;
+    EXPECT_FALSE(map.compatibleWith(csr));
+    EXPECT_FALSE(
+        static_cast<FeedbackModel &>(map).merge(csr, &error));
+    EXPECT_NE(error.find("kind mismatch"), std::string::npos);
+}
+
+} // namespace
+} // namespace turbofuzz::coverage

@@ -87,6 +87,23 @@ TEST(FleetConfigTest, FromConfigParsesTopology)
     EXPECT_DOUBLE_EQ(fc.epochSec, 1.5);
 }
 
+TEST(FleetConfigTest, FromConfigParsesFeedbackKnobs)
+{
+    Config cfg;
+    cfg.set("coverage-model", "composite");
+    cfg.set("scheduler", "bandit");
+    const FleetConfig fc = FleetConfig::fromConfig(cfg);
+    EXPECT_EQ(fc.coverageModel,
+              coverage::CoverageModelKind::Composite);
+    EXPECT_EQ(fc.scheduler, fuzzer::SchedulerKind::Bandit);
+
+    // Defaults reproduce the paper configuration.
+    Config plain;
+    const FleetConfig def = FleetConfig::fromConfig(plain);
+    EXPECT_EQ(def.coverageModel, coverage::CoverageModelKind::Mux);
+    EXPECT_EQ(def.scheduler, fuzzer::SchedulerKind::Static);
+}
+
 TEST(WorkerPoolTest, RunsAllJobsAndBarriers)
 {
     WorkerPool pool(4);
@@ -459,6 +476,85 @@ TEST(FleetCheckpoint, MalformedCheckpointRejected)
         EXPECT_FALSE(reseeded.restoreCheckpoint(*snap, &error));
         EXPECT_NE(error.find("seed"), std::string::npos);
     }
+}
+
+/**
+ * Pluggable feedback at fleet scale: per-model merges at epoch
+ * barriers produce the global union views, and a killed fleet
+ * resumes bit-identically with the model + scheduler state carried
+ * through the checkpoint's fleet.feedback and shard sections.
+ */
+TEST(FleetFeedback, PerModelMergeAndResumeDeterminism)
+{
+    const std::string path =
+        testing::TempDir() + "/tf_fleet_feedback.ckpt";
+
+    auto config = [&](bool checkpointing) {
+        FleetConfig fc = fleetConfig(2, 4.0, 1.0, 17);
+        fc.coverageModel = coverage::CoverageModelKind::Composite;
+        fc.scheduler = fuzzer::SchedulerKind::Bandit;
+        if (checkpointing) {
+            fc.checkpointEveryEpochs = 1;
+            fc.checkpointPath = path;
+        }
+        return fc;
+    };
+    const harness::CampaignOptions copts = campaignOpts();
+
+    FleetOrchestrator reference(config(false), copts, fuzzerOpts(),
+                                &lib());
+    const FleetResult ref_result = reference.run();
+
+    // Global per-model views exist and dominate every shard's own.
+    ASSERT_NE(reference.globalCsrCoverage(), nullptr);
+    ASSERT_NE(reference.globalHitCoverage(), nullptr);
+    EXPECT_GT(reference.globalCsrCoverage()->newlyHit(), 0u);
+    EXPECT_GT(reference.globalHitCoverage()->newlyHit(), 0u);
+    for (unsigned i = 0; i < 2; ++i) {
+        EXPECT_GE(
+            reference.globalCsrCoverage()->newlyHit(),
+            reference.shard(i).campaign().csrModel()->newlyHit());
+        EXPECT_GE(reference.globalHitCoverage()->newlyHit(),
+                  reference.shard(i)
+                      .campaign()
+                      .hitCountModel()
+                      ->newlyHit());
+    }
+
+    // Kill after 2 epochs, then resume a fresh orchestrator from the
+    // on-disk checkpoint; the combined run must match uninterrupted.
+    {
+        FleetConfig fc = config(true);
+        fc.haltAfterEpochs = 2;
+        FleetOrchestrator killed(fc, copts, fuzzerOpts(), &lib());
+        killed.run();
+    }
+    std::string error;
+    const auto snap = soc::Snapshot::tryLoadFile(path, &error);
+    ASSERT_TRUE(snap.has_value()) << error;
+    FleetOrchestrator resumed(config(false), copts, fuzzerOpts(),
+                              &lib());
+    ASSERT_TRUE(resumed.restoreCheckpoint(*snap, &error)) << error;
+    const FleetResult final_result = resumed.run();
+
+    EXPECT_EQ(final_result.mergedFinalCoverage,
+              ref_result.mergedFinalCoverage);
+    EXPECT_EQ(final_result.totals.iterations,
+              ref_result.totals.iterations);
+    EXPECT_EQ(final_result.totals.executedInstrs,
+              ref_result.totals.executedInstrs);
+    EXPECT_EQ(resumed.globalCsrCoverage()->newlyHit(),
+              reference.globalCsrCoverage()->newlyHit());
+    EXPECT_EQ(resumed.globalHitCoverage()->newlyHit(),
+              reference.globalHitCoverage()->newlyHit());
+
+    // A default-configured fleet refuses this checkpoint: its model
+    // census disagrees.
+    FleetOrchestrator plain(fleetConfig(2, 4.0, 1.0, 17), copts,
+                            fuzzerOpts(), &lib());
+    EXPECT_FALSE(plain.restoreCheckpoint(*snap, &error));
+    EXPECT_NE(error.find("coverage-model"), std::string::npos);
+    std::remove(path.c_str());
 }
 
 /**

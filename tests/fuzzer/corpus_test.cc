@@ -111,8 +111,9 @@ TEST(Corpus, PrioritizedSelectionPrefersHighIncrement)
     int high = 0;
     const int trials = 4000;
     for (int t = 0; t < trials; ++t) {
-        const Seed &s = c.select(rng, {3, 4});
-        if (s.coverageIncrement >= 70) // top quartile: ids 7, 8
+        const Seed *s = c.trySelect(rng, {3, 4});
+        ASSERT_NE(s, nullptr);
+        if (s->coverageIncrement >= 70) // top quartile: ids 7, 8
             ++high;
     }
     // 3/4 prioritized (always top quartile) + 1/4 uniform (2/8).
@@ -128,7 +129,7 @@ TEST(Corpus, UniformSelectionWhenNotPrioritizing)
     Rng rng(3);
     std::map<uint64_t, int> hits;
     for (int t = 0; t < 4000; ++t)
-        hits[c.select(rng, {0, 1}).id]++;
+        hits[c.trySelect(rng, {0, 1})->id]++;
     for (uint64_t i = 1; i <= 4; ++i)
         EXPECT_NEAR(hits[i] / 4000.0, 0.25, 0.05) << i;
 }
@@ -158,7 +159,7 @@ TEST(Corpus, PrioritizedSelectionDistributionUnchanged)
     std::map<uint64_t, int> hits;
     const int trials = 20000;
     for (int t = 0; t < trials; ++t)
-        hits[c.select(rng, {3, 4}).id]++;
+        hits[c.trySelect(rng, {3, 4})->id]++;
 
     const double top_p = 0.75 / 2.0 + 0.25 / 8.0;
     const double low_p = 0.25 / 8.0;
@@ -297,11 +298,56 @@ TEST(Corpus, ImportIntoFullCorpusEvictsWeakest)
     EXPECT_TRUE(has_import);
 }
 
-TEST(Corpus, SelectFromEmptyPanics)
+TEST(Corpus, SelectFromEmptyReturnsNull)
 {
+    // Satellite hardening: an empty corpus is a recoverable
+    // condition (misconfigured campaign), not a process abort — the
+    // caller turns the nullptr into a diagnostic.
     Corpus c(2, SchedulingPolicy::Fifo);
     Rng rng(1);
-    EXPECT_DEATH((void)c.select(rng), "empty corpus");
+    EXPECT_EQ(c.trySelect(rng), nullptr);
+    Corpus guided(2, SchedulingPolicy::CoverageGuided);
+    EXPECT_EQ(guided.trySelect(rng, {3, 4}), nullptr);
+
+    // Once a seed arrives, selection works again.
+    guided.offer(seedWithId(1), 5);
+    const Seed *s = guided.trySelect(rng, {3, 4});
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(s->id, 1u);
+}
+
+TEST(Corpus, FindSeedById)
+{
+    Corpus c(2, SchedulingPolicy::CoverageGuided);
+    c.offer(seedWithId(1), 10);
+    c.offer(seedWithId(2), 20);
+    ASSERT_NE(c.findSeed(2), nullptr);
+    EXPECT_EQ(c.findSeed(2)->coverageIncrement, 20u);
+    EXPECT_EQ(c.findSeed(99), nullptr);
+    // Eviction invalidates the id.
+    EXPECT_TRUE(c.offer(seedWithId(3), 30)); // evicts seed 1
+    EXPECT_EQ(c.findSeed(1), nullptr);
+    ASSERT_NE(c.findSeed(3), nullptr);
+}
+
+TEST(Corpus, PrioritizeUniformSplitMatchesProbability)
+{
+    // Statistical pin of the dual-strategy split itself: with
+    // prioritize probability p, the top-quartile set (2 of 8 seeds)
+    // receives p + (1-p) * 2/8 of the picks. Checked at p = 1/2 so
+    // both branches contribute comparably.
+    Corpus c(8, SchedulingPolicy::CoverageGuided);
+    for (uint64_t i = 1; i <= 8; ++i)
+        c.offer(seedWithId(i), i * 10);
+    Rng rng(23);
+    int top = 0;
+    const int trials = 20000;
+    for (int t = 0; t < trials; ++t) {
+        if (c.trySelect(rng, {1, 2})->coverageIncrement >= 70)
+            ++top;
+    }
+    const double expected = 0.5 + 0.5 * 2.0 / 8.0;
+    EXPECT_NEAR(static_cast<double>(top) / trials, expected, 0.02);
 }
 
 TEST(Seed, ContentHashIgnoresSchedulingMetadata)

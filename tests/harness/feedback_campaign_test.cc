@@ -1,0 +1,259 @@
+/**
+ * @file
+ * Campaign-level tests of the pluggable feedback layer: default-path
+ * equivalence, non-default models end-to-end, and checkpointing of
+ * model + scheduler state.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fuzzer/generator.hh"
+#include "harness/campaign.hh"
+#include "soc/snapshot.hh"
+
+namespace turbofuzz::harness
+{
+namespace
+{
+
+isa::InstructionLibrary &
+lib()
+{
+    static isa::InstructionLibrary l = makeDefaultLibrary();
+    return l;
+}
+
+std::unique_ptr<fuzzer::TurboFuzzGenerator>
+makeGen(uint64_t seed, fuzzer::SchedulerKind sched =
+                           fuzzer::SchedulerKind::Static)
+{
+    fuzzer::FuzzerOptions o;
+    o.seed = seed;
+    o.instrsPerIteration = 1000;
+    o.scheduler = sched;
+    return std::make_unique<fuzzer::TurboFuzzGenerator>(o, &lib());
+}
+
+/** Everything a campaign's observable outcome comprises. */
+struct Outcome
+{
+    uint64_t coverage;
+    uint64_t executed;
+    uint64_t generated;
+    uint64_t iterations;
+    uint64_t mismatches;
+
+    bool
+    operator==(const Outcome &o) const
+    {
+        return coverage == o.coverage && executed == o.executed &&
+               generated == o.generated &&
+               iterations == o.iterations &&
+               mismatches == o.mismatches;
+    }
+};
+
+Outcome
+outcomeOf(Campaign &c)
+{
+    return {c.coverageMap().totalCovered(), c.executedInstructions(),
+            c.generatedInstructions(), c.iterations(),
+            c.mismatchedIterations()};
+}
+
+/**
+ * Acceptance: the composite wrapper is increment-neutral. A
+ * Composite configuration whose only weighted signal is the mux map
+ * must reproduce the default (Mux) campaign bit-exactly — same
+ * coverage, same executed stream, same mismatch set — across batch
+ * sizes and with warm start on and off, including on a buggy core.
+ */
+TEST(FeedbackCampaign, MuxWeightedCompositeMatchesDefaultBitExactly)
+{
+    for (const uint64_t batch : {uint64_t{1}, uint64_t{64}}) {
+        for (const bool warm : {false, true}) {
+            auto opts = CampaignOptions{};
+            opts.timing = soc::turboFuzzProfile();
+            opts.coreKind = core::CoreKind::Cva6;
+            opts.bugs = core::BugSet::single(core::BugId::C5);
+            opts.batchSize = batch;
+            opts.warmStart = warm;
+
+            Campaign plain(opts, makeGen(21));
+            plain.run(3.0);
+
+            opts.coverageModel =
+                coverage::CoverageModelKind::Composite;
+            opts.feedbackWeightMux = 1;
+            opts.feedbackWeightCsr = 0;
+            opts.feedbackWeightHit = 0;
+            Campaign composite(opts, makeGen(21));
+            composite.run(3.0);
+
+            EXPECT_TRUE(outcomeOf(plain) == outcomeOf(composite))
+                << "batch " << batch << " warm " << warm;
+            // The muted models were still swept.
+            ASSERT_NE(composite.csrModel(), nullptr);
+            EXPECT_GT(composite.csrModel()->newlyHit(), 0u);
+            EXPECT_GT(composite.hitCountModel()->newlyHit(), 0u);
+        }
+    }
+}
+
+TEST(FeedbackCampaign, CsrModelSchedulesOnCsrSignal)
+{
+    auto opts = CampaignOptions{};
+    opts.timing = soc::turboFuzzProfile();
+    opts.coverageModel = coverage::CoverageModelKind::Csr;
+    Campaign c(opts, makeGen(22));
+    c.run(2.0);
+
+    ASSERT_NE(c.csrModel(), nullptr);
+    EXPECT_EQ(c.hitCountModel(), nullptr);
+    EXPECT_EQ(c.feedbackModel().modelName(), "composite");
+    // The CSR signal fired (exception templates guarantee traps and
+    // CSR traffic), and the mux map — the reported metric — still
+    // accumulated normally.
+    EXPECT_GT(c.csrModel()->newlyHit(), 0u);
+    EXPECT_GT(c.coverageMap().totalCovered(), 0u);
+}
+
+TEST(FeedbackCampaign, HitCountModelSchedulesOnEdgeSignal)
+{
+    auto opts = CampaignOptions{};
+    opts.timing = soc::turboFuzzProfile();
+    opts.coverageModel = coverage::CoverageModelKind::HitCount;
+    Campaign c(opts, makeGen(23));
+    c.run(2.0);
+
+    EXPECT_EQ(c.csrModel(), nullptr);
+    ASSERT_NE(c.hitCountModel(), nullptr);
+    EXPECT_GT(c.hitCountModel()->newlyHit(), 0u);
+    EXPECT_GT(c.coverageMap().totalCovered(), 0u);
+}
+
+TEST(FeedbackCampaign, ModelRunsAreDeterministic)
+{
+    auto run_once = [](coverage::CoverageModelKind kind,
+                       fuzzer::SchedulerKind sched) {
+        auto opts = CampaignOptions{};
+        opts.timing = soc::turboFuzzProfile();
+        opts.coverageModel = kind;
+        Campaign c(opts, makeGen(31, sched));
+        c.run(2.0);
+        return std::make_tuple(c.coverageMap().totalCovered(),
+                               c.executedInstructions(),
+                               c.feedbackModel().newlyHit());
+    };
+    for (const auto kind : {coverage::CoverageModelKind::Csr,
+                            coverage::CoverageModelKind::HitCount,
+                            coverage::CoverageModelKind::Composite}) {
+        for (const auto sched : {fuzzer::SchedulerKind::Static,
+                                 fuzzer::SchedulerKind::Bandit}) {
+            EXPECT_EQ(run_once(kind, sched), run_once(kind, sched));
+        }
+    }
+}
+
+/**
+ * Checkpoint/resume with auxiliary models and the bandit scheduler:
+ * the resumed campaign's trajectory — including the model states the
+ * corpus schedules on — matches the uninterrupted one.
+ */
+TEST(FeedbackCampaign, CheckpointResumeCarriesModelAndScheduler)
+{
+    auto opts = CampaignOptions{};
+    opts.timing = soc::turboFuzzProfile();
+    opts.coverageModel = coverage::CoverageModelKind::Composite;
+    opts.feedbackWeightCsr = 4;
+
+    Campaign whole(opts,
+                   makeGen(41, fuzzer::SchedulerKind::Bandit));
+    for (int i = 0; i < 12; ++i)
+        whole.runIteration();
+
+    soc::SnapshotWriter w;
+    ASSERT_TRUE(whole.saveState(w));
+    const auto image = w.buffer();
+
+    Campaign resumed(opts,
+                     makeGen(41, fuzzer::SchedulerKind::Bandit));
+    soc::SnapshotReader r(image);
+    std::string error;
+    ASSERT_TRUE(resumed.loadState(r, &error)) << error;
+    ASSERT_TRUE(r.exhausted());
+
+    EXPECT_EQ(resumed.csrModel()->newlyHit(),
+              whole.csrModel()->newlyHit());
+    EXPECT_EQ(resumed.hitCountModel()->newlyHit(),
+              whole.hitCountModel()->newlyHit());
+
+    for (int i = 0; i < 12; ++i) {
+        const IterationResult a = whole.runIteration();
+        const IterationResult b = resumed.runIteration();
+        ASSERT_EQ(b.newCoverage, a.newCoverage) << "iteration " << i;
+        ASSERT_EQ(b.executedTotal, a.executedTotal);
+    }
+    EXPECT_TRUE(outcomeOf(whole) == outcomeOf(resumed));
+    EXPECT_EQ(resumed.csrModel()->newlyHit(),
+              whole.csrModel()->newlyHit());
+}
+
+TEST(FeedbackCampaign, CheckpointModelMismatchRejected)
+{
+    auto opts = CampaignOptions{};
+    opts.timing = soc::turboFuzzProfile();
+    opts.coverageModel = coverage::CoverageModelKind::Composite;
+    Campaign donor(opts, makeGen(51));
+    for (int i = 0; i < 3; ++i)
+        donor.runIteration();
+    soc::SnapshotWriter w;
+    ASSERT_TRUE(donor.saveState(w));
+
+    // A default (Mux) campaign refuses the composite checkpoint with
+    // a diagnostic instead of misparsing the extra model state.
+    auto mux_opts = CampaignOptions{};
+    mux_opts.timing = soc::turboFuzzProfile();
+    Campaign victim(mux_opts, makeGen(51));
+    soc::SnapshotReader r(w.buffer());
+    std::string error;
+    EXPECT_FALSE(victim.loadState(r, &error));
+    EXPECT_NE(error.find("coverage-model"), std::string::npos);
+
+    // Crossed single-model kinds (csr checkpoint, edges campaign):
+    // same model count, but the census distinguishes the kinds.
+    auto csr_opts = CampaignOptions{};
+    csr_opts.timing = soc::turboFuzzProfile();
+    csr_opts.coverageModel = coverage::CoverageModelKind::Csr;
+    Campaign csr_donor(csr_opts, makeGen(52));
+    csr_donor.runIteration();
+    soc::SnapshotWriter w2;
+    ASSERT_TRUE(csr_donor.saveState(w2));
+    auto edge_opts = CampaignOptions{};
+    edge_opts.timing = soc::turboFuzzProfile();
+    edge_opts.coverageModel = coverage::CoverageModelKind::HitCount;
+    Campaign crossed(edge_opts, makeGen(52));
+    soc::SnapshotReader r2(w2.buffer());
+    EXPECT_FALSE(crossed.loadState(r2, &error));
+    EXPECT_NE(error.find("census"), std::string::npos);
+}
+
+TEST(FeedbackCampaign, CheckpointSchedulerMismatchRejected)
+{
+    auto opts = CampaignOptions{};
+    opts.timing = soc::turboFuzzProfile();
+    Campaign donor(opts, makeGen(53, fuzzer::SchedulerKind::Bandit));
+    donor.runIteration();
+    soc::SnapshotWriter w;
+    ASSERT_TRUE(donor.saveState(w));
+
+    Campaign victim(opts,
+                    makeGen(53, fuzzer::SchedulerKind::Static));
+    soc::SnapshotReader r(w.buffer());
+    std::string error;
+    EXPECT_FALSE(victim.loadState(r, &error));
+    EXPECT_NE(error.find("scheduler"), std::string::npos);
+}
+
+} // namespace
+} // namespace turbofuzz::harness

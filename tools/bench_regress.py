@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Bench-regression gate over google-benchmark JSON output.
+
+Compares the committed baseline (bench/baselines/) against a freshly
+produced BENCH_micro_throughput.json and fails (exit 1) when any
+throughput benchmark's commits/sec (the `items_per_second` counter)
+drops by more than --max-drop relative to the baseline. Benchmarks
+without an items_per_second counter are timing microbenches and are
+reported but not gated (wall-time noise on shared CI runners is far
+above 10%; the committed-instruction rates aggregate enough work to
+be stable).
+
+Refresh the baseline whenever the CI runner hardware class changes or
+a deliberate perf trade-off is accepted:
+
+    ./micro_throughput --benchmark_out=BENCH_micro_throughput.json \
+        --benchmark_out_format=json --benchmark_min_time=0.2
+    cp BENCH_micro_throughput.json bench/baselines/
+
+Usage: bench_regress.py BASELINE.json CURRENT.json [--max-drop 0.10]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_rates(path):
+    with open(path) as f:
+        doc = json.load(f)
+    rates = {}
+    for bench in doc.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        rate = bench.get("items_per_second")
+        if rate is not None and rate > 0:
+            rates[bench["name"]] = rate
+    return rates
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument(
+        "--max-drop",
+        type=float,
+        default=0.10,
+        help="maximum tolerated relative commits/sec drop (default 0.10)",
+    )
+    args = parser.parse_args()
+
+    baseline = load_rates(args.baseline)
+    current = load_rates(args.current)
+    if not baseline:
+        print(f"error: no items_per_second entries in {args.baseline}")
+        return 1
+
+    failures = []
+    missing = []
+    width = max(len(n) for n in baseline)
+    print(f"{'benchmark':<{width}}  {'baseline':>12}  {'current':>12}  delta")
+    for name in sorted(baseline):
+        base = baseline[name]
+        cur = current.get(name)
+        if cur is None:
+            missing.append(name)
+            print(f"{name:<{width}}  {base:>12.0f}  {'MISSING':>12}")
+            continue
+        delta = (cur - base) / base
+        flag = ""
+        if delta < -args.max_drop:
+            failures.append((name, delta))
+            flag = "  << REGRESSION"
+        print(
+            f"{name:<{width}}  {base:>12.0f}  {cur:>12.0f}  "
+            f"{delta:+7.1%}{flag}"
+        )
+
+    new_names = sorted(set(current) - set(baseline))
+    for name in new_names:
+        print(f"{name:<{width}}  {'(new)':>12}  {current[name]:>12.0f}")
+
+    if missing:
+        print(f"\nerror: benchmarks missing from current run: {missing}")
+        return 1
+    if failures:
+        drops = ", ".join(f"{n} ({d:+.1%})" for n, d in failures)
+        print(
+            f"\nerror: commits/sec regressed more than "
+            f"{args.max_drop:.0%} vs baseline: {drops}"
+        )
+        return 1
+    print(f"\nok: no benchmark dropped more than {args.max_drop:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
