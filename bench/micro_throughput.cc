@@ -163,6 +163,61 @@ BENCHMARK(BM_EngineIterationBatch)
     ->Unit(benchmark::kMicrosecond);
 
 /**
+ * Per-stage engine time breakdown via the telemetry stage
+ * instruments: full campaign iterations with stageTiming enabled, at
+ * batch 1 (the classic lockstep loop) and batch 64 (the default).
+ * The reported counters are the share of engine time each pipeline
+ * stage consumed (dut/ref/diff/sweep, in percent) — the breakdown
+ * behind the batching speedup: larger batches amortize per-batch
+ * stage entry costs and shift time into the fused sweep.
+ * items_per_second reports committed instructions per host second
+ * *with timing on*, i.e. the stage-timing overhead is visible as the
+ * gap to BM_EngineIterationBatch at the same batch size.
+ */
+void
+BM_EngineStageBreakdown(benchmark::State &state)
+{
+    static isa::InstructionLibrary lib = harness::makeDefaultLibrary();
+    auto opts = harness::CampaignOptions{};
+    opts.timing = soc::turboFuzzProfile();
+    opts.batchSize = static_cast<uint64_t>(state.range(0));
+    opts.stageTiming = true;
+    fuzzer::FuzzerOptions fopts;
+    fopts.instrsPerIteration = 1000;
+    harness::Campaign campaign(
+        opts,
+        std::make_unique<fuzzer::TurboFuzzGenerator>(fopts, &lib));
+    uint64_t commits = 0;
+    for (auto _ : state) {
+        const harness::IterationResult r = campaign.runIteration();
+        commits += r.executedTotal;
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(commits));
+
+    const telemetry::MetricsSnapshot snap =
+        campaign.metrics().snapshot();
+    const double dut =
+        static_cast<double>(snap.counterValue("engine.batch.dut_ns"));
+    const double ref =
+        static_cast<double>(snap.counterValue("engine.batch.ref_ns"));
+    const double diff = static_cast<double>(
+        snap.counterValue("engine.batch.diff_ns"));
+    const double sweep = static_cast<double>(
+        snap.counterValue("engine.batch.sweep_ns"));
+    const double total = dut + ref + diff + sweep;
+    if (total > 0.0) {
+        state.counters["dut_pct"] = 100.0 * dut / total;
+        state.counters["ref_pct"] = 100.0 * ref / total;
+        state.counters["diff_pct"] = 100.0 * diff / total;
+        state.counters["sweep_pct"] = 100.0 * sweep / total;
+    }
+}
+BENCHMARK(BM_EngineStageBreakdown)
+    ->Arg(1)
+    ->Arg(64)
+    ->Unit(benchmark::kMicrosecond);
+
+/**
  * The acceptance benchmark of snapshot warm-start: full campaign
  * iterations with (arg=1) and without (arg=0) the post-preamble
  * snapshot restore. items_per_second reports committed instructions

@@ -9,6 +9,9 @@
  *                [--scheduler=static|bandit]
  *                [--checkpoint-every=N --checkpoint-path=FILE]
  *                [--halt-after=N] [--resume-from=FILE]
+ *                [--stats-file=FILE --stats-every=SEC]
+ *                [--trace-out=FILE --trace-sample=N]
+ *                [--stage-timing]
  *
  * Each shard models one FPGA board running the complete on-fabric
  * TurboFuzz loop; the host synchronizes them once per epoch. See
@@ -17,6 +20,14 @@
  * barriers; `--halt-after=N` simulates a killed fleet, and
  * `--resume-from=FILE` continues it — producing results identical to
  * an uninterrupted run (docs/snapshot.md).
+ *
+ * Telemetry (docs/telemetry.md): `--stats-file` appends one JSONL
+ * metrics line per epoch barrier (or per `--stats-every` simulated
+ * seconds), `--trace-out` writes a Chrome/Perfetto trace of every
+ * `--trace-sample`-th iteration's pipeline stages, and
+ * `--stage-timing` turns on per-stage nanosecond counters (implied
+ * by `--trace-out`). Any of these also appends a merged fleet
+ * metrics table to the summary.
  */
 
 #include <cstdio>
@@ -86,5 +97,12 @@ main(int argc, char **argv)
     std::printf("\n");
 
     fleet::printFleetSummary(result);
+
+    // Telemetry is opt-in; the default summary stays byte-identical
+    // to builds without it.
+    const bool telemetry_on = !fc.statsFile.empty() ||
+                              !fc.traceOut.empty() || fc.stageTiming;
+    if (telemetry_on)
+        fleet::printFleetMetrics(result.metrics);
     return 0;
 }

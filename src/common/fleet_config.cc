@@ -136,6 +136,24 @@ FleetConfig::fromConfig(const Config &cfg)
               static_cast<long long>(halt_after));
     fc.haltAfterEpochs = static_cast<uint32_t>(halt_after);
 
+    fc.statsFile = cfg.getString("stats-file", "");
+    fc.statsEverySec = cfg.getDouble("stats-every", 0.0);
+    if (fc.statsEverySec < 0.0)
+        fatal("stats-every must be >= 0");
+    if (fc.statsEverySec > 0.0 && fc.statsFile.empty())
+        fatal("stats-every requires stats-file");
+
+    fc.traceOut = cfg.getString("trace-out", "");
+    const int64_t trace_sample = cfg.getInt("trace-sample", 1);
+    if (trace_sample < 1)
+        fatal("trace-sample must be >= 1 (got %lld)",
+              static_cast<long long>(trace_sample));
+    fc.traceSampleEvery = static_cast<uint64_t>(trace_sample);
+    // Tracing without per-stage counters would make the capture much
+    // less useful (spans but no totals), so trace-out implies timing.
+    fc.stageTiming =
+        cfg.getBool("stage-timing", false) || !fc.traceOut.empty();
+
     return fc;
 }
 

@@ -122,6 +122,26 @@ struct FleetConfig
      */
     uint32_t haltAfterEpochs = 0;
 
+    /**
+     * Telemetry (docs/telemetry.md). All observational: enabling any
+     * of these must not change coverage, mismatches or stimulus (the
+     * determinism contract, enforced by tests/telemetry/).
+     *
+     * statsFile: append one "turbofuzz.metrics.v1" JSONL line of
+     * merged fleet metrics per statsEverySec simulated seconds
+     * (emitted at the epoch barriers that cross the cadence; empty =
+     * off). traceOut: write a Chrome trace-event JSON file of stage
+     * spans at the end of run() (empty = off); traceSampleEvery
+     * records every Nth iteration's spans. stageTiming: per-stage
+     * engine duration counters (engine.batch.*_ns); implied by
+     * traceOut.
+     */
+    std::string statsFile;
+    double statsEverySec = 0.0; ///< 0 = every epoch barrier
+    std::string traceOut;
+    uint64_t traceSampleEvery = 1;
+    bool stageTiming = false;
+
     /** Per-shard RNG seed; shardSeed(0) == fleetSeed. */
     uint64_t shardSeed(unsigned shard_idx) const;
 
@@ -135,7 +155,8 @@ struct FleetConfig
      * Build from a parsed command line: fleet-seed, shards, epoch,
      * budget, top-k, topology (none|ring|broadcast), sync-cost,
      * threads, coverage-model (mux|csr|edges|composite), scheduler
-     * (static|bandit).
+     * (static|bandit), stats-file, stats-every, trace-out,
+     * trace-sample, stage-timing.
      */
     static FleetConfig fromConfig(const Config &cfg);
 };

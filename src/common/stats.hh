@@ -9,10 +9,11 @@
 #ifndef TURBOFUZZ_COMMON_STATS_HH
 #define TURBOFUZZ_COMMON_STATS_HH
 
-#include <chrono>
 #include <cstdint>
 #include <string>
 #include <vector>
+
+#include "telemetry/clock.hh"
 
 namespace turbofuzz::soc
 {
@@ -126,18 +127,21 @@ double geomean(const std::vector<double> &values);
  * Wall-clock (host-time) throughput accumulator. The campaign and
  * fleet report *simulated* time everywhere else; this meter is the
  * one place real elapsed time enters, so actual speedups of the
- * execution engine are visible in fleet summaries and benches.
+ * execution engine are visible in fleet summaries and benches. It
+ * measures on the telemetry timebase (telemetry::WallClock), the
+ * same clock trace spans and stage counters read.
  */
 class ThroughputMeter
 {
   public:
-    ThroughputMeter() { restart(); }
+    ThroughputMeter() = default;
 
     /** Zero the counters and restart the clock. */
     void
     restart()
     {
-        start = std::chrono::steady_clock::now();
+        clock.restart();
+        frozenNs = 0;
         stopped = false;
         commitCount = 0;
         iterCount = 0;
@@ -151,7 +155,7 @@ class ThroughputMeter
     void
     stop()
     {
-        end = std::chrono::steady_clock::now();
+        frozenNs = clock.elapsedNs();
         stopped = true;
     }
 
@@ -166,9 +170,8 @@ class ThroughputMeter
     double
     elapsedSec() const
     {
-        const auto at =
-            stopped ? end : std::chrono::steady_clock::now();
-        return std::chrono::duration<double>(at - start).count();
+        const uint64_t ns = stopped ? frozenNs : clock.elapsedNs();
+        return static_cast<double>(ns) * 1e-9;
     }
 
     /** Committed instructions per host second (0 before any time
@@ -179,8 +182,8 @@ class ThroughputMeter
     double itersPerSec() const;
 
   private:
-    std::chrono::steady_clock::time_point start;
-    std::chrono::steady_clock::time_point end;
+    telemetry::WallClock clock;
+    uint64_t frozenNs = 0;
     bool stopped = false;
     uint64_t commitCount = 0;
     uint64_t iterCount = 0;

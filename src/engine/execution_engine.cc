@@ -92,6 +92,13 @@ ExecutionEngine::runIteration(const IterationPolicy &p,
     uint64_t stepped = 0;
     uint64_t stepped_traps = 0;
 
+    // Stage instrument pointers, resolved once per iteration. A null
+    // Hooks::instruments (the default) keeps every stage free of
+    // clock reads; a null Hooks::trace keeps it free of span events.
+    const telemetry::EngineInstruments noop_instruments;
+    const telemetry::EngineInstruments &ins =
+        h.instruments ? *h.instruments : noop_instruments;
+
     if (warm) {
         // Warm prologue: restore the post-prefix lockstep state and
         // replay the captured prefix commits through the sweep stage
@@ -107,6 +114,8 @@ ExecutionEngine::runIteration(const IterationPolicy &p,
         // advances the commit counter, so neither may the skip.
         if (per_instr)
             checker_->skipCommits(warm->prefixCommits());
+        telemetry::ScopedStage stage(h.trace, ins.sweepNs,
+                                     "engine.fused_sweep");
         sweepStage(warm->prefixTrace.data(), warm->prefixCommits(),
                    p, h, out);
         stepped = warm->prefixCommits();
@@ -123,52 +132,67 @@ ExecutionEngine::runIteration(const IterationPolicy &p,
 
     bool stop = false;
     while (!stop) {
+        if (ins.batches)
+            ins.batches->add(1);
+
         // --- stage 1: DUT batch -----------------------------------
         dutTrace.clear();
         core::ArchState dut_saved;
-        if (rewindable) {
-            dut_saved = dut_->state();
-            dutJournal.clear();
-            dut_->memory().setJournal(&dutJournal);
-        }
         bool stop_hit = false;
-        const uint64_t fill = dut_->stepMany(
-            dutTrace, batch, [&](const core::CommitInfo &ci) {
-                ++stepped;
-                if (ci.trapped)
-                    ++stepped_traps;
-                const uint64_t pc = dut_->state().pc;
-                if (pc >= p.codeBoundary && pc < p.handlerBase)
-                    return stop_hit = true; // clean end
-                if (ci.trapped && !p.resumeTraps)
-                    return stop_hit = true; // first trap ends it
-                if (stepped_traps > p.trapStormLimit)
-                    return stop_hit = true; // exception storm
-                if (stepped >= p.stepCap)
-                    return stop_hit = true; // runaway protection
-                return false;
-            });
-        if (rewindable)
-            dut_->memory().setJournal(nullptr);
+        uint64_t fill = 0;
+        {
+            telemetry::ScopedStage stage(h.trace, ins.dutNs,
+                                         "engine.dut_batch");
+            if (rewindable) {
+                dut_saved = dut_->state();
+                dutJournal.clear();
+                dut_->memory().setJournal(&dutJournal);
+            }
+            fill = dut_->stepMany(
+                dutTrace, batch, [&](const core::CommitInfo &ci) {
+                    ++stepped;
+                    if (ci.trapped)
+                        ++stepped_traps;
+                    const uint64_t pc = dut_->state().pc;
+                    if (pc >= p.codeBoundary && pc < p.handlerBase)
+                        return stop_hit = true; // clean end
+                    if (ci.trapped && !p.resumeTraps)
+                        return stop_hit = true; // first trap ends it
+                    if (stepped_traps > p.trapStormLimit)
+                        return stop_hit = true; // exception storm
+                    if (stepped >= p.stepCap)
+                        return stop_hit = true; // runaway protection
+                    return false;
+                });
+            if (rewindable)
+                dut_->memory().setJournal(nullptr);
+        }
         stop = stop_hit;
 
         // --- stage 2: REF batch (blind mirror of the commit count) -
         refTrace.clear();
         core::ArchState ref_saved;
-        if (rewindable) {
-            ref_saved = ref_->state();
-            refJournal.clear();
-            ref_->memory().setJournal(&refJournal);
+        {
+            telemetry::ScopedStage stage(h.trace, ins.refNs,
+                                         "engine.ref_mirror");
+            if (rewindable) {
+                ref_saved = ref_->state();
+                refJournal.clear();
+                ref_->memory().setJournal(&refJournal);
+            }
+            ref_->stepMany(
+                refTrace, fill,
+                [](const core::CommitInfo &) { return false; });
+            if (rewindable)
+                ref_->memory().setJournal(nullptr);
         }
-        ref_->stepMany(refTrace, fill,
-                       [](const core::CommitInfo &) { return false; });
-        if (rewindable)
-            ref_->memory().setJournal(nullptr);
 
         // --- stage 3: batch diff ----------------------------------
         uint64_t limit = fill;
         std::optional<checker::Mismatch> mm;
         if (per_instr) {
+            telemetry::ScopedStage stage(h.trace, ins.diffNs,
+                                         "engine.trace_diff");
             const uint64_t batch_checker_start =
                 checker_->commitsChecked();
             mm = checker_->compareTrace(dutTrace.data(),
@@ -178,12 +202,18 @@ ExecutionEngine::runIteration(const IterationPolicy &p,
         }
 
         // --- stage 4: sweep (driver + coverage + counters) --------
-        sweepStage(dutTrace.data(), limit, p, h, out);
+        {
+            telemetry::ScopedStage stage(h.trace, ins.sweepNs,
+                                         "engine.fused_sweep");
+            sweepStage(dutTrace.data(), limit, p, h, out);
+        }
 
         if (mm) {
             // Rewind the phantom commits past the divergence so hart
             // and memory state match the lockstep loop bit-exactly.
             if (limit < fill) {
+                if (ins.rewinds)
+                    ins.rewinds->add(1);
                 rewind(dut_, dut_saved, dutJournal, limit);
                 rewind(ref_, ref_saved, refJournal, limit);
             }
@@ -194,6 +224,8 @@ ExecutionEngine::runIteration(const IterationPolicy &p,
     }
 
     if (!per_instr) {
+        telemetry::ScopedStage stage(h.trace, ins.diffNs,
+                                     "engine.trace_diff");
         if (auto mm = checker_->compareFinalState(dut_->state(),
                                                   ref_->state())) {
             out.mismatch = *mm;

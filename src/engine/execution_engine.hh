@@ -48,6 +48,8 @@
 #include "core/iss.hh"
 #include "coverage/feedback_model.hh"
 #include "rtl/driver.hh"
+#include "telemetry/instruments.hh"
+#include "telemetry/trace.hh"
 
 namespace turbofuzz::engine
 {
@@ -126,6 +128,16 @@ class ExecutionEngine
         coverage::FeedbackModel *coverage = nullptr;
         const std::function<void(const core::CommitInfo &)>
             *observer = nullptr;
+
+        /**
+         * Per-stage duration counters (engine.batch.*_ns). Null (the
+         * default) skips the per-stage clock reads entirely; the
+         * campaign binds these only when stage timing is requested.
+         */
+        const telemetry::EngineInstruments *instruments = nullptr;
+
+        /** Stage span sink for this iteration; null = untraced. */
+        telemetry::TraceRecorder *trace = nullptr;
     };
 
     /**

@@ -59,4 +59,40 @@ printFleetSummary(const FleetResult &result)
     }
 }
 
+void
+printFleetMetrics(const telemetry::MetricsSnapshot &metrics)
+{
+    std::printf("\nmetrics:\n");
+    if (metrics.entries().empty()) {
+        std::printf("  (no instruments registered)\n");
+        return;
+    }
+    TablePrinter table({"instrument", "value"});
+    for (const auto &[name, value] : metrics.entries()) {
+        std::string shown;
+        switch (value.kind) {
+          case telemetry::MetricKind::Counter:
+            shown = TablePrinter::integer(value.counter);
+            break;
+          case telemetry::MetricKind::Gauge:
+            shown = TablePrinter::integer(value.gauge);
+            break;
+          case telemetry::MetricKind::Histogram: {
+            const telemetry::HistogramValue &h = value.histogram;
+            shown = "n=" + TablePrinter::integer(h.count) +
+                    " mean=" +
+                    TablePrinter::num(
+                        h.count ? static_cast<double>(h.sum) /
+                                      static_cast<double>(h.count)
+                                : 0.0,
+                        1) +
+                    " max=" + TablePrinter::integer(h.max);
+            break;
+          }
+        }
+        table.addRow({name, shown});
+    }
+    table.print();
+}
+
 } // namespace turbofuzz::fleet

@@ -16,6 +16,7 @@
 #include "checker/diff_checker.hh"
 #include "common/concurrent_stats.hh"
 #include "common/stats.hh"
+#include "telemetry/metrics.hh"
 #include "triage/triage_queue.hh"
 
 namespace turbofuzz::fleet
@@ -82,10 +83,27 @@ struct FleetResult
      */
     double hostCommitsPerSec = 0.0;
     double hostItersPerSec = 0.0;
+
+    /**
+     * End-of-run merged telemetry: every shard registry plus the
+     * orchestrator's own, combined with MetricsSnapshot::merge
+     * (counters add, gauges add, histograms union). Always populated
+     * — the metrics hot path is on whether or not a reporter
+     * consumes it.
+     */
+    telemetry::MetricsSnapshot metrics;
 };
 
 /** Print a human-readable summary table of a fleet run. */
 void printFleetSummary(const FleetResult &result);
+
+/**
+ * Print the end-of-run metrics section (fleet summaries stay
+ * byte-identical without telemetry flags; callers print this only
+ * when telemetry output was requested). Histograms are shown as
+ * count/mean/max.
+ */
+void printFleetMetrics(const telemetry::MetricsSnapshot &metrics);
 
 } // namespace turbofuzz::fleet
 

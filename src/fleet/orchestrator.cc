@@ -21,6 +21,25 @@ FleetOrchestrator::FleetOrchestrator(
     TF_ASSERT(cfg.shardCount >= 1, "fleet needs at least one shard");
     TF_ASSERT(library != nullptr, "fleet requires a library");
 
+    // Telemetry wiring happens before shard construction so shard
+    // campaigns can capture the recorder pointer. All of it is
+    // observational: tracing/stats on vs off yields identical
+    // coverage, mismatches and stimulus (tests/telemetry/).
+    if (!cfg.traceOut.empty()) {
+        trace_ = std::make_unique<telemetry::TraceRecorder>(
+            cfg.traceSampleEvery);
+    }
+    mEpochs = fleetMetrics.counter("fleet.epochs");
+    mBarrierNs = fleetMetrics.counter("fleet.barrier_ns");
+    mCheckpoints = fleetMetrics.counter("fleet.checkpoints");
+    mStatsEmits = fleetMetrics.counter("fleet.stats_emits");
+    triage_.bindTelemetry(&fleetMetrics, trace_.get());
+    if (!cfg.statsFile.empty()) {
+        std::string stats_error;
+        if (!reporter.open(cfg.statsFile, &stats_error))
+            warn("fleet stats disabled: %s", stats_error.c_str());
+    }
+
     shards.reserve(cfg.shardCount);
     for (unsigned i = 0; i < cfg.shardCount; ++i) {
         harness::CampaignOptions copts = campaign_template;
@@ -32,6 +51,8 @@ FleetOrchestrator::FleetOrchestrator(
         copts.coverageModel = cfg.coverageModel;
         copts.maxReproducers =
             cfg.triageEnabled ? cfg.maxReproducersPerShard : 0;
+        copts.trace = trace_.get();
+        copts.stageTiming = cfg.stageTiming;
         fuzzer::FuzzerOptions fopts = fuzzer_template;
         fopts.seed = cfg.shardSeed(i);
         fopts.scheduler = cfg.scheduler;
@@ -47,11 +68,49 @@ FleetOrchestrator::FleetOrchestrator(
     mismatchHarvested.assign(cfg.shardCount, false);
 }
 
+telemetry::MetricsSnapshot
+FleetOrchestrator::mergedMetrics() const
+{
+    telemetry::MetricsSnapshot merged = fleetMetrics.snapshot();
+    for (const auto &s : shards) {
+        std::string merge_error;
+        if (!merged.merge(s->campaign().metrics().snapshot(),
+                          &merge_error)) {
+            warn("fleet metrics merge (shard %u): %s", s->index(),
+                 merge_error.c_str());
+        }
+    }
+    return merged;
+}
+
+void
+FleetOrchestrator::maybeEmitStats(double sim_time_sec,
+                                  unsigned epoch_idx)
+{
+    if (!reporter.isOpen())
+        return;
+    // Cadence 0 means every barrier; otherwise emit at the first
+    // barrier at or past the cursor, then advance it past the
+    // emission time (an epoch longer than the cadence does not cause
+    // a burst of catch-up lines).
+    if (cfg.statsEverySec > 0.0) {
+        if (sim_time_sec < nextStatsEmitSec)
+            return;
+        while (nextStatsEmitSec <= sim_time_sec)
+            nextStatsEmitSec += cfg.statsEverySec;
+    }
+    reporter.emit(sim_time_sec, epoch_idx, mergedMetrics());
+    mStatsEmits->add(1);
+}
+
 void
 FleetOrchestrator::epochBarrier(unsigned epoch_idx,
                                 FleetResult &result,
                                 StatsSnapshot &prev_totals)
 {
+    telemetry::ScopedStage barrier_stage(trace_.get(), mBarrierNs,
+                                         "fleet.barrier");
+    mEpochs->add(1);
     const unsigned n = shardCount();
     const double deadline = cfg.epochDeadline(epoch_idx);
 
@@ -165,6 +224,9 @@ FleetOrchestrator::epochBarrier(unsigned epoch_idx,
     result.prevalence.record(
         deadline, executed > 0.0 ? fuzz_executed / executed : 0.0);
     prev_totals = totals;
+
+    // 5. Periodic JSONL stats (merged fleet metrics at this barrier).
+    maybeEmitStats(deadline, epoch_idx);
 }
 
 FleetResult
@@ -188,13 +250,17 @@ FleetOrchestrator::run()
     // where the killed run stopped.
     for (unsigned e = epochsDone; e < epochs; ++e) {
         const double deadline = cfg.epochDeadline(e);
-        for (auto &s : shards) {
-            FleetShard *shard_ptr = s.get();
-            pool.submit([shard_ptr, deadline, this] {
-                shard_ptr->runEpoch(deadline, &liveStats);
-            });
+        {
+            telemetry::TraceSpan epoch_span(trace_.get(),
+                                            "fleet.epoch");
+            for (auto &s : shards) {
+                FleetShard *shard_ptr = s.get();
+                pool.submit([shard_ptr, deadline, this] {
+                    shard_ptr->runEpoch(deadline, &liveStats);
+                });
+            }
+            pool.wait();
         }
-        pool.wait();
         epochBarrier(e, result, prevTotals);
         epochsDone = e + 1;
 
@@ -209,6 +275,8 @@ FleetOrchestrator::run()
             if (!snap ||
                 !snap->trySaveFile(cfg.checkpointPath, &error))
                 warn("fleet checkpoint skipped: %s", error.c_str());
+            else
+                mCheckpoints->add(1);
         }
         if (cfg.haltAfterEpochs > 0 &&
             epochsDone >= cfg.haltAfterEpochs)
@@ -235,6 +303,17 @@ FleetOrchestrator::run()
     result.hostSeconds = meter.elapsedSec();
     result.hostCommitsPerSec = meter.commitsPerSec();
     result.hostItersPerSec = meter.itersPerSec();
+
+    // End-of-run telemetry: the merged metrics view rides on the
+    // result; the trace document (if any) is flushed to disk here so
+    // triage spans from minimizeAll() are included.
+    result.metrics = mergedMetrics();
+    reporter.close();
+    if (trace_ && !cfg.traceOut.empty()) {
+        std::string trace_error;
+        if (!trace_->writeFile(cfg.traceOut, &trace_error))
+            warn("fleet trace not written: %s", trace_error.c_str());
+    }
     return result;
 }
 
@@ -244,7 +323,10 @@ namespace
 // v2: adds the fleet.feedback section (global auxiliary feedback
 // model states) and rides on campaign state v2 inside the shard
 // sections.
-constexpr uint32_t fleetCheckpointVersion = 2;
+// v3: adds the fleet.telemetry section (orchestrator metric state +
+// JSONL cadence cursor) and rides on campaign state v3 (per-shard
+// metric state) inside the shard sections.
+constexpr uint32_t fleetCheckpointVersion = 3;
 
 void
 putStats(soc::SnapshotWriter &w, const StatsSnapshot &s)
@@ -321,6 +403,11 @@ FleetOrchestrator::makeCheckpoint(std::string *error) const
     triage_.saveState(tri);
     snap.setSection("fleet.triage", tri.takeBuffer());
 
+    soc::SnapshotWriter tel;
+    fleetMetrics.saveState(tel);
+    tel.putF64(nextStatsEmitSec);
+    snap.setSection("fleet.telemetry", tel.takeBuffer());
+
     for (unsigned i = 0; i < n; ++i) {
         soc::SnapshotWriter shard_state;
         if (!shards[i]->saveState(shard_state)) {
@@ -348,9 +435,10 @@ FleetOrchestrator::restoreCheckpoint(const soc::Snapshot &snap,
     TF_ASSERT(epochsDone == 0,
               "checkpoint can only be restored into a fresh fleet");
 
-    const char *required[] = {"fleet.meta", "fleet.series",
+    const char *required[] = {"fleet.meta",       "fleet.series",
                               "fleet.mismatches", "fleet.coverage",
-                              "fleet.feedback", "fleet.triage"};
+                              "fleet.feedback",   "fleet.triage",
+                              "fleet.telemetry"};
     for (const char *name : required) {
         if (!snap.hasSection(name))
             return fail("missing section '" + std::string(name) +
@@ -429,6 +517,13 @@ FleetOrchestrator::restoreCheckpoint(const soc::Snapshot &snap,
             return false;
         if (!tri.exhausted())
             return fail("trailing bytes in fleet.triage");
+
+        soc::SnapshotReader tel(snap.section("fleet.telemetry"));
+        if (!fleetMetrics.loadState(tel, error))
+            return false;
+        nextStatsEmitSec = tel.getF64();
+        if (!tel.exhausted())
+            return fail("trailing bytes in fleet.telemetry");
 
         for (unsigned i = 0; i < n; ++i) {
             const std::string name =

@@ -36,6 +36,9 @@
 #include "fleet/shard.hh"
 #include "fleet/sync_policy.hh"
 #include "harness/campaign.hh"
+#include "telemetry/metrics.hh"
+#include "telemetry/reporter.hh"
+#include "telemetry/trace.hh"
 #include "triage/triage_queue.hh"
 
 namespace turbofuzz::fleet
@@ -138,6 +141,22 @@ class FleetOrchestrator
     /** The triage queue accumulating harvested reproducers. */
     const triage::TriageQueue &triageQueue() const { return triage_; }
 
+    /**
+     * Merged fleet telemetry: every shard campaign's registry plus
+     * the orchestrator's own, combined via MetricsSnapshot::merge.
+     * Rebuilt from snapshots on every call (counters are cumulative,
+     * so re-merging persistent registries would double-count).
+     * Barrier/post-run use only — shard registries are single-
+     * threaded and must not be snapshotted while an epoch runs.
+     */
+    telemetry::MetricsSnapshot mergedMetrics() const;
+
+    /** The trace recorder, or nullptr when tracing is off. */
+    telemetry::TraceRecorder *traceRecorder()
+    {
+        return trace_.get();
+    }
+
   private:
     /** Barrier-time work after epoch @p epoch_idx; updates result. */
     void epochBarrier(unsigned epoch_idx, FleetResult &result,
@@ -164,6 +183,27 @@ class FleetOrchestrator
     FleetResult pending;
     StatsSnapshot prevTotals{};
     unsigned epochsDone = 0;
+
+    /**
+     * Telemetry. The recorder is shared by every shard (worker
+     * threads; the recorder is thread-safe) and owned here so its
+     * lifetime covers the shards'. fleetMetrics holds the
+     * orchestrator's own instruments (fleet.* names); per-shard
+     * registries live inside the campaigns. nextStatsEmitSec is the
+     * JSONL cadence cursor (simulated seconds), checkpointed so a
+     * resumed run does not re-emit covered intervals.
+     */
+    std::unique_ptr<telemetry::TraceRecorder> trace_;
+    telemetry::MetricRegistry fleetMetrics;
+    telemetry::Counter *mEpochs = nullptr;
+    telemetry::Counter *mBarrierNs = nullptr;
+    telemetry::Counter *mCheckpoints = nullptr;
+    telemetry::Counter *mStatsEmits = nullptr;
+    telemetry::JsonlReporter reporter;
+    double nextStatsEmitSec = 0.0;
+
+    /** Emit a JSONL stats line when the cadence cursor is due. */
+    void maybeEmitStats(double sim_time_sec, unsigned epoch_idx);
 };
 
 } // namespace turbofuzz::fleet

@@ -18,12 +18,23 @@ Corpus::Corpus(size_t capacity, SchedulingPolicy policy)
 }
 
 void
+Corpus::bindTelemetry(telemetry::MetricRegistry *registry)
+{
+    tel = registry ? telemetry::CorpusInstruments::resolve(*registry)
+                   : telemetry::CorpusInstruments{};
+    if (tel.size)
+        tel.size->set(static_cast<int64_t>(seeds.size()));
+}
+
+void
 Corpus::replaceAt(size_t idx, Seed seed)
 {
     idIndex.erase(seeds[idx].id);
     idIndex[seed.id] = idx;
     seeds[idx] = std::move(seed);
     ++evictCount;
+    if (tel.evictions)
+        tel.evictions->add(1);
 }
 
 void
@@ -33,6 +44,8 @@ Corpus::addBaseline(Seed seed)
     if (seeds.size() < cap) {
         idIndex[seed.id] = seeds.size();
         seeds.push_back(std::move(seed));
+        if (tel.size)
+            tel.size->set(static_cast<int64_t>(seeds.size()));
         return;
     }
     // Baselines during (re)initialization replace the oldest entry.
@@ -54,12 +67,18 @@ Corpus::offer(Seed seed, uint64_t cov_increment)
         // Generation-mode admission: only coverage-improving test
         // cases enter the corpus.
         ++rejectCount;
+        if (tel.rejects)
+            tel.rejects->add(1);
         return false;
     }
 
     if (seeds.size() < cap) {
         idIndex[seed.id] = seeds.size();
         seeds.push_back(std::move(seed));
+        if (tel.admits) {
+            tel.admits->add(1);
+            tel.size->set(static_cast<int64_t>(seeds.size()));
+        }
         return true;
     }
 
@@ -71,6 +90,8 @@ Corpus::offer(Seed seed, uint64_t cov_increment)
             });
         replaceAt(static_cast<size_t>(oldest - seeds.begin()),
                   std::move(seed));
+        if (tel.admits)
+            tel.admits->add(1);
         return true;
     }
 
@@ -82,10 +103,14 @@ Corpus::offer(Seed seed, uint64_t cov_increment)
         });
     if (weakest->coverageIncrement >= cov_increment) {
         ++rejectCount;
+        if (tel.rejects)
+            tel.rejects->add(1);
         return false;
     }
     replaceAt(static_cast<size_t>(weakest - seeds.begin()),
               std::move(seed));
+    if (tel.admits)
+        tel.admits->add(1);
     return true;
 }
 
@@ -94,6 +119,8 @@ Corpus::trySelect(Rng &rng, Prob prioritize_prob) const
 {
     if (seeds.empty())
         return nullptr;
+    if (tel.selects)
+        tel.selects->add(1);
     if (pol == SchedulingPolicy::CoverageGuided &&
         rng.chance(prioritize_prob.num, prioritize_prob.den)) {
         // Prioritized selection samples the top quartile by recorded
@@ -180,6 +207,8 @@ Corpus::importSeeds(std::vector<Seed> imported, uint64_t &next_seed_id)
         const uint64_t hash = s.contentHash();
         if (!resident.insert(hash).second) {
             ++dupImportCount;
+            if (tel.importsDuplicate)
+                tel.importsDuplicate->add(1);
             continue;
         }
         s.id = next_seed_id++;
@@ -187,6 +216,8 @@ Corpus::importSeeds(std::vector<Seed> imported, uint64_t &next_seed_id)
         if (offer(std::move(s), increment))
             ++admitted;
     }
+    if (tel.importsAdmitted)
+        tel.importsAdmitted->add(admitted);
     return admitted;
 }
 
@@ -242,6 +273,8 @@ Corpus::loadState(soc::SnapshotReader &in, std::string *error)
         idIndex[s.id] = seeds.size();
         seeds.push_back(std::move(s));
     }
+    if (tel.size)
+        tel.size->set(static_cast<int64_t>(seeds.size()));
     return true;
 }
 

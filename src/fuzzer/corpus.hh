@@ -35,6 +35,7 @@
 #include "common/config.hh"
 #include "common/rng.hh"
 #include "fuzzer/seed.hh"
+#include "telemetry/instruments.hh"
 
 namespace turbofuzz::fuzzer
 {
@@ -56,6 +57,15 @@ class Corpus
     size_t size() const { return seeds.size(); }
     size_t capacity() const { return cap; }
     SchedulingPolicy policy() const { return pol; }
+
+    /**
+     * Bind scheduler instruments (corpus.selects/admits/rejects/
+     * evictions/imports.* counters + corpus.size gauge) into
+     * @p registry. Called once at campaign construction; null
+     * detaches. The corpus works identically unbound — telemetry
+     * observes, it never steers.
+     */
+    void bindTelemetry(telemetry::MetricRegistry *registry);
 
     /** Add an initial (baseline) seed, bypassing admission control. */
     void addBaseline(Seed seed);
@@ -164,6 +174,9 @@ class Corpus
     uint64_t evictCount = 0;
     uint64_t rejectCount = 0;
     uint64_t dupImportCount = 0;
+
+    /** Resolved instruments (all null until bindTelemetry). */
+    telemetry::CorpusInstruments tel;
 };
 
 } // namespace turbofuzz::fuzzer

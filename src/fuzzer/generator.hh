@@ -48,6 +48,14 @@ class StimulusGenerator
     virtual std::string_view name() const = 0;
 
     /**
+     * Telemetry binding: the campaign offers its metric registry so
+     * the generator (and its corpus, if any) can register scheduler
+     * instruments. Purely observational — binding must not change
+     * generation behaviour. Default: no instruments.
+     */
+    virtual void bindTelemetry(telemetry::MetricRegistry * /*reg*/) {}
+
+    /**
      * Fleet seed exchange: accept seeds exported by a peer shard.
      * Generators without a corpus ignore the offer.
      * @return number of seeds admitted.
@@ -134,6 +142,12 @@ class TurboFuzzGenerator : public StimulusGenerator
 
     bool usesExceptionTemplates() const override { return true; }
     std::string_view name() const override { return "TurboFuzz"; }
+
+    void
+    bindTelemetry(telemetry::MetricRegistry *reg) override
+    {
+        fuzzer.bindTelemetry(reg);
+    }
 
     size_t
     importSeeds(std::vector<Seed> seeds) override

@@ -157,6 +157,13 @@ class TurboFuzzer
     /** Export the corpus's top @p k seeds for cross-shard exchange. */
     std::vector<Seed> exportTopSeeds(size_t k) const;
 
+    /** Forward the campaign's metric registry to the corpus. */
+    void
+    bindTelemetry(telemetry::MetricRegistry *reg)
+    {
+        seedCorpus.bindTelemetry(reg);
+    }
+
     Corpus &corpus() { return seedCorpus; }
     const FuzzerOptions &options() const { return opts; }
     const MutationScheduler &scheduler() const { return *sched; }

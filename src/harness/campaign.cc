@@ -103,6 +103,21 @@ Campaign::Campaign(CampaignOptions options,
     engine_ = std::make_unique<engine::ExecutionEngine>(
         dutCore.get(), refCore.get(), &checker_, opts.batchSize);
 
+    // Telemetry: resolve every instrument once (stable pointers into
+    // the registry); the iteration loop then only does plain adds.
+    // The generator forwards the registry to its corpus so scheduler
+    // decisions are observable without polling.
+    engineIns = telemetry::EngineInstruments::resolve(metrics_);
+    mIterations = metrics_.counter("campaign.iterations");
+    mCommits = metrics_.counter("campaign.commits");
+    mTraps = metrics_.counter("campaign.traps");
+    mMismatches = metrics_.counter("campaign.mismatches");
+    mNewCoverage = metrics_.counter("campaign.new_coverage");
+    mWarmIters = metrics_.counter("campaign.warm_iterations");
+    mGenerateNs = metrics_.counter("campaign.generate_ns");
+    mIterCommits = metrics_.histogram("campaign.iteration.commits");
+    gen->bindTelemetry(&metrics_);
+
     // Warm start: capture the post-prefix lockstep snapshot once.
     // replayEnv() doubles as the layout contract — a generator that
     // provides it guarantees every iteration begins with
@@ -134,13 +149,28 @@ Campaign::runIteration()
     const fuzzer::MemoryLayout &lay = gen->layout();
     IterationResult result;
 
+    // Trace sampling is decided once per iteration so a sampled
+    // iteration's spans form a complete stack; unsampled iterations
+    // pass a null recorder everywhere (pointer-test cost only).
+    telemetry::TraceRecorder *tr =
+        (opts.trace && opts.trace->sampleIteration(iterCount))
+            ? opts.trace
+            : nullptr;
+    telemetry::TraceSpan iterSpan(tr, "campaign.iteration");
+
     if (!startupCharged) {
         plat->chargeStartup();
         startupCharged = true;
     }
 
     // 1. Test generation (into the DUT memory), mirrored to the REF.
-    const fuzzer::IterationInfo info = gen->generate(dutMem);
+    fuzzer::IterationInfo info;
+    {
+        telemetry::ScopedStage stage(
+            tr, opts.stageTiming ? mGenerateNs : nullptr,
+            "fuzzer.generate");
+        info = gen->generate(dutMem);
+    }
 
     // Scrub residue the generation did not overwrite: tail bytes of
     // longer earlier iterations past this codeBoundary, stray stores
@@ -206,9 +236,16 @@ Campaign::runIteration()
     hooks.coverage = feedback_;
     if (opts.commitObserver)
         hooks.observer = &opts.commitObserver;
+    if (opts.stageTiming)
+        hooks.instruments = &engineIns;
+    hooks.trace = tr;
 
-    const engine::IterationOutcome out = engine_->runIteration(
-        policy, hooks, use_warm ? &*warm : nullptr);
+    engine::IterationOutcome out;
+    {
+        telemetry::TraceSpan span(tr, "engine.iteration");
+        out = engine_->runIteration(policy, hooks,
+                                    use_warm ? &*warm : nullptr);
+    }
 
     result.executedTotal = out.executedTotal;
     result.executedFuzz = out.executedFuzz;
@@ -244,6 +281,17 @@ Campaign::runIteration()
     generatedTotal += result.generated;
     if (result.mismatch)
         ++mismatchCount;
+
+    // 7. Metrics (plain adds; instruments resolved at construction).
+    mIterations->add(1);
+    mCommits->add(result.executedTotal);
+    mTraps->add(result.traps);
+    mNewCoverage->add(result.newCoverage);
+    if (result.mismatch)
+        mMismatches->add(1);
+    if (use_warm)
+        mWarmIters->add(1);
+    mIterCommits->record(result.executedTotal);
     return result;
 }
 
@@ -316,7 +364,9 @@ namespace
 {
 
 // v2: auxiliary feedback-model states follow the mux coverage map.
-constexpr uint32_t campaignStateVersion = 2;
+// v3: telemetry metric state trails the generator blob (census-
+//     validated on load; see telemetry::MetricRegistry::loadState).
+constexpr uint32_t campaignStateVersion = 3;
 
 } // namespace
 
@@ -381,6 +431,10 @@ Campaign::saveState(soc::SnapshotWriter &out) const
     const std::vector<uint8_t> &gen_blob = gen_state.buffer();
     out.putU32(static_cast<uint32_t>(gen_blob.size()));
     out.putBytes(gen_blob.data(), gen_blob.size());
+
+    // v3: metric state last, so resumed campaigns report cumulative
+    // counters rather than restarting the telemetry from zero.
+    metrics_.saveState(out);
     return true;
 }
 
@@ -483,6 +537,9 @@ Campaign::loadState(soc::SnapshotReader &in, std::string *error)
             return false;
         if (!gen_reader.exhausted())
             return fail("trailing bytes in generator state");
+
+        if (!metrics_.loadState(in, error))
+            return false;
         return true;
     } catch (const soc::SnapshotFormatError &e) {
         return fail(e.what());

@@ -33,6 +33,9 @@
 #include "rtl/cores.hh"
 #include "rtl/driver.hh"
 #include "soc/platform.hh"
+#include "telemetry/instruments.hh"
+#include "telemetry/metrics.hh"
+#include "telemetry/trace.hh"
 #include "triage/reproducer.hh"
 
 namespace turbofuzz::harness
@@ -127,6 +130,23 @@ struct CampaignOptions
      * instruction-mix analyses of Fig. 4. Leave empty for speed.
      */
     std::function<void(const core::CommitInfo &)> commitObserver;
+
+    /**
+     * Stage-span sink (not owned). When set, sampled iterations
+     * (TraceRecorder's sampling knob) emit "campaign.iteration",
+     * "fuzzer.generate", "engine.iteration" and per-stage engine
+     * spans into it. Null (the default) disables tracing at the cost
+     * of one pointer test per span site.
+     */
+    telemetry::TraceRecorder *trace = nullptr;
+
+    /**
+     * Per-stage duration counters (engine.batch.*_ns,
+     * campaign.generate_ns). Off by default: stage timing adds two
+     * clock reads per pipeline stage per batch, which the default
+     * build's throughput gate does not budget for.
+     */
+    bool stageTiming = false;
 };
 
 /**
@@ -241,6 +261,18 @@ class Campaign
         return repros;
     }
 
+    /**
+     * Campaign-local metric registry (single-threaded; see
+     * docs/telemetry.md for the instrument vocabulary). The fleet
+     * snapshots and merges these at epoch barriers. Metric state
+     * participates in saveState()/loadState().
+     */
+    telemetry::MetricRegistry &metrics() { return metrics_; }
+    const telemetry::MetricRegistry &metrics() const
+    {
+        return metrics_;
+    }
+
     fuzzer::StimulusGenerator &generator() { return *gen; }
     core::Iss &dut() { return *dutCore; }
     core::Iss &ref() { return *refCore; }
@@ -337,6 +369,25 @@ class Campaign
     std::optional<checker::Mismatch> mismatchInfo;
     soc::Snapshot snapshot;
     std::vector<triage::Reproducer> repros;
+
+    /**
+     * Telemetry: the registry owns instrument storage (stable
+     * pointers); the fields below cache resolved instruments so the
+     * iteration loop never does name lookups. Bound components (the
+     * generator's corpus) only touch their cached pointers inside
+     * calls the campaign makes, never from destructors, so member
+     * ordering is not load-bearing.
+     */
+    telemetry::MetricRegistry metrics_;
+    telemetry::EngineInstruments engineIns;
+    telemetry::Counter *mIterations = nullptr;
+    telemetry::Counter *mCommits = nullptr;
+    telemetry::Counter *mTraps = nullptr;
+    telemetry::Counter *mMismatches = nullptr;
+    telemetry::Counter *mNewCoverage = nullptr;
+    telemetry::Counter *mWarmIters = nullptr;
+    telemetry::Counter *mGenerateNs = nullptr;
+    telemetry::Histogram *mIterCommits = nullptr;
 
     /** Retain the mismatching iteration as a replayable reproducer. */
     void captureReproducer(const checker::Mismatch &mm,

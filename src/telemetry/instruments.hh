@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Pre-resolved instrument bundles for the hot paths.
+ *
+ * Components that emit metrics from inner loops resolve their
+ * instruments ONCE (construction-time registry lookups) into one of
+ * these plain-pointer bundles; the loops then touch only the
+ * pointers. The bundles also serve as the instrument census of each
+ * subsystem — docs/telemetry.md's name tables mirror these structs.
+ */
+
+#ifndef TURBOFUZZ_TELEMETRY_INSTRUMENTS_HH
+#define TURBOFUZZ_TELEMETRY_INSTRUMENTS_HH
+
+#include "telemetry/metrics.hh"
+
+namespace turbofuzz::telemetry
+{
+
+/**
+ * Per-stage engine instruments (the ExecutionEngine's four pipeline
+ * stages). Bound into ExecutionEngine::Hooks only when stage timing
+ * is enabled — the default campaign passes nullptr and pays nothing
+ * beyond a pointer test per stage.
+ */
+struct EngineInstruments
+{
+    Counter *dutNs = nullptr;   ///< engine.batch.dut_ns
+    Counter *refNs = nullptr;   ///< engine.batch.ref_ns
+    Counter *diffNs = nullptr;  ///< engine.batch.diff_ns
+    Counter *sweepNs = nullptr; ///< engine.batch.sweep_ns
+    Counter *batches = nullptr; ///< engine.batches
+    Counter *rewinds = nullptr; ///< engine.rewinds
+
+    static EngineInstruments
+    resolve(MetricRegistry &reg)
+    {
+        EngineInstruments i;
+        i.dutNs = reg.counter("engine.batch.dut_ns");
+        i.refNs = reg.counter("engine.batch.ref_ns");
+        i.diffNs = reg.counter("engine.batch.diff_ns");
+        i.sweepNs = reg.counter("engine.batch.sweep_ns");
+        i.batches = reg.counter("engine.batches");
+        i.rewinds = reg.counter("engine.rewinds");
+        return i;
+    }
+};
+
+/** Corpus scheduling instruments (always on; plain adds). */
+struct CorpusInstruments
+{
+    Counter *selects = nullptr;          ///< corpus.selects
+    Counter *admits = nullptr;           ///< corpus.admits
+    Counter *rejects = nullptr;          ///< corpus.rejects
+    Counter *evictions = nullptr;        ///< corpus.evictions
+    Counter *importsAdmitted = nullptr;  ///< corpus.imports.admitted
+    Counter *importsDuplicate = nullptr; ///< corpus.imports.duplicate
+    Gauge *size = nullptr;               ///< corpus.size
+
+    static CorpusInstruments
+    resolve(MetricRegistry &reg)
+    {
+        CorpusInstruments i;
+        i.selects = reg.counter("corpus.selects");
+        i.admits = reg.counter("corpus.admits");
+        i.rejects = reg.counter("corpus.rejects");
+        i.evictions = reg.counter("corpus.evictions");
+        i.importsAdmitted = reg.counter("corpus.imports.admitted");
+        i.importsDuplicate = reg.counter("corpus.imports.duplicate");
+        i.size = reg.gauge("corpus.size");
+        return i;
+    }
+};
+
+/** Triage queue instruments (barrier/post-run paths). */
+struct TriageInstruments
+{
+    Counter *reproducers = nullptr; ///< triage.reproducers
+    Counter *replays = nullptr;     ///< triage.replays
+    Counter *minimizeNs = nullptr;  ///< triage.minimize_ns
+    Gauge *buckets = nullptr;       ///< triage.buckets
+
+    static TriageInstruments
+    resolve(MetricRegistry &reg)
+    {
+        TriageInstruments i;
+        i.reproducers = reg.counter("triage.reproducers");
+        i.replays = reg.counter("triage.replays");
+        i.minimizeNs = reg.counter("triage.minimize_ns");
+        i.buckets = reg.gauge("triage.buckets");
+        return i;
+    }
+};
+
+} // namespace turbofuzz::telemetry
+
+#endif // TURBOFUZZ_TELEMETRY_INSTRUMENTS_HH

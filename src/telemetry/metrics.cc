@@ -1,0 +1,468 @@
+#include "telemetry/metrics.hh"
+
+#include <bit>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "soc/snapshot.hh"
+
+namespace turbofuzz::telemetry
+{
+
+const char *
+metricKindName(MetricKind kind)
+{
+    switch (kind) {
+      case MetricKind::Counter:
+        return "counter";
+      case MetricKind::Gauge:
+        return "gauge";
+      case MetricKind::Histogram:
+        return "histogram";
+    }
+    return "?";
+}
+
+// --- Histogram -------------------------------------------------------
+
+unsigned
+Histogram::bucketIndex(uint64_t v)
+{
+    return static_cast<unsigned>(std::bit_width(v));
+}
+
+uint64_t
+Histogram::bucketLowerBound(unsigned idx)
+{
+    TF_ASSERT(idx < kBucketCount, "histogram bucket out of range");
+    return idx == 0 ? 0 : uint64_t{1} << (idx - 1);
+}
+
+void
+Histogram::record(uint64_t v)
+{
+    ++buckets[bucketIndex(v)];
+    ++total;
+    valueSum += v;
+    if (v < minValue)
+        minValue = v;
+    if (v > maxValue)
+        maxValue = v;
+}
+
+// --- MetricsSnapshot -------------------------------------------------
+
+const MetricValue *
+MetricsSnapshot::find(const std::string &name) const
+{
+    auto it = values.find(name);
+    return it == values.end() ? nullptr : &it->second;
+}
+
+uint64_t
+MetricsSnapshot::counterValue(const std::string &name,
+                             uint64_t fallback) const
+{
+    const MetricValue *v = find(name);
+    return (v && v->kind == MetricKind::Counter) ? v->counter
+                                                 : fallback;
+}
+
+namespace
+{
+
+/** Bucket-wise histogram fold (associative + commutative). */
+HistogramValue
+mergeHistograms(const HistogramValue &a, const HistogramValue &b)
+{
+    HistogramValue out;
+    out.count = a.count + b.count;
+    out.sum = a.sum + b.sum;
+    if (a.count == 0) {
+        out.min = b.min;
+        out.max = b.max;
+    } else if (b.count == 0) {
+        out.min = a.min;
+        out.max = a.max;
+    } else {
+        out.min = std::min(a.min, b.min);
+        out.max = std::max(a.max, b.max);
+    }
+    // Two-pointer union over the sparse ascending bucket lists.
+    size_t i = 0, j = 0;
+    while (i < a.buckets.size() || j < b.buckets.size()) {
+        if (j >= b.buckets.size() ||
+            (i < a.buckets.size() &&
+             a.buckets[i].first < b.buckets[j].first)) {
+            out.buckets.push_back(a.buckets[i++]);
+        } else if (i >= a.buckets.size() ||
+                   b.buckets[j].first < a.buckets[i].first) {
+            out.buckets.push_back(b.buckets[j++]);
+        } else {
+            out.buckets.push_back({a.buckets[i].first,
+                                   a.buckets[i].second +
+                                       b.buckets[j].second});
+            ++i;
+            ++j;
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+bool
+MetricsSnapshot::merge(const MetricsSnapshot &other, std::string *error)
+{
+    // Validate first: merge must not mutate on failure (the same
+    // no-partial-state discipline FeedbackModel::merge follows).
+    for (const auto &[name, value] : other.values) {
+        auto it = values.find(name);
+        if (it != values.end() && it->second.kind != value.kind) {
+            if (error) {
+                *error = "metric '" + name + "' kind mismatch (" +
+                         metricKindName(it->second.kind) + " vs " +
+                         metricKindName(value.kind) + ")";
+            }
+            return false;
+        }
+    }
+    for (const auto &[name, value] : other.values) {
+        auto it = values.find(name);
+        if (it == values.end()) {
+            values.emplace(name, value);
+            continue;
+        }
+        MetricValue &mine = it->second;
+        switch (value.kind) {
+          case MetricKind::Counter:
+            mine.counter += value.counter;
+            break;
+          case MetricKind::Gauge:
+            mine.gauge += value.gauge;
+            break;
+          case MetricKind::Histogram:
+            mine.histogram =
+                mergeHistograms(mine.histogram, value.histogram);
+            break;
+        }
+    }
+    return true;
+}
+
+std::string
+MetricsSnapshot::toJson() const
+{
+    std::ostringstream out;
+    out << "{";
+    bool first = true;
+    for (const auto &[name, value] : values) {
+        if (!first)
+            out << ",";
+        first = false;
+        out << "\"" << jsonEscape(name) << "\":";
+        switch (value.kind) {
+          case MetricKind::Counter:
+            out << value.counter;
+            break;
+          case MetricKind::Gauge:
+            out << value.gauge;
+            break;
+          case MetricKind::Histogram: {
+            const HistogramValue &h = value.histogram;
+            out << "{\"count\":" << h.count << ",\"sum\":" << h.sum
+                << ",\"min\":" << h.min << ",\"max\":" << h.max
+                << ",\"buckets\":{";
+            bool bfirst = true;
+            for (const auto &[idx, n] : h.buckets) {
+                if (!bfirst)
+                    out << ",";
+                bfirst = false;
+                out << "\"" << Histogram::bucketLowerBound(idx)
+                    << "\":" << n;
+            }
+            out << "}}";
+            break;
+          }
+        }
+    }
+    out << "}";
+    return out.str();
+}
+
+// --- MetricRegistry --------------------------------------------------
+
+MetricRegistry::Entry *
+MetricRegistry::findOrCreate(const std::string &name, MetricKind kind)
+{
+    auto it = index.find(name);
+    if (it != index.end()) {
+        Entry *e = order[it->second].get();
+        if (e->kind != kind) {
+            panic("metric '%s' re-registered as %s (was %s)",
+                  name.c_str(), metricKindName(kind),
+                  metricKindName(e->kind));
+        }
+        return e;
+    }
+    auto entry = std::make_unique<Entry>();
+    entry->name = name;
+    entry->kind = kind;
+    switch (kind) {
+      case MetricKind::Counter:
+        entry->counter = std::make_unique<Counter>();
+        break;
+      case MetricKind::Gauge:
+        entry->gauge = std::make_unique<Gauge>();
+        break;
+      case MetricKind::Histogram:
+        entry->histogram = std::make_unique<Histogram>();
+        break;
+    }
+    Entry *raw = entry.get();
+    index.emplace(name, order.size());
+    order.push_back(std::move(entry));
+    return raw;
+}
+
+Counter *
+MetricRegistry::counter(const std::string &name)
+{
+    return findOrCreate(name, MetricKind::Counter)->counter.get();
+}
+
+Gauge *
+MetricRegistry::gauge(const std::string &name)
+{
+    return findOrCreate(name, MetricKind::Gauge)->gauge.get();
+}
+
+Histogram *
+MetricRegistry::histogram(const std::string &name)
+{
+    return findOrCreate(name, MetricKind::Histogram)->histogram.get();
+}
+
+MetricsSnapshot
+MetricRegistry::snapshot() const
+{
+    MetricsSnapshot snap;
+    for (const auto &entry : order) {
+        MetricValue v;
+        v.kind = entry->kind;
+        switch (entry->kind) {
+          case MetricKind::Counter:
+            v.counter = entry->counter->value();
+            break;
+          case MetricKind::Gauge:
+            v.gauge = entry->gauge->value();
+            break;
+          case MetricKind::Histogram: {
+            const Histogram &h = *entry->histogram;
+            v.histogram.count = h.count();
+            v.histogram.sum = h.sum();
+            v.histogram.min = h.min();
+            v.histogram.max = h.max();
+            for (unsigned i = 0; i < Histogram::kBucketCount; ++i) {
+                if (h.bucket(i)) {
+                    v.histogram.buckets.push_back(
+                        {static_cast<uint8_t>(i), h.bucket(i)});
+                }
+            }
+            break;
+          }
+        }
+        snap.values.emplace(entry->name, std::move(v));
+    }
+    return snap;
+}
+
+namespace
+{
+
+constexpr uint32_t metricsStateVersion = 1;
+
+} // namespace
+
+void
+MetricRegistry::saveState(soc::SnapshotWriter &out) const
+{
+    out.putU32(metricsStateVersion);
+    out.putU32(static_cast<uint32_t>(order.size()));
+    for (const auto &entry : order) {
+        out.putString(entry->name);
+        out.putU8(static_cast<uint8_t>(entry->kind));
+        switch (entry->kind) {
+          case MetricKind::Counter:
+            out.putU64(entry->counter->value());
+            break;
+          case MetricKind::Gauge:
+            out.putU64(
+                static_cast<uint64_t>(entry->gauge->value()));
+            break;
+          case MetricKind::Histogram: {
+            const Histogram &h = *entry->histogram;
+            out.putU64(h.count());
+            out.putU64(h.sum());
+            out.putU64(h.minValue);
+            out.putU64(h.max());
+            uint32_t nonzero = 0;
+            for (unsigned i = 0; i < Histogram::kBucketCount; ++i)
+                nonzero += h.bucket(i) != 0;
+            out.putU32(nonzero);
+            for (unsigned i = 0; i < Histogram::kBucketCount; ++i) {
+                if (h.bucket(i)) {
+                    out.putU8(static_cast<uint8_t>(i));
+                    out.putU64(h.bucket(i));
+                }
+            }
+            break;
+          }
+        }
+    }
+}
+
+bool
+MetricRegistry::loadState(soc::SnapshotReader &in, std::string *error)
+{
+    auto fail = [&](const std::string &msg) {
+        if (error)
+            *error = "metrics state: " + msg;
+        return false;
+    };
+
+    try {
+        if (in.getU32() != metricsStateVersion)
+            return fail("unsupported version");
+        const uint32_t count = in.getU32();
+        if (count != order.size()) {
+            return fail("instrument census mismatch (" +
+                        std::to_string(count) + " stored, " +
+                        std::to_string(order.size()) +
+                        " registered)");
+        }
+
+        // Parse into staging first: a malformed image must not leave
+        // half the instruments updated.
+        struct Staged
+        {
+            Entry *entry;
+            uint64_t a = 0, b = 0, c = 0, d = 0;
+            std::vector<std::pair<uint8_t, uint64_t>> buckets;
+        };
+        std::vector<Staged> staged;
+        staged.reserve(count);
+        for (uint32_t i = 0; i < count; ++i) {
+            const std::string name = in.getString();
+            const uint8_t kind_raw = in.getU8();
+            auto it = index.find(name);
+            if (it == index.end())
+                return fail("unknown instrument '" + name + "'");
+            Entry *entry = order[it->second].get();
+            if (kind_raw != static_cast<uint8_t>(entry->kind)) {
+                return fail("instrument '" + name +
+                            "' kind mismatch");
+            }
+            Staged s;
+            s.entry = entry;
+            switch (entry->kind) {
+              case MetricKind::Counter:
+              case MetricKind::Gauge:
+                s.a = in.getU64();
+                break;
+              case MetricKind::Histogram: {
+                s.a = in.getU64(); // count
+                s.b = in.getU64(); // sum
+                s.c = in.getU64(); // min (raw, may be UINT64_MAX)
+                s.d = in.getU64(); // max
+                const uint32_t nonzero = in.getU32();
+                if (nonzero > Histogram::kBucketCount)
+                    return fail("histogram bucket count exceeds "
+                                "range");
+                uint64_t bucket_total = 0;
+                for (uint32_t j = 0; j < nonzero; ++j) {
+                    const uint8_t idx = in.getU8();
+                    if (idx >= Histogram::kBucketCount)
+                        return fail("histogram bucket index out of "
+                                    "range");
+                    if (!s.buckets.empty() &&
+                        idx <= s.buckets.back().first)
+                        return fail("histogram buckets out of "
+                                    "order");
+                    const uint64_t n = in.getU64();
+                    bucket_total += n;
+                    s.buckets.push_back({idx, n});
+                }
+                if (bucket_total != s.a)
+                    return fail("histogram bucket totals disagree "
+                                "with count");
+                break;
+              }
+            }
+            staged.push_back(std::move(s));
+        }
+
+        for (const Staged &s : staged) {
+            switch (s.entry->kind) {
+              case MetricKind::Counter:
+                s.entry->counter->count = s.a;
+                break;
+              case MetricKind::Gauge:
+                s.entry->gauge->level =
+                    static_cast<int64_t>(s.a);
+                break;
+              case MetricKind::Histogram: {
+                Histogram &h = *s.entry->histogram;
+                h = Histogram();
+                h.total = s.a;
+                h.valueSum = s.b;
+                h.minValue = s.c;
+                h.maxValue = s.d;
+                for (const auto &[idx, n] : s.buckets)
+                    h.buckets[idx] = n;
+                break;
+              }
+            }
+        }
+        return true;
+    } catch (const soc::SnapshotFormatError &e) {
+        return fail(e.what());
+    }
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace turbofuzz::telemetry

@@ -1,0 +1,259 @@
+/**
+ * @file
+ * Metrics registry: typed, hierarchically named instruments cheap
+ * enough for the campaign hot path.
+ *
+ * Three instrument kinds:
+ *
+ *  - Counter   — monotone uint64 accumulator (events, nanoseconds,
+ *                commits). add() is a plain in-place add: no locks,
+ *                no atomics — each registry belongs to exactly one
+ *                campaign/shard thread, and cross-thread readers only
+ *                ever see snapshot() results taken at epoch barriers
+ *                when the owning worker is parked.
+ *  - Gauge     — last-set int64 level (corpus size, bucket count).
+ *  - Histogram — log2-bucketed value distribution (per-iteration
+ *                commit counts, span durations): bucket i holds
+ *                values v with bit_width(v) == i, i.e. bucket 0 is
+ *                {0} and bucket i>=1 covers [2^(i-1), 2^i - 1].
+ *
+ * Instruments are registered by name once (construction-time map
+ * lookup) and used through stable plain pointers thereafter — the hot
+ * path never touches a map or a string. Names are hierarchical
+ * dot-paths ("engine.batch.dut_ns", "corpus.selects"); see
+ * docs/telemetry.md for the naming conventions.
+ *
+ * Aggregation follows the FeedbackModel::merge discipline: snapshots
+ * merge associatively, mismatched instrument kinds are rejected with
+ * a typed error and no partial mutation, and registry state
+ * checkpoints as a versioned, census-validated section so resumed
+ * runs report continuous series.
+ */
+
+#ifndef TURBOFUZZ_TELEMETRY_METRICS_HH
+#define TURBOFUZZ_TELEMETRY_METRICS_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace turbofuzz::soc
+{
+class SnapshotWriter;
+class SnapshotReader;
+} // namespace turbofuzz::soc
+
+namespace turbofuzz::telemetry
+{
+
+/** Instrument kinds (wire-stable values — used in checkpoints). */
+enum class MetricKind : uint8_t
+{
+    Counter = 0,
+    Gauge = 1,
+    Histogram = 2,
+};
+
+const char *metricKindName(MetricKind kind);
+
+/** Monotone event/quantity accumulator. */
+class Counter
+{
+  public:
+    void add(uint64_t n = 1) { count += n; }
+    uint64_t value() const { return count; }
+
+  private:
+    friend class MetricRegistry;
+    uint64_t count = 0;
+};
+
+/** Last-set level. */
+class Gauge
+{
+  public:
+    void set(int64_t v) { level = v; }
+    void add(int64_t delta) { level += delta; }
+    int64_t value() const { return level; }
+
+  private:
+    friend class MetricRegistry;
+    int64_t level = 0;
+};
+
+/** Log2-bucketed distribution of uint64 samples. */
+class Histogram
+{
+  public:
+    /** Bucket 0 holds {0}; bucket i>=1 holds [2^(i-1), 2^i - 1]. */
+    static constexpr unsigned kBucketCount = 65;
+
+    void record(uint64_t v);
+
+    /** The bucket a value lands in (== std::bit_width(v)). */
+    static unsigned bucketIndex(uint64_t v);
+
+    /** Smallest value of bucket @p idx (0, then powers of two). */
+    static uint64_t bucketLowerBound(unsigned idx);
+
+    uint64_t count() const { return total; }
+    uint64_t sum() const { return valueSum; }
+    uint64_t min() const { return total ? minValue : 0; }
+    uint64_t max() const { return maxValue; }
+    uint64_t bucket(unsigned idx) const { return buckets[idx]; }
+
+    double
+    mean() const
+    {
+        return total ? static_cast<double>(valueSum) /
+                           static_cast<double>(total)
+                     : 0.0;
+    }
+
+  private:
+    friend class MetricRegistry;
+    uint64_t buckets[kBucketCount] = {};
+    uint64_t total = 0;
+    uint64_t valueSum = 0;
+    uint64_t minValue = UINT64_MAX;
+    uint64_t maxValue = 0;
+};
+
+/** Histogram state in a snapshot (sparse: nonzero buckets only). */
+struct HistogramValue
+{
+    uint64_t count = 0;
+    uint64_t sum = 0;
+    uint64_t min = 0;
+    uint64_t max = 0;
+    /** (bucket index, count) pairs, ascending index, counts > 0. */
+    std::vector<std::pair<uint8_t, uint64_t>> buckets;
+
+    bool operator==(const HistogramValue &rhs) const = default;
+};
+
+/** One instrument's state in a snapshot. */
+struct MetricValue
+{
+    MetricKind kind = MetricKind::Counter;
+    uint64_t counter = 0;
+    int64_t gauge = 0;
+    HistogramValue histogram;
+
+    bool operator==(const MetricValue &rhs) const = default;
+};
+
+/**
+ * A point-in-time copy of a registry's instruments, detached from
+ * the owning thread. Snapshots are what reporters consume and what
+ * the fleet orchestrator merges into its fleet-wide view.
+ */
+class MetricsSnapshot
+{
+  public:
+    /** Name -> value, ordered by name (deterministic emission). */
+    const std::map<std::string, MetricValue> &entries() const
+    {
+        return values;
+    }
+
+    bool empty() const { return values.empty(); }
+    size_t size() const { return values.size(); }
+
+    /** Lookup; nullptr when absent. */
+    const MetricValue *find(const std::string &name) const;
+
+    /** Counter value, or @p fallback when absent/not a counter. */
+    uint64_t counterValue(const std::string &name,
+                          uint64_t fallback = 0) const;
+
+    /**
+     * Fold @p other into this snapshot: counters and gauges add
+     * (fleet-wide totals), histograms merge bucket-wise. Associative
+     * and commutative. A name present in both with different kinds
+     * is a typed error: @p error is set and *this is left unchanged.
+     */
+    bool merge(const MetricsSnapshot &other,
+               std::string *error = nullptr);
+
+    /**
+     * Render as a JSON object: counters and gauges as numbers,
+     * histograms as {"count","sum","min","max","buckets":{lower
+     * bound -> count}}. Keys in name order.
+     */
+    std::string toJson() const;
+
+  private:
+    friend class MetricRegistry;
+    std::map<std::string, MetricValue> values;
+};
+
+/**
+ * The per-thread instrument registry. One per campaign/shard (plus
+ * one fleet-local registry in the orchestrator); never shared across
+ * threads — cross-thread aggregation goes through snapshot() +
+ * MetricsSnapshot::merge() at epoch barriers.
+ */
+class MetricRegistry
+{
+  public:
+    MetricRegistry() = default;
+    MetricRegistry(const MetricRegistry &) = delete;
+    MetricRegistry &operator=(const MetricRegistry &) = delete;
+
+    /**
+     * Find-or-register an instrument. Pointers stay valid for the
+     * registry's lifetime. Re-requesting a name with a different
+     * kind is a programming error (panic) — names are global
+     * contracts (docs/telemetry.md).
+     */
+    Counter *counter(const std::string &name);
+    Gauge *gauge(const std::string &name);
+    Histogram *histogram(const std::string &name);
+
+    size_t instrumentCount() const { return order.size(); }
+
+    /** Copy every instrument's current state. */
+    MetricsSnapshot snapshot() const;
+
+    /**
+     * Checkpoint support: versioned serialization of every
+     * instrument (name, kind, state).
+     */
+    void saveState(soc::SnapshotWriter &out) const;
+
+    /**
+     * Restore a saveState() image. Census-validated: the stored
+     * instrument set (names and kinds) must exactly match the
+     * registered set — a checkpoint from a differently instrumented
+     * build is rejected with a typed error, and on any failure the
+     * registry keeps its pre-call values.
+     * @return false with @p error set on malformed input.
+     */
+    bool loadState(soc::SnapshotReader &in,
+                   std::string *error = nullptr);
+
+  private:
+    struct Entry
+    {
+        std::string name;
+        MetricKind kind;
+        std::unique_ptr<Counter> counter;
+        std::unique_ptr<Gauge> gauge;
+        std::unique_ptr<Histogram> histogram;
+    };
+
+    Entry *findOrCreate(const std::string &name, MetricKind kind);
+
+    std::map<std::string, size_t> index;
+    std::vector<std::unique_ptr<Entry>> order;
+};
+
+/** Escape a string for embedding in a JSON string literal. */
+std::string jsonEscape(const std::string &s);
+
+} // namespace turbofuzz::telemetry
+
+#endif // TURBOFUZZ_TELEMETRY_METRICS_HH

@@ -1,0 +1,45 @@
+#include "telemetry/reporter.hh"
+
+namespace turbofuzz::telemetry
+{
+
+bool
+JsonlReporter::open(const std::string &path, std::string *error)
+{
+    close();
+    file = std::fopen(path.c_str(), "w");
+    if (!file) {
+        if (error)
+            *error = "cannot open stats file '" + path + "'";
+        return false;
+    }
+    clock.restart();
+    return true;
+}
+
+void
+JsonlReporter::emit(double sim_time_sec, uint64_t epoch,
+                    const MetricsSnapshot &snapshot)
+{
+    if (!file)
+        return;
+    std::fprintf(file,
+                 "{\"schema\":\"turbofuzz.metrics.v1\","
+                 "\"t_sim\":%.6f,\"t_host\":%.6f,\"epoch\":%llu,"
+                 "\"metrics\":%s}\n",
+                 sim_time_sec, clock.elapsedSec(),
+                 static_cast<unsigned long long>(epoch),
+                 snapshot.toJson().c_str());
+    std::fflush(file);
+}
+
+void
+JsonlReporter::close()
+{
+    if (file) {
+        std::fclose(file);
+        file = nullptr;
+    }
+}
+
+} // namespace turbofuzz::telemetry

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Periodic JSONL metrics emission.
+ *
+ * One line per emission, schema "turbofuzz.metrics.v1":
+ *
+ *   {"schema":"turbofuzz.metrics.v1","t_sim":12.0,"t_host":3.456,
+ *    "epoch":4,"metrics":{"campaign.commits":123456, ...}}
+ *
+ * t_sim is simulated seconds (the fleet's epoch deadline), t_host is
+ * host seconds since the reporter was opened. Metric values follow
+ * MetricsSnapshot::toJson(): counters/gauges as numbers, histograms
+ * as {"count","sum","min","max","buckets"} objects. The schema is
+ * documented in docs/telemetry.md and validated by
+ * tools/trace_summary.py --jsonl in CI.
+ */
+
+#ifndef TURBOFUZZ_TELEMETRY_REPORTER_HH
+#define TURBOFUZZ_TELEMETRY_REPORTER_HH
+
+#include <cstdio>
+#include <string>
+
+#include "telemetry/clock.hh"
+#include "telemetry/metrics.hh"
+
+namespace turbofuzz::telemetry
+{
+
+/** Appends one JSON object per emit() to a stats file. */
+class JsonlReporter
+{
+  public:
+    JsonlReporter() = default;
+    ~JsonlReporter() { close(); }
+
+    JsonlReporter(const JsonlReporter &) = delete;
+    JsonlReporter &operator=(const JsonlReporter &) = delete;
+
+    /** Open (truncate) @p path and start the host clock.
+     *  @return false with @p error set when the file cannot be
+     *  created. */
+    bool open(const std::string &path, std::string *error = nullptr);
+
+    bool isOpen() const { return file != nullptr; }
+
+    /** Emit one line; flushed immediately so a killed run keeps
+     *  every completed emission. */
+    void emit(double sim_time_sec, uint64_t epoch,
+              const MetricsSnapshot &snapshot);
+
+    void close();
+
+  private:
+    std::FILE *file = nullptr;
+    WallClock clock;
+};
+
+} // namespace turbofuzz::telemetry
+
+#endif // TURBOFUZZ_TELEMETRY_REPORTER_HH

@@ -1,0 +1,130 @@
+#include "telemetry/trace.hh"
+
+#include <atomic>
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "telemetry/metrics.hh"
+
+namespace turbofuzz::telemetry
+{
+
+namespace
+{
+
+/** Small dense thread ids (trace rows), assigned on first span. */
+uint32_t
+currentTid()
+{
+    static std::atomic<uint32_t> next{1};
+    thread_local uint32_t tid =
+        next.fetch_add(1, std::memory_order_relaxed);
+    return tid;
+}
+
+} // namespace
+
+TraceRecorder::TraceRecorder(uint64_t sample_every)
+    : sampleEvery(sample_every ? sample_every : 1), baseNs(nowNs())
+{
+}
+
+void
+TraceRecorder::recordSpan(const char *name, uint64_t begin_ns,
+                          uint64_t end_ns)
+{
+    const Event e{name, begin_ns, end_ns - begin_ns, currentTid(),
+                  false};
+    std::lock_guard<std::mutex> lock(mu);
+    events.push_back(e);
+}
+
+void
+TraceRecorder::instant(const char *name)
+{
+    const Event e{name, nowNs(), 0, currentTid(), true};
+    std::lock_guard<std::mutex> lock(mu);
+    events.push_back(e);
+}
+
+size_t
+TraceRecorder::eventCount() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return events.size();
+}
+
+std::string
+TraceRecorder::toJson() const
+{
+    std::vector<Event> copy;
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        copy = events;
+    }
+
+    std::ostringstream out;
+    out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    bool first = true;
+    char buf[256];
+    for (const Event &e : copy) {
+        if (!first)
+            out << ",";
+        first = false;
+        // Timestamps/durations in microseconds (trace-event spec),
+        // relative to recorder construction, at ns resolution.
+        const double ts =
+            static_cast<double>(e.beginNs - baseNs) / 1000.0;
+        if (e.isInstant) {
+            std::snprintf(buf, sizeof(buf),
+                          "{\"name\":\"%s\",\"cat\":\"turbofuzz\","
+                          "\"ph\":\"i\",\"s\":\"g\",\"ts\":%.3f,"
+                          "\"pid\":1,\"tid\":%u}",
+                          e.name, ts, e.tid);
+        } else {
+            const double dur =
+                static_cast<double>(e.durNs) / 1000.0;
+            std::snprintf(buf, sizeof(buf),
+                          "{\"name\":\"%s\",\"cat\":\"turbofuzz\","
+                          "\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,"
+                          "\"pid\":1,\"tid\":%u}",
+                          e.name, ts, dur, e.tid);
+        }
+        out << buf;
+    }
+    out << "]}";
+    return out.str();
+}
+
+bool
+TraceRecorder::writeFile(const std::string &path,
+                         std::string *error) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        if (error)
+            *error = "cannot open trace file '" + path + "'";
+        return false;
+    }
+    const std::string doc = toJson();
+    const bool ok =
+        std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+    std::fclose(f);
+    if (!ok && error)
+        *error = "short write to trace file '" + path + "'";
+    return ok;
+}
+
+ScopedStage::~ScopedStage()
+{
+    if (!rec && !counter)
+        return;
+    const uint64_t end_ns = nowNs();
+    if (counter)
+        counter->add(end_ns - beginNs);
+    if (rec)
+        rec->recordSpan(spanName, beginNs, end_ns);
+}
+
+} // namespace turbofuzz::telemetry

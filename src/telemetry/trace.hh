@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Stage-level tracing: Chrome trace-event JSON spans.
+ *
+ * A TraceRecorder accumulates "complete" (ph:"X") events — one per
+ * scoped span — and writes a chrome://tracing / Perfetto-loadable
+ * JSON file at the end of the run. Spans wrap the engine's four
+ * pipeline stages (DUT batch, REF mirror, trace diff, fused sweep),
+ * stimulus generation, triage minimization and fleet epoch barriers;
+ * docs/telemetry.md lists the span vocabulary and how to open a
+ * capture.
+ *
+ * Cost model, because spans sit on the campaign hot path:
+ *
+ *  - compile-time: building with -DTURBOFUZZ_TRACING=0 compiles every
+ *    TraceSpan/ScopedStage to nothing;
+ *  - runtime, tracing off (the default — no recorder wired up): one
+ *    null-pointer test per span, no clock reads;
+ *  - runtime, tracing on: the sampling knob (record every Nth
+ *    iteration's spans) bounds event volume and overhead, and only
+ *    sampled iterations pay the two clock reads + mutex push per
+ *    span. The mutex exists because fleet shards trace from worker
+ *    threads into one shared recorder.
+ */
+
+#ifndef TURBOFUZZ_TELEMETRY_TRACE_HH
+#define TURBOFUZZ_TELEMETRY_TRACE_HH
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "telemetry/clock.hh"
+
+/** Compile-time master switch; default on (runtime-gated to ~zero). */
+#ifndef TURBOFUZZ_TRACING
+#define TURBOFUZZ_TRACING 1
+#endif
+
+namespace turbofuzz::telemetry
+{
+
+class Counter;
+
+/** Accumulates trace events; thread-safe for concurrent spans. */
+class TraceRecorder
+{
+  public:
+    /**
+     * @param sample_every Record spans of every Nth iteration only
+     *        (1 = every iteration). Sampling is decided per
+     *        iteration via sampleIteration(), so a sampled
+     *        iteration's spans form complete, comparable stacks.
+     */
+    explicit TraceRecorder(uint64_t sample_every = 1);
+
+    /** Whether iteration @p iteration_index should be traced. */
+    bool
+    sampleIteration(uint64_t iteration_index) const
+    {
+        return iteration_index % sampleEvery == 0;
+    }
+
+    uint64_t sampleEveryN() const { return sampleEvery; }
+
+    /** Append one complete event (called by span destructors). */
+    void recordSpan(const char *name, uint64_t begin_ns,
+                    uint64_t end_ns);
+
+    /** Append a zero-duration instant event (epoch markers). */
+    void instant(const char *name);
+
+    size_t eventCount() const;
+
+    /**
+     * Render the Chrome trace-event JSON document
+     * ({"traceEvents":[...]}; timestamps in microseconds relative to
+     * recorder construction).
+     */
+    std::string toJson() const;
+
+    /** Write toJson() to @p path.
+     *  @return false with @p error set on I/O failure. */
+    bool writeFile(const std::string &path,
+                   std::string *error = nullptr) const;
+
+  private:
+    struct Event
+    {
+        const char *name; ///< string literal (span vocabulary)
+        uint64_t beginNs;
+        uint64_t durNs;
+        uint32_t tid;
+        bool isInstant;
+    };
+
+    uint64_t sampleEvery;
+    uint64_t baseNs;
+    mutable std::mutex mu;
+    std::vector<Event> events;
+};
+
+/**
+ * RAII span: emits one "X" event for its scope when @p recorder is
+ * non-null. Pass nullptr on unsampled iterations — the span then
+ * costs a pointer test.
+ */
+class TraceSpan
+{
+  public:
+#if TURBOFUZZ_TRACING
+    TraceSpan(TraceRecorder *recorder, const char *name)
+        : rec(recorder), spanName(name),
+          beginNs(recorder ? nowNs() : 0)
+    {}
+
+    ~TraceSpan()
+    {
+        if (rec)
+            rec->recordSpan(spanName, beginNs, nowNs());
+    }
+
+  private:
+    TraceRecorder *rec;
+    const char *spanName;
+    uint64_t beginNs;
+#else
+    TraceSpan(TraceRecorder *, const char *) {}
+#endif
+
+  public:
+    TraceSpan(const TraceSpan &) = delete;
+    TraceSpan &operator=(const TraceSpan &) = delete;
+};
+
+/**
+ * RAII stage scope: one clock-read pair feeding both a duration
+ * counter (when @p ns_counter is non-null) and a trace span (when
+ * @p recorder is non-null). The engine wraps its four pipeline
+ * stages in these; with neither sink bound the scope is two pointer
+ * tests.
+ */
+class ScopedStage
+{
+  public:
+    ScopedStage(TraceRecorder *recorder, Counter *ns_counter,
+                const char *name)
+#if TURBOFUZZ_TRACING
+        : rec(recorder),
+#else
+        : rec(nullptr),
+#endif
+          counter(ns_counter), spanName(name),
+          beginNs((rec || counter) ? nowNs() : 0)
+    {}
+
+    ~ScopedStage();
+
+    ScopedStage(const ScopedStage &) = delete;
+    ScopedStage &operator=(const ScopedStage &) = delete;
+
+  private:
+    TraceRecorder *rec;
+    Counter *counter;
+    const char *spanName;
+    uint64_t beginNs;
+};
+
+} // namespace turbofuzz::telemetry
+
+#endif // TURBOFUZZ_TELEMETRY_TRACE_HH

@@ -8,10 +8,23 @@
 namespace turbofuzz::triage
 {
 
+void
+TriageQueue::bindTelemetry(telemetry::MetricRegistry *registry,
+                           telemetry::TraceRecorder *recorder)
+{
+    tel = registry ? telemetry::TriageInstruments::resolve(*registry)
+                   : telemetry::TriageInstruments{};
+    trace = recorder;
+    if (tel.buckets)
+        tel.buckets->set(static_cast<int64_t>(list.size()));
+}
+
 size_t
 TriageQueue::push(Reproducer r)
 {
     ++pushed;
+    if (tel.reproducers)
+        tel.reproducers->add(1);
     const BugSignature sig = canonicalize(r);
     const std::string key = sig.key();
 
@@ -25,6 +38,8 @@ TriageQueue::push(Reproducer r)
         bucket.exemplar = std::move(r);
         list.push_back(std::move(bucket));
         byKey.emplace(key, list.size() - 1);
+        if (tel.buckets)
+            tel.buckets->set(static_cast<int64_t>(list.size()));
         return list.size() - 1;
     }
 
@@ -46,7 +61,13 @@ TriageQueue::minimizeAll()
     for (BugBucket &bucket : list) {
         if (bucket.minimized)
             continue;
-        bucket.reduction = minimizer.minimize(bucket.exemplar);
+        {
+            telemetry::ScopedStage stage(trace, tel.minimizeNs,
+                                         "triage.minimize");
+            bucket.reduction = minimizer.minimize(bucket.exemplar);
+        }
+        if (tel.replays)
+            tel.replays->add(bucket.reduction.replays);
         bucket.minimized = true;
     }
 }
@@ -131,6 +152,8 @@ TriageQueue::loadState(soc::SnapshotReader &in, std::string *error)
             byKey.emplace(key, list.size());
             list.push_back(std::move(bucket));
         }
+        if (tel.buckets)
+            tel.buckets->set(static_cast<int64_t>(list.size()));
         return true;
     } catch (const soc::SnapshotFormatError &e) {
         return fail(e.what());

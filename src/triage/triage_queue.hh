@@ -21,6 +21,8 @@
 
 #include <unordered_map>
 
+#include "telemetry/instruments.hh"
+#include "telemetry/trace.hh"
 #include "triage/minimizer.hh"
 #include "triage/signature.hh"
 
@@ -66,6 +68,15 @@ class TriageQueue
     {}
 
     /**
+     * Bind triage instruments (triage.reproducers/replays/
+     * minimize_ns counters + triage.buckets gauge) and an optional
+     * span sink for minimizeAll(). Null detaches either. Purely
+     * observational.
+     */
+    void bindTelemetry(telemetry::MetricRegistry *registry,
+                       telemetry::TraceRecorder *recorder = nullptr);
+
+    /**
      * Bucket @p r by its canonical signature.
      * @return index of the (existing or new) bucket.
      */
@@ -102,6 +113,10 @@ class TriageQueue
     std::vector<BugBucket> list;
     std::unordered_map<std::string, size_t> byKey;
     uint64_t pushed = 0;
+
+    /** Resolved instruments (all null until bindTelemetry). */
+    telemetry::TriageInstruments tel;
+    telemetry::TraceRecorder *trace = nullptr;
 };
 
 /** Print a per-bug table (fleet summary + bench output). */

@@ -10,6 +10,12 @@ reported but not gated (wall-time noise on shared CI runners is far
 above 10%; the committed-instruction rates aggregate enough work to
 be stable).
 
+Missing or malformed input files are hard errors (exit 1 with a
+message naming the file) — a gate that silently passes on an empty
+run protects nothing. `--self-test` exercises the loader's failure
+modes and the comparison logic without any input files; CI runs it
+before trusting the gate.
+
 Refresh the baseline whenever the CI runner hardware class changes or
 a deliberate perf trade-off is accepted:
 
@@ -18,6 +24,7 @@ a deliberate perf trade-off is accepted:
     cp BENCH_micro_throughput.json bench/baselines/
 
 Usage: bench_regress.py BASELINE.json CURRENT.json [--max-drop 0.10]
+       bench_regress.py --self-test
 """
 
 import argparse
@@ -25,74 +32,225 @@ import json
 import sys
 
 
+class BenchFileError(Exception):
+    """A benchmark JSON file that cannot be trusted as gate input."""
+
+
 def load_rates(path):
-    with open(path) as f:
-        doc = json.load(f)
+    """Parse a google-benchmark JSON file into {name: items_per_second}.
+
+    Raises BenchFileError (never returns a silently empty dict for a
+    broken file) when the file is missing, not JSON, or not shaped
+    like google-benchmark output.
+    """
+    try:
+        with open(path) as f:
+            raw = f.read()
+    except OSError as e:
+        raise BenchFileError(f"cannot read benchmark file {path}: {e}")
+    try:
+        doc = json.loads(raw)
+    except json.JSONDecodeError as e:
+        raise BenchFileError(f"malformed JSON in {path}: {e}")
+    if not isinstance(doc, dict) or "benchmarks" not in doc:
+        raise BenchFileError(
+            f"{path}: not google-benchmark output (no 'benchmarks' key)"
+        )
+    if not isinstance(doc["benchmarks"], list):
+        raise BenchFileError(f"{path}: 'benchmarks' is not a list")
     rates = {}
-    for bench in doc.get("benchmarks", []):
+    for bench in doc["benchmarks"]:
+        if not isinstance(bench, dict) or "name" not in bench:
+            raise BenchFileError(
+                f"{path}: benchmark entry without a name: {bench!r}"
+            )
         if bench.get("run_type") == "aggregate":
             continue
         rate = bench.get("items_per_second")
-        if rate is not None and rate > 0:
-            rates[bench["name"]] = rate
+        if rate is not None:
+            if not isinstance(rate, (int, float)):
+                raise BenchFileError(
+                    f"{path}: non-numeric items_per_second for "
+                    f"{bench['name']}: {rate!r}"
+                )
+            if rate > 0:
+                rates[bench["name"]] = rate
     return rates
 
 
-def main():
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("baseline")
-    parser.add_argument("current")
-    parser.add_argument(
-        "--max-drop",
-        type=float,
-        default=0.10,
-        help="maximum tolerated relative commits/sec drop (default 0.10)",
-    )
-    args = parser.parse_args()
-
-    baseline = load_rates(args.baseline)
-    current = load_rates(args.current)
+def compare(baseline, current, max_drop):
+    """Gate logic on two {name: rate} dicts. Returns (exit_code, lines)."""
+    lines = []
     if not baseline:
-        print(f"error: no items_per_second entries in {args.baseline}")
-        return 1
+        lines.append("error: no items_per_second entries in baseline")
+        return 1, lines
 
     failures = []
     missing = []
     width = max(len(n) for n in baseline)
-    print(f"{'benchmark':<{width}}  {'baseline':>12}  {'current':>12}  delta")
+    lines.append(
+        f"{'benchmark':<{width}}  {'baseline':>12}  {'current':>12}  delta"
+    )
     for name in sorted(baseline):
         base = baseline[name]
         cur = current.get(name)
         if cur is None:
             missing.append(name)
-            print(f"{name:<{width}}  {base:>12.0f}  {'MISSING':>12}")
+            lines.append(f"{name:<{width}}  {base:>12.0f}  {'MISSING':>12}")
             continue
         delta = (cur - base) / base
         flag = ""
-        if delta < -args.max_drop:
+        if delta < -max_drop:
             failures.append((name, delta))
             flag = "  << REGRESSION"
-        print(
+        lines.append(
             f"{name:<{width}}  {base:>12.0f}  {cur:>12.0f}  "
             f"{delta:+7.1%}{flag}"
         )
 
     new_names = sorted(set(current) - set(baseline))
     for name in new_names:
-        print(f"{name:<{width}}  {'(new)':>12}  {current[name]:>12.0f}")
+        lines.append(f"{name:<{width}}  {'(new)':>12}  {current[name]:>12.0f}")
 
     if missing:
-        print(f"\nerror: benchmarks missing from current run: {missing}")
-        return 1
+        lines.append(
+            f"\nerror: benchmarks missing from current run: {missing}"
+        )
+        return 1, lines
     if failures:
         drops = ", ".join(f"{n} ({d:+.1%})" for n, d in failures)
-        print(
+        lines.append(
             f"\nerror: commits/sec regressed more than "
-            f"{args.max_drop:.0%} vs baseline: {drops}"
+            f"{max_drop:.0%} vs baseline: {drops}"
         )
+        return 1, lines
+    lines.append(f"\nok: no benchmark dropped more than {max_drop:.0%}")
+    return 0, lines
+
+
+def self_test():
+    """Exercise loader failure modes and gate decisions in-process."""
+    import os
+    import tempfile
+
+    checks = []
+
+    def check(name, cond):
+        checks.append((name, cond))
+        print(f"  {'ok' if cond else 'FAIL'}: {name}")
+
+    def expect_load_error(name, content):
+        with tempfile.NamedTemporaryFile(
+            "w", suffix=".json", delete=False
+        ) as f:
+            f.write(content)
+            path = f.name
+        try:
+            try:
+                load_rates(path)
+            except BenchFileError:
+                check(name, True)
+            else:
+                check(name, False)
+        finally:
+            os.unlink(path)
+
+    # Loader: missing file must raise, not return {}.
+    try:
+        load_rates("/nonexistent/bench_regress_self_test.json")
+    except BenchFileError:
+        check("missing file raises", True)
+    else:
+        check("missing file raises", False)
+
+    expect_load_error("malformed JSON raises", "{not json")
+    expect_load_error("non-benchmark JSON raises", '{"foo": 1}')
+    expect_load_error(
+        "non-list benchmarks raises", '{"benchmarks": {"a": 1}}'
+    )
+    expect_load_error(
+        "nameless entry raises", '{"benchmarks": [{"items_per_second": 5}]}'
+    )
+    expect_load_error(
+        "non-numeric rate raises",
+        '{"benchmarks": [{"name": "b", "items_per_second": "fast"}]}',
+    )
+
+    # Loader: a valid file parses, skipping aggregates and rate-less
+    # timing benches.
+    valid = {
+        "benchmarks": [
+            {"name": "BM_A", "items_per_second": 100.0},
+            {"name": "BM_A_mean", "run_type": "aggregate",
+             "items_per_second": 100.0},
+            {"name": "BM_Timing"},
+        ]
+    }
+    with tempfile.NamedTemporaryFile(
+        "w", suffix=".json", delete=False
+    ) as f:
+        json.dump(valid, f)
+        path = f.name
+    try:
+        rates = load_rates(path)
+        check("valid file parses", rates == {"BM_A": 100.0})
+    finally:
+        os.unlink(path)
+
+    # Gate decisions.
+    code, _ = compare({"BM_A": 100.0}, {"BM_A": 95.0}, 0.10)
+    check("5% drop passes at 10% gate", code == 0)
+    code, _ = compare({"BM_A": 100.0}, {"BM_A": 85.0}, 0.10)
+    check("15% drop fails at 10% gate", code == 1)
+    code, _ = compare({"BM_A": 100.0}, {}, 0.10)
+    check("missing benchmark fails", code == 1)
+    code, _ = compare({}, {"BM_A": 100.0}, 0.10)
+    check("empty baseline fails", code == 1)
+    code, _ = compare(
+        {"BM_A": 100.0}, {"BM_A": 100.0, "BM_New": 50.0}, 0.10
+    )
+    check("new benchmark is ungated", code == 0)
+
+    failed = [n for n, ok in checks if not ok]
+    if failed:
+        print(f"\nself-test FAILED: {failed}")
         return 1
-    print(f"\nok: no benchmark dropped more than {args.max_drop:.0%}")
+    print(f"\nself-test ok: {len(checks)} checks passed")
     return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", nargs="?")
+    parser.add_argument("current", nargs="?")
+    parser.add_argument(
+        "--max-drop",
+        type=float,
+        default=0.10,
+        help="maximum tolerated relative commits/sec drop (default 0.10)",
+    )
+    parser.add_argument(
+        "--self-test",
+        action="store_true",
+        help="run the built-in checks of the loader and gate logic",
+    )
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if args.baseline is None or args.current is None:
+        parser.error("BASELINE and CURRENT are required (or --self-test)")
+
+    try:
+        baseline = load_rates(args.baseline)
+        current = load_rates(args.current)
+    except BenchFileError as e:
+        print(f"error: {e}")
+        return 1
+
+    code, lines = compare(baseline, current, args.max_drop)
+    print("\n".join(lines))
+    return code
 
 
 if __name__ == "__main__":

@@ -1,0 +1,237 @@
+#!/usr/bin/env python3
+"""Summarize and validate TurboFuzz telemetry artifacts.
+
+Two modes:
+
+Trace mode (default) — read a Chrome trace-event JSON file written by
+`--trace-out` and print a per-stage time table: total time, span
+count, and mean duration per span name, plus each engine stage's
+share of the enclosing `engine.iteration` spans. With
+`--check-coverage FRAC` the tool exits 1 unless the four engine
+pipeline stages (engine.dut_batch, engine.ref_mirror,
+engine.trace_diff, engine.fused_sweep) together cover at least FRAC
+of the `engine.iteration` wall time — the acceptance check that the
+stage spans actually account for where engine time goes.
+
+JSONL mode (`--jsonl`) — validate a `--stats-file` emission: every
+line must be a standalone JSON object with the
+"turbofuzz.metrics.v1" schema tag, monotonically non-decreasing
+t_sim/t_host/epoch, and a metrics object of numbers and histogram
+objects. Exits 1 on any violation, naming the line.
+
+Both modes treat missing/malformed input as a hard error — this tool
+doubles as the CI artifact validator, and a validator that shrugs at
+an empty file validates nothing.
+
+Usage: trace_summary.py TRACE.json [--check-coverage 0.95]
+       trace_summary.py --jsonl STATS.jsonl [--min-lines 1]
+"""
+
+import argparse
+import json
+import sys
+
+ENGINE_STAGES = (
+    "engine.dut_batch",
+    "engine.ref_mirror",
+    "engine.trace_diff",
+    "engine.fused_sweep",
+)
+
+
+def fail(msg):
+    print(f"error: {msg}")
+    sys.exit(1)
+
+
+def load_trace(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except OSError as e:
+        fail(f"cannot read trace file {path}: {e}")
+    except json.JSONDecodeError as e:
+        fail(f"malformed JSON in {path}: {e}")
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        fail(f"{path}: not a Chrome trace (no 'traceEvents' key)")
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        fail(f"{path}: 'traceEvents' is not a list")
+    return events
+
+
+def validate_event(path, i, ev):
+    if not isinstance(ev, dict):
+        fail(f"{path}: traceEvents[{i}] is not an object")
+    for key in ("name", "ph", "ts", "pid", "tid"):
+        if key not in ev:
+            fail(f"{path}: traceEvents[{i}] missing '{key}'")
+    if ev["ph"] not in ("X", "i"):
+        fail(f"{path}: traceEvents[{i}] unexpected phase {ev['ph']!r}")
+    if ev["ph"] == "X" and "dur" not in ev:
+        fail(f"{path}: traceEvents[{i}] complete event without 'dur'")
+    if not isinstance(ev["ts"], (int, float)) or ev["ts"] < 0:
+        fail(f"{path}: traceEvents[{i}] bad ts {ev['ts']!r}")
+    if "dur" in ev and (
+        not isinstance(ev["dur"], (int, float)) or ev["dur"] < 0
+    ):
+        fail(f"{path}: traceEvents[{i}] bad dur {ev['dur']!r}")
+
+
+def summarize_trace(path, check_coverage):
+    events = load_trace(path)
+    if not events:
+        fail(f"{path}: trace contains no events")
+
+    # name -> [total_us, count]
+    spans = {}
+    instants = {}
+    for i, ev in enumerate(events):
+        validate_event(path, i, ev)
+        if ev["ph"] == "i":
+            instants[ev["name"]] = instants.get(ev["name"], 0) + 1
+            continue
+        total, count = spans.get(ev["name"], (0.0, 0))
+        spans[ev["name"]] = (total + ev["dur"], count + 1)
+
+    print(f"{path}: {len(events)} events, {len(spans)} span names")
+    if spans:
+        width = max(len(n) for n in spans)
+        print(
+            f"\n{'span':<{width}}  {'total_ms':>10}  {'count':>8}  "
+            f"{'mean_us':>9}"
+        )
+        for name in sorted(
+            spans, key=lambda n: spans[n][0], reverse=True
+        ):
+            total, count = spans[name]
+            print(
+                f"{name:<{width}}  {total / 1000.0:>10.2f}  "
+                f"{count:>8}  {total / count:>9.1f}"
+            )
+    for name in sorted(instants):
+        print(f"instant {name}: {instants[name]}")
+
+    iter_total = spans.get("engine.iteration", (0.0, 0))[0]
+    stage_total = sum(spans.get(s, (0.0, 0))[0] for s in ENGINE_STAGES)
+    if iter_total > 0:
+        coverage = stage_total / iter_total
+        print(
+            f"\nengine stage coverage: {coverage:.1%} of "
+            f"engine.iteration time "
+            f"({stage_total / 1000.0:.2f} / {iter_total / 1000.0:.2f} ms)"
+        )
+        if check_coverage is not None and coverage < check_coverage:
+            fail(
+                f"stage spans cover {coverage:.1%} of engine time, "
+                f"below the required {check_coverage:.0%}"
+            )
+    elif check_coverage is not None:
+        fail(f"{path}: no engine.iteration spans to check coverage of")
+    return 0
+
+
+def validate_metrics_object(path, lineno, metrics):
+    if not isinstance(metrics, dict):
+        fail(f"{path}:{lineno}: 'metrics' is not an object")
+    for name, value in metrics.items():
+        if isinstance(value, (int, float)):
+            continue
+        if isinstance(value, dict):
+            for key in ("count", "sum", "min", "max", "buckets"):
+                if key not in value:
+                    fail(
+                        f"{path}:{lineno}: histogram {name!r} "
+                        f"missing '{key}'"
+                    )
+            if not isinstance(value["buckets"], dict):
+                fail(
+                    f"{path}:{lineno}: histogram {name!r} buckets "
+                    f"is not an object"
+                )
+            continue
+        fail(
+            f"{path}:{lineno}: metric {name!r} is neither a number "
+            f"nor a histogram object"
+        )
+
+
+def validate_jsonl(path, min_lines):
+    try:
+        with open(path) as f:
+            lines = f.read().splitlines()
+    except OSError as e:
+        fail(f"cannot read stats file {path}: {e}")
+
+    prev = {"t_sim": -1.0, "t_host": -1.0, "epoch": -1}
+    count = 0
+    for lineno, line in enumerate(lines, 1):
+        if not line.strip():
+            fail(f"{path}:{lineno}: blank line in JSONL stream")
+        try:
+            doc = json.loads(line)
+        except json.JSONDecodeError as e:
+            fail(f"{path}:{lineno}: malformed JSON: {e}")
+        if not isinstance(doc, dict):
+            fail(f"{path}:{lineno}: line is not a JSON object")
+        if doc.get("schema") != "turbofuzz.metrics.v1":
+            fail(
+                f"{path}:{lineno}: unexpected schema "
+                f"{doc.get('schema')!r}"
+            )
+        for key, kind in (
+            ("t_sim", (int, float)),
+            ("t_host", (int, float)),
+            ("epoch", int),
+        ):
+            if not isinstance(doc.get(key), kind):
+                fail(f"{path}:{lineno}: missing/bad '{key}'")
+            if doc[key] < prev[key]:
+                fail(
+                    f"{path}:{lineno}: '{key}' went backwards "
+                    f"({prev[key]} -> {doc[key]})"
+                )
+        validate_metrics_object(path, lineno, doc.get("metrics"))
+        prev = {k: doc[k] for k in ("t_sim", "t_host", "epoch")}
+        count += 1
+
+    if count < min_lines:
+        fail(
+            f"{path}: only {count} stats line(s), expected at least "
+            f"{min_lines}"
+        )
+    print(f"{path}: {count} valid turbofuzz.metrics.v1 lines")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("file", help="trace JSON or stats JSONL file")
+    parser.add_argument(
+        "--jsonl",
+        action="store_true",
+        help="validate a --stats-file JSONL stream instead of a trace",
+    )
+    parser.add_argument(
+        "--check-coverage",
+        type=float,
+        default=None,
+        metavar="FRAC",
+        help="fail unless engine stage spans cover >= FRAC of "
+        "engine.iteration time (e.g. 0.95)",
+    )
+    parser.add_argument(
+        "--min-lines",
+        type=int,
+        default=1,
+        help="minimum JSONL lines required in --jsonl mode (default 1)",
+    )
+    args = parser.parse_args()
+
+    if args.jsonl:
+        return validate_jsonl(args.file, args.min_lines)
+    return summarize_trace(args.file, args.check_coverage)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
