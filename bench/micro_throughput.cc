@@ -253,6 +253,43 @@ BENCHMARK(BM_WarmStartIteration)
     ->Unit(benchmark::kMicrosecond);
 
 /**
+ * Provenance observer overhead (docs/provenance.md): full campaign
+ * iterations at the default batch size (64) with first-hit
+ * attribution off (arg=0) and on (arg=1). On the hot path
+ * provenance costs one null-pointer test per newly-admitted
+ * coverage point when off; when on it adds a ledger insert per
+ * *first* hit plus a few forensics-ring pushes per iteration —
+ * amortizing toward the pointer test as coverage saturates.
+ * items_per_second reports committed instructions per host second;
+ * bench_regress.py holds both arms within the 10% gate.
+ */
+void
+BM_ProvenanceOverhead(benchmark::State &state)
+{
+    static isa::InstructionLibrary lib = harness::makeDefaultLibrary();
+    auto opts = harness::CampaignOptions{};
+    opts.timing = soc::turboFuzzProfile();
+    opts.batchSize = 64;
+    opts.provenance = state.range(0) != 0;
+    fuzzer::FuzzerOptions fopts;
+    fopts.instrsPerIteration = 1000;
+    harness::Campaign campaign(
+        opts,
+        std::make_unique<fuzzer::TurboFuzzGenerator>(fopts, &lib));
+    uint64_t commits = 0;
+    for (auto _ : state) {
+        const harness::IterationResult r = campaign.runIteration();
+        commits += r.executedTotal;
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(commits));
+    state.SetLabel(opts.provenance ? "provenance" : "baseline");
+}
+BENCHMARK(BM_ProvenanceOverhead)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMicrosecond);
+
+/**
  * Warm-start on the triage replay path: cold ReplayHarness::replay
  * (full re-materialization + preamble re-execution per replay)
  * versus the warm ReplayHarness::Context the minimizer uses (base

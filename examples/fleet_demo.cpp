@@ -12,6 +12,7 @@
  *                [--stats-file=FILE --stats-every=SEC]
  *                [--trace-out=FILE --trace-sample=N]
  *                [--stage-timing]
+ *                [--provenance] [--provenance-out=FILE]
  *
  * Each shard models one FPGA board running the complete on-fabric
  * TurboFuzz loop; the host synchronizes them once per epoch. See
@@ -28,6 +29,13 @@
  * `--stage-timing` turns on per-stage nanosecond counters (implied
  * by `--trace-out`). Any of these also appends a merged fleet
  * metrics table to the summary.
+ *
+ * Provenance (docs/provenance.md): `--provenance` records first-hit
+ * attribution per coverage point and appends the ledger-derived
+ * plateau table to the summary; `--provenance-out` (implies
+ * `--provenance`) additionally writes the machine-readable
+ * "turbofuzz.provenance.v1" report consumed by
+ * tools/provenance_report.py.
  */
 
 #include <cstdio>
@@ -104,5 +112,7 @@ main(int argc, char **argv)
                               !fc.traceOut.empty() || fc.stageTiming;
     if (telemetry_on)
         fleet::printFleetMetrics(result.metrics);
+    if (fc.provenance)
+        fleet::printFleetProvenance(result);
     return 0;
 }

@@ -154,6 +154,12 @@ FleetConfig::fromConfig(const Config &cfg)
     fc.stageTiming =
         cfg.getBool("stage-timing", false) || !fc.traceOut.empty();
 
+    // A provenance report without the recording layer would always be
+    // empty, so provenance-out implies provenance.
+    fc.provenanceOut = cfg.getString("provenance-out", "");
+    fc.provenance =
+        cfg.getBool("provenance", false) || !fc.provenanceOut.empty();
+
     return fc;
 }
 

@@ -142,6 +142,20 @@ struct FleetConfig
     uint64_t traceSampleEvery = 1;
     bool stageTiming = false;
 
+    /**
+     * Coverage provenance (docs/provenance.md). provenance binds a
+     * first-hit ledger into every shard's feedback models and keeps
+     * a per-shard forensics ring; ledgers merge (min-wins) into a
+     * global view at epoch barriers. provenanceOut additionally
+     * writes the machine-readable "turbofuzz.provenance.v1" report
+     * (first hits, never-hit targets, operator attribution, lineage
+     * histogram) at the end of run(); setting it implies provenance.
+     * Observational like the telemetry above: fleet results are
+     * bit-identical on vs off (tests/provenance/).
+     */
+    bool provenance = false;
+    std::string provenanceOut;
+
     /** Per-shard RNG seed; shardSeed(0) == fleetSeed. */
     uint64_t shardSeed(unsigned shard_idx) const;
 
@@ -156,7 +170,7 @@ struct FleetConfig
      * budget, top-k, topology (none|ring|broadcast), sync-cost,
      * threads, coverage-model (mux|csr|edges|composite), scheduler
      * (static|bandit), stats-file, stats-every, trace-out,
-     * trace-sample, stage-timing.
+     * trace-sample, stage-timing, provenance, provenance-out.
      */
     static FleetConfig fromConfig(const Config &cfg);
 };

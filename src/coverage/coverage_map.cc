@@ -1,6 +1,7 @@
 #include "coverage/coverage_map.hh"
 
 #include "common/logging.hh"
+#include "coverage/provenance.hh"
 #include "rtl/driver.hh"
 #include "soc/snapshot.hh"
 
@@ -41,6 +42,10 @@ CoverageMap::markModule(size_t i)
     word |= bit;
     ++coveredPerModule[i];
     ++coveredTotal;
+    if (prov)
+        prov->record(pointKey(PointSpace::Mux,
+                              static_cast<uint32_t>(i),
+                              static_cast<uint32_t>(idx)));
     return 1;
 }
 

@@ -139,6 +139,11 @@ class CoverageMap : public FeedbackModel
      */
     bool merge(const CoverageMap &other, std::string *error = nullptr);
 
+    void bindProvenance(FirstHitLedger *ledger) override
+    {
+        prov = ledger;
+    }
+
     /** Checkpoint support: serialize all bitmaps + covered counts. */
     void saveState(soc::SnapshotWriter &out) const override;
 
@@ -159,6 +164,7 @@ class CoverageMap : public FeedbackModel
     std::vector<std::vector<uint64_t>> bitmaps; ///< 1 bit per point
     std::vector<uint64_t> coveredPerModule;
     uint64_t coveredTotal = 0;
+    FirstHitLedger *prov = nullptr; ///< null: provenance off
 
     /**
      * Per module: bitmask over rtl::RegRole of the roles its control

@@ -5,6 +5,7 @@
 #include "checker/diff_checker.hh"
 #include "common/logging.hh"
 #include "core/commit_info.hh"
+#include "coverage/provenance.hh"
 #include "soc/snapshot.hh"
 
 namespace turbofuzz::coverage
@@ -107,6 +108,10 @@ CsrTransitionModel::sweep(rtl::EventDriver & /*drv*/,
         const uint64_t gained = markBit(bitmap, key & mask);
         newly += gained;
         hit += gained;
+        if (prov && gained)
+            prov->record(pointKey(
+                PointSpace::Csr, 0,
+                static_cast<uint32_t>(key & mask)));
     }
     return newly;
 }
@@ -239,6 +244,11 @@ HitCountModel::sweep(rtl::EventDriver & /*drv*/,
             buckets[edge] |= bit;
             ++newly;
             ++hit;
+            if (prov)
+                prov->record(pointKey(
+                    PointSpace::Edge,
+                    static_cast<uint32_t>(__builtin_ctz(bit)),
+                    static_cast<uint32_t>(edge)));
         }
     }
     return newly;
@@ -343,6 +353,13 @@ CompositeFeedback::reset()
 {
     for (Part &p : members)
         p.model->reset();
+}
+
+void
+CompositeFeedback::bindProvenance(FirstHitLedger *ledger)
+{
+    for (Part &p : members)
+        p.model->bindProvenance(ledger);
 }
 
 bool

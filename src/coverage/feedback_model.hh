@@ -65,6 +65,8 @@ struct CommitInfo;
 namespace turbofuzz::coverage
 {
 
+class FirstHitLedger;
+
 /** Which feedback signal drives the corpus scheduler. */
 enum class CoverageModelKind : uint8_t
 {
@@ -147,6 +149,17 @@ class FeedbackModel
     virtual bool merge(const FeedbackModel &other,
                        std::string *error = nullptr) = 0;
 
+    /**
+     * Attach a first-hit ledger (provenance.hh): the model records
+     * every point its sweep newly hits. Follows the telemetry bundle
+     * pattern — the model keeps a plain pointer, null detaches, and
+     * the hot path pays one pointer test on the (rare) newly-hit
+     * branch only. Strictly observational: binding a ledger must not
+     * change any sweep result. Default: provenance unsupported,
+     * silently ignored.
+     */
+    virtual void bindProvenance(FirstHitLedger *ledger) { (void)ledger; }
+
     /** Checkpoint support: serialize the complete model state. */
     virtual void saveState(soc::SnapshotWriter &out) const = 0;
 
@@ -191,9 +204,15 @@ class CsrTransitionModel : public FeedbackModel
     /** Distinct CSRs seen so far (diagnostics). */
     size_t trackedCsrs() const { return lastValue.size(); }
 
+    void bindProvenance(FirstHitLedger *ledger) override
+    {
+        prov = ledger;
+    }
+
   private:
     std::vector<uint64_t> bitmap;
     uint64_t hit = 0;
+    FirstHitLedger *prov = nullptr; ///< null: provenance off
 
     /** Ordered so saveState() is deterministic across runs. */
     std::map<uint16_t, uint64_t> lastValue;
@@ -232,10 +251,16 @@ class HitCountModel : public FeedbackModel
      *  a never-hit edge. */
     static uint8_t bucketBit(uint32_t count);
 
+    void bindProvenance(FirstHitLedger *ledger) override
+    {
+        prov = ledger;
+    }
+
   private:
     std::vector<uint8_t> buckets; ///< lit bucket bits per edge
     std::vector<uint32_t> counts; ///< saturating hit count per edge
     uint64_t hit = 0;
+    FirstHitLedger *prov = nullptr; ///< null: provenance off
 };
 
 /**
@@ -270,6 +295,9 @@ class CompositeFeedback : public FeedbackModel
                    std::string *error = nullptr) override;
 
     const std::vector<Part> &parts() const { return members; }
+
+    /** Forwarded to every part. */
+    void bindProvenance(FirstHitLedger *ledger) override;
 
   private:
     std::vector<Part> members;

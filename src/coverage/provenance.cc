@@ -1,0 +1,174 @@
+#include "coverage/provenance.hh"
+
+#include <algorithm>
+
+namespace turbofuzz::coverage
+{
+
+namespace
+{
+
+void
+setError(std::string *error, const char *msg)
+{
+    if (error)
+        *error = msg;
+}
+
+} // namespace
+
+const char *
+pointSpaceName(PointSpace space)
+{
+    switch (space) {
+      case PointSpace::Mux:
+        return "mux";
+      case PointSpace::Csr:
+        return "csr";
+      case PointSpace::Edge:
+        return "edges";
+    }
+    return "unknown";
+}
+
+const char *
+provenanceOpName(uint8_t op)
+{
+    switch (static_cast<ProvenanceOp>(op)) {
+      case ProvenanceOp::Direct:
+        return "direct";
+      case ProvenanceOp::Generate:
+        return "generate";
+      case ProvenanceOp::Delete:
+        return "delete";
+      case ProvenanceOp::Retain:
+        return "retain";
+    }
+    return "unknown";
+}
+
+bool
+firstHitEarlier(const FirstHit &a, const FirstHit &b)
+{
+    // wallNs is deliberately absent: it does not replay across
+    // checkpoint/resume and would make merged attribution depend on
+    // host scheduling.
+    if (a.simTimeSec != b.simTimeSec)
+        return a.simTimeSec < b.simTimeSec;
+    if (a.shard != b.shard)
+        return a.shard < b.shard;
+    return a.iteration < b.iteration;
+}
+
+void
+FirstHitLedger::setContext(uint64_t iteration, uint64_t seed_id,
+                           uint8_t op, double sim_time_sec,
+                           uint64_t wall_ns)
+{
+    ctx.iteration = iteration;
+    ctx.seedId = seed_id;
+    ctx.op = op;
+    ctx.simTimeSec = sim_time_sec;
+    ctx.wallNs = wall_ns;
+}
+
+const FirstHit *
+FirstHitLedger::find(uint64_t key) const
+{
+    const auto it = map.find(key);
+    return it == map.end() ? nullptr : &it->second;
+}
+
+double
+FirstHitLedger::lastHitSimSec() const
+{
+    double last = 0.0;
+    for (const auto &[key, hit] : map) {
+        (void)key;
+        if (hit.simTimeSec > last)
+            last = hit.simTimeSec;
+    }
+    return last;
+}
+
+std::vector<std::pair<uint64_t, FirstHit>>
+FirstHitLedger::sortedEntries() const
+{
+    std::vector<std::pair<uint64_t, FirstHit>> out(map.begin(),
+                                                   map.end());
+    std::sort(out.begin(), out.end(),
+              [](const auto &a, const auto &b) {
+                  return a.first < b.first;
+              });
+    return out;
+}
+
+void
+FirstHitLedger::merge(const FirstHitLedger &other)
+{
+    for (const auto &[key, hit] : other.map) {
+        const auto [it, inserted] = map.emplace(key, hit);
+        if (!inserted && firstHitEarlier(hit, it->second))
+            it->second = hit;
+    }
+}
+
+void
+FirstHitLedger::saveState(soc::SnapshotWriter &out) const
+{
+    out.putU64(map.size());
+    for (const auto &[key, hit] : sortedEntries()) {
+        out.putU64(key);
+        out.putF64(hit.simTimeSec);
+        out.putU64(hit.iteration);
+        out.putU32(hit.shard);
+        out.putU64(hit.seedId);
+        out.putU8(hit.op);
+        out.putU64(hit.wallNs);
+    }
+}
+
+bool
+FirstHitLedger::loadState(soc::SnapshotReader &in, std::string *error)
+try {
+    map.clear();
+    const uint64_t count = in.getU64();
+    // Each entry is 8+8+8+4+8+1+8 = 45 bytes; reject counts the
+    // remaining buffer cannot possibly hold.
+    if (count > in.remaining() / 45 + 1) {
+        setError(error, "provenance ledger: entry count exceeds "
+                        "section size");
+        return false;
+    }
+    map.reserve(count);
+    uint64_t prev_key = 0;
+    for (uint64_t i = 0; i < count; ++i) {
+        const uint64_t key = in.getU64();
+        if (i > 0 && key <= prev_key) {
+            map.clear();
+            setError(error, "provenance ledger: keys out of order");
+            return false;
+        }
+        prev_key = key;
+        FirstHit hit;
+        hit.simTimeSec = in.getF64();
+        hit.iteration = in.getU64();
+        hit.shard = in.getU32();
+        hit.seedId = in.getU64();
+        hit.op = in.getU8();
+        hit.wallNs = in.getU64();
+        if (hit.op > static_cast<uint8_t>(ProvenanceOp::Retain)) {
+            map.clear();
+            setError(error, "provenance ledger: unknown operator");
+            return false;
+        }
+        map.emplace(key, hit);
+    }
+    return true;
+} catch (const soc::SnapshotFormatError &e) {
+    map.clear();
+    setError(error, e.what());
+    return false;
+}
+
+} // namespace turbofuzz::coverage

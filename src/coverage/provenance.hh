@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Coverage provenance: the first-hit ledger.
+ *
+ * Answers *why* coverage grows, not just how much: for every coverage
+ * point any FeedbackModel admits through newlyHit(), the ledger
+ * records which iteration, shard, parent seed and mutation operator
+ * reached it first, at what simulated time. Points are identified by
+ * a 64-bit key spanning the three coverage spaces (mux register
+ * coverage, CSR transitions, edge hit-count buckets) so one ledger
+ * covers a composite model.
+ *
+ * Hot-path safety follows the telemetry bundle pattern
+ * (telemetry/instruments.hh): the models hold a plain
+ * FirstHitLedger pointer, null when provenance is off, and call
+ * record() only on the newly-hit branch — the rare branch by
+ * construction once a campaign warms up. The attribution context
+ * (iteration, seed, operator, time) is stamped once per iteration by
+ * the campaign, so record() is a map insert of a pre-built value.
+ *
+ * Ledgers merge at fleet barriers with min-wins semantics: the
+ * globally earliest hit keeps the attribution. "Earliest" compares
+ * (simTimeSec, shard, iteration) — all three replay deterministically
+ * across checkpoint/resume, so merged attribution is independent of
+ * shard visit order and of wall-clock jitter. wallNs rides along for
+ * humans but never participates in the comparison.
+ */
+
+#ifndef TURBOFUZZ_COVERAGE_PROVENANCE_HH
+#define TURBOFUZZ_COVERAGE_PROVENANCE_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "soc/snapshot.hh"
+
+namespace turbofuzz::coverage
+{
+
+/** Which coverage space a ledger key lives in. */
+enum class PointSpace : uint8_t {
+    Mux = 0,  ///< register coverage: module index + coverage index
+    Csr = 1,  ///< CSR-transition bitmap index
+    Edge = 2, ///< hit-count bucket: edge index + bucket bit
+};
+
+const char *pointSpaceName(PointSpace space);
+
+/** Pack (space, module, index) into one ledger key. */
+constexpr uint64_t
+pointKey(PointSpace space, uint32_t module, uint32_t index)
+{
+    return (static_cast<uint64_t>(space) << 56) |
+           (static_cast<uint64_t>(module & 0xFFFFFFu) << 32) | index;
+}
+
+constexpr PointSpace
+pointSpace(uint64_t key)
+{
+    return static_cast<PointSpace>(key >> 56);
+}
+
+constexpr uint32_t
+pointModule(uint64_t key)
+{
+    return static_cast<uint32_t>(key >> 32) & 0xFFFFFFu;
+}
+
+constexpr uint32_t
+pointIndex(uint64_t key)
+{
+    return static_cast<uint32_t>(key);
+}
+
+/** Mutation-operator attribution for an iteration (the dominant
+ *  MutOp of the mutation that produced it, or Direct for pure
+ *  generation). Values are stable wire format — append only. */
+enum class ProvenanceOp : uint8_t {
+    Direct = 0,   ///< no parent seed: direct generation
+    Generate = 1, ///< MutOp::Generate dominated
+    Delete = 2,   ///< MutOp::Delete dominated
+    Retain = 3,   ///< MutOp::Retain dominated
+};
+
+const char *provenanceOpName(uint8_t op);
+
+/** Attribution of one first hit. */
+struct FirstHit
+{
+    double simTimeSec = 0.0; ///< shard sim clock at iteration start
+    uint64_t iteration = 0;  ///< shard-local iteration index
+    uint32_t shard = 0;      ///< fleet shard index
+    uint64_t seedId = 0;     ///< parent seed id (0 = direct)
+    uint8_t op = 0;          ///< ProvenanceOp value
+    uint64_t wallNs = 0;     ///< telemetry::nowNs(); informational
+};
+
+/** True when @p a is strictly earlier than @p b under the
+ *  deterministic (simTimeSec, shard, iteration) order. */
+bool firstHitEarlier(const FirstHit &a, const FirstHit &b);
+
+/**
+ * Point -> first-hit attribution map. Purely observational: nothing
+ * in the fuzzing loop reads it back.
+ */
+class FirstHitLedger
+{
+  public:
+    /** Stamp the attribution used by subsequent record() calls. */
+    void setContext(uint64_t iteration, uint64_t seed_id, uint8_t op,
+                    double sim_time_sec, uint64_t wall_ns);
+
+    /** Shard index stamped into every attribution. */
+    void setShard(uint32_t shard) { ctx.shard = shard; }
+
+    /**
+     * Record @p key as first hit under the current context. Called
+     * from model mark sites on the newly-hit branch only; keeps the
+     * earliest attribution if the key was already present (the warm
+     * prologue can re-mark points within one campaign).
+     */
+    void
+    record(uint64_t key)
+    {
+        map.emplace(key, ctx);
+    }
+
+    size_t size() const { return map.size(); }
+    bool empty() const { return map.empty(); }
+
+    /**
+     * Key-ordered snapshot of the ledger — deterministic iteration
+     * for reports and tests. The backing store is a hash map (the
+     * record() hot path is one O(1) insert per first hit); sorting
+     * is paid only here and in saveState, both off the hot path.
+     */
+    std::vector<std::pair<uint64_t, FirstHit>> sortedEntries() const;
+
+    /** Earliest attribution for @p key, or nullptr. */
+    const FirstHit *find(uint64_t key) const;
+
+    /** Largest simTimeSec over all entries (0 when empty) — the
+     *  time-to-last-new-coverage reading. */
+    double lastHitSimSec() const;
+
+    /**
+     * Min-wins merge: for keys present in both, keep the earlier
+     * attribution under firstHitEarlier(). Associative and
+     * commutative, so fleet barriers may merge shard ledgers in any
+     * order and reach the same global ledger.
+     */
+    void merge(const FirstHitLedger &other);
+
+    void clear() { map.clear(); }
+
+    void saveState(soc::SnapshotWriter &out) const;
+
+    /** Replace contents from @p in.
+     *  @return false with @p error set on malformed input; the
+     *  ledger is left empty in that case. */
+    bool loadState(soc::SnapshotReader &in,
+                   std::string *error = nullptr);
+
+  private:
+    std::unordered_map<uint64_t, FirstHit> map;
+    FirstHit ctx;
+};
+
+} // namespace turbofuzz::coverage
+
+#endif // TURBOFUZZ_COVERAGE_PROVENANCE_HH

@@ -1,6 +1,7 @@
 #include "fleet/fleet_stats.hh"
 
 #include <cstdio>
+#include <string>
 
 namespace turbofuzz::fleet
 {
@@ -91,6 +92,26 @@ printFleetMetrics(const telemetry::MetricsSnapshot &metrics)
           }
         }
         table.addRow({name, shown});
+    }
+    table.print();
+}
+
+void
+printFleetProvenance(const FleetResult &result)
+{
+    if (!result.provenanceOn)
+        return;
+    std::printf("\nprovenance:\n");
+    TablePrinter table({"metric", "value"});
+    table.addRow({"first hits recorded",
+                  TablePrinter::integer(result.firstHitsRecorded)});
+    table.addRow({"time to last new coverage (s)",
+                  TablePrinter::num(result.lastNewCoverageSimSec, 2)});
+    for (size_t i = 0; i < result.shardPlateauAgeSec.size(); ++i) {
+        table.addRow({"shard " + std::to_string(i) +
+                          " plateau age (s)",
+                      TablePrinter::num(result.shardPlateauAgeSec[i],
+                                        2)});
     }
     table.print();
 }

@@ -92,6 +92,19 @@ struct FleetResult
      * consumes it.
      */
     telemetry::MetricsSnapshot metrics;
+
+    /**
+     * Provenance summary (docs/provenance.md), populated only when
+     * FleetConfig::provenance: global first-hit count, the simulated
+     * time the fleet last discovered new coverage, and each shard's
+     * plateau age (end of run minus the shard's own last first-hit;
+     * the full budget when a shard never recorded one). All derived
+     * from the first-hit ledgers — observational by construction.
+     */
+    bool provenanceOn = false;
+    uint64_t firstHitsRecorded = 0;
+    double lastNewCoverageSimSec = 0.0;
+    std::vector<double> shardPlateauAgeSec;
 };
 
 /** Print a human-readable summary table of a fleet run. */
@@ -104,6 +117,14 @@ void printFleetSummary(const FleetResult &result);
  * count/mean/max.
  */
 void printFleetMetrics(const telemetry::MetricsSnapshot &metrics);
+
+/**
+ * Print the ledger-derived provenance section (time-to-last-new-
+ * coverage plus per-shard plateau-age rows). Opt-in like
+ * printFleetMetrics: the default summary stays byte-identical when
+ * provenance was not requested. No-op unless result.provenanceOn.
+ */
+void printFleetProvenance(const FleetResult &result);
 
 } // namespace turbofuzz::fleet
 

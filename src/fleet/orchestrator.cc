@@ -1,10 +1,13 @@
 #include "fleet/orchestrator.hh"
 
 #include <algorithm>
+#include <cstdio>
+#include <map>
 #include <string>
 
 #include "common/logging.hh"
 #include "fleet/worker_pool.hh"
+#include "fuzzer/generator.hh"
 #include "soc/snapshot.hh"
 
 namespace turbofuzz::fleet
@@ -53,6 +56,11 @@ FleetOrchestrator::FleetOrchestrator(
             cfg.triageEnabled ? cfg.maxReproducersPerShard : 0;
         copts.trace = trace_.get();
         copts.stageTiming = cfg.stageTiming;
+        // Provenance rides the same observational contract as the
+        // telemetry above; the shard index keys first-hit
+        // attributions and the min-wins tie-break.
+        copts.provenance = cfg.provenance;
+        copts.provenanceShard = i;
         fuzzer::FuzzerOptions fopts = fuzzer_template;
         fopts.seed = cfg.shardSeed(i);
         fopts.scheduler = cfg.scheduler;
@@ -99,8 +107,28 @@ FleetOrchestrator::maybeEmitStats(double sim_time_sec,
         while (nextStatsEmitSec <= sim_time_sec)
             nextStatsEmitSec += cfg.statsEverySec;
     }
-    reporter.emit(sim_time_sec, epoch_idx, mergedMetrics());
+    reporter.emit(sim_time_sec, epoch_idx, mergedMetrics(),
+                  provenanceStatsJson(sim_time_sec));
     mStatsEmits->add(1);
+}
+
+std::string
+FleetOrchestrator::provenanceStatsJson(double sim_time_sec) const
+{
+    if (!cfg.provenance)
+        return {};
+    const double last = globalLedger.lastHitSimSec();
+    const double plateau =
+        globalLedger.empty() ? sim_time_sec
+                             : std::max(0.0, sim_time_sec - last);
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"first_hits\":%llu,\"last_new_t_sim\":%.6f,"
+                  "\"plateau_sec\":%.6f}",
+                  static_cast<unsigned long long>(
+                      globalLedger.size()),
+                  last, plateau);
+    return buf;
 }
 
 void
@@ -139,6 +167,14 @@ FleetOrchestrator::epochBarrier(unsigned epoch_idx,
             warn("fleet edge merge (shard %u): %s", s->index(),
                  merge_error.c_str());
         }
+    }
+
+    // 1b. Provenance ledger merge, same fixed shard order. Min-wins
+    //     keeps the globally earliest attribution for every point;
+    //     re-merging cumulative shard ledgers is idempotent.
+    if (cfg.provenance) {
+        for (const auto &s : shards)
+            globalLedger.merge(s->campaign().provenanceLedger());
     }
 
     // 2. Cross-shard seed exchange. A 1-shard fleet has no peers and
@@ -314,6 +350,28 @@ FleetOrchestrator::run()
         if (!trace_->writeFile(cfg.traceOut, &trace_error))
             warn("fleet trace not written: %s", trace_error.c_str());
     }
+
+    // Provenance summary + report, all derived from the ledgers. A
+    // shard that never recorded a first hit has been flat for the
+    // whole run, so its plateau age is the full elapsed time.
+    if (cfg.provenance) {
+        const double end_sim =
+            epochsDone > 0 ? cfg.epochDeadline(epochsDone - 1) : 0.0;
+        result.provenanceOn = true;
+        result.firstHitsRecorded = globalLedger.size();
+        result.lastNewCoverageSimSec = globalLedger.lastHitSimSec();
+        result.shardPlateauAgeSec.clear();
+        for (const auto &s : shards) {
+            const coverage::FirstHitLedger &sl =
+                s->campaign().provenanceLedger();
+            result.shardPlateauAgeSec.push_back(
+                sl.empty()
+                    ? end_sim
+                    : std::max(0.0, end_sim - sl.lastHitSimSec()));
+        }
+        if (!cfg.provenanceOut.empty())
+            writeProvenanceReport(result);
+    }
     return result;
 }
 
@@ -326,7 +384,10 @@ namespace
 // v3: adds the fleet.telemetry section (orchestrator metric state +
 // JSONL cadence cursor) and rides on campaign state v3 (per-shard
 // metric state) inside the shard sections.
-constexpr uint32_t fleetCheckpointVersion = 3;
+// v4: adds the fleet.provenance section (census flag + the global
+// first-hit ledger when enabled) and rides on campaign state v4
+// (per-shard ledger/forensics trailer) inside the shard sections.
+constexpr uint32_t fleetCheckpointVersion = 4;
 
 void
 putStats(soc::SnapshotWriter &w, const StatsSnapshot &s)
@@ -408,6 +469,12 @@ FleetOrchestrator::makeCheckpoint(std::string *error) const
     tel.putF64(nextStatsEmitSec);
     snap.setSection("fleet.telemetry", tel.takeBuffer());
 
+    soc::SnapshotWriter prov;
+    prov.putU8(cfg.provenance ? 1 : 0);
+    if (cfg.provenance)
+        globalLedger.saveState(prov);
+    snap.setSection("fleet.provenance", prov.takeBuffer());
+
     for (unsigned i = 0; i < n; ++i) {
         soc::SnapshotWriter shard_state;
         if (!shards[i]->saveState(shard_state)) {
@@ -438,7 +505,7 @@ FleetOrchestrator::restoreCheckpoint(const soc::Snapshot &snap,
     const char *required[] = {"fleet.meta",       "fleet.series",
                               "fleet.mismatches", "fleet.coverage",
                               "fleet.feedback",   "fleet.triage",
-                              "fleet.telemetry"};
+                              "fleet.telemetry",  "fleet.provenance"};
     for (const char *name : required) {
         if (!snap.hasSection(name))
             return fail("missing section '" + std::string(name) +
@@ -525,6 +592,18 @@ FleetOrchestrator::restoreCheckpoint(const soc::Snapshot &snap,
         if (!tel.exhausted())
             return fail("trailing bytes in fleet.telemetry");
 
+        soc::SnapshotReader prov(snap.section("fleet.provenance"));
+        const bool prov_census = prov.getU8() != 0;
+        if (prov_census != cfg.provenance) {
+            return fail("provenance census mismatch (checkpoint from "
+                        "a run with a different --provenance "
+                        "setting?)");
+        }
+        if (cfg.provenance && !globalLedger.loadState(prov, error))
+            return false;
+        if (!prov.exhausted())
+            return fail("trailing bytes in fleet.provenance");
+
         for (unsigned i = 0; i < n; ++i) {
             const std::string name =
                 "fleet.shard." + std::to_string(i);
@@ -545,6 +624,188 @@ FleetOrchestrator::restoreCheckpoint(const soc::Snapshot &snap,
     } catch (const soc::SnapshotFormatError &e) {
         return fail(e.what());
     }
+}
+
+namespace
+{
+
+std::string
+jsonNum(double v)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.6f", v);
+    return buf;
+}
+
+std::string
+jsonNum(uint64_t v)
+{
+    return std::to_string(v);
+}
+
+} // namespace
+
+void
+FleetOrchestrator::writeProvenanceReport(const FleetResult &result)
+{
+    using coverage::PointSpace;
+    const unsigned n = shardCount();
+    const double end_sim =
+        epochsDone > 0 ? cfg.epochDeadline(epochsDone - 1) : 0.0;
+
+    std::string out;
+    out.reserve(1 << 16);
+    out += "{\"schema\":\"turbofuzz.provenance.v1\"";
+    out += ",\"shards\":" + jsonNum(uint64_t{n});
+    out += ",\"epochs\":" + jsonNum(uint64_t{epochsDone});
+    out += ",\"t_sim_end\":" + jsonNum(end_sim);
+    out += ",\"first_hits_recorded\":" +
+           jsonNum(uint64_t{globalLedger.size()});
+    out += ",\"last_new_t_sim\":" +
+           jsonNum(globalLedger.lastHitSimSec());
+
+    // Every first hit with its full attribution, key-ordered so the
+    // report is deterministic for a given fleet configuration.
+    uint64_t space_hits[3] = {0, 0, 0};
+    std::map<uint8_t, uint64_t> op_hits;
+    out += ",\"time_to_hit\":[";
+    bool first = true;
+    for (const auto &[key, hit] : globalLedger.sortedEntries()) {
+        const auto space = coverage::pointSpace(key);
+        if (static_cast<uint8_t>(space) < 3)
+            ++space_hits[static_cast<uint8_t>(space)];
+        ++op_hits[hit.op];
+        if (!first)
+            out += ",";
+        first = false;
+        out += "{\"space\":\"";
+        out += coverage::pointSpaceName(space);
+        out += "\",\"module\":" +
+               jsonNum(uint64_t{coverage::pointModule(key)});
+        out += ",\"index\":" +
+               jsonNum(uint64_t{coverage::pointIndex(key)});
+        out += ",\"t_sim\":" + jsonNum(hit.simTimeSec);
+        out += ",\"shard\":" + jsonNum(uint64_t{hit.shard});
+        out += ",\"iteration\":" + jsonNum(hit.iteration);
+        out += ",\"seed\":" + jsonNum(hit.seedId);
+        out += ",\"op\":\"";
+        out += coverage::provenanceOpName(hit.op);
+        out += "\"}";
+    }
+    out += "]";
+
+    // Never-hit targets. The mux space is enumerable (every module's
+    // instrumented point count is known), so it is listed concretely
+    // — module by module with example indices — and feeds the
+    // targeted-monitoring roadmap item. CSR/edge spaces are sparse
+    // keyed sets without a closed universe; they get hit counts only.
+    out += ",\"never_hit\":{\"mux\":[";
+    const auto &mods =
+        shards[0]->campaign().instrumentation().modules();
+    for (size_t m = 0; m < mods.size(); ++m) {
+        const uint64_t points = mods[m].instrumentedPoints();
+        uint64_t hit_count = 0;
+        std::string examples;
+        unsigned listed = 0;
+        for (uint64_t idx = 0; idx < points; ++idx) {
+            const uint64_t key =
+                coverage::pointKey(PointSpace::Mux,
+                                   static_cast<uint32_t>(m),
+                                   static_cast<uint32_t>(idx));
+            if (globalLedger.find(key)) {
+                ++hit_count;
+            } else if (listed < 16) {
+                if (!examples.empty())
+                    examples += ",";
+                examples += jsonNum(idx);
+                ++listed;
+            }
+        }
+        if (m)
+            out += ",";
+        out += "{\"module\":\"" +
+               telemetry::jsonEscape(mods[m].module().name()) + "\"";
+        out += ",\"module_index\":" + jsonNum(uint64_t{m});
+        out += ",\"points\":" + jsonNum(points);
+        out += ",\"hit\":" + jsonNum(hit_count);
+        out += ",\"never\":" + jsonNum(points - hit_count);
+        out += ",\"examples\":[" + examples + "]}";
+    }
+    out += "],\"csr\":{\"hit\":" + jsonNum(space_hits[1]) + "}";
+    out += ",\"edges\":{\"hit\":" + jsonNum(space_hits[2]) + "}}";
+
+    // Operator attribution: unique coverage points first-hit under
+    // each mutation operator.
+    out += ",\"operators\":[";
+    first = true;
+    for (const auto &[op, count] : op_hits) {
+        if (!first)
+            out += ",";
+        first = false;
+        out += "{\"op\":\"";
+        out += coverage::provenanceOpName(op);
+        out += "\",\"first_hits\":" + jsonNum(count) + "}";
+    }
+    out += "]";
+
+    // Lineage depth histogram over every shard's resident corpus
+    // (TurboFuzz generators only; baseline generators have none).
+    std::map<uint32_t, uint64_t> depth_hist;
+    for (const auto &s : shards) {
+        auto *tfg = dynamic_cast<fuzzer::TurboFuzzGenerator *>(
+            &s->campaign().generator());
+        if (!tfg)
+            continue;
+        for (const fuzzer::Seed &seed :
+             tfg->underlying().corpus().entries())
+            ++depth_hist[seed.lineageDepth];
+    }
+    out += ",\"lineage_depth_histogram\":[";
+    first = true;
+    for (const auto &[depth, seeds_at] : depth_hist) {
+        if (!first)
+            out += ",";
+        first = false;
+        out += "{\"depth\":" + jsonNum(uint64_t{depth});
+        out += ",\"seeds\":" + jsonNum(seeds_at) + "}";
+    }
+    out += "]";
+
+    // Per-shard forensics: ledger-derived plateau rows plus each
+    // shard's recent-event ring and any mismatch-time ring dumps.
+    out += ",\"shards_detail\":[";
+    for (unsigned i = 0; i < n; ++i) {
+        const harness::Campaign &camp = shards[i]->campaign();
+        const coverage::FirstHitLedger &sl = camp.provenanceLedger();
+        if (i)
+            out += ",";
+        out += "{\"shard\":" + jsonNum(uint64_t{i});
+        out += ",\"first_hits\":" + jsonNum(uint64_t{sl.size()});
+        out += ",\"last_new_t_sim\":" + jsonNum(sl.lastHitSimSec());
+        out += ",\"plateau_sec\":" +
+               jsonNum(i < result.shardPlateauAgeSec.size()
+                           ? result.shardPlateauAgeSec[i]
+                           : 0.0);
+        out += ",\"forensics\":" + camp.forensics().toJson();
+        out += ",\"forensics_dumps\":[";
+        const auto &dumps = camp.forensicsDumps();
+        for (size_t d = 0; d < dumps.size(); ++d) {
+            if (d)
+                out += ",";
+            out += dumps[d];
+        }
+        out += "]}";
+    }
+    out += "]}\n";
+
+    std::FILE *f = std::fopen(cfg.provenanceOut.c_str(), "w");
+    if (!f) {
+        warn("provenance report not written: cannot open '%s'",
+             cfg.provenanceOut.c_str());
+        return;
+    }
+    std::fwrite(out.data(), 1, out.size(), f);
+    std::fclose(f);
 }
 
 } // namespace turbofuzz::fleet

@@ -32,6 +32,7 @@
 
 #include "common/fleet_config.hh"
 #include "coverage/coverage_map.hh"
+#include "coverage/provenance.hh"
 #include "fleet/fleet_stats.hh"
 #include "fleet/shard.hh"
 #include "fleet/sync_policy.hh"
@@ -157,6 +158,15 @@ class FleetOrchestrator
         return trace_.get();
     }
 
+    /**
+     * Global first-hit ledger: shard ledgers merged (min-wins) at
+     * every epoch barrier. Empty unless FleetConfig::provenance.
+     */
+    const coverage::FirstHitLedger &provenanceLedger() const
+    {
+        return globalLedger;
+    }
+
   private:
     /** Barrier-time work after epoch @p epoch_idx; updates result. */
     void epochBarrier(unsigned epoch_idx, FleetResult &result,
@@ -171,6 +181,13 @@ class FleetOrchestrator
      *  shard configuration; merged at every epoch barrier. */
     std::unique_ptr<coverage::CsrTransitionModel> globalCsr;
     std::unique_ptr<coverage::HitCountModel> globalHit;
+
+    /**
+     * Global first-hit view (docs/provenance.md). Min-wins merge
+     * makes re-merging the cumulative shard ledgers at every barrier
+     * idempotent, so no per-epoch delta tracking is needed.
+     */
+    coverage::FirstHitLedger globalLedger;
     ConcurrentStats liveStats;
     std::vector<bool> mismatchHarvested;
     triage::TriageQueue triage_;
@@ -204,6 +221,14 @@ class FleetOrchestrator
 
     /** Emit a JSONL stats line when the cadence cursor is due. */
     void maybeEmitStats(double sim_time_sec, unsigned epoch_idx);
+
+    /** The JSONL "provenance" object for the barrier at
+     *  @p sim_time_sec; empty string when provenance is off. */
+    std::string provenanceStatsJson(double sim_time_sec) const;
+
+    /** Write the "turbofuzz.provenance.v1" report to
+     *  FleetConfig::provenanceOut (end of run()). */
+    void writeProvenanceReport(const FleetResult &result);
 };
 
 } // namespace turbofuzz::fleet

@@ -212,6 +212,11 @@ Corpus::importSeeds(std::vector<Seed> imported, uint64_t &next_seed_id)
             continue;
         }
         s.id = next_seed_id++;
+        // The parent id belongs to the exporting shard's id space;
+        // keeping it would alias an unrelated local seed. Imports
+        // become lineage roots that retain their depth and operator
+        // (docs/provenance.md).
+        s.parentId = 0;
         const uint64_t increment = s.coverageIncrement;
         if (offer(std::move(s), increment))
             ++admitted;
@@ -233,6 +238,10 @@ Corpus::saveState(soc::SnapshotWriter &out) const
         out.putU64(s.id);
         out.putU64(s.coverageIncrement);
         out.putU64(s.insertedAt);
+        out.putU64(s.parentId);
+        out.putU8(s.originOp);
+        out.putU32(s.lineageDepth);
+        out.putU64(s.energyAtCreation);
         writeSeedBlocks(out, s.blocks);
     }
 }
@@ -260,12 +269,16 @@ Corpus::loadState(soc::SnapshotReader &in, std::string *error)
     idIndex.clear();
     seeds.reserve(count);
     for (uint32_t i = 0; i < count; ++i) {
-        if (in.remaining() < 3 * 8)
+        if (in.remaining() < 45)
             return fail("truncated corpus seed");
         Seed s;
         s.id = in.getU64();
         s.coverageIncrement = in.getU64();
         s.insertedAt = in.getU64();
+        s.parentId = in.getU64();
+        s.originOp = in.getU8();
+        s.lineageDepth = in.getU32();
+        s.energyAtCreation = in.getU64();
         if (!readSeedBlocks(in, s.blocks, error))
             return false;
         if (idIndex.count(s.id))

@@ -127,6 +127,10 @@ Seed::serialize() const
     w.putU64(id);
     w.putU64(coverageIncrement);
     w.putU64(insertedAt);
+    w.putU64(parentId);
+    w.putU8(originOp);
+    w.putU32(lineageDepth);
+    w.putU64(energyAtCreation);
     writeSeedBlocks(w, blocks);
     return w.takeBuffer();
 }
@@ -137,15 +141,19 @@ Seed::tryDeserialize(const std::vector<uint8_t> &bytes,
 {
     soc::SnapshotReader r(bytes);
     Seed s;
-    if (r.remaining() < 24) {
+    if (r.remaining() < 45) {
         if (error)
             *error = formatError("truncated seed header",
-                                 r.remaining(), 24);
+                                 r.remaining(), 45);
         return std::nullopt;
     }
     s.id = r.getU64();
     s.coverageIncrement = r.getU64();
     s.insertedAt = r.getU64();
+    s.parentId = r.getU64();
+    s.originOp = r.getU8();
+    s.lineageDepth = r.getU32();
+    s.energyAtCreation = r.getU64();
     if (!readSeedBlocks(r, s.blocks, error))
         return std::nullopt;
     if (!r.exhausted()) {

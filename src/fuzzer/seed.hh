@@ -86,6 +86,30 @@ struct Seed
     /** Monotone counter of corpus insertion (FIFO age). */
     uint64_t insertedAt = 0;
 
+    // --- genealogy (docs/provenance.md) — strictly observational:
+    // nothing in selection or mutation reads these back. They are
+    // excluded from contentHash() but carried by serialize() and the
+    // corpus checkpoint, so lineage survives save/restore.
+
+    /**
+     * Id of the seed this one was mutated from, 0 for roots (direct
+     * generation). Ids are corpus-local; a cross-shard import resets
+     * parentId to 0 (the referenced id belongs to the exporting
+     * shard's id space and would alias an unrelated local seed) while
+     * keeping lineageDepth and originOp.
+     */
+    uint64_t parentId = 0;
+
+    /** ProvenanceOp (coverage/provenance.hh) that created this seed:
+     *  the dominant mutation operator, or Direct for roots. */
+    uint8_t originOp = 0;
+
+    /** Ancestry length: 0 for roots, parent's depth + 1 otherwise. */
+    uint32_t lineageDepth = 0;
+
+    /** Scheduler energy granted when this seed was archived. */
+    uint64_t energyAtCreation = 0;
+
     uint32_t
     totalInstrs() const
     {

@@ -29,10 +29,10 @@ TurboFuzzer::TurboFuzzer(FuzzerOptions options,
 }
 
 std::vector<SeedBlock>
-TurboFuzzer::chooseBlocks(uint64_t &parent_seed_id)
+TurboFuzzer::chooseBlocks(IterationInfo &info)
 {
     std::vector<SeedBlock> blocks;
-    parent_seed_id = 0;
+    info.parentSeedId = 0;
 
     // Seed selection with per-seed energy: a seed with residual
     // energy is reused without consuming selection randomness; the
@@ -57,7 +57,7 @@ TurboFuzzer::chooseBlocks(uint64_t &parent_seed_id)
     const Seed *seed = nullptr;
     if (selected && !selected->blocks.empty()) {
         seed = selected;
-        parent_seed_id = selected->id;
+        info.parentSeedId = selected->id;
     }
 
     uint64_t emitted = 0;
@@ -70,13 +70,16 @@ TurboFuzzer::chooseBlocks(uint64_t &parent_seed_id)
             switch (sched->pickOp(rng)) {
               case MutOp::Generate:
                 // Generation: insert a fresh random block here.
+                ++info.opGenerate;
                 blocks.push_back(builder.buildRandomBlock(rng));
                 break;
               case MutOp::Delete:
                 // Deletion: skip the seed block (elimination flag).
+                ++info.opDelete;
                 cursor = (cursor + 1) % seed->blocks.size();
                 continue;
               case MutOp::Retain: {
+                ++info.opRetain;
                 // Retention: keep the block, optionally mutating the
                 // prime's operands; original jump target preserved
                 // for the fix-up pass to validate.
@@ -318,7 +321,7 @@ TurboFuzzer::generateIteration(soc::Memory &mem)
     info.firstBlockPc = addr;
 
     // 2. Choose the iteration's blocks (direct + mutation modes).
-    info.blocks = chooseBlocks(info.parentSeedId);
+    info.blocks = chooseBlocks(info);
 
     // 3. Lay out blocks, recording the global address table.
     std::vector<uint64_t> block_addrs;
@@ -362,10 +365,19 @@ TurboFuzzer::reportResult(const IterationInfo &info,
     if (info.parentSeedId != 0)
         seedCorpus.updateIncrement(info.parentSeedId, cov_increment);
 
-    // Generation-mode admission: archive the iteration as a seed.
+    // Generation-mode admission: archive the iteration as a seed,
+    // with its genealogy (docs/provenance.md). The fields are
+    // observational — admission and selection never read them.
     Seed s;
     s.id = nextSeedId++;
     s.blocks = info.blocks;
+    s.parentId = info.parentSeedId;
+    s.originOp = info.dominantOp();
+    s.energyAtCreation = sched->seedEnergy(cov_increment);
+    if (info.parentSeedId != 0) {
+        const Seed *parent = seedCorpus.findSeed(info.parentSeedId);
+        s.lineageDepth = parent ? parent->lineageDepth + 1 : 1;
+    }
     seedCorpus.offer(std::move(s), cov_increment);
 }
 

@@ -120,6 +120,33 @@ struct IterationInfo
      * code set this to exclude it).
      */
     uint64_t fuzzRegionEnd = 0;
+
+    /**
+     * Mutation-operator picks this iteration's block choice made
+     * (provenance attribution, docs/provenance.md). Always counted —
+     * three register increments per transition — so results cannot
+     * depend on whether provenance is enabled.
+     */
+    uint32_t opGenerate = 0;
+    uint32_t opDelete = 0;
+    uint32_t opRetain = 0;
+
+    /**
+     * Dominant operator of this iteration as a
+     * coverage::ProvenanceOp value: Direct (0) for pure generation,
+     * otherwise the most-picked of Generate (1) / Delete (2) /
+     * Retain (3), ties broken toward the smaller value.
+     */
+    uint8_t
+    dominantOp() const
+    {
+        if (parentSeedId == 0 ||
+            (opGenerate | opDelete | opRetain) == 0)
+            return 0;
+        if (opGenerate >= opDelete && opGenerate >= opRetain)
+            return 1;
+        return opDelete >= opRetain ? 2 : 3;
+    }
 };
 
 /** The fuzzer core. */
@@ -243,8 +270,9 @@ class TurboFuzzer
                          const std::vector<uint32_t> &preamble);
 
   private:
-    /** Choose blocks for the iteration (direct + mutation modes). */
-    std::vector<SeedBlock> chooseBlocks(uint64_t &parent_seed_id);
+    /** Choose blocks for the iteration (direct + mutation modes);
+     *  sets @p info's parentSeedId and operator pick counts. */
+    std::vector<SeedBlock> chooseBlocks(IterationInfo &info);
 
     /** Assign control-flow targets and patch instruction words. */
     void fixupControlFlow(std::vector<SeedBlock> &blocks,

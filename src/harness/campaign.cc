@@ -4,6 +4,7 @@
 
 #include "common/logging.hh"
 #include "fuzzer/exception_templates.hh"
+#include "telemetry/clock.hh"
 
 namespace turbofuzz::harness
 {
@@ -96,6 +97,17 @@ Campaign::Campaign(CampaignOptions options,
                 {hitModel_.get(), opts.feedbackWeightHit}});
         feedback_ = composite_.get();
         break;
+    }
+
+    // Provenance: bind the first-hit ledger into the active feedback
+    // model tree (a composite forwards to every part, so the mux map
+    // and any auxiliary models all record into the one ledger). With
+    // provenance off no model ever sees a ledger pointer.
+    if (opts.provenance) {
+        ledger_.setShard(opts.provenanceShard);
+        feedback_->bindProvenance(&ledger_);
+        forensics_ =
+            telemetry::ForensicsRing(opts.forensicsCapacity);
     }
 
     plat = std::make_unique<soc::Platform>(opts.timing, &clock);
@@ -192,6 +204,34 @@ Campaign::runIteration()
     refMem = dutMem;
     result.generated = info.generatedInstrs;
 
+    // Provenance context: everything the feedback models record into
+    // the ledger this iteration attributes to (iteration, parent
+    // seed, dominant operator, sim time). simTimeSec and iteration
+    // replay deterministically across checkpoint/resume; wallNs is
+    // informational only (coverage/provenance.hh).
+    if (opts.provenance) {
+        ledger_.setContext(iterCount, info.parentSeedId,
+                           info.dominantOp(), clock.seconds(),
+                           telemetry::nowNs());
+        telemetry::ForensicsEvent ev;
+        ev.simTimeSec = clock.seconds();
+        ev.iteration = iterCount;
+        ev.kind = static_cast<uint8_t>(
+            telemetry::ForensicsKind::SeedSelect);
+        ev.a = info.parentSeedId;
+        ev.b = info.dominantOp();
+        ev.c = info.generatedInstrs;
+        forensics_.push(ev);
+        if (info.opGenerate + info.opDelete + info.opRetain > 0) {
+            ev.kind = static_cast<uint8_t>(
+                telemetry::ForensicsKind::SchedulerOp);
+            ev.a = info.opGenerate;
+            ev.b = info.opDelete;
+            ev.c = info.opRetain;
+            forensics_.push(ev);
+        }
+    }
+
     const uint64_t step_cap =
         static_cast<uint64_t>(opts.stepCapFactor *
                               static_cast<double>(
@@ -267,6 +307,36 @@ Campaign::runIteration()
         }
         captureReproducer(*out.mismatch, info,
                           out.mismatchCommitIndex);
+    }
+
+    // Forensics: coverage delta, trap and mismatch markers; on a
+    // captured mismatch the ring is dumped so the events leading up
+    // to the divergence ride alongside the reproducer.
+    if (opts.provenance) {
+        telemetry::ForensicsEvent ev;
+        ev.simTimeSec = clock.seconds();
+        ev.iteration = iterCount;
+        ev.kind = static_cast<uint8_t>(
+            telemetry::ForensicsKind::CoverageDelta);
+        ev.a = result.newCoverage;
+        ev.b = feedback_->newlyHit();
+        forensics_.push(ev);
+        if (result.traps > 0) {
+            ev.kind =
+                static_cast<uint8_t>(telemetry::ForensicsKind::Trap);
+            ev.a = result.traps;
+            ev.b = ev.c = 0;
+            forensics_.push(ev);
+        }
+        if (result.mismatch) {
+            ev.kind = static_cast<uint8_t>(
+                telemetry::ForensicsKind::Mismatch);
+            ev.a = result.executedTotal;
+            ev.b = ev.c = 0;
+            forensics_.push(ev);
+            if (forensicsDumps_.size() < opts.maxReproducers)
+                forensicsDumps_.push_back(forensics_.toJson());
+        }
     }
 
     // 5. Coverage feedback to the generator (corpus update).
@@ -366,7 +436,11 @@ namespace
 // v2: auxiliary feedback-model states follow the mux coverage map.
 // v3: telemetry metric state trails the generator blob (census-
 //     validated on load; see telemetry::MetricRegistry::loadState).
-constexpr uint32_t campaignStateVersion = 3;
+// v4: provenance trailer last (census flag; ledger + forensics ring
+//     + mismatch dumps when enabled), so a provenance-off campaign's
+//     state stays a byte-level prefix match of a provenance-on one
+//     up to the trailer.
+constexpr uint32_t campaignStateVersion = 4;
 
 } // namespace
 
@@ -432,9 +506,21 @@ Campaign::saveState(soc::SnapshotWriter &out) const
     out.putU32(static_cast<uint32_t>(gen_blob.size()));
     out.putBytes(gen_blob.data(), gen_blob.size());
 
-    // v3: metric state last, so resumed campaigns report cumulative
+    // v3: metric state, so resumed campaigns report cumulative
     // counters rather than restarting the telemetry from zero.
     metrics_.saveState(out);
+
+    // v4: provenance trailer. The census flag makes a checkpoint
+    // from a provenance-on campaign unloadable by an off one (and
+    // vice versa) with a typed error instead of a misparse.
+    out.putU8(opts.provenance ? 1 : 0);
+    if (opts.provenance) {
+        ledger_.saveState(out);
+        forensics_.saveState(out);
+        out.putU32(static_cast<uint32_t>(forensicsDumps_.size()));
+        for (const std::string &dump : forensicsDumps_)
+            out.putString(dump);
+    }
     return true;
 }
 
@@ -540,6 +626,25 @@ Campaign::loadState(soc::SnapshotReader &in, std::string *error)
 
         if (!metrics_.loadState(in, error))
             return false;
+
+        const uint8_t prov_census = in.getU8();
+        if ((prov_census != 0) != opts.provenance) {
+            return fail("provenance census mismatch (checkpoint "
+                        "from a run with provenance toggled?)");
+        }
+        if (opts.provenance) {
+            if (!ledger_.loadState(in, error))
+                return false;
+            if (!forensics_.loadState(in, error))
+                return false;
+            forensicsDumps_.clear();
+            const uint32_t dumps = in.getU32();
+            if (dumps > opts.maxReproducers)
+                return fail("forensics dump count exceeds campaign "
+                            "limit");
+            for (uint32_t i = 0; i < dumps; ++i)
+                forensicsDumps_.push_back(in.getString());
+        }
         return true;
     } catch (const soc::SnapshotFormatError &e) {
         return fail(e.what());

@@ -27,12 +27,14 @@
 #include "core/iss.hh"
 #include "coverage/coverage_map.hh"
 #include "coverage/instrumentation.hh"
+#include "coverage/provenance.hh"
 #include "engine/execution_engine.hh"
 #include "engine/warm_start.hh"
 #include "fuzzer/generator.hh"
 #include "rtl/cores.hh"
 #include "rtl/driver.hh"
 #include "soc/platform.hh"
+#include "telemetry/forensics.hh"
 #include "telemetry/instruments.hh"
 #include "telemetry/metrics.hh"
 #include "telemetry/trace.hh"
@@ -147,6 +149,23 @@ struct CampaignOptions
      * build's throughput gate does not budget for.
      */
     bool stageTiming = false;
+
+    /**
+     * Coverage provenance (docs/provenance.md): bind a first-hit
+     * ledger into the feedback models and keep a forensics event
+     * ring. Strictly observational — campaign results (coverage,
+     * corpus, reproducer bytes) are bit-identical on vs off, enforced
+     * by tests/provenance/. Off by default: the models then never
+     * touch the ledger (null-pointer gate) and the ring is never
+     * pushed.
+     */
+    bool provenance = false;
+
+    /** Shard index stamped into first-hit attributions (fleet). */
+    uint32_t provenanceShard = 0;
+
+    /** Forensics ring capacity (recent structured events kept). */
+    uint32_t forensicsCapacity = 256;
 };
 
 /**
@@ -273,6 +292,34 @@ class Campaign
         return metrics_;
     }
 
+    /** Whether the provenance layer is recording. */
+    bool provenanceEnabled() const { return opts.provenance; }
+
+    /**
+     * First-hit ledger (empty unless CampaignOptions::provenance).
+     * Point keys and attributions: coverage/provenance.hh.
+     */
+    const coverage::FirstHitLedger &provenanceLedger() const
+    {
+        return ledger_;
+    }
+
+    /** Forensics event ring (empty unless provenance is on). */
+    const telemetry::ForensicsRing &forensics() const
+    {
+        return forensics_;
+    }
+
+    /**
+     * Forensics ring dumps captured at mismatch time (JSON, one per
+     * captured mismatch up to maxReproducers), parallel to
+     * reproducers() in detection order.
+     */
+    const std::vector<std::string> &forensicsDumps() const
+    {
+        return forensicsDumps_;
+    }
+
     fuzzer::StimulusGenerator &generator() { return *gen; }
     core::Iss &dut() { return *dutCore; }
     core::Iss &ref() { return *refCore; }
@@ -369,6 +416,15 @@ class Campaign
     std::optional<checker::Mismatch> mismatchInfo;
     soc::Snapshot snapshot;
     std::vector<triage::Reproducer> repros;
+
+    /**
+     * Provenance (docs/provenance.md). The ledger is bound into the
+     * feedback models only when opts.provenance is set; otherwise
+     * every structure below stays empty and untouched.
+     */
+    coverage::FirstHitLedger ledger_;
+    telemetry::ForensicsRing forensics_;
+    std::vector<std::string> forensicsDumps_;
 
     /**
      * Telemetry: the registry owns instrument storage (stable

@@ -1,0 +1,139 @@
+#include "telemetry/forensics.hh"
+
+#include <cstdio>
+
+namespace turbofuzz::telemetry
+{
+
+const char *
+forensicsKindName(uint8_t kind)
+{
+    switch (static_cast<ForensicsKind>(kind)) {
+      case ForensicsKind::SeedSelect:
+        return "seed_select";
+      case ForensicsKind::SchedulerOp:
+        return "scheduler_op";
+      case ForensicsKind::CoverageDelta:
+        return "coverage_delta";
+      case ForensicsKind::Trap:
+        return "trap";
+      case ForensicsKind::Mismatch:
+        return "mismatch";
+    }
+    return "unknown";
+}
+
+ForensicsRing::ForensicsRing(size_t capacity)
+    : cap(capacity == 0 ? 1 : capacity), slots(cap)
+{
+}
+
+void
+ForensicsRing::push(const ForensicsEvent &ev)
+{
+    slots[next] = ev;
+    next = (next + 1) % cap;
+    if (count < cap)
+        ++count;
+}
+
+std::vector<ForensicsEvent>
+ForensicsRing::chronological() const
+{
+    std::vector<ForensicsEvent> out;
+    out.reserve(count);
+    const size_t start = count < cap ? 0 : next;
+    for (size_t i = 0; i < count; ++i)
+        out.push_back(slots[(start + i) % cap]);
+    return out;
+}
+
+std::string
+ForensicsRing::toJson() const
+{
+    std::string json = "[";
+    bool first = true;
+    for (const ForensicsEvent &ev : chronological()) {
+        char buf[256];
+        std::snprintf(
+            buf, sizeof(buf),
+            "%s{\"t_sim\":%.6f,\"iteration\":%llu,\"kind\":\"%s\","
+            "\"a\":%llu,\"b\":%llu,\"c\":%llu}",
+            first ? "" : ",", ev.simTimeSec,
+            static_cast<unsigned long long>(ev.iteration),
+            forensicsKindName(ev.kind),
+            static_cast<unsigned long long>(ev.a),
+            static_cast<unsigned long long>(ev.b),
+            static_cast<unsigned long long>(ev.c));
+        json += buf;
+        first = false;
+    }
+    json += "]";
+    return json;
+}
+
+void
+ForensicsRing::clear()
+{
+    count = 0;
+    next = 0;
+}
+
+void
+ForensicsRing::saveState(soc::SnapshotWriter &out) const
+{
+    out.putU64(cap);
+    const auto events = chronological();
+    out.putU64(events.size());
+    for (const ForensicsEvent &ev : events) {
+        out.putF64(ev.simTimeSec);
+        out.putU64(ev.iteration);
+        out.putU8(ev.kind);
+        out.putU64(ev.a);
+        out.putU64(ev.b);
+        out.putU64(ev.c);
+    }
+}
+
+bool
+ForensicsRing::loadState(soc::SnapshotReader &in, std::string *error)
+try {
+    const uint64_t saved_cap = in.getU64();
+    const uint64_t n = in.getU64();
+    // Each event is 8+8+1+8+8+8 = 41 bytes.
+    if (saved_cap == 0 || saved_cap > (1u << 20) || n > saved_cap ||
+        n > in.remaining() / 41 + 1) {
+        if (error)
+            *error = "forensics ring: malformed header";
+        return false;
+    }
+    cap = saved_cap;
+    slots.assign(cap, ForensicsEvent{});
+    count = 0;
+    next = 0;
+    for (uint64_t i = 0; i < n; ++i) {
+        ForensicsEvent ev;
+        ev.simTimeSec = in.getF64();
+        ev.iteration = in.getU64();
+        ev.kind = in.getU8();
+        ev.a = in.getU64();
+        ev.b = in.getU64();
+        ev.c = in.getU64();
+        if (ev.kind >
+            static_cast<uint8_t>(ForensicsKind::Mismatch)) {
+            clear();
+            if (error)
+                *error = "forensics ring: unknown event kind";
+            return false;
+        }
+        push(ev);
+    }
+    return true;
+} catch (const soc::SnapshotFormatError &e) {
+    clear();
+    if (error)
+        *error = e.what();
+    return false;
+}
+
+} // namespace turbofuzz::telemetry

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Campaign forensics: a fixed-size ring of recent structured events.
+ *
+ * The ring answers "what was the campaign doing just before X" —
+ * seed selections, scheduler operator mixes, coverage deltas, trap
+ * and mismatch markers. The campaign pushes a handful of events per
+ * iteration when provenance is on (off: the ring is never touched);
+ * the ring keeps the most recent `capacity` of them and drops the
+ * oldest. It is dumped as JSON alongside the reproducer when a
+ * mismatch fires and on demand at fleet epoch barriers
+ * (docs/provenance.md).
+ *
+ * Events are flat numeric records (kind + three payload words) so
+ * push() is a couple of stores — no allocation, no formatting on the
+ * hot path. Formatting happens only in toJson().
+ */
+
+#ifndef TURBOFUZZ_TELEMETRY_FORENSICS_HH
+#define TURBOFUZZ_TELEMETRY_FORENSICS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "soc/snapshot.hh"
+
+namespace turbofuzz::telemetry
+{
+
+/** What a forensics event records. Stable wire values. */
+enum class ForensicsKind : uint8_t {
+    SeedSelect = 0,    ///< a=parent seed id, b=op, c=generated instrs
+    SchedulerOp = 1,   ///< a=generate, b=delete, c=retain pick counts
+    CoverageDelta = 2, ///< a=new points this iteration, b=total
+    Trap = 3,          ///< a=trap count this iteration
+    Mismatch = 4,      ///< a=executed instrs at divergence
+};
+
+const char *forensicsKindName(uint8_t kind);
+
+struct ForensicsEvent
+{
+    double simTimeSec = 0.0;
+    uint64_t iteration = 0;
+    uint8_t kind = 0; ///< ForensicsKind value
+    uint64_t a = 0;
+    uint64_t b = 0;
+    uint64_t c = 0;
+};
+
+/** Fixed-capacity ring of ForensicsEvents, oldest evicted first. */
+class ForensicsRing
+{
+  public:
+    explicit ForensicsRing(size_t capacity = 256);
+
+    void push(const ForensicsEvent &ev);
+
+    size_t capacity() const { return cap; }
+    size_t size() const { return count; }
+    bool empty() const { return count == 0; }
+
+    /** Events oldest-first (at most capacity() of them). */
+    std::vector<ForensicsEvent> chronological() const;
+
+    /** JSON array of event objects, oldest first. */
+    std::string toJson() const;
+
+    void clear();
+
+    void saveState(soc::SnapshotWriter &out) const;
+    bool loadState(soc::SnapshotReader &in,
+                   std::string *error = nullptr);
+
+  private:
+    size_t cap;
+    size_t count = 0; ///< valid events (<= cap)
+    size_t next = 0;  ///< slot the next push writes
+    std::vector<ForensicsEvent> slots;
+};
+
+} // namespace turbofuzz::telemetry
+
+#endif // TURBOFUZZ_TELEMETRY_FORENSICS_HH

@@ -19,17 +19,22 @@ JsonlReporter::open(const std::string &path, std::string *error)
 
 void
 JsonlReporter::emit(double sim_time_sec, uint64_t epoch,
-                    const MetricsSnapshot &snapshot)
+                    const MetricsSnapshot &snapshot,
+                    const std::string &provenance_json)
 {
     if (!file)
         return;
     std::fprintf(file,
                  "{\"schema\":\"turbofuzz.metrics.v1\","
                  "\"t_sim\":%.6f,\"t_host\":%.6f,\"epoch\":%llu,"
-                 "\"metrics\":%s}\n",
+                 "\"metrics\":%s",
                  sim_time_sec, clock.elapsedSec(),
                  static_cast<unsigned long long>(epoch),
                  snapshot.toJson().c_str());
+    if (!provenance_json.empty())
+        std::fprintf(file, ",\"provenance\":%s",
+                     provenance_json.c_str());
+    std::fprintf(file, "}\n");
     std::fflush(file);
 }
 

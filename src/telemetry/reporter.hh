@@ -44,10 +44,16 @@ class JsonlReporter
 
     bool isOpen() const { return file != nullptr; }
 
-    /** Emit one line; flushed immediately so a killed run keeps
-     *  every completed emission. */
+    /**
+     * Emit one line; flushed immediately so a killed run keeps
+     * every completed emission. @p provenance_json, when non-empty,
+     * is a pre-rendered JSON object appended as the optional
+     * "provenance" member (docs/provenance.md) — lines without it
+     * stay byte-identical to pre-provenance builds.
+     */
     void emit(double sim_time_sec, uint64_t epoch,
-              const MetricsSnapshot &snapshot);
+              const MetricsSnapshot &snapshot,
+              const std::string &provenance_json = std::string());
 
     void close();
 

@@ -17,6 +17,10 @@ sampleSeed()
     s.id = 42;
     s.coverageIncrement = 117;
     s.insertedAt = 9;
+    s.parentId = 7;
+    s.originOp = 3;
+    s.lineageDepth = 2;
+    s.energyAtCreation = 50;
     SeedBlock b1;
     b1.insns = {0x00100093, 0x00208133};
     b1.primeIdx = 1;
@@ -48,6 +52,10 @@ TEST(Seed, SerializeRoundTrip)
     EXPECT_EQ(t.id, s.id);
     EXPECT_EQ(t.coverageIncrement, s.coverageIncrement);
     EXPECT_EQ(t.insertedAt, s.insertedAt);
+    EXPECT_EQ(t.parentId, s.parentId);
+    EXPECT_EQ(t.originOp, s.originOp);
+    EXPECT_EQ(t.lineageDepth, s.lineageDepth);
+    EXPECT_EQ(t.energyAtCreation, s.energyAtCreation);
     ASSERT_EQ(t.blocks.size(), s.blocks.size());
     for (size_t i = 0; i < s.blocks.size(); ++i) {
         EXPECT_EQ(t.blocks[i].insns, s.blocks[i].insns);
@@ -69,6 +77,10 @@ TEST(Seed, RandomRoundTripProperty)
         s.id = rng.range(1 << 30);
         s.coverageIncrement = rng.range(1 << 20);
         s.insertedAt = rng.range(1 << 20);
+        s.parentId = rng.range(1 << 30);
+        s.originOp = static_cast<uint8_t>(rng.range(4));
+        s.lineageDepth = static_cast<uint32_t>(rng.range(64));
+        s.energyAtCreation = rng.range(1 << 10);
         const size_t nblocks = rng.range(20);
         for (size_t b = 0; b < nblocks; ++b) {
             SeedBlock blk;
@@ -87,6 +99,10 @@ TEST(Seed, RandomRoundTripProperty)
         const auto bytes = s.serialize();
         const Seed t = Seed::deserialize(bytes);
         EXPECT_EQ(t.id, s.id);
+        EXPECT_EQ(t.parentId, s.parentId);
+        EXPECT_EQ(t.originOp, s.originOp);
+        EXPECT_EQ(t.lineageDepth, s.lineageDepth);
+        EXPECT_EQ(t.energyAtCreation, s.energyAtCreation);
         ASSERT_EQ(t.blocks.size(), s.blocks.size());
         for (size_t i = 0; i < s.blocks.size(); ++i) {
             EXPECT_EQ(t.blocks[i].insns, s.blocks[i].insns);
@@ -119,20 +135,21 @@ TEST(Seed, CorruptLengthFieldsCannotTriggerHugeAllocations)
 {
     const auto bytes = sampleSeed().serialize();
 
-    // Corrupt the block count (offset 24) to ~4 billion: must be
-    // rejected by bounds validation, not attempted as a resize.
+    // Corrupt the block count (offset 45, after the 45-byte header)
+    // to ~4 billion: must be rejected by bounds validation, not
+    // attempted as a resize.
     std::vector<uint8_t> huge_blocks = bytes;
-    huge_blocks[24] = huge_blocks[25] = huge_blocks[26] =
-        huge_blocks[27] = 0xFF;
+    huge_blocks[45] = huge_blocks[46] = huge_blocks[47] =
+        huge_blocks[48] = 0xFF;
     std::string error;
     EXPECT_FALSE(
         Seed::tryDeserialize(huge_blocks, &error).has_value());
     EXPECT_NE(error.find("block count"), std::string::npos);
 
-    // Corrupt the first block's instruction count (offset 28).
+    // Corrupt the first block's instruction count (offset 49).
     std::vector<uint8_t> huge_insns = bytes;
-    huge_insns[28] = huge_insns[29] = huge_insns[30] =
-        huge_insns[31] = 0xFF;
+    huge_insns[49] = huge_insns[50] = huge_insns[51] =
+        huge_insns[52] = 0xFF;
     EXPECT_FALSE(
         Seed::tryDeserialize(huge_insns, &error).has_value());
     EXPECT_NE(error.find("instruction count"), std::string::npos);
@@ -152,9 +169,9 @@ TEST(Seed, OutOfRangePrimeIndexRejected)
 {
     Seed s = sampleSeed();
     auto bytes = s.serialize();
-    // First block: ninsns at 24+4, insns follow; primeIdx sits at
-    // offset 28 + 4 + 8 = 40. Point it past the block.
-    bytes[40] = 9;
+    // First block: ninsns at 45+4, insns follow; primeIdx sits at
+    // offset 49 + 4 + 8 = 61. Point it past the block.
+    bytes[61] = 9;
     EXPECT_FALSE(Seed::tryDeserialize(bytes).has_value());
 }
 

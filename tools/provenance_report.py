@@ -1,0 +1,267 @@
+#!/usr/bin/env python3
+"""Analyze a TurboFuzz "turbofuzz.provenance.v1" report.
+
+Input is the JSON file written by `--provenance-out` (see
+docs/provenance.md): full first-hit attribution for every coverage
+point the fleet discovered, the never-hit target list, per-operator
+unique-coverage counts, the corpus lineage depth histogram, and
+per-shard forensics rings.
+
+Default mode prints the human summary:
+
+  - top mutation operators ranked by unique coverage (points whose
+    *first* hit is attributed to that operator),
+  - the lineage depth histogram of the resident corpus,
+  - plateau detection: windows of `--plateau-window` simulated
+    seconds (default: one tenth of the run) with zero new coverage,
+    plus the terminal plateau age,
+  - the never-hit table per instrumented module.
+
+`--check` mode is the CI gate: validates the schema tag and the
+structural invariants, and requires a non-empty never-hit target
+list (a fleet smoke that saturates coverage means the
+instrumentation is too small to exercise this report at all). Exits
+non-zero on malformed or empty input, naming the violation.
+
+Usage: provenance_report.py REPORT.json [--check]
+       provenance_report.py REPORT.json --plateau-window 5.0
+"""
+
+import argparse
+import json
+import sys
+
+OPS = ("direct", "generate", "delete", "retain")
+SPACES = ("mux", "csr", "edges")
+
+
+def fail(msg):
+    print(f"error: {msg}")
+    sys.exit(1)
+
+
+def load_report(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except OSError as e:
+        fail(f"cannot read report {path}: {e}")
+    except json.JSONDecodeError as e:
+        fail(f"malformed JSON in {path}: {e}")
+    if not isinstance(doc, dict):
+        fail(f"{path}: report is not a JSON object")
+    if doc.get("schema") != "turbofuzz.provenance.v1":
+        fail(f"{path}: unexpected schema {doc.get('schema')!r}")
+    return doc
+
+
+def require(doc, path, key, kind):
+    value = doc.get(key)
+    if not isinstance(value, kind) or isinstance(value, bool):
+        fail(f"{path}: missing/bad {key!r}")
+    return value
+
+
+def validate(doc, path):
+    """Structural validation shared by both modes; returns the parsed
+    sections the summary needs."""
+    shards = require(doc, path, "shards", int)
+    require(doc, path, "epochs", int)
+    t_sim_end = require(doc, path, "t_sim_end", (int, float))
+    first_hits = require(doc, path, "first_hits_recorded", int)
+
+    hits = require(doc, path, "time_to_hit", list)
+    if len(hits) != first_hits:
+        fail(
+            f"{path}: first_hits_recorded={first_hits} but "
+            f"time_to_hit has {len(hits)} entries"
+        )
+    for i, hit in enumerate(hits):
+        if not isinstance(hit, dict):
+            fail(f"{path}: time_to_hit[{i}] is not an object")
+        if hit.get("space") not in SPACES:
+            fail(
+                f"{path}: time_to_hit[{i}] bad space "
+                f"{hit.get('space')!r}"
+            )
+        if hit.get("op") not in OPS:
+            fail(f"{path}: time_to_hit[{i}] bad op {hit.get('op')!r}")
+        for key in ("t_sim", "shard", "iteration", "seed"):
+            value = hit.get(key)
+            if not isinstance(value, (int, float)) or value < 0:
+                fail(f"{path}: time_to_hit[{i}] missing/bad {key!r}")
+        if hit["shard"] >= shards:
+            fail(
+                f"{path}: time_to_hit[{i}] shard {hit['shard']} out "
+                f"of range"
+            )
+        if hit["t_sim"] > t_sim_end + 1e-9:
+            fail(
+                f"{path}: time_to_hit[{i}] t_sim {hit['t_sim']} past "
+                f"t_sim_end {t_sim_end}"
+            )
+
+    never = require(doc, path, "never_hit", dict)
+    mux = never.get("mux")
+    if not isinstance(mux, list):
+        fail(f"{path}: never_hit.mux is not a list")
+    for i, mod in enumerate(mux):
+        if not isinstance(mod, dict):
+            fail(f"{path}: never_hit.mux[{i}] is not an object")
+        for key in ("points", "hit", "never"):
+            value = mod.get(key)
+            if not isinstance(value, int) or value < 0:
+                fail(
+                    f"{path}: never_hit.mux[{i}] missing/bad {key!r}"
+                )
+        if mod["hit"] + mod["never"] != mod["points"]:
+            fail(
+                f"{path}: never_hit.mux[{i}] hit+never != points "
+                f"({mod['hit']}+{mod['never']} != {mod['points']})"
+            )
+
+    operators = require(doc, path, "operators", list)
+    op_total = 0
+    for i, entry in enumerate(operators):
+        if not isinstance(entry, dict) or entry.get("op") not in OPS:
+            fail(f"{path}: operators[{i}] malformed")
+        count = entry.get("first_hits")
+        if not isinstance(count, int) or count < 0:
+            fail(f"{path}: operators[{i}] missing/bad 'first_hits'")
+        op_total += count
+    if op_total != first_hits:
+        fail(
+            f"{path}: operator first_hits sum to {op_total}, "
+            f"expected {first_hits}"
+        )
+
+    histogram = require(doc, path, "lineage_depth_histogram", list)
+    for i, bucket in enumerate(histogram):
+        if (
+            not isinstance(bucket, dict)
+            or not isinstance(bucket.get("depth"), int)
+            or not isinstance(bucket.get("seeds"), int)
+        ):
+            fail(f"{path}: lineage_depth_histogram[{i}] malformed")
+
+    detail = require(doc, path, "shards_detail", list)
+    if len(detail) != shards:
+        fail(
+            f"{path}: shards_detail has {len(detail)} rows for "
+            f"{shards} shards"
+        )
+    return hits, mux, operators, histogram, detail
+
+
+def detect_plateaus(hits, t_sim_end, window):
+    """Slide a window of `window` simulated seconds over the run and
+    report every maximal stretch with zero new coverage, plus the
+    terminal plateau age."""
+    times = sorted(h["t_sim"] for h in hits)
+    plateaus = []
+    prev = 0.0
+    for t in times + [t_sim_end]:
+        if t - prev >= window:
+            plateaus.append((prev, t))
+        prev = max(prev, t)
+    terminal_age = t_sim_end - times[-1] if times else t_sim_end
+    return plateaus, terminal_age
+
+
+def summarize(doc, path, window):
+    hits, mux, operators, histogram, detail = validate(doc, path)
+    t_sim_end = doc["t_sim_end"]
+    if window is None:
+        window = max(t_sim_end / 10.0, 1e-9)
+
+    print(
+        f"{path}: {doc['shards']} shards, {doc['epochs']} epochs, "
+        f"{t_sim_end:.2f}s simulated, "
+        f"{doc['first_hits_recorded']} first hits"
+    )
+
+    print("\ntop operators by unique coverage:")
+    ranked = sorted(
+        operators, key=lambda e: e["first_hits"], reverse=True
+    )
+    total = max(doc["first_hits_recorded"], 1)
+    for entry in ranked:
+        share = entry["first_hits"] / total
+        print(
+            f"  {entry['op']:<9} {entry['first_hits']:>8} "
+            f"({share:.1%})"
+        )
+
+    print("\nlineage depth histogram (resident corpus):")
+    if not histogram:
+        print("  (empty corpus)")
+    for bucket in histogram:
+        bar = "#" * min(bucket["seeds"], 60)
+        print(f"  depth {bucket['depth']:>3}: {bucket['seeds']:>6} {bar}")
+
+    plateaus, terminal_age = detect_plateaus(hits, t_sim_end, window)
+    print(f"\nplateaus (windows >= {window:.2f}s with no new coverage):")
+    if not plateaus:
+        print("  none")
+    for start, end in plateaus:
+        print(f"  {start:>8.2f}s .. {end:>8.2f}s ({end - start:.2f}s)")
+    print(f"terminal plateau age: {terminal_age:.2f}s")
+
+    print("\nnever-hit mux points per module:")
+    for mod in mux:
+        name = mod.get("module", "?")
+        examples = ",".join(str(e) for e in mod.get("examples", []))
+        suffix = f"  e.g. [{examples}]" if examples else ""
+        print(
+            f"  {name:<24} {mod['hit']:>5}/{mod['points']:<5} hit, "
+            f"{mod['never']:>5} never{suffix}"
+        )
+    return 0
+
+
+def check(doc, path):
+    hits, mux, operators, histogram, detail = validate(doc, path)
+    if doc["first_hits_recorded"] == 0:
+        fail(f"{path}: no first hits recorded — empty campaign?")
+    never_total = sum(mod["never"] for mod in mux)
+    if never_total == 0:
+        fail(
+            f"{path}: never-hit list is empty — instrumentation too "
+            f"small to exercise the report"
+        )
+    print(
+        f"{path}: OK — {doc['first_hits_recorded']} first hits, "
+        f"{never_total} never-hit mux points, "
+        f"{len(operators)} operators, "
+        f"{len(histogram)} lineage depth buckets"
+    )
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("file", help="provenance report JSON file")
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="CI gate: validate structure and require a non-empty "
+        "never-hit target list",
+    )
+    parser.add_argument(
+        "--plateau-window",
+        type=float,
+        default=None,
+        metavar="SEC",
+        help="plateau window in simulated seconds (default: "
+        "t_sim_end / 10)",
+    )
+    args = parser.parse_args()
+
+    doc = load_report(args.file)
+    if args.check:
+        return check(doc, args.file)
+    return summarize(doc, args.file, args.plateau_window)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,7 +17,12 @@ JSONL mode (`--jsonl`) — validate a `--stats-file` emission: every
 line must be a standalone JSON object with the
 "turbofuzz.metrics.v1" schema tag, monotonically non-decreasing
 t_sim/t_host/epoch, and a metrics object of numbers and histogram
-objects. Exits 1 on any violation, naming the line.
+objects. Lines from provenance-enabled runs additionally carry a
+"provenance" object (first_hits / last_new_t_sim / plateau_sec, all
+non-negative numbers with non-decreasing first_hits across lines);
+it is validated when present. Exits 1 on any violation, naming the
+line. Unknown schema tags fail loudly — this tool validates exactly
+one format version and must not silently pass a newer one.
 
 Both modes treat missing/malformed input as a hard error — this tool
 doubles as the CI artifact validator, and a validator that shrugs at
@@ -156,6 +161,43 @@ def validate_metrics_object(path, lineno, metrics):
         )
 
 
+PROVENANCE_KEYS = ("first_hits", "last_new_t_sim", "plateau_sec")
+
+
+def validate_provenance_object(path, lineno, prov, prev_first_hits):
+    """Check an optional per-line provenance object; returns the
+    line's first_hits for cross-line monotonicity tracking."""
+    if not isinstance(prov, dict):
+        fail(f"{path}:{lineno}: 'provenance' is not an object")
+    for key in PROVENANCE_KEYS:
+        value = prov.get(key)
+        if not isinstance(value, (int, float)) or isinstance(
+            value, bool
+        ):
+            fail(
+                f"{path}:{lineno}: provenance missing/bad {key!r}"
+            )
+        if value < 0:
+            fail(
+                f"{path}:{lineno}: provenance {key!r} is negative "
+                f"({value})"
+            )
+    unknown = set(prov) - set(PROVENANCE_KEYS)
+    if unknown:
+        fail(
+            f"{path}:{lineno}: unknown provenance field(s) "
+            f"{sorted(unknown)}"
+        )
+    # The ledger only grows within a run; a shrinking first-hit count
+    # means the stream mixes runs or the writer lost state.
+    if prov["first_hits"] < prev_first_hits:
+        fail(
+            f"{path}:{lineno}: provenance first_hits went backwards "
+            f"({prev_first_hits} -> {prov['first_hits']})"
+        )
+    return prov["first_hits"]
+
+
 def validate_jsonl(path, min_lines):
     try:
         with open(path) as f:
@@ -164,7 +206,9 @@ def validate_jsonl(path, min_lines):
         fail(f"cannot read stats file {path}: {e}")
 
     prev = {"t_sim": -1.0, "t_host": -1.0, "epoch": -1}
+    prev_first_hits = 0
     count = 0
+    provenance_lines = 0
     for lineno, line in enumerate(lines, 1):
         if not line.strip():
             fail(f"{path}:{lineno}: blank line in JSONL stream")
@@ -192,6 +236,11 @@ def validate_jsonl(path, min_lines):
                     f"({prev[key]} -> {doc[key]})"
                 )
         validate_metrics_object(path, lineno, doc.get("metrics"))
+        if "provenance" in doc:
+            prev_first_hits = validate_provenance_object(
+                path, lineno, doc["provenance"], prev_first_hits
+            )
+            provenance_lines += 1
         prev = {k: doc[k] for k in ("t_sim", "t_host", "epoch")}
         count += 1
 
@@ -200,7 +249,12 @@ def validate_jsonl(path, min_lines):
             f"{path}: only {count} stats line(s), expected at least "
             f"{min_lines}"
         )
-    print(f"{path}: {count} valid turbofuzz.metrics.v1 lines")
+    suffix = (
+        f" ({provenance_lines} with provenance)"
+        if provenance_lines
+        else ""
+    )
+    print(f"{path}: {count} valid turbofuzz.metrics.v1 lines{suffix}")
     return 0
 
 
