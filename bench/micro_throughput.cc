@@ -111,6 +111,40 @@ BM_IssStep(benchmark::State &state)
 }
 BENCHMARK(BM_IssStep);
 
+/**
+ * Decode-cache margin: per-step cost with steady-state hits (arg 1)
+ * vs the cache disabled so every step pays a full isa::decode
+ * (arg 0). A 256-instruction straight-line loop re-executed from the
+ * same PCs, so the cached leg runs at ~100% hit rate after lap one.
+ */
+void
+BM_DecodeCache(benchmark::State &state)
+{
+    soc::Memory mem;
+    constexpr uint64_t pc0 = 0x1000;
+    constexpr int n = 256;
+    isa::Operands a;
+    a.rd = 1;
+    a.rs1 = 1;
+    a.imm = 1;
+    for (int i = 0; i < n; ++i)
+        mem.write32(pc0 + 4 * i, isa::encode(isa::Opcode::Addi, a));
+    isa::Operands j;
+    j.rd = 0;
+    j.imm = -4 * n;
+    mem.write32(pc0 + 4 * n, isa::encode(isa::Opcode::Jal, j));
+    core::Iss::Options o;
+    o.resetPc = pc0;
+    o.decodeCache = state.range(0) != 0;
+    core::Iss iss(&mem, o);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(iss.step());
+    state.SetItemsProcessed(state.iterations());
+    state.SetLabel(iss.decodeCacheEnabled() ? "cache-hit"
+                                            : "cold-decode");
+}
+BENCHMARK(BM_DecodeCache)->Arg(0)->Arg(1);
+
 void
 BM_FullIteration(benchmark::State &state)
 {

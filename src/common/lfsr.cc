@@ -89,10 +89,57 @@ FibonacciLfsr::stepBit()
     return out;
 }
 
+namespace
+{
+/** Reverse all 64 bits of @p v. */
+uint64_t
+bitReverse64(uint64_t v)
+{
+    v = __builtin_bswap64(v);
+    v = ((v & 0xF0F0F0F0F0F0F0F0ull) >> 4) |
+        ((v & 0x0F0F0F0F0F0F0F0Full) << 4);
+    v = ((v & 0xCCCCCCCCCCCCCCCCull) >> 2) |
+        ((v & 0x3333333333333333ull) << 2);
+    v = ((v & 0xAAAAAAAAAAAAAAAAull) >> 1) |
+        ((v & 0x5555555555555555ull) << 1);
+    return v;
+}
+} // namespace
+
+uint64_t
+FibonacciLfsr::stepWord64()
+{
+    // 64 scalar steps fused into word ops, bit-exact with stepBit():
+    //
+    //  * Outputs: step k's output is bit k of the initial state
+    //    (feedback first reaches the LSB on step 64), and stepBits()
+    //    packs MSB-first — so the output word is the bit-reversed
+    //    initial state.
+    //  * Next state: bit k of the state after 64 steps is the
+    //    feedback of step k, fb_k = parity(reg_k & 0x1B), i.e.
+    //    bits {k, k+1, k+3, k+4} of the initial state r — the word
+    //    expression r^(r>>1)^(r>>3)^(r>>4) — except steps 60..63,
+    //    whose taps wrap onto earlier feedback bits.
+    const uint64_t r = reg;
+    const uint64_t w = r ^ (r >> 1) ^ (r >> 3) ^ (r >> 4);
+    const uint64_t fb0 = w & 1, fb1 = (w >> 1) & 1;
+    const uint64_t fb2 = (w >> 2) & 1, fb3 = (w >> 3) & 1;
+    const uint64_t b60 = (r >> 60) & 1, b61 = (r >> 61) & 1;
+    const uint64_t b62 = (r >> 62) & 1, b63 = r >> 63;
+    uint64_t hi = (b60 ^ b61 ^ b63 ^ fb0) << 60;
+    hi |= (b61 ^ b62 ^ fb0 ^ fb1) << 61;
+    hi |= (b62 ^ b63 ^ fb1 ^ fb2) << 62;
+    hi |= (b63 ^ fb0 ^ fb2 ^ fb3) << 63;
+    reg = (w & 0x0FFFFFFFFFFFFFFFull) | hi;
+    return bitReverse64(r);
+}
+
 uint64_t
 FibonacciLfsr::stepBits(unsigned nbits)
 {
     TF_ASSERT(nbits <= 64, "at most 64 bits per call");
+    if (nbits == 64 && regWidth == 64 && taps == 0x1B)
+        return stepWord64();
     uint64_t v = 0;
     for (unsigned i = 0; i < nbits; ++i)
         v = (v << 1) | stepBit();

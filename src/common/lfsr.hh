@@ -76,6 +76,9 @@ class FibonacciLfsr
     void reseed(uint64_t seed);
 
   private:
+    /** Word-at-a-time fast path of stepBits(64) at width 64. */
+    uint64_t stepWord64();
+
     unsigned regWidth;
     uint64_t taps;
     uint64_t stateMask;

@@ -24,41 +24,4 @@ Rng::split(std::string_view label) const
     return Rng(state ^ hashLabel(label) ^ 0xa0761d6478bd642full);
 }
 
-uint64_t
-Rng::range(uint64_t bound)
-{
-    TF_ASSERT(bound != 0, "range() bound must be nonzero");
-    // Debiased multiply-shift rejection sampling.
-    const uint64_t threshold = (0 - bound) % bound;
-    for (;;) {
-        const uint64_t r = next();
-        if (r >= threshold)
-            return r % bound;
-    }
-}
-
-uint64_t
-Rng::between(uint64_t lo, uint64_t hi)
-{
-    TF_ASSERT(lo <= hi, "between() requires lo <= hi");
-    if (lo == 0 && hi == ~uint64_t{0})
-        return next();
-    return lo + range(hi - lo + 1);
-}
-
-bool
-Rng::chance(uint64_t num, uint64_t den)
-{
-    TF_ASSERT(den != 0 && num <= den, "chance() requires num <= den != 0");
-    if (num == den)
-        return true;
-    return range(den) < num;
-}
-
-double
-Rng::uniform()
-{
-    return static_cast<double>(next() >> 11) * 0x1.0p-53;
-}
-
 } // namespace turbofuzz

@@ -14,6 +14,8 @@
 #include <cstdint>
 #include <string_view>
 
+#include "common/logging.hh"
+
 namespace turbofuzz
 {
 
@@ -36,17 +38,59 @@ class Rng
         return z ^ (z >> 31);
     }
 
-    /** Uniform value in [0, bound); bound must be nonzero. */
-    uint64_t range(uint64_t bound);
+    /**
+     * Uniform value in [0, bound); bound must be nonzero.
+     *
+     * Debiased rejection sampling, stream-identical to the classic
+     * threshold-first form but with the divisions dodged where the
+     * draw decides without them: power-of-two bounds reduce to a
+     * mask, and a draw r >= bound always clears the rejection
+     * threshold (threshold = 2^64 mod bound < bound), so the
+     * threshold division only runs for the rare r < bound draw.
+     */
+    uint64_t
+    range(uint64_t bound)
+    {
+        TF_ASSERT(bound != 0, "range() bound must be nonzero");
+        const uint64_t m = bound - 1;
+        if ((bound & m) == 0)
+            return next() & m;
+        for (;;) {
+            const uint64_t r = next();
+            if (r >= bound)
+                return r % bound;
+            if (r >= (0 - bound) % bound)
+                return r; // r < bound: r % bound == r
+        }
+    }
 
     /** Uniform value in [lo, hi] inclusive. */
-    uint64_t between(uint64_t lo, uint64_t hi);
+    uint64_t
+    between(uint64_t lo, uint64_t hi)
+    {
+        TF_ASSERT(lo <= hi, "between() requires lo <= hi");
+        if (lo == 0 && hi == ~uint64_t{0})
+            return next();
+        return lo + range(hi - lo + 1);
+    }
 
     /** Bernoulli trial with probability num/den. */
-    bool chance(uint64_t num, uint64_t den);
+    bool
+    chance(uint64_t num, uint64_t den)
+    {
+        TF_ASSERT(den != 0 && num <= den,
+                  "chance() requires num <= den != 0");
+        if (num == den)
+            return true;
+        return range(den) < num;
+    }
 
     /** Uniform double in [0, 1). */
-    double uniform();
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
 
     /** Current internal state (for serialization). */
     uint64_t rawState() const { return state; }

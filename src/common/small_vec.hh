@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Small-buffer vector for hot per-iteration objects.
+ *
+ * The generator builds hundreds of short instruction blocks per
+ * iteration; with std::vector each block costs one heap allocation
+ * (and one more per copy, e.g. seed-block retention). SmallVec keeps
+ * up to N elements inline — sized so every block the builder can emit
+ * fits — and only spills to the heap beyond that, making steady-state
+ * block construction allocation-free.
+ */
+
+#ifndef TURBOFUZZ_COMMON_SMALL_VEC_HH
+#define TURBOFUZZ_COMMON_SMALL_VEC_HH
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <initializer_list>
+#include <type_traits>
+
+#include "common/logging.hh"
+
+namespace turbofuzz
+{
+
+/**
+ * Vector with N elements of inline storage, heap spill beyond.
+ * Restricted to trivially copyable element types so relocation is a
+ * memcpy — all the fuzzer's hot uses store instruction words.
+ */
+template <typename T, size_t N>
+class SmallVec
+{
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "SmallVec requires trivially copyable elements");
+    static_assert(N > 0, "inline capacity must be nonzero");
+
+  public:
+    SmallVec() = default;
+
+    SmallVec(std::initializer_list<T> init) { assign(init); }
+
+    SmallVec(const SmallVec &other) { copyFrom(other); }
+
+    SmallVec(SmallVec &&other) noexcept { moveFrom(other); }
+
+    SmallVec &
+    operator=(const SmallVec &other)
+    {
+        if (this != &other) {
+            destroy();
+            copyFrom(other);
+        }
+        return *this;
+    }
+
+    SmallVec &
+    operator=(SmallVec &&other) noexcept
+    {
+        if (this != &other) {
+            destroy();
+            moveFrom(other);
+        }
+        return *this;
+    }
+
+    SmallVec &
+    operator=(std::initializer_list<T> init)
+    {
+        assign(init);
+        return *this;
+    }
+
+    ~SmallVec() { destroy(); }
+
+    size_t size() const { return count; }
+    bool empty() const { return count == 0; }
+    size_t capacity() const { return cap; }
+
+    T *data() { return ptr; }
+    const T *data() const { return ptr; }
+
+    T *begin() { return ptr; }
+    T *end() { return ptr + count; }
+    const T *begin() const { return ptr; }
+    const T *end() const { return ptr + count; }
+
+    T &
+    operator[](size_t i)
+    {
+        TF_ASSERT(i < count, "SmallVec index %zu out of range", i);
+        return ptr[i];
+    }
+    const T &
+    operator[](size_t i) const
+    {
+        TF_ASSERT(i < count, "SmallVec index %zu out of range", i);
+        return ptr[i];
+    }
+
+    T &front() { return (*this)[0]; }
+    const T &front() const { return (*this)[0]; }
+    T &back() { return (*this)[count - 1]; }
+    const T &back() const { return (*this)[count - 1]; }
+
+    void
+    push_back(const T &v)
+    {
+        if (count == cap)
+            grow(count + 1);
+        ptr[count++] = v;
+    }
+
+    void
+    pop_back()
+    {
+        TF_ASSERT(count > 0, "pop_back on empty SmallVec");
+        --count;
+    }
+
+    void
+    resize(size_t n)
+    {
+        if (n > cap)
+            grow(n);
+        for (size_t i = count; i < n; ++i)
+            ptr[i] = T{};
+        count = n;
+    }
+
+    void
+    reserve(size_t n)
+    {
+        if (n > cap)
+            grow(n);
+    }
+
+    void clear() { count = 0; }
+
+    /** Erase the element at @p pos (an iterator into this vector). */
+    T *
+    erase(T *pos)
+    {
+        TF_ASSERT(pos >= ptr && pos < ptr + count,
+                  "erase position out of range");
+        std::memmove(pos, pos + 1,
+                     sizeof(T) *
+                         static_cast<size_t>(ptr + count - pos - 1));
+        --count;
+        return pos;
+    }
+
+    void
+    assign(std::initializer_list<T> init)
+    {
+        clear();
+        reserve(init.size());
+        for (const T &v : init)
+            ptr[count++] = v;
+    }
+
+    bool
+    operator==(const SmallVec &other) const
+    {
+        return count == other.count &&
+               std::equal(begin(), end(), other.begin());
+    }
+    bool operator!=(const SmallVec &other) const
+    {
+        return !(*this == other);
+    }
+
+  private:
+    void
+    grow(size_t need)
+    {
+        size_t ncap = cap * 2;
+        if (ncap < need)
+            ncap = need;
+        T *nptr = new T[ncap];
+        std::memcpy(nptr, ptr, sizeof(T) * count);
+        if (ptr != inlineStore)
+            delete[] ptr;
+        ptr = nptr;
+        cap = ncap;
+    }
+
+    void
+    copyFrom(const SmallVec &other)
+    {
+        ptr = inlineStore;
+        cap = N;
+        count = 0;
+        reserve(other.count);
+        std::memcpy(ptr, other.ptr, sizeof(T) * other.count);
+        count = other.count;
+    }
+
+    void
+    moveFrom(SmallVec &other) noexcept
+    {
+        if (other.ptr != other.inlineStore) {
+            // Steal the heap buffer.
+            ptr = other.ptr;
+            cap = other.cap;
+            count = other.count;
+            other.ptr = other.inlineStore;
+            other.cap = N;
+            other.count = 0;
+        } else {
+            ptr = inlineStore;
+            cap = N;
+            count = other.count;
+            std::memcpy(ptr, other.ptr, sizeof(T) * count);
+            other.count = 0;
+        }
+    }
+
+    void
+    destroy()
+    {
+        if (ptr != inlineStore)
+            delete[] ptr;
+        ptr = inlineStore;
+        cap = N;
+        count = 0;
+    }
+
+    T inlineStore[N];
+    T *ptr = inlineStore;
+    size_t cap = N;
+    size_t count = 0;
+};
+
+} // namespace turbofuzz
+
+#endif // TURBOFUZZ_COMMON_SMALL_VEC_HH

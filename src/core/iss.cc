@@ -1,5 +1,9 @@
 #include "core/iss.hh"
 
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+
 #include "common/bitutils.hh"
 #include "common/logging.hh"
 #include "core/fp_ops.hh"
@@ -12,6 +16,21 @@ namespace turbofuzz::core
 namespace csr = isa::csr;
 using isa::Opcode;
 
+namespace
+{
+
+/** TURBOFUZZ_DECODE_CACHE=0|off forces the decode cache off (the CI
+ *  equivalence matrix leg); anything else leaves the option alone. */
+bool
+decodeCacheEnvEnabled()
+{
+    const char *e = std::getenv("TURBOFUZZ_DECODE_CACHE");
+    return !(e && (std::strcmp(e, "0") == 0 ||
+                   std::strcmp(e, "off") == 0));
+}
+
+} // namespace
+
 Iss::Iss(soc::Memory *mem) : Iss(mem, Options{})
 {
 }
@@ -20,6 +39,16 @@ Iss::Iss(soc::Memory *mem, Options options)
     : memPtr(mem), opts(options)
 {
     TF_ASSERT(memPtr != nullptr, "Iss requires a memory");
+    dcacheOn = opts.decodeCache && decodeCacheEnvEnabled();
+    if (dcacheOn) {
+        // Entries stay uninitialized (validity is the generation
+        // array): hart construction is on the per-replay path, and
+        // value-initializing ~256 KiB of lines would dominate short
+        // replays.
+        dcache =
+            std::make_unique_for_overwrite<DecodeEntry[]>(dcacheEntries);
+        dcacheGen = std::make_unique<uint32_t[]>(dcacheEntries);
+    }
     reset();
 }
 
@@ -39,12 +68,93 @@ void
 Iss::clearAccessRanges()
 {
     ranges.clear();
+    // Cached entries assert fetch accessibility; range edits void
+    // that proof, so the cache starts cold.
+    clearDecodeCache();
 }
 
 void
 Iss::addAccessRange(uint64_t base, uint64_t size)
 {
     ranges.push_back({base, size});
+    clearDecodeCache();
+}
+
+void
+Iss::clearDecodeCache()
+{
+    // O(1): bump the generation, orphaning every line. The replay
+    // path edits access ranges on every replay; an eager 256 KiB
+    // memset here dominated its runtime.
+    if (!dcacheOn)
+        return;
+    if (++dcacheGenCur == 0) {
+        // Generation wrap (needs 2^32 clears): lines stamped by the
+        // previous epoch of the counter must not alias as live.
+        std::fill_n(dcacheGen.get(), dcacheEntries, 0u);
+        dcacheGenCur = 1;
+    }
+}
+
+const Iss::DecodeEntry *
+Iss::lookupDecode(uint64_t pc)
+{
+    const size_t i = dcacheIdx(pc);
+    DecodeEntry &e = dcache[i];
+    if (dcacheGen[i] != dcacheGenCur || e.pc != pc) {
+        ++dstats.miss;
+        return nullptr;
+    }
+    const uint64_t cur = memPtr->fetchEpochOfSlot(e.slot);
+    if (e.epoch == cur) {
+        ++dstats.hit;
+        return &e;
+    }
+    // Stale epoch: refetch and compare. The common case is an
+    // aliasing write (e.g. the per-iteration segment rewrite) that
+    // left this word unchanged — refresh the snapshot and reuse the
+    // decode. An actually changed word invalidates the line.
+    const uint32_t insn = memPtr->read32(pc);
+    e.slot = memPtr->fetchSlotFor(pc);
+    e.epoch = memPtr->fetchEpochOfSlot(e.slot);
+    if (insn == e.insn) {
+        ++dstats.hit;
+        return &e;
+    }
+    ++dstats.invalidate;
+    dcacheGen[i] = 0;
+    return nullptr;
+}
+
+void
+Iss::fillDecode(uint64_t pc, uint32_t insn, const isa::Decoded &dec)
+{
+    const size_t i = dcacheIdx(pc);
+    DecodeEntry &e = dcache[i];
+    dcacheGen[i] = dcacheGenCur;
+    e.pc = pc;
+    e.insn = insn;
+    e.slot = memPtr->fetchSlotFor(pc);
+    e.epoch = memPtr->fetchEpochOfSlot(e.slot);
+    e.decValid = dec.valid;
+    if (dec.valid) {
+        e.op = dec.op;
+        e.desc = dec.desc;
+        e.ops = dec.ops;
+        // Straight-line instructions have no control-flow or system
+        // side exit; they are superblock (stepStraight) material.
+        // Loads/stores/FP/AMO qualify — they can still trap, which
+        // stepStraight handles as a side exit after the commit.
+        constexpr uint32_t sideExitFlags =
+            isa::FlagBranch | isa::FlagJal | isa::FlagJalr |
+            isa::FlagCsr | isa::FlagSystem;
+        e.straight = (dec.desc->flags & sideExitFlags) == 0;
+    } else {
+        e.op = isa::Opcode::NumOpcodes;
+        e.desc = nullptr;
+        e.ops = isa::Operands{};
+        e.straight = false;
+    }
 }
 
 bool
@@ -196,27 +306,48 @@ Iss::stepInto(CommitInfo &out)
         ci.minstretAfter = st.minstret;
         return;
     }
-    if (!accessible(ci.pc, 4)) {
-        trap(ci, csr::causeLoadAccessFault, ci.pc);
-        st.minstret += 1;
-        ci.minstretAfter = st.minstret;
-        return;
-    }
-    ci.insn = memPtr->read32(ci.pc);
-    ci.nextPc = ci.pc + 4;
+    // Fetch + decode, through the decode cache when it can prove the
+    // cached word is current (a hit implies fetch accessibility —
+    // range edits clear the cache).
+    const DecodeEntry *hit = dcacheOn ? lookupDecode(ci.pc) : nullptr;
+    if (hit) {
+        ci.insn = hit->insn;
+        ci.nextPc = ci.pc + 4;
+        if (!hit->decValid) {
+            trap(ci, csr::causeIllegalInstruction, ci.insn);
+            st.minstret += 1;
+            ci.minstretAfter = st.minstret;
+            return;
+        }
+        ci.decodeValid = true;
+        ci.op = hit->op;
+        ci.desc = hit->desc;
+        ci.ops = hit->ops;
+    } else {
+        if (!accessible(ci.pc, 4)) {
+            trap(ci, csr::causeLoadAccessFault, ci.pc);
+            st.minstret += 1;
+            ci.minstretAfter = st.minstret;
+            return;
+        }
+        ci.insn = memPtr->read32(ci.pc);
+        ci.nextPc = ci.pc + 4;
 
-    // Decode.
-    const isa::Decoded dec = isa::decode(ci.insn);
-    if (!dec.valid) {
-        trap(ci, csr::causeIllegalInstruction, ci.insn);
-        st.minstret += 1;
-        ci.minstretAfter = st.minstret;
-        return;
+        // Decode.
+        const isa::Decoded dec = isa::decode(ci.insn);
+        if (dcacheOn)
+            fillDecode(ci.pc, ci.insn, dec);
+        if (!dec.valid) {
+            trap(ci, csr::causeIllegalInstruction, ci.insn);
+            st.minstret += 1;
+            ci.minstretAfter = st.minstret;
+            return;
+        }
+        ci.decodeValid = true;
+        ci.op = dec.op;
+        ci.desc = dec.desc;
+        ci.ops = dec.ops;
     }
-    ci.decodeValid = true;
-    ci.op = dec.op;
-    ci.desc = dec.desc;
-    ci.ops = dec.ops;
 
     execute(ci);
 
@@ -232,6 +363,57 @@ Iss::stepInto(CommitInfo &out)
     ci.minstretAfter = st.minstret;
 
     st.fflags |= ci.fflagsAccrued;
+}
+
+uint64_t
+Iss::stepStraight(CommitTrace &trace, uint64_t max_steps)
+{
+    if (!dcacheOn)
+        return 0;
+    uint64_t n = 0;
+    while (n < max_steps) {
+        const uint64_t pc = st.pc;
+        if (pc & 0x3)
+            break;
+        const size_t i = dcacheIdx(pc);
+        const DecodeEntry &e = dcache[i];
+        if (dcacheGen[i] != dcacheGenCur || e.pc != pc ||
+            !e.straight ||
+            e.epoch != memPtr->fetchEpochOfSlot(e.slot)) {
+            // Side exit before the step: the caller's slow step
+            // revalidates/refills through lookupDecode (which also
+            // does the stats accounting for this pc).
+            break;
+        }
+        ++dstats.hit;
+
+        // Replica of stepInto() minus fetch/decode, for straight
+        // instructions only. Ebreak carries FlagSystem and is never
+        // straight, so the R1 minstret suppression cannot apply here.
+        CommitInfo &ci = trace.append();
+        ci = CommitInfo{};
+        ci.pc = pc;
+        st.mcycle += 1;
+        ci.insn = e.insn;
+        ci.nextPc = pc + 4;
+        ci.decodeValid = true;
+        ci.op = e.op;
+        ci.desc = e.desc;
+        ci.ops = e.ops;
+
+        execute(ci);
+
+        if (!ci.trapped)
+            st.pc = ci.nextPc;
+        st.minstret += 1;
+        ci.minstretAfter = st.minstret;
+        st.fflags |= ci.fflagsAccrued;
+        trace.sealLast();
+        ++n;
+        if (ci.trapped)
+            break; // trap redirected control flow: side exit
+    }
+    return n;
 }
 
 void

@@ -14,6 +14,7 @@
 #define TURBOFUZZ_CORE_ISS_HH
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/arch_state.hh"
@@ -49,6 +50,24 @@ class Iss
 
         /** Reset program counter. */
         uint64_t resetPc = 0x80000000ull;
+
+        /**
+         * Direct-mapped decode cache keyed by (pc, insn): repeated
+         * fetches of unchanged words skip isa::decode. Epoch-guarded
+         * against memory writes (soc::Memory fetch watches), so
+         * self-modifying stimulus re-decodes and results stay
+         * bit-identical either way. The TURBOFUZZ_DECODE_CACHE
+         * environment variable ("0"/"off") forces it off.
+         */
+        bool decodeCache = true;
+    };
+
+    /** Decode-cache effectiveness counters (monotonic). */
+    struct DecodeStats
+    {
+        uint64_t hit = 0;        ///< reused a cached decode
+        uint64_t miss = 0;       ///< cold/conflicting slot, decoded
+        uint64_t invalidate = 0; ///< cached word changed, re-decoded
     };
 
     explicit Iss(soc::Memory *mem);
@@ -104,12 +123,37 @@ class Iss
         while (n < max_steps) {
             CommitInfo &slot = trace.append();
             stepInto(slot);
+            trace.sealLast();
             ++n;
             if (stop(static_cast<const CommitInfo &>(slot)))
                 break;
         }
         return n;
     }
+
+    /**
+     * Superblock execution: run up to @p max_steps instructions along
+     * the straight-line fast path — every step must hit a current
+     * decode-cache entry whose instruction has no control-flow or
+     * system side exit (branch/jal/jalr/csr/system). Commits are
+     * appended (and column-sealed) exactly as stepInto produces them;
+     * a trap ends the run after its commit, any other side exit
+     * (uncached pc, stale epoch, non-straight instruction, misaligned
+     * pc) ends it before. The caller owns the stop policy: it must
+     * bound @p max_steps so that no intermediate commit could have
+     * stopped a per-step loop, and evaluate its policy on the last
+     * appended commit.
+     *
+     * @return commits appended (0 when the first step side-exits or
+     *         the decode cache is disabled).
+     */
+    uint64_t stepStraight(CommitTrace &trace, uint64_t max_steps);
+
+    /** Decode-cache counters (both step paths contribute). */
+    const DecodeStats &decodeStats() const { return dstats; }
+
+    /** Whether the decode cache is active (option && environment). */
+    bool decodeCacheEnabled() const { return dcacheOn; }
 
     const Options &options() const { return opts; }
 
@@ -122,6 +166,58 @@ class Iss
         uint64_t base;
         uint64_t size;
     };
+
+    /**
+     * One direct-mapped decode-cache line. `epoch` snapshots the
+     * fetch epoch of the memory slot covering `pc`; a stale epoch
+     * forces revalidation (refetch + insn compare) before the cached
+     * decode may be reused.
+     *
+     * Validity lives OUTSIDE the entry: line i is live iff
+     * `dcacheGen[i] == dcacheGenCur`. That makes whole-cache clears
+     * O(1) (bump the generation) instead of a ~256 KiB memset — the
+     * triage replay path constructs harts and edits access ranges
+     * per replay, and eager clears were costing it more than decode
+     * ever did. Entry fields are intentionally uninitialized
+     * (make_unique_for_overwrite): nothing reads them before
+     * fillDecode wrote them under the current generation. Entries
+     * are created on the slow path, which proved `pc` accessible;
+     * access-range edits clear the cache, so a hit implies
+     * accessibility.
+     */
+    struct DecodeEntry
+    {
+        uint64_t pc;
+        uint64_t epoch;
+        const isa::InstrDesc *desc;
+        isa::Operands ops;
+        uint32_t insn;
+        uint32_t slot; ///< Memory::fetchSlotFor(pc)
+        isa::Opcode op;
+        bool decValid;
+        bool straight; ///< no branch/jump/csr/system side exit
+    };
+
+    static constexpr size_t dcacheEntries = 4096; ///< power of two
+
+    static size_t
+    dcacheIdx(uint64_t pc)
+    {
+        return (pc >> 2) & (dcacheEntries - 1);
+    }
+
+    /**
+     * Cache lookup with epoch revalidation; counts hit/invalidate.
+     * @return the current entry for @p pc, or nullptr (miss — the
+     *         caller fetches, decodes and fillDecode()s).
+     */
+    const DecodeEntry *lookupDecode(uint64_t pc);
+
+    /** Install a freshly decoded word (epoch snapshotted now). */
+    void fillDecode(uint64_t pc, uint32_t insn,
+                    const isa::Decoded &dec);
+
+    void clearDecodeCache();
 
     bool accessible(uint64_t addr, uint64_t size) const;
     bool hasBug(BugId id) const { return opts.bugs.has(id); }
@@ -151,6 +247,12 @@ class Iss
     Options opts;
     ArchState st;
     std::vector<Range> ranges;
+
+    bool dcacheOn = true;
+    DecodeStats dstats;
+    std::unique_ptr<DecodeEntry[]> dcache; ///< null when disabled
+    std::unique_ptr<uint32_t[]> dcacheGen; ///< per-line generation
+    uint32_t dcacheGenCur = 1; ///< 0 is reserved for "never filled"
 };
 
 } // namespace turbofuzz::core

@@ -1,5 +1,9 @@
 #include "coverage/coverage_map.hh"
 
+#include <algorithm>
+#include <array>
+
+#include "common/bitutils.hh"
 #include "common/logging.hh"
 #include "coverage/provenance.hh"
 #include "rtl/driver.hh"
@@ -29,12 +33,169 @@ CoverageMap::CoverageMap(const DesignInstrumentation *di) : instr(di)
                         regs[p.regIndex].role);
         moduleRoleMasks.push_back(mask);
     }
+
+    // Flatten every placement into an incremental-sweep entry,
+    // grouped by the role of its register so a dirty-role step can
+    // walk exactly the entries that may have moved. Register storage
+    // is pointer-stable after design construction (the event driver
+    // relies on the same property).
+    const size_t mod_count = instr->modules().size();
+    modIdx.assign(mod_count, 0);
+    std::array<std::vector<IncEntry>, 64> byRole;
+    for (size_t i = 0; i < mod_count; ++i) {
+        const ModuleInstrumentation &m = instr->modules()[i];
+        const auto &regs = m.module().registers();
+        for (const Placement &p : m.placements()) {
+            const rtl::Register &r = regs[p.regIndex];
+            IncEntry e;
+            e.widthMask = turbofuzz::mask(r.width);
+            e.idxMask = turbofuzz::mask(m.indexBits());
+            e.module = static_cast<uint32_t>(i);
+            e.offset = p.offset;
+            e.idxBits = static_cast<uint8_t>(m.indexBits());
+            e.rot = static_cast<uint8_t>(p.offset % m.indexBits());
+            e.wraps = p.wraps;
+            e.role = static_cast<uint8_t>(r.role);
+            if (!r.domain.empty()) {
+                // Tabulate the whole domain -> contribution map.
+                std::vector<uint64_t> tbl(r.domain.size());
+                for (size_t d = 0; d < r.domain.size(); ++d)
+                    tbl[d] =
+                        placeValue(e, r.domain[d] & e.widthMask);
+                placedDomPool.push_back(std::move(tbl));
+                e.placedDom = placedDomPool.back().data();
+                e.domSize =
+                    static_cast<uint32_t>(r.domain.size());
+            } else if (r.salt != 0) {
+                e.salt = r.salt;
+            } else {
+                e.srcShift = r.srcShift;
+            }
+            byRole[static_cast<size_t>(r.role)].push_back(e);
+        }
+    }
+    // Flatten into (role, module) slots. Within a role the entries
+    // were appended in module order, so same-module entries are
+    // already contiguous.
+    for (size_t r = 0; r < 64; ++r) {
+        roleSlotBegin[r] = static_cast<uint32_t>(slotModule.size());
+        uint32_t last_mod = ~uint32_t{0};
+        for (const IncEntry &e : byRole[r]) {
+            if (e.module != last_mod) {
+                slotModule.push_back(e.module);
+                slotEntryBegin.push_back(
+                    static_cast<uint32_t>(incEntries.size()));
+                last_mod = e.module;
+            }
+            incEntries.push_back(e);
+        }
+        if (!byRole[r].empty())
+            rolesWithEntries |= uint64_t{1} << r;
+    }
+    roleSlotBegin[64] = static_cast<uint32_t>(slotModule.size());
+    slotEntryBegin.push_back(
+        static_cast<uint32_t>(incEntries.size()));
+    slotAgg.assign(slotModule.size(), 0);
+
+    // Role-memo layout: one tag word plus one aggregate word per
+    // slot, memoLines lines per role that has entries.
+    uint32_t words = 0, lines = 0;
+    for (size_t r = 0; r < 64; ++r) {
+        memoBase[r] = words;
+        validBase[r] = lines;
+        const uint32_t nslots =
+            roleSlotBegin[r + 1] - roleSlotBegin[r];
+        if (nslots != 0) {
+            words += memoLines * (1 + nslots);
+            lines += memoLines;
+        }
+    }
+    memoTbl.assign(words, 0);
+    memoValid.assign(lines, 0);
+}
+
+uint64_t
+CoverageMap::placeValue(const IncEntry &e, uint64_t v)
+{
+    // Exact replica of ModuleInstrumentation::computeIndex() for one
+    // placement — the maintained module index is the XOR of these.
+    if (e.wraps) {
+        while (v >> e.idxBits)
+            v = (v & e.idxMask) ^ (v >> e.idxBits);
+        v = ((v << e.rot) | (v >> (e.idxBits - e.rot))) & e.idxMask;
+    } else {
+        v = (v << e.offset) & e.idxMask;
+    }
+    return v;
+}
+
+uint64_t
+CoverageMap::contribFor(const IncEntry &e, uint64_t roleValue)
+{
+    if (e.placedDom)
+        return e.placedDom[roleValue % e.domSize];
+    uint64_t mapped;
+    if (e.salt) {
+        // EventDriver::mapToDomain's salted mix, verbatim.
+        uint64_t z = roleValue ^ e.salt;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z ^= z >> 27;
+        mapped = z & e.widthMask;
+    } else {
+        mapped = (roleValue >> e.srcShift) & e.widthMask;
+    }
+    return placeValue(e, mapped);
+}
+
+uint64_t
+CoverageMap::refreshAllEntries(const std::array<uint64_t, 64> &roles)
+{
+    uint64_t roles_left = rolesWithEntries;
+    while (roles_left) {
+        const unsigned r = static_cast<unsigned>(
+            __builtin_ctzll(roles_left));
+        roles_left &= roles_left - 1;
+        const uint64_t v = roles[r];
+        const uint32_t s0 = roleSlotBegin[r];
+        const uint32_t s1 = roleSlotBegin[r + 1];
+        uint64_t *line = &memoTbl[memoBase[r] +
+                                  (v & (memoLines - 1)) *
+                                      (1 + (s1 - s0))];
+        uint8_t &ok = memoValid[validBase[r] + (v & (memoLines - 1))];
+        if (ok && line[0] == v) {
+            for (uint32_t s = s0; s < s1; ++s)
+                slotAgg[s] = line[1 + (s - s0)];
+            continue;
+        }
+        line[0] = v;
+        ok = 1;
+        for (uint32_t s = s0; s < s1; ++s) {
+            uint64_t acc = 0;
+            for (uint32_t k = slotEntryBegin[s];
+                 k < slotEntryBegin[s + 1]; ++k)
+                acc ^= contribFor(incEntries[k], v);
+            line[1 + (s - s0)] = acc;
+            slotAgg[s] = acc;
+        }
+    }
+    std::fill(modIdx.begin(), modIdx.end(), 0);
+    for (size_t s = 0; s < slotAgg.size(); ++s)
+        modIdx[slotModule[s]] ^= slotAgg[s];
+    uint64_t newly = 0;
+    for (size_t i = 0; i < modIdx.size(); ++i)
+        newly += markModuleIndex(i, modIdx[i]);
+    return newly;
 }
 
 uint64_t
 CoverageMap::markModule(size_t i)
 {
-    const uint64_t idx = instr->modules()[i].computeIndex();
+    return markModuleIndex(i, instr->modules()[i].computeIndex());
+}
+
+uint64_t
+CoverageMap::markModuleIndex(size_t i, uint64_t idx)
+{
     uint64_t &word = bitmaps[i][idx / 64];
     const uint64_t bit = uint64_t{1} << (idx % 64);
     if (word & bit)
@@ -63,23 +224,100 @@ CoverageMap::recordTrace(rtl::EventDriver &drv,
                          const core::CommitInfo *commits, size_t n)
 {
     uint64_t newly = 0;
-    const size_t mod_count = bitmaps.size();
+    if (bitmaps.size() > 64) {
+        // Designs beyond the changed-module mask width take the
+        // straightforward dirty-role path.
+        for (size_t c = 0; c < n; ++c) {
+            if (c == 0) {
+                drv.onCommit(commits[0]);
+                newly += record();
+                continue;
+            }
+            const uint64_t dirty = drv.onCommitDirty(commits[c]);
+            if (!dirty)
+                continue;
+            for (size_t i = 0; i < bitmaps.size(); ++i) {
+                if (moduleRoleMasks[i] & dirty)
+                    newly += markModule(i);
+            }
+        }
+        return newly;
+    }
+    const std::array<uint64_t, 64> &rv = drv.roleValues();
     for (size_t c = 0; c < n; ++c) {
         if (c == 0) {
-            // Full drive + full sample: establishes the register
-            // invariant the incremental path maintains.
-            drv.onCommit(commits[0]);
-            newly += record();
+            // Full role advance + full refresh: establishes the
+            // cached aggregates and maintained indices the
+            // incremental steps below patch. Registers are not
+            // written here — the sweep computes from role values,
+            // and the full write is folded into the sweep-ending
+            // materialization.
+            drv.advanceRolesFull(commits[0]);
+            newly += refreshAllEntries(rv);
             continue;
         }
-        const uint64_t dirty = drv.onCommitDirty(commits[c]);
-        if (!dirty)
-            continue; // no role moved: no index can have moved
-        for (size_t i = 0; i < mod_count; ++i) {
-            if (moduleRoleMasks[i] & dirty)
-                newly += markModule(i);
+        const uint64_t dirty = drv.advanceRoles(commits[c]);
+        uint64_t roles = dirty & rolesWithEntries;
+        if (!roles)
+            continue; // no placed role moved: no index can have moved
+        uint64_t changed = 0; // changed-index modules (count <= 64)
+        while (roles) {
+            const unsigned r = static_cast<unsigned>(
+                __builtin_ctzll(roles));
+            roles &= roles - 1;
+            const uint64_t value = rv[r];
+            const uint32_t s0 = roleSlotBegin[r];
+            const uint32_t s1 = roleSlotBegin[r + 1];
+            uint64_t *line = &memoTbl[memoBase[r] +
+                                      (value & (memoLines - 1)) *
+                                          (1 + (s1 - s0))];
+            uint8_t &ok =
+                memoValid[validBase[r] + (value & (memoLines - 1))];
+            if (!(ok && line[0] == value)) {
+                // Memo miss: compute this value's slot aggregates
+                // once and cache them. Lines are pure in (role
+                // value, instrumentation), so they never need
+                // invalidation — small recurring roles (operand
+                // indices, FSM states, op classes) hit almost
+                // always after warmup.
+                line[0] = value;
+                ok = 1;
+                for (uint32_t s = s0; s < s1; ++s) {
+                    uint64_t acc = 0;
+                    for (uint32_t k = slotEntryBegin[s];
+                         k < slotEntryBegin[s + 1]; ++k)
+                        acc ^= contribFor(incEntries[k], value);
+                    line[1 + (s - s0)] = acc;
+                }
+            }
+            for (uint32_t s = s0; s < s1; ++s) {
+                const uint64_t na = line[1 + (s - s0)];
+                if (na == slotAgg[s])
+                    continue;
+                const uint32_t m = slotModule[s];
+                modIdx[m] ^= slotAgg[s] ^ na;
+                slotAgg[s] = na;
+                changed |= uint64_t{1} << m;
+            }
+        }
+        // A module whose maintained index did NOT change is already
+        // marked at that index (at the latest by commit 0 of this
+        // sweep), so re-marking it would be a no-op: only changed
+        // indices need the bitmap test. The ctz walk marks in module
+        // order, so multi-module first-hits land in provenance
+        // exactly as the full per-module loop would record them.
+        while (changed) {
+            const unsigned m = static_cast<unsigned>(
+                __builtin_ctzll(changed));
+            changed &= changed - 1;
+            newly += markModuleIndex(m, modIdx[m]);
         }
     }
+    // Registers lagged behind the role values during the loop; one
+    // batched write restores the driver invariant (final values are
+    // identical to per-commit writes: both are the mapping of each
+    // role's LAST value).
+    drv.materializeRegisters();
     return newly;
 }
 

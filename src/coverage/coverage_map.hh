@@ -12,6 +12,7 @@
 #ifndef TURBOFUZZ_COVERAGE_COVERAGE_MAP_HH
 #define TURBOFUZZ_COVERAGE_COVERAGE_MAP_HH
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -160,6 +161,56 @@ class CoverageMap : public FeedbackModel
     /** Mark module @p i's current index; returns 1 if newly hit. */
     uint64_t markModule(size_t i);
 
+    /** Mark a precomputed index of module @p i (same marking,
+     *  counting and provenance semantics as markModule). */
+    uint64_t markModuleIndex(size_t i, uint64_t idx);
+
+    /**
+     * One control-register placement, flattened for the incremental
+     * sweep. The register value is a pure function of its role's
+     * value (the driver's mapToDomain), and the placed contribution
+     * a pure function of the register value — so the sweep composes
+     * the two and computes contributions straight from the driver's
+     * role values, letting register materialization batch to one
+     * write pass per sweep. Domain-mapped registers go one step
+     * further: their whole composed function is a precomputed table
+     * over the (small) domain.
+     */
+    struct IncEntry
+    {
+        /** Domain regs: placed contribution per domain slot
+         *  (tables owned by placedDomPool); null otherwise. */
+        const uint64_t *placedDom = nullptr;
+        uint32_t domSize = 0;
+        uint64_t salt = 0;     ///< non-zero: salted-mix mapping
+        unsigned srcShift = 0; ///< else: (v >> srcShift) & widthMask
+        uint64_t widthMask;
+        uint64_t idxMask;
+        uint32_t module;
+        unsigned offset;
+        uint8_t idxBits;
+        uint8_t rot; ///< offset % idxBits (wrapping placements)
+        bool wraps;
+        uint8_t role;
+    };
+
+    /** Placement math of computeIndex() for one mapped value. */
+    static uint64_t placeValue(const IncEntry &e, uint64_t v);
+
+    /** Composed role-value -> placed contribution of one entry
+     *  (mapToDomain() then placeValue(), bit-exact with both). */
+    static uint64_t contribFor(const IncEntry &e, uint64_t roleValue);
+
+    /**
+     * Recompute every contribution and module index from the current
+     * role values, then mark all modules — the commit-0 step of
+     * each sweep. Runs right after a full onCommit(), when register
+     * values equal their role mapping by construction, and makes the
+     * sweep self-validating against any driver-state perturbation
+     * between sweeps (reset/loadState).
+     */
+    uint64_t refreshAllEntries(const std::array<uint64_t, 64> &roles);
+
     const DesignInstrumentation *instr;
     std::vector<std::vector<uint64_t>> bitmaps; ///< 1 bit per point
     std::vector<uint64_t> coveredPerModule;
@@ -172,6 +223,35 @@ class CoverageMap : public FeedbackModel
      * commit dirtied none of them.
      */
     std::vector<uint64_t> moduleRoleMasks;
+
+    // Incremental-sweep state. Entries are grouped by (role, module)
+    // into "slots": slot s covers incEntries[slotEntryBegin[s],
+    // slotEntryBegin[s+1]) — all placements of one module fed by one
+    // role — and slotAgg[s] caches the XOR of their current
+    // contributions, so modIdx[m] (the module's maintained index) is
+    // the XOR of its slots' aggregates.
+    //
+    // The role memo is a per-role direct-mapped table over role
+    // VALUES: a line holds the slot aggregates for one previously
+    // seen value. Contributions are pure in (role value,
+    // instrumentation), so lines never need invalidation; roles with
+    // small recurring values (operand indices, FSM states, op
+    // classes) hit almost always and reduce a dirty role to one XOR
+    // per affected module, skipping the per-entry math entirely.
+    std::vector<IncEntry> incEntries;
+    uint64_t rolesWithEntries = 0;
+    std::vector<uint64_t> modIdx;
+    std::vector<std::vector<uint64_t>> placedDomPool;
+
+    static constexpr uint32_t memoLines = 128;
+    uint32_t roleSlotBegin[65] = {}; ///< role -> slot span
+    std::vector<uint32_t> slotModule;
+    std::vector<uint32_t> slotEntryBegin; ///< +1 sentinel at the end
+    std::vector<uint64_t> slotAgg;
+    std::vector<uint64_t> memoTbl; ///< per line: value tag + aggs
+    std::vector<uint8_t> memoValid;
+    uint32_t memoBase[64] = {};  ///< role -> memoTbl line 0 offset
+    uint32_t validBase[64] = {}; ///< role -> memoValid offset
 };
 
 } // namespace turbofuzz::coverage

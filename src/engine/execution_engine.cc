@@ -40,16 +40,49 @@ ExecutionEngine::rewind(core::Iss *core, const core::ArchState &saved,
 }
 
 void
-ExecutionEngine::sweepStage(const core::CommitInfo *commits,
+ExecutionEngine::sweepStage(const core::CommitTrace &trace,
                             uint64_t limit, const IterationPolicy &p,
                             const Hooks &h, IterationOutcome &out)
 {
+    const core::CommitInfo *commits = trace.data();
     if (h.driver && h.coverage) {
         out.newCoverage +=
             h.coverage->sweep(*h.driver, commits, limit);
     } else if (h.driver) {
         h.driver->onTrace(commits, limit);
     }
+
+    // Columnar fast path: the per-commit counters read only pc, the
+    // kind byte and the store address/size — tight columns instead of
+    // ~130-byte record strides. The observer needs full records, and
+    // an unsealed trace has no valid columns; both fall back below.
+    if (!h.observer && trace.columnsValid()) {
+        const core::CommitTrace::Columns &col = trace.columns();
+        out.executedTotal += limit;
+        for (uint64_t c = 0; c < limit; ++c) {
+            if (col.pc[c] >= p.fuzzRegionStart &&
+                col.pc[c] < p.fuzzRegionEnd)
+                ++out.executedFuzz;
+            const uint8_t kind = col.kind[c];
+            if (kind & core::KindTrapped)
+                ++out.traps;
+            if (kind & core::KindMemWrite) {
+                const uint64_t addr = col.memAddr[c];
+                const uint64_t end = addr + col.memSize[c];
+                if (addr >= p.instrBase &&
+                    addr < p.instrBase + p.instrSize) {
+                    out.instrDirtyHigh =
+                        std::max(out.instrDirtyHigh, end);
+                } else if (addr >= p.handlerBase &&
+                           addr < p.handlerBase + p.handlerSize) {
+                    out.handlerDirtyHigh =
+                        std::max(out.handlerDirtyHigh, end);
+                }
+            }
+        }
+        return;
+    }
+
     for (uint64_t c = 0; c < limit; ++c) {
         const core::CommitInfo &ci = commits[c];
         ++out.executedTotal;
@@ -84,6 +117,14 @@ ExecutionEngine::runIteration(const IterationPolicy &p,
         checker_->mode() == checker::DiffChecker::Mode::PerInstruction;
     const uint64_t checker_start = checker_->commitsChecked();
 
+    // Column mirroring pays off in the sweep stage's fused columnar
+    // loop. With no sweep consumers at all (triage replay), the
+    // checker's AoS fallback is cheaper than sealing two traces, so
+    // turn the per-commit column writes off for this iteration.
+    const bool seal = h.driver || h.coverage || h.observer;
+    dutTrace.setSealing(seal);
+    refTrace.setSealing(seal);
+
     // DUT-side running totals the stop policy consumes. These count
     // *stepped* commits (including ones a mid-batch divergence later
     // discards); the reported counters are accumulated in the sweep
@@ -98,6 +139,29 @@ ExecutionEngine::runIteration(const IterationPolicy &p,
     const telemetry::EngineInstruments noop_instruments;
     const telemetry::EngineInstruments &ins =
         h.instruments ? *h.instruments : noop_instruments;
+
+    // Fast-path effectiveness accounting: superblock runs are counted
+    // in locals, decode-cache counters as deltas of the harts'
+    // cumulative stats; both flush once when the iteration returns.
+    uint64_t sb_entered = 0;
+    uint64_t sb_side_exit = 0;
+    const core::Iss::DecodeStats dut_dstats0 = dut_->decodeStats();
+    const core::Iss::DecodeStats ref_dstats0 = ref_->decodeStats();
+    const auto flush_fastpath = [&]() {
+        if (!h.fastpath)
+            return;
+        const core::Iss::DecodeStats &d = dut_->decodeStats();
+        const core::Iss::DecodeStats &r = ref_->decodeStats();
+        h.fastpath->decodeHit->add((d.hit - dut_dstats0.hit) +
+                                   (r.hit - ref_dstats0.hit));
+        h.fastpath->decodeMiss->add((d.miss - dut_dstats0.miss) +
+                                    (r.miss - ref_dstats0.miss));
+        h.fastpath->decodeInvalidate->add(
+            (d.invalidate - dut_dstats0.invalidate) +
+            (r.invalidate - ref_dstats0.invalidate));
+        h.fastpath->superblockEntered->add(sb_entered);
+        h.fastpath->superblockSideExit->add(sb_side_exit);
+    };
 
     if (warm) {
         // Warm prologue: restore the post-prefix lockstep state and
@@ -116,7 +180,7 @@ ExecutionEngine::runIteration(const IterationPolicy &p,
             checker_->skipCommits(warm->prefixCommits());
         telemetry::ScopedStage stage(h.trace, ins.sweepNs,
                                      "engine.fused_sweep");
-        sweepStage(warm->prefixTrace.data(), warm->prefixCommits(),
+        sweepStage(warm->prefixTrace, warm->prefixCommits(),
                    p, h, out);
         stepped = warm->prefixCommits();
         // The captured prefix is untrapped (capture invariant), so
@@ -148,8 +212,9 @@ ExecutionEngine::runIteration(const IterationPolicy &p,
                 dutJournal.clear();
                 dut_->memory().setJournal(&dutJournal);
             }
-            fill = dut_->stepMany(
-                dutTrace, batch, [&](const core::CommitInfo &ci) {
+            // The per-commit stop policy, for the slow path.
+            const auto stop_policy =
+                [&](const core::CommitInfo &ci) {
                     ++stepped;
                     if (ci.trapped)
                         ++stepped_traps;
@@ -163,7 +228,56 @@ ExecutionEngine::runIteration(const IterationPolicy &p,
                     if (stepped >= p.stepCap)
                         return stop_hit = true; // runaway protection
                     return false;
-                });
+                };
+            // Superblock dispatch: bound the straight-line run so no
+            // *intermediate* commit could have stopped a per-step
+            // loop, then evaluate the policy once on the run's last
+            // commit. Intermediate commits are untrapped (a trap ends
+            // the run), keep the trap counters unchanged, stay below
+            // the step cap (bound), and cannot enter the clean-end
+            // window: from pc < codeBoundary straight execution
+            // advances pc by 4 per commit and the bound stops short
+            // of the window; from pc >= handlerBase it only moves
+            // further above the window.
+            while (fill < batch && !stop_hit) {
+                uint64_t bound = batch - fill;
+                bound = std::min(bound, p.stepCap > stepped
+                                            ? p.stepCap - stepped
+                                            : uint64_t{1});
+                const uint64_t pc0 = dut_->state().pc;
+                if (pc0 < p.codeBoundary) {
+                    bound = std::min(
+                        bound, (p.codeBoundary - pc0 + 3) >> 2);
+                } else if (pc0 < p.handlerBase) {
+                    bound = 0; // inside the stop window: slow path
+                }
+                const uint64_t n =
+                    bound ? dut_->stepStraight(dutTrace, bound) : 0;
+                if (n) {
+                    ++sb_entered;
+                    if (n < bound)
+                        ++sb_side_exit;
+                    stepped += n;
+                    fill += n;
+                    const core::CommitInfo &last = dutTrace[fill - 1];
+                    if (last.trapped)
+                        ++stepped_traps;
+                    const uint64_t pc = dut_->state().pc;
+                    if ((pc >= p.codeBoundary && pc < p.handlerBase) ||
+                        (last.trapped && !p.resumeTraps) ||
+                        stepped_traps > p.trapStormLimit ||
+                        stepped >= p.stepCap) {
+                        stop_hit = true;
+                        break;
+                    }
+                    if (n == bound)
+                        continue;
+                }
+                // Side exit (or cold/uncached pc): one slow step
+                // refills the decode cache and re-primes the run.
+                dut_->stepMany(dutTrace, 1, stop_policy);
+                ++fill;
+            }
             if (rewindable)
                 dut_->memory().setJournal(nullptr);
         }
@@ -180,9 +294,26 @@ ExecutionEngine::runIteration(const IterationPolicy &p,
                 refJournal.clear();
                 ref_->memory().setJournal(&refJournal);
             }
-            ref_->stepMany(
-                refTrace, fill,
-                [](const core::CommitInfo &) { return false; });
+            // Blind mirror of the commit count: superblock runs with
+            // no stop policy to hoist, single slow steps across side
+            // exits (which also refill the REF's decode cache).
+            uint64_t mirrored = 0;
+            while (mirrored < fill) {
+                const uint64_t n =
+                    ref_->stepStraight(refTrace, fill - mirrored);
+                if (n) {
+                    ++sb_entered;
+                    if (n < fill - mirrored)
+                        ++sb_side_exit;
+                    mirrored += n;
+                    if (mirrored == fill)
+                        break;
+                }
+                ref_->stepMany(
+                    refTrace, 1,
+                    [](const core::CommitInfo &) { return false; });
+                ++mirrored;
+            }
             if (rewindable)
                 ref_->memory().setJournal(nullptr);
         }
@@ -195,8 +326,7 @@ ExecutionEngine::runIteration(const IterationPolicy &p,
                                          "engine.trace_diff");
             const uint64_t batch_checker_start =
                 checker_->commitsChecked();
-            mm = checker_->compareTrace(dutTrace.data(),
-                                        refTrace.data(), fill);
+            mm = checker_->compareTrace(dutTrace, refTrace, fill);
             if (mm)
                 limit = mm->instrIndex - batch_checker_start + 1;
         }
@@ -205,7 +335,7 @@ ExecutionEngine::runIteration(const IterationPolicy &p,
         {
             telemetry::ScopedStage stage(h.trace, ins.sweepNs,
                                          "engine.fused_sweep");
-            sweepStage(dutTrace.data(), limit, p, h, out);
+            sweepStage(dutTrace, limit, p, h, out);
         }
 
         if (mm) {
@@ -219,6 +349,7 @@ ExecutionEngine::runIteration(const IterationPolicy &p,
             }
             out.mismatch = *mm;
             out.mismatchCommitIndex = mm->instrIndex - checker_start;
+            flush_fastpath();
             return out;
         }
     }
@@ -235,6 +366,7 @@ ExecutionEngine::runIteration(const IterationPolicy &p,
             out.mismatchCommitIndex = out.executedTotal;
         }
     }
+    flush_fastpath();
     return out;
 }
 

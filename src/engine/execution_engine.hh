@@ -136,6 +136,14 @@ class ExecutionEngine
          */
         const telemetry::EngineInstruments *instruments = nullptr;
 
+        /**
+         * Decode-cache / superblock effectiveness counters. No clock
+         * reads involved (locals accumulated during the iteration,
+         * flushed once at its end), so campaigns bind these
+         * unconditionally. Null skips the flush.
+         */
+        const telemetry::FastPathInstruments *fastpath = nullptr;
+
         /** Stage span sink for this iteration; null = untraced. */
         telemetry::TraceRecorder *trace = nullptr;
     };
@@ -188,8 +196,9 @@ class ExecutionEngine
                        uint64_t commits);
 
     /** Stage 4: drive RTL events + record coverage + accumulate the
-     *  per-commit counters over @p limit commits of @p commits. */
-    static void sweepStage(const core::CommitInfo *commits,
+     *  per-commit counters over the first @p limit commits of
+     *  @p trace (columnar fast path when the trace is sealed). */
+    static void sweepStage(const core::CommitTrace &trace,
                            uint64_t limit, const IterationPolicy &p,
                            const Hooks &h, IterationOutcome &out);
 

@@ -269,7 +269,7 @@ BlockBuilder::mutateOperands(SeedBlock &block, Rng &rng) const
 
 int64_t
 patchBlockTarget(SeedBlock &b, int64_t block_idx, int64_t target,
-                 const std::vector<uint64_t> &block_addrs)
+                 std::span<const uint64_t> block_addrs)
 {
     const int64_t i = block_idx;
     uint32_t &word = b.insns[b.primeIdx];

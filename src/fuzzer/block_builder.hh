@@ -18,6 +18,7 @@
 #define TURBOFUZZ_FUZZER_BLOCK_BUILDER_HH
 
 #include <cstdint>
+#include <span>
 
 #include "common/config.hh"
 #include "common/lfsr.hh"
@@ -116,7 +117,7 @@ void pcrelHiLo(int64_t delta, int64_t &hi20, int64_t &lo12);
  */
 int64_t patchBlockTarget(SeedBlock &block, int64_t block_idx,
                          int64_t target,
-                         const std::vector<uint64_t> &block_addrs);
+                         std::span<const uint64_t> block_addrs);
 
 } // namespace turbofuzz::fuzzer
 

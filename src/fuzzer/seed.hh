@@ -22,6 +22,8 @@
 #include <string>
 #include <vector>
 
+#include "common/small_vec.hh"
+
 namespace turbofuzz::soc
 {
 class SnapshotWriter;
@@ -47,8 +49,13 @@ class SeedFormatError : public std::runtime_error
 /** One instruction block inside a seed or generated iteration. */
 struct SeedBlock
 {
-    /** Prime + affiliated instruction words, in program order. */
-    std::vector<uint32_t> insns;
+    /**
+     * Prime + affiliated instruction words, in program order.
+     * Inline capacity 8 covers every block the builder emits
+     * (≤3 filler + ≤3 affiliated + prime), so steady-state block
+     * construction, copying and retention never touch the heap.
+     */
+    SmallVec<uint32_t, 8> insns;
 
     /** Index of the prime instruction within insns. */
     uint32_t primeIdx = 0;

@@ -32,6 +32,7 @@ std::vector<SeedBlock>
 TurboFuzzer::chooseBlocks(IterationInfo &info)
 {
     std::vector<SeedBlock> blocks;
+    blocks.reserve(lastBlockCount + lastBlockCount / 8 + 8);
     info.parentSeedId = 0;
 
     // Seed selection with per-seed energy: a seed with residual
@@ -107,7 +108,7 @@ TurboFuzzer::chooseBlocks(IterationInfo &info)
 
 void
 TurboFuzzer::fixupControlFlow(std::vector<SeedBlock> &blocks,
-                              const std::vector<uint64_t> &block_addrs)
+                              std::span<const uint64_t> block_addrs)
 {
     const auto nblocks = static_cast<int64_t>(blocks.size());
     for (int64_t i = 0; i < nblocks; ++i) {
@@ -308,6 +309,7 @@ TurboFuzzer::generateIteration(soc::Memory &mem)
     const MemoryLayout &lay = opts.layout;
     const ReplayEnv env = replayEnv();
     ctx.beginIteration();
+    iterArena.reset();
 
     IterationInfo info;
     info.iterationIndex = iterCounter++;
@@ -315,32 +317,39 @@ TurboFuzzer::generateIteration(soc::Memory &mem)
 
     // 1. The iteration preamble (deterministic in the environment)
     //    fixes where the fuzzing region starts.
-    const std::vector<uint32_t> preamble = preambleCode(env);
+    if (!preambleCached) {
+        cachedPreamble = preambleCode(env);
+        preambleCached = true;
+    }
+    const std::vector<uint32_t> &preamble = cachedPreamble;
     const size_t preamble_len = preamble.size();
     uint64_t addr = lay.instrBase + 4ull * preamble_len;
     info.firstBlockPc = addr;
 
     // 2. Choose the iteration's blocks (direct + mutation modes).
     info.blocks = chooseBlocks(info);
+    lastBlockCount = info.blocks.size();
 
-    // 3. Lay out blocks, recording the global address table.
-    std::vector<uint64_t> block_addrs;
-    block_addrs.reserve(info.blocks.size());
+    // 3. Lay out blocks, recording the global address table
+    //    (iteration-lifetime scratch: arena storage).
+    uint64_t *block_addrs =
+        iterArena.allocN<uint64_t>(info.blocks.size());
+    size_t naddrs = 0;
     for (SeedBlock &b : info.blocks) {
         if (!ctx.hasRoom(b.instrCount() +
                          static_cast<uint32_t>(preamble_len))) {
             warn("instruction segment full; truncating iteration");
-            info.blocks.resize(block_addrs.size());
+            info.blocks.resize(naddrs);
             break;
         }
-        block_addrs.push_back(addr);
+        block_addrs[naddrs++] = addr;
         ctx.recordBlock(addr, b.instrCount());
         addr += 4ull * b.instrCount();
         info.generatedInstrs += b.instrCount();
     }
 
     // 4. Control-flow fix-up + operand rebinding.
-    fixupControlFlow(info.blocks, block_addrs);
+    fixupControlFlow(info.blocks, {block_addrs, naddrs});
 
     // 5. Commit the complete memory image (templates, data fill,
     //    preamble, blocks) through the same path replay uses.

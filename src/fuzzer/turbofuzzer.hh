@@ -13,8 +13,10 @@
 #define TURBOFUZZ_FUZZER_TURBOFUZZER_HH
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
+#include "common/arena.hh"
 #include "common/config.hh"
 #include "common/lfsr.hh"
 #include "common/rng.hh"
@@ -276,7 +278,7 @@ class TurboFuzzer
 
     /** Assign control-flow targets and patch instruction words. */
     void fixupControlFlow(std::vector<SeedBlock> &blocks,
-                          const std::vector<uint64_t> &block_addrs);
+                          std::span<const uint64_t> block_addrs);
 
     FuzzerOptions opts;
     const isa::InstructionLibrary *lib;
@@ -296,6 +298,22 @@ class TurboFuzzer
      */
     uint64_t stickySeedId = 0;
     uint32_t stickyEnergy = 0;
+
+    /**
+     * Per-iteration scratch arena (block address table and friends):
+     * reset at the top of every generateIteration(), chunks retained,
+     * so steady-state generation allocates nothing for scratch.
+     */
+    Arena iterArena;
+
+    /** preambleCode(replayEnv()) — deterministic per campaign, so
+     *  computed once instead of once per iteration. */
+    std::vector<uint32_t> cachedPreamble;
+    bool preambleCached = false;
+
+    /** Block count of the previous iteration — reserve() guidance
+     *  that keeps the blocks vector from reallocating as it grows. */
+    size_t lastBlockCount = 0;
 };
 
 } // namespace turbofuzz::fuzzer

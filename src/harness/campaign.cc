@@ -42,11 +42,13 @@ Campaign::Campaign(CampaignOptions options,
     dut_opts.bugs = opts.bugs;
     dut_opts.rv64aEnabled = opts.rv64aEnabled;
     dut_opts.resetPc = gen->layout().instrBase;
+    dut_opts.decodeCache = opts.decodeCache;
     dutCore = std::make_unique<core::Iss>(&dutMem, dut_opts);
 
     core::Iss::Options ref_opts;
     ref_opts.rv64aEnabled = opts.rv64aEnabled;
     ref_opts.resetPc = gen->layout().instrBase;
+    ref_opts.decodeCache = opts.decodeCache;
     refCore = std::make_unique<core::Iss>(&refMem, ref_opts);
 
     // Accessible ranges: instruction segment, data segment, handler.
@@ -55,6 +57,17 @@ Campaign::Campaign(CampaignOptions options,
         c->addAccessRange(lay.instrBase, lay.instrSize);
         c->addAccessRange(lay.dataBase, lay.dataSize);
         c->addAccessRange(lay.handlerBase, 4096);
+    }
+
+    // Fetch watches narrow decode-cache invalidation: only writes
+    // into the code-bearing regions bump those regions' fetch
+    // epochs, so the steady store traffic into the data segment
+    // leaves cached decodes of instruction/handler words current.
+    // (Code executed from anywhere else is guarded by the global
+    // epoch, which every non-watch write bumps — always correct.)
+    for (soc::Memory *m : {&dutMem, &refMem}) {
+        m->addFetchWatch(lay.instrBase, lay.instrSize);
+        m->addFetchWatch(lay.handlerBase, 4096);
     }
 
     design = rtl::buildCore(opts.coreKind);
@@ -120,6 +133,7 @@ Campaign::Campaign(CampaignOptions options,
     // The generator forwards the registry to its corpus so scheduler
     // decisions are observable without polling.
     engineIns = telemetry::EngineInstruments::resolve(metrics_);
+    fastPathIns = telemetry::FastPathInstruments::resolve(metrics_);
     mIterations = metrics_.counter("campaign.iterations");
     mCommits = metrics_.counter("campaign.commits");
     mTraps = metrics_.counter("campaign.traps");
@@ -278,6 +292,7 @@ Campaign::runIteration()
         hooks.observer = &opts.commitObserver;
     if (opts.stageTiming)
         hooks.instruments = &engineIns;
+    hooks.fastpath = &fastPathIns;
     hooks.trace = tr;
 
     engine::IterationOutcome out;

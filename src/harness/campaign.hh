@@ -50,6 +50,14 @@ struct CampaignOptions
     core::BugSet bugs;
     bool rv64aEnabled = true;
 
+    /**
+     * ISS decode cache + superblock fast path (core::Iss::Options).
+     * Bit-identical either way (enforced by tests/engine/); exposed
+     * so the equivalence suite can run both legs programmatically.
+     * TURBOFUZZ_DECODE_CACHE=0/off overrides this to false.
+     */
+    bool decodeCache = true;
+
     coverage::Scheme covScheme = coverage::Scheme::Optimized;
     unsigned maxStateSize = 15;
 
@@ -436,6 +444,7 @@ class Campaign
      */
     telemetry::MetricRegistry metrics_;
     telemetry::EngineInstruments engineIns;
+    telemetry::FastPathInstruments fastPathIns;
     telemetry::Counter *mIterations = nullptr;
     telemetry::Counter *mCommits = nullptr;
     telemetry::Counter *mTraps = nullptr;

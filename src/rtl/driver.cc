@@ -96,13 +96,74 @@ EventDriver::EventDriver(Module *top_module) : top(top_module)
             regsByRole[static_cast<size_t>(r.role)].push_back(&r);
         }
     });
+    buildRolePlans();
     reset();
+}
+
+void
+EventDriver::buildRolePlans()
+{
+    for (size_t role = 0; role < regsByRole.size(); ++role) {
+        RolePlan &plan = rolePlans[role];
+        std::vector<std::pair<uint32_t, Register *>> dom;
+        for (Register *r : regsByRole[role]) {
+            if (!r->domain.empty())
+                dom.emplace_back(
+                    static_cast<uint32_t>(r->domain.size()), r);
+            else if (r->salt != 0)
+                plan.mixRegs.push_back(
+                    {r, r->salt, mask(r->width)});
+            else
+                plan.shiftRegs.push_back(
+                    {r, r->srcShift, mask(r->width)});
+        }
+        // Stable sort keeps same-size registers in tree order while
+        // forming one contiguous run per distinct domain size.
+        std::stable_sort(dom.begin(), dom.end(),
+                         [](const auto &a, const auto &b) {
+                             return a.first < b.first;
+                         });
+        for (const auto &[size, reg] : dom) {
+            if (plan.runs.empty() || plan.runs.back().size != size)
+                plan.runs.push_back(
+                    {size,
+                     static_cast<uint32_t>(plan.domainRegs.size()),
+                     static_cast<uint32_t>(plan.domainRegs.size())});
+            plan.domainRegs.push_back(reg);
+            plan.runs.back().end =
+                static_cast<uint32_t>(plan.domainRegs.size());
+        }
+        if (!regsByRole[role].empty())
+            rolesWithRegs |= uint64_t{1} << role;
+    }
+}
+
+void
+EventDriver::writeRole(unsigned role, uint64_t value)
+{
+    const RolePlan &plan = rolePlans[role];
+    for (const DomainRun &run : plan.runs) {
+        const uint64_t idx = value % run.size;
+        for (uint32_t k = run.begin; k < run.end; ++k) {
+            Register *r = plan.domainRegs[k];
+            r->value = r->domain[idx];
+        }
+    }
+    for (const MixReg &m : plan.mixRegs) {
+        uint64_t z = value ^ m.salt;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z ^= z >> 27;
+        m.reg->value = z & m.widthMask;
+    }
+    for (const ShiftReg &s : plan.shiftRegs)
+        s.reg->value = (value >> s.shift) & s.widthMask;
 }
 
 void
 EventDriver::reset()
 {
     roles.fill(0);
+    pendingDirty = 0;
     branchHist = 0;
     cfDepth = 0;
     lastLoopTarget = 0;
@@ -328,24 +389,42 @@ EventDriver::updateRoles(const core::CommitInfo &ci)
 }
 
 void
+EventDriver::materializeRegisters()
+{
+    uint64_t remaining = pendingDirty & rolesWithRegs;
+    pendingDirty = 0;
+    while (remaining) {
+        const unsigned role = static_cast<unsigned>(
+            __builtin_ctzll(remaining));
+        remaining &= remaining - 1;
+        writeRole(role, roles[role]);
+    }
+}
+
+void
 EventDriver::onCommit(const core::CommitInfo &ci)
 {
     updateRoles(ci);
-    for (Register *r : regCache)
-        r->value = mapToDomain(roles[static_cast<size_t>(r->role)], *r);
+    pendingDirty = 0; // the full write below covers any lag
+    uint64_t remaining = rolesWithRegs;
+    while (remaining) {
+        const unsigned role = static_cast<unsigned>(
+            __builtin_ctzll(remaining));
+        remaining &= remaining - 1;
+        writeRole(role, roles[role]);
+    }
 }
 
 uint64_t
 EventDriver::onCommitDirty(const core::CommitInfo &ci)
 {
-    uint64_t dirty = updateRoles(ci);
-    uint64_t remaining = dirty;
+    const uint64_t dirty = updateRoles(ci);
+    uint64_t remaining = dirty & rolesWithRegs;
     while (remaining) {
         const unsigned role = static_cast<unsigned>(
             __builtin_ctzll(remaining));
         remaining &= remaining - 1;
-        for (Register *r : regsByRole[role])
-            r->value = mapToDomain(roles[role], *r);
+        writeRole(role, roles[role]);
     }
     return dirty;
 }
@@ -429,6 +508,7 @@ EventDriver::loadState(soc::SnapshotReader &in, std::string *error)
         robOcc = in.getU32();
         iqOcc = in.getU32();
         resArmed = in.getU8() != 0;
+        pendingDirty = 0; // registers restored directly: nothing lags
         return true;
     } catch (const soc::SnapshotFormatError &e) {
         return fail(e.what());

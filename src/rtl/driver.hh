@@ -63,6 +63,56 @@ class EventDriver
      */
     void onTrace(const core::CommitInfo *commits, size_t n);
 
+    /**
+     * Roles-only commit step: update the per-role values and the
+     * cross-commit tracking state WITHOUT writing any register.
+     * Every register value is a pure function of its role's current
+     * value, so a consumer that derives what it needs from
+     * roleValues() directly (the coverage sweep) can run a whole
+     * batch on this and defer register materialization to one
+     * materializeRegisters() call at the end — the final register
+     * state is identical to per-commit onCommitDirty() writes, since
+     * only the LAST value of each role is ever observable there.
+     * Until that call, register values lag the roles; pair every
+     * advanceRoles() batch with a materializeRegisters().
+     *
+     * @return bitmask over RegRole of the roles this commit changed.
+     */
+    uint64_t advanceRoles(const core::CommitInfo &ci)
+    {
+        const uint64_t dirty = updateRoles(ci);
+        pendingDirty |= dirty;
+        return dirty;
+    }
+
+    /**
+     * advanceRoles() that additionally schedules EVERY driven
+     * register for the next materializeRegisters() — the batched
+     * equivalent of a full onCommit(). Batch sweeps open with this
+     * so the sweep-ending materialization alone re-establishes the
+     * register/role invariant, no matter what state the registers
+     * were in before the sweep (reset, loadState, a legacy-path
+     * drive): one full register write per sweep, at the end,
+     * instead of a full write up front plus a dirty write at the
+     * end.
+     */
+    uint64_t advanceRolesFull(const core::CommitInfo &ci)
+    {
+        const uint64_t dirty = updateRoles(ci);
+        pendingDirty = rolesWithRegs;
+        return dirty;
+    }
+
+    /** Write the registers of every role dirtied by advanceRoles()
+     *  since the last materialization (or full register write). */
+    void materializeRegisters();
+
+    /** Current value of every role (indexed by RegRole). */
+    const std::array<uint64_t, 64> &roleValues() const
+    {
+        return roles;
+    }
+
     /** Number of registers being driven (all modules). */
     size_t drivenRegisters() const { return regCache.size(); }
 
@@ -93,11 +143,58 @@ class EventDriver
 
     static uint64_t mapToDomain(uint64_t value, const Register &reg);
 
+    /** Write every register of @p role from role value @p value —
+     *  the planned equivalent of mapToDomain over regsByRole[role]. */
+    void writeRole(unsigned role, uint64_t value);
+
+    /** Build the per-role write plans (constructor helper). */
+    void buildRolePlans();
+
     Module *top;
     std::vector<Register *> regCache;
 
     /** Registers grouped by role (incremental-drive fast path). */
     std::array<std::vector<Register *>, 64> regsByRole;
+
+    /**
+     * Per-role write plan: registers split by mapToDomain() kind so
+     * the hot rewrite loop is three tight passes with the expensive
+     * per-register work hoisted — one modulo per distinct domain size
+     * (shared by every register of that size) instead of one per
+     * register, and width masks precomputed.
+     */
+    struct DomainRun
+    {
+        uint32_t size;  ///< domain.size() shared by the run
+        uint32_t begin; ///< run bounds into RolePlan::domainRegs
+        uint32_t end;
+    };
+    struct MixReg
+    {
+        Register *reg;
+        uint64_t salt;
+        uint64_t widthMask;
+    };
+    struct ShiftReg
+    {
+        Register *reg;
+        unsigned shift;
+        uint64_t widthMask;
+    };
+    struct RolePlan
+    {
+        std::vector<DomainRun> runs;
+        std::vector<Register *> domainRegs; ///< grouped by size
+        std::vector<MixReg> mixRegs;
+        std::vector<ShiftReg> shiftRegs;
+    };
+    std::array<RolePlan, 64> rolePlans;
+
+    /** Roles that drive at least one register. */
+    uint64_t rolesWithRegs = 0;
+
+    /** Roles advanced but not yet written to their registers. */
+    uint64_t pendingDirty = 0;
 
     /** Current value per role. */
     std::array<uint64_t, 64> roles{};

@@ -11,20 +11,73 @@ namespace turbofuzz::soc
 const Memory::Page *
 Memory::findPage(uint64_t addr) const
 {
-    auto it = pages.find(addr / pageSize);
-    return it == pages.end() ? nullptr : &it->second;
+    const uint64_t num = addr / pageSize;
+    if (num == cachedPageNum)
+        return cachedPage;
+    auto it = pages.find(num);
+    if (it == pages.end())
+        return nullptr;
+    cachedPageNum = num;
+    cachedPage = const_cast<Page *>(&it->second);
+    return cachedPage;
 }
 
 Memory::Page &
 Memory::pageFor(uint64_t addr)
 {
-    auto [it, inserted] = pages.try_emplace(addr / pageSize);
+    const uint64_t num = addr / pageSize;
+    if (num == cachedPageNum)
+        return *cachedPage;
+    auto [it, inserted] = pages.try_emplace(num);
     if (inserted) {
         it->second.assign(pageSize, 0);
         if (journal)
-            journal->createdPages.push_back(addr / pageSize);
+            journal->createdPages.push_back(num);
     }
+    cachedPageNum = num;
+    cachedPage = &it->second;
     return it->second;
+}
+
+void
+Memory::noteWrite(uint64_t addr, uint64_t len)
+{
+    if (watches.empty()) {
+        ++globalEpoch;
+        return;
+    }
+    bool matched = false;
+    for (FetchWatch &w : watches) {
+        if (addr < w.base + w.size && addr + len > w.base) {
+            ++w.epoch;
+            matched = true;
+        }
+    }
+    if (!matched)
+        ++globalEpoch;
+}
+
+void
+Memory::bumpAllEpochs()
+{
+    ++globalEpoch;
+    for (FetchWatch &w : watches)
+        ++w.epoch;
+}
+
+void
+Memory::addFetchWatch(uint64_t base, uint64_t size)
+{
+    watches.push_back({base, size, 1});
+    // Slot numbering changed; cached snapshots must all revalidate.
+    bumpAllEpochs();
+}
+
+void
+Memory::clearFetchWatches()
+{
+    watches.clear();
+    bumpAllEpochs();
 }
 
 Memory &
@@ -35,6 +88,8 @@ Memory::operator=(const Memory &other)
     TF_ASSERT(journal == nullptr,
               "detach the journal before copy-assigning a Memory");
     pages = other.pages;
+    dropPageCache();
+    bumpAllEpochs();
     return *this;
 }
 
@@ -74,6 +129,7 @@ Memory::writeScalar(uint64_t addr, T value)
                  static_cast<uint8_t>(sizeof(T))});
         }
         std::memcpy(p.data() + off, &value, sizeof(T));
+        noteWrite(addr, sizeof(T));
         return;
     }
     // Page-straddling: byte writes journal themselves.
@@ -113,6 +169,7 @@ Memory::write8(uint64_t addr, uint8_t value)
     if (journal)
         journal->log.push_back({addr, slot, 1});
     slot = value;
+    noteWrite(addr, 1);
 }
 
 void
@@ -151,6 +208,8 @@ void
 Memory::reset()
 {
     pages.clear();
+    dropPageCache();
+    bumpAllEpochs();
 }
 
 void
@@ -182,6 +241,8 @@ Memory::undo(const MemWriteJournal &j)
     // saveState() serializes and snapshots embed — rewinds too.
     for (const uint64_t page_num : j.createdPages)
         pages.erase(page_num);
+    dropPageCache();
+    bumpAllEpochs();
 }
 
 void
@@ -198,6 +259,8 @@ void
 Memory::loadState(SnapshotReader &in)
 {
     pages.clear();
+    dropPageCache();
+    bumpAllEpochs();
     const uint64_t count = in.getU64();
     // Each serialized page is a number plus pageSize bytes; reject a
     // count that cannot fit the buffer before allocating any pages.

@@ -68,7 +68,11 @@ class Memory
 
     // Copies duplicate contents only: a journal observes one Memory's
     // write stream and never transfers to another instance.
-    Memory(const Memory &other) : pages(other.pages) {}
+    Memory(const Memory &other)
+        : pages(other.pages), watches(other.watches),
+          globalEpoch(other.globalEpoch)
+    {
+    }
     Memory &operator=(const Memory &other);
 
     uint8_t read8(uint64_t addr) const;
@@ -108,6 +112,44 @@ class Memory
     /** Number of resident pages (for stats/snapshot sizing). */
     size_t residentPages() const { return pages.size(); }
 
+    /**
+     * Fetch-epoch protocol backing the ISS decode cache. A cached
+     * decode snapshots the epoch of the range its pc lives in; any
+     * write that could alias that range bumps the epoch, so a stale
+     * snapshot forces revalidation (refetch + insn compare) and
+     * self-modifying stimulus stays bit-exact.
+     *
+     * Registering watch ranges narrows the aliasing test: a write
+     * inside a watch bumps only that watch's epoch, a write outside
+     * every watch bumps the global epoch (which covers fetches from
+     * unwatched addresses). With no watches registered every write
+     * bumps the global epoch — conservative but always correct.
+     */
+    void addFetchWatch(uint64_t base, uint64_t size);
+
+    /** Drop all watch ranges (epochs all bump). */
+    void clearFetchWatches();
+
+    /**
+     * Epoch slot covering @p addr: 0 is the global slot, i+1 the i-th
+     * watch. Recompute after addFetchWatch/clearFetchWatches.
+     */
+    uint32_t
+    fetchSlotFor(uint64_t addr) const
+    {
+        for (size_t i = 0; i < watches.size(); ++i)
+            if (addr - watches[i].base < watches[i].size)
+                return static_cast<uint32_t>(i + 1);
+        return 0;
+    }
+
+    /** Current epoch of a fetchSlotFor() slot. */
+    uint64_t
+    fetchEpochOfSlot(uint32_t slot) const
+    {
+        return slot == 0 ? globalEpoch : watches[slot - 1].epoch;
+    }
+
     /** Serialize resident pages. */
     void saveState(SnapshotWriter &out) const;
 
@@ -117,8 +159,24 @@ class Memory
   private:
     using Page = std::vector<uint8_t>;
 
+    struct FetchWatch
+    {
+        uint64_t base;
+        uint64_t size;
+        uint64_t epoch;
+    };
+
     const Page *findPage(uint64_t addr) const;
     Page &pageFor(uint64_t addr);
+    void noteWrite(uint64_t addr, uint64_t len);
+    void bumpAllEpochs();
+
+    void
+    dropPageCache() const
+    {
+        cachedPageNum = ~uint64_t{0};
+        cachedPage = nullptr;
+    }
 
     /** Generic little-endian scalar access helpers. */
     template <typename T> T readScalar(uint64_t addr) const;
@@ -126,6 +184,14 @@ class Memory
 
     std::map<uint64_t, Page> pages;
     MemWriteJournal *journal = nullptr;
+
+    std::vector<FetchWatch> watches;
+    uint64_t globalEpoch = 1;
+
+    /** One-entry page cache; std::map nodes are pointer-stable, so
+     *  only page removal/replacement invalidates it. */
+    mutable uint64_t cachedPageNum = ~uint64_t{0};
+    mutable Page *cachedPage = nullptr;
 };
 
 /**

@@ -46,6 +46,36 @@ struct EngineInstruments
     }
 };
 
+/**
+ * Fast-path effectiveness counters (decode cache + superblock
+ * dispatch). Unlike EngineInstruments these involve no clock reads —
+ * the engine accumulates plain locals during the iteration and adds
+ * them here once at iteration end — so campaigns bind them
+ * unconditionally.
+ */
+struct FastPathInstruments
+{
+    Counter *decodeHit = nullptr;        ///< engine.decode_cache.hit
+    Counter *decodeMiss = nullptr;       ///< engine.decode_cache.miss
+    Counter *decodeInvalidate = nullptr; ///< engine.decode_cache.invalidate
+    Counter *superblockEntered = nullptr;  ///< engine.superblock.entered
+    Counter *superblockSideExit = nullptr; ///< engine.superblock.side_exit
+
+    static FastPathInstruments
+    resolve(MetricRegistry &reg)
+    {
+        FastPathInstruments i;
+        i.decodeHit = reg.counter("engine.decode_cache.hit");
+        i.decodeMiss = reg.counter("engine.decode_cache.miss");
+        i.decodeInvalidate =
+            reg.counter("engine.decode_cache.invalidate");
+        i.superblockEntered = reg.counter("engine.superblock.entered");
+        i.superblockSideExit =
+            reg.counter("engine.superblock.side_exit");
+        return i;
+    }
+};
+
 /** Corpus scheduling instruments (always on; plain adds). */
 struct CorpusInstruments
 {

@@ -19,6 +19,12 @@ dutOptionsFor(const Reproducer &r)
     o.bugs = r.bugs();
     o.rv64aEnabled = r.rv64aEnabled;
     o.resetPc = r.env.layout.instrBase;
+    // Replay harts are constructed per replay and execute each pc
+    // roughly once, so the decode cache never amortizes its fills —
+    // measured, it costs more than the decodes it saves. Execution
+    // is bit-identical either way (the cache is a pure speedup), so
+    // replays still confirm campaign-found mismatches exactly.
+    o.decodeCache = false;
     return o;
 }
 
@@ -28,6 +34,7 @@ refOptionsFor(const Reproducer &r)
     core::Iss::Options o;
     o.rv64aEnabled = r.rv64aEnabled;
     o.resetPc = r.env.layout.instrBase;
+    o.decodeCache = false; // see dutOptionsFor
     return o;
 }
 

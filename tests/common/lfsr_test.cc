@@ -106,6 +106,44 @@ TEST(FibonacciLfsr, StepBitsWidth)
         ASSERT_LT(lfsr.stepBits(12), 1ull << 12);
 }
 
+TEST(FibonacciLfsr, WordFastPathMatchesScalarSteps)
+{
+    // stepBits(64) at width 64 takes the fused word path; it must be
+    // bit-exact with 64 scalar stepBit() calls — output word AND
+    // internal state — across many seeds and consecutive words.
+    const uint64_t seeds[] = {1, 42, ~uint64_t{0},
+                              0xDEADBEEFCAFEF00Dull, uint64_t{1} << 63};
+    for (uint64_t seed : seeds) {
+        FibonacciLfsr fast(64, seed);
+        FibonacciLfsr slow(64, seed);
+        for (int word = 0; word < 64; ++word) {
+            uint64_t expect = 0;
+            for (int i = 0; i < 64; ++i)
+                expect = (expect << 1) | slow.stepBit();
+            ASSERT_EQ(fast.stepBits(64), expect)
+                << "seed " << seed << " word " << word;
+            ASSERT_EQ(fast.state(), slow.state())
+                << "seed " << seed << " word " << word;
+        }
+    }
+}
+
+TEST(FibonacciLfsr, WordFastPathAfterScalarPrefix)
+{
+    // Misaligned use: some scalar bits, then a full word. The fast
+    // path must continue the exact same stream.
+    FibonacciLfsr fast(64, 0x1234567890ABCDEFull);
+    FibonacciLfsr slow(64, 0x1234567890ABCDEFull);
+    fast.stepBits(13);
+    for (int i = 0; i < 13; ++i)
+        slow.stepBit();
+    uint64_t expect = 0;
+    for (int i = 0; i < 64; ++i)
+        expect = (expect << 1) | slow.stepBit();
+    EXPECT_EQ(fast.stepBits(64), expect);
+    EXPECT_EQ(fast.state(), slow.state());
+}
+
 TEST(FibonacciLfsr, UniqueSeedsGiveUniqueStreams)
 {
     FibonacciLfsr a(64, 1), b(64, 2);

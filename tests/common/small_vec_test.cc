@@ -1,0 +1,133 @@
+/** @file SmallVec: inline storage, heap spill, copy/move semantics. */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <utility>
+
+#include "common/small_vec.hh"
+
+namespace turbofuzz
+{
+namespace
+{
+
+TEST(SmallVec, StaysInlineUpToCapacity)
+{
+    SmallVec<uint32_t, 4> v;
+    EXPECT_TRUE(v.empty());
+    EXPECT_EQ(v.capacity(), 4u);
+    for (uint32_t i = 0; i < 4; ++i)
+        v.push_back(i * 10);
+    EXPECT_EQ(v.size(), 4u);
+    EXPECT_EQ(v.capacity(), 4u); // no spill yet
+    // data() points inside the object itself while inline.
+    const auto *lo = reinterpret_cast<const unsigned char *>(&v);
+    const auto *hi = lo + sizeof(v);
+    const auto *p = reinterpret_cast<const unsigned char *>(v.data());
+    EXPECT_TRUE(p >= lo && p < hi);
+    for (uint32_t i = 0; i < 4; ++i)
+        EXPECT_EQ(v[i], i * 10);
+}
+
+TEST(SmallVec, SpillsToHeapAndPreservesContents)
+{
+    SmallVec<uint32_t, 4> v;
+    for (uint32_t i = 0; i < 40; ++i)
+        v.push_back(i);
+    EXPECT_EQ(v.size(), 40u);
+    EXPECT_GE(v.capacity(), 40u);
+    for (uint32_t i = 0; i < 40; ++i)
+        EXPECT_EQ(v[i], i);
+}
+
+TEST(SmallVec, CopyAndEquality)
+{
+    SmallVec<uint32_t, 4> a;
+    for (uint32_t i = 0; i < 10; ++i)
+        a.push_back(i);
+    SmallVec<uint32_t, 4> b = a;
+    EXPECT_TRUE(a == b);
+    b[3] = 999;
+    EXPECT_TRUE(a != b);
+    EXPECT_EQ(a[3], 3u); // deep copy
+
+    SmallVec<uint32_t, 4> c;
+    c = a;
+    EXPECT_TRUE(c == a);
+}
+
+TEST(SmallVec, MoveStealsHeapBuffer)
+{
+    SmallVec<uint32_t, 2> a;
+    for (uint32_t i = 0; i < 16; ++i)
+        a.push_back(i);
+    const uint32_t *buf = a.data();
+    SmallVec<uint32_t, 2> b = std::move(a);
+    EXPECT_EQ(b.data(), buf); // heap buffer transferred, not copied
+    EXPECT_EQ(b.size(), 16u);
+    for (uint32_t i = 0; i < 16; ++i)
+        EXPECT_EQ(b[i], i);
+}
+
+TEST(SmallVec, MoveOfInlineContentsCopies)
+{
+    SmallVec<uint32_t, 8> a;
+    a.push_back(7);
+    a.push_back(8);
+    SmallVec<uint32_t, 8> b = std::move(a);
+    ASSERT_EQ(b.size(), 2u);
+    EXPECT_EQ(b[0], 7u);
+    EXPECT_EQ(b[1], 8u);
+}
+
+TEST(SmallVec, ResizeAndClear)
+{
+    SmallVec<uint64_t, 4> v;
+    v.resize(6);
+    EXPECT_EQ(v.size(), 6u);
+    for (size_t i = 0; i < 6; ++i)
+        EXPECT_EQ(v[i], 0u); // value-initialized
+    v.resize(2);
+    EXPECT_EQ(v.size(), 2u);
+    v.clear();
+    EXPECT_TRUE(v.empty());
+}
+
+TEST(SmallVec, EraseShiftsTail)
+{
+    SmallVec<uint32_t, 4> v;
+    v.assign({1, 2, 3, 4, 5});
+    v.erase(v.begin() + 1);
+    ASSERT_EQ(v.size(), 4u);
+    EXPECT_EQ(v[0], 1u);
+    EXPECT_EQ(v[1], 3u);
+    EXPECT_EQ(v[3], 5u);
+    v.erase(v.end() - 1);
+    EXPECT_EQ(v.back(), 4u);
+}
+
+TEST(SmallVec, AssignReplacesContents)
+{
+    SmallVec<uint32_t, 4> v;
+    for (uint32_t i = 0; i < 20; ++i)
+        v.push_back(i);
+    v.assign({9, 8});
+    ASSERT_EQ(v.size(), 2u);
+    EXPECT_EQ(v[0], 9u);
+    EXPECT_EQ(v[1], 8u);
+}
+
+TEST(SmallVec, PopBackAndFrontBack)
+{
+    SmallVec<uint32_t, 4> v;
+    v.assign({10, 20, 30});
+    EXPECT_EQ(v.front(), 10u);
+    EXPECT_EQ(v.back(), 30u);
+    v.pop_back();
+    EXPECT_EQ(v.back(), 20u);
+    EXPECT_EQ(v.size(), 2u);
+}
+
+} // namespace
+} // namespace turbofuzz

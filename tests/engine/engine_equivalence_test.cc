@@ -16,6 +16,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <string>
 #include <vector>
 
 #include "engine/execution_engine.hh"
@@ -484,6 +486,95 @@ TEST(EngineEquivalence, SampleDecimationKeepsOutcomes)
     EXPECT_LE(std::get<2>(decimated),
               std::get<2>(full) / 8 + 2);
     EXPECT_GT(std::get<2>(decimated), 0u);
+}
+
+// --- Decode-cache equivalence ------------------------------------
+//
+// The ISS decode cache is a pure speedup: campaigns with the cache
+// forced off (TURBOFUZZ_DECODE_CACHE=off) must be bit-identical to
+// cached runs — same coverage, same mismatch, same snapshots, same
+// reproducers. The env gate is sampled at Iss construction, so the
+// guard brackets the whole campaign construction.
+
+/**
+ * RAII: pin TURBOFUZZ_DECODE_CACHE (nullptr unsets it = cache on),
+ * restoring the ambient value after — the CI off-leg exports the
+ * variable globally, and these tests must control both sides.
+ */
+class ScopedDecodeCacheEnv
+{
+  public:
+    explicit ScopedDecodeCacheEnv(const char *value)
+    {
+        if (const char *old = getenv("TURBOFUZZ_DECODE_CACHE")) {
+            saved = old;
+            hadOld = true;
+        }
+        if (value)
+            setenv("TURBOFUZZ_DECODE_CACHE", value, 1);
+        else
+            unsetenv("TURBOFUZZ_DECODE_CACHE");
+    }
+    ~ScopedDecodeCacheEnv()
+    {
+        if (hadOld)
+            setenv("TURBOFUZZ_DECODE_CACHE", saved.c_str(), 1);
+        else
+            unsetenv("TURBOFUZZ_DECODE_CACHE");
+    }
+
+  private:
+    std::string saved;
+    bool hadOld = false;
+};
+
+void
+expectCacheOnOffIdentical(const RunConfig &cfg)
+{
+    RunSummary cached;
+    {
+        ScopedDecodeCacheEnv on(nullptr);
+        cached = runCampaign(cfg, 64);
+    }
+    RunSummary uncachedLockstep, uncachedBatched;
+    {
+        ScopedDecodeCacheEnv off("off");
+        uncachedBatched = runCampaign(cfg, 64);
+        uncachedLockstep = runCampaign(cfg, 1);
+    }
+    expectIdentical(cached, uncachedBatched,
+                    "decode cache on vs off (batch 64)");
+    expectIdentical(cached, uncachedLockstep,
+                    "decode cache on (batch 64) vs off (batch 1)");
+}
+
+TEST(DecodeCacheEquivalence, CleanCampaignRocket)
+{
+    RunConfig cfg;
+    cfg.seed = 11;
+    cfg.budgetSec = 4.0;
+    expectCacheOnOffIdentical(cfg);
+}
+
+TEST(DecodeCacheEquivalence, MinstretMismatchRocket)
+{
+    RunConfig cfg;
+    cfg.bugs = core::BugSet::single(core::BugId::R1);
+    cfg.seed = 3;
+    cfg.budgetSec = 4.0;
+    expectCacheOnOffIdentical(cfg);
+}
+
+TEST(DecodeCacheEquivalence, MultiBugCampaignCva6)
+{
+    RunConfig cfg;
+    cfg.coreKind = core::CoreKind::Cva6;
+    cfg.bugs.enable(core::BugId::C1);
+    cfg.bugs.enable(core::BugId::C5);
+    cfg.bugs.enable(core::BugId::C9);
+    cfg.seed = 9;
+    cfg.budgetSec = 4.0;
+    expectCacheOnOffIdentical(cfg);
 }
 
 } // namespace

@@ -10,6 +10,15 @@ reported but not gated (wall-time noise on shared CI runners is far
 above 10%; the committed-instruction rates aggregate enough work to
 be stable).
 
+Single-shot rates on shared runners are too noisy for a 10% gate —
+transient load during one 0.2s measurement window shows up as a
+±30% swing. Both the baseline and the current run should therefore
+be produced with --benchmark_repetitions (CI uses 5): the gate
+compares per-benchmark MEDIANS. A `*_median` aggregate emitted by
+google-benchmark wins when present; otherwise the median of the
+repetition entries sharing a name is computed here (a single-run
+file degenerates to its one value, so old baselines keep working).
+
 Missing or malformed input files are hard errors (exit 1 with a
 message naming the file) — a gate that silently passes on an empty
 run protects nothing. `--self-test` exercises the loader's failure
@@ -20,7 +29,8 @@ Refresh the baseline whenever the CI runner hardware class changes or
 a deliberate perf trade-off is accepted:
 
     ./micro_throughput --benchmark_out=BENCH_micro_throughput.json \
-        --benchmark_out_format=json --benchmark_min_time=0.2
+        --benchmark_out_format=json --benchmark_min_time=0.2 \
+        --benchmark_repetitions=5
     cp BENCH_micro_throughput.json bench/baselines/
 
 Usage: bench_regress.py BASELINE.json CURRENT.json [--max-drop 0.10]
@@ -29,6 +39,7 @@ Usage: bench_regress.py BASELINE.json CURRENT.json [--max-drop 0.10]
 
 import argparse
 import json
+import statistics
 import sys
 
 
@@ -38,6 +49,13 @@ class BenchFileError(Exception):
 
 def load_rates(path):
     """Parse a google-benchmark JSON file into {name: items_per_second}.
+
+    With --benchmark_repetitions the file holds one entry per
+    repetition (all sharing a name) plus mean/median/stddev
+    aggregates; the per-benchmark rate here is the MEDIAN across
+    repetitions — a google-benchmark `median` aggregate when emitted,
+    otherwise computed from the repetition entries. A single-run file
+    yields its one value unchanged.
 
     Raises BenchFileError (never returns a silently empty dict for a
     broken file) when the file is missing, not JSON, or not shaped
@@ -58,23 +76,43 @@ def load_rates(path):
         )
     if not isinstance(doc["benchmarks"], list):
         raise BenchFileError(f"{path}: 'benchmarks' is not a list")
-    rates = {}
+
+    def rate_of(bench):
+        rate = bench.get("items_per_second")
+        if rate is not None and not isinstance(rate, (int, float)):
+            raise BenchFileError(
+                f"{path}: non-numeric items_per_second for "
+                f"{bench['name']}: {rate!r}"
+            )
+        return rate
+
+    samples = {}  # name -> [rate per repetition]
+    medians = {}  # name -> rate from a `median` aggregate entry
     for bench in doc["benchmarks"]:
         if not isinstance(bench, dict) or "name" not in bench:
             raise BenchFileError(
                 f"{path}: benchmark entry without a name: {bench!r}"
             )
         if bench.get("run_type") == "aggregate":
+            if bench.get("aggregate_name") != "median":
+                continue
+            rate = rate_of(bench)
+            if rate is not None and rate > 0:
+                # Aggregates are named "BM_Foo/64_median"; run_name
+                # carries the plain benchmark name.
+                name = bench.get("run_name")
+                if not name:
+                    name = bench["name"].removesuffix("_median")
+                medians[name] = rate
             continue
-        rate = bench.get("items_per_second")
-        if rate is not None:
-            if not isinstance(rate, (int, float)):
-                raise BenchFileError(
-                    f"{path}: non-numeric items_per_second for "
-                    f"{bench['name']}: {rate!r}"
-                )
-            if rate > 0:
-                rates[bench["name"]] = rate
+        rate = rate_of(bench)
+        if rate is not None and rate > 0:
+            samples.setdefault(bench["name"], []).append(rate)
+
+    rates = {
+        name: statistics.median(reps) for name, reps in samples.items()
+    }
+    rates.update(medians)
     return rates
 
 
@@ -176,13 +214,13 @@ def self_test():
         '{"benchmarks": [{"name": "b", "items_per_second": "fast"}]}',
     )
 
-    # Loader: a valid file parses, skipping aggregates and rate-less
-    # timing benches.
+    # Loader: a valid file parses, skipping non-median aggregates and
+    # rate-less timing benches.
     valid = {
         "benchmarks": [
             {"name": "BM_A", "items_per_second": 100.0},
             {"name": "BM_A_mean", "run_type": "aggregate",
-             "items_per_second": 100.0},
+             "aggregate_name": "mean", "items_per_second": 100.0},
             {"name": "BM_Timing"},
         ]
     }
@@ -194,6 +232,34 @@ def self_test():
     try:
         rates = load_rates(path)
         check("valid file parses", rates == {"BM_A": 100.0})
+    finally:
+        os.unlink(path)
+
+    # Loader: repetition entries collapse to their median, and a
+    # google-benchmark median aggregate wins over the computed one.
+    reps = {
+        "benchmarks": [
+            {"name": "BM_R", "items_per_second": 80.0},
+            {"name": "BM_R", "items_per_second": 120.0},
+            {"name": "BM_R", "items_per_second": 100.0},
+            {"name": "BM_S", "items_per_second": 10.0},
+            {"name": "BM_S", "items_per_second": 90.0},
+            {"name": "BM_S_median", "run_type": "aggregate",
+             "run_name": "BM_S", "aggregate_name": "median",
+             "items_per_second": 42.0},
+        ]
+    }
+    with tempfile.NamedTemporaryFile(
+        "w", suffix=".json", delete=False
+    ) as f:
+        json.dump(reps, f)
+        path = f.name
+    try:
+        rates = load_rates(path)
+        check(
+            "repetitions gate on the median",
+            rates == {"BM_R": 100.0, "BM_S": 42.0},
+        )
     finally:
         os.unlink(path)
 

@@ -161,6 +161,33 @@ def validate_metrics_object(path, lineno, metrics):
         )
 
 
+def summarize_fastpath(metrics):
+    """Print the ISS fast-path effectiveness counters (decode cache +
+    superblock) from a metrics object, when the run emitted them."""
+    hit = metrics.get("engine.decode_cache.hit")
+    miss = metrics.get("engine.decode_cache.miss")
+    inval = metrics.get("engine.decode_cache.invalidate")
+    if isinstance(hit, (int, float)) and isinstance(miss, (int, float)):
+        lookups = hit + miss
+        rate = hit / lookups if lookups else 0.0
+        print(
+            f"decode cache: {hit:.0f} hit / {miss:.0f} miss "
+            f"({rate:.1%} hit rate), "
+            f"{inval if isinstance(inval, (int, float)) else 0:.0f} "
+            f"invalidated"
+        )
+    entered = metrics.get("engine.superblock.entered")
+    side = metrics.get("engine.superblock.side_exit")
+    if isinstance(entered, (int, float)) and isinstance(
+        side, (int, float)
+    ):
+        rate = side / entered if entered else 0.0
+        print(
+            f"superblock: {entered:.0f} entered, {side:.0f} side "
+            f"exits ({rate:.1%})"
+        )
+
+
 PROVENANCE_KEYS = ("first_hits", "last_new_t_sim", "plateau_sec")
 
 
@@ -209,6 +236,7 @@ def validate_jsonl(path, min_lines):
     prev_first_hits = 0
     count = 0
     provenance_lines = 0
+    last_metrics = None
     for lineno, line in enumerate(lines, 1):
         if not line.strip():
             fail(f"{path}:{lineno}: blank line in JSONL stream")
@@ -236,6 +264,7 @@ def validate_jsonl(path, min_lines):
                     f"({prev[key]} -> {doc[key]})"
                 )
         validate_metrics_object(path, lineno, doc.get("metrics"))
+        last_metrics = doc["metrics"]
         if "provenance" in doc:
             prev_first_hits = validate_provenance_object(
                 path, lineno, doc["provenance"], prev_first_hits
@@ -255,6 +284,8 @@ def validate_jsonl(path, min_lines):
         else ""
     )
     print(f"{path}: {count} valid turbofuzz.metrics.v1 lines{suffix}")
+    if last_metrics:
+        summarize_fastpath(last_metrics)
     return 0
 
 
