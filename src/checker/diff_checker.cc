@@ -91,6 +91,7 @@ DiffChecker::compare(const core::CommitInfo &dut,
     return std::nullopt;
 }
 
+// tflint: hot-path
 std::optional<Mismatch>
 DiffChecker::compareTrace(const core::CommitInfo *dut,
                           const core::CommitInfo *ref, size_t count)
@@ -113,6 +114,7 @@ namespace
  * value compares are exact when the flags agree. Memory effects
  * replicate compare()'s both-sides-accessed condition.
  */
+// tflint: hot-path
 inline bool
 columnsDiverge(const core::CommitTrace::Columns &d,
                const core::CommitTrace::Columns &r, size_t i)

@@ -24,6 +24,9 @@ namespace
 bool
 decodeCacheEnvEnabled()
 {
+    // Sampled once at hart construction, before any worker threads
+    // exist; nothing in the process mutates the environment.
+    // NOLINTNEXTLINE(concurrency-mt-unsafe)
     const char *e = std::getenv("TURBOFUZZ_DECODE_CACHE");
     return !(e && (std::strcmp(e, "0") == 0 ||
                    std::strcmp(e, "off") == 0));
@@ -96,6 +99,7 @@ Iss::clearDecodeCache()
     }
 }
 
+// tflint: hot-path
 const Iss::DecodeEntry *
 Iss::lookupDecode(uint64_t pc)
 {
@@ -126,6 +130,7 @@ Iss::lookupDecode(uint64_t pc)
     return nullptr;
 }
 
+// tflint: hot-path
 void
 Iss::fillDecode(uint64_t pc, uint32_t insn, const isa::Decoded &dec)
 {
@@ -291,6 +296,7 @@ Iss::step()
     return ci;
 }
 
+// tflint: hot-path
 void
 Iss::stepInto(CommitInfo &out)
 {
@@ -365,6 +371,7 @@ Iss::stepInto(CommitInfo &out)
     st.fflags |= ci.fflagsAccrued;
 }
 
+// tflint: hot-path
 uint64_t
 Iss::stepStraight(CommitTrace &trace, uint64_t max_steps)
 {
@@ -416,6 +423,7 @@ Iss::stepStraight(CommitTrace &trace, uint64_t max_steps)
     return n;
 }
 
+// tflint: hot-path
 void
 Iss::execute(CommitInfo &ci)
 {

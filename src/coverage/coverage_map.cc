@@ -210,6 +210,7 @@ CoverageMap::markModuleIndex(size_t i, uint64_t idx)
     return 1;
 }
 
+// tflint: hot-path
 uint64_t
 CoverageMap::record()
 {
@@ -219,6 +220,7 @@ CoverageMap::record()
     return newly;
 }
 
+// tflint: hot-path
 uint64_t
 CoverageMap::recordTrace(rtl::EventDriver &drv,
                          const core::CommitInfo *commits, size_t n)

@@ -106,6 +106,10 @@ FirstHitLedger::sortedEntries() const
 void
 FirstHitLedger::merge(const FirstHitLedger &other)
 {
+    // tflint: allow(determinism) -- min-wins merge is per-key
+    // commutative and associative, so the unordered iteration order
+    // of other.map cannot affect the merged result (pinned by
+    // FirstHitLedger.MergeAssociativeUnderShardReordering).
     for (const auto &[key, hit] : other.map) {
         const auto [it, inserted] = map.emplace(key, hit);
         if (!inserted && firstHitEarlier(hit, it->second))

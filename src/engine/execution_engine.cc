@@ -39,6 +39,7 @@ ExecutionEngine::rewind(core::Iss *core, const core::ArchState &saved,
     }
 }
 
+// tflint: hot-path
 void
 ExecutionEngine::sweepStage(const core::CommitTrace &trace,
                             uint64_t limit, const IterationPolicy &p,

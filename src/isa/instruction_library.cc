@@ -12,13 +12,14 @@ InstructionLibrary::InstructionLibrary()
 {
     enabled.fill(true);
     weights.fill(1.0);
+    rebuild();
 }
 
 void
 InstructionLibrary::setExtEnabled(Ext ext, bool on)
 {
     enabled[static_cast<size_t>(ext)] = on;
-    dirty = true;
+    rebuild();
 }
 
 bool
@@ -31,14 +32,14 @@ void
 InstructionLibrary::exclude(Opcode op)
 {
     excluded[static_cast<size_t>(op)] = true;
-    dirty = true;
+    rebuild();
 }
 
 void
 InstructionLibrary::include(Opcode op)
 {
     excluded[static_cast<size_t>(op)] = false;
-    dirty = true;
+    rebuild();
 }
 
 void
@@ -46,11 +47,11 @@ InstructionLibrary::setExtWeight(Ext ext, double weight)
 {
     TF_ASSERT(weight >= 0.0, "negative library weight");
     weights[static_cast<size_t>(ext)] = weight;
-    dirty = true;
+    rebuild();
 }
 
 void
-InstructionLibrary::rebuild() const
+InstructionLibrary::rebuild()
 {
     activeOps.clear();
     cumWeights.clear();
@@ -67,22 +68,17 @@ InstructionLibrary::rebuild() const
         acc += w;
         cumWeights.push_back(acc);
     }
-    dirty = false;
 }
 
 const std::vector<Opcode> &
 InstructionLibrary::active() const
 {
-    if (dirty)
-        rebuild();
     return activeOps;
 }
 
 Opcode
 InstructionLibrary::pick(Rng &rng) const
 {
-    if (dirty)
-        rebuild();
     TF_ASSERT(!activeOps.empty(), "instruction library is empty");
     const double total = cumWeights.back();
     const double r = rng.uniform() * total;
@@ -95,8 +91,6 @@ InstructionLibrary::pick(Rng &rng) const
 bool
 InstructionLibrary::contains(Opcode op) const
 {
-    if (dirty)
-        rebuild();
     return std::find(activeOps.begin(), activeOps.end(), op) !=
            activeOps.end();
 }

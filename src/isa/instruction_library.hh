@@ -56,7 +56,7 @@ class InstructionLibrary
      */
     void setExtWeight(Ext ext, double weight);
 
-    /** Currently selectable opcodes (rebuilt lazily on change). */
+    /** Currently selectable opcodes (rebuilt eagerly on change). */
     const std::vector<Opcode> &active() const;
 
     /** Draw a random opcode honoring enables, exclusions and weights. */
@@ -69,15 +69,19 @@ class InstructionLibrary
     bool contains(Opcode op) const;
 
   private:
-    void rebuild() const;
+    // Rebuilt eagerly by the constructor and every mutator — never
+    // from a const accessor. The fleet shares one library across
+    // shard threads through a const pointer, so const reads must be
+    // genuinely read-only (tests/fleet/barrier_stress_test.cc pins
+    // this under TSan; lazy mutable rebuild was a data race).
+    void rebuild();
 
     std::array<bool, static_cast<size_t>(Ext::NumExts)> enabled;
     std::array<double, static_cast<size_t>(Ext::NumExts)> weights;
     std::vector<bool> excluded;
 
-    mutable bool dirty = true;
-    mutable std::vector<Opcode> activeOps;
-    mutable std::vector<double> cumWeights;
+    std::vector<Opcode> activeOps;
+    std::vector<double> cumWeights;
 };
 
 } // namespace turbofuzz::isa

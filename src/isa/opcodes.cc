@@ -344,6 +344,7 @@ extName(Ext ext)
       case Ext::D: return "D";
       case Ext::Zicsr: return "Zicsr";
       case Ext::System: return "System";
+      case Ext::NumExts:
       default: panic("bad Ext value %d", static_cast<int>(ext));
     }
 }

@@ -224,9 +224,9 @@ TEST_P(RoundTrip, EncodeDecode)
 INSTANTIATE_TEST_SUITE_P(
     AllOpcodes, RoundTrip,
     ::testing::Range<size_t>(0, numOpcodes()),
-    [](const ::testing::TestParamInfo<size_t> &info) {
+    [](const ::testing::TestParamInfo<size_t> &param_info) {
         std::string name(
-            allDescs()[info.param].mnemonic);
+            allDescs()[param_info.param].mnemonic);
         for (char &c : name)
             if (c == '.')
                 c = '_';

@@ -1,0 +1,19 @@
+// tflint fixture: file-level suppression silences a whole rule for
+// the file; other rules still apply (but none are violated here).
+// tflint: allow-file(determinism)
+// (No expectations: the fixture must lint clean.)
+
+#include <chrono>
+#include <cstdlib>
+
+namespace turbofuzz
+{
+
+double
+wholeFileWaived()
+{
+    auto t = std::chrono::steady_clock::now().time_since_epoch();
+    return static_cast<double>(t.count()) + rand();
+}
+
+} // namespace turbofuzz

@@ -1,0 +1,35 @@
+// tflint fixture: every sanctioned-wrapper bypass the determinism
+// rule must catch. Each marked line is one finding.
+// tflint-fixture: expect determinism 6
+
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace turbofuzz
+{
+
+uint64_t
+badWallClock()
+{
+    auto t = std::chrono::steady_clock::now(); // finding: std::chrono
+    (void)t;
+    return static_cast<uint64_t>(time(nullptr)); // finding: time()
+}
+
+double
+badClockCall()
+{
+    return static_cast<double>(clock()); // finding: clock()
+}
+
+int
+badRandomness()
+{
+    std::random_device rd;   // finding: random_device
+    std::mt19937 gen(rd());  // finding: <random> engine
+    return rand();           // finding: rand()
+}
+
+} // namespace turbofuzz

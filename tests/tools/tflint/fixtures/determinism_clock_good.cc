@@ -1,0 +1,50 @@
+// tflint fixture: sanctioned time/randomness use plus the
+// near-miss identifiers that must NOT trip the token patterns.
+// (No expectations: the fixture must lint clean.)
+
+#include <cstdint>
+
+namespace turbofuzz
+{
+
+struct SimClock
+{
+    double seconds() const { return 0.0; }
+};
+
+class Platform
+{
+  public:
+    // Accessor *named* clock() — not a libc clock() call.
+    SimClock &clock() { return clk; }
+    double captureTime() const { return clk.seconds(); }
+
+  private:
+    SimClock clk;
+};
+
+struct Rng
+{
+    uint64_t next() { return state += 0x9e3779b97f4a7c15ull; }
+    uint64_t state = 1;
+};
+
+// "rand" embedded in a longer identifier must not match \brand\b.
+uint64_t
+randomOperands(Rng &rng)
+{
+    return rng.next();
+}
+
+// Simulated time is the deterministic timebase — always fine.
+double
+sampleSimTime(const Platform &p)
+{
+    return p.captureTime();
+}
+
+// Strings and comments are scrubbed before token matching:
+// rand() time(NULL) std::chrono  <- none of these count.
+const char *kDoc = "calls rand() and time(NULL) and std::chrono";
+
+} // namespace turbofuzz

@@ -1,0 +1,51 @@
+// tflint fixture: unordered-container iteration inside
+// serialization/merge paths — the order leaks into serialized or
+// merged state and breaks bit-exact resume.
+// tflint-fixture: expect determinism 3
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace turbofuzz
+{
+
+struct Writer
+{
+    void putU64(uint64_t) {}
+};
+
+class Ledger
+{
+  public:
+    void
+    saveState(Writer &out) const
+    {
+        for (const auto &[key, value] : entries) // finding
+            out.putU64(key + value);
+    }
+
+    void
+    merge(const Ledger &other)
+    {
+        // Explicit iterator form is just as order-dependent.
+        for (auto it = other.entries.begin(); // finding
+             it != other.entries.end(); ++it)
+            entries[it->first] += it->second;
+    }
+
+    std::vector<uint8_t>
+    serialize() const
+    {
+        std::vector<uint8_t> out;
+        for (uint64_t key : seen) // finding
+            out.push_back(static_cast<uint8_t>(key));
+        return out;
+    }
+
+  private:
+    std::unordered_map<uint64_t, uint64_t> entries;
+    std::unordered_set<uint64_t> seen;
+};
+
+} // namespace turbofuzz

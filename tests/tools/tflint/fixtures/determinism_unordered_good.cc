@@ -1,0 +1,55 @@
+// tflint fixture: the two legitimate shapes — sort before
+// serializing, and unordered iteration outside serialization paths.
+// (No expectations: the fixture must lint clean.)
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace turbofuzz
+{
+
+struct Writer
+{
+    void putU64(uint64_t) {}
+};
+
+class Ledger
+{
+  public:
+    void
+    saveState(Writer &out) const
+    {
+        // Sorted snapshot first: iteration order is canonical.
+        for (const auto &[key, value] : sortedEntries())
+            out.putU64(key + value);
+    }
+
+    // Unordered iteration in a *query* (not a serialization path)
+    // is fine: the result is order-independent.
+    uint64_t
+    maxValue() const
+    {
+        uint64_t best = 0;
+        for (const auto &[key, value] : entries) {
+            (void)key;
+            best = std::max(best, value);
+        }
+        return best;
+    }
+
+  private:
+    std::vector<std::pair<uint64_t, uint64_t>>
+    sortedEntries() const
+    {
+        std::vector<std::pair<uint64_t, uint64_t>> out(
+            entries.begin(), entries.end());
+        std::sort(out.begin(), out.end());
+        return out;
+    }
+
+    std::unordered_map<uint64_t, uint64_t> entries;
+};
+
+} // namespace turbofuzz

@@ -1,0 +1,55 @@
+// tflint fixture: each forbidden-token family inside functions
+// marked `// tflint: hot-path` — heap allocation, map lookups and
+// lock acquisition.
+// tflint-fixture: expect hot-path 7
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <unordered_map>
+
+namespace turbofuzz
+{
+
+class HotLoop
+{
+  public:
+    // tflint: hot-path
+    uint64_t
+    stepAllocates(uint64_t pc)
+    {
+        auto *scratch = new uint64_t[4]; // finding: new
+        scratch[0] = pc;
+        uint64_t v = scratch[0];
+        delete[] scratch;
+        return v;
+    }
+
+    // tflint: hot-path
+    uint64_t
+    stepLooksUp(uint64_t pc)
+    {
+        std::map<uint64_t, uint64_t> local; // finding: std::map
+        auto it = table.find(pc);           // finding: map lookup
+        return it == table.end() ? local[pc] // finding: map indexing
+                                 : it->second;
+    }
+
+    // tflint: hot-path
+    uint64_t
+    stepLocks(uint64_t pc)
+    {
+        std::lock_guard<std::mutex> g(mtx); // finding: lock_guard
+        mtx.lock();                         // finding: .lock()
+        uint64_t v = table2[pc];            // finding: map indexing
+        mtx.unlock();
+        return v;
+    }
+
+  private:
+    std::unordered_map<uint64_t, uint64_t> table;
+    std::unordered_map<uint64_t, uint64_t> table2;
+    std::mutex mtx;
+};
+
+} // namespace turbofuzz

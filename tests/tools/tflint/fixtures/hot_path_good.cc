@@ -1,0 +1,48 @@
+// tflint fixture: a hot-path function written the sanctioned way
+// (preallocated flat arrays, no locks), and a *cold* setup function
+// that allocates freely — the rule only applies where the
+// annotation is.
+// (No expectations: the fixture must lint clean.)
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace turbofuzz
+{
+
+class DecodeCache
+{
+  public:
+    // Cold construction: heap allocation and locking are fine here.
+    DecodeCache()
+    {
+        lines = std::make_unique<uint64_t[]>(4096);
+        std::lock_guard<std::mutex> g(initLock);
+        generation = 1;
+    }
+
+    // tflint: hot-path
+    uint64_t
+    lookup(uint64_t pc) const
+    {
+        const size_t idx = (pc >> 2) & 4095u;
+        return lines[idx] == pc ? pc : 0;
+    }
+
+    // tflint: hot-path
+    void
+    fill(uint64_t pc)
+    {
+        const size_t idx = (pc >> 2) & 4095u;
+        lines[idx] = pc;
+    }
+
+  private:
+    std::unique_ptr<uint64_t[]> lines;
+    std::mutex initLock;
+    uint32_t generation = 0;
+};
+
+} // namespace turbofuzz

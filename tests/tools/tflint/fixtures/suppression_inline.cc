@@ -1,0 +1,48 @@
+// tflint fixture: suppression-comment behavior — same-line allow,
+// line-above allow, and a multi-line justification block. All
+// violations here are suppressed.
+// (No expectations: the fixture must lint clean.)
+
+#include <chrono>
+#include <cstdint>
+#include <unordered_map>
+
+namespace turbofuzz
+{
+
+uint64_t
+benchOnlyTimestamp()
+{
+    // Same-line suppression.
+    return static_cast<uint64_t>(
+        std::chrono::steady_clock::now() // tflint: allow(determinism) -- bench-only
+            .time_since_epoch()
+            .count());
+}
+
+struct Writer
+{
+    void putU64(uint64_t) {}
+};
+
+class Ledger
+{
+  public:
+    void
+    merge(const Ledger &other)
+    {
+        // tflint: allow(determinism) -- max-wins merge is per-key
+        // commutative, so iteration order cannot affect the merged
+        // result (multi-line justification block).
+        for (const auto &[key, value] : other.entries) {
+            uint64_t &slot = entries[key];
+            if (value > slot)
+                slot = value;
+        }
+    }
+
+  private:
+    std::unordered_map<uint64_t, uint64_t> entries;
+};
+
+} // namespace turbofuzz

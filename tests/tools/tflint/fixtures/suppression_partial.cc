@@ -1,0 +1,21 @@
+// tflint fixture: a suppression only covers its own rule and line —
+// the second violation still fires.
+// tflint-fixture: expect determinism 1
+
+#include <chrono>
+#include <cstdint>
+
+namespace turbofuzz
+{
+
+uint64_t
+suppressedRead()
+{
+    // tflint: allow(determinism) -- fixture: deliberate
+    auto a = std::chrono::steady_clock::now();
+    auto b = std::chrono::steady_clock::now(); // finding: not covered
+    return static_cast<uint64_t>(
+        (b - a).count()); // tflint: allow(determinism) -- operator- ok
+}
+
+} // namespace turbofuzz

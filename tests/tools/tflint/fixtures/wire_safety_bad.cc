@@ -1,0 +1,42 @@
+// tflint fixture: a trust-boundary function that constructs a
+// SnapshotReader over raw bytes and runs a naked get* chain — no
+// SnapshotFormatError catch, no remaining() length validation.
+// tflint-fixture: expect wire-safety 1
+
+#include <cstdint>
+#include <vector>
+
+namespace turbofuzz::soc
+{
+class SnapshotReader
+{
+  public:
+    explicit SnapshotReader(const std::vector<uint8_t> &d) : b(d) {}
+    uint64_t getU64() { return 0; }
+    uint32_t getU32() { return 0; }
+
+  private:
+    const std::vector<uint8_t> &b;
+};
+} // namespace turbofuzz::soc
+
+namespace turbofuzz
+{
+
+struct Header
+{
+    uint64_t magic;
+    uint32_t version;
+};
+
+Header
+parseHeader(const std::vector<uint8_t> &bytes)
+{
+    soc::SnapshotReader r(bytes); // finding: unguarded trust boundary
+    Header h;
+    h.magic = r.getU64();
+    h.version = r.getU32();
+    return h;
+}
+
+} // namespace turbofuzz

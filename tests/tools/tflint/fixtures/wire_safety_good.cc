@@ -1,0 +1,78 @@
+// tflint fixture: the three sanctioned SnapshotReader shapes — a
+// function-try-block catching SnapshotFormatError, an explicit
+// remaining() length pre-validation, and a mid-chain consumer that
+// only *receives* a reader (the boundary already guarded upstream).
+// (No expectations: the fixture must lint clean.)
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace turbofuzz::soc
+{
+class SnapshotFormatError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+class SnapshotReader
+{
+  public:
+    explicit SnapshotReader(const std::vector<uint8_t> &d) : b(d) {}
+    uint64_t getU64() { return 0; }
+    size_t remaining() const { return b.size(); }
+
+  private:
+    const std::vector<uint8_t> &b;
+};
+} // namespace turbofuzz::soc
+
+namespace turbofuzz
+{
+
+struct State
+{
+    uint64_t a = 0;
+    uint64_t b = 0;
+};
+
+// Shape 1: function-try-block converts underruns to a typed error.
+bool
+tryLoad(const std::vector<uint8_t> &bytes, State &out,
+        std::string *error)
+try {
+    soc::SnapshotReader r(bytes);
+    out.a = r.getU64();
+    out.b = r.getU64();
+    return true;
+} catch (const soc::SnapshotFormatError &e) {
+    if (error)
+        *error = e.what();
+    return false;
+}
+
+// Shape 2: length validation via remaining() before the get chain.
+std::optional<State>
+tryParse(const std::vector<uint8_t> &bytes)
+{
+    soc::SnapshotReader r(bytes);
+    if (r.remaining() < 16)
+        return std::nullopt;
+    State s;
+    s.a = r.getU64();
+    s.b = r.getU64();
+    return s;
+}
+
+// Shape 3: mid-chain loadState receives an already-guarded reader.
+void
+loadFields(soc::SnapshotReader &r, State &out)
+{
+    out.a = r.getU64();
+    out.b = r.getU64();
+}
+
+} // namespace turbofuzz

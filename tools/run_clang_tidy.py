@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""Parallel clang-tidy driver for the TurboFuzz tree.
+
+Runs the curated .clang-tidy check set (the repo root config) over
+every first-party translation unit in a compile_commands.json and
+fails on any finding — WarningsAsErrors promotes the whole set, so
+this is a gate, not a report.
+
+The container/CI split is explicit: without clang-tidy on PATH the
+script *skips* (exit 0) so developer machines without LLVM still
+build and test; CI passes --require so a missing binary there is a
+hard configuration error (exit 2), never a silently green gate.
+
+Usage:
+    tools/run_clang_tidy.py -p build [--require] [-j N] [paths...]
+Paths filter which sources run (default: everything under src/).
+Exit codes: 0 clean/skipped, 1 findings, 2 setup error.
+"""
+
+import argparse
+import json
+import multiprocessing
+import os
+import shutil
+import subprocess
+import sys
+
+CLANG_TIDY_NAMES = ["clang-tidy"] + [
+    "clang-tidy-%d" % v for v in range(21, 13, -1)
+]
+
+
+def find_clang_tidy(explicit):
+    if explicit:
+        return explicit if shutil.which(explicit) else None
+    env = os.environ.get("CLANG_TIDY")
+    if env:
+        return env if shutil.which(env) else None
+    for name in CLANG_TIDY_NAMES:
+        if shutil.which(name):
+            return name
+    return None
+
+
+def load_sources(build_dir, filters):
+    db_path = os.path.join(build_dir, "compile_commands.json")
+    try:
+        with open(db_path, encoding="utf-8") as fh:
+            db = json.load(fh)
+    except OSError as e:
+        print("run_clang_tidy: cannot read %s: %s" % (db_path, e),
+              file=sys.stderr)
+        return None
+    sources = []
+    for entry in db:
+        path = os.path.normpath(
+            os.path.join(entry.get("directory", "."), entry["file"]))
+        rel_filters = filters or [os.sep + "src" + os.sep]
+        if any(os.path.abspath(f) == path or f in path
+               for f in rel_filters):
+            sources.append(path)
+    return sorted(set(sources))
+
+
+def run_one(args):
+    tidy, build_dir, quiet, source = args
+    cmd = [tidy, "-p", build_dir, "--quiet", source]
+    proc = subprocess.run(cmd, stdout=subprocess.PIPE,
+                          stderr=subprocess.PIPE, text=True)
+    # clang-tidy exits nonzero on WarningsAsErrors findings; stderr
+    # carries the "N warnings treated as errors" banner.
+    interesting = proc.returncode != 0 or "warning:" in proc.stdout \
+        or "error:" in proc.stdout
+    out = (proc.stdout + ("" if quiet else proc.stderr)).strip()
+    return source, proc.returncode, out if interesting else ""
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(
+        prog="run_clang_tidy", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("paths", nargs="*",
+                    help="substring filters for sources "
+                         "(default: /src/)")
+    ap.add_argument("-p", "--build-dir", default="build",
+                    help="directory holding compile_commands.json")
+    ap.add_argument("-j", "--jobs", type=int,
+                    default=max(1, multiprocessing.cpu_count() - 1))
+    ap.add_argument("--clang-tidy", default=None,
+                    help="explicit clang-tidy binary")
+    ap.add_argument("--require", action="store_true",
+                    help="fail (exit 2) when clang-tidy is missing "
+                         "instead of skipping — CI mode")
+    ap.add_argument("-q", "--quiet", action="store_true")
+    args = ap.parse_args(argv)
+
+    tidy = find_clang_tidy(args.clang_tidy)
+    if tidy is None:
+        msg = "run_clang_tidy: no clang-tidy binary found"
+        if args.require:
+            print(msg + " (--require: this is an error)",
+                  file=sys.stderr)
+            return 2
+        print(msg + "; skipping (install clang-tidy or pass "
+                    "--clang-tidy)")
+        return 0
+
+    sources = load_sources(args.build_dir, args.paths)
+    if sources is None:
+        return 2
+    if not sources:
+        print("run_clang_tidy: no sources matched", file=sys.stderr)
+        return 2
+
+    if not args.quiet:
+        print("run_clang_tidy: %s over %d translation unit(s), "
+              "-j%d" % (tidy, len(sources), args.jobs))
+
+    failures = 0
+    work = [(tidy, args.build_dir, args.quiet, s) for s in sources]
+    with multiprocessing.Pool(args.jobs) as pool:
+        for source, rc, out in pool.imap_unordered(run_one, work):
+            if out:
+                print("--- %s" % source)
+                print(out)
+            if rc != 0:
+                failures += 1
+    print("run_clang_tidy: %d/%d translation unit(s) clean"
+          % (len(sources) - failures, len(sources)))
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
