@@ -1,0 +1,204 @@
+#include "coverage/coverage_delta.hh"
+
+#include "common/logging.hh"
+
+namespace turbofuzz::coverage
+{
+
+bool
+CoverageDelta::empty() const
+{
+    if (!csr.empty() || !edges.empty() || !firstHits.empty())
+        return false;
+    for (const SparseWords &m : mux) {
+        if (!m.empty())
+            return false;
+    }
+    return true;
+}
+
+void
+CoverageDelta::clear()
+{
+    // Keep the per-module vector sized (capacity reuse across
+    // epochs); only the runs themselves are dropped.
+    for (SparseWords &m : mux)
+        m.clear();
+    csr.clear();
+    edges.clear();
+    firstHits.clear();
+}
+
+// tflint: hot-path
+void
+mergeSparseWords(SparseWords &into, const SparseWords &from)
+{
+    if (from.empty())
+        return;
+    if (into.empty()) {
+        into = from;
+        return;
+    }
+    std::vector<uint32_t> idx;
+    std::vector<uint64_t> val;
+    idx.reserve(into.index.size() + from.index.size());
+    val.reserve(into.index.size() + from.index.size());
+    size_t a = 0, b = 0;
+    while (a < into.index.size() && b < from.index.size()) {
+        if (into.index[a] < from.index[b]) {
+            idx.push_back(into.index[a]);
+            val.push_back(into.value[a]);
+            ++a;
+        } else if (from.index[b] < into.index[a]) {
+            idx.push_back(from.index[b]);
+            val.push_back(from.value[b]);
+            ++b;
+        } else {
+            idx.push_back(into.index[a]);
+            val.push_back(into.value[a] | from.value[b]);
+            ++a;
+            ++b;
+        }
+    }
+    for (; a < into.index.size(); ++a) {
+        idx.push_back(into.index[a]);
+        val.push_back(into.value[a]);
+    }
+    for (; b < from.index.size(); ++b) {
+        idx.push_back(from.index[b]);
+        val.push_back(from.value[b]);
+    }
+    into.index.swap(idx);
+    into.value.swap(val);
+}
+
+const char *
+checkSparseWords(const SparseWords &d, size_t words)
+{
+    if (d.index.size() != d.value.size())
+        return "index/value length mismatch";
+    for (size_t k = 0; k < d.index.size(); ++k) {
+        if (d.index[k] >= words)
+            return "word index out of range";
+        if (k > 0 && d.index[k] <= d.index[k - 1])
+            return "word indices out of order";
+    }
+    return nullptr;
+}
+
+namespace
+{
+
+// tflint: hot-path
+void
+mergeEdges(EdgeDelta &into, const EdgeDelta &from)
+{
+    if (from.empty())
+        return;
+    if (into.empty()) {
+        into = from;
+        return;
+    }
+    EdgeDelta out;
+    out.edge.reserve(into.edge.size() + from.edge.size());
+    out.buckets.reserve(into.edge.size() + from.edge.size());
+    out.counts.reserve(into.edge.size() + from.edge.size());
+    size_t a = 0, b = 0;
+    while (a < into.edge.size() && b < from.edge.size()) {
+        if (into.edge[a] < from.edge[b]) {
+            out.edge.push_back(into.edge[a]);
+            out.buckets.push_back(into.buckets[a]);
+            out.counts.push_back(into.counts[a]);
+            ++a;
+        } else if (from.edge[b] < into.edge[a]) {
+            out.edge.push_back(from.edge[b]);
+            out.buckets.push_back(from.buckets[b]);
+            out.counts.push_back(from.counts[b]);
+            ++b;
+        } else {
+            out.edge.push_back(into.edge[a]);
+            out.buckets.push_back(
+                static_cast<uint8_t>(into.buckets[a] |
+                                     from.buckets[b]));
+            out.counts.push_back(into.counts[a] > from.counts[b]
+                                     ? into.counts[a]
+                                     : from.counts[b]);
+            ++a;
+            ++b;
+        }
+    }
+    for (; a < into.edge.size(); ++a) {
+        out.edge.push_back(into.edge[a]);
+        out.buckets.push_back(into.buckets[a]);
+        out.counts.push_back(into.counts[a]);
+    }
+    for (; b < from.edge.size(); ++b) {
+        out.edge.push_back(from.edge[b]);
+        out.buckets.push_back(from.buckets[b]);
+        out.counts.push_back(from.counts[b]);
+    }
+    into.edge.swap(out.edge);
+    into.buckets.swap(out.buckets);
+    into.counts.swap(out.counts);
+}
+
+// tflint: hot-path
+void
+mergeFirstHits(std::vector<std::pair<uint64_t, FirstHit>> &into,
+               const std::vector<std::pair<uint64_t, FirstHit>> &from)
+{
+    if (from.empty())
+        return;
+    if (into.empty()) {
+        into = from;
+        return;
+    }
+    std::vector<std::pair<uint64_t, FirstHit>> out;
+    out.reserve(into.size() + from.size());
+    size_t a = 0, b = 0;
+    while (a < into.size() && b < from.size()) {
+        if (into[a].first < from[b].first) {
+            out.push_back(into[a++]);
+        } else if (from[b].first < into[a].first) {
+            out.push_back(from[b++]);
+        } else {
+            // Same point first-hit by both sides: the globally
+            // earlier attribution wins (same rule as
+            // FirstHitLedger::merge).
+            out.push_back(firstHitEarlier(from[b].second,
+                                          into[a].second)
+                              ? from[b]
+                              : into[a]);
+            ++a;
+            ++b;
+        }
+    }
+    for (; a < into.size(); ++a)
+        out.push_back(into[a]);
+    for (; b < from.size(); ++b)
+        out.push_back(from[b]);
+    into.swap(out);
+}
+
+} // namespace
+
+// tflint: hot-path
+void
+CoverageDelta::mergeFrom(const CoverageDelta &other)
+{
+    if (mux.empty()) {
+        mux = other.mux;
+    } else if (!other.mux.empty()) {
+        TF_ASSERT(mux.size() == other.mux.size(),
+                  "coverage delta reduction: module count mismatch "
+                  "(%zu vs %zu)",
+                  mux.size(), other.mux.size());
+        for (size_t i = 0; i < mux.size(); ++i)
+            mergeSparseWords(mux[i], other.mux[i]);
+    }
+    mergeSparseWords(csr, other.csr);
+    mergeEdges(edges, other.edges);
+    mergeFirstHits(firstHits, other.firstHits);
+}
+
+} // namespace turbofuzz::coverage

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Compact coverage deltas — the O(new coverage) epoch-barrier unit.
+ *
+ * A full-map fleet merge rescans every bitmap word of every shard at
+ * every barrier, so the barrier costs O(map size x shards) even when
+ * an epoch discovered nothing. The delta path inverts that: each
+ * feedback model tracks which 64-bit words changed since its last
+ * publication (coverage_map.hh, feedback_model.hh) and the shard
+ * hands the orchestrator a CoverageDelta holding exactly those words.
+ * Applying a delta to a compatible model is proven bit-identical to
+ * merging the whole source map (tests/coverage/coverage_delta_test.cc)
+ * because every section carries an idempotent, monotone payload:
+ * bitmap words OR, bucket bits OR, saturating counts max, first-hit
+ * attributions min-wins.
+ *
+ * Deltas also merge with each other (mergeFrom), which is what lets
+ * the fleet reduce shard deltas pairwise on a worker pool: the merge
+ * is a deterministic sorted-run union, so the reduced delta is
+ * byte-identical regardless of worker scheduling, and associativity
+ * of OR/max/min-wins makes any pairing order produce the same final
+ * global state.
+ */
+
+#ifndef TURBOFUZZ_COVERAGE_COVERAGE_DELTA_HH
+#define TURBOFUZZ_COVERAGE_COVERAGE_DELTA_HH
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "coverage/provenance.hh"
+
+namespace turbofuzz::coverage
+{
+
+/**
+ * A sparse run of changed 64-bit bitmap words: strictly ascending
+ * word indices with their full current values. OR-ing the values
+ * into the destination bitmap at the same indices reproduces a full
+ * bitmap merge, because unchanged words merge as no-ops.
+ */
+struct SparseWords
+{
+    std::vector<uint32_t> index;
+    std::vector<uint64_t> value;
+
+    bool empty() const { return index.empty(); }
+
+    void
+    clear()
+    {
+        index.clear();
+        value.clear();
+    }
+};
+
+/**
+ * Changed hit-count edges: ascending edge indices with their current
+ * lit bucket bits (merge: OR) and saturating hit counts (merge: max —
+ * counts are monotone, so the max over shards is the fleet view).
+ */
+struct EdgeDelta
+{
+    std::vector<uint32_t> edge;
+    std::vector<uint8_t> buckets;
+    std::vector<uint32_t> counts;
+
+    bool empty() const { return edge.empty(); }
+
+    void
+    clear()
+    {
+        edge.clear();
+        buckets.clear();
+        counts.clear();
+    }
+};
+
+/**
+ * Everything one shard learned since its previous barrier
+ * publication: per-module mux bitmap words, CSR-transition bitmap
+ * words, hit-count edges and newly attributed first hits
+ * (key-ascending). Sections a campaign's model census does not
+ * include simply stay empty.
+ */
+struct CoverageDelta
+{
+    std::vector<SparseWords> mux; ///< one entry per instrumented module
+    SparseWords csr;
+    EdgeDelta edges;
+    std::vector<std::pair<uint64_t, FirstHit>> firstHits;
+
+    bool empty() const;
+    void clear();
+
+    /**
+     * Fold @p other into this delta — the pairwise reduction step.
+     * Sorted-run unions throughout: bitmap words OR on equal index,
+     * buckets OR + counts max on equal edge, first hits min-wins
+     * under firstHitEarlier() on equal key. Deterministic in the pair
+     * (this, other) alone; associative and commutative in the merged
+     * global state.
+     */
+    void mergeFrom(const CoverageDelta &other);
+};
+
+/** Sorted-run union of two SparseWords (OR on equal index). */
+void mergeSparseWords(SparseWords &into, const SparseWords &from);
+
+/**
+ * Validate a SparseWords run against a bitmap of @p words words:
+ * parallel run lengths and strictly ascending, in-range indices.
+ * @return nullptr when well-formed, else a static reason string.
+ */
+const char *checkSparseWords(const SparseWords &d, size_t words);
+
+} // namespace turbofuzz::coverage
+
+#endif // TURBOFUZZ_COVERAGE_COVERAGE_DELTA_HH

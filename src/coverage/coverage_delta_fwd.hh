@@ -1,0 +1,13 @@
+/** @file Forward declarations for coverage_delta.hh. */
+
+#ifndef TURBOFUZZ_COVERAGE_COVERAGE_DELTA_FWD_HH
+#define TURBOFUZZ_COVERAGE_COVERAGE_DELTA_FWD_HH
+
+namespace turbofuzz::coverage
+{
+struct SparseWords;
+struct EdgeDelta;
+struct CoverageDelta;
+} // namespace turbofuzz::coverage
+
+#endif // TURBOFUZZ_COVERAGE_COVERAGE_DELTA_FWD_HH

@@ -16,11 +16,13 @@ CoverageMap::CoverageMap(const DesignInstrumentation *di) : instr(di)
 {
     TF_ASSERT(instr != nullptr, "CoverageMap requires instrumentation");
     bitmaps.resize(instr->modules().size());
+    dirtyWords.resize(instr->modules().size());
     coveredPerModule.assign(instr->modules().size(), 0);
     for (size_t i = 0; i < bitmaps.size(); ++i) {
         const uint64_t points =
             instr->modules()[i].instrumentedPoints();
         bitmaps[i].assign((points + 63) / 64, 0);
+        dirtyWords[i].assign((bitmaps[i].size() + 63) / 64, 0);
     }
 
     // Role-dependency mask per module: which RegRoles feed its index.
@@ -201,6 +203,7 @@ CoverageMap::markModuleIndex(size_t i, uint64_t idx)
     if (word & bit)
         return 0;
     word |= bit;
+    dirtyWords[i][idx / 64 / 64] |= uint64_t{1} << (idx / 64 % 64);
     ++coveredPerModule[i];
     ++coveredTotal;
     if (prov)
@@ -358,6 +361,8 @@ CoverageMap::reset()
 {
     for (auto &bm : bitmaps)
         std::fill(bm.begin(), bm.end(), 0);
+    for (auto &dw : dirtyWords)
+        std::fill(dw.begin(), dw.end(), 0);
     std::fill(coveredPerModule.begin(), coveredPerModule.end(), 0);
     coveredTotal = 0;
 }
@@ -427,12 +432,82 @@ CoverageMap::merge(const CoverageMap &other, std::string *error)
     for (size_t i = 0; i < bitmaps.size(); ++i) {
         uint64_t covered = 0;
         for (size_t w = 0; w < bitmaps[i].size(); ++w) {
-            bitmaps[i][w] |= other.bitmaps[i][w];
+            const uint64_t merged =
+                bitmaps[i][w] | other.bitmaps[i][w];
+            if (merged != bitmaps[i][w]) {
+                bitmaps[i][w] = merged;
+                dirtyWords[i][w / 64] |= uint64_t{1} << (w % 64);
+            }
             covered += static_cast<uint64_t>(
-                __builtin_popcountll(bitmaps[i][w]));
+                __builtin_popcountll(merged));
         }
         coveredTotal += covered - coveredPerModule[i];
         coveredPerModule[i] = covered;
+    }
+    return true;
+}
+
+// tflint: hot-path
+void
+CoverageMap::publishDelta(std::vector<SparseWords> &out_mux)
+{
+    out_mux.resize(bitmaps.size());
+    for (size_t i = 0; i < bitmaps.size(); ++i) {
+        SparseWords &d = out_mux[i];
+        d.clear();
+        for (size_t dw = 0; dw < dirtyWords[i].size(); ++dw) {
+            uint64_t bits = dirtyWords[i][dw];
+            if (!bits)
+                continue;
+            dirtyWords[i][dw] = 0;
+            while (bits) {
+                const unsigned b = static_cast<unsigned>(
+                    __builtin_ctzll(bits));
+                bits &= bits - 1;
+                const size_t w = dw * 64 + b;
+                d.index.push_back(static_cast<uint32_t>(w));
+                d.value.push_back(bitmaps[i][w]);
+            }
+        }
+    }
+}
+
+// tflint: hot-path
+bool
+CoverageMap::mergeDelta(const std::vector<SparseWords> &mux,
+                        std::string *error)
+{
+    auto fail = [&](const char *msg) {
+        if (error)
+            *error = msg;
+        return false;
+    };
+    if (mux.size() != bitmaps.size())
+        return fail("coverage delta rejected: module count mismatch");
+    for (size_t i = 0; i < mux.size(); ++i) {
+        if (const char *why =
+                checkSparseWords(mux[i], bitmaps[i].size())) {
+            if (error)
+                *error = std::string("coverage delta rejected: ") +
+                         why;
+            return false;
+        }
+    }
+    for (size_t i = 0; i < mux.size(); ++i) {
+        const SparseWords &d = mux[i];
+        for (size_t k = 0; k < d.index.size(); ++k) {
+            const uint32_t w = d.index[k];
+            const uint64_t merged = bitmaps[i][w] | d.value[k];
+            if (merged == bitmaps[i][w])
+                continue;
+            const uint64_t added = static_cast<uint64_t>(
+                __builtin_popcountll(merged) -
+                __builtin_popcountll(bitmaps[i][w]));
+            bitmaps[i][w] = merged;
+            dirtyWords[i][w / 64] |= uint64_t{1} << (w % 64);
+            coveredPerModule[i] += added;
+            coveredTotal += added;
+        }
     }
     return true;
 }
@@ -464,8 +539,16 @@ CoverageMap::loadState(soc::SnapshotReader &in, std::string *error)
             if (in.getU32() != bitmaps[i].size())
                 return fail("coverage bitmap size mismatch");
             uint64_t covered = 0;
-            for (uint64_t &word : bitmaps[i]) {
-                word = in.getU64();
+            std::fill(dirtyWords[i].begin(), dirtyWords[i].end(), 0);
+            for (size_t w = 0; w < bitmaps[i].size(); ++w) {
+                const uint64_t word = in.getU64();
+                bitmaps[i][w] = word;
+                // Conservatively republish every covered word: the
+                // restored map cannot know what its last publication
+                // contained, and over-publication is a no-op under
+                // the OR merge.
+                if (word)
+                    dirtyWords[i][w / 64] |= uint64_t{1} << (w % 64);
                 covered += static_cast<uint64_t>(
                     __builtin_popcountll(word));
             }

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "coverage/coverage_delta.hh"
 #include "coverage/feedback_model.hh"
 #include "coverage/instrumentation.hh"
 
@@ -140,6 +141,27 @@ class CoverageMap : public FeedbackModel
      */
     bool merge(const CoverageMap &other, std::string *error = nullptr);
 
+    /**
+     * Append every bitmap word changed since the previous publish to
+     * @p out_mux (one SparseWords per module, word indices strictly
+     * ascending) and clear the dirty set. Publishing then merging via
+     * mergeDelta() is bit-identical to merging this whole map into
+     * the same destination: unchanged words merge as no-ops, and
+     * dirty tracking over-approximates after loadState() — which is
+     * safe because the payload is idempotent under OR.
+     */
+    void publishDelta(std::vector<SparseWords> &out_mux);
+
+    /**
+     * OR a published delta into this map. Fully validated before any
+     * mutation — module count, parallel run lengths, strictly
+     * ascending in-range word indices; malformed deltas are rejected
+     * with a typed error and the map is left untouched.
+     * @return false with @p error set (when non-null) on rejection.
+     */
+    bool mergeDelta(const std::vector<SparseWords> &mux,
+                    std::string *error = nullptr);
+
     void bindProvenance(FirstHitLedger *ledger) override
     {
         prov = ledger;
@@ -213,6 +235,15 @@ class CoverageMap : public FeedbackModel
 
     const DesignInstrumentation *instr;
     std::vector<std::vector<uint64_t>> bitmaps; ///< 1 bit per point
+
+    /**
+     * Per module: one bit per bitmap word, set whenever that word
+     * changed since the last publishDelta(). Never serialized —
+     * saveState() images are identical with or without pending
+     * deltas; loadState() conservatively marks every nonzero word.
+     */
+    std::vector<std::vector<uint64_t>> dirtyWords;
+
     std::vector<uint64_t> coveredPerModule;
     uint64_t coveredTotal = 0;
     FirstHitLedger *prov = nullptr; ///< null: provenance off

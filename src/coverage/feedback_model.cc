@@ -5,6 +5,7 @@
 #include "checker/diff_checker.hh"
 #include "common/logging.hh"
 #include "core/commit_info.hh"
+#include "coverage/coverage_delta.hh"
 #include "coverage/provenance.hh"
 #include "soc/snapshot.hh"
 
@@ -52,6 +53,30 @@ setError(std::string *error, const char *msg)
     return false;
 }
 
+/** Walk-and-clear a dirty-word set: append (index, word) pairs of
+ *  every dirty word of @p bitmap to @p out in ascending order. */
+// tflint: hot-path
+void
+publishDirtyWords(std::vector<uint64_t> &dirty,
+                  const std::vector<uint64_t> &bitmap,
+                  SparseWords &out)
+{
+    for (size_t dw = 0; dw < dirty.size(); ++dw) {
+        uint64_t bits = dirty[dw];
+        if (!bits)
+            continue;
+        dirty[dw] = 0;
+        while (bits) {
+            const unsigned b =
+                static_cast<unsigned>(__builtin_ctzll(bits));
+            bits &= bits - 1;
+            const size_t w = dw * 64 + b;
+            out.index.push_back(static_cast<uint32_t>(w));
+            out.value.push_back(bitmap[w]);
+        }
+    }
+}
+
 } // namespace
 
 std::string_view
@@ -86,7 +111,8 @@ coverageModelFromString(const std::string &text,
 // --- CsrTransitionModel ----------------------------------------------
 
 CsrTransitionModel::CsrTransitionModel()
-    : bitmap((uint64_t{1} << indexBits) / 64, 0)
+    : bitmap((uint64_t{1} << indexBits) / 64, 0),
+      dirtyWords((bitmap.size() + 63) / 64, 0)
 {
 }
 
@@ -106,6 +132,9 @@ CsrTransitionModel::sweep(rtl::EventDriver & /*drv*/,
                   (uint64_t{fold16(prev)} << 16) ^ fold16(ev->value));
         prev = ev->value;
         const uint64_t gained = markBit(bitmap, key & mask);
+        if (gained)
+            dirtyWords[(key & mask) / 64 / 64] |=
+                uint64_t{1} << ((key & mask) / 64 % 64);
         newly += gained;
         hit += gained;
         if (prov && gained)
@@ -120,6 +149,7 @@ void
 CsrTransitionModel::reset()
 {
     std::fill(bitmap.begin(), bitmap.end(), 0);
+    std::fill(dirtyWords.begin(), dirtyWords.end(), 0);
     lastValue.clear();
     hit = 0;
 }
@@ -141,13 +171,49 @@ CsrTransitionModel::merge(const FeedbackModel &other,
     }
     uint64_t covered = 0;
     for (size_t w = 0; w < bitmap.size(); ++w) {
-        bitmap[w] |= o->bitmap[w];
+        const uint64_t merged = bitmap[w] | o->bitmap[w];
+        if (merged != bitmap[w]) {
+            bitmap[w] = merged;
+            dirtyWords[w / 64] |= uint64_t{1} << (w % 64);
+        }
         covered += static_cast<uint64_t>(
-            __builtin_popcountll(bitmap[w]));
+            __builtin_popcountll(merged));
     }
     hit = covered;
     // lastValue stays local: per-CSR history belongs to this shard's
     // own commit stream, not to the merged global view.
+    return true;
+}
+
+// tflint: hot-path
+void
+CsrTransitionModel::publishDelta(SparseWords &out)
+{
+    out.clear();
+    publishDirtyWords(dirtyWords, bitmap, out);
+}
+
+// tflint: hot-path
+bool
+CsrTransitionModel::mergeDelta(const SparseWords &delta,
+                               std::string *error)
+{
+    if (const char *why = checkSparseWords(delta, bitmap.size())) {
+        if (error)
+            *error = std::string("csr delta rejected: ") + why;
+        return false;
+    }
+    for (size_t k = 0; k < delta.index.size(); ++k) {
+        const uint32_t w = delta.index[k];
+        const uint64_t merged = bitmap[w] | delta.value[k];
+        if (merged == bitmap[w])
+            continue;
+        hit += static_cast<uint64_t>(
+            __builtin_popcountll(merged) -
+            __builtin_popcountll(bitmap[w]));
+        bitmap[w] = merged;
+        dirtyWords[w / 64] |= uint64_t{1} << (w % 64);
+    }
     return true;
 }
 
@@ -173,8 +239,14 @@ CsrTransitionModel::loadState(soc::SnapshotReader &in,
             return setError(error, "truncated csr feedback state");
         hit = in.getU64();
         uint64_t covered = 0;
-        for (uint64_t &word : bitmap) {
-            word = in.getU64();
+        std::fill(dirtyWords.begin(), dirtyWords.end(), 0);
+        for (size_t w = 0; w < bitmap.size(); ++w) {
+            const uint64_t word = in.getU64();
+            bitmap[w] = word;
+            // Republish every covered word after a restore —
+            // idempotent under the OR merge.
+            if (word)
+                dirtyWords[w / 64] |= uint64_t{1} << (w % 64);
             covered += static_cast<uint64_t>(
                 __builtin_popcountll(word));
         }
@@ -202,7 +274,8 @@ CsrTransitionModel::loadState(soc::SnapshotReader &in,
 
 HitCountModel::HitCountModel()
     : buckets(uint64_t{1} << indexBits, 0),
-      counts(uint64_t{1} << indexBits, 0)
+      counts(uint64_t{1} << indexBits, 0),
+      dirtyEdges((buckets.size() + 63) / 64, 0)
 {
 }
 
@@ -236,6 +309,10 @@ HitCountModel::sweep(rtl::EventDriver & /*drv*/,
         // the hash keys carry entropy.
         const uint64_t edge =
             mix64((ci.pc >> 2) ^ mix64(ci.nextPc >> 2)) & mask;
+        // Every touch moves the saturating count, and the fleet view
+        // is the max over shards — so the edge is dirty whether or
+        // not a bucket bit lights.
+        dirtyEdges[edge / 64] |= uint64_t{1} << (edge % 64);
         uint32_t &count = counts[edge];
         if (count != UINT32_MAX)
             ++count;
@@ -259,6 +336,7 @@ HitCountModel::reset()
 {
     std::fill(buckets.begin(), buckets.end(), 0);
     std::fill(counts.begin(), counts.end(), 0);
+    std::fill(dirtyEdges.begin(), dirtyEdges.end(), 0);
     hit = 0;
 }
 
@@ -278,12 +356,71 @@ HitCountModel::merge(const FeedbackModel &other, std::string *error)
     }
     uint64_t covered = 0;
     for (size_t e = 0; e < buckets.size(); ++e) {
-        buckets[e] |= o->buckets[e];
-        counts[e] = std::max(counts[e], o->counts[e]);
-        covered += static_cast<uint64_t>(
-            __builtin_popcount(buckets[e]));
+        const uint8_t nb =
+            static_cast<uint8_t>(buckets[e] | o->buckets[e]);
+        const uint32_t nc = std::max(counts[e], o->counts[e]);
+        if (nb != buckets[e] || nc != counts[e])
+            dirtyEdges[e / 64] |= uint64_t{1} << (e % 64);
+        buckets[e] = nb;
+        counts[e] = nc;
+        covered += static_cast<uint64_t>(__builtin_popcount(nb));
     }
     hit = covered;
+    return true;
+}
+
+// tflint: hot-path
+void
+HitCountModel::publishDelta(EdgeDelta &out)
+{
+    out.clear();
+    for (size_t dw = 0; dw < dirtyEdges.size(); ++dw) {
+        uint64_t bits = dirtyEdges[dw];
+        if (!bits)
+            continue;
+        dirtyEdges[dw] = 0;
+        while (bits) {
+            const unsigned b =
+                static_cast<unsigned>(__builtin_ctzll(bits));
+            bits &= bits - 1;
+            const size_t e = dw * 64 + b;
+            out.edge.push_back(static_cast<uint32_t>(e));
+            out.buckets.push_back(buckets[e]);
+            out.counts.push_back(counts[e]);
+        }
+    }
+}
+
+// tflint: hot-path
+bool
+HitCountModel::mergeDelta(const EdgeDelta &delta, std::string *error)
+{
+    if (delta.edge.size() != delta.buckets.size() ||
+        delta.edge.size() != delta.counts.size()) {
+        return setError(error,
+                        "edge delta rejected: run length mismatch");
+    }
+    for (size_t k = 0; k < delta.edge.size(); ++k) {
+        if (delta.edge[k] >= buckets.size())
+            return setError(error,
+                            "edge delta rejected: edge out of range");
+        if (k > 0 && delta.edge[k] <= delta.edge[k - 1])
+            return setError(error,
+                            "edge delta rejected: edges out of order");
+    }
+    for (size_t k = 0; k < delta.edge.size(); ++k) {
+        const uint32_t e = delta.edge[k];
+        const uint8_t nb =
+            static_cast<uint8_t>(buckets[e] | delta.buckets[k]);
+        const uint32_t nc = std::max(counts[e], delta.counts[k]);
+        if (nb == buckets[e] && nc == counts[e])
+            continue;
+        hit += static_cast<uint64_t>(__builtin_popcount(nb) -
+                                     __builtin_popcount(buckets[e]));
+        buckets[e] = nb;
+        counts[e] = nc;
+        dirtyEdges[e / 64] |= uint64_t{1} << (e % 64);
+    }
     return true;
 }
 
@@ -305,14 +442,24 @@ HitCountModel::loadState(soc::SnapshotReader &in, std::string *error)
         hit = in.getU64();
         in.getBytes(buckets.data(), buckets.size());
         uint64_t covered = 0;
-        for (uint8_t b : buckets)
-            covered += static_cast<uint64_t>(__builtin_popcount(b));
+        std::fill(dirtyEdges.begin(), dirtyEdges.end(), 0);
+        for (size_t e = 0; e < buckets.size(); ++e) {
+            covered += static_cast<uint64_t>(
+                __builtin_popcount(buckets[e]));
+            // Republish every hit edge after a restore — idempotent
+            // under the bucket OR / count max merge.
+            if (buckets[e])
+                dirtyEdges[e / 64] |= uint64_t{1} << (e % 64);
+        }
         if (covered != hit)
             return setError(error,
                             "edge feedback hit count disagrees with "
                             "buckets");
-        for (uint32_t &count : counts)
-            count = in.getU32();
+        for (size_t e = 0; e < counts.size(); ++e) {
+            counts[e] = in.getU32();
+            if (counts[e])
+                dirtyEdges[e / 64] |= uint64_t{1} << (e % 64);
+        }
         return true;
     } catch (const soc::SnapshotFormatError &e) {
         return setError(error, e.what());

@@ -46,6 +46,8 @@
 #include <string_view>
 #include <vector>
 
+#include "coverage/coverage_delta_fwd.hh"
+
 namespace turbofuzz::rtl
 {
 class EventDriver;
@@ -204,6 +206,24 @@ class CsrTransitionModel : public FeedbackModel
     /** Distinct CSRs seen so far (diagnostics). */
     size_t trackedCsrs() const { return lastValue.size(); }
 
+    /**
+     * Append the bitmap words changed since the previous publish to
+     * @p out (strictly ascending indices) and clear the dirty set.
+     * Publish-then-mergeDelta is bit-identical to a full merge()
+     * of this model into the same destination.
+     */
+    void publishDelta(SparseWords &out);
+
+    /**
+     * OR a published delta into this model's bitmap. Validated in
+     * full before any mutation; malformed deltas are rejected with a
+     * typed error and the model is left untouched. The per-CSR
+     * last-value table stays local, exactly as under merge().
+     * @return false with @p error set (when non-null) on rejection.
+     */
+    bool mergeDelta(const SparseWords &delta,
+                    std::string *error = nullptr);
+
     void bindProvenance(FirstHitLedger *ledger) override
     {
         prov = ledger;
@@ -211,6 +231,11 @@ class CsrTransitionModel : public FeedbackModel
 
   private:
     std::vector<uint64_t> bitmap;
+
+    /** One bit per bitmap word: changed since last publishDelta().
+     *  Never serialized; loadState() marks every nonzero word. */
+    std::vector<uint64_t> dirtyWords;
+
     uint64_t hit = 0;
     FirstHitLedger *prov = nullptr; ///< null: provenance off
 
@@ -251,6 +276,24 @@ class HitCountModel : public FeedbackModel
      *  a never-hit edge. */
     static uint8_t bucketBit(uint32_t count);
 
+    /**
+     * Append every edge touched since the previous publish to @p out
+     * (ascending edge indices, with current bucket bits and
+     * saturating count) and clear the dirty set. Counts are
+     * monotone, so publish-then-mergeDelta reproduces the full
+     * merge()'s bucket union and count max bit-identically.
+     */
+    void publishDelta(EdgeDelta &out);
+
+    /**
+     * Merge a published edge delta (buckets OR, counts max).
+     * Validated in full before any mutation; malformed deltas are
+     * rejected with a typed error and the model is left untouched.
+     * @return false with @p error set (when non-null) on rejection.
+     */
+    bool mergeDelta(const EdgeDelta &delta,
+                    std::string *error = nullptr);
+
     void bindProvenance(FirstHitLedger *ledger) override
     {
         prov = ledger;
@@ -259,6 +302,11 @@ class HitCountModel : public FeedbackModel
   private:
     std::vector<uint8_t> buckets; ///< lit bucket bits per edge
     std::vector<uint32_t> counts; ///< saturating hit count per edge
+
+    /** One bit per edge: touched since last publishDelta(). Never
+     *  serialized; loadState() marks every hit edge. */
+    std::vector<uint64_t> dirtyEdges;
+
     uint64_t hit = 0;
     FirstHitLedger *prov = nullptr; ///< null: provenance off
 };

@@ -112,7 +112,36 @@ FirstHitLedger::merge(const FirstHitLedger &other)
     // FirstHitLedger.MergeAssociativeUnderShardReordering).
     for (const auto &[key, hit] : other.map) {
         const auto [it, inserted] = map.emplace(key, hit);
-        if (!inserted && firstHitEarlier(hit, it->second))
+        if (inserted)
+            freshKeys.push_back(key);
+        else if (firstHitEarlier(hit, it->second))
+            it->second = hit;
+    }
+}
+
+void
+FirstHitLedger::drainFreshHits(
+    std::vector<std::pair<uint64_t, FirstHit>> &out)
+{
+    out.clear();
+    std::sort(freshKeys.begin(), freshKeys.end());
+    for (uint64_t key : freshKeys) {
+        const auto it = map.find(key);
+        if (it != map.end())
+            out.emplace_back(key, it->second);
+    }
+    freshKeys.clear();
+}
+
+void
+FirstHitLedger::mergeEntries(
+    const std::vector<std::pair<uint64_t, FirstHit>> &entries)
+{
+    for (const auto &[key, hit] : entries) {
+        const auto [it, inserted] = map.emplace(key, hit);
+        if (inserted)
+            freshKeys.push_back(key);
+        else if (firstHitEarlier(hit, it->second))
             it->second = hit;
     }
 }
@@ -136,6 +165,7 @@ bool
 FirstHitLedger::loadState(soc::SnapshotReader &in, std::string *error)
 try {
     map.clear();
+    freshKeys.clear();
     const uint64_t count = in.getU64();
     // Each entry is 8+8+8+4+8+1+8 = 45 bytes; reject counts the
     // remaining buffer cannot possibly hold.
@@ -150,6 +180,7 @@ try {
         const uint64_t key = in.getU64();
         if (i > 0 && key <= prev_key) {
             map.clear();
+            freshKeys.clear();
             setError(error, "provenance ledger: keys out of order");
             return false;
         }
@@ -163,14 +194,19 @@ try {
         hit.wallNs = in.getU64();
         if (hit.op > static_cast<uint8_t>(ProvenanceOp::Retain)) {
             map.clear();
+            freshKeys.clear();
             setError(error, "provenance ledger: unknown operator");
             return false;
         }
         map.emplace(key, hit);
+        // A restored ledger republishes everything at its next
+        // drain — min-wins makes the replay idempotent globally.
+        freshKeys.push_back(key);
     }
     return true;
 } catch (const soc::SnapshotFormatError &e) {
     map.clear();
+    freshKeys.clear();
     setError(error, e.what());
     return false;
 }

@@ -125,7 +125,8 @@ class FirstHitLedger
     void
     record(uint64_t key)
     {
-        map.emplace(key, ctx);
+        if (map.emplace(key, ctx).second)
+            freshKeys.push_back(key);
     }
 
     size_t size() const { return map.size(); }
@@ -154,7 +155,27 @@ class FirstHitLedger
      */
     void merge(const FirstHitLedger &other);
 
-    void clear() { map.clear(); }
+    /**
+     * Move the entries recorded (or restored) since the previous
+     * drain into @p out, key-ascending — the ledger's delta
+     * publication. Epoch-by-epoch draining followed by
+     * mergeEntries() into a global ledger reproduces the cumulative
+     * merge() exactly: record() keeps the earliest attribution per
+     * key, and min-wins resolves cross-shard collisions.
+     */
+    void
+    drainFreshHits(std::vector<std::pair<uint64_t, FirstHit>> &out);
+
+    /** Min-wins merge of a drained (key-ascending) entry run. */
+    void mergeEntries(
+        const std::vector<std::pair<uint64_t, FirstHit>> &entries);
+
+    void
+    clear()
+    {
+        map.clear();
+        freshKeys.clear();
+    }
 
     void saveState(soc::SnapshotWriter &out) const;
 
@@ -166,6 +187,12 @@ class FirstHitLedger
 
   private:
     std::unordered_map<uint64_t, FirstHit> map;
+
+    /** Keys first recorded since the last drainFreshHits() — the
+     *  pending delta publication. Never serialized; loadState()
+     *  marks every restored key fresh (idempotent at the merge). */
+    std::vector<uint64_t> freshKeys;
+
     FirstHit ctx;
 };
 

@@ -1,0 +1,69 @@
+#include "fleet/async_io.hh"
+
+#include "telemetry/clock.hh"
+
+namespace turbofuzz::fleet
+{
+
+AsyncBarrierIo::~AsyncBarrierIo()
+{
+    {
+        std::unique_lock<std::mutex> lock(mtx);
+        if (!writer.joinable())
+            return;
+        cvIdle.wait(lock,
+                    [this] { return !hasPending && !running; });
+        stopping = true;
+    }
+    cvWork.notify_all();
+    writer.join();
+}
+
+void
+AsyncBarrierIo::submit(std::function<void()> job)
+{
+    std::unique_lock<std::mutex> lock(mtx);
+    if (!writer.joinable())
+        writer = std::thread([this] { writerLoop(); });
+    // Double-buffer back-pressure: wait for the queue slot, not for
+    // the running job — one job may execute while one sits queued.
+    cvIdle.wait(lock, [this] { return !hasPending; });
+    pending = std::move(job);
+    hasPending = true;
+    cvWork.notify_one();
+}
+
+void
+AsyncBarrierIo::drain()
+{
+    std::unique_lock<std::mutex> lock(mtx);
+    if (!writer.joinable())
+        return;
+    cvIdle.wait(lock, [this] { return !hasPending && !running; });
+}
+
+void
+AsyncBarrierIo::writerLoop()
+{
+    std::unique_lock<std::mutex> lock(mtx);
+    for (;;) {
+        cvWork.wait(lock, [this] { return hasPending || stopping; });
+        if (!hasPending && stopping)
+            return;
+        std::function<void()> job = std::move(pending);
+        pending = nullptr;
+        hasPending = false;
+        running = true;
+        cvIdle.notify_all(); // queue slot free: unblock submit()
+        lock.unlock();
+        const uint64_t start = telemetry::nowNs();
+        job();
+        overlapNs.fetch_add(telemetry::nowNs() - start,
+                            std::memory_order_relaxed);
+        lock.lock();
+        running = false;
+        cvIdle.notify_all(); // job done: unblock drain()
+    }
+}
+
+} // namespace turbofuzz::fleet

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Overlapped epoch-barrier I/O (docs/fleet.md "Epoch barrier
+ * anatomy").
+ *
+ * Checkpoint shipping and JSONL stats emission are pure outputs: the
+ * orchestrator snapshots the bytes to write on its own thread (the
+ * deterministic part) and this helper writes them to disk while the
+ * next epoch already runs (the slow part). The queue is deliberately
+ * a double buffer — one job running, at most one queued — so a slow
+ * disk applies back-pressure at the *next* barrier instead of letting
+ * snapshots pile up unboundedly in memory.
+ *
+ * Determinism: jobs carry only already-serialized state, never read
+ * fleet state, and the orchestrator drains the queue before the run
+ * result is assembled — so overlapping changes nothing observable
+ * except host wall-clock.
+ */
+
+#ifndef TURBOFUZZ_FLEET_ASYNC_IO_HH
+#define TURBOFUZZ_FLEET_ASYNC_IO_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+namespace turbofuzz::fleet
+{
+
+/** Single background writer with a capacity-1 (double-buffered)
+ *  queue and a drain barrier. */
+class AsyncBarrierIo
+{
+  public:
+    AsyncBarrierIo() = default;
+    ~AsyncBarrierIo();
+
+    AsyncBarrierIo(const AsyncBarrierIo &) = delete;
+    AsyncBarrierIo &operator=(const AsyncBarrierIo &) = delete;
+
+    /**
+     * Enqueue a write job. The writer thread is started lazily on
+     * first use — a fleet with neither checkpointing nor a stats
+     * file never pays for it. Blocks only while a *previous* job is
+     * still queued (double-buffer back-pressure); the common case
+     * returns immediately.
+     */
+    void submit(std::function<void()> job);
+
+    /** Block until every submitted job has finished. */
+    void drain();
+
+    /**
+     * Host nanoseconds of job execution overlapped with epoch work
+     * since the last call; resets the accumulator. The orchestrator
+     * reads this at each barrier into the fleet.barrier.io_overlap_ns
+     * counter.
+     */
+    uint64_t
+    takeOverlapNs()
+    {
+        return overlapNs.exchange(0, std::memory_order_relaxed);
+    }
+
+  private:
+    void writerLoop();
+
+    std::mutex mtx;
+    std::condition_variable cvWork;  ///< signals writer: job or stop
+    std::condition_variable cvIdle;  ///< signals submit()/drain()
+    std::function<void()> pending;   ///< at most one queued job
+    bool hasPending = false;
+    bool running = false; ///< a job is currently executing
+    bool stopping = false;
+    std::thread writer;
+    std::atomic<uint64_t> overlapNs{0};
+};
+
+} // namespace turbofuzz::fleet
+
+#endif // TURBOFUZZ_FLEET_ASYNC_IO_HH

@@ -85,6 +85,18 @@ struct FleetResult
     double hostItersPerSec = 0.0;
 
     /**
+     * Host nanoseconds spent in each epoch barrier, and the coverage-
+     * merge share of it (delta publish + reduction + apply, or the
+     * serial reference merge). One entry per completed barrier of
+     * THIS run() call — host timing is not checkpointed, so a
+     * resumed run reports only its own barriers. Informational:
+     * excluded from the determinism comparisons, consumed by
+     * bench/fleet_scaling.cc's per-epoch columns.
+     */
+    std::vector<uint64_t> epochBarrierNs;
+    std::vector<uint64_t> epochMergeNs;
+
+    /**
      * End-of-run merged telemetry: every shard registry plus the
      * orchestrator's own, combined with MetricsSnapshot::merge
      * (counters add, gauges add, histograms union). Always populated

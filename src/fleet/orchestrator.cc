@@ -9,6 +9,7 @@
 #include "fleet/worker_pool.hh"
 #include "fuzzer/generator.hh"
 #include "soc/snapshot.hh"
+#include "telemetry/clock.hh"
 
 namespace turbofuzz::fleet
 {
@@ -36,6 +37,11 @@ FleetOrchestrator::FleetOrchestrator(
     mBarrierNs = fleetMetrics.counter("fleet.barrier_ns");
     mCheckpoints = fleetMetrics.counter("fleet.checkpoints");
     mStatsEmits = fleetMetrics.counter("fleet.stats_emits");
+    mMergeNs = fleetMetrics.counter("fleet.barrier.merge_ns");
+    mReduceNs = fleetMetrics.counter("fleet.barrier.reduce_ns");
+    mExchangeNs = fleetMetrics.counter("fleet.barrier.exchange_ns");
+    mIoOverlapNs =
+        fleetMetrics.counter("fleet.barrier.io_overlap_ns");
     triage_.bindTelemetry(&fleetMetrics, trace_.get());
     if (!cfg.statsFile.empty()) {
         std::string stats_error;
@@ -107,8 +113,15 @@ FleetOrchestrator::maybeEmitStats(double sim_time_sec,
         while (nextStatsEmitSec <= sim_time_sec)
             nextStatsEmitSec += cfg.statsEverySec;
     }
-    reporter.emit(sim_time_sec, epoch_idx, mergedMetrics(),
-                  provenanceStatsJson(sim_time_sec));
+    // Render on this thread (deterministic content, reporter-owned
+    // host clock), write on the background thread: the fwrite+fflush
+    // pair is the slow part and nothing downstream reads it back.
+    std::string line =
+        reporter.formatLine(sim_time_sec, epoch_idx, mergedMetrics(),
+                            provenanceStatsJson(sim_time_sec));
+    asyncIo.submit([this, moved = std::move(line)] {
+        reporter.writeLine(moved);
+    });
     mStatsEmits->add(1);
 }
 
@@ -134,64 +147,137 @@ FleetOrchestrator::provenanceStatsJson(double sim_time_sec) const
 void
 FleetOrchestrator::epochBarrier(unsigned epoch_idx,
                                 FleetResult &result,
-                                StatsSnapshot &prev_totals)
+                                StatsSnapshot &prev_totals,
+                                WorkerPool &pool)
 {
     telemetry::ScopedStage barrier_stage(trace_.get(), mBarrierNs,
                                          "fleet.barrier");
+    const uint64_t barrier_start = telemetry::nowNs();
     mEpochs->add(1);
+    // I/O the background writer overlapped with the epoch that just
+    // ran (checkpoint shipping, JSONL lines) — harvested here so the
+    // counter stays on the orchestrator thread.
+    mIoOverlapNs->add(asyncIo.takeOverlapNs());
     const unsigned n = shardCount();
     const double deadline = cfg.epochDeadline(epoch_idx);
 
-    // 1. Global coverage merge (fixed shard order), one merge per
-    //    feedback model. A rejected merge (incompatible shapes —
-    //    impossible for a fleet built by this orchestrator, but the
-    //    maps now refuse rather than silently corrupt) drops that
-    //    shard's contribution with a warning instead of poisoning
-    //    the global view.
-    for (auto &s : shards) {
+    // 1. Global coverage merge. Two byte-identical implementations
+    //    (tests/fleet/ FleetDelta):
+    //
+    //    Delta path (default): every shard publishes the words its
+    //    models dirtied since the previous barrier — O(new coverage),
+    //    in parallel on the pool since publication touches only
+    //    shard-local state — then the per-shard deltas are combined
+    //    in a binary reduction tree whose pairing is a pure function
+    //    of shard indices (slot i+stride merges into slot i; pairs
+    //    are disjoint within a round, rounds separated by pool
+    //    barriers), and the single surviving delta is applied to the
+    //    global models on this thread. Word-OR / bucket-OR /
+    //    count-max / first-hit-min are all associative and
+    //    commutative, so the tree shape changes nothing, and worker
+    //    scheduling cannot reorder observable writes.
+    //
+    //    Serial path (--delta-barrier=false): the historical full-map
+    //    merge in fixed shard order, kept as the reference the delta
+    //    path is proven against. A rejected merge or delta
+    //    (incompatible shapes — impossible for a fleet built by this
+    //    orchestrator, but the maps refuse rather than silently
+    //    corrupt) drops that contribution with a warning instead of
+    //    poisoning the global view.
+    const uint64_t merge_start = telemetry::nowNs();
+    if (cfg.deltaBarrier) {
+        epochDeltas.resize(n);
+        for (unsigned i = 0; i < n; ++i) {
+            FleetShard *shard_ptr = shards[i].get();
+            coverage::CoverageDelta *slot = &epochDeltas[i];
+            pool.submit(
+                [shard_ptr, slot] { shard_ptr->publishDelta(*slot); });
+        }
+        pool.wait();
+
+        const uint64_t reduce_start = telemetry::nowNs();
+        for (unsigned stride = 1; stride < n; stride <<= 1) {
+            for (unsigned i = 0; i + stride < n; i += 2 * stride) {
+                coverage::CoverageDelta *into = &epochDeltas[i];
+                coverage::CoverageDelta *from =
+                    &epochDeltas[i + stride];
+                pool.submit(
+                    [into, from] { into->mergeFrom(*from); });
+            }
+            pool.wait();
+        }
+        mReduceNs->add(telemetry::nowNs() - reduce_start);
+
         std::string merge_error;
-        if (!globalMap->merge(s->campaign().coverageMap(),
-                              &merge_error)) {
-            warn("fleet coverage merge (shard %u): %s", s->index(),
-                 merge_error.c_str());
-        }
+        if (!globalMap->mergeDelta(epochDeltas[0].mux,
+                                   &merge_error))
+            warn("fleet coverage delta: %s", merge_error.c_str());
         if (globalCsr &&
-            !globalCsr->merge(*s->campaign().csrModel(),
-                              &merge_error)) {
-            warn("fleet csr merge (shard %u): %s", s->index(),
-                 merge_error.c_str());
+            !globalCsr->mergeDelta(epochDeltas[0].csr, &merge_error))
+            warn("fleet csr delta: %s", merge_error.c_str());
+        if (globalHit && !globalHit->mergeDelta(epochDeltas[0].edges,
+                                                &merge_error))
+            warn("fleet edge delta: %s", merge_error.c_str());
+        // First-hit attributions ride the same reduction (min-wins
+        // inside mergeFrom); the reduced batch lands here.
+        if (cfg.provenance)
+            globalLedger.mergeEntries(epochDeltas[0].firstHits);
+    } else {
+        for (auto &s : shards) {
+            std::string merge_error;
+            if (!globalMap->merge(s->campaign().coverageMap(),
+                                  &merge_error)) {
+                warn("fleet coverage merge (shard %u): %s",
+                     s->index(), merge_error.c_str());
+            }
+            if (globalCsr &&
+                !globalCsr->merge(*s->campaign().csrModel(),
+                                  &merge_error)) {
+                warn("fleet csr merge (shard %u): %s", s->index(),
+                     merge_error.c_str());
+            }
+            if (globalHit &&
+                !globalHit->merge(*s->campaign().hitCountModel(),
+                                  &merge_error)) {
+                warn("fleet edge merge (shard %u): %s", s->index(),
+                     merge_error.c_str());
+            }
         }
-        if (globalHit &&
-            !globalHit->merge(*s->campaign().hitCountModel(),
-                              &merge_error)) {
-            warn("fleet edge merge (shard %u): %s", s->index(),
-                 merge_error.c_str());
+
+        // Provenance ledger merge, same fixed shard order. Min-wins
+        // keeps the globally earliest attribution for every point;
+        // re-merging cumulative shard ledgers is idempotent.
+        if (cfg.provenance) {
+            for (const auto &s : shards)
+                globalLedger.merge(s->campaign().provenanceLedger());
         }
     }
+    const uint64_t merge_ns = telemetry::nowNs() - merge_start;
+    mMergeNs->add(merge_ns);
+    result.epochMergeNs.push_back(merge_ns);
 
-    // 1b. Provenance ledger merge, same fixed shard order. Min-wins
-    //     keeps the globally earliest attribution for every point;
-    //     re-merging cumulative shard ledgers is idempotent.
-    if (cfg.provenance) {
-        for (const auto &s : shards)
-            globalLedger.merge(s->campaign().provenanceLedger());
-    }
-
-    // 2. Cross-shard seed exchange. A 1-shard fleet has no peers and
+    // 2. Cross-shard seed exchange: each exporter publishes its top
+    //    seeds once as shared immutable blocks and every importer
+    //    reads the same blocks — no per-importer copies; a seed body
+    //    is copied only when admission actually re-identifies it into
+    //    the importing corpus. A 1-shard fleet has no peers and
     //    therefore no round trip at all — this keeps it bit-identical
     //    to a standalone campaign.
+    const uint64_t exchange_start = telemetry::nowNs();
     if (n >= 2) {
         if (sync.topology() != ExchangeTopology::None &&
             sync.topK() > 0) {
-            std::vector<std::vector<fuzzer::Seed>> exported(n);
-            for (unsigned i = 0; i < n; ++i)
-                exported[i] = shards[i]->exportSeeds(sync.topK());
+            std::vector<std::vector<fuzzer::SeedShare>> exported(n);
+            for (unsigned i = 0; i < n; ++i) {
+                exported[i] =
+                    shards[i]->exportSeedsShared(sync.topK());
+            }
             for (unsigned i = 0; i < n; ++i) {
                 for (unsigned src :
                      sync.importSources(i, n, epoch_idx)) {
                     result.seedsExchanged += exported[src].size();
                     result.seedsAdmitted +=
-                        shards[i]->importSeeds(exported[src]);
+                        shards[i]->importSeedsShared(exported[src]);
                 }
             }
         }
@@ -200,6 +286,7 @@ FleetOrchestrator::epochBarrier(unsigned epoch_idx,
         for (auto &s : shards)
             s->chargeSync(sync.syncCostSec());
     }
+    mExchangeNs->add(telemetry::nowNs() - exchange_start);
 
     // 3. Mismatch harvest: each shard's first mismatch, once.
     for (unsigned i = 0; i < n; ++i) {
@@ -263,6 +350,9 @@ FleetOrchestrator::epochBarrier(unsigned epoch_idx,
 
     // 5. Periodic JSONL stats (merged fleet metrics at this barrier).
     maybeEmitStats(deadline, epoch_idx);
+
+    result.epochBarrierNs.push_back(telemetry::nowNs() -
+                                    barrier_start);
 }
 
 FleetResult
@@ -297,7 +387,7 @@ FleetOrchestrator::run()
             }
             pool.wait();
         }
-        epochBarrier(e, result, prevTotals);
+        epochBarrier(e, result, prevTotals, pool);
         epochsDone = e + 1;
 
         if (cfg.checkpointEveryEpochs > 0 &&
@@ -305,14 +395,29 @@ FleetOrchestrator::run()
             epochsDone < epochs) {
             // Checkpoint failures (unsupported generator, disk full,
             // unwritable path) must never kill the campaign whose
-            // progress the checkpoint exists to protect.
+            // progress the checkpoint exists to protect. The state
+            // capture runs here (it must see the barrier-quiesced
+            // fleet); only the disk write is shipped to the
+            // background writer, overlapped with the next epoch.
+            // mCheckpoints counts submissions so its value stays a
+            // pure function of the epoch schedule.
             std::string error;
-            const auto snap = makeCheckpoint(&error);
-            if (!snap ||
-                !snap->trySaveFile(cfg.checkpointPath, &error))
+            auto snap = makeCheckpoint(&error);
+            if (!snap) {
                 warn("fleet checkpoint skipped: %s", error.c_str());
-            else
+            } else {
+                auto shared = std::make_shared<soc::Snapshot>(
+                    std::move(*snap));
+                const std::string path = cfg.checkpointPath;
+                asyncIo.submit([shared, path] {
+                    std::string io_error;
+                    if (!shared->trySaveFile(path, &io_error)) {
+                        warn("fleet checkpoint skipped: %s",
+                             io_error.c_str());
+                    }
+                });
                 mCheckpoints->add(1);
+            }
         }
         if (cfg.haltAfterEpochs > 0 &&
             epochsDone >= cfg.haltAfterEpochs)
@@ -340,9 +445,17 @@ FleetOrchestrator::run()
     result.hostCommitsPerSec = meter.commitsPerSec();
     result.hostItersPerSec = meter.itersPerSec();
 
-    // End-of-run telemetry: the merged metrics view rides on the
-    // result; the trace document (if any) is flushed to disk here so
-    // triage spans from minimizeAll() are included.
+    // End-of-run telemetry. The background writer is drained first:
+    // a pending checkpoint must be on disk before run() returns (the
+    // resume tests read it immediately), a pending stats line must be
+    // written before the reporter closes, and the final overlap
+    // reading must land in the counter before the metrics merge.
+    asyncIo.drain();
+    mIoOverlapNs->add(asyncIo.takeOverlapNs());
+
+    // The merged metrics view rides on the result; the trace document
+    // (if any) is flushed to disk here so triage spans from
+    // minimizeAll() are included.
     result.metrics = mergedMetrics();
     reporter.close();
     if (trace_ && !cfg.traceOut.empty()) {
@@ -387,7 +500,15 @@ namespace
 // v4: adds the fleet.provenance section (census flag + the global
 // first-hit ledger when enabled) and rides on campaign state v4
 // (per-shard ledger/forensics trailer) inside the shard sections.
-constexpr uint32_t fleetCheckpointVersion = 4;
+// v5: the orchestrator registry gains the four fleet.barrier.*
+// phase counters, changing the fleet.telemetry instrument census
+// (MetricRegistry::loadState rejects a census mismatch, so v4 images
+// cannot round-trip). Shard model dirty-word state is deliberately
+// NOT serialized: loadState conservatively re-marks everything
+// nonzero dirty, and the one-time over-publication that causes is a
+// no-op under the OR/max/min-wins merges — the resume-equals-
+// uninterrupted contract holds on the delta path.
+constexpr uint32_t fleetCheckpointVersion = 5;
 
 void
 putStats(soc::SnapshotWriter &w, const StatsSnapshot &s)

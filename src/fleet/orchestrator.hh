@@ -33,6 +33,7 @@
 #include "common/fleet_config.hh"
 #include "coverage/coverage_map.hh"
 #include "coverage/provenance.hh"
+#include "fleet/async_io.hh"
 #include "fleet/fleet_stats.hh"
 #include "fleet/shard.hh"
 #include "fleet/sync_policy.hh"
@@ -44,6 +45,8 @@
 
 namespace turbofuzz::fleet
 {
+
+class WorkerPool;
 
 /** Owns and synchronizes a fleet of campaign shards. */
 class FleetOrchestrator
@@ -168,9 +171,11 @@ class FleetOrchestrator
     }
 
   private:
-    /** Barrier-time work after epoch @p epoch_idx; updates result. */
+    /** Barrier-time work after epoch @p epoch_idx; updates result.
+     *  @p pool runs the delta publications and the merge reduction
+     *  tree (docs/fleet.md "Epoch barrier anatomy"). */
     void epochBarrier(unsigned epoch_idx, FleetResult &result,
-                      StatsSnapshot &prev_totals);
+                      StatsSnapshot &prev_totals, WorkerPool &pool);
 
     FleetConfig cfg;
     SyncPolicy sync;
@@ -191,6 +196,22 @@ class FleetOrchestrator
     ConcurrentStats liveStats;
     std::vector<bool> mismatchHarvested;
     triage::TriageQueue triage_;
+
+    /**
+     * Per-shard delta slots for the barrier's publish/reduce phases,
+     * held as a member so the index/value vectors' capacity survives
+     * across epochs (steady-state barriers allocate nothing for
+     * deltas).
+     */
+    std::vector<coverage::CoverageDelta> epochDeltas;
+
+    /**
+     * Background writer for checkpoint shipping and JSONL stats
+     * (docs/fleet.md "Epoch barrier anatomy"): bytes are snapshotted
+     * on the orchestrator thread, written while the next epoch runs.
+     * Drained before run() returns, so nothing observable changes.
+     */
+    AsyncBarrierIo asyncIo;
 
     /**
      * Cross-epoch accumulators, held as members (rather than run()
@@ -216,6 +237,14 @@ class FleetOrchestrator
     telemetry::Counter *mBarrierNs = nullptr;
     telemetry::Counter *mCheckpoints = nullptr;
     telemetry::Counter *mStatsEmits = nullptr;
+
+    /** Barrier phase breakdown (docs/fleet.md): coverage merge
+     *  total, reduction-tree share of it, seed exchange, and host
+     *  nanoseconds of I/O overlapped with epoch execution. */
+    telemetry::Counter *mMergeNs = nullptr;
+    telemetry::Counter *mReduceNs = nullptr;
+    telemetry::Counter *mExchangeNs = nullptr;
+    telemetry::Counter *mIoOverlapNs = nullptr;
     telemetry::JsonlReporter reporter;
     double nextStatsEmitSec = 0.0;
 

@@ -49,6 +49,25 @@ FleetShard::importSeeds(std::vector<fuzzer::Seed> seeds)
     return camp->injectSeeds(std::move(seeds));
 }
 
+std::vector<fuzzer::SeedShare>
+FleetShard::exportSeedsShared(size_t k)
+{
+    return camp->generator().exportTopSharedSeeds(k);
+}
+
+size_t
+FleetShard::importSeedsShared(
+    const std::vector<fuzzer::SeedShare> &shares)
+{
+    return camp->injectSharedSeeds(shares);
+}
+
+void
+FleetShard::publishDelta(coverage::CoverageDelta &out)
+{
+    camp->publishCoverageDelta(out);
+}
+
 void
 FleetShard::chargeSync(double cost_sec)
 {

@@ -53,6 +53,23 @@ class FleetShard
     /** Barrier-time: import peer seeds; returns admitted count. */
     size_t importSeeds(std::vector<fuzzer::Seed> seeds);
 
+    /** Barrier-time: publish the corpus's top @p k seeds as shared
+     *  immutable blocks (zero-copy exchange). */
+    std::vector<fuzzer::SeedShare> exportSeedsShared(size_t k);
+
+    /** Barrier-time: import published peer seed blocks; returns
+     *  admitted count (same dedup/admission as importSeeds). */
+    size_t
+    importSeedsShared(const std::vector<fuzzer::SeedShare> &shares);
+
+    /**
+     * Publish everything this shard's models learned since the
+     * previous publication. Shard-local mutation only, so the
+     * orchestrator may run publications for distinct shards
+     * concurrently on the worker pool.
+     */
+    void publishDelta(coverage::CoverageDelta &out);
+
     /** Barrier-time: charge the host round-trip cost. */
     void chargeSync(double cost_sec);
 

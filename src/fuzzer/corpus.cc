@@ -189,6 +189,78 @@ Corpus::exportTop(size_t k) const
     return out;
 }
 
+std::vector<SeedShare>
+Corpus::exportTopShared(size_t k)
+{
+    std::vector<const Seed *> ranked;
+    ranked.reserve(seeds.size());
+    for (const Seed &s : seeds)
+        ranked.push_back(&s);
+    const size_t n = std::min(k, ranked.size());
+    // Same deterministic total order as exportTop().
+    const auto better = [](const Seed *a, const Seed *b) {
+        if (a->coverageIncrement != b->coverageIncrement)
+            return a->coverageIncrement > b->coverageIncrement;
+        return a->insertedAt < b->insertedAt;
+    };
+    std::partial_sort(ranked.begin(),
+                      ranked.begin() + static_cast<std::ptrdiff_t>(n),
+                      ranked.end(), better);
+    // Exchange-relevant metadata: everything an importer's admission
+    // or genealogy keeps. id/insertedAt/parentId are re-assigned on
+    // import and deliberately absent.
+    const auto sameExported = [](const Seed &a, const Seed &b) {
+        return a.coverageIncrement == b.coverageIncrement &&
+               a.originOp == b.originOp &&
+               a.lineageDepth == b.lineageDepth &&
+               a.energyAtCreation == b.energyAtCreation;
+    };
+    std::vector<SeedShare> out;
+    out.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+        const Seed &s = *ranked[i];
+        const uint64_t hash = s.contentHash();
+        auto [it, inserted] = publishCache.try_emplace(hash);
+        if (inserted || !sameExported(*it->second, s))
+            it->second = std::make_shared<const Seed>(s);
+        out.push_back({it->second, hash});
+    }
+    return out;
+}
+
+size_t
+Corpus::importShared(const std::vector<SeedShare> &shares,
+                     uint64_t &next_seed_id)
+{
+    // Identical dedup semantics to importSeeds(); the only difference
+    // is that the hash was computed once at publish time and a seed
+    // is copied out of its shared block only when it survives dedup.
+    std::unordered_set<uint64_t> resident;
+    resident.reserve(seeds.size() + shares.size());
+    for (const Seed &s : seeds)
+        resident.insert(s.contentHash());
+
+    size_t admitted = 0;
+    for (const SeedShare &share : shares) {
+        if (!resident.insert(share.contentHash).second) {
+            ++dupImportCount;
+            if (tel.importsDuplicate)
+                tel.importsDuplicate->add(1);
+            continue;
+        }
+        Seed s = *share.seed;
+        s.id = next_seed_id++;
+        // Imports become lineage roots, exactly as in importSeeds().
+        s.parentId = 0;
+        const uint64_t increment = s.coverageIncrement;
+        if (offer(std::move(s), increment))
+            ++admitted;
+    }
+    if (tel.importsAdmitted)
+        tel.importsAdmitted->add(admitted);
+    return admitted;
+}
+
 size_t
 Corpus::importSeeds(std::vector<Seed> imported, uint64_t &next_seed_id)
 {

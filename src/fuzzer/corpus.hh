@@ -125,6 +125,30 @@ class Corpus
     size_t importSeeds(std::vector<Seed> imported,
                        uint64_t &next_seed_id);
 
+    /**
+     * Zero-copy variant of exportTop(): the same deterministic top-K
+     * selection, but each exported seed is published as a shared
+     * immutable block (SeedShare). Publications are cached by content
+     * hash, so a seed that stays in the top-K across epochs is copied
+     * once, not once per barrier; a cached block is re-published when
+     * the resident's exchange-relevant metadata (recorded increment,
+     * genealogy) moved since. Non-const only for the cache — the
+     * resident seeds are untouched.
+     */
+    std::vector<SeedShare> exportTopShared(size_t k);
+
+    /**
+     * Zero-copy variant of importSeeds(): identical dedup (against
+     * residents and within the batch, by the precomputed content
+     * hash), identical re-identification from @p next_seed_id and
+     * identical admission control — but only seeds that survive
+     * dedup are copied out of the shared block.
+     *
+     * @return number of seeds admitted.
+     */
+    size_t importShared(const std::vector<SeedShare> &shares,
+                        uint64_t &next_seed_id);
+
     /** Imports rejected as duplicates of resident content (stats). */
     uint64_t duplicateImports() const { return dupImportCount; }
 
@@ -169,6 +193,15 @@ class Corpus
      * linear scan per feedback event.
      */
     std::unordered_map<uint64_t, size_t> idIndex;
+
+    /**
+     * Content hash -> published immutable block (exportTopShared).
+     * Purely an allocation cache: never checkpointed, never read by
+     * scheduling, and bounded by the distinct contents this corpus
+     * ever exported (top-K sets are stable epoch over epoch).
+     */
+    std::unordered_map<uint64_t, std::shared_ptr<const Seed>>
+        publishCache;
 
     uint64_t nextInsertion = 0;
     uint64_t evictCount = 0;

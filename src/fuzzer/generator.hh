@@ -75,6 +75,29 @@ class StimulusGenerator
     }
 
     /**
+     * Zero-copy fleet seed exchange (seed.hh SeedShare): accept
+     * shared immutable seed blocks published by a peer shard.
+     * Semantics are identical to importSeeds() — same dedup, same
+     * re-identification, same admission — minus the per-seed copies.
+     * @return number of seeds admitted.
+     */
+    virtual size_t
+    importSharedSeeds(const std::vector<SeedShare> & /*shares*/)
+    {
+        return 0;
+    }
+
+    /**
+     * Zero-copy fleet seed exchange: publish up to @p k top seeds as
+     * shared immutable blocks. Non-const because publication caches
+     * the blocks; observable corpus state is untouched.
+     */
+    virtual std::vector<SeedShare> exportTopSharedSeeds(size_t /*k*/)
+    {
+        return {};
+    }
+
+    /**
      * Triage support: the environment descriptor that allows an
      * archived IterationInfo to be re-materialized and replayed
      * standalone. Generators whose iterations cannot be rebuilt
@@ -159,6 +182,18 @@ class TurboFuzzGenerator : public StimulusGenerator
     exportTopSeeds(size_t k) const override
     {
         return fuzzer.exportTopSeeds(k);
+    }
+
+    size_t
+    importSharedSeeds(const std::vector<SeedShare> &shares) override
+    {
+        return fuzzer.importSharedSeeds(shares);
+    }
+
+    std::vector<SeedShare>
+    exportTopSharedSeeds(size_t k) override
+    {
+        return fuzzer.exportTopSharedSeeds(k);
     }
 
     std::optional<ReplayEnv>

@@ -17,6 +17,7 @@
 #define TURBOFUZZ_FUZZER_SEED_HH
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <stdexcept>
 #include <string>
@@ -154,6 +155,22 @@ struct Seed
     static std::optional<Seed>
     tryDeserialize(const std::vector<uint8_t> &bytes,
                    std::string *error = nullptr);
+};
+
+/**
+ * A published seed for zero-copy fleet exchange: an immutable
+ * ref-counted snapshot of the exported seed, plus its content hash
+ * precomputed at publish time. Cross-shard exchange passes these by
+ * pointer — no per-epoch serialize/deserialize, no block copies for
+ * importers that dedup the content away. The referenced Seed still
+ * carries the exporter's id/insertedAt; importers re-identify a
+ * private copy on admission (Corpus::importShared), so sharing never
+ * leaks one shard's id space into another.
+ */
+struct SeedShare
+{
+    std::shared_ptr<const Seed> seed;
+    uint64_t contentHash = 0;
 };
 
 /** Append the block array in the Seed wire format. */

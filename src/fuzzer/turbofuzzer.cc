@@ -409,6 +409,18 @@ TurboFuzzer::exportTopSeeds(size_t k) const
     return seedCorpus.exportTop(k);
 }
 
+size_t
+TurboFuzzer::importSharedSeeds(const std::vector<SeedShare> &shares)
+{
+    return seedCorpus.importShared(shares, nextSeedId);
+}
+
+std::vector<SeedShare>
+TurboFuzzer::exportTopSharedSeeds(size_t k)
+{
+    return seedCorpus.exportTopShared(k);
+}
+
 void
 TurboFuzzer::saveState(soc::SnapshotWriter &out) const
 {

@@ -186,6 +186,15 @@ class TurboFuzzer
     /** Export the corpus's top @p k seeds for cross-shard exchange. */
     std::vector<Seed> exportTopSeeds(size_t k) const;
 
+    /** Zero-copy import of published peer-shard seed blocks; same
+     *  dedup and admission as importSeeds().
+     *  @return number of seeds admitted. */
+    size_t importSharedSeeds(const std::vector<SeedShare> &shares);
+
+    /** Publish the corpus's top @p k seeds as shared immutable
+     *  blocks (zero-copy cross-shard exchange). */
+    std::vector<SeedShare> exportTopSharedSeeds(size_t k);
+
     /** Forward the campaign's metric registry to the corpus. */
     void
     bindTelemetry(telemetry::MetricRegistry *reg)

@@ -408,6 +408,27 @@ Campaign::injectSeeds(std::vector<fuzzer::Seed> seeds)
     return gen->importSeeds(std::move(seeds));
 }
 
+size_t
+Campaign::injectSharedSeeds(
+    const std::vector<fuzzer::SeedShare> &shares)
+{
+    return gen->importSharedSeeds(shares);
+}
+
+void
+Campaign::publishCoverageDelta(coverage::CoverageDelta &out)
+{
+    out.clear();
+    covMap->publishDelta(out.mux);
+    if (csrModel_)
+        csrModel_->publishDelta(out.csr);
+    if (hitModel_)
+        hitModel_->publishDelta(out.edges);
+    // Empty unless provenance is on — the ledger only fills when
+    // bound into the models.
+    ledger_.drainFreshHits(out.firstHits);
+}
+
 void
 Campaign::captureReproducer(const checker::Mismatch &mm,
                             const fuzzer::IterationInfo &info,

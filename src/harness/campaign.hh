@@ -237,6 +237,24 @@ class Campaign
      */
     size_t injectSeeds(std::vector<fuzzer::Seed> seeds);
 
+    /**
+     * Zero-copy variant of injectSeeds(): accept shared immutable
+     * seed blocks published by a peer shard (fuzzer::SeedShare).
+     * Same dedup and admission; safe between iterations only.
+     * @return number of seeds admitted.
+     */
+    size_t
+    injectSharedSeeds(const std::vector<fuzzer::SeedShare> &shares);
+
+    /**
+     * Publish everything the campaign's feedback models (and, when
+     * provenance is on, its first-hit ledger) learned since the
+     * previous publication into @p out — the shard side of the
+     * fleet's O(new coverage) epoch barrier. Clears @p out first.
+     * Safe between iterations only.
+     */
+    void publishCoverageDelta(coverage::CoverageDelta &out);
+
     // --- observers ---------------------------------------------------
     const coverage::CoverageMap &coverageMap() const { return *covMap; }
 

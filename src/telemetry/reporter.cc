@@ -17,6 +17,37 @@ JsonlReporter::open(const std::string &path, std::string *error)
     return true;
 }
 
+std::string
+JsonlReporter::formatLine(double sim_time_sec, uint64_t epoch,
+                          const MetricsSnapshot &snapshot,
+                          const std::string &provenance_json)
+{
+    char head[160];
+    std::snprintf(head, sizeof(head),
+                  "{\"schema\":\"turbofuzz.metrics.v1\","
+                  "\"t_sim\":%.6f,\"t_host\":%.6f,\"epoch\":%llu,"
+                  "\"metrics\":",
+                  sim_time_sec, clock.elapsedSec(),
+                  static_cast<unsigned long long>(epoch));
+    std::string line = head;
+    line += snapshot.toJson();
+    if (!provenance_json.empty()) {
+        line += ",\"provenance\":";
+        line += provenance_json;
+    }
+    line += "}\n";
+    return line;
+}
+
+void
+JsonlReporter::writeLine(const std::string &line)
+{
+    if (!file)
+        return;
+    std::fwrite(line.data(), 1, line.size(), file);
+    std::fflush(file);
+}
+
 void
 JsonlReporter::emit(double sim_time_sec, uint64_t epoch,
                     const MetricsSnapshot &snapshot,
@@ -24,18 +55,8 @@ JsonlReporter::emit(double sim_time_sec, uint64_t epoch,
 {
     if (!file)
         return;
-    std::fprintf(file,
-                 "{\"schema\":\"turbofuzz.metrics.v1\","
-                 "\"t_sim\":%.6f,\"t_host\":%.6f,\"epoch\":%llu,"
-                 "\"metrics\":%s",
-                 sim_time_sec, clock.elapsedSec(),
-                 static_cast<unsigned long long>(epoch),
-                 snapshot.toJson().c_str());
-    if (!provenance_json.empty())
-        std::fprintf(file, ",\"provenance\":%s",
-                     provenance_json.c_str());
-    std::fprintf(file, "}\n");
-    std::fflush(file);
+    writeLine(formatLine(sim_time_sec, epoch, snapshot,
+                         provenance_json));
 }
 
 void

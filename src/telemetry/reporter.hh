@@ -55,6 +55,22 @@ class JsonlReporter
               const MetricsSnapshot &snapshot,
               const std::string &provenance_json = std::string());
 
+    /**
+     * Render the line emit() would write, without writing it. Reads
+     * the reporter's host clock, so call it on the owning thread;
+     * the returned string is self-contained and may be handed to
+     * writeLine() from a background writer (the fleet's overlapped
+     * barrier I/O path).
+     */
+    std::string
+    formatLine(double sim_time_sec, uint64_t epoch,
+               const MetricsSnapshot &snapshot,
+               const std::string &provenance_json = std::string());
+
+    /** Append one pre-rendered line and flush. Thread-safe against
+     *  nothing — callers serialize (the fleet's single writer). */
+    void writeLine(const std::string &line);
+
     void close();
 
   private:

@@ -1,0 +1,427 @@
+/**
+ * @file
+ * Delta-publication equivalence tests (docs/fleet.md "Epoch barrier
+ * anatomy"): for every feedback model, publishing dirty-word deltas
+ * epoch by epoch and applying them to a global view must reproduce
+ * the full-map merge byte-for-byte, across randomized hit patterns,
+ * repeated epochs and reduction-tree shapes. Malformed deltas must be
+ * rejected with a typed error and zero mutation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hh"
+#include "coverage/coverage_delta.hh"
+#include "coverage/coverage_map.hh"
+#include "coverage/feedback_model.hh"
+#include "coverage/provenance.hh"
+#include "rtl/driver.hh"
+#include "soc/snapshot.hh"
+
+namespace turbofuzz::coverage
+{
+namespace
+{
+
+std::unique_ptr<rtl::Module>
+twoRegModule()
+{
+    auto m = std::make_unique<rtl::Module>("m");
+    const uint32_t a =
+        m->addRegister("a", 4, rtl::RegRole::Datapath);
+    const uint32_t b =
+        m->addRegister("b", 4, rtl::RegRole::Datapath);
+    const uint32_t wa = m->addWire("wa", {a});
+    const uint32_t wb = m->addWire("wb", {b});
+    m->addMux("ma", wa);
+    m->addMux("mb", wb);
+    return m;
+}
+
+struct DriverFixture
+{
+    DriverFixture() : mod("m"), drv(&mod) {}
+    rtl::Module mod;
+    rtl::EventDriver drv;
+};
+
+core::CommitInfo
+csrWrite(uint16_t addr, uint64_t value)
+{
+    core::CommitInfo ci;
+    ci.csrWritten = true;
+    ci.csrAddr = addr;
+    ci.csrNewValue = value;
+    return ci;
+}
+
+core::CommitInfo
+edgeCommit(uint64_t pc, uint64_t next_pc)
+{
+    core::CommitInfo ci;
+    ci.pc = pc;
+    ci.nextPc = next_pc;
+    return ci;
+}
+
+template <typename T>
+std::vector<uint8_t>
+stateBytes(const T &model)
+{
+    soc::SnapshotWriter w;
+    model.saveState(w);
+    return w.takeBuffer();
+}
+
+TEST(CoverageDelta, MapDeltaMatchesFullMergeAcrossEpochs)
+{
+    auto m = twoRegModule();
+    DesignInstrumentation di(m.get(), Scheme::Optimized, 13, 1);
+    CoverageMap shard_a(&di), shard_b(&di);
+    CoverageMap via_delta(&di), via_full(&di);
+    Rng rng(0xdeadbeef);
+
+    std::vector<SparseWords> delta_a, delta_b;
+    for (unsigned epoch = 0; epoch < 8; ++epoch) {
+        // Randomized hit pattern; later epochs mostly re-hit old
+        // state, so deltas shrink toward empty — the O(new coverage)
+        // regime the barrier optimizes for.
+        for (unsigned i = 0; i < 24; ++i) {
+            m->registers()[0].value = rng.range(16);
+            m->registers()[1].value = rng.range(16);
+            (rng.chance(1, 2) ? shard_a : shard_b).record();
+        }
+
+        // Delta path: publish both shards, reduce, apply once.
+        shard_a.publishDelta(delta_a);
+        shard_b.publishDelta(delta_b);
+        ASSERT_EQ(delta_a.size(), delta_b.size());
+        for (size_t w = 0; w < delta_a.size(); ++w)
+            mergeSparseWords(delta_a[w], delta_b[w]);
+        std::string error;
+        ASSERT_TRUE(via_delta.mergeDelta(delta_a, &error)) << error;
+
+        // Reference path: full-map merges in shard order.
+        ASSERT_TRUE(via_full.merge(shard_a));
+        ASSERT_TRUE(via_full.merge(shard_b));
+
+        EXPECT_EQ(stateBytes(via_delta), stateBytes(via_full))
+            << "diverged at epoch " << epoch;
+        EXPECT_EQ(via_delta.totalCovered(), via_full.totalCovered());
+    }
+
+    // Once published, re-publishing without new coverage is empty.
+    shard_a.publishDelta(delta_a);
+    for (const SparseWords &w : delta_a)
+        EXPECT_TRUE(w.empty());
+}
+
+TEST(CoverageDelta, MapRepublishesEverythingAfterRestore)
+{
+    auto m = twoRegModule();
+    DesignInstrumentation di(m.get(), Scheme::Optimized, 13, 1);
+    CoverageMap shard(&di);
+    for (uint64_t v = 0; v < 9; ++v) {
+        m->registers()[0].value = v;
+        shard.record();
+    }
+
+    // Drain the dirty bits, then checkpoint and restore: the restored
+    // map must conservatively re-mark everything it holds, so a
+    // resumed shard's first publication carries its full state (the
+    // global merge is idempotent, so the over-publication is free).
+    std::vector<SparseWords> scratch;
+    shard.publishDelta(scratch);
+
+    soc::SnapshotWriter w;
+    shard.saveState(w);
+    const auto bytes = w.takeBuffer();
+    soc::SnapshotReader r(bytes);
+    CoverageMap resumed(&di);
+    std::string error;
+    ASSERT_TRUE(resumed.loadState(r, &error)) << error;
+
+    std::vector<SparseWords> republished;
+    resumed.publishDelta(republished);
+    CoverageMap global(&di);
+    ASSERT_TRUE(global.mergeDelta(republished, &error)) << error;
+    EXPECT_EQ(global.totalCovered(), shard.totalCovered());
+    EXPECT_EQ(stateBytes(global), stateBytes(shard));
+}
+
+TEST(CoverageDelta, CsrDeltaMatchesFullMergeAcrossEpochs)
+{
+    DriverFixture fx;
+    CsrTransitionModel shard_a, shard_b;
+    CsrTransitionModel via_delta, via_full;
+    Rng rng(0x5eed);
+
+    SparseWords delta_a, delta_b;
+    for (unsigned epoch = 0; epoch < 8; ++epoch) {
+        for (unsigned i = 0; i < 32; ++i) {
+            core::CommitInfo ci = csrWrite(
+                static_cast<uint16_t>(0x300 + rng.range(5)),
+                rng.range(16));
+            CsrTransitionModel &shard =
+                rng.chance(1, 2) ? shard_a : shard_b;
+            shard.sweep(fx.drv, &ci, 1);
+        }
+
+        shard_a.publishDelta(delta_a);
+        shard_b.publishDelta(delta_b);
+        mergeSparseWords(delta_a, delta_b);
+        std::string error;
+        ASSERT_TRUE(via_delta.mergeDelta(delta_a, &error)) << error;
+
+        ASSERT_TRUE(via_full.merge(shard_a));
+        ASSERT_TRUE(via_full.merge(shard_b));
+
+        EXPECT_EQ(stateBytes(via_delta), stateBytes(via_full))
+            << "diverged at epoch " << epoch;
+    }
+
+    shard_a.publishDelta(delta_a);
+    EXPECT_TRUE(delta_a.empty());
+}
+
+TEST(CoverageDelta, HitCountDeltaMatchesFullMergeAcrossEpochs)
+{
+    DriverFixture fx;
+    HitCountModel shard_a, shard_b;
+    HitCountModel via_delta, via_full;
+    Rng rng(0xedce5);
+
+    EdgeDelta delta_a, delta_b;
+    for (unsigned epoch = 0; epoch < 8; ++epoch) {
+        // Small pc pool: shards revisit the same edges with different
+        // counts, exercising the bucket-OR / count-max merge rules.
+        for (unsigned i = 0; i < 40; ++i) {
+            const uint64_t pc = 0x1000 + 4 * rng.range(6);
+            const uint64_t next = 0x1000 + 4 * rng.range(6);
+            core::CommitInfo ci = edgeCommit(pc, next);
+            HitCountModel &shard =
+                rng.chance(1, 2) ? shard_a : shard_b;
+            shard.sweep(fx.drv, &ci, 1);
+        }
+
+        shard_a.publishDelta(delta_a);
+        shard_b.publishDelta(delta_b);
+        // Reduce via the composite struct so the same EdgeDelta merge
+        // the orchestrator's reduction tree uses is under test.
+        CoverageDelta into, from;
+        into.edges = delta_a;
+        from.edges = delta_b;
+        into.mergeFrom(from);
+        std::string error;
+        ASSERT_TRUE(via_delta.mergeDelta(into.edges, &error))
+            << error;
+
+        ASSERT_TRUE(via_full.merge(shard_a));
+        ASSERT_TRUE(via_full.merge(shard_b));
+
+        EXPECT_EQ(stateBytes(via_delta), stateBytes(via_full))
+            << "diverged at epoch " << epoch;
+    }
+
+    shard_a.publishDelta(delta_a);
+    EXPECT_TRUE(delta_a.empty());
+}
+
+TEST(CoverageDelta, TreeReductionMatchesSerialFold)
+{
+    auto m = twoRegModule();
+    DesignInstrumentation di(m.get(), Scheme::Optimized, 13, 1);
+    Rng rng(0x7ee);
+
+    // Four shard deltas with overlapping coverage plus first-hit
+    // entries with colliding keys (min-wins tie-break under test).
+    std::vector<CoverageDelta> deltas(4);
+    for (unsigned s = 0; s < 4; ++s) {
+        CoverageMap shard(&di);
+        for (unsigned i = 0; i < 12; ++i) {
+            m->registers()[0].value = rng.range(16);
+            m->registers()[1].value = rng.range(16);
+            shard.record();
+        }
+        shard.publishDelta(deltas[s].mux);
+        FirstHit hit;
+        hit.simTimeSec = 1.0 + s;
+        hit.shard = s;
+        hit.iteration = 100 - s;
+        deltas[s].firstHits.push_back({42, hit});
+        deltas[s].firstHits.push_back({50 + s, hit});
+    }
+
+    // Binary tree: (0+1), (2+3), then (01+23).
+    std::vector<CoverageDelta> tree = deltas;
+    tree[0].mergeFrom(tree[1]);
+    tree[2].mergeFrom(tree[3]);
+    tree[0].mergeFrom(tree[2]);
+
+    // Serial left fold: ((0+1)+2)+3.
+    std::vector<CoverageDelta> fold = deltas;
+    fold[0].mergeFrom(fold[1]);
+    fold[0].mergeFrom(fold[2]);
+    fold[0].mergeFrom(fold[3]);
+
+    CoverageMap g_tree(&di), g_fold(&di);
+    FirstHitLedger l_tree, l_fold;
+    std::string error;
+    ASSERT_TRUE(g_tree.mergeDelta(tree[0].mux, &error)) << error;
+    ASSERT_TRUE(g_fold.mergeDelta(fold[0].mux, &error)) << error;
+    l_tree.mergeEntries(tree[0].firstHits);
+    l_fold.mergeEntries(fold[0].firstHits);
+
+    EXPECT_EQ(stateBytes(g_tree), stateBytes(g_fold));
+    EXPECT_EQ(stateBytes(l_tree), stateBytes(l_fold));
+    // Min-wins: the earliest (simTimeSec, shard, iteration) holds
+    // the colliding key in both shapes.
+    ASSERT_NE(l_tree.find(42), nullptr);
+    EXPECT_EQ(l_tree.find(42)->shard, 0u);
+}
+
+TEST(CoverageDelta, LedgerDrainAndMergeMatchesCumulativeMerge)
+{
+    FirstHitLedger shard_a, shard_b;
+    FirstHitLedger via_delta, via_full;
+    shard_a.setShard(0);
+    shard_b.setShard(1);
+    Rng rng(0x1ed6e5);
+
+    std::vector<std::pair<uint64_t, FirstHit>> fresh;
+    for (unsigned epoch = 0; epoch < 6; ++epoch) {
+        for (unsigned i = 0; i < 16; ++i) {
+            FirstHitLedger &shard =
+                rng.chance(1, 2) ? shard_a : shard_b;
+            shard.setContext(epoch * 16 + i, rng.range(8),
+                             static_cast<uint8_t>(rng.range(4)),
+                             0.5 * epoch + 0.01 * i, 0);
+            shard.record(rng.range(64)); // overlapping key space
+        }
+
+        shard_a.drainFreshHits(fresh);
+        via_delta.mergeEntries(fresh);
+        shard_b.drainFreshHits(fresh);
+        via_delta.mergeEntries(fresh);
+
+        via_full.merge(shard_a);
+        via_full.merge(shard_b);
+
+        EXPECT_EQ(stateBytes(via_delta), stateBytes(via_full))
+            << "diverged at epoch " << epoch;
+    }
+
+    // Nothing new -> nothing drained.
+    shard_a.drainFreshHits(fresh);
+    EXPECT_TRUE(fresh.empty());
+}
+
+TEST(CoverageDelta, MalformedMapDeltaRejectedWithoutMutation)
+{
+    auto m = twoRegModule();
+    DesignInstrumentation di(m.get(), Scheme::Optimized, 13, 1);
+    CoverageMap map(&di);
+    m->registers()[0].value = 7;
+    map.record();
+    const auto before = stateBytes(map);
+
+    std::string error;
+
+    // Wrong module count.
+    std::vector<SparseWords> wrong_count(3);
+    EXPECT_FALSE(map.mergeDelta(wrong_count, &error));
+    EXPECT_NE(error.find("module count"), std::string::npos);
+    EXPECT_EQ(stateBytes(map), before);
+
+    // Derive the real module count from a valid publication (which
+    // also drains the dirty bits — checked again at the end).
+    std::vector<SparseWords> shape;
+    map.publishDelta(shape);
+    std::vector<SparseWords> bad(shape.size());
+
+    // Index/value length mismatch.
+    bad[0].index = {0};
+    bad[0].value = {};
+    error.clear();
+    EXPECT_FALSE(map.mergeDelta(bad, &error));
+    EXPECT_NE(error.find("length mismatch"), std::string::npos);
+
+    // Out-of-range word index.
+    bad[0].index = {0xFFFFFFFF};
+    bad[0].value = {1};
+    error.clear();
+    EXPECT_FALSE(map.mergeDelta(bad, &error));
+    EXPECT_NE(error.find("out of range"), std::string::npos);
+
+    // Out-of-order word indices.
+    bad[0].index = {1, 0};
+    bad[0].value = {1, 1};
+    error.clear();
+    EXPECT_FALSE(map.mergeDelta(bad, &error));
+    EXPECT_NE(error.find("out of order"), std::string::npos);
+
+    // The map is exactly what it was before any of the rejects —
+    // including its dirty-word state (publishDelta above drained it,
+    // so a fresh publication must come back empty).
+    std::vector<SparseWords> repub;
+    map.publishDelta(repub);
+    for (const SparseWords &w : repub)
+        EXPECT_TRUE(w.empty());
+    EXPECT_EQ(stateBytes(map), before);
+}
+
+TEST(CoverageDelta, MalformedModelDeltasRejectedWithoutMutation)
+{
+    DriverFixture fx;
+
+    CsrTransitionModel csr;
+    core::CommitInfo w1 = csrWrite(0x300, 5);
+    csr.sweep(fx.drv, &w1, 1);
+    const auto csr_before = stateBytes(csr);
+    std::string error;
+
+    SparseWords bad;
+    bad.index = {3, 1}; // out of order
+    bad.value = {1, 1};
+    EXPECT_FALSE(csr.mergeDelta(bad, &error));
+    EXPECT_NE(error.find("out of order"), std::string::npos);
+    bad.index = {0xFFFFFFFF};
+    bad.value = {1};
+    error.clear();
+    EXPECT_FALSE(csr.mergeDelta(bad, &error));
+    EXPECT_NE(error.find("out of range"), std::string::npos);
+    EXPECT_EQ(stateBytes(csr), csr_before);
+
+    HitCountModel hits;
+    core::CommitInfo e1 = edgeCommit(0x1000, 0x1004);
+    hits.sweep(fx.drv, &e1, 1);
+    const auto hits_before = stateBytes(hits);
+
+    EdgeDelta bad_edges;
+    bad_edges.edge = {1, 2};
+    bad_edges.buckets = {1};
+    bad_edges.counts = {1, 1};
+    error.clear();
+    EXPECT_FALSE(hits.mergeDelta(bad_edges, &error));
+    EXPECT_NE(error.find("length mismatch"), std::string::npos);
+
+    bad_edges.edge = {0xFFFFFFFF};
+    bad_edges.buckets = {1};
+    bad_edges.counts = {1};
+    error.clear();
+    EXPECT_FALSE(hits.mergeDelta(bad_edges, &error));
+    EXPECT_NE(error.find("out of range"), std::string::npos);
+
+    bad_edges.edge = {5, 2};
+    bad_edges.buckets = {1, 1};
+    bad_edges.counts = {1, 1};
+    error.clear();
+    EXPECT_FALSE(hits.mergeDelta(bad_edges, &error));
+    EXPECT_NE(error.find("out of order"), std::string::npos);
+    EXPECT_EQ(stateBytes(hits), hits_before);
+}
+
+} // namespace
+} // namespace turbofuzz::coverage

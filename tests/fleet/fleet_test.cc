@@ -589,5 +589,140 @@ TEST(FleetSeedExchange, BroadcastDoesNotFloodCorporaWithDuplicates)
     }
 }
 
+/**
+ * Tentpole acceptance (docs/fleet.md "Epoch barrier anatomy"): the
+ * default delta barrier — parallel dirty-word publication, tree
+ * reduction on the pool, zero-copy seed exchange, overlapped I/O —
+ * must produce a fleet result AND global model state byte-identical
+ * to the serial full-merge reference path.
+ */
+TEST(FleetDelta, DeltaBarrierMatchesSerialBarrierByteIdentical)
+{
+    auto config = [](bool delta) {
+        FleetConfig fc = fleetConfig(4, 3.0, 0.75, 23);
+        fc.coverageModel = coverage::CoverageModelKind::Composite;
+        fc.topology = ExchangeTopology::Broadcast;
+        fc.exchangeTopK = 4;
+        fc.provenance = true;
+        fc.deltaBarrier = delta;
+        return fc;
+    };
+    const harness::CampaignOptions copts = campaignOpts();
+
+    FleetOrchestrator with_delta(config(true), copts, fuzzerOpts(),
+                                 &lib());
+    const FleetResult delta_result = with_delta.run();
+    FleetOrchestrator serial(config(false), copts, fuzzerOpts(),
+                             &lib());
+    const FleetResult serial_result = serial.run();
+
+    expectFleetResultsIdentical(delta_result, serial_result);
+    ASSERT_GT(delta_result.seedsExchanged, 0u);
+
+    // Global feedback-model state, byte for byte.
+    auto state_bytes = [](const auto &model) {
+        soc::SnapshotWriter w;
+        model.saveState(w);
+        return w.takeBuffer();
+    };
+    EXPECT_EQ(state_bytes(with_delta.globalCoverage()),
+              state_bytes(serial.globalCoverage()));
+    ASSERT_NE(with_delta.globalCsrCoverage(), nullptr);
+    EXPECT_EQ(state_bytes(*with_delta.globalCsrCoverage()),
+              state_bytes(*serial.globalCsrCoverage()));
+    ASSERT_NE(with_delta.globalHitCoverage(), nullptr);
+    EXPECT_EQ(state_bytes(*with_delta.globalHitCoverage()),
+              state_bytes(*serial.globalHitCoverage()));
+
+    // Global first-hit ledger: identical deterministic attributions
+    // (wallNs is informational host time and excluded).
+    const auto d_entries =
+        with_delta.provenanceLedger().sortedEntries();
+    const auto s_entries = serial.provenanceLedger().sortedEntries();
+    ASSERT_GT(d_entries.size(), 0u);
+    ASSERT_EQ(d_entries.size(), s_entries.size());
+    for (size_t i = 0; i < d_entries.size(); ++i) {
+        EXPECT_EQ(d_entries[i].first, s_entries[i].first);
+        EXPECT_DOUBLE_EQ(d_entries[i].second.simTimeSec,
+                         s_entries[i].second.simTimeSec);
+        EXPECT_EQ(d_entries[i].second.shard,
+                  s_entries[i].second.shard);
+        EXPECT_EQ(d_entries[i].second.iteration,
+                  s_entries[i].second.iteration);
+        EXPECT_EQ(d_entries[i].second.seedId,
+                  s_entries[i].second.seedId);
+        EXPECT_EQ(d_entries[i].second.op, s_entries[i].second.op);
+    }
+}
+
+/** The barrier phase instrumentation lands in the result: one
+ *  barrier/merge timing entry per completed epoch, and the phase
+ *  counters exist in the merged metrics. */
+TEST(FleetDelta, BarrierTimingRecordedPerEpoch)
+{
+    FleetConfig fc = fleetConfig(2, 2.0, 0.5, 3);
+    FleetOrchestrator orch(fc, campaignOpts(), fuzzerOpts(), &lib());
+    const FleetResult r = orch.run();
+
+    EXPECT_EQ(r.epochBarrierNs.size(), r.epochs);
+    EXPECT_EQ(r.epochMergeNs.size(), r.epochs);
+    for (size_t e = 0; e < r.epochBarrierNs.size(); ++e)
+        EXPECT_GE(r.epochBarrierNs[e], r.epochMergeNs[e]);
+    EXPECT_GT(r.metrics.counterValue("fleet.barrier.merge_ns"), 0u);
+    // Counters exist even when their phase did no work this run
+    // (absent names return the fallback, so distinct fallbacks
+    // disagree only for a missing counter).
+    auto has_counter = [&](const char *name) {
+        return r.metrics.counterValue(name, 1) ==
+               r.metrics.counterValue(name, 2);
+    };
+    EXPECT_TRUE(has_counter("fleet.barrier.reduce_ns"));
+    EXPECT_TRUE(has_counter("fleet.barrier.exchange_ns"));
+    EXPECT_TRUE(has_counter("fleet.barrier.io_overlap_ns"));
+}
+
+/**
+ * Barrier stress (runs under the TSan CI preset via the Fleet*
+ * filter): many short epochs with per-epoch checkpoint shipping and
+ * JSONL stats force the double-buffered background writer to overlap
+ * live barriers continuously; worker threads outnumber shards so the
+ * reduction tree schedules across surplus workers.
+ */
+TEST(FleetDelta, BarrierStressOverlappedIoAndReduction)
+{
+    const std::string ckpt =
+        testing::TempDir() + "/tf_fleet_stress.ckpt";
+    const std::string stats =
+        testing::TempDir() + "/tf_fleet_stress.jsonl";
+
+    FleetConfig fc = fleetConfig(6, 2.0, 0.25, 31);
+    fc.coverageModel = coverage::CoverageModelKind::Composite;
+    fc.workerThreads = 8;
+    fc.checkpointEveryEpochs = 1;
+    fc.checkpointPath = ckpt;
+    fc.statsFile = stats;
+    FleetOrchestrator orch(fc, campaignOpts(), fuzzerOpts(), &lib());
+    const FleetResult r = orch.run();
+    EXPECT_EQ(r.epochBarrierNs.size(), r.epochs);
+
+    // The final checkpoint is fully on disk once run() returns (the
+    // writer is drained), and it restores cleanly.
+    std::string error;
+    const auto snap = soc::Snapshot::tryLoadFile(ckpt, &error);
+    ASSERT_TRUE(snap.has_value()) << error;
+
+    // Every barrier emitted one complete stats line (cadence 0).
+    std::FILE *f = std::fopen(stats.c_str(), "r");
+    ASSERT_NE(f, nullptr);
+    unsigned lines = 0;
+    for (int c; (c = std::fgetc(f)) != EOF;)
+        lines += c == '\n';
+    std::fclose(f);
+    EXPECT_EQ(lines, r.epochs);
+
+    std::remove(ckpt.c_str());
+    std::remove(stats.c_str());
+}
+
 } // namespace
 } // namespace turbofuzz::fleet

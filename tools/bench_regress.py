@@ -1,14 +1,27 @@
 #!/usr/bin/env python3
-"""Bench-regression gate over google-benchmark JSON output.
+"""Bench-regression gate over benchmark JSON output.
 
-Compares the committed baseline (bench/baselines/) against a freshly
-produced BENCH_micro_throughput.json and fails (exit 1) when any
-throughput benchmark's commits/sec (the `items_per_second` counter)
-drops by more than --max-drop relative to the baseline. Benchmarks
-without an items_per_second counter are timing microbenches and are
-reported but not gated (wall-time noise on shared CI runners is far
-above 10%; the committed-instruction rates aggregate enough work to
-be stable).
+Two input formats, selected with --mode:
+
+- `rates` (default): google-benchmark JSON. Compares the committed
+  baseline (bench/baselines/) against a freshly produced
+  BENCH_micro_throughput.json and fails (exit 1) when any throughput
+  benchmark's commits/sec (the `items_per_second` counter) drops by
+  more than --max-drop relative to the baseline. Benchmarks without
+  an items_per_second counter are timing microbenches and are
+  reported but not gated (wall-time noise on shared CI runners is far
+  above 10%; the committed-instruction rates aggregate enough work to
+  be stable).
+- `metrics`: the repo's own bench JsonResult documents
+  (BENCH_<id>.json with "bench"/"metrics"/"series" keys, see
+  bench/bench_util.hh). Gates the scalar `metrics` entries directly,
+  higher-is-better, same --max-drop drop rule. Repeatable
+  `--metric GLOB` selectors restrict the gate to matching metric
+  names (fnmatch syntax) — CI uses this to gate
+  `shards-8-host-efficiency` from BENCH_fleet_scaling.json without
+  also gating wall-clock-noisy absolute timings in the same file.
+  Baseline and current must come from the same bench arguments; the
+  gate compares runs, not configurations.
 
 Single-shot rates on shared runners are too noisy for a 10% gate —
 transient load during one 0.2s measurement window shows up as a
@@ -34,10 +47,13 @@ a deliberate perf trade-off is accepted:
     cp BENCH_micro_throughput.json bench/baselines/
 
 Usage: bench_regress.py BASELINE.json CURRENT.json [--max-drop 0.10]
+       bench_regress.py --mode metrics --metric 'shards-8-host-*' \\
+           BASELINE.json CURRENT.json
        bench_regress.py --self-test
 """
 
 import argparse
+import fnmatch
 import json
 import statistics
 import sys
@@ -116,11 +132,62 @@ def load_rates(path):
     return rates
 
 
-def compare(baseline, current, max_drop):
-    """Gate logic on two {name: rate} dicts. Returns (exit_code, lines)."""
+def load_metrics(path, patterns=()):
+    """Parse a bench JsonResult document into {metric name: value}.
+
+    Selects the scalar "metrics" entries whose names match any of the
+    fnmatch `patterns` (every metric when none are given). Like the
+    rates loader, non-positive values are skipped — the gate's
+    relative-drop rule needs a positive, higher-is-better baseline.
+
+    Raises BenchFileError when the file is missing, not JSON, or not
+    shaped like bench_util.hh's JsonResult output.
+    """
+    try:
+        with open(path) as f:
+            raw = f.read()
+    except OSError as e:
+        raise BenchFileError(f"cannot read benchmark file {path}: {e}")
+    try:
+        doc = json.loads(raw)
+    except json.JSONDecodeError as e:
+        raise BenchFileError(f"malformed JSON in {path}: {e}")
+    if (
+        not isinstance(doc, dict)
+        or "bench" not in doc
+        or not isinstance(doc.get("metrics"), dict)
+    ):
+        raise BenchFileError(
+            f"{path}: not a bench JsonResult document "
+            f"(need 'bench' and a 'metrics' object)"
+        )
+
+    out = {}
+    for name, value in doc["metrics"].items():
+        if patterns and not any(
+            fnmatch.fnmatchcase(name, p) for p in patterns
+        ):
+            continue
+        if not isinstance(value, (int, float)):
+            raise BenchFileError(
+                f"{path}: non-numeric metric {name}: {value!r}"
+            )
+        if value > 0:
+            out[name] = value
+    return out
+
+
+def compare(baseline, current, max_drop, what="commits/sec",
+            value_fmt="{:>12.0f}"):
+    """Gate logic on two {name: value} dicts. Returns (exit_code, lines).
+
+    Higher is better for every gated value; `what` names the gated
+    quantity in messages and `value_fmt` formats table cells (rates
+    are whole numbers, metrics like host-efficiency need digits).
+    """
     lines = []
     if not baseline:
-        lines.append("error: no items_per_second entries in baseline")
+        lines.append(f"error: no gateable {what} entries in baseline")
         return 1, lines
 
     failures = []
@@ -134,7 +201,10 @@ def compare(baseline, current, max_drop):
         cur = current.get(name)
         if cur is None:
             missing.append(name)
-            lines.append(f"{name:<{width}}  {base:>12.0f}  {'MISSING':>12}")
+            lines.append(
+                f"{name:<{width}}  {value_fmt.format(base)}  "
+                f"{'MISSING':>12}"
+            )
             continue
         delta = (cur - base) / base
         flag = ""
@@ -142,13 +212,16 @@ def compare(baseline, current, max_drop):
             failures.append((name, delta))
             flag = "  << REGRESSION"
         lines.append(
-            f"{name:<{width}}  {base:>12.0f}  {cur:>12.0f}  "
-            f"{delta:+7.1%}{flag}"
+            f"{name:<{width}}  {value_fmt.format(base)}  "
+            f"{value_fmt.format(cur)}  {delta:+7.1%}{flag}"
         )
 
     new_names = sorted(set(current) - set(baseline))
     for name in new_names:
-        lines.append(f"{name:<{width}}  {'(new)':>12}  {current[name]:>12.0f}")
+        lines.append(
+            f"{name:<{width}}  {'(new)':>12}  "
+            f"{value_fmt.format(current[name])}"
+        )
 
     if missing:
         lines.append(
@@ -158,7 +231,7 @@ def compare(baseline, current, max_drop):
     if failures:
         drops = ", ".join(f"{n} ({d:+.1%})" for n, d in failures)
         lines.append(
-            f"\nerror: commits/sec regressed more than "
+            f"\nerror: {what} regressed more than "
             f"{max_drop:.0%} vs baseline: {drops}"
         )
         return 1, lines
@@ -263,6 +336,101 @@ def self_test():
     finally:
         os.unlink(path)
 
+    # Metrics-mode loader: JsonResult documents, fnmatch selection,
+    # and the same hard-error behaviour on files that cannot be
+    # trusted as gate input.
+    metrics_doc = {
+        "bench": "fleet_scaling",
+        "meta": {"budget_sec": 2.0},
+        "metrics": {
+            "shards-8-host-efficiency": 0.93,
+            "shards-4-host-efficiency": 0.97,
+            "shards-8-host-sec": 12.5,
+            "shards-8-idle": 0.0,
+        },
+        "series": [],
+    }
+    with tempfile.NamedTemporaryFile(
+        "w", suffix=".json", delete=False
+    ) as f:
+        json.dump(metrics_doc, f)
+        path = f.name
+    try:
+        vals = load_metrics(path)
+        check(
+            "metrics file parses (non-positive skipped)",
+            vals
+            == {
+                "shards-8-host-efficiency": 0.93,
+                "shards-4-host-efficiency": 0.97,
+                "shards-8-host-sec": 12.5,
+            },
+        )
+        vals = load_metrics(path, ["*-host-efficiency"])
+        check(
+            "metric glob selects subset",
+            vals
+            == {
+                "shards-8-host-efficiency": 0.93,
+                "shards-4-host-efficiency": 0.97,
+            },
+        )
+        vals = load_metrics(path, ["shards-8-host-efficiency"])
+        check(
+            "exact metric name selects one",
+            vals == {"shards-8-host-efficiency": 0.93},
+        )
+    finally:
+        os.unlink(path)
+
+    def expect_metrics_error(name, content):
+        with tempfile.NamedTemporaryFile(
+            "w", suffix=".json", delete=False
+        ) as f:
+            f.write(content)
+            path = f.name
+        try:
+            try:
+                load_metrics(path)
+            except BenchFileError:
+                check(name, True)
+            else:
+                check(name, False)
+        finally:
+            os.unlink(path)
+
+    expect_metrics_error(
+        "google-benchmark file rejected by metrics loader",
+        '{"benchmarks": []}',
+    )
+    expect_metrics_error(
+        "non-object metrics raises",
+        '{"bench": "x", "metrics": [1, 2]}',
+    )
+    expect_metrics_error(
+        "non-numeric metric raises",
+        '{"bench": "x", "metrics": {"m": "fast"}}',
+    )
+
+    # Metrics gate: the fractional host-efficiency values survive the
+    # same drop rule (a 15% efficiency drop at a 10% gate fails).
+    code, _ = compare(
+        {"shards-8-host-efficiency": 0.95},
+        {"shards-8-host-efficiency": 0.90},
+        0.10,
+        what="host-efficiency",
+        value_fmt="{:>12.4g}",
+    )
+    check("5% efficiency drop passes at 10% gate", code == 0)
+    code, _ = compare(
+        {"shards-8-host-efficiency": 0.95},
+        {"shards-8-host-efficiency": 0.80},
+        0.10,
+        what="host-efficiency",
+        value_fmt="{:>12.4g}",
+    )
+    check("16% efficiency drop fails at 10% gate", code == 1)
+
     # Gate decisions.
     code, _ = compare({"BM_A": 100.0}, {"BM_A": 95.0}, 0.10)
     check("5% drop passes at 10% gate", code == 0)
@@ -296,6 +464,21 @@ def main():
         help="maximum tolerated relative commits/sec drop (default 0.10)",
     )
     parser.add_argument(
+        "--mode",
+        choices=["rates", "metrics"],
+        default="rates",
+        help="input format: google-benchmark items_per_second (rates, "
+        "default) or bench JsonResult scalar metrics (metrics)",
+    )
+    parser.add_argument(
+        "--metric",
+        action="append",
+        default=[],
+        metavar="GLOB",
+        help="metrics mode: gate only metrics whose name matches this "
+        "fnmatch pattern (repeatable; default: every metric)",
+    )
+    parser.add_argument(
         "--self-test",
         action="store_true",
         help="run the built-in checks of the loader and gate logic",
@@ -306,15 +489,25 @@ def main():
         return self_test()
     if args.baseline is None or args.current is None:
         parser.error("BASELINE and CURRENT are required (or --self-test)")
+    if args.metric and args.mode != "metrics":
+        parser.error("--metric requires --mode metrics")
 
     try:
-        baseline = load_rates(args.baseline)
-        current = load_rates(args.current)
+        if args.mode == "metrics":
+            baseline = load_metrics(args.baseline, args.metric)
+            current = load_metrics(args.current, args.metric)
+        else:
+            baseline = load_rates(args.baseline)
+            current = load_rates(args.current)
     except BenchFileError as e:
         print(f"error: {e}")
         return 1
 
-    code, lines = compare(baseline, current, args.max_drop)
+    if args.mode == "metrics":
+        code, lines = compare(baseline, current, args.max_drop,
+                              what="metric", value_fmt="{:>12.4g}")
+    else:
+        code, lines = compare(baseline, current, args.max_drop)
     print("\n".join(lines))
     return code
 

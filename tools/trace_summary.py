@@ -20,9 +20,15 @@ t_sim/t_host/epoch, and a metrics object of numbers and histogram
 objects. Lines from provenance-enabled runs additionally carry a
 "provenance" object (first_hits / last_new_t_sim / plateau_sec, all
 non-negative numbers with non-decreasing first_hits across lines);
-it is validated when present. Exits 1 on any violation, naming the
-line. Unknown schema tags fail loudly — this tool validates exactly
-one format version and must not silently pass a newer one.
+it is validated when present. Fleet runs additionally emit the
+epoch-barrier phase counters fleet.barrier.{merge_ns, reduce_ns,
+exchange_ns, io_overlap_ns} (docs/fleet.md, "Epoch barrier
+anatomy"): when any appears, all four must be present, numeric,
+non-negative and non-decreasing across lines, and the final line's
+breakdown is printed after validation. Exits 1 on any violation,
+naming the line. Unknown schema tags fail loudly — this tool
+validates exactly one format version and must not silently pass a
+newer one.
 
 Both modes treat missing/malformed input as a hard error — this tool
 doubles as the CI artifact validator, and a validator that shrugs at
@@ -188,6 +194,70 @@ def summarize_fastpath(metrics):
         )
 
 
+BARRIER_COUNTERS = (
+    "fleet.barrier.merge_ns",
+    "fleet.barrier.reduce_ns",
+    "fleet.barrier.exchange_ns",
+    "fleet.barrier.io_overlap_ns",
+)
+
+
+def validate_barrier_counters(path, lineno, metrics, prev):
+    """Check the fleet epoch-barrier phase counters when present;
+    returns the line's values for cross-line monotonicity tracking.
+
+    The orchestrator registers all four at construction, so a line
+    carrying some but not all of them means the stream mixes
+    incompatible runs (or the emitter dropped counters)."""
+    present = [n for n in BARRIER_COUNTERS if n in metrics]
+    if not present:
+        return prev
+    missing = [n for n in BARRIER_COUNTERS if n not in metrics]
+    if missing:
+        fail(
+            f"{path}:{lineno}: fleet barrier counters incomplete, "
+            f"missing {missing}"
+        )
+    values = {}
+    for name in BARRIER_COUNTERS:
+        value = metrics[name]
+        if isinstance(value, bool) or not isinstance(
+            value, (int, float)
+        ):
+            fail(
+                f"{path}:{lineno}: barrier counter {name!r} is not "
+                f"a number"
+            )
+        if value < 0:
+            fail(
+                f"{path}:{lineno}: barrier counter {name!r} is "
+                f"negative ({value})"
+            )
+        # Counters accumulate host nanoseconds within a run; a drop
+        # means the stream mixes runs or the writer lost state.
+        if value < prev.get(name, 0):
+            fail(
+                f"{path}:{lineno}: barrier counter {name!r} went "
+                f"backwards ({prev.get(name, 0)} -> {value})"
+            )
+        values[name] = value
+    return values
+
+
+def summarize_barrier(metrics):
+    """Print the epoch-barrier phase breakdown (fleet runs only) from
+    the final metrics object, when the run emitted it."""
+    if not all(
+        isinstance(metrics.get(n), (int, float))
+        for n in BARRIER_COUNTERS
+    ):
+        return
+    width = max(len(n) for n in BARRIER_COUNTERS)
+    print("fleet barrier breakdown (cumulative host time):")
+    for name in BARRIER_COUNTERS:
+        print(f"  {name:<{width}}  {metrics[name] / 1e6:>10.3f} ms")
+
+
 PROVENANCE_KEYS = ("first_hits", "last_new_t_sim", "plateau_sec")
 
 
@@ -234,6 +304,7 @@ def validate_jsonl(path, min_lines):
 
     prev = {"t_sim": -1.0, "t_host": -1.0, "epoch": -1}
     prev_first_hits = 0
+    prev_barrier = {}
     count = 0
     provenance_lines = 0
     last_metrics = None
@@ -265,6 +336,9 @@ def validate_jsonl(path, min_lines):
                 )
         validate_metrics_object(path, lineno, doc.get("metrics"))
         last_metrics = doc["metrics"]
+        prev_barrier = validate_barrier_counters(
+            path, lineno, last_metrics, prev_barrier
+        )
         if "provenance" in doc:
             prev_first_hits = validate_provenance_object(
                 path, lineno, doc["provenance"], prev_first_hits
@@ -286,6 +360,7 @@ def validate_jsonl(path, min_lines):
     print(f"{path}: {count} valid turbofuzz.metrics.v1 lines{suffix}")
     if last_metrics:
         summarize_fastpath(last_metrics)
+        summarize_barrier(last_metrics)
     return 0
 
 
